@@ -1,0 +1,53 @@
+/// \file bench_buffer_sweep.cpp
+/// Ablation **A8** — buffer size per VC (§2.2: interconnect switch buffers
+/// are small; the number/size of queues drives switch cost). Sweeps the
+/// per-VC buffer from 4 KB to 32 KB at full load and reports how the
+/// architectures' order errors and control latency respond: larger FIFOs
+/// freeze *more* misordered packets, so Simple degrades while Advanced
+/// stays near Ideal — buying buffer does not buy order.
+///
+///   ./bench_buffer_sweep [--paper]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+using namespace dqos;
+using namespace dqos::literals;
+
+int main(int argc, char** argv) {
+  const bool paper = has_flag(argc, argv, "--paper");
+  SimConfig base = paper ? SimConfig::paper(SwitchArch::kIdeal, 1.0)
+                         : SimConfig::small(SwitchArch::kIdeal, 1.0);
+
+  std::printf("=== A8: buffer size per VC at 100%% load ===\n");
+
+  const std::uint32_t sizes[] = {4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024};
+  const SwitchArch archs[] = {SwitchArch::kIdeal, SwitchArch::kSimple2Vc,
+                              SwitchArch::kAdvanced2Vc};
+
+  TableWriter table({"buffer/VC", "architecture", "control lat [us]",
+                     "control max [us]", "order errs/1k", "credit stalls"});
+  for (const std::uint32_t bytes : sizes) {
+    for (const SwitchArch arch : archs) {
+      SimConfig cfg = base;
+      cfg.arch = arch;
+      cfg.buffer_bytes_per_vc = bytes;
+      std::fprintf(stderr, "  [run] %u KB / %s ...\n", bytes / 1024,
+                   std::string(to_string(arch)).c_str());
+      NetworkSimulator net(cfg);
+      const SimReport rep = net.run();
+      const double per_k = 1000.0 * static_cast<double>(rep.order_errors) /
+                           static_cast<double>(rep.packets_delivered);
+      table.row({std::to_string(bytes / 1024) + " KB",
+                 std::string(to_string(arch)),
+                 TableWriter::num(rep.of(TrafficClass::kControl).avg_packet_latency_us, 1),
+                 TableWriter::num(rep.of(TrafficClass::kControl).max_packet_latency_us, 1),
+                 TableWriter::num(per_k, 1), TableWriter::num(rep.credit_stalls)});
+    }
+  }
+  table.print(stdout);
+  std::printf("\npaper context: 8 KB/VC (§4.1). Bigger FIFOs deepen the "
+              "frozen-order window;\nthe take-over queue keeps the penalty "
+              "bounded at every size.\n");
+  return 0;
+}

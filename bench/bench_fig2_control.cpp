@@ -1,0 +1,64 @@
+/// \file bench_fig2_control.cpp
+/// Reproduces **Figure 2** — Control traffic performance.
+///
+/// Paper result: the EDF-based architectures deliver far lower control
+/// latency than Traditional 2 VCs. Versus the (unimplementable) Ideal,
+/// Simple 2 VCs pays ~25% extra average latency; Advanced 2 VCs only ~5%.
+/// Throughput for control is identical across architectures (regulated,
+/// admitted traffic is never dropped). The CDF is taken at 100% input load.
+///
+///   ./bench_fig2_control [--paper]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+using namespace dqos;
+using namespace dqos::literals;
+
+int main(int argc, char** argv) {
+  const bool paper = has_flag(argc, argv, "--paper");
+  SimConfig base = paper ? SimConfig::paper(SwitchArch::kIdeal, 1.0)
+                         : SimConfig::small(SwitchArch::kIdeal, 1.0);
+
+  std::printf("=== Figure 2: Control traffic (latency, throughput, CDF) ===\n");
+  std::printf("platform: %u hosts%s\n", base.num_hosts(),
+              paper ? " (paper scale)" : " (scaled down; --paper for 128)");
+
+  const auto archs = all_switch_archs();
+  const double loads[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  const auto points = run_sweep(base, archs, loads);
+
+  print_series(stdout, points, "F2a: Control avg packet latency", "us",
+               control_latency_us, 1, "fig2_latency.csv");
+  print_series(stdout, points, "F2b: Control delivered/offered throughput",
+               "fraction", control_throughput_frac, 3, "fig2_throughput.csv");
+  print_series(
+      stdout, points, "F2c-aux: Control max packet latency", "us",
+      [](const SimReport& r) { return r.of(TrafficClass::kControl).max_packet_latency_us; },
+      1);
+
+  // CDF at full load, one per architecture (F2c).
+  for (const auto& p : points) {
+    if (p.load != 1.0) continue;
+    print_cdf(stdout, p.report.metrics->packet_latency(TrafficClass::kControl),
+              std::string("F2c: Control latency CDF @100% — ") +
+                  std::string(to_string(p.arch)) + " [us]",
+              12);
+  }
+
+  // Headline ratios: latency penalty over Ideal at full load.
+  double ideal = 0.0;
+  for (const auto& p : points) {
+    if (p.load == 1.0 && p.arch == SwitchArch::kIdeal) {
+      ideal = control_latency_us(p.report);
+    }
+  }
+  std::printf("\nLatency penalty vs Ideal at 100%% load (paper: Simple ~+25%%, "
+              "Advanced ~+5%%):\n");
+  for (const auto& p : points) {
+    if (p.load != 1.0 || p.arch == SwitchArch::kIdeal) continue;
+    std::printf("  %-17s %+6.1f%%\n", std::string(to_string(p.arch)).c_str(),
+                (control_latency_us(p.report) / ideal - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_fig3_video.cpp
+/// Reproduces **Figure 3** — Multimedia (video) traffic performance.
+///
+/// Paper result: with the frame-budget deadline rule (§3.1), the average
+/// latency of video *frames* (full transfers, not packets) sits almost
+/// exactly at the configured 10 ms target for the EDF architectures, with
+/// P[latency <= 10 ms] > 99% at full load, while Traditional 2 VCs shows
+/// large, load-dependent variation (jitter).
+///
+///   ./bench_fig3_video [--paper]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+using namespace dqos;
+using namespace dqos::literals;
+
+int main(int argc, char** argv) {
+  const bool paper = has_flag(argc, argv, "--paper");
+  SimConfig base = paper ? SimConfig::paper(SwitchArch::kIdeal, 1.0)
+                         : SimConfig::small(SwitchArch::kIdeal, 1.0);
+  base.measure = paper ? 80_ms : 40_ms;  // enough 40 ms frames for stats
+  base.drain = 15_ms;
+
+  std::printf("=== Figure 3: Video traffic (frame latency, jitter, CDF) ===\n");
+  std::printf("frame budget: %.0f ms; platform: %u hosts%s\n",
+              base.video_frame_budget.ms(), base.num_hosts(),
+              paper ? " (paper scale)" : "");
+
+  const auto archs = all_switch_archs();
+  const double loads[] = {0.4, 0.7, 1.0};
+  const auto points = run_sweep(base, archs, loads);
+
+  print_series(stdout, points, "F3a: Video avg frame latency", "ms",
+               video_frame_latency_ms, 2, "fig3_latency.csv");
+  print_series(
+      stdout, points, "F3a-aux: Video frame p99 latency", "ms",
+      [](const SimReport& r) {
+        return r.of(TrafficClass::kMultimedia).p99_message_latency_us / 1000.0;
+      },
+      2);
+  print_series(
+      stdout, points, "F3a-aux: Video throughput delivered/offered", "fraction",
+      [](const SimReport& r) {
+        const auto& c = r.of(TrafficClass::kMultimedia);
+        return c.offered_bytes_per_sec > 0 ? c.throughput_bytes_per_sec / c.offered_bytes_per_sec
+                                           : 0.0;
+      },
+      3);
+
+  std::printf("\nF3b: frame-latency CDF at 100%% load\n");
+  for (const auto& p : points) {
+    if (p.load != 1.0) continue;
+    const auto& frames = p.report.metrics->message_latency(TrafficClass::kMultimedia);
+    print_cdf(stdout, frames,
+              std::string("  ") + std::string(to_string(p.arch)) + " [us]", 10);
+    // EDF architectures concentrate frame latency in a hair-thin band
+    // around the budget, so evaluate the CDF at the budget and just past
+    // it (the paper's "latency close to 10 ms ... more than 99%").
+    std::printf("  P[frame <= 10 ms] = %.4f, P[frame <= 10.5 ms] = %.4f"
+                "   (paper: >0.99 near the budget for EDF archs)\n",
+                frames.cdf_at(10'000.0), frames.cdf_at(10'500.0));
+  }
+  return 0;
+}

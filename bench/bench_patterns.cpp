@@ -1,0 +1,52 @@
+/// \file bench_patterns.cpp
+/// Ablation **A7** — spatial traffic patterns (extension beyond the paper's
+/// uniform destinations). Under adversarial patterns the question is
+/// whether deadline scheduling still protects the regulated classes where
+/// a deadline-blind fabric lets contention leak into control latency.
+///
+///   ./bench_patterns [--paper]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+using namespace dqos;
+using namespace dqos::literals;
+
+int main(int argc, char** argv) {
+  const bool paper = has_flag(argc, argv, "--paper");
+  SimConfig base = paper ? SimConfig::paper(SwitchArch::kAdvanced2Vc, 0.8)
+                         : SimConfig::small(SwitchArch::kAdvanced2Vc, 0.8);
+
+  std::printf("=== A7: traffic patterns x architecture (80%% load) ===\n");
+
+  const PatternKind kinds[] = {PatternKind::kUniform, PatternKind::kHotSpot,
+                               PatternKind::kTornado, PatternKind::kPermutation};
+  const SwitchArch archs[] = {SwitchArch::kTraditional2Vc, SwitchArch::kAdvanced2Vc};
+
+  TableWriter table({"pattern", "architecture", "control lat [us]",
+                     "control p99 [us]", "frame lat [ms]", "BE tput frac",
+                     "order errors"});
+  for (const PatternKind kind : kinds) {
+    for (const SwitchArch arch : archs) {
+      SimConfig cfg = base;
+      cfg.arch = arch;
+      cfg.pattern.kind = kind;
+      std::fprintf(stderr, "  [run] %s / %s ...\n",
+                   std::string(to_string(kind)).c_str(),
+                   std::string(to_string(arch)).c_str());
+      NetworkSimulator net(cfg);
+      const SimReport rep = net.run();
+      table.row({std::string(to_string(kind)), std::string(to_string(arch)),
+                 TableWriter::num(rep.of(TrafficClass::kControl).avg_packet_latency_us, 1),
+                 TableWriter::num(rep.of(TrafficClass::kControl).p99_packet_latency_us, 1),
+                 TableWriter::num(rep.of(TrafficClass::kMultimedia).avg_message_latency_us / 1e3, 2),
+                 TableWriter::num(best_effort_throughput_frac(rep), 3),
+                 TableWriter::num(rep.order_errors)});
+    }
+  }
+  table.print(stdout);
+  std::printf("\nexpected: the EDF fabric keeps control latency flat across "
+              "patterns;\nthe hot-spot pattern saturates one destination and "
+              "punishes best-effort first.\n");
+  return 0;
+}

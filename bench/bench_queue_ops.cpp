@@ -1,0 +1,82 @@
+/// \file bench_queue_ops.cpp
+/// Ablation **A3** — per-operation cost of the three buffer organizations
+/// (§2.2, §3.2): the reason heaps are "not practical for high-speed
+/// switches" while the take-over scheme is two plain FIFOs plus one
+/// comparator. Microbenchmark with google-benchmark: mixed enqueue/dequeue
+/// at steady-state occupancy, plus the EDF head-compare arbiter.
+#include <benchmark/benchmark.h>
+
+#include "proto/packet_pool.hpp"
+#include "switchfab/arbiter.hpp"
+#include "switchfab/queue_discipline.hpp"
+#include "util/rng.hpp"
+
+namespace dqos {
+namespace {
+
+void run_queue_mix(benchmark::State& state, QueueKind kind) {
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  PacketPool pool;
+  Rng rng(42);
+  auto q = make_queue(kind);
+  std::int64_t clock = 0;
+  auto fresh = [&] {
+    PacketPtr p = pool.make();
+    clock += 10;
+    // 15% deadline regressions: the take-over path gets exercised.
+    const bool regress = rng.chance(0.15);
+    p->local_deadline = TimePoint::from_ps(
+        regress ? clock - static_cast<std::int64_t>(rng.uniform_int(1, 200)) : clock);
+    p->hdr.wire_bytes = 2048;
+    return p;
+  };
+  for (std::size_t i = 0; i < occupancy; ++i) q->enqueue(fresh());
+  for (auto _ : state) {
+    q->enqueue(fresh());
+    PacketPtr out = q->dequeue();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+void BM_Fifo(benchmark::State& state) { run_queue_mix(state, QueueKind::kFifo); }
+void BM_Heap(benchmark::State& state) { run_queue_mix(state, QueueKind::kHeap); }
+void BM_Takeover(benchmark::State& state) {
+  run_queue_mix(state, QueueKind::kTakeover);
+}
+
+BENCHMARK(BM_Fifo)->Arg(4)->Arg(64)->Arg(1024);
+BENCHMARK(BM_Heap)->Arg(4)->Arg(64)->Arg(1024);
+BENCHMARK(BM_Takeover)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_EdfArbiterPick(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Packet> pkts(n);
+  std::vector<ArbCandidate> cands;
+  for (std::size_t i = 0; i < n; ++i) {
+    pkts[i].local_deadline =
+        TimePoint::from_ps(static_cast<std::int64_t>(rng.uniform_int(0, 1 << 20)));
+    cands.push_back(ArbCandidate{i, &pkts[i]});
+  }
+  EdfInputArbiter arb;
+  for (auto _ : state) {
+    auto w = arb.pick(cands);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_EdfArbiterPick)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PacketPoolChurn(benchmark::State& state) {
+  PacketPool pool;
+  for (auto _ : state) {
+    PacketPtr p = pool.make();
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PacketPoolChurn);
+
+}  // namespace
+}  // namespace dqos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/// \file custom_fabric.cpp
+/// Composing the library's lower-level pieces by hand — no NetworkSimulator.
+/// Builds a 4-port Advanced-2VC switch with two hosts, opens one video flow
+/// (frame-budget deadlines + eligible time) and one control flow, and
+/// traces every delivery. Start here if you want to embed dqos components
+/// in your own simulator.
+#include <cstdio>
+
+#include "host/host.hpp"
+#include "switchfab/switch.hpp"
+#include "traffic/cbr_source.hpp"
+
+using namespace dqos;
+using namespace dqos::literals;
+
+int main() {
+  Simulator sim;
+  PacketPool pool;
+
+  // --- platform: two hosts on a 4-port Advanced 2 VCs switch -------------
+  SwitchParams sp;
+  sp.arch = SwitchArch::kAdvanced2Vc;
+  Switch sw(sim, /*id=*/100, /*num_ports=*/4, sp);
+
+  HostParams hp;
+  Host sender(sim, 0, hp, LocalClock{}, pool);
+  Host receiver(sim, 1, hp, LocalClock(/*offset=*/7'777_us), pool);  // skewed!
+
+  const Bandwidth bw = Bandwidth::from_gbps(8.0);
+  std::vector<std::unique_ptr<Channel>> channels;
+  // sender <-> switch port 0
+  channels.push_back(std::make_unique<Channel>(sim, bw, 100_ns, 2, 8192));
+  channels.back()->connect_to(&sw, 0);
+  sender.attach_uplink(channels.back().get());
+  sw.attach_input(0, channels.back().get());
+  channels.push_back(std::make_unique<Channel>(sim, bw, 100_ns, 2, 8192));
+  channels.back()->connect_to(&sender, 0);
+  sw.attach_output(0, channels.back().get());
+  sender.attach_downlink(channels.back().get());
+  // receiver <-> switch port 1
+  channels.push_back(std::make_unique<Channel>(sim, bw, 100_ns, 2, 8192));
+  channels.back()->connect_to(&sw, 1);
+  receiver.attach_uplink(channels.back().get());
+  sw.attach_input(1, channels.back().get());
+  channels.push_back(std::make_unique<Channel>(sim, bw, 100_ns, 2, 8192));
+  channels.back()->connect_to(&receiver, 0);
+  sw.attach_output(1, channels.back().get());
+  receiver.attach_downlink(channels.back().get());
+
+  // --- flows --------------------------------------------------------------
+  FlowSpec video;
+  video.id = 1;
+  video.src = 0;
+  video.dst = 1;
+  video.tclass = TrafficClass::kMultimedia;
+  video.vc = kRegulatedVc;
+  video.policy = DeadlinePolicy::kFrameBudget;
+  video.deadline_bw = Bandwidth::from_bytes_per_sec(3e6);
+  video.frame_budget = 10_ms;
+  video.use_eligible_time = true;
+  video.route.push_hop(1);  // switch output port toward the receiver
+  sender.open_flow(video);
+
+  FlowSpec control;
+  control.id = 2;
+  control.src = 0;
+  control.dst = 1;
+  control.tclass = TrafficClass::kControl;
+  control.vc = kRegulatedVc;
+  control.policy = DeadlinePolicy::kControlLatency;
+  control.deadline_bw = bw;  // link rate: maximum priority (§3.1)
+  control.route.push_hop(1);
+  sender.open_flow(control);
+
+  receiver.set_message_callback([&](const MessageDelivered& m) {
+    std::printf("  [%8.3f ms] %-11s message done: %6llu B in %8.1f us\n",
+                m.completed.ms(), std::string(to_string(m.tclass)).c_str(),
+                static_cast<unsigned long long>(m.bytes),
+                (m.completed - m.created).us());
+  });
+
+  // --- workload: one 80 KB video frame per 40 ms, control pings ----------
+  std::printf("custom fabric: 2 hosts, 1 Advanced-2VC switch, receiver clock "
+              "skewed by 7.777 ms\n\n");
+  CbrParams frames;
+  frames.message_bytes = 80 * 1024;
+  frames.period = 40_ms;
+  frames.tclass = TrafficClass::kMultimedia;
+  CbrSource video_src(sim, sender, Rng(1), nullptr, 1, frames);
+  CbrParams pings;
+  pings.message_bytes = 256;
+  pings.period = 5_ms;
+  pings.phase = 1_ms;
+  pings.tclass = TrafficClass::kControl;
+  CbrSource ping_src(sim, sender, Rng(2), nullptr, 2, pings);
+
+  video_src.start(TimePoint::zero() + 120_ms);
+  ping_src.start(TimePoint::zero() + 120_ms);
+  sim.run();
+
+  std::printf("\nframes take ~10 ms (the budget), pings take microseconds —\n"
+              "deadline scheduling, not FIFO order, decides. out-of-order "
+              "deliveries: %llu\n",
+              static_cast<unsigned long long>(receiver.out_of_order_deliveries()));
+  return 0;
+}

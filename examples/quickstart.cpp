@@ -1,0 +1,55 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end use of the dqos library: build the paper's platform
+/// (scaled down by default; pass --paper for the full 128-endpoint MIN),
+/// offer the Table 1 traffic mix at 80% load through the Advanced 2 VCs
+/// architecture, and print the per-class QoS indices of §5.
+///
+///   ./quickstart [--paper]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/network_simulator.hpp"
+#include "util/table.hpp"
+
+using namespace dqos;
+
+int main(int argc, char** argv) {
+  const bool paper_scale = has_flag(argc, argv, "--paper");
+  SimConfig cfg = paper_scale ? SimConfig::paper(SwitchArch::kAdvanced2Vc, 0.8)
+                              : SimConfig::small(SwitchArch::kAdvanced2Vc, 0.8);
+
+  std::printf("dqos quickstart: %u hosts, %s, load %.0f%%\n", cfg.num_hosts(),
+              std::string(to_string(cfg.arch)).c_str(), cfg.load * 100.0);
+
+  NetworkSimulator net(cfg);
+  std::printf("topology: %s, %u switches, %llu flows admitted\n",
+              net.topology().name().c_str(), net.num_switches(),
+              static_cast<unsigned long long>(net.admission().admitted_flows()));
+
+  const SimReport rep = net.run();
+
+  TableWriter table({"class", "packets", "avg latency [us]", "p99 [us]",
+                     "jitter [us]", "throughput [MB/s]", "offered [MB/s]"});
+  for (const TrafficClass c : all_traffic_classes()) {
+    const ClassReport& r = rep.of(c);
+    table.row({std::string(to_string(c)), TableWriter::num(r.packets),
+               TableWriter::num(r.avg_packet_latency_us, 1),
+               TableWriter::num(r.p99_packet_latency_us, 1),
+               TableWriter::num(r.jitter_us, 1),
+               TableWriter::num(r.throughput_bytes_per_sec / 1e6, 1),
+               TableWriter::num(r.offered_bytes_per_sec / 1e6, 1)});
+  }
+  table.print(stdout);
+
+  std::printf("\nvideo frames delivered: %llu, avg frame latency %.2f ms "
+              "(budget: %.0f ms)\n",
+              static_cast<unsigned long long>(rep.of(TrafficClass::kMultimedia).messages),
+              rep.of(TrafficClass::kMultimedia).avg_message_latency_us / 1000.0,
+              cfg.video_frame_budget.ms());
+  std::printf("order errors: %llu, take-overs: %llu, out-of-order: %llu "
+              "(must be 0)\n",
+              static_cast<unsigned long long>(rep.order_errors),
+              static_cast<unsigned long long>(rep.takeovers),
+              static_cast<unsigned long long>(rep.out_of_order));
+  return rep.out_of_order == 0 ? 0 : 1;
+}

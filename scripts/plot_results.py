@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plot dqos benchmark CSVs (the files the bench binaries drop in CWD).
+
+Usage:
+  python3 scripts/plot_results.py [--dir DIR] [--out DIR]
+
+Reads any of:
+  fig2_latency.csv / fig2_throughput.csv   (bench_fig2_control)
+  fig3_latency.csv                         (bench_fig3_video)
+  fig4_besteffort.csv / fig4_background.csv (bench_fig4_besteffort)
+and writes PNG plots mirroring the paper's Figures 2-4. Requires
+matplotlib; exits gracefully (listing what it found) if it is missing.
+"""
+import argparse
+import csv
+import os
+import sys
+
+
+def read_series(path):
+    """Returns (labels, rows) where rows are (x, [y per label])."""
+    with open(path) as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        labels = header[1:]
+        rows = []
+        for row in reader:
+            if not row:
+                continue
+            rows.append((float(row[0]), [float(v) for v in row[1:]]))
+    return labels, rows
+
+
+SPECS = [
+    ("fig2_latency.csv", "Figure 2a: Control avg latency vs load",
+     "input load", "latency [us]", "log"),
+    ("fig2_throughput.csv", "Figure 2b: Control throughput vs load",
+     "input load", "delivered/offered", "linear"),
+    ("fig3_latency.csv", "Figure 3a: Video frame latency vs load",
+     "input load", "frame latency [ms]", "linear"),
+    ("fig4_besteffort.csv", "Figure 4a: Best-effort throughput vs load",
+     "input load", "delivered/offered", "linear"),
+    ("fig4_background.csv", "Figure 4b: Background throughput vs load",
+     "input load", "delivered/offered", "linear"),
+]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--dir", default=".", help="directory containing the CSVs")
+    ap.add_argument("--out", default=".", help="output directory for PNGs")
+    args = ap.parse_args()
+
+    found = [(f, *rest) for (f, *rest) in SPECS
+             if os.path.exists(os.path.join(args.dir, f))]
+    if not found:
+        print("no dqos CSVs found in", args.dir)
+        print("run the bench binaries first (they write CSVs to their CWD)")
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; found but cannot plot:")
+        for f, *_ in found:
+            print("  ", f)
+        return 1
+
+    os.makedirs(args.out, exist_ok=True)
+    for fname, title, xlabel, ylabel, yscale in found:
+        labels, rows = read_series(os.path.join(args.dir, fname))
+        fig, ax = plt.subplots(figsize=(6, 4))
+        xs = [r[0] for r in rows]
+        for i, label in enumerate(labels):
+            ax.plot(xs, [r[1][i] for r in rows], marker="o", label=label)
+        ax.set_title(title)
+        ax.set_xlabel(xlabel)
+        ax.set_ylabel(ylabel)
+        ax.set_yscale(yscale)
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8)
+        out = os.path.join(args.out, fname.replace(".csv", ".png"))
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print("wrote", out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

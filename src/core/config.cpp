@@ -1,0 +1,63 @@
+#include "core/config.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+std::uint32_t SimConfig::num_hosts() const {
+  switch (topology) {
+    case TopologyKind::kFoldedClos: return num_leaves * hosts_per_leaf;
+    case TopologyKind::kKaryNTree: {
+      std::uint32_t n = 1;
+      for (std::uint32_t i = 0; i < kary_n; ++i) n *= kary_k;
+      return n;
+    }
+    case TopologyKind::kSingleSwitch: return single_switch_hosts;
+    case TopologyKind::kMesh2D: return mesh_width * mesh_height * mesh_concentration;
+  }
+  DQOS_ASSERT(false);
+  return 0;
+}
+
+void SimConfig::validate() const {
+  DQOS_EXPECTS(num_hosts() >= 2);
+  DQOS_EXPECTS(load > 0.0 && load <= 2.0);
+  DQOS_EXPECTS(num_vcs >= 1 && num_vcs <= 8);
+  DQOS_EXPECTS(vc_weights.empty() || vc_weights.size() == num_vcs);
+  DQOS_EXPECTS(link_bw.valid());
+  DQOS_EXPECTS(buffer_bytes_per_vc >= mtu_bytes + kHeaderBytes);
+  DQOS_EXPECTS(warmup >= Duration::zero() && measure > Duration::zero());
+  double share_sum = 0.0;
+  for (const double s : class_share) {
+    DQOS_EXPECTS(s >= 0.0);
+    share_sum += s;
+  }
+  // > 1.0 deliberately oversubscribes (Fig. 4 stresses the unregulated
+  // classes); cap at 2x to catch unit mistakes.
+  DQOS_EXPECTS(share_sum <= 2.0 + 1e-9);
+  DQOS_EXPECTS(best_effort_weight > 0.0 && background_weight > 0.0);
+}
+
+SimConfig SimConfig::paper(SwitchArch arch, double load) {
+  SimConfig cfg;
+  cfg.arch = arch;
+  cfg.load = load;
+  return cfg;
+}
+
+SimConfig SimConfig::small(SwitchArch arch, double load) {
+  SimConfig cfg;
+  cfg.arch = arch;
+  cfg.load = load;
+  cfg.num_leaves = 4;
+  cfg.hosts_per_leaf = 8;
+  cfg.num_spines = 8;
+  cfg.warmup = Duration::milliseconds(1);
+  cfg.measure = Duration::milliseconds(10);
+  cfg.drain = Duration::milliseconds(2);
+  return cfg;
+}
+
+}  // namespace dqos

@@ -1,0 +1,102 @@
+/// \file config.hpp
+/// Complete configuration of one simulation run. Defaults reproduce the
+/// paper's platform (§4.1): 128 endpoints in a folded perfect-shuffle
+/// butterfly MIN of 16-port switches, 8 Gb/s links, 2 VCs, 8 KB buffer per
+/// VC, credit flow control, and the Table 1 traffic mix (four classes at
+/// 25% of the offered load each).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "switchfab/switch.hpp"
+#include "traffic/patterns.hpp"
+#include "traffic/video_source.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+enum class TopologyKind : std::uint8_t {
+  kFoldedClos = 0,   ///< the paper's MIN (num_leaves x hosts_per_leaf, spines)
+  kKaryNTree = 1,    ///< deeper-network ablation
+  kSingleSwitch = 2, ///< isolation tests
+  kMesh2D = 3,       ///< direct-network extension (XY routing)
+};
+
+struct SimConfig {
+  // --- platform (§4.1) ---
+  TopologyKind topology = TopologyKind::kFoldedClos;
+  std::uint32_t num_leaves = 16;
+  std::uint32_t hosts_per_leaf = 8;
+  std::uint32_t num_spines = 8;
+  std::uint32_t kary_k = 4;  ///< kKaryNTree parameters
+  std::uint32_t kary_n = 2;
+  std::uint32_t single_switch_hosts = 16;
+  std::uint32_t mesh_width = 4;   ///< kMesh2D parameters
+  std::uint32_t mesh_height = 4;
+  std::uint32_t mesh_concentration = 2;
+
+  SwitchArch arch = SwitchArch::kAdvanced2Vc;
+  std::uint8_t num_vcs = 2;
+  std::vector<std::uint32_t> vc_weights;  ///< Traditional multi-VC table (A5)
+  std::uint32_t buffer_bytes_per_vc = 8 * 1024;
+  /// A10: per-decision latency of heap buffers (Ideal architecture only).
+  Duration heap_op_latency = Duration::zero();
+  Bandwidth link_bw = Bandwidth::from_gbps(8.0);
+  Duration link_latency = Duration::nanoseconds(100);  ///< wire + hop processing
+  std::uint32_t mtu_bytes = 2048;
+
+  // --- workload (Table 1) ---
+  /// Offered input load as a fraction of each host's injection bandwidth.
+  double load = 1.0;
+  /// Class shares of the offered load (Control, Multimedia, BE, Background).
+  std::array<double, kNumTrafficClasses> class_share = {0.25, 0.25, 0.25, 0.25};
+  bool enable_control = true;
+  bool enable_video = true;
+  bool enable_best_effort = true;
+  bool enable_background = true;
+  VideoParams video;  ///< per-flow MPEG-4 model (3 MB/s, 40 ms, 1-120 KB)
+  /// Non-empty: drive multimedia from a frame-size trace file instead of
+  /// the synthetic GoP model (one frame size per line; see
+  /// data/mpeg4_sample.trace). Streams share the trace with random phases.
+  std::string video_trace_path;
+  /// Spatial destination pattern for control and unregulated traffic
+  /// (video pairings also follow it). Default: uniform (the paper's).
+  PatternParams pattern;
+  Duration video_frame_budget = Duration::milliseconds(10);  ///< §3.1 target
+  bool video_eligible_time = true;
+  Duration eligible_lead = Duration::microseconds(20);
+  /// Deadline-bandwidth weights for the two unregulated classes (Fig. 4:
+  /// EDF architectures differentiate classes sharing a VC by these).
+  double best_effort_weight = 2.0;
+  double background_weight = 1.0;
+  double reservable_fraction = 1.0;
+
+  // --- clocks (§3.3) ---
+  /// Each node gets a local-clock offset uniform in [0, max_clock_skew]
+  /// (0 = perfectly synchronized). Results must not depend on it.
+  Duration max_clock_skew = Duration::zero();
+
+  // --- run control ---
+  std::uint64_t seed = 1;
+  /// Periodic probe sampling of fabric occupancy and injection rate into
+  /// TimeSeries (SimReport::queue_depth / injected_bytes). Zero = off.
+  Duration probe_interval = Duration::zero();
+  Duration warmup = Duration::milliseconds(2);
+  Duration measure = Duration::milliseconds(20);
+  Duration drain = Duration::milliseconds(3);
+
+  /// Number of hosts implied by the topology settings.
+  [[nodiscard]] std::uint32_t num_hosts() const;
+  /// Aborts (contract) on inconsistent settings.
+  void validate() const;
+
+  /// The paper's exact evaluation platform at the given offered load.
+  static SimConfig paper(SwitchArch arch, double load);
+  /// A scaled-down platform (32 hosts) for fast tests and default benches.
+  static SimConfig small(SwitchArch arch, double load);
+};
+
+}  // namespace dqos

@@ -1,0 +1,193 @@
+#include "core/config_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dqos {
+namespace {
+
+std::vector<std::uint32_t> parse_weight_list(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(static_cast<std::uint32_t>(std::strtoul(item.c_str(), nullptr, 10)));
+    }
+  }
+  return out;
+}
+
+std::string arch_key(SwitchArch a) {
+  switch (a) {
+    case SwitchArch::kTraditional2Vc: return "traditional";
+    case SwitchArch::kIdeal: return "ideal";
+    case SwitchArch::kSimple2Vc: return "simple";
+    case SwitchArch::kAdvanced2Vc: return "advanced";
+  }
+  return "?";
+}
+
+std::string topology_key(TopologyKind t) {
+  switch (t) {
+    case TopologyKind::kFoldedClos: return "clos";
+    case TopologyKind::kKaryNTree: return "kary";
+    case TopologyKind::kSingleSwitch: return "single";
+    case TopologyKind::kMesh2D: return "mesh";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::optional<SwitchArch> parse_arch(const std::string& name) {
+  if (name == "traditional" || name == "trad") return SwitchArch::kTraditional2Vc;
+  if (name == "ideal") return SwitchArch::kIdeal;
+  if (name == "simple") return SwitchArch::kSimple2Vc;
+  if (name == "advanced" || name == "takeover") return SwitchArch::kAdvanced2Vc;
+  return std::nullopt;
+}
+
+std::optional<TopologyKind> parse_topology(const std::string& name) {
+  if (name == "clos" || name == "min" || name == "butterfly") {
+    return TopologyKind::kFoldedClos;
+  }
+  if (name == "kary" || name == "tree") return TopologyKind::kKaryNTree;
+  if (name == "single") return TopologyKind::kSingleSwitch;
+  if (name == "mesh") return TopologyKind::kMesh2D;
+  return std::nullopt;
+}
+
+SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
+  if (const auto a = args.get("arch")) {
+    if (const auto parsed = parse_arch(*a)) cfg.arch = *parsed;
+  }
+  if (const auto t = args.get("topology")) {
+    if (const auto parsed = parse_topology(*t)) cfg.topology = *parsed;
+  }
+  auto u32 = [&](const char* key, std::uint32_t cur) {
+    return static_cast<std::uint32_t>(args.get_int(key, cur));
+  };
+  cfg.num_leaves = u32("leaves", cfg.num_leaves);
+  cfg.hosts_per_leaf = u32("hosts-per-leaf", cfg.hosts_per_leaf);
+  cfg.num_spines = u32("spines", cfg.num_spines);
+  cfg.kary_k = u32("kary-k", cfg.kary_k);
+  cfg.kary_n = u32("kary-n", cfg.kary_n);
+  cfg.single_switch_hosts = u32("hosts", cfg.single_switch_hosts);
+  cfg.mesh_width = u32("mesh-width", cfg.mesh_width);
+  cfg.mesh_height = u32("mesh-height", cfg.mesh_height);
+  cfg.mesh_concentration = u32("mesh-concentration", cfg.mesh_concentration);
+
+  cfg.load = args.get_double("load", cfg.load);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.num_vcs = static_cast<std::uint8_t>(args.get_int("vcs", cfg.num_vcs));
+  if (const auto w = args.get("vc-weights")) cfg.vc_weights = parse_weight_list(*w);
+  cfg.buffer_bytes_per_vc = u32("buffer", cfg.buffer_bytes_per_vc);
+  cfg.mtu_bytes = u32("mtu", cfg.mtu_bytes);
+  if (args.has("link-gbps")) {
+    cfg.link_bw = Bandwidth::from_gbps(args.get_double("link-gbps", cfg.link_bw.gbps()));
+  }
+  if (args.has("heap-op-ns")) {
+    cfg.heap_op_latency =
+        Duration::nanoseconds(args.get_int("heap-op-ns", 0));
+  }
+  if (args.has("link-latency-ns")) {
+    cfg.link_latency =
+        Duration::nanoseconds(args.get_int("link-latency-ns", cfg.link_latency.ps() / 1000));
+  }
+
+  cfg.warmup = Duration::from_seconds_double(
+      args.get_double("warmup-ms", cfg.warmup.ms()) / 1e3);
+  cfg.measure = Duration::from_seconds_double(
+      args.get_double("measure-ms", cfg.measure.ms()) / 1e3);
+  cfg.drain = Duration::from_seconds_double(
+      args.get_double("drain-ms", cfg.drain.ms()) / 1e3);
+
+  cfg.enable_control = !args.get_bool("no-control", !cfg.enable_control);
+  cfg.enable_video = !args.get_bool("no-video", !cfg.enable_video);
+  cfg.enable_best_effort = !args.get_bool("no-besteffort", !cfg.enable_best_effort);
+  cfg.enable_background = !args.get_bool("no-background", !cfg.enable_background);
+
+  if (const auto trace = args.get("video-trace")) cfg.video_trace_path = *trace;
+  if (args.has("video-rate-mbs")) {
+    cfg.video.mean_bytes_per_sec = args.get_double("video-rate-mbs", 3.0) * 1e6;
+  }
+  cfg.video_frame_budget = Duration::from_seconds_double(
+      args.get_double("frame-budget-ms", cfg.video_frame_budget.ms()) / 1e3);
+  cfg.video_eligible_time = !args.get_bool("no-eligible", !cfg.video_eligible_time);
+  cfg.eligible_lead = Duration::from_seconds_double(
+      args.get_double("eligible-lead-us", cfg.eligible_lead.us()) / 1e6);
+  cfg.best_effort_weight = args.get_double("be-weight", cfg.best_effort_weight);
+  cfg.background_weight = args.get_double("bg-weight", cfg.background_weight);
+  cfg.max_clock_skew = Duration::from_seconds_double(
+      args.get_double("skew-us", cfg.max_clock_skew.us()) / 1e6);
+
+  if (const auto p = args.get("pattern")) {
+    if (*p == "uniform") cfg.pattern.kind = PatternKind::kUniform;
+    else if (*p == "hotspot") cfg.pattern.kind = PatternKind::kHotSpot;
+    else if (*p == "bit-complement") cfg.pattern.kind = PatternKind::kBitComplement;
+    else if (*p == "transpose") cfg.pattern.kind = PatternKind::kTranspose;
+    else if (*p == "tornado") cfg.pattern.kind = PatternKind::kTornado;
+    else if (*p == "permutation") cfg.pattern.kind = PatternKind::kPermutation;
+  }
+  cfg.pattern.hotspot_fraction =
+      args.get_double("hotspot-fraction", cfg.pattern.hotspot_fraction);
+  cfg.pattern.hotspot_node = static_cast<NodeId>(
+      args.get_int("hotspot-node", cfg.pattern.hotspot_node));
+
+  cfg.validate();
+  return cfg;
+}
+
+std::string config_to_string(const SimConfig& cfg) {
+  std::ostringstream out;
+  out << "# dqos simulation configuration\n";
+  out << "arch=" << arch_key(cfg.arch) << "\n";
+  out << "topology=" << topology_key(cfg.topology) << "\n";
+  out << "leaves=" << cfg.num_leaves << "\n";
+  out << "hosts-per-leaf=" << cfg.hosts_per_leaf << "\n";
+  out << "spines=" << cfg.num_spines << "\n";
+  out << "kary-k=" << cfg.kary_k << "\n";
+  out << "kary-n=" << cfg.kary_n << "\n";
+  out << "hosts=" << cfg.single_switch_hosts << "\n";
+  out << "mesh-width=" << cfg.mesh_width << "\n";
+  out << "mesh-height=" << cfg.mesh_height << "\n";
+  out << "mesh-concentration=" << cfg.mesh_concentration << "\n";
+  out << "load=" << cfg.load << "\n";
+  out << "seed=" << cfg.seed << "\n";
+  out << "vcs=" << static_cast<int>(cfg.num_vcs) << "\n";
+  if (!cfg.vc_weights.empty()) {
+    out << "vc-weights=";
+    for (std::size_t i = 0; i < cfg.vc_weights.size(); ++i) {
+      out << (i ? "," : "") << cfg.vc_weights[i];
+    }
+    out << "\n";
+  }
+  out << "buffer=" << cfg.buffer_bytes_per_vc << "\n";
+  out << "mtu=" << cfg.mtu_bytes << "\n";
+  out << "link-gbps=" << cfg.link_bw.gbps() << "\n";
+  out << "link-latency-ns=" << cfg.link_latency.ps() / 1000 << "\n";
+  out << "warmup-ms=" << cfg.warmup.ms() << "\n";
+  out << "measure-ms=" << cfg.measure.ms() << "\n";
+  out << "drain-ms=" << cfg.drain.ms() << "\n";
+  if (!cfg.enable_control) out << "no-control=true\n";
+  if (!cfg.enable_video) out << "no-video=true\n";
+  if (!cfg.enable_best_effort) out << "no-besteffort=true\n";
+  if (!cfg.enable_background) out << "no-background=true\n";
+  if (!cfg.video_trace_path.empty()) {
+    out << "video-trace=" << cfg.video_trace_path << "\n";
+  }
+  out << "video-rate-mbs=" << cfg.video.mean_bytes_per_sec / 1e6 << "\n";
+  out << "frame-budget-ms=" << cfg.video_frame_budget.ms() << "\n";
+  if (!cfg.video_eligible_time) out << "no-eligible=true\n";
+  out << "eligible-lead-us=" << cfg.eligible_lead.us() << "\n";
+  out << "be-weight=" << cfg.best_effort_weight << "\n";
+  out << "bg-weight=" << cfg.background_weight << "\n";
+  out << "skew-us=" << cfg.max_clock_skew.us() << "\n";
+  out << "pattern=" << to_string(cfg.pattern.kind) << "\n";
+  out << "hotspot-fraction=" << cfg.pattern.hotspot_fraction << "\n";
+  out << "hotspot-node=" << cfg.pattern.hotspot_node << "\n";
+  return out.str();
+}
+
+}  // namespace dqos

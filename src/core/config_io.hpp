@@ -1,0 +1,36 @@
+/// \file config_io.hpp
+/// SimConfig <-> command line / config file mapping, so every bench,
+/// example and the dqos_sim tool accept one uniform set of switches:
+///
+///   --arch=traditional|ideal|simple|advanced   --load=0.8
+///   --topology=clos|kary|single  --leaves=16 --hosts-per-leaf=8 --spines=8
+///   --kary-k=4 --kary-n=2  --hosts=16
+///   --vcs=2 --vc-weights=8,4,2,1 --buffer=8192 --speedup=2.0
+///   --link-gbps=8 --link-latency-ns=100 --mtu=2048
+///   --measure-ms=20 --warmup-ms=2 --drain-ms=3 --seed=1
+///   --no-video --no-control --no-besteffort --no-background
+///   --video-rate-mbs=3 --frame-budget-ms=10 --no-eligible
+///   --eligible-lead-us=20 --be-weight=2 --bg-weight=1 --skew-us=0
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "util/cli.hpp"
+
+namespace dqos {
+
+[[nodiscard]] std::optional<SwitchArch> parse_arch(const std::string& name);
+[[nodiscard]] std::optional<TopologyKind> parse_topology(const std::string& name);
+
+/// Overlays recognized keys from `args` onto `base` and validates.
+/// Unrecognized keys are ignored (callers may use extra keys themselves).
+[[nodiscard]] SimConfig config_from_args(const ArgParser& args,
+                                         SimConfig base = SimConfig{});
+
+/// Serializes a SimConfig to `key=value` lines accepted back by
+/// ArgParser::load_file + config_from_args (round-trippable).
+[[nodiscard]] std::string config_to_string(const SimConfig& cfg);
+
+}  // namespace dqos

@@ -1,0 +1,54 @@
+/// \file experiment.hpp
+/// Experiment-runner helpers shared by the benchmark harnesses (bench/):
+/// architecture x load sweeps, paper-style table printing, and CSV export.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/network_simulator.hpp"
+#include "util/table.hpp"
+
+namespace dqos {
+
+struct SweepPoint {
+  SwitchArch arch;
+  double load;
+  SimReport report;
+};
+
+/// Runs `base` for every (arch, load) combination. `tweak` (optional) can
+/// adjust the config per point before the run. Progress goes to stderr.
+std::vector<SweepPoint> run_sweep(
+    const SimConfig& base, std::span<const SwitchArch> archs,
+    std::span<const double> loads,
+    const std::function<void(SimConfig&)>& tweak = nullptr);
+
+/// Metric accessor: one number out of a report (e.g. control avg latency).
+using MetricFn = std::function<double(const SimReport&)>;
+
+/// Prints a figure-style series table: rows = load, one column per
+/// architecture, values from `metric`. Optionally mirrors to CSV.
+void print_series(std::FILE* out, const std::vector<SweepPoint>& points,
+                  const std::string& title, const std::string& unit,
+                  const MetricFn& metric, int precision = 1,
+                  const std::string& csv_path = {});
+
+/// Prints the CDF of a latency sample set, paper Fig 2/3 style.
+void print_cdf(std::FILE* out, const SampleSet& samples, const std::string& title,
+               std::size_t points = 20, const std::string& csv_path = {});
+
+/// Common metric accessors.
+double control_latency_us(const SimReport& r);
+double control_throughput_frac(const SimReport& r);
+double video_frame_latency_ms(const SimReport& r);
+double best_effort_throughput_frac(const SimReport& r);
+double background_throughput_frac(const SimReport& r);
+
+/// True if `--paper` (full 128-endpoint scale) was passed.
+bool has_flag(int argc, char** argv, std::string_view flag);
+
+}  // namespace dqos

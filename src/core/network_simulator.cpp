@@ -1,0 +1,372 @@
+#include "core/network_simulator.hpp"
+
+#include <cmath>
+
+#include "topo/kary_ntree.hpp"
+#include "topo/mesh2d.hpp"
+#include "topo/single_switch.hpp"
+#include "topo/two_level_clos.hpp"
+#include "traffic/control_source.hpp"
+#include "traffic/selfsimilar_source.hpp"
+#include "traffic/video_source.hpp"
+#include "traffic/video_trace.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace dqos {
+namespace {
+
+std::array<VcId, kNumTrafficClasses> class_vc_map(std::uint8_t num_vcs) {
+  switch (num_vcs) {
+    case 1: return {0, 0, 0, 0};
+    case 2: return {0, 0, 1, 1};
+    case 3: return {0, 0, 1, 2};
+    default: return {0, 1, 2, 3};  // one VC per class (A5)
+  }
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(const SimConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), metrics_(std::make_shared<MetricsCollector>()) {
+  cfg_.validate();
+  build_topology();
+  build_nodes();
+  build_channels();
+  build_workload();
+}
+
+NetworkSimulator::~NetworkSimulator() = default;
+
+void NetworkSimulator::build_topology() {
+  switch (cfg_.topology) {
+    case TopologyKind::kFoldedClos:
+      topo_ = make_two_level_clos(cfg_.num_leaves, cfg_.hosts_per_leaf,
+                                  cfg_.num_spines);
+      break;
+    case TopologyKind::kKaryNTree:
+      topo_ = make_kary_ntree(cfg_.kary_k, cfg_.kary_n);
+      break;
+    case TopologyKind::kSingleSwitch:
+      topo_ = make_single_switch(cfg_.single_switch_hosts);
+      break;
+    case TopologyKind::kMesh2D:
+      topo_ = make_mesh2d(cfg_.mesh_width, cfg_.mesh_height,
+                          cfg_.mesh_concentration);
+      break;
+  }
+  admission_ = std::make_unique<AdmissionController>(*topo_, cfg_.link_bw,
+                                                     cfg_.reservable_fraction);
+  admission_->set_class_vc_map(class_vc_map(cfg_.num_vcs));
+  pattern_ = make_pattern(cfg_.pattern, topo_->num_hosts());
+}
+
+void NetworkSimulator::build_nodes() {
+  Rng clock_rng = rng_.split(0x10c);
+  auto draw_offset = [&]() -> Duration {
+    if (cfg_.max_clock_skew <= Duration::zero()) return Duration::zero();
+    return Duration::picoseconds(static_cast<std::int64_t>(
+        clock_rng.uniform_int(0, static_cast<std::uint64_t>(cfg_.max_clock_skew.ps()))));
+  };
+
+  SwitchParams sw;
+  sw.arch = cfg_.arch;
+  sw.num_vcs = cfg_.num_vcs;
+  sw.buffer_bytes_per_vc = cfg_.buffer_bytes_per_vc;
+  sw.vc_weights = cfg_.vc_weights;
+  sw.heap_op_latency = cfg_.heap_op_latency;
+  switches_.reserve(topo_->num_switches());
+  for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
+    const NodeId id = topo_->switch_id(s);
+    switches_.push_back(std::make_unique<Switch>(
+        sim_, id, topo_->num_ports(id), sw, LocalClock(draw_offset())));
+  }
+
+  HostParams hp;
+  hp.num_vcs = cfg_.num_vcs;
+  hp.mtu_bytes = cfg_.mtu_bytes;
+  hp.edf_queues = cfg_.arch != SwitchArch::kTraditional2Vc;
+  hp.vc_weights = cfg_.vc_weights;
+  hosts_.reserve(topo_->num_hosts());
+  for (NodeId h = 0; h < topo_->num_hosts(); ++h) {
+    hosts_.push_back(
+        std::make_unique<Host>(sim_, h, hp, LocalClock(draw_offset()), pool_));
+    hosts_.back()->set_packet_callback(
+        [m = metrics_.get()](const Packet& p, TimePoint now, Duration slack) {
+          m->on_packet_delivered(p, now, slack);
+        });
+    hosts_.back()->set_message_callback(
+        [m = metrics_.get()](const MessageDelivered& d) {
+          m->on_message_delivered(d.tclass, d.created, d.bytes, d.completed);
+        });
+  }
+}
+
+void NetworkSimulator::build_channels() {
+  // One directed channel per (node, port) with a wired peer.
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+    for (PortId p = 0; p < topo_->num_ports(n); ++p) {
+      const Endpoint peer = topo_->peer(n, p);
+      if (!peer.valid()) continue;
+      channels_.push_back(std::make_unique<Channel>(
+          sim_, cfg_.link_bw, cfg_.link_latency, cfg_.num_vcs,
+          cfg_.buffer_bytes_per_vc));
+      Channel* ch = channels_.back().get();
+      channel_tier_.push_back(topo_->is_host(n)
+                                  ? LinkTier::kInjection
+                                  : (topo_->is_host(peer.node) ? LinkTier::kDelivery
+                                                               : LinkTier::kFabric));
+      // Receiver side.
+      if (topo_->is_switch(peer.node)) {
+        Switch& sw = *switches_[topo_->switch_index(peer.node)];
+        ch->connect_to(&sw, peer.port);
+        sw.attach_input(peer.port, ch);
+      } else {
+        Host& host = *hosts_[peer.node];
+        ch->connect_to(&host, 0);
+        host.attach_downlink(ch);
+      }
+      // Sender side.
+      if (topo_->is_switch(n)) {
+        switches_[topo_->switch_index(n)]->attach_output(p, ch);
+      } else {
+        hosts_[n]->attach_uplink(ch);
+      }
+    }
+  }
+}
+
+double NetworkSimulator::class_rate(TrafficClass c) const {
+  return cfg_.load * cfg_.class_share[static_cast<std::size_t>(c)] *
+         cfg_.link_bw.bytes_per_sec();
+}
+
+void NetworkSimulator::build_workload() {
+  if (!cfg_.video_trace_path.empty()) {
+    video_trace_ = load_frame_trace(cfg_.video_trace_path);
+    // A configured-but-unreadable trace is a setup error, not a fallback.
+    DQOS_EXPECTS(!video_trace_.empty());
+  }
+  const std::uint32_t n = topo_->num_hosts();
+  for (NodeId h = 0; h < n; ++h) {
+    Host& host = *hosts_[h];
+    Rng host_rng = rng_.split(0xbeef0000ULL + h);
+
+    // ---- Control: latency-critical small messages to patterned peers ----
+    if (cfg_.enable_control && class_rate(TrafficClass::kControl) > 0.0) {
+      std::vector<FlowId> flows_by_dst(n, kInvalidFlow);
+      for (NodeId d = 0; d < n; ++d) {
+        if (d == h) continue;
+        FlowRequest req;
+        req.src = h;
+        req.dst = d;
+        req.tclass = TrafficClass::kControl;
+        req.policy = DeadlinePolicy::kControlLatency;
+        const auto spec = admission_->admit(req);
+        DQOS_ASSERT(spec.has_value());  // control reserves nothing
+        host.open_flow(*spec);
+        flows_by_dst[d] = spec->id;
+      }
+      ControlParams cp;
+      cp.target_bytes_per_sec = class_rate(TrafficClass::kControl);
+      sources_.push_back(std::make_unique<ControlSource>(
+          sim_, host, host_rng.split(1), metrics_.get(), std::move(flows_by_dst),
+          cp, pattern_.get()));
+    }
+
+    // ---- Multimedia: admitted MPEG-4 streams with 10 ms frame budget ----
+    if (cfg_.enable_video && class_rate(TrafficClass::kMultimedia) > 0.0) {
+      // Per-stream rate: from the trace if one is configured, else from the
+      // clamp-corrected synthetic model, so the class actually offers its
+      // Table 1 share.
+      const double realized =
+          video_trace_.empty()
+              ? VideoSource::estimate_realized_bytes_per_sec(cfg_.video,
+                                                             rng_.split(0x71de0))
+              : TraceVideoSource::trace_mean_bytes(video_trace_) /
+                    cfg_.video.frame_period.sec();
+      const auto n_streams = static_cast<std::uint32_t>(
+          std::lround(class_rate(TrafficClass::kMultimedia) / realized));
+      Rng pick = host_rng.split(2);
+      for (std::uint32_t v = 0; v < n_streams; ++v) {
+        const NodeId dst = pattern_->pick(h, pick);
+        FlowRequest req;
+        req.src = h;
+        req.dst = dst;
+        req.tclass = TrafficClass::kMultimedia;
+        req.policy = DeadlinePolicy::kFrameBudget;
+        req.reserve_bw = Bandwidth::from_bytes_per_sec(realized);
+        req.frame_budget = cfg_.video_frame_budget;
+        req.use_eligible_time = cfg_.video_eligible_time;
+        req.eligible_lead = cfg_.eligible_lead;
+        const auto spec = admission_->admit(req);
+        if (!spec) continue;  // network reservation exhausted
+        host.open_flow(*spec);
+        if (video_trace_.empty()) {
+          sources_.push_back(std::make_unique<VideoSource>(
+              sim_, host, pick.split(100 + v), metrics_.get(), spec->id,
+              cfg_.video));
+        } else {
+          TraceVideoParams tv;
+          tv.frame_period = cfg_.video.frame_period;
+          tv.start_frame = static_cast<std::size_t>(
+              pick.uniform_int(0, video_trace_.size() - 1));
+          sources_.push_back(std::make_unique<TraceVideoSource>(
+              sim_, host, pick.split(100 + v), metrics_.get(), spec->id,
+              &video_trace_, tv));
+        }
+      }
+    }
+
+    // ---- Unregulated classes: self-similar, aggregated per class --------
+    // Deadline ("guaranteed minimum") bandwidths partition the capacity the
+    // regulated classes leave over, in proportion to the configured weights
+    // — §3: "several aggregated flows, each one with a different bandwidth
+    // to compute deadlines ... we can guarantee minimum bandwidth if we are
+    // careful assigning weights". If the clocks were allowed to outrun the
+    // arrival rates, every deadline would sit at ~now and the weights would
+    // differentiate nothing (Fig. 4 would flatten).
+    const double regulated_share =
+        cfg_.class_share[static_cast<std::size_t>(TrafficClass::kControl)] +
+        cfg_.class_share[static_cast<std::size_t>(TrafficClass::kMultimedia)];
+    const double leftover_bps =
+        std::max(0.05, 1.0 - regulated_share) * cfg_.link_bw.bytes_per_sec();
+    const double weight_sum =
+        (cfg_.enable_best_effort ? cfg_.best_effort_weight : 0.0) +
+        (cfg_.enable_background ? cfg_.background_weight : 0.0);
+    const auto add_unregulated = [&](TrafficClass tc, double weight, bool enabled,
+                                     std::uint64_t salt) {
+      const double rate = class_rate(tc);
+      if (!enabled || rate <= 0.0) return;
+      std::vector<FlowId> flows_by_dst(n, kInvalidFlow);
+      FlowId aggregate = kInvalidFlow;
+      for (NodeId d = 0; d < n; ++d) {
+        if (d == h) continue;
+        FlowRequest req;
+        req.src = h;
+        req.dst = d;
+        req.tclass = tc;
+        req.policy = DeadlinePolicy::kVirtualClock;
+        // The class's deadline weight: the "bandwidth to compute deadlines"
+        // of the aggregated flow (Fig. 4 differentiation).
+        req.deadline_bw =
+            Bandwidth::from_bytes_per_sec(leftover_bps * weight / weight_sum);
+        auto spec = admission_->admit(req);
+        DQOS_ASSERT(spec.has_value());  // no reservation -> always admitted
+        if (aggregate == kInvalidFlow) aggregate = spec->id;
+        spec->aggregate = aggregate;
+        host.open_flow(*spec);
+        flows_by_dst[d] = spec->id;
+      }
+      SelfSimilarParams sp;
+      sp.target_bytes_per_sec = rate;
+      sp.tclass = tc;
+      sources_.push_back(std::make_unique<SelfSimilarSource>(
+          sim_, host, host_rng.split(salt), metrics_.get(), std::move(flows_by_dst),
+          sp, pattern_.get()));
+    };
+    add_unregulated(TrafficClass::kBestEffort, cfg_.best_effort_weight,
+                    cfg_.enable_best_effort, 3);
+    add_unregulated(TrafficClass::kBackground, cfg_.background_weight,
+                    cfg_.enable_background, 4);
+  }
+}
+
+SimReport NetworkSimulator::run() {
+  DQOS_EXPECTS(!ran_);
+  ran_ = true;
+
+  const TimePoint t0 = sim_.now();
+  const TimePoint window_start = t0 + cfg_.warmup;
+  const TimePoint window_end = window_start + cfg_.measure;
+  metrics_->set_window(window_start, window_end);
+  for (const auto& src : sources_) src->start(window_end);
+
+  if (cfg_.probe_interval > Duration::zero()) {
+    const TimePoint probe_end = window_end + cfg_.drain;
+    const auto bins = static_cast<std::size_t>((probe_end - t0) / cfg_.probe_interval) + 1;
+    queue_depth_series_ = std::make_shared<TimeSeries>(t0, cfg_.probe_interval, bins);
+    injection_series_ = std::make_shared<TimeSeries>(t0, cfg_.probe_interval, bins);
+    // Self-rescheduling sampler. Queue depth is a snapshot per bin;
+    // injection is the byte delta since the previous sample.
+    probe_fn_ = [this, probe_end] {
+      const TimePoint now = sim_.now();
+      std::size_t queued = 0;
+      for (const auto& s : switches_) queued += s->packets_queued();
+      queue_depth_series_->add(now, static_cast<double>(queued));
+      std::uint64_t injected = 0;
+      for (const auto& h : hosts_) injected += h->bytes_injected();
+      injection_series_->add(now, static_cast<double>(injected - last_injected_bytes_));
+      last_injected_bytes_ = injected;
+      if (now + cfg_.probe_interval <= probe_end) {
+        sim_.schedule_after(cfg_.probe_interval, [this] { probe_fn_(); });
+      }
+    };
+    sim_.schedule_after(cfg_.probe_interval, [this] { probe_fn_(); });
+  }
+
+  sim_.run_until(window_end + cfg_.drain);
+
+  SimReport rep;
+  rep.arch = cfg_.arch;
+  rep.load = cfg_.load;
+  for (const TrafficClass c : all_traffic_classes()) {
+    rep.classes[static_cast<std::size_t>(c)] = metrics_->report(c);
+  }
+  rep.order_errors = total_order_errors();
+  rep.order_errors_regulated = total_order_errors_vc(kRegulatedVc);
+  rep.takeovers = total_takeovers();
+  rep.credit_stalls = total_credit_stalls();
+  for (const auto& h : hosts_) {
+    rep.out_of_order += h->out_of_order_deliveries();
+    rep.best_effort_drops += h->best_effort_drops();
+    rep.packets_injected += h->packets_injected();
+    rep.packets_delivered += h->packets_received();
+  }
+  rep.events_processed = sim_.events_processed();
+  rep.flows_admitted = admission_->admitted_flows();
+  rep.flows_rejected = admission_->rejected_flows();
+  rep.metrics = metrics_;
+  rep.queue_depth = queue_depth_series_;
+  rep.injected_bytes = injection_series_;
+
+  // Per-tier link utilization over the whole run.
+  const double elapsed_sec = (sim_.now() - t0).sec();
+  if (elapsed_sec > 0.0) {
+    std::array<StreamingStats, 3> tiers;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      tiers[static_cast<std::size_t>(channel_tier_[i])].add(
+          channels_[i]->busy_time().sec() / elapsed_sec);
+    }
+    rep.util_injection = {tiers[0].mean(), tiers[0].max()};
+    rep.util_delivery = {tiers[1].mean(), tiers[1].max()};
+    rep.util_fabric = {tiers[2].mean(), tiers[2].max()};
+  }
+  return rep;
+}
+
+std::uint64_t NetworkSimulator::total_order_errors() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : switches_) sum += s->order_errors();
+  return sum;
+}
+
+std::uint64_t NetworkSimulator::total_order_errors_vc(VcId vc) const {
+  std::uint64_t sum = 0;
+  for (const auto& s : switches_) sum += s->order_errors_vc(vc);
+  return sum;
+}
+
+std::uint64_t NetworkSimulator::total_takeovers() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : switches_) sum += s->takeovers();
+  return sum;
+}
+
+std::uint64_t NetworkSimulator::total_credit_stalls() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : switches_) sum += s->counters().credit_stalls;
+  return sum;
+}
+
+}  // namespace dqos

@@ -1,0 +1,139 @@
+/// \file network_simulator.hpp
+/// The top-level facade: builds the full platform (topology, switches,
+/// channels, hosts, admission control, Table 1 traffic) from a SimConfig,
+/// runs warm-up + measurement + drain, and returns a SimReport.
+///
+/// Typical use (see examples/quickstart.cpp):
+///
+///   SimConfig cfg = SimConfig::paper(SwitchArch::kAdvanced2Vc, 1.0);
+///   NetworkSimulator net(cfg);
+///   SimReport rep = net.run();
+///   printf("control latency: %.1f us\n",
+///          rep.classes[0].avg_packet_latency_us);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "host/host.hpp"
+#include "qos/admission.hpp"
+#include "stats/metrics.hpp"
+#include "stats/timeseries.hpp"
+#include "switchfab/switch.hpp"
+#include "topo/topology.hpp"
+#include "traffic/patterns.hpp"
+#include "traffic/source.hpp"
+
+namespace dqos {
+
+/// Results of one run.
+struct SimReport {
+  SwitchArch arch = SwitchArch::kAdvanced2Vc;
+  double load = 0.0;
+  std::array<ClassReport, kNumTrafficClasses> classes;
+
+  // network-level diagnostics
+  std::uint64_t order_errors = 0;     ///< across all switch queues
+  std::uint64_t order_errors_regulated = 0;  ///< on VC0 only
+  std::uint64_t takeovers = 0;        ///< take-over enqueues (Advanced)
+  std::uint64_t credit_stalls = 0;
+  std::uint64_t out_of_order = 0;     ///< must be 0 (paper appendix)
+  std::uint64_t best_effort_drops = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t flows_admitted = 0;
+  std::uint64_t flows_rejected = 0;
+
+  /// Full latency distributions for CDF curves (shared with the collector).
+  std::shared_ptr<const MetricsCollector> metrics;
+
+  /// Link utilization by tier (busy fraction of the whole run):
+  /// injection = host->switch, delivery = switch->host, fabric =
+  /// switch<->switch. `max` is the hottest single link of the tier.
+  struct TierUtilization {
+    double mean = 0.0;
+    double max = 0.0;
+  };
+  TierUtilization util_injection, util_delivery, util_fabric;
+
+  /// Probe series (null unless SimConfig::probe_interval > 0):
+  /// per-bin snapshots of packets queued inside switches, and per-bin bytes
+  /// injected by all hosts (burstiness of the offered aggregate).
+  std::shared_ptr<const TimeSeries> queue_depth;
+  std::shared_ptr<const TimeSeries> injected_bytes;
+
+  [[nodiscard]] const ClassReport& of(TrafficClass c) const {
+    return classes[static_cast<std::size_t>(c)];
+  }
+};
+
+class NetworkSimulator {
+ public:
+  /// Builds the entire platform; ready to run.
+  explicit NetworkSimulator(const SimConfig& cfg);
+  ~NetworkSimulator();
+  NetworkSimulator(const NetworkSimulator&) = delete;
+  NetworkSimulator& operator=(const NetworkSimulator&) = delete;
+
+  /// Starts traffic, runs warm-up + measurement + drain, returns the report.
+  /// May be called once.
+  SimReport run();
+
+  // --- component access for tests, examples and custom experiments ---
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] AdmissionController& admission() { return *admission_; }
+  [[nodiscard]] MetricsCollector& metrics() { return *metrics_; }
+  [[nodiscard]] Host& host(std::uint32_t i) { return *hosts_.at(i); }
+  [[nodiscard]] Switch& fabric_switch(std::uint32_t i) { return *switches_.at(i); }
+  [[nodiscard]] std::uint32_t num_hosts() const {
+    return static_cast<std::uint32_t>(hosts_.size());
+  }
+  [[nodiscard]] std::uint32_t num_switches() const {
+    return static_cast<std::uint32_t>(switches_.size());
+  }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  /// Sum of order errors / take-overs / credit stalls over all switches.
+  [[nodiscard]] std::uint64_t total_order_errors() const;
+  [[nodiscard]] std::uint64_t total_order_errors_vc(VcId vc) const;
+  [[nodiscard]] std::uint64_t total_takeovers() const;
+  [[nodiscard]] std::uint64_t total_credit_stalls() const;
+
+ private:
+  void build_topology();
+  void build_nodes();
+  void build_channels();
+  void build_workload();
+
+  /// Per-class offered bandwidth (bytes/s) at the configured load.
+  [[nodiscard]] double class_rate(TrafficClass c) const;
+
+  SimConfig cfg_;
+  Rng rng_;
+  // Destruction order matters: the pool must outlive every queued packet —
+  // including packets captured in pending simulator events — so the pool is
+  // declared before (destroyed after) the simulator and all node objects.
+  PacketPool pool_;
+  Simulator sim_;
+  std::unique_ptr<Topology> topo_;
+  std::shared_ptr<MetricsCollector> metrics_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<DestinationPattern> pattern_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  enum class LinkTier : std::uint8_t { kInjection, kDelivery, kFabric };
+  std::vector<LinkTier> channel_tier_;  ///< parallel to channels_
+  std::vector<std::unique_ptr<TrafficSource>> sources_;
+  std::vector<std::uint32_t> video_trace_;  ///< loaded frame sizes (optional)
+  std::shared_ptr<TimeSeries> queue_depth_series_;
+  std::shared_ptr<TimeSeries> injection_series_;
+  std::function<void()> probe_fn_;
+  std::uint64_t last_injected_bytes_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace dqos

@@ -1,0 +1,37 @@
+#include "host/deadline.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+DeadlineStamper::DeadlineStamper(const FlowSpec& spec)
+    : policy_(spec.policy),
+      deadline_bw_(spec.deadline_bw),
+      frame_budget_(spec.frame_budget) {
+  DQOS_EXPECTS(deadline_bw_.valid());
+  if (policy_ == DeadlinePolicy::kFrameBudget) {
+    DQOS_EXPECTS(frame_budget_ > Duration::zero());
+  }
+}
+
+TimePoint DeadlineStamper::stamp(TimePoint local_now, std::uint32_t wire_bytes) {
+  DQOS_EXPECTS(policy_ != DeadlinePolicy::kFrameBudget);
+  last_deadline_ =
+      max(last_deadline_, local_now) + deadline_bw_.transfer_time(wire_bytes);
+  return last_deadline_;
+}
+
+void DeadlineStamper::begin_frame(std::uint16_t parts) {
+  DQOS_EXPECTS(policy_ == DeadlinePolicy::kFrameBudget);
+  DQOS_EXPECTS(parts > 0);
+  per_packet_budget_ = frame_budget_ / parts;
+}
+
+TimePoint DeadlineStamper::stamp_frame_packet(TimePoint local_now) {
+  DQOS_EXPECTS(policy_ == DeadlinePolicy::kFrameBudget);
+  DQOS_EXPECTS(per_packet_budget_ > Duration::zero());
+  last_deadline_ = max(last_deadline_, local_now) + per_packet_budget_;
+  return last_deadline_;
+}
+
+}  // namespace dqos

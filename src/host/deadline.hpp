@@ -1,0 +1,48 @@
+/// \file deadline.hpp
+/// Per-flow deadline computation at the source host (§3.1).
+///
+/// The stamper owns the single piece of per-flow state the scheme needs:
+/// the previous packet's deadline D(P_{i-1}). Three policies:
+///
+///   Virtual Clock:  D(P_i) = max(D(P_{i-1}), T_now) + L(P_i) / BW_avg
+///   Control:        same, with BW_avg = link bandwidth (max priority,
+///                   no admission)
+///   Frame budget:   D(P_i) = max(D(P_{i-1}), T_now) + budget / Parts(F_i)
+///                   so a frame of any size completes ~budget after arrival
+///                   with a smooth packet distribution.
+///
+/// All times are in the *source host's local clock* domain; deadlines leave
+/// the host as TTD (§3.3).
+#pragma once
+
+#include "qos/flow.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+class DeadlineStamper {
+ public:
+  explicit DeadlineStamper(const FlowSpec& spec);
+
+  /// Per-packet deadline under kVirtualClock / kControlLatency.
+  TimePoint stamp(TimePoint local_now, std::uint32_t wire_bytes);
+
+  /// Starts a new application frame of `parts` network packets
+  /// (kFrameBudget only).
+  void begin_frame(std::uint16_t parts);
+
+  /// Deadline of the next packet of the current frame (kFrameBudget only).
+  TimePoint stamp_frame_packet(TimePoint local_now);
+
+  [[nodiscard]] TimePoint last_deadline() const { return last_deadline_; }
+  [[nodiscard]] DeadlinePolicy policy() const { return policy_; }
+
+ private:
+  DeadlinePolicy policy_;
+  Bandwidth deadline_bw_;
+  Duration frame_budget_;
+  Duration per_packet_budget_ = Duration::zero();  ///< budget / Parts(F)
+  TimePoint last_deadline_;                        ///< D(P_{i-1})
+};
+
+}  // namespace dqos

@@ -1,0 +1,290 @@
+#include "host/host.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+Host::Host(Simulator& sim, NodeId id, const HostParams& params, LocalClock clock,
+           PacketPool& pool)
+    : sim_(sim),
+      id_(id),
+      params_(params),
+      clock_(clock),
+      pool_(pool),
+      next_packet_id_(static_cast<std::uint64_t>(id) << 40) {
+  DQOS_EXPECTS(params.num_vcs >= 1);
+  DQOS_EXPECTS(params.mtu_bytes > kHeaderBytes);
+  DQOS_EXPECTS(params.vc_weights.empty() ||
+               params.vc_weights.size() == params.num_vcs);
+  ready_q_.resize(params.num_vcs);
+  fifo_q_.resize(params.num_vcs);
+  vc_policy_ = params.vc_weights.empty()
+                   ? std::unique_ptr<VcSelectionPolicy>(
+                         std::make_unique<StrictPriorityVcPolicy>(params.num_vcs))
+                   : std::unique_ptr<VcSelectionPolicy>(
+                         std::make_unique<WeightedVcPolicy>(params.vc_weights));
+}
+
+void Host::attach_uplink(Channel* to_switch) {
+  DQOS_EXPECTS(to_switch != nullptr && uplink_ == nullptr);
+  uplink_ = to_switch;
+  uplink_->set_on_credit([this] { pump(); });
+}
+
+void Host::attach_downlink(Channel* from_switch) {
+  DQOS_EXPECTS(from_switch != nullptr && downlink_ == nullptr);
+  downlink_ = from_switch;
+}
+
+void Host::open_flow(const FlowSpec& spec) {
+  DQOS_EXPECTS(spec.id != kInvalidFlow);
+  DQOS_EXPECTS(spec.src == id_);
+  DQOS_EXPECTS(spec.vc < params_.num_vcs);
+  const FlowId skey = spec.aggregate != kInvalidFlow ? spec.aggregate : spec.id;
+  FlowState state{spec, skey, 0, 1, nullptr};
+  if (spec.police) {
+    DQOS_EXPECTS(spec.reserve_bw.valid());
+    const auto burst = static_cast<std::uint64_t>(
+        spec.reserve_bw.bytes_per_sec() * spec.police_burst.sec());
+    state.policer = std::make_unique<TokenBucket>(
+        spec.reserve_bw, std::max<std::uint64_t>(burst, 128 * 1024));
+  }
+  const bool inserted = flows_.emplace(spec.id, std::move(state)).second;
+  DQOS_EXPECTS(inserted);
+  stampers_.try_emplace(skey, DeadlineStamper(spec));
+}
+
+void Host::push_entry(MinHeap& h, TimePoint key, PacketPtr p) {
+  h.push_back(QEntry{key, next_qseq_++, std::move(p)});
+  std::push_heap(h.begin(), h.end(), std::greater<>{});
+}
+
+PacketPtr Host::pop_entry(MinHeap& h) {
+  DQOS_EXPECTS(!h.empty());
+  std::pop_heap(h.begin(), h.end(), std::greater<>{});
+  PacketPtr p = std::move(h.back().pkt);
+  h.pop_back();
+  return p;
+}
+
+bool Host::submit(FlowId flow, std::uint64_t bytes) {
+  DQOS_EXPECTS(bytes > 0);
+  const auto it = flows_.find(flow);
+  DQOS_EXPECTS(it != flows_.end());
+  FlowState& fs = it->second;
+  const VcId vc = fs.spec.vc;
+
+  // Ingress policing (A9): a reserved flow may not exceed its reservation;
+  // non-conformant messages are shed before they can poison the regulated
+  // VC's buffers and deadlines.
+  if (fs.policer &&
+      !fs.policer->try_consume(bytes, clock_.local_now(sim_.now()))) {
+    ++policed_drops_;
+    if (tracer_) tracer_->record_drop(sim_.now(), flow, fs.spec.tclass, id_);
+    return false;
+  }
+
+  // Unregulated traffic has no delivery guarantee (§3): shed the whole
+  // message if the NIC backlog for its VC is past the cap.
+  if (vc != kRegulatedVc) {
+    const std::size_t backlog = ready_q_[vc].size() + fifo_q_[vc].size();
+    if (backlog >= params_.best_effort_queue_cap) {
+      ++be_drops_;
+      if (tracer_) tracer_->record_drop(sim_.now(), flow, fs.spec.tclass, id_);
+      return false;
+    }
+  }
+
+  const std::uint32_t payload_mtu = params_.mtu_bytes;
+  const auto parts =
+      static_cast<std::uint16_t>((bytes + payload_mtu - 1) / payload_mtu);
+  DeadlineStamper& stamper = stampers_.at(fs.stamper_key);
+  if (fs.spec.policy == DeadlinePolicy::kFrameBudget) stamper.begin_frame(parts);
+
+  const TimePoint created = sim_.now();
+  const TimePoint local_now = clock_.local_now(created);
+  const std::uint32_t message_id = fs.next_message++;
+
+  std::uint64_t remaining = bytes;
+  for (std::uint16_t part = 0; part < parts; ++part) {
+    const auto payload =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, payload_mtu));
+    remaining -= payload;
+    const std::uint32_t wire = payload + kHeaderBytes;
+
+    const TimePoint deadline = fs.spec.policy == DeadlinePolicy::kFrameBudget
+                                   ? stamper.stamp_frame_packet(local_now)
+                                   : stamper.stamp(local_now, wire);
+
+    PacketPtr p = pool_.make();
+    p->hdr.packet_id = next_packet_id_++;
+    p->hdr.flow = flow;
+    p->hdr.src = id_;
+    p->hdr.dst = fs.spec.dst;
+    p->hdr.tclass = fs.spec.tclass;
+    p->hdr.vc = vc;
+    p->hdr.wire_bytes = wire;
+    p->hdr.flow_seq = fs.next_seq++;
+    p->hdr.route = fs.spec.route;
+    p->hdr.route.reset_cursor();
+    p->hdr.message_id = message_id;
+    p->hdr.message_parts = parts;
+    p->hdr.message_part_idx = part;
+    p->local_deadline = deadline;
+    p->eligible_local =
+        fs.spec.use_eligible_time ? deadline - fs.spec.eligible_lead : local_now;
+    p->t_created = created;
+    if (tracer_) tracer_->record(created, TraceEvent::kCreated, *p, id_);
+
+    if (vc != kRegulatedVc) {
+      ++unreg_backlog_[static_cast<std::size_t>(fs.spec.tclass)];
+    }
+    const TimePoint eligible_at = p->eligible_local;
+    if (!params_.edf_queues) {
+      fifo_q_[vc].push_back(std::move(p));
+    } else if (eligible_at > local_now) {
+      push_entry(eligible_q_, eligible_at, std::move(p));
+    } else {
+      push_entry(ready_q_[vc], deadline, std::move(p));
+    }
+  }
+  pump();
+  return true;
+}
+
+void Host::pump() {
+  const TimePoint now = sim_.now();
+  const TimePoint local_now = clock_.local_now(now);
+
+  // Eligibility transition: first queue (eligible-ordered) feeds the second
+  // (deadline-ordered), §3.2.
+  while (!eligible_q_.empty() && eligible_q_.front().key <= local_now) {
+    PacketPtr p = pop_entry(eligible_q_);
+    const VcId vc = p->hdr.vc;
+    const TimePoint d = p->local_deadline;
+    push_entry(ready_q_[vc], d, std::move(p));
+  }
+  schedule_eligible_wakeup();
+
+  if (link_busy_until_ > now) return;
+  DQOS_ASSERT(uplink_ != nullptr);
+
+  for (const VcId vc : vc_policy_->order()) {
+    const Packet* head = nullptr;
+    if (params_.edf_queues) {
+      if (!ready_q_[vc].empty()) head = ready_q_[vc].front().pkt.get();
+    } else {
+      if (!fifo_q_[vc].empty()) head = fifo_q_[vc].front().get();
+    }
+    if (head == nullptr) continue;
+    if (!uplink_->has_credits(vc, head->size())) continue;
+
+    PacketPtr p;
+    if (params_.edf_queues) {
+      p = pop_entry(ready_q_[vc]);
+    } else {
+      p = std::move(fifo_q_[vc].front());
+      fifo_q_[vc].pop_front();
+    }
+    if (vc != kRegulatedVc) {
+      auto& backlog = unreg_backlog_[static_cast<std::size_t>(p->hdr.tclass)];
+      DQOS_ASSERT(backlog > 0);
+      --backlog;
+    }
+    p->t_injected = now;
+    p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);
+    if (tracer_) tracer_->record(now, TraceEvent::kInjected, *p, id_);
+    const std::uint32_t wire = p->size();
+    const Duration ser = uplink_->serialization_time(wire);
+    uplink_->consume_credits(vc, wire);
+    vc_policy_->granted(vc, wire);
+    uplink_->send(std::move(p));
+    ++injected_;
+    bytes_injected_ += wire;
+    link_busy_until_ = now + ser;
+    sim_.schedule_after(ser, [this] { pump(); });
+    return;
+  }
+}
+
+void Host::schedule_eligible_wakeup() {
+  if (eligible_q_.empty()) return;
+  // Convert the earliest eligibility instant back to the global domain.
+  const TimePoint global_wake = eligible_q_.front().key - clock_.offset();
+  if (eligible_wakeup_at_ == global_wake) return;  // already armed
+  if (eligible_wakeup_ != 0) sim_.cancel(eligible_wakeup_);
+  const TimePoint at = max(global_wake, sim_.now());
+  eligible_wakeup_at_ = global_wake;
+  eligible_wakeup_ = sim_.schedule_at(at, [this] {
+    eligible_wakeup_ = 0;
+    eligible_wakeup_at_ = TimePoint::max();
+    pump();
+  });
+}
+
+void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
+  DQOS_EXPECTS(p != nullptr);
+  DQOS_ASSERT(p->hdr.dst == id_);
+  DQOS_ASSERT(p->hdr.route.at_destination());
+  ++received_;
+  p->t_delivered = sim_.now();
+  if (tracer_) tracer_->record(p->t_delivered, TraceEvent::kDelivered, *p, id_);
+
+  // The host consumes instantly; buffer space frees immediately.
+  DQOS_ASSERT(downlink_ != nullptr);
+  downlink_->return_credits(p->hdr.vc, p->size());
+
+  // Remaining deadline budget at delivery (header-anchored reconstruction,
+  // like a switch): negative slack = deadline miss.
+  const Duration rx_ser = downlink_->serialization_time(p->size());
+  const TimePoint deadline_local =
+      clock_.decode_ttd(p->hdr.ttd, p->t_delivered - rx_ser);
+  const Duration slack = deadline_local - clock_.local_now(p->t_delivered);
+
+  // Out-of-order delivery detection (must never fire: paper appendix).
+  const auto [it, first] = last_seq_seen_.try_emplace(p->hdr.flow, p->hdr.flow_seq);
+  if (!first) {
+    if (p->hdr.flow_seq <= it->second) {
+      ++ooo_;
+    } else {
+      it->second = p->hdr.flow_seq;
+    }
+  }
+
+  if (!watched_.empty()) {
+    const auto wit = watched_.find(p->hdr.flow);
+    if (wit != watched_.end()) {
+      ++wit->second.packets;
+      wit->second.bytes += p->size();
+      wit->second.latency_us.add((p->t_delivered - p->t_created).us());
+    }
+  }
+
+  if (on_packet_) on_packet_(*p, p->t_delivered, slack);
+
+  // Message completion tracking (frame-level latency, Fig. 3).
+  const std::uint64_t mkey =
+      (static_cast<std::uint64_t>(p->hdr.flow) << 32) | p->hdr.message_id;
+  auto [mit, fresh] = rx_messages_.try_emplace(
+      mkey, MessageProgress{p->hdr.message_parts, 0, p->t_created});
+  (void)fresh;
+  mit->second.bytes += p->size();
+  if (--mit->second.parts_left == 0) {
+    if (on_message_) {
+      on_message_(MessageDelivered{p->hdr.flow, p->hdr.tclass, mit->second.created,
+                                   p->t_delivered, mit->second.bytes});
+    }
+    rx_messages_.erase(mit);
+  }
+}
+
+std::size_t Host::queued_packets() const {
+  std::size_t n = eligible_q_.size();
+  for (const auto& q : ready_q_) n += q.size();
+  for (const auto& q : fifo_q_) n += q.size();
+  return n;
+}
+
+}  // namespace dqos

@@ -1,0 +1,191 @@
+/// \file host.hpp
+/// End-host network interface (§3.2, "the organization of end-hosts").
+///
+/// Send path (EDF mode — all EDF-based architectures):
+///   application frame -> MTU fragmentation -> per-flow deadline stamping ->
+///   regulated VC: an eligible-time-ordered queue feeding a
+///   deadline-ordered ready queue ("as soon as the first packet in the
+///   queue is eligible, it goes to another queue where packets are sorted
+///   according to ascending deadlines"); best-effort VC: deadline-ordered,
+///   injected only when the link is free, credits exist, and the regulated
+///   VC has nothing ready.
+/// In FIFO mode (Traditional architecture) the NIC keeps plain FIFO queues
+/// per VC and ignores deadlines/eligible times, like a PCI AS endpoint.
+///
+/// Receive path: packets are consumed immediately (credits return at wire
+/// latency), per-flow sequence is checked (out-of-order delivery must never
+/// happen — paper appendix), and message completion is reported for
+/// frame-level latency metrics.
+///
+/// Unregulated overload: best-effort flows have "no guarantee of delivery";
+/// when the NIC's unregulated backlog exceeds a cap the submission is
+/// dropped and counted (open-loop sources would otherwise grow memory
+/// without bound).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "host/deadline.hpp"
+#include "proto/packet_pool.hpp"
+#include "qos/flow.hpp"
+#include "qos/token_bucket.hpp"
+#include "util/stats.hpp"
+#include "switchfab/arbiter.hpp"
+#include "switchfab/channel.hpp"
+#include "trace/tracer.hpp"
+
+namespace dqos {
+
+struct HostParams {
+  std::uint8_t num_vcs = 2;
+  std::uint32_t mtu_bytes = 2048;  ///< max payload per packet (§3.1 example)
+  bool edf_queues = true;          ///< false = Traditional FIFO endpoint
+  /// Weighted VC arbitration at the injection link (Traditional multi-VC
+  /// ablation); empty = strict priority.
+  std::vector<std::uint32_t> vc_weights;
+  /// Drop threshold for unregulated (VC != 0) backlog, in packets,
+  /// applied **per traffic class** (each aggregated best-effort class gets
+  /// its own quota, so a backlogged class cannot crowd out its siblings'
+  /// acceptance — the EDF deadline weights then govern service).
+  std::size_t best_effort_queue_cap = 4096;
+};
+
+/// Per-delivered-packet observer. `now` is global time; `slack` is the
+/// remaining time-to-deadline at delivery (negative = the packet missed
+/// its deadline), computed in the receiving host's clock domain.
+using PacketDeliveredFn =
+    std::function<void(const Packet& pkt, TimePoint now, Duration slack)>;
+/// Message (application frame / transfer) fully delivered.
+struct MessageDelivered {
+  FlowId flow;
+  TrafficClass tclass;
+  TimePoint created;
+  TimePoint completed;
+  std::uint64_t bytes;
+};
+using MessageDeliveredFn = std::function<void(const MessageDelivered&)>;
+
+class Host final : public PacketReceiver {
+ public:
+  Host(Simulator& sim, NodeId id, const HostParams& params, LocalClock clock,
+       PacketPool& pool);
+
+  void attach_uplink(Channel* to_switch);      ///< host -> leaf switch
+  void attach_downlink(Channel* from_switch);  ///< leaf switch -> host
+
+  void set_packet_callback(PacketDeliveredFn fn) { on_packet_ = std::move(fn); }
+  /// Optional packet-event tracing (null = off, zero cost).
+  void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+  void set_message_callback(MessageDeliveredFn fn) { on_message_ = std::move(fn); }
+
+  /// Registers an admitted flow originating at this host.
+  void open_flow(const FlowSpec& spec);
+
+  /// Receiver-side per-flow observation (opt-in; global metrics stay
+  /// aggregate). Call on the *destination* host of the flow.
+  struct FlowWatch {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    StreamingStats latency_us;
+  };
+  void watch_flow(FlowId flow) { watched_[flow]; }
+  /// nullptr if the flow is not watched here.
+  [[nodiscard]] const FlowWatch* flow_watch(FlowId flow) const {
+    const auto it = watched_.find(flow);
+    return it == watched_.end() ? nullptr : &it->second;
+  }
+
+  /// Application hands over a message (control message, video frame,
+  /// best-effort transfer) of `bytes` payload. Returns false if dropped
+  /// (unregulated backlog cap).
+  bool submit(FlowId flow, std::uint64_t bytes);
+
+  void receive_packet(PacketPtr p, PortId in_port) override;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const LocalClock& clock() const { return clock_; }
+
+  // --- introspection / statistics ---
+  [[nodiscard]] std::uint64_t packets_injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t bytes_injected() const { return bytes_injected_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return received_; }
+  [[nodiscard]] std::uint64_t out_of_order_deliveries() const { return ooo_; }
+  [[nodiscard]] std::uint64_t best_effort_drops() const { return be_drops_; }
+  /// Regulated messages shed by ingress policing (token bucket, A9).
+  [[nodiscard]] std::uint64_t policed_drops() const { return policed_drops_; }
+  [[nodiscard]] std::size_t queued_packets() const;
+  [[nodiscard]] std::size_t eligible_waiting() const { return eligible_q_.size(); }
+
+ private:
+  struct FlowState {
+    FlowSpec spec;
+    FlowId stamper_key;  ///< == spec.aggregate for aggregated flows
+    std::uint32_t next_seq = 0;
+    std::uint32_t next_message = 1;
+    std::unique_ptr<TokenBucket> policer;  ///< non-null iff spec.police
+  };
+  /// Min-heap entry for both NIC queues (key = eligible time or deadline).
+  struct QEntry {
+    TimePoint key;
+    std::uint64_t seq;
+    PacketPtr pkt;
+    bool operator>(const QEntry& o) const {
+      if (key != o.key) return key > o.key;
+      return seq > o.seq;
+    }
+  };
+  using MinHeap = std::vector<QEntry>;  // std::push_heap with greater<>
+
+  void push_entry(MinHeap& h, TimePoint key, PacketPtr p);
+  PacketPtr pop_entry(MinHeap& h);
+
+  /// Moves newly eligible packets, then tries to start one injection.
+  void pump();
+  void schedule_eligible_wakeup();
+
+  Simulator& sim_;
+  NodeId id_;
+  HostParams params_;
+  LocalClock clock_;
+  PacketPool& pool_;
+  Channel* uplink_ = nullptr;
+  Channel* downlink_ = nullptr;
+
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::unordered_map<FlowId, DeadlineStamper> stampers_;  ///< keyed by stamper_key
+  MinHeap eligible_q_;                 ///< regulated, waiting for eligibility
+  std::vector<MinHeap> ready_q_;       ///< per VC, deadline-ordered (EDF mode)
+  std::vector<std::deque<PacketPtr>> fifo_q_;  ///< per VC (FIFO mode)
+  std::unique_ptr<VcSelectionPolicy> vc_policy_;
+  TimePoint link_busy_until_;
+  EventId eligible_wakeup_ = 0;
+  TimePoint eligible_wakeup_at_ = TimePoint::max();
+  std::uint64_t next_qseq_ = 0;
+  std::uint64_t next_packet_id_;
+
+  // receive-side state
+  std::unordered_map<FlowId, std::uint32_t> last_seq_seen_;
+  struct MessageProgress {
+    std::uint16_t parts_left;
+    std::uint64_t bytes = 0;
+    TimePoint created;
+  };
+  std::unordered_map<std::uint64_t, MessageProgress> rx_messages_;
+  std::unordered_map<FlowId, FlowWatch> watched_;
+
+  PacketTracer* tracer_ = nullptr;
+  PacketDeliveredFn on_packet_;
+  MessageDeliveredFn on_message_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t bytes_injected_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t ooo_ = 0;
+  std::uint64_t be_drops_ = 0;
+  std::uint64_t policed_drops_ = 0;
+  /// Unregulated NIC backlog per traffic class (quota accounting).
+  std::array<std::size_t, kNumTrafficClasses> unreg_backlog_{};
+};
+
+}  // namespace dqos

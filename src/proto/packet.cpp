@@ -1,0 +1,3 @@
+#include "proto/packet.hpp"
+
+// Header-only module; TU anchors the static library.

@@ -1,0 +1,134 @@
+/// \file packet.hpp
+/// The network packet and its header, as the paper's switches see it.
+///
+/// Two design rules from the paper are encoded here:
+///   1. Switches keep **no per-flow state** (§3): everything a switch may
+///      consult for scheduling lives in the header — the deadline tag and
+///      the routing information. Fields outside the header are either
+///      host-side state (eligible time, §3.1: "not transmitted in the
+///      header") or simulation observer timestamps that no component's
+///      behaviour may depend on.
+///   2. The deadline crosses links as a **time-to-deadline** (TTD, §3.3):
+///      TTD = D - T_local at departure, D' = TTD + T'_local at arrival, so
+///      no clock synchronization between nodes is required. LocalClock
+///      performs the encode/decode.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/types.hpp"
+#include "util/contracts.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+/// Fixed source route, PCI AS style: one output port per hop plus a cursor
+/// that each switch advances (the header mutation that forces per-hop CRC
+/// recomputation, which the paper notes is needed for TTD anyway).
+class SourceRoute {
+ public:
+  static constexpr std::size_t kMaxHops = 24;  // fits a 12x12 mesh XY route
+
+  SourceRoute() = default;
+
+  void push_hop(PortId port) {
+    DQOS_EXPECTS(length_ < kMaxHops);
+    hops_[length_++] = port;
+  }
+
+  /// Output port to take at the current hop; advances the cursor.
+  PortId next_hop() {
+    DQOS_EXPECTS(cursor_ < length_);
+    return hops_[cursor_++];
+  }
+
+  [[nodiscard]] PortId hop(std::size_t i) const {
+    DQOS_EXPECTS(i < length_);
+    return hops_[i];
+  }
+  [[nodiscard]] std::size_t length() const { return length_; }
+  [[nodiscard]] std::size_t hops_taken() const { return cursor_; }
+  [[nodiscard]] bool at_destination() const { return cursor_ == length_; }
+  void reset_cursor() { cursor_ = 0; }
+
+ private:
+  std::array<PortId, kMaxHops> hops_{};
+  std::uint8_t length_ = 0;
+  std::uint8_t cursor_ = 0;
+};
+
+/// Wire header. 16 bytes of modelled overhead are added to every packet's
+/// payload to account for header + CRC (kHeaderBytes).
+struct PacketHeader {
+  std::uint64_t packet_id = 0;   ///< globally unique, for tracing
+  FlowId flow = kInvalidFlow;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TrafficClass tclass = TrafficClass::kBestEffort;
+  VcId vc = kBestEffortVc;
+  std::uint32_t wire_bytes = 0;  ///< payload + header overhead
+  std::uint32_t flow_seq = 0;    ///< per-flow sequence (order checking)
+  Duration ttd;                  ///< time-to-deadline while on a link
+  SourceRoute route;
+  // Message/frame bookkeeping: a video frame or large best-effort message is
+  // fragmented into MTU packets; receivers report full-transfer latency.
+  std::uint32_t message_id = 0;
+  std::uint16_t message_parts = 1;
+  std::uint16_t message_part_idx = 0;
+};
+
+/// A packet in flight or queued. Beyond the header: per-holder reconstructed
+/// deadline, host-side eligible time, and observer timestamps.
+struct Packet {
+  PacketHeader hdr;
+
+  /// Deadline in the *current holder's* clock domain, reconstructed from
+  /// hdr.ttd on arrival. Only meaningful while the packet sits at a node.
+  TimePoint local_deadline;
+
+  /// Earliest local (source-host clock) instant the packet may enter the
+  /// network. Host-side only; never serialized (§3.1).
+  TimePoint eligible_local;
+
+  // --- observer timestamps (global clock; for metrics only) ---
+  TimePoint t_created;    ///< handed over by the application
+  TimePoint t_injected;   ///< first byte left the source NIC
+  TimePoint t_delivered;  ///< last byte arrived at the destination host
+
+  [[nodiscard]] std::uint32_t size() const { return hdr.wire_bytes; }
+};
+
+/// Modelled per-packet header+CRC overhead on the wire.
+constexpr std::uint32_t kHeaderBytes = 16;
+
+/// Per-node clock with a fixed skew against the simulator's global clock.
+/// The paper's TTD scheme exists precisely so that scheduling never compares
+/// timestamps from two different LocalClocks; tests assert behaviour is
+/// invariant under arbitrary offsets.
+class LocalClock {
+ public:
+  LocalClock() = default;
+  explicit LocalClock(Duration offset) : offset_(offset) {}
+
+  [[nodiscard]] Duration offset() const { return offset_; }
+
+  /// Local reading for a given global instant.
+  [[nodiscard]] TimePoint local_now(TimePoint global_now) const {
+    return global_now + offset_;
+  }
+
+  /// TTD to put in the header when the packet departs at `global_now`.
+  [[nodiscard]] Duration encode_ttd(TimePoint local_deadline, TimePoint global_now) const {
+    return local_deadline - local_now(global_now);
+  }
+
+  /// Deadline reconstructed on arrival at `global_now`.
+  [[nodiscard]] TimePoint decode_ttd(Duration ttd, TimePoint global_now) const {
+    return local_now(global_now) + ttd;
+  }
+
+ private:
+  Duration offset_ = Duration::zero();
+};
+
+}  // namespace dqos

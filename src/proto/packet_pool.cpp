@@ -1,0 +1,43 @@
+#include "proto/packet_pool.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+void PacketRecycler::operator()(Packet* p) const {
+  if (!p) return;
+  if (pool) {
+    pool->recycle(p);
+  } else {
+    delete p;
+  }
+}
+
+PacketPool::~PacketPool() {
+  // Packets still outstanding keep raw pointers to this pool via their
+  // deleters; destroying the pool first is a use-after-free in the making.
+  // Contract-check it instead of letting it fester.
+  DQOS_ASSERT(outstanding_ == 0);
+  for (Packet* p : free_) delete p;
+}
+
+PacketPtr PacketPool::make() {
+  Packet* p;
+  if (free_.empty()) {
+    p = new Packet();
+  } else {
+    p = free_.back();
+    free_.pop_back();
+    *p = Packet{};
+  }
+  ++outstanding_;
+  return PacketPtr(p, PacketRecycler{this});
+}
+
+void PacketPool::recycle(Packet* p) {
+  DQOS_ASSERT(outstanding_ > 0);
+  --outstanding_;
+  free_.push_back(p);
+}
+
+}  // namespace dqos

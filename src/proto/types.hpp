@@ -1,0 +1,65 @@
+/// \file types.hpp
+/// Shared protocol-level vocabulary: node/port/VC identifiers and the four
+/// traffic classes of the paper's workload (Table 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dqos {
+
+/// Network node (host or switch) identifier. The topology module assigns a
+/// contiguous id space: hosts first, then switches.
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Port index within a node.
+using PortId = std::uint8_t;
+constexpr PortId kInvalidPort = 0xff;
+
+/// Flow identifier, unique network-wide (assigned by the admission
+/// controller / flow registry).
+using FlowId = std::uint32_t;
+constexpr FlowId kInvalidFlow = ~FlowId{0};
+
+/// Virtual channel index. The paper's architectures use two:
+/// VC0 carries regulated (QoS) traffic with absolute priority,
+/// VC1 carries unregulated best-effort traffic. The Traditional
+/// architecture may be configured with more VCs (ablation A5).
+using VcId = std::uint8_t;
+constexpr VcId kRegulatedVc = 0;
+constexpr VcId kBestEffortVc = 1;
+
+/// The four classes of Table 1. Control and Multimedia are regulated
+/// (VC0 under the EDF architectures); Best-effort and Background are
+/// unregulated (VC1), differentiated only by their deadline weights.
+enum class TrafficClass : std::uint8_t {
+  kControl = 0,
+  kMultimedia = 1,
+  kBestEffort = 2,
+  kBackground = 3,
+};
+constexpr std::size_t kNumTrafficClasses = 4;
+
+constexpr std::array<TrafficClass, kNumTrafficClasses> all_traffic_classes() {
+  return {TrafficClass::kControl, TrafficClass::kMultimedia,
+          TrafficClass::kBestEffort, TrafficClass::kBackground};
+}
+
+constexpr std::string_view to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kControl: return "Control";
+    case TrafficClass::kMultimedia: return "Multimedia";
+    case TrafficClass::kBestEffort: return "Best-effort";
+    case TrafficClass::kBackground: return "Background";
+  }
+  return "?";
+}
+
+/// True for classes that pass admission control and ride the regulated VC.
+constexpr bool is_regulated(TrafficClass c) {
+  return c == TrafficClass::kControl || c == TrafficClass::kMultimedia;
+}
+
+}  // namespace dqos

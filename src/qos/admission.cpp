@@ -1,0 +1,130 @@
+#include "qos/admission.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+AdmissionController::AdmissionController(const Topology& topo, Bandwidth link_bw,
+                                         double reservable_fraction)
+    : topo_(topo), link_bw_(link_bw), reservable_fraction_(reservable_fraction) {
+  DQOS_EXPECTS(link_bw.valid());
+  DQOS_EXPECTS(reservable_fraction > 0.0 && reservable_fraction <= 1.0);
+}
+
+std::pair<double, std::uint32_t> AdmissionController::path_load(
+    const std::vector<Endpoint>& links) const {
+  // The first (host injection) and last (leaf -> destination) links are
+  // shared by every minimal path of the pair; including them in the *max*
+  // would mask the differences between candidate paths. Feasibility is
+  // still checked on every link in admit().
+  double max_frac = 0.0;
+  std::uint32_t max_flows = 0;
+  for (std::size_t i = 1; i + 1 < links.size(); ++i) {
+    const auto it = load_.find(key(links[i]));
+    if (it == load_.end()) continue;
+    max_frac = std::max(max_frac,
+                        it->second.reserved_bytes_per_sec / link_bw_.bytes_per_sec());
+    max_flows = std::max(max_flows, it->second.flow_count);
+  }
+  return {max_frac, max_flows};
+}
+
+std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
+  DQOS_EXPECTS(topo_.is_host(req.src) && topo_.is_host(req.dst));
+  DQOS_EXPECTS(req.src != req.dst);
+
+  const double want_bps = req.reserve_bw.valid() ? req.reserve_bw.bytes_per_sec() : 0.0;
+  const double budget_bps = link_bw_.bytes_per_sec() * reservable_fraction_;
+
+  // Evaluate every minimal path; keep the least loaded feasible one.
+  const std::size_t n_choices = topo_.route_count(req.src, req.dst);
+  std::optional<std::size_t> best;
+  std::pair<double, std::uint32_t> best_load{0.0, 0};
+  for (std::size_t c = 0; c < n_choices; ++c) {
+    const auto links = topo_.route_links(req.src, req.dst, c);
+    bool feasible = true;
+    for (const auto& e : links) {
+      const auto it = load_.find(key(e));
+      const double reserved = it == load_.end() ? 0.0 : it->second.reserved_bytes_per_sec;
+      // 1 B/s epsilon: accumulated FP dust must not reject an exact fit.
+      if (reserved + want_bps > budget_bps + 1.0) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    const auto pl = path_load(links);
+    if (!best || pl < best_load) {
+      best = c;
+      best_load = pl;
+    }
+  }
+  if (!best) {
+    ++rejected_;
+    return std::nullopt;
+  }
+
+  // Commit the reservation / path counts.
+  for (const auto& e : topo_.route_links(req.src, req.dst, *best)) {
+    LinkLoad& l = load_[key(e)];
+    l.reserved_bytes_per_sec += want_bps;
+    ++l.flow_count;
+  }
+
+  FlowSpec spec;
+  spec.id = next_id_++;
+  spec.src = req.src;
+  spec.dst = req.dst;
+  spec.tclass = req.tclass;
+  spec.vc = class_vc_[static_cast<std::size_t>(req.tclass)];
+  spec.policy = req.policy;
+  spec.reserve_bw = req.reserve_bw;
+  spec.frame_budget = req.frame_budget;
+  spec.use_eligible_time = req.use_eligible_time;
+  spec.eligible_lead = req.eligible_lead;
+  spec.police = req.police && req.reserve_bw.valid();
+  spec.police_burst = req.police_burst;
+  spec.route_choice = *best;
+  spec.route = topo_.build_route(req.src, req.dst, *best);
+  // Deadline bandwidth: explicit > reserved > link rate (control).
+  if (req.deadline_bw.valid()) {
+    spec.deadline_bw = req.deadline_bw;
+  } else if (req.policy == DeadlinePolicy::kControlLatency || !req.reserve_bw.valid()) {
+    spec.deadline_bw = link_bw_;
+  } else {
+    spec.deadline_bw = req.reserve_bw;
+  }
+
+  flows_.emplace(spec.id, FlowRecord{req.src, req.dst, *best, want_bps});
+  return spec;
+}
+
+void AdmissionController::release(FlowId id) {
+  const auto it = flows_.find(id);
+  DQOS_EXPECTS(it != flows_.end());
+  const FlowRecord& rec = it->second;
+  for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
+    LinkLoad& l = load_[key(e)];
+    l.reserved_bytes_per_sec -= rec.reserved_bytes_per_sec;
+    DQOS_ASSERT(l.flow_count > 0);
+    --l.flow_count;
+    // Sweep FP dust in both directions so ledgers return to exactly zero.
+    if (std::abs(l.reserved_bytes_per_sec) < 1e-6) l.reserved_bytes_per_sec = 0.0;
+  }
+  flows_.erase(it);
+}
+
+double AdmissionController::reserved_fraction(const Endpoint& link) const {
+  const auto it = load_.find(key(link));
+  if (it == load_.end()) return 0.0;
+  return it->second.reserved_bytes_per_sec / link_bw_.bytes_per_sec();
+}
+
+std::uint32_t AdmissionController::flows_on_link(const Endpoint& link) const {
+  const auto it = load_.find(key(link));
+  return it == load_.end() ? 0 : it->second.flow_count;
+}
+
+}  // namespace dqos

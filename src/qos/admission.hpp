@@ -1,0 +1,86 @@
+/// \file admission.hpp
+/// Centralized connection admission control and path assignment (§3).
+///
+/// "Bandwidth reservation is performed at a centralized point and no record
+/// is kept in the switches. This makes the use of fixed routing mandatory
+/// ... the admission control can ensure load balancing when assigning
+/// paths."
+///
+/// The controller keeps a per-directed-link reservation ledger. An admitted
+/// regulated flow reserves its average bandwidth on every link of the
+/// chosen route; unregulated flows reserve nothing but are still assigned a
+/// balanced fixed path (counted, so best-effort spreading is even too).
+/// Path choice: the minimal route minimizing the maximum reserved fraction
+/// along its links, tie-broken by assigned flow count, then lowest index
+/// (deterministic).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "qos/flow.hpp"
+#include "topo/topology.hpp"
+
+namespace dqos {
+
+class AdmissionController {
+ public:
+  /// `reservable_fraction` caps how much of each link regulated flows may
+  /// reserve (headroom left for control/best-effort; 1.0 = full link).
+  AdmissionController(const Topology& topo, Bandwidth link_bw,
+                      double reservable_fraction = 1.0);
+
+  /// Sets the TrafficClass -> VC mapping applied to admitted flows.
+  /// Defaults to the paper's: {Control,Multimedia} -> VC0, others -> VC1.
+  void set_class_vc_map(const std::array<VcId, kNumTrafficClasses>& map) {
+    class_vc_ = map;
+  }
+
+  /// Admits a flow: picks the balanced fixed route, reserves bandwidth if
+  /// requested, and returns the complete FlowSpec. nullopt = rejected
+  /// (reservation would oversubscribe some link on *every* candidate path).
+  std::optional<FlowSpec> admit(const FlowRequest& req);
+
+  /// Releases an admitted flow's reservation and path-count contributions.
+  void release(FlowId id);
+
+  /// Reserved fraction of a directed link's bandwidth (diagnostics/tests).
+  [[nodiscard]] double reserved_fraction(const Endpoint& link) const;
+  /// Number of flows routed over the directed link.
+  [[nodiscard]] std::uint32_t flows_on_link(const Endpoint& link) const;
+
+  [[nodiscard]] std::size_t admitted_flows() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t rejected_flows() const { return rejected_; }
+  [[nodiscard]] Bandwidth link_bandwidth() const { return link_bw_; }
+
+ private:
+  struct LinkLoad {
+    double reserved_bytes_per_sec = 0.0;
+    std::uint32_t flow_count = 0;
+  };
+  struct FlowRecord {
+    NodeId src, dst;
+    std::size_t choice;
+    double reserved_bytes_per_sec;  // 0 if none
+  };
+
+  [[nodiscard]] static std::uint64_t key(const Endpoint& e) {
+    return (static_cast<std::uint64_t>(e.node) << 8) | e.port;
+  }
+  /// Fitness of a candidate path = (max reserved fraction, max flow count).
+  [[nodiscard]] std::pair<double, std::uint32_t> path_load(
+      const std::vector<Endpoint>& links) const;
+
+  const Topology& topo_;
+  Bandwidth link_bw_;
+  double reservable_fraction_;
+  std::array<VcId, kNumTrafficClasses> class_vc_{0, 0, 1, 1};
+  std::unordered_map<std::uint64_t, LinkLoad> load_;
+  std::unordered_map<FlowId, FlowRecord> flows_;
+  FlowId next_id_ = 1;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dqos

@@ -1,0 +1,14 @@
+#include "qos/flow.hpp"
+
+namespace dqos {
+
+std::string_view to_string(DeadlinePolicy p) {
+  switch (p) {
+    case DeadlinePolicy::kVirtualClock: return "virtual-clock";
+    case DeadlinePolicy::kControlLatency: return "control-latency";
+    case DeadlinePolicy::kFrameBudget: return "frame-budget";
+  }
+  return "?";
+}
+
+}  // namespace dqos

@@ -1,0 +1,95 @@
+/// \file flow.hpp
+/// Flow descriptions (§3): "a flow would be a single connection, like a TCP
+/// connection or traffic from a single application. Each flow would have
+/// the following parameters: source, destination, a fixed route, and the
+/// information necessary to compute deadlines."
+///
+/// All per-flow state lives at the **end hosts** (and, for admission, at the
+/// central fabric manager). Switches never see these records.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/packet.hpp"
+#include "proto/types.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+/// How the source host computes deadlines for this flow (§3.1).
+enum class DeadlinePolicy : std::uint8_t {
+  /// D(P_i) = max(D(P_{i-1}), T_now) + L(P_i)/BW_avg — the Virtual Clock
+  /// rule with the flow's (reserved or nominal) average bandwidth.
+  kVirtualClock = 0,
+  /// Control traffic: same formula with BW_avg = the *link* bandwidth, no
+  /// admission — "control traffic gets the maximum priority".
+  kControlLatency = 1,
+  /// Multimedia: per application frame, D(P_i) = max(D(P_{i-1}), T_now) +
+  /// frame_budget / Parts(F_i), so every frame lands close to the budget
+  /// regardless of its size.
+  kFrameBudget = 2,
+};
+
+std::string_view to_string(DeadlinePolicy p);
+
+/// What a host asks the admission controller for.
+struct FlowRequest {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TrafficClass tclass = TrafficClass::kBestEffort;
+  DeadlinePolicy policy = DeadlinePolicy::kVirtualClock;
+
+  /// Bandwidth reserved along the path (regulated flows with
+  /// kVirtualClock). Invalid (default) => no reservation, only
+  /// load-balanced path assignment.
+  Bandwidth reserve_bw;
+
+  /// Bandwidth used for *deadline computation*. For best-effort classes
+  /// this acts as the weight that differentiates classes sharing a VC
+  /// (§3: "several aggregated flows, each one with a different bandwidth
+  /// to compute deadlines"). Unset => reserve_bw, or link bandwidth for
+  /// kControlLatency.
+  Bandwidth deadline_bw;
+
+  /// kFrameBudget: the user-fixed per-frame latency target (e.g. 10 ms).
+  Duration frame_budget = Duration::milliseconds(10);
+
+  /// Smooth injection: hold packets until deadline minus `eligible_lead`
+  /// (§3.1 recommends 20 us for multimedia).
+  bool use_eligible_time = false;
+  Duration eligible_lead = Duration::microseconds(20);
+
+  /// Ingress policing: enforce the reservation with a token bucket at the
+  /// source NIC (requires reserve_bw). `police_burst` sizes the bucket
+  /// (reserve_bw x police_burst, floored at one max-size frame).
+  bool police = false;
+  Duration police_burst = Duration::milliseconds(40);
+};
+
+/// An admitted flow: the request plus the controller's decisions.
+struct FlowSpec {
+  FlowId id = kInvalidFlow;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TrafficClass tclass = TrafficClass::kBestEffort;
+  VcId vc = kBestEffortVc;
+  DeadlinePolicy policy = DeadlinePolicy::kVirtualClock;
+  Bandwidth reserve_bw;       ///< valid iff bandwidth was reserved
+  Bandwidth deadline_bw;      ///< always valid
+  Duration frame_budget = Duration::milliseconds(10);
+  bool use_eligible_time = false;
+  Duration eligible_lead = Duration::microseconds(20);
+  bool police = false;
+  Duration police_burst = Duration::milliseconds(40);
+  SourceRoute route;          ///< the fixed route (choice made at admission)
+  std::size_t route_choice = 0;
+
+  /// Aggregated-flow support (§3: unregulated traffic keeps "a generic flow
+  /// record" per class at the end host): flows sharing an `aggregate` id
+  /// share one Virtual Clock deadline state, so `deadline_bw` is the
+  /// *class* budget rather than a per-destination one. kInvalidFlow =
+  /// stand-alone flow.
+  FlowId aggregate = kInvalidFlow;
+};
+
+}  // namespace dqos

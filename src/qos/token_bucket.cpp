@@ -1,0 +1,43 @@
+#include "qos/token_bucket.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+TokenBucket::TokenBucket(Bandwidth rate, std::uint64_t capacity_bytes)
+    : rate_(rate), capacity_(capacity_bytes), tokens_(capacity_bytes) {
+  DQOS_EXPECTS(rate.valid());
+  DQOS_EXPECTS(capacity_bytes > 0);
+}
+
+void TokenBucket::refill(TimePoint local_now) {
+  if (!started_) {
+    last_refill_ = local_now;
+    started_ = true;
+    return;
+  }
+  DQOS_EXPECTS(local_now >= last_refill_);
+  const std::int64_t elapsed_ps = (local_now - last_refill_).ps();
+  const auto earned =
+      static_cast<std::uint64_t>(elapsed_ps / rate_.ps_per_byte());
+  if (earned == 0) return;  // keep the remainder accruing in last_refill_
+  tokens_ = std::min(capacity_, tokens_ + earned);
+  // Charge only the time actually converted into tokens, so sub-byte
+  // remainders are never lost (exact long-run rate).
+  last_refill_ += Duration::picoseconds(static_cast<std::int64_t>(earned) *
+                                        rate_.ps_per_byte());
+}
+
+bool TokenBucket::try_consume(std::uint64_t bytes, TimePoint local_now) {
+  refill(local_now);
+  if (tokens_ < bytes) return false;
+  tokens_ -= bytes;
+  return true;
+}
+
+std::uint64_t TokenBucket::available(TimePoint local_now) {
+  refill(local_now);
+  return tokens_;
+}
+
+}  // namespace dqos

@@ -1,0 +1,48 @@
+/// \file token_bucket.hpp
+/// Token-bucket policer for regulated flows at the source NIC.
+///
+/// The paper's guarantees rest on "traffic is regulated (no
+/// over-subscription of the links)" (§3.2) — admission control promises it,
+/// but nothing in the paper *enforces* it against a misbehaving sender. A
+/// production deployment needs ingress policing: each reserved flow gets a
+/// token bucket refilled at its reserved rate; messages that would overdraw
+/// the bucket are shed before they can poison the regulated VC (ablation
+/// A9 shows the damage without it).
+///
+/// Classic leaky-bucket arithmetic, integer bytes, lazy refill on the
+/// host's local clock.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace dqos {
+
+class TokenBucket {
+ public:
+  /// `rate` — sustained refill rate (the flow's reserved bandwidth).
+  /// `capacity_bytes` — burst allowance.
+  TokenBucket(Bandwidth rate, std::uint64_t capacity_bytes);
+
+  /// Consumes `bytes` if available (refilling first). `local_now` must be
+  /// monotone across calls.
+  bool try_consume(std::uint64_t bytes, TimePoint local_now);
+
+  /// Current fill after refilling to `local_now`.
+  [[nodiscard]] std::uint64_t available(TimePoint local_now);
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] Bandwidth rate() const { return rate_; }
+
+ private:
+  void refill(TimePoint local_now);
+
+  Bandwidth rate_;
+  std::uint64_t capacity_;
+  std::uint64_t tokens_;
+  TimePoint last_refill_;
+  bool started_ = false;
+};
+
+}  // namespace dqos

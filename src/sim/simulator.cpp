@@ -1,0 +1,65 @@
+#include "sim/simulator.hpp"
+
+namespace dqos {
+
+EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  DQOS_EXPECTS(t >= now_);
+  DQOS_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != 0 && id < next_id_) cancelled_.insert(id);
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the function object must be moved out,
+    // so use const_cast on the known-safe mutable member (standard idiom).
+    out.time = heap_.top().time;
+    out.id = heap_.top().id;
+    out.fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+    heap_.pop();
+    const auto it = cancelled_.find(out.id);
+    if (it == cancelled_.end()) return true;
+    cancelled_.erase(it);
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  DQOS_ASSERT(e.time >= now_);
+  now_ = e.time;
+  ++fired_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run_until(TimePoint t) {
+  DQOS_EXPECTS(t >= now_);
+  while (!heap_.empty()) {
+    Entry e;
+    // Peek without committing: if the earliest live event is past t, stop.
+    // pop_next would discard it, so check the raw top first and prune
+    // cancelled heads explicitly.
+    while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().time > t) break;
+    const bool fired = step();
+    DQOS_ASSERT(fired);
+  }
+  now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace dqos

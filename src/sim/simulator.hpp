@@ -1,0 +1,91 @@
+/// \file simulator.hpp
+/// Discrete-event simulation kernel.
+///
+/// A single-threaded event calendar: components schedule closures at
+/// absolute instants; the kernel fires them in (time, insertion-sequence)
+/// order. The sequence tie-break makes runs bit-for-bit deterministic —
+/// two events at the same instant always fire in the order they were
+/// scheduled, independent of heap internals.
+///
+/// The kernel is deliberately minimal (Core Guidelines P.11: encapsulate
+/// the messy construct once): no process abstraction, no channels — the
+/// network components in src/switchfab and src/host are plain objects that
+/// schedule their own wake-ups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated instant (global clock).
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. `t` must not be in the past.
+  EventId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` after a non-negative delay from now.
+  EventId schedule_after(Duration d, std::function<void()> fn) {
+    DQOS_EXPECTS(d >= Duration::zero());
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op (lazy deletion: the entry is skipped when popped).
+  void cancel(EventId id);
+
+  /// Fires the next event. Returns false when the calendar is empty.
+  bool step();
+
+  /// Runs events with time <= `t`, then advances the clock to exactly `t`
+  /// (even if the calendar empties earlier).
+  void run_until(TimePoint t);
+
+  /// Convenience: run_until(now + d).
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Drains the calendar completely.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_processed() const { return fired_; }
+  [[nodiscard]] std::size_t events_pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  /// Pops entries, skipping cancelled ones; returns false if empty.
+  bool pop_next(Entry& out);
+
+  TimePoint now_ = TimePoint::zero();
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace dqos

@@ -1,0 +1,65 @@
+#include "stats/metrics.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+MetricsCollector::MetricsCollector() = default;
+
+void MetricsCollector::set_window(TimePoint start, TimePoint end) {
+  DQOS_EXPECTS(start < end);
+  start_ = start;
+  end_ = end;
+}
+
+void MetricsCollector::on_packet_delivered(const Packet& p, TimePoint now,
+                                           Duration slack) {
+  if (!in_window(p.t_created)) return;
+  const auto c = static_cast<std::size_t>(p.hdr.tclass);
+  pkt_latency_[c].add((now - p.t_created).us());
+  bytes_delivered_[c] += p.size();
+  slack_us_[c].add(slack.us());
+  if (slack < Duration::zero()) ++deadline_misses_[c];
+}
+
+void MetricsCollector::on_message_delivered(TrafficClass tclass, TimePoint created,
+                                            std::uint64_t /*bytes*/,
+                                            TimePoint completed) {
+  if (!in_window(created)) return;
+  const auto c = static_cast<std::size_t>(tclass);
+  msg_latency_[c].add((completed - created).us());
+  ++messages_[c];
+}
+
+void MetricsCollector::on_message_offered(TrafficClass tclass, std::uint64_t bytes,
+                                          TimePoint now) {
+  if (!in_window(now)) return;
+  bytes_offered_[static_cast<std::size_t>(tclass)] += bytes;
+}
+
+ClassReport MetricsCollector::report(TrafficClass tc) const {
+  const auto c = static_cast<std::size_t>(tc);
+  ClassReport r;
+  r.tclass = tc;
+  r.packets = pkt_latency_[c].count();
+  r.messages = messages_[c];
+  const double window_sec = (end_ - start_).sec();
+  DQOS_ASSERT(window_sec > 0.0);
+  r.throughput_bytes_per_sec = static_cast<double>(bytes_delivered_[c]) / window_sec;
+  r.offered_bytes_per_sec = static_cast<double>(bytes_offered_[c]) / window_sec;
+  r.avg_packet_latency_us = pkt_latency_[c].mean();
+  r.max_packet_latency_us = pkt_latency_[c].max();
+  r.jitter_us = pkt_latency_[c].stddev();
+  r.p99_packet_latency_us = pkt_latency_[c].quantile(0.99);
+  r.avg_message_latency_us = msg_latency_[c].mean();
+  r.max_message_latency_us = msg_latency_[c].max();
+  r.p99_message_latency_us = msg_latency_[c].quantile(0.99);
+  r.avg_slack_us = slack_us_[c].mean();
+  r.deadline_miss_fraction =
+      r.packets ? static_cast<double>(deadline_misses_[c]) /
+                      static_cast<double>(r.packets)
+                : 0.0;
+  return r;
+}
+
+}  // namespace dqos

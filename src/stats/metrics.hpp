@@ -1,0 +1,95 @@
+/// \file metrics.hpp
+/// Network-wide performance metrics, collected with the global observer
+/// clock (never visible to any scheduling decision).
+///
+/// The paper's §5 indices per traffic class:
+///   - throughput        — delivered bytes / measurement window,
+///   - latency           — end-to-end per packet (creation -> delivery),
+///                         and per *message* for multimedia (whole video
+///                         frames) and best-effort transfers,
+///   - jitter            — standard deviation of latency,
+///   - CDF of latency    — P[latency <= x] curves,
+/// plus maximum latency ("the closing vertical line in the CDF figure").
+///
+/// Only traffic *created inside* the measurement window is counted, so
+/// warm-up transients and drain-phase tails don't bias the numbers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "proto/packet.hpp"
+#include "proto/types.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+/// Aggregated per-class results, in convenient printable units.
+struct ClassReport {
+  TrafficClass tclass = TrafficClass::kControl;
+  std::uint64_t packets = 0;
+  std::uint64_t messages = 0;
+  double throughput_bytes_per_sec = 0.0;
+  double offered_bytes_per_sec = 0.0;  ///< injected into NIC queues
+  double avg_packet_latency_us = 0.0;
+  double max_packet_latency_us = 0.0;
+  double jitter_us = 0.0;  ///< stddev of packet latency
+  double p99_packet_latency_us = 0.0;
+  double avg_message_latency_us = 0.0;
+  double max_message_latency_us = 0.0;
+  double p99_message_latency_us = 0.0;
+  /// EDF view: fraction of packets delivered past their deadline tag, and
+  /// the mean remaining budget (us; negative = late on average).
+  double deadline_miss_fraction = 0.0;
+  double avg_slack_us = 0.0;
+};
+
+class MetricsCollector {
+ public:
+  MetricsCollector();
+
+  /// Only samples with creation time in [start, end) are recorded.
+  void set_window(TimePoint start, TimePoint end);
+  [[nodiscard]] TimePoint window_start() const { return start_; }
+  [[nodiscard]] TimePoint window_end() const { return end_; }
+
+  /// Hooks — wire these to the Hosts' callbacks. `slack` is the remaining
+  /// time-to-deadline at delivery (negative = missed).
+  void on_packet_delivered(const Packet& p, TimePoint now,
+                           Duration slack = Duration::zero());
+  void on_message_delivered(TrafficClass tclass, TimePoint created,
+                            std::uint64_t bytes, TimePoint completed);
+  /// Offered load accounting (called at submission).
+  void on_message_offered(TrafficClass tclass, std::uint64_t bytes, TimePoint now);
+
+  [[nodiscard]] ClassReport report(TrafficClass c) const;
+
+  /// Raw sample access for CDF curves.
+  [[nodiscard]] const SampleSet& packet_latency(TrafficClass c) const {
+    return pkt_latency_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const SampleSet& message_latency(TrafficClass c) const {
+    return msg_latency_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t delivered_bytes(TrafficClass c) const {
+    return bytes_delivered_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  [[nodiscard]] bool in_window(TimePoint created) const {
+    return created >= start_ && created < end_;
+  }
+
+  TimePoint start_ = TimePoint::zero();
+  TimePoint end_ = TimePoint::max();
+  std::array<SampleSet, kNumTrafficClasses> pkt_latency_;   // microseconds
+  std::array<SampleSet, kNumTrafficClasses> msg_latency_;   // microseconds
+  std::array<std::uint64_t, kNumTrafficClasses> bytes_delivered_{};
+  std::array<std::uint64_t, kNumTrafficClasses> bytes_offered_{};
+  std::array<std::uint64_t, kNumTrafficClasses> messages_{};
+  std::array<StreamingStats, kNumTrafficClasses> slack_us_{};
+  std::array<std::uint64_t, kNumTrafficClasses> deadline_misses_{};
+};
+
+}  // namespace dqos

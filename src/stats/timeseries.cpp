@@ -1,0 +1,41 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+TimeSeries::TimeSeries(TimePoint start, Duration bin_width, std::size_t max_bins)
+    : start_(start), bin_width_(bin_width), sums_(max_bins, 0.0) {
+  DQOS_EXPECTS(bin_width > Duration::zero());
+  DQOS_EXPECTS(max_bins > 0);
+}
+
+void TimeSeries::add(TimePoint t, double value) {
+  if (t < start_) {
+    ++clipped_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((t - start_) / bin_width_);
+  if (bin >= sums_.size()) {
+    ++clipped_;
+    return;
+  }
+  sums_[bin] += value;
+}
+
+StreamingStats TimeSeries::bin_stats(std::size_t first_bin,
+                                     std::size_t last_bin) const {
+  StreamingStats s;
+  const std::size_t end = std::min(last_bin, sums_.size());
+  for (std::size_t i = first_bin; i < end; ++i) s.add(sums_[i]);
+  return s;
+}
+
+double TimeSeries::burstiness(std::size_t first_bin, std::size_t last_bin) const {
+  const StreamingStats s = bin_stats(first_bin, last_bin);
+  return s.mean() != 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+}  // namespace dqos

@@ -1,0 +1,53 @@
+/// \file timeseries.hpp
+/// Fixed-bin time series for occupancy and burstiness probes.
+///
+/// The eligible-time ablation (A2) needs to *see* injection bursts, not
+/// just their downstream symptoms: a TimeSeries accumulates a quantity
+/// (bytes injected, packets queued, link busy time) into fixed time bins
+/// and reports per-bin statistics — in particular the coefficient of
+/// variation across bins, the standard burstiness index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+class TimeSeries {
+ public:
+  /// Bins cover [start, start + bin_width * max_bins); samples outside are
+  /// dropped (counted as `clipped`).
+  TimeSeries(TimePoint start, Duration bin_width, std::size_t max_bins);
+
+  /// Accumulates `value` into the bin containing `t`.
+  void add(TimePoint t, double value);
+
+  [[nodiscard]] std::size_t bins() const { return sums_.size(); }
+  [[nodiscard]] double bin_sum(std::size_t i) const { return sums_.at(i); }
+  [[nodiscard]] TimePoint bin_start(std::size_t i) const {
+    return start_ + bin_width_ * static_cast<std::int64_t>(i);
+  }
+  [[nodiscard]] Duration bin_width() const { return bin_width_; }
+  [[nodiscard]] std::uint64_t clipped() const { return clipped_; }
+
+  /// Statistics over the per-bin sums, restricted to [first_bin, last_bin)
+  /// so callers can skip warm-up bins. Defaults to all bins.
+  [[nodiscard]] StreamingStats bin_stats(std::size_t first_bin = 0,
+                                         std::size_t last_bin = ~std::size_t{0}) const;
+
+  /// Coefficient of variation of the per-bin sums — the burstiness index
+  /// (0 = perfectly smooth). Zero-mean series report 0.
+  [[nodiscard]] double burstiness(std::size_t first_bin = 0,
+                                  std::size_t last_bin = ~std::size_t{0}) const;
+
+ private:
+  TimePoint start_;
+  Duration bin_width_;
+  std::vector<double> sums_;
+  std::uint64_t clipped_ = 0;
+};
+
+}  // namespace dqos

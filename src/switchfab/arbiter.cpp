@@ -1,0 +1,89 @@
+#include "switchfab/arbiter.hpp"
+
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+std::optional<std::size_t> EdfInputArbiter::pick(std::span<const ArbCandidate> cands) {
+  if (cands.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    const bool earlier =
+        cands[i].pkt->local_deadline < cands[best].pkt->local_deadline ||
+        (cands[i].pkt->local_deadline == cands[best].pkt->local_deadline &&
+         cands[i].input < cands[best].input);
+    if (earlier) best = i;
+  }
+  return best;
+}
+
+std::optional<std::size_t> RoundRobinInputArbiter::pick(
+    std::span<const ArbCandidate> cands) {
+  if (cands.empty()) return std::nullopt;
+  // Candidates come sorted by input index (the switch scans inputs in
+  // order); pick the first with input > last_, wrapping.
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].input > last_ && cands[i].input < num_inputs_) return i;
+  }
+  return 0;  // wrap around
+}
+
+std::unique_ptr<InputArbiter> make_input_arbiter(InputArbiterKind kind,
+                                                 std::size_t num_inputs) {
+  switch (kind) {
+    case InputArbiterKind::kEdf: return std::make_unique<EdfInputArbiter>();
+    case InputArbiterKind::kRoundRobin:
+      return std::make_unique<RoundRobinInputArbiter>(num_inputs);
+  }
+  DQOS_ASSERT(false);
+  return nullptr;
+}
+
+StrictPriorityVcPolicy::StrictPriorityVcPolicy(std::uint8_t num_vcs) {
+  DQOS_EXPECTS(num_vcs >= 1);
+  order_.resize(num_vcs);
+  std::iota(order_.begin(), order_.end(), VcId{0});
+}
+
+WeightedVcPolicy::WeightedVcPolicy(std::vector<std::uint32_t> weights,
+                                   std::uint32_t quantum_bytes)
+    : weights_(std::move(weights)),
+      deficit_(weights_.size(), 0),
+      quantum_(quantum_bytes) {
+  DQOS_EXPECTS(!weights_.empty() && quantum_bytes > 0);
+  for (std::size_t vc = 0; vc < weights_.size(); ++vc) {
+    DQOS_EXPECTS(weights_[vc] > 0);
+    deficit_[vc] = static_cast<std::int64_t>(weights_[vc]) * quantum_;
+  }
+}
+
+std::vector<VcId> WeightedVcPolicy::order() {
+  // Current VC first while it retains deficit, then the others in ring
+  // order. The switch skips unservable VCs, keeping the policy
+  // work-conserving.
+  std::vector<VcId> out;
+  out.reserve(weights_.size());
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    out.push_back(static_cast<VcId>((current_ + i) % weights_.size()));
+  }
+  return out;
+}
+
+void WeightedVcPolicy::granted(VcId vc, std::uint32_t bytes) {
+  DQOS_EXPECTS(vc < weights_.size());
+  if (vc != current_) {
+    // The ring moved on (earlier VCs were empty/blocked): make `vc` current
+    // with a fresh allocation before charging.
+    current_ = vc;
+    deficit_[vc] = static_cast<std::int64_t>(weights_[vc]) * quantum_;
+  }
+  deficit_[vc] -= bytes;
+  if (deficit_[vc] <= 0) {
+    current_ = (current_ + 1) % weights_.size();
+    deficit_[current_] = static_cast<std::int64_t>(weights_[current_]) * quantum_;
+  }
+}
+
+}  // namespace dqos

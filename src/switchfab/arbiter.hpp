@@ -1,0 +1,121 @@
+/// \file arbiter.hpp
+/// Output-port arbitration policies.
+///
+/// Two orthogonal decisions are made whenever an output link frees up:
+///   1. Which VC to serve — VcSelectionPolicy. The paper's architectures
+///      give the regulated VC *absolute* priority over best-effort (§3.2);
+///      the Traditional architecture may also be configured with a
+///      PCI AS / InfiniBand style weighted arbitration table over many VCs
+///      (ablation A5).
+///   2. Which input's VOQ head to grant within that VC — InputArbiter.
+///      EDF architectures compare the deadline tags of the candidate heads
+///      (the "sorting network" argument of §3.2: inputs present ascending-
+///      deadline streams, so heads suffice). The Traditional architecture
+///      is deadline-blind and uses round-robin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/packet.hpp"
+#include "proto/types.hpp"
+
+namespace dqos {
+
+/// One entrant in an arbitration round: the candidate head of an input's
+/// VOQ for the contended output.
+struct ArbCandidate {
+  std::size_t input = 0;
+  const Packet* pkt = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Input selection within a VC
+// ---------------------------------------------------------------------------
+
+class InputArbiter {
+ public:
+  virtual ~InputArbiter() = default;
+  /// Index into `cands` of the winner; nullopt iff `cands` is empty.
+  /// Must be deterministic.
+  [[nodiscard]] virtual std::optional<std::size_t> pick(
+      std::span<const ArbCandidate> cands) = 0;
+  /// Called when the picked packet was actually granted (round-robin
+  /// pointers advance only on grants, not on credit-blocked attempts).
+  virtual void granted(std::size_t input) = 0;
+};
+
+/// EDF: minimum deadline wins; ties resolved by lowest input index
+/// (deterministic; with picosecond deadlines ties are negligible).
+class EdfInputArbiter final : public InputArbiter {
+ public:
+  [[nodiscard]] std::optional<std::size_t> pick(
+      std::span<const ArbCandidate> cands) override;
+  void granted(std::size_t /*input*/) override {}
+};
+
+/// Round-robin over input ports, starting after the last grant.
+class RoundRobinInputArbiter final : public InputArbiter {
+ public:
+  explicit RoundRobinInputArbiter(std::size_t num_inputs) : num_inputs_(num_inputs) {}
+  [[nodiscard]] std::optional<std::size_t> pick(
+      std::span<const ArbCandidate> cands) override;
+  void granted(std::size_t input) override { last_ = input; }
+
+ private:
+  std::size_t num_inputs_;
+  std::size_t last_ = ~std::size_t{0};  // first round starts at input 0
+};
+
+enum class InputArbiterKind : std::uint8_t { kEdf, kRoundRobin };
+std::unique_ptr<InputArbiter> make_input_arbiter(InputArbiterKind kind,
+                                                 std::size_t num_inputs);
+
+// ---------------------------------------------------------------------------
+// VC selection
+// ---------------------------------------------------------------------------
+
+class VcSelectionPolicy {
+ public:
+  virtual ~VcSelectionPolicy() = default;
+  /// VCs in the order they should be offered the link for this decision.
+  /// The switch takes the first VC that yields a transmittable packet.
+  [[nodiscard]] virtual std::vector<VcId> order() = 0;
+  virtual void granted(VcId vc, std::uint32_t bytes) = 0;
+};
+
+/// Strict priority: VC0 always first. The paper's two-VC architectures.
+class StrictPriorityVcPolicy final : public VcSelectionPolicy {
+ public:
+  explicit StrictPriorityVcPolicy(std::uint8_t num_vcs);
+  [[nodiscard]] std::vector<VcId> order() override { return order_; }
+  void granted(VcId, std::uint32_t) override {}
+
+ private:
+  std::vector<VcId> order_;
+};
+
+/// Deficit-weighted round robin, modelling the IBA / PCI AS VC arbitration
+/// table. Each VC carries a weight; a VC keeps the grant as long as its
+/// deficit (replenished as quantum * weight) lasts. Work-conserving: empty
+/// or blocked VCs are skipped.
+class WeightedVcPolicy final : public VcSelectionPolicy {
+ public:
+  /// `weights` — one per VC, relative shares (e.g. {1,1,1,1}).
+  /// `quantum_bytes` — bytes of service per weight unit per round.
+  explicit WeightedVcPolicy(std::vector<std::uint32_t> weights,
+                            std::uint32_t quantum_bytes = 4096);
+  [[nodiscard]] std::vector<VcId> order() override;
+  void granted(VcId vc, std::uint32_t bytes) override;
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::vector<std::int64_t> deficit_;
+  std::uint32_t quantum_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace dqos

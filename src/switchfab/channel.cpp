@@ -1,0 +1,52 @@
+#include "switchfab/channel.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+Channel::Channel(Simulator& sim, Bandwidth bw, Duration latency, std::uint8_t num_vcs,
+                 std::uint32_t credits_per_vc)
+    : sim_(sim), bw_(bw), latency_(latency) {
+  DQOS_EXPECTS(bw.valid());
+  DQOS_EXPECTS(latency >= Duration::zero());
+  DQOS_EXPECTS(num_vcs >= 1);
+  DQOS_EXPECTS(credits_per_vc > 0);
+  credits_.assign(num_vcs, static_cast<std::int64_t>(credits_per_vc));
+}
+
+void Channel::connect_to(PacketReceiver* dst, PortId dst_port) {
+  DQOS_EXPECTS(dst != nullptr && dst_ == nullptr);
+  dst_ = dst;
+  dst_port_ = dst_port;
+}
+
+void Channel::consume_credits(VcId vc, std::uint32_t bytes) {
+  DQOS_EXPECTS(vc < credits_.size());
+  DQOS_EXPECTS(has_credits(vc, bytes));
+  credits_[vc] -= bytes;
+}
+
+void Channel::return_credits(VcId vc, std::uint32_t bytes) {
+  DQOS_EXPECTS(vc < credits_.size());
+  sim_.schedule_after(latency_, [this, vc, bytes] {
+    credits_[vc] += bytes;
+    if (on_credit_) on_credit_();
+  });
+}
+
+void Channel::send(PacketPtr p) {
+  DQOS_EXPECTS(dst_ != nullptr);
+  DQOS_EXPECTS(p != nullptr);
+  const Duration ser = serialization_time(p->size());
+  ++packets_sent_;
+  bytes_sent_ += p->size();
+  busy_time_ += ser;
+  // shared_ptr shim: std::function requires copyable closures, PacketPtr is
+  // move-only.
+  auto shared = std::make_shared<PacketPtr>(std::move(p));
+  sim_.schedule_after(ser + latency_, [this, shared]() mutable {
+    dst_->receive_packet(std::move(*shared), dst_port_);
+  });
+}
+
+}  // namespace dqos

@@ -1,0 +1,86 @@
+/// \file channel.hpp
+/// A directed network channel with credit-based flow control.
+///
+/// High-speed interconnects never drop packets: the sender only transmits
+/// when it holds byte credits for the receiver's input buffer (§2.2, §5:
+/// "no packets are dropped due to the use of credit-based flow control").
+/// A Channel models one direction of a physical link:
+///   - sender-side credit counters, one per VC, initialized to the
+///     downstream per-VC buffer capacity;
+///   - serialization at the link bandwidth plus a fixed propagation +
+///     downstream-processing latency;
+///   - the credit-return path (the reverse wire), modelled as the same
+///     fixed latency applied to credit symbols.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "proto/packet_pool.hpp"
+#include "proto/types.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+/// Anything that can accept packets from a channel (switches and hosts).
+class PacketReceiver {
+ public:
+  virtual ~PacketReceiver() = default;
+  virtual void receive_packet(PacketPtr p, PortId in_port) = 0;
+};
+
+class Channel {
+ public:
+  /// `credits_per_vc` must equal the downstream input buffer's per-VC
+  /// capacity for flow control to be lossless and deadlock-free.
+  Channel(Simulator& sim, Bandwidth bw, Duration latency, std::uint8_t num_vcs,
+          std::uint32_t credits_per_vc);
+
+  void connect_to(PacketReceiver* dst, PortId dst_port);
+
+  /// Called by the sender when fresh credits arrive (to retry arbitration).
+  void set_on_credit(std::function<void()> cb) { on_credit_ = std::move(cb); }
+
+  // --- sender-side credit view ---
+  [[nodiscard]] bool has_credits(VcId vc, std::uint32_t bytes) const {
+    return credits_[vc] >= static_cast<std::int64_t>(bytes);
+  }
+  [[nodiscard]] std::int64_t credits(VcId vc) const { return credits_[vc]; }
+  void consume_credits(VcId vc, std::uint32_t bytes);
+
+  /// Called by the *receiver* when it frees `bytes` of VC buffer space.
+  /// The credits become visible to the sender after the wire latency.
+  void return_credits(VcId vc, std::uint32_t bytes);
+
+  /// Time the link needs to serialize `bytes`.
+  [[nodiscard]] Duration serialization_time(std::uint32_t bytes) const {
+    return bw_.transfer_time(bytes);
+  }
+  [[nodiscard]] Bandwidth bandwidth() const { return bw_; }
+  [[nodiscard]] Duration latency() const { return latency_; }
+
+  /// Ships a packet departing *now*: the receiver gets it at
+  /// now + serialization + latency. The caller is responsible for keeping
+  /// its output busy for the serialization time (crossbar/link occupancy).
+  void send(PacketPtr p);
+
+  // --- occupancy statistics ---
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] Duration busy_time() const { return busy_time_; }
+
+ private:
+  Simulator& sim_;
+  Bandwidth bw_;
+  Duration latency_;
+  std::vector<std::int64_t> credits_;
+  PacketReceiver* dst_ = nullptr;
+  PortId dst_port_ = kInvalidPort;
+  std::function<void()> on_credit_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  Duration busy_time_ = Duration::zero();
+};
+
+}  // namespace dqos

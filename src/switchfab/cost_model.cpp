@@ -1,0 +1,99 @@
+#include "switchfab/cost_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+namespace {
+
+double log2_ceil(double x) { return std::ceil(std::log2(x)); }
+
+}  // namespace
+
+CostBreakdown CostModel::buffer_cost(QueueKind kind,
+                                     std::uint32_t buffer_bytes) const {
+  DQOS_EXPECTS(buffer_bytes > 0);
+  CostBreakdown c;
+  c.sram_bits = buffer_bytes * 8.0;  // payload storage, all organizations
+
+  const double max_entries =
+      std::max(1.0, static_cast<double>(buffer_bytes) / p_.min_packet_bytes);
+  const double tag_reg_bits = p_.deadline_tag_bits + p_.pointer_bits;
+
+  switch (kind) {
+    case QueueKind::kFifo:
+      // Head/tail pointers + control FSM.
+      c.logic_gates = 2 * p_.pointer_bits * p_.gates_per_register_bit +
+                      p_.gates_per_fifo_control;
+      break;
+    case QueueKind::kTakeover:
+      // Two FIFOs over the same SRAM + one enqueue comparator (against the
+      // ordered queue's tail tag) + one dequeue comparator (between the two
+      // head tags) + three extra tag registers (L tail, L head, U head).
+      c.logic_gates = 4 * p_.pointer_bits * p_.gates_per_register_bit +
+                      2 * p_.gates_per_fifo_control +
+                      2 * p_.deadline_tag_bits * p_.gates_per_comparator_bit +
+                      3 * p_.deadline_tag_bits * p_.gates_per_register_bit;
+      break;
+    case QueueKind::kHeap: {
+      // Pipelined heap (Ioannou & Katevenis): every entry stores a
+      // (tag, pointer) record; each of the log2(entries) levels needs two
+      // tag comparators and a swap register stage.
+      const double levels = log2_ceil(max_entries);
+      c.sram_bits += max_entries * tag_reg_bits;
+      c.logic_gates =
+          levels * (2 * p_.deadline_tag_bits * p_.gates_per_comparator_bit +
+                    2 * tag_reg_bits * p_.gates_per_register_bit) +
+          p_.gates_per_fifo_control;
+      break;
+    }
+  }
+  return c;
+}
+
+CostBreakdown CostModel::arbiter_cost(InputArbiterKind kind,
+                                      std::size_t num_inputs) const {
+  DQOS_EXPECTS(num_inputs >= 1);
+  CostBreakdown c;
+  switch (kind) {
+    case InputArbiterKind::kEdf:
+      // Comparator tree over the candidate head tags.
+      c.logic_gates = static_cast<double>(num_inputs - 1) *
+                      p_.deadline_tag_bits * p_.gates_per_comparator_bit;
+      break;
+    case InputArbiterKind::kRoundRobin:
+      // Rotating priority encoder: ~4 gates per input plus pointer reg.
+      c.logic_gates = 4.0 * static_cast<double>(num_inputs) +
+                      log2_ceil(static_cast<double>(num_inputs)) *
+                          p_.gates_per_register_bit;
+      break;
+  }
+  return c;
+}
+
+CostBreakdown CostModel::switch_cost(SwitchArch arch, std::size_t ports,
+                                     std::uint8_t vcs,
+                                     std::uint32_t buffer_bytes) const {
+  DQOS_EXPECTS(ports >= 2 && vcs >= 1);
+  const QueueKind kind = queue_kind_for(arch);
+  const InputArbiterKind arb = input_arbiter_for(arch);
+  CostBreakdown total;
+  // Combined input/output buffering: 2 buffer instances per (port, VC).
+  total += (2.0 * static_cast<double>(ports) * vcs) *
+           buffer_cost(kind, buffer_bytes);
+  // One crossbar arbiter per (output, VC).
+  total += (static_cast<double>(ports) * vcs) * arbiter_cost(arb, ports);
+  return total;
+}
+
+double CostModel::relative_area(SwitchArch arch, std::size_t ports,
+                                std::uint8_t vcs,
+                                std::uint32_t buffer_bytes) const {
+  const double base =
+      switch_cost(SwitchArch::kTraditional2Vc, ports, vcs, buffer_bytes)
+          .area_units(p_);
+  return switch_cost(arch, ports, vcs, buffer_bytes).area_units(p_) / base;
+}
+
+}  // namespace dqos

@@ -1,0 +1,50 @@
+#include "switchfab/input_buffer.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+InputBuffer::InputBuffer(QueueKind kind, std::uint32_t capacity_bytes,
+                         std::size_t num_outputs)
+    : capacity_(capacity_bytes) {
+  DQOS_EXPECTS(capacity_bytes > 0 && num_outputs > 0);
+  queues_.reserve(num_outputs);
+  for (std::size_t i = 0; i < num_outputs; ++i) queues_.push_back(make_queue(kind));
+}
+
+void InputBuffer::enqueue(PacketPtr p, std::size_t output) {
+  DQOS_EXPECTS(p != nullptr && output < queues_.size());
+  // Credit-based flow control must prevent overruns; an overflow here means
+  // the upstream consumed credits it did not hold.
+  DQOS_ASSERT(has_space(p->size()));
+  used_bytes_ += p->size();
+  ++total_packets_;
+  queues_[output]->enqueue(std::move(p));
+}
+
+PacketPtr InputBuffer::dequeue(std::size_t output) {
+  DQOS_EXPECTS(output < queues_.size());
+  PacketPtr p = queues_[output]->dequeue();
+  DQOS_ASSERT(used_bytes_ >= p->size() && total_packets_ > 0);
+  used_bytes_ -= p->size();
+  --total_packets_;
+  return p;
+}
+
+std::uint64_t InputBuffer::order_errors() const {
+  std::uint64_t sum = 0;
+  for (const auto& q : queues_) sum += q->order_errors();
+  return sum;
+}
+
+std::uint64_t InputBuffer::takeovers() const {
+  std::uint64_t sum = 0;
+  for (const auto& q : queues_) {
+    if (const auto* t = dynamic_cast<const TakeoverQueue*>(q.get())) {
+      sum += t->takeovers();
+    }
+  }
+  return sum;
+}
+
+}  // namespace dqos

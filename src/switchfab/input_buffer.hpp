@@ -1,0 +1,61 @@
+/// \file input_buffer.hpp
+/// One input-port, one-VC buffer with virtual output queuing (VOQ).
+///
+/// The paper's switches use combined input/output buffering with VOQ "at
+/// the switch level ... the usual solution to avoid head-of-line blocking"
+/// (§4.1), and 8 KB of buffer *per VC* shared by that VC's virtual output
+/// queues. Each VOQ is an instance of the architecture's queue discipline
+/// (FIFO / heap / take-over); the byte budget is accounted here, across all
+/// VOQs of the VC, which is exactly what the upstream credit counter
+/// mirrors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "switchfab/queue_discipline.hpp"
+
+namespace dqos {
+
+class InputBuffer {
+ public:
+  /// `capacity_bytes` — the per-VC budget (8 KB in the paper).
+  /// `num_outputs`    — VOQ fan-out (one queue per switch output).
+  InputBuffer(QueueKind kind, std::uint32_t capacity_bytes, std::size_t num_outputs);
+
+  [[nodiscard]] bool has_space(std::uint32_t bytes) const {
+    return used_bytes_ + bytes <= capacity_;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+  /// Enqueues into the VOQ for `output`. Caller must have checked space
+  /// (credit flow control guarantees it; violation is a protocol bug).
+  void enqueue(PacketPtr p, std::size_t output);
+
+  /// Transmission candidate of the VOQ for `output` (nullptr if empty).
+  [[nodiscard]] const Packet* candidate(std::size_t output) const {
+    return queues_[output]->candidate();
+  }
+
+  PacketPtr dequeue(std::size_t output);
+
+  [[nodiscard]] std::size_t packets(std::size_t output) const {
+    return queues_[output]->packets();
+  }
+  [[nodiscard]] std::size_t total_packets() const { return total_packets_; }
+  [[nodiscard]] bool empty() const { return total_packets_ == 0; }
+  [[nodiscard]] std::size_t num_outputs() const { return queues_.size(); }
+
+  /// Diagnostics aggregated over the VOQs.
+  [[nodiscard]] std::uint64_t order_errors() const;
+  [[nodiscard]] std::uint64_t takeovers() const;
+
+ private:
+  std::uint32_t capacity_;
+  std::uint64_t used_bytes_ = 0;
+  std::size_t total_packets_ = 0;
+  std::vector<std::unique_ptr<QueueDiscipline>> queues_;
+};
+
+}  // namespace dqos

@@ -1,0 +1,80 @@
+#include "switchfab/pipelined_heap.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+PipelinedHeapModel::PipelinedHeapModel(std::size_t capacity, Duration cycle)
+    : capacity_(capacity), cycle_(cycle) {
+  DQOS_EXPECTS(capacity >= 2);
+  DQOS_EXPECTS(cycle > Duration::zero());
+  levels_ = 1;
+  while ((std::size_t{1} << levels_) - 1 < capacity) ++levels_;
+  keys_.reserve(capacity);
+}
+
+PipelinedHeapModel::Timing PipelinedHeapModel::issue(TimePoint now) {
+  // Pipelining: ops may issue every cycle, but never before the previous
+  // op has cleared the first level.
+  const TimePoint start = max(now, next_issue_);
+  next_issue_ = start + cycle_;
+  ++ops_;
+  return Timing{start + op_latency(), next_issue_};
+}
+
+PipelinedHeapModel::Timing PipelinedHeapModel::insert(std::int64_t key,
+                                                      TimePoint now) {
+  DQOS_EXPECTS(keys_.size() < capacity_);
+  keys_.push_back(key);
+  sift_up(keys_.size() - 1);
+  return issue(now);
+}
+
+PipelinedHeapModel::Timing PipelinedHeapModel::extract_min(TimePoint now,
+                                                           std::int64_t* key_out) {
+  DQOS_EXPECTS(!keys_.empty());
+  if (key_out) *key_out = keys_.front();
+  keys_.front() = keys_.back();
+  keys_.pop_back();
+  if (!keys_.empty()) sift_down(0);
+  return issue(now);
+}
+
+PipelinedHeapModel::Timing PipelinedHeapModel::extract_min(
+    std::int64_t key_out_check, TimePoint now) {
+  std::int64_t k = 0;
+  const Timing t = extract_min(now, &k);
+  DQOS_ASSERT(k == key_out_check);
+  return t;
+}
+
+std::int64_t PipelinedHeapModel::min() const {
+  DQOS_EXPECTS(!keys_.empty());
+  return keys_.front();
+}
+
+void PipelinedHeapModel::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (keys_[parent] <= keys_[i]) break;
+    std::swap(keys_[parent], keys_[i]);
+    i = parent;
+  }
+}
+
+void PipelinedHeapModel::sift_down(std::size_t i) {
+  const std::size_t n = keys_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && keys_[l] < keys_[smallest]) smallest = l;
+    if (r < n && keys_[r] < keys_[smallest]) smallest = r;
+    if (smallest == i) return;
+    std::swap(keys_[i], keys_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace dqos

@@ -1,0 +1,156 @@
+#include "switchfab/queue_discipline.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+std::string_view to_string(QueueKind k) {
+  switch (k) {
+    case QueueKind::kFifo: return "fifo";
+    case QueueKind::kHeap: return "heap";
+    case QueueKind::kTakeover: return "takeover";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- FifoQueue
+
+void FifoQueue::enqueue(PacketPtr p) {
+  DQOS_EXPECTS(p != nullptr);
+  note_enqueue(*p);
+  deadlines_.insert(p->local_deadline.ps());
+  q_.push_back(std::move(p));
+}
+
+const Packet* FifoQueue::candidate() const {
+  return q_.empty() ? nullptr : q_.front().get();
+}
+
+PacketPtr FifoQueue::dequeue() {
+  DQOS_EXPECTS(!q_.empty());
+  const TimePoint min_before = min_deadline();
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  note_dequeue(*p, min_before);
+  const auto it = deadlines_.find(p->local_deadline.ps());
+  DQOS_ASSERT(it != deadlines_.end());
+  deadlines_.erase(it);
+  return p;
+}
+
+TimePoint FifoQueue::min_deadline() const {
+  return deadlines_.empty() ? TimePoint::max() : TimePoint::from_ps(*deadlines_.begin());
+}
+
+// ---------------------------------------------------------------- HeapQueue
+
+void HeapQueue::enqueue(PacketPtr p) {
+  DQOS_EXPECTS(p != nullptr);
+  note_enqueue(*p);
+  heap_.push_back(Entry{p->local_deadline, next_seq_++, std::move(p)});
+  sift_up(heap_.size() - 1);
+}
+
+const Packet* HeapQueue::candidate() const {
+  return heap_.empty() ? nullptr : heap_.front().pkt.get();
+}
+
+PacketPtr HeapQueue::dequeue() {
+  DQOS_EXPECTS(!heap_.empty());
+  // Head is the min: never an order error.
+  note_dequeue(*heap_.front().pkt, min_deadline());
+  PacketPtr p = std::move(heap_.front().pkt);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return p;
+}
+
+TimePoint HeapQueue::min_deadline() const {
+  return heap_.empty() ? TimePoint::max() : heap_.front().deadline;
+}
+
+void HeapQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!(heap_[parent] > heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void HeapQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && heap_[smallest] > heap_[l]) smallest = l;
+    if (r < n && heap_[smallest] > heap_[r]) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+// ------------------------------------------------------------ TakeoverQueue
+
+void TakeoverQueue::enqueue(PacketPtr p) {
+  DQOS_EXPECTS(p != nullptr);
+  note_enqueue(*p);
+  if (lq_.empty()) {
+    // Definition 1: both queues empty -> L. (L empty while U holds packets
+    // is unreachable, Lemma 1 — assert the invariant instead of handling it.)
+    DQOS_ASSERT(uq_.empty());
+    lq_.push_back(std::move(p));
+    return;
+  }
+  if (p->local_deadline >= lq_.back()->local_deadline) {
+    lq_.push_back(std::move(p));
+  } else {
+    ++takeovers_;
+    uq_.push_back(std::move(p));
+  }
+}
+
+bool TakeoverQueue::pick_upper() const {
+  DQOS_ASSERT(!lq_.empty());  // Lemma 1
+  return !uq_.empty() && uq_.front()->local_deadline < lq_.front()->local_deadline;
+}
+
+const Packet* TakeoverQueue::candidate() const {
+  if (lq_.empty()) return nullptr;
+  return pick_upper() ? uq_.front().get() : lq_.front().get();
+}
+
+PacketPtr TakeoverQueue::dequeue() {
+  DQOS_EXPECTS(!empty());
+  const TimePoint min_before = min_deadline();
+  auto& q = pick_upper() ? uq_ : lq_;
+  PacketPtr p = std::move(q.front());
+  q.pop_front();
+  note_dequeue(*p, min_before);
+  return p;
+}
+
+TimePoint TakeoverQueue::min_deadline() const {
+  // L is deadline-sorted (Theorem 1) so its min is the head; U is not, so
+  // scan it. U is small in practice (only take-over packets), and this is
+  // diagnostics-only — hardware would not do it.
+  TimePoint m = lq_.empty() ? TimePoint::max() : lq_.front()->local_deadline;
+  for (const auto& p : uq_) m = min(m, p->local_deadline);
+  return m;
+}
+
+// ------------------------------------------------------------------ factory
+
+std::unique_ptr<QueueDiscipline> make_queue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kFifo: return std::make_unique<FifoQueue>();
+    case QueueKind::kHeap: return std::make_unique<HeapQueue>();
+    case QueueKind::kTakeover: return std::make_unique<TakeoverQueue>();
+  }
+  DQOS_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace dqos

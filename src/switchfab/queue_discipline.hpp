@@ -1,0 +1,155 @@
+/// \file queue_discipline.hpp
+/// The three buffer organizations the paper evaluates (§3.2, §3.4, §4.1).
+///
+/// - FifoQueue     — a plain FIFO. The *Simple 2 VCs* architecture: the
+///                   arbiter may only look at the head, so a high-deadline
+///                   packet at the front penalizes low-deadline packets
+///                   behind it (an *order error*).
+/// - HeapQueue     — a deadline-ordered priority queue. The *Ideal*
+///                   architecture: always exposes the minimum-deadline
+///                   packet, but a hardware heap per buffer is unfeasible
+///                   at high radix (the paper cites Ioannou & Katevenis).
+/// - TakeoverQueue — the paper's contribution (§3.4 + appendix): two FIFOs,
+///                   an *ordered queue* L and a *take-over queue* U.
+///                   Enqueue (Definition 1): to L iff deadline >= L's tail,
+///                   else to U. Dequeue (Definition 2): the smaller-deadline
+///                   of the two heads. Provably never reorders packets of a
+///                   single flow (Theorems 1-3) while sharply reducing order
+///                   errors.
+///
+/// All disciplines expose a single `candidate()`: per the appendix's flow
+/// control note, **only the minimum-deadline head is checked for credits**,
+/// otherwise a smaller packet could sneak out and corrupt the discipline.
+///
+/// Order errors are counted at dequeue time: an order error occurs when the
+/// packet handed out has a strictly larger deadline than some packet still
+/// waiting in the same buffer (the scheduler did not choose the earliest
+/// deadline; §3.4 distinguishes this from out-of-order *delivery*).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "proto/packet_pool.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+enum class QueueKind : std::uint8_t {
+  kFifo = 0,      ///< Simple 2 VCs / Traditional
+  kHeap = 1,      ///< Ideal
+  kTakeover = 2,  ///< Advanced 2 VCs
+};
+
+std::string_view to_string(QueueKind k);
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  /// Stores `p`. `p->local_deadline` must already be reconstructed into this
+  /// node's clock domain.
+  virtual void enqueue(PacketPtr p) = 0;
+
+  /// The unique packet eligible for transmission, or nullptr if empty.
+  [[nodiscard]] virtual const Packet* candidate() const = 0;
+
+  /// Removes and returns the candidate. Queue must be non-empty.
+  virtual PacketPtr dequeue() = 0;
+
+  [[nodiscard]] virtual std::size_t packets() const = 0;
+  [[nodiscard]] bool empty() const { return packets() == 0; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+  /// Smallest deadline currently queued (TimePoint::max() if empty).
+  /// Diagnostic only — architectures must not schedule from it.
+  [[nodiscard]] virtual TimePoint min_deadline() const = 0;
+
+  /// Dequeues whose packet was not the true queue minimum.
+  [[nodiscard]] std::uint64_t order_errors() const { return order_errors_; }
+
+ protected:
+  void note_enqueue(const Packet& p) { bytes_ += p.size(); }
+  /// `min_before_removal` is min_deadline() computed while `p` was still
+  /// queued; a strictly larger deadline means another packet deserved to go.
+  void note_dequeue(const Packet& p, TimePoint min_before_removal) {
+    bytes_ -= p.size();
+    if (p.local_deadline > min_before_removal) ++order_errors_;
+  }
+
+ private:
+  std::uint64_t bytes_ = 0;
+  std::uint64_t order_errors_ = 0;
+};
+
+/// Plain FIFO. Tracks the multiset of queued deadlines purely for order-
+/// error diagnostics (a real switch would not).
+class FifoQueue final : public QueueDiscipline {
+ public:
+  void enqueue(PacketPtr p) override;
+  [[nodiscard]] const Packet* candidate() const override;
+  PacketPtr dequeue() override;
+  [[nodiscard]] std::size_t packets() const override { return q_.size(); }
+  [[nodiscard]] TimePoint min_deadline() const override;
+
+ private:
+  std::deque<PacketPtr> q_;
+  std::multiset<std::int64_t> deadlines_;
+};
+
+/// Deadline-ordered heap with FIFO tie-break (stable: equal deadlines leave
+/// in arrival order, so single-flow order is preserved even with ties).
+class HeapQueue final : public QueueDiscipline {
+ public:
+  void enqueue(PacketPtr p) override;
+  [[nodiscard]] const Packet* candidate() const override;
+  PacketPtr dequeue() override;
+  [[nodiscard]] std::size_t packets() const override { return heap_.size(); }
+  [[nodiscard]] TimePoint min_deadline() const override;
+
+ private:
+  struct Entry {
+    TimePoint deadline;
+    std::uint64_t seq;
+    PacketPtr pkt;
+    bool operator>(const Entry& o) const {
+      if (deadline != o.deadline) return deadline > o.deadline;
+      return seq > o.seq;
+    }
+  };
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Entry> heap_;  // manual binary min-heap (entries move-only)
+  std::uint64_t next_seq_ = 0;
+};
+
+/// The paper's ordered-queue + take-over-queue pair.
+class TakeoverQueue final : public QueueDiscipline {
+ public:
+  void enqueue(PacketPtr p) override;
+  [[nodiscard]] const Packet* candidate() const override;
+  PacketPtr dequeue() override;
+  [[nodiscard]] std::size_t packets() const override { return lq_.size() + uq_.size(); }
+  [[nodiscard]] TimePoint min_deadline() const override;
+
+  /// Packets routed to the take-over queue so far (ablation A1 metric).
+  [[nodiscard]] std::uint64_t takeovers() const { return takeovers_; }
+  [[nodiscard]] std::size_t ordered_packets() const { return lq_.size(); }
+  [[nodiscard]] std::size_t takeover_packets() const { return uq_.size(); }
+
+ private:
+  /// True if the dequeue candidate is U's head (strictly smaller deadline
+  /// than L's head; ties stay with L, matching Definition 2's "smallest").
+  [[nodiscard]] bool pick_upper() const;
+
+  std::deque<PacketPtr> lq_;  ///< L: ordered queue
+  std::deque<PacketPtr> uq_;  ///< U: take-over queue
+  std::uint64_t takeovers_ = 0;
+};
+
+std::unique_ptr<QueueDiscipline> make_queue(QueueKind kind);
+
+}  // namespace dqos

@@ -1,0 +1,260 @@
+#include "switchfab/switch.hpp"
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace dqos {
+
+std::string_view to_string(SwitchArch a) {
+  switch (a) {
+    case SwitchArch::kTraditional2Vc: return "Traditional 2 VCs";
+    case SwitchArch::kIdeal: return "Ideal";
+    case SwitchArch::kSimple2Vc: return "Simple 2 VCs";
+    case SwitchArch::kAdvanced2Vc: return "Advanced 2 VCs";
+  }
+  return "?";
+}
+
+QueueKind queue_kind_for(SwitchArch a) {
+  switch (a) {
+    case SwitchArch::kTraditional2Vc: return QueueKind::kFifo;
+    case SwitchArch::kIdeal: return QueueKind::kHeap;
+    case SwitchArch::kSimple2Vc: return QueueKind::kFifo;
+    case SwitchArch::kAdvanced2Vc: return QueueKind::kTakeover;
+  }
+  DQOS_ASSERT(false);
+  return QueueKind::kFifo;
+}
+
+InputArbiterKind input_arbiter_for(SwitchArch a) {
+  return a == SwitchArch::kTraditional2Vc ? InputArbiterKind::kRoundRobin
+                                          : InputArbiterKind::kEdf;
+}
+
+Switch::Switch(Simulator& sim, NodeId id, std::size_t num_ports,
+               const SwitchParams& params, LocalClock clock)
+    : sim_(sim), id_(id), params_(params), clock_(clock) {
+  DQOS_EXPECTS(num_ports >= 2);
+  DQOS_EXPECTS(params.num_vcs >= 1);
+  DQOS_EXPECTS(params.crossbar_speedup >= 1.0);
+  DQOS_EXPECTS(params.vc_weights.empty() ||
+               params.vc_weights.size() == params.num_vcs);
+  const QueueKind kind = queue_kind_for(params.arch);
+  inputs_.resize(num_ports);
+  outputs_.resize(num_ports);
+  for (auto& in : inputs_) {
+    in.vc_buf.reserve(params.num_vcs);
+    for (std::uint8_t vc = 0; vc < params.num_vcs; ++vc) {
+      in.vc_buf.push_back(std::make_unique<InputBuffer>(
+          kind, params.buffer_bytes_per_vc, num_ports));
+    }
+  }
+  for (auto& out : outputs_) {
+    out.link_vc_policy =
+        params.vc_weights.empty()
+            ? std::unique_ptr<VcSelectionPolicy>(
+                  std::make_unique<StrictPriorityVcPolicy>(params.num_vcs))
+            : std::unique_ptr<VcSelectionPolicy>(
+                  std::make_unique<WeightedVcPolicy>(params.vc_weights));
+    out.vc_q.reserve(params.num_vcs);
+    out.xbar_arb.reserve(params.num_vcs);
+    for (std::uint8_t vc = 0; vc < params.num_vcs; ++vc) {
+      out.vc_q.push_back(make_queue(kind));
+      out.xbar_arb.push_back(
+          make_input_arbiter(input_arbiter_for(params.arch), num_ports));
+    }
+  }
+}
+
+void Switch::attach_output(PortId port, Channel* ch) {
+  DQOS_EXPECTS(port < outputs_.size() && ch != nullptr);
+  DQOS_EXPECTS(outputs_[port].channel == nullptr);
+  outputs_[port].channel = ch;
+  ch->set_on_credit([this, port] { try_drain(port); });
+  xbar_bw_ = Bandwidth::from_ps_per_byte(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             static_cast<double>(ch->bandwidth().ps_per_byte()) /
+             params_.crossbar_speedup)));
+}
+
+void Switch::attach_input(PortId port, Channel* ch) {
+  DQOS_EXPECTS(port < inputs_.size() && ch != nullptr);
+  DQOS_EXPECTS(inputs_[port].channel == nullptr);
+  inputs_[port].channel = ch;
+}
+
+void Switch::receive_packet(PacketPtr p, PortId in_port) {
+  DQOS_EXPECTS(p != nullptr && in_port < inputs_.size());
+  DQOS_EXPECTS(p->hdr.vc < params_.num_vcs);
+  // Reconstruct the deadline in this switch's clock domain (§3.3). The
+  // switch never recomputes the deadline itself (§3.1) — only re-bases it.
+  // Reconstruction happens when the *header* arrives (cut-through hardware
+  // reads the tag before the payload lands): the packet's full arrival
+  // event fires at tail time, so subtract the serialization time. Anchoring
+  // at the tail would shift each deadline by its own length/bandwidth and
+  // could invert deadline order *within a flow*, breaking the appendix's
+  // hypothesis (1).
+  DQOS_ASSERT(inputs_[in_port].channel != nullptr);
+  const Duration ser = inputs_[in_port].channel->serialization_time(p->size());
+  p->local_deadline = clock_.decode_ttd(p->hdr.ttd, sim_.now() - ser);
+  if (tracer_) tracer_->record(sim_.now(), TraceEvent::kHopArrival, *p, id_);
+  // Source routing: consume the next hop from the header.
+  const PortId out = p->hdr.route.next_hop();
+  DQOS_EXPECTS(out < outputs_.size());
+  const VcId vc = p->hdr.vc;
+  inputs_[in_port].vc_buf[vc]->enqueue(std::move(p), out);
+  try_fill(out);
+}
+
+void Switch::try_fill(std::size_t out) {
+  Output& o = outputs_[out];
+  const TimePoint now = sim_.now();
+  if (o.write_busy_until > now) return;  // retried when the port frees
+
+  // Crossbar fill uses strict VC priority: the regulated VC claims fabric
+  // bandwidth first (§3.2 "absolute priority"); per-VC output queues keep
+  // lower VCs from being starved of *space*.
+  for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+    std::vector<ArbCandidate> cands;
+    for (std::size_t in = 0; in < inputs_.size(); ++in) {
+      if (inputs_[in].read_busy_until > now) continue;
+      if (const Packet* head = inputs_[in].vc_buf[vc]->candidate(out)) {
+        if (output_q_has_space(o, vc, head->size())) {
+          cands.push_back(ArbCandidate{in, head});
+        }
+      }
+    }
+    const auto winner = o.xbar_arb[vc]->pick(cands);
+    if (!winner) continue;
+    const std::size_t in = cands[*winner].input;
+    Input& i = inputs_[in];
+    PacketPtr p = i.vc_buf[vc]->dequeue(out);
+    o.xbar_arb[vc]->granted(in);
+
+    // Freed input-buffer space: return credits upstream.
+    DQOS_ASSERT(i.channel != nullptr);
+    i.channel->return_credits(vc, p->size());
+
+    const Duration xfer = xbar_bw_.transfer_time(p->size());
+    o.write_busy_until = i.read_busy_until = now + xfer;
+    // The packet is in flight across the crossbar; it lands in the output
+    // buffer after the transfer.
+    auto shared = std::make_shared<PacketPtr>(std::move(p));
+    sim_.schedule_after(xfer, [this, shared, out]() mutable {
+      xbar_arrive(std::move(*shared), out);
+    });
+    sim_.schedule_after(xfer, [this, out] { try_fill(out); });
+    sim_.schedule_after(xfer, [this, in] { on_input_free(in); });
+    return;
+  }
+}
+
+void Switch::xbar_arrive(PacketPtr p, std::size_t out) {
+  Output& o = outputs_[out];
+  const VcId vc = p->hdr.vc;
+  if (tracer_) tracer_->record(sim_.now(), TraceEvent::kXbarTransfer, *p, id_);
+  o.vc_q[vc]->enqueue(std::move(p));
+  try_drain(out);
+}
+
+void Switch::try_drain(std::size_t out) {
+  Output& o = outputs_[out];
+  DQOS_ASSERT(o.channel != nullptr);
+  const TimePoint now = sim_.now();
+  if (o.link_busy_until > now) return;
+
+  for (const VcId vc : o.link_vc_policy->order()) {
+    const Packet* head = o.vc_q[vc]->candidate();
+    if (head == nullptr) continue;
+    // Only the selected (minimum-deadline) packet is checked for credits
+    // (appendix flow-control rule); if it does not fit, this VC stalls and
+    // a lower-priority VC may use the link instead.
+    if (!o.channel->has_credits(vc, head->size())) {
+      ++counters_.credit_stalls;
+      continue;
+    }
+    PacketPtr p = o.vc_q[vc]->dequeue();
+    o.link_vc_policy->granted(vc, p->size());
+
+    const auto cls = static_cast<std::size_t>(p->hdr.tclass);
+    ++counters_.packets_forwarded[cls];
+    counters_.bytes_forwarded[cls] += p->size();
+
+    // Re-encode the deadline as TTD for the wire (§3.3).
+    p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);
+    if (tracer_) tracer_->record(now, TraceEvent::kLinkDepart, *p, id_);
+
+    const Duration ser = o.channel->serialization_time(p->size());
+    o.channel->consume_credits(vc, p->size());
+    o.channel->send(std::move(p));
+    // A heap buffer pays its access latency on every scheduling decision;
+    // the link sits idle for that long after each packet (A10).
+    const Duration op = queue_kind_for(params_.arch) == QueueKind::kHeap
+                            ? params_.heap_op_latency
+                            : Duration::zero();
+    o.link_busy_until = now + ser + op;
+    sim_.schedule_after(ser + op, [this, out] { try_drain(out); });
+    // Output-buffer space freed: the crossbar may refill.
+    try_fill(out);
+    return;
+  }
+}
+
+void Switch::on_input_free(std::size_t in) {
+  // Any output this input holds traffic for may now be able to fill.
+  for (std::size_t out = 0; out < outputs_.size(); ++out) {
+    for (std::uint8_t vc = 0; vc < params_.num_vcs; ++vc) {
+      if (inputs_[in].vc_buf[vc]->candidate(out) != nullptr) {
+        try_fill(out);
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t Switch::order_errors() const {
+  std::uint64_t sum = 0;
+  for (const auto& in : inputs_) {
+    for (const auto& buf : in.vc_buf) sum += buf->order_errors();
+  }
+  for (const auto& out : outputs_) {
+    for (const auto& q : out.vc_q) sum += q->order_errors();
+  }
+  return sum;
+}
+
+std::uint64_t Switch::order_errors_vc(VcId vc) const {
+  DQOS_EXPECTS(vc < params_.num_vcs);
+  std::uint64_t sum = 0;
+  for (const auto& in : inputs_) sum += in.vc_buf[vc]->order_errors();
+  for (const auto& out : outputs_) sum += out.vc_q[vc]->order_errors();
+  return sum;
+}
+
+std::uint64_t Switch::takeovers() const {
+  std::uint64_t sum = 0;
+  for (const auto& in : inputs_) {
+    for (const auto& buf : in.vc_buf) sum += buf->takeovers();
+  }
+  for (const auto& out : outputs_) {
+    for (const auto& q : out.vc_q) {
+      if (const auto* t = dynamic_cast<const TakeoverQueue*>(q.get())) {
+        sum += t->takeovers();
+      }
+    }
+  }
+  return sum;
+}
+
+std::size_t Switch::packets_queued() const {
+  std::size_t sum = 0;
+  for (const auto& in : inputs_) {
+    for (const auto& buf : in.vc_buf) sum += buf->total_packets();
+  }
+  for (const auto& out : outputs_) {
+    for (const auto& q : out.vc_q) sum += q->packets();
+  }
+  return sum;
+}
+
+}  // namespace dqos

@@ -1,0 +1,155 @@
+/// \file switch.hpp
+/// The interconnect switch model (§4.1): **combined input and output
+/// buffering** with VOQ at the inputs, a finite-speedup crossbar, credit-
+/// based flow control, and one of the four evaluated architectures:
+///
+///   | Architecture      | queue discipline | crossbar arbiter | deadlines |
+///   |-------------------|------------------|------------------|-----------|
+///   | Traditional 2 VCs | FIFO             | round-robin      | ignored   |
+///   | Ideal             | heap             | EDF              | full sort |
+///   | Simple 2 VCs      | FIFO             | EDF              | heads only|
+///   | Advanced 2 VCs    | take-over        | EDF              | heads only|
+///
+/// Packet path through the switch:
+///   link -> input buffer (per VC, virtual output queues) -> crossbar
+///   (one read per input, one write per output at speedup x link rate)
+///   -> output buffer (per VC, one disciplined queue) -> output link.
+///
+/// The queue discipline applies to *both* sides, exactly as §3.4 describes
+/// ("the high priority VC of an input or output buffer"). With plain FIFOs
+/// the output buffer freezes transmission order at crossbar-transfer time —
+/// that is where order errors delay low-deadline packets; the take-over
+/// queue gives them a second chance, and the Ideal heap re-sorts fully.
+///
+/// All four architectures use the same VC structure (regulated VC0 with
+/// absolute priority over best-effort VC1 by default) so the silicon cost
+/// is comparable — only the Ideal heap is unimplementable.
+///
+/// The deadline tag crosses links as TTD and is reconstructed against this
+/// switch's (skewed) local clock at header arrival — no behaviour may
+/// depend on the global clock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "switchfab/arbiter.hpp"
+#include "switchfab/channel.hpp"
+#include "switchfab/input_buffer.hpp"
+#include "trace/tracer.hpp"
+
+namespace dqos {
+
+/// The four architectures of §4.1.
+enum class SwitchArch : std::uint8_t {
+  kTraditional2Vc = 0,
+  kIdeal = 1,
+  kSimple2Vc = 2,
+  kAdvanced2Vc = 3,
+};
+std::string_view to_string(SwitchArch a);
+constexpr std::array<SwitchArch, 4> all_switch_archs() {
+  return {SwitchArch::kTraditional2Vc, SwitchArch::kIdeal, SwitchArch::kSimple2Vc,
+          SwitchArch::kAdvanced2Vc};
+}
+
+[[nodiscard]] QueueKind queue_kind_for(SwitchArch a);
+[[nodiscard]] InputArbiterKind input_arbiter_for(SwitchArch a);
+
+struct SwitchParams {
+  SwitchArch arch = SwitchArch::kAdvanced2Vc;
+  std::uint8_t num_vcs = 2;
+  std::uint32_t buffer_bytes_per_vc = 8 * 1024;  ///< 8 KB/VC (§4.1), each side
+  /// Crossbar bandwidth = speedup x link bandwidth (CIOQ switches use a
+  /// small internal speedup so the fabric is not the bottleneck).
+  double crossbar_speedup = 2.0;
+  /// Non-empty => Traditional multi-VC weighted arbitration table (A5);
+  /// empty => strict VC priority (all paper architectures).
+  std::vector<std::uint32_t> vc_weights;
+  /// Extra per-decision scheduling latency of the buffer data structure
+  /// (ablation A10): a hardware heap needs multiple SRAM accesses per
+  /// dequeue (Ioannou & Katevenis report pipelined designs precisely to
+  /// hide this). Applied to every link-drain grant when the architecture
+  /// uses heap buffers; zero (default) = the paper's idealized heap.
+  Duration heap_op_latency = Duration::zero();
+};
+
+struct SwitchCounters {
+  std::array<std::uint64_t, kNumTrafficClasses> packets_forwarded{};
+  std::array<std::uint64_t, kNumTrafficClasses> bytes_forwarded{};
+  std::uint64_t credit_stalls = 0;  ///< link-drain rounds blocked on credits
+};
+
+class Switch final : public PacketReceiver {
+ public:
+  Switch(Simulator& sim, NodeId id, std::size_t num_ports, const SwitchParams& params,
+         LocalClock clock = LocalClock{});
+
+  /// Wires the outbound channel of `port` (this switch is the sender).
+  void attach_output(PortId port, Channel* ch);
+  /// Wires the inbound channel of `port` (this switch is the receiver;
+  /// used for returning credits upstream).
+  void attach_input(PortId port, Channel* ch);
+
+  void receive_packet(PacketPtr p, PortId in_port) override;
+
+  /// Optional packet-event tracing (null = off, zero cost).
+  void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::size_t num_ports() const { return inputs_.size(); }
+  [[nodiscard]] const LocalClock& clock() const { return clock_; }
+  [[nodiscard]] const SwitchCounters& counters() const { return counters_; }
+
+  /// Aggregated queue diagnostics (input VOQs + output queues).
+  [[nodiscard]] std::uint64_t order_errors() const;
+  /// Order errors on one VC only (e.g. the regulated VC).
+  [[nodiscard]] std::uint64_t order_errors_vc(VcId vc) const;
+  [[nodiscard]] std::uint64_t takeovers() const;
+  /// Packets currently buffered inside the switch (both sides).
+  [[nodiscard]] std::size_t packets_queued() const;
+
+ private:
+  struct Input {
+    Channel* channel = nullptr;                        ///< upstream (credits)
+    std::vector<std::unique_ptr<InputBuffer>> vc_buf;  ///< one per VC (VOQ)
+    TimePoint read_busy_until;                         ///< crossbar read port
+  };
+  struct Output {
+    Channel* channel = nullptr;  ///< downstream link
+    std::vector<std::unique_ptr<QueueDiscipline>> vc_q;  ///< output buffers
+    TimePoint write_busy_until;  ///< crossbar write port
+    TimePoint link_busy_until;   ///< wire
+    std::unique_ptr<VcSelectionPolicy> link_vc_policy;
+    std::vector<std::unique_ptr<InputArbiter>> xbar_arb;  ///< one per VC
+  };
+
+  [[nodiscard]] bool output_q_has_space(const Output& o, VcId vc,
+                                        std::uint32_t bytes) const {
+    return o.vc_q[vc]->bytes() + bytes <= params_.buffer_bytes_per_vc;
+  }
+
+  /// Crossbar scheduling: move one packet from an input VOQ into `out`'s
+  /// output buffer, if ports and space allow.
+  void try_fill(std::size_t out);
+  /// Link scheduling: transmit the best packet from `out`'s output buffers.
+  void try_drain(std::size_t out);
+  /// An input's crossbar read port freed: outputs it feeds may fill again.
+  void on_input_free(std::size_t in);
+  /// Crossbar transfer completion: the packet lands in the output buffer.
+  void xbar_arrive(PacketPtr p, std::size_t out);
+
+  Simulator& sim_;
+  NodeId id_;
+  SwitchParams params_;
+  LocalClock clock_;
+  Bandwidth xbar_bw_;  ///< derived: link bw x speedup (set on first attach)
+  std::vector<Input> inputs_;
+  std::vector<Output> outputs_;
+  SwitchCounters counters_;
+  PacketTracer* tracer_ = nullptr;
+};
+
+}  // namespace dqos

@@ -1,0 +1,90 @@
+#include "topo/kary_ntree.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+namespace {
+
+std::uint32_t ipow(std::uint32_t base, std::uint32_t exp) {
+  std::uint32_t r = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+KaryNTree::KaryNTree(std::uint32_t k, std::uint32_t n)
+    : Topology(ipow(k, n), n * ipow(k, n - 1), 2 * k),
+      k_(k),
+      n_(n),
+      switches_per_level_(ipow(k, n - 1)) {
+  DQOS_EXPECTS(k >= 2 && n >= 1);
+  // Hosts to leaf switches: host h at leaf h/k, down-port h%k.
+  for (NodeId h = 0; h < num_hosts(); ++h) {
+    connect(h, 0, tree_switch(0, h / k_), static_cast<PortId>(h % k_));
+  }
+  // Up-ports are [k, 2k): up-port k+p of <l, w> reaches <l+1, w with
+  // digit l = p>, arriving at that parent's down-port w_l.
+  for (std::uint32_t l = 0; l + 1 < n_; ++l) {
+    const std::uint32_t stride = ipow(k_, l);
+    for (std::uint32_t w = 0; w < switches_per_level_; ++w) {
+      const std::uint32_t wl = digit(w, l);
+      for (std::uint32_t p = 0; p < k_; ++p) {
+        const std::uint32_t parent = w + (p - wl) * stride;
+        connect(tree_switch(l, w), static_cast<PortId>(k_ + p),
+                tree_switch(l + 1, parent), static_cast<PortId>(wl));
+      }
+    }
+  }
+}
+
+std::uint32_t KaryNTree::digit(std::uint32_t v, std::uint32_t i) const {
+  return (v / ipow(k_, i)) % k_;
+}
+
+std::uint32_t KaryNTree::ancestor_level(NodeId src, NodeId dst) const {
+  // Host digits: a_{n-1}..a_0; leaf digit j = a_{j+1}. The LCA sits at
+  // level (most significant differing host digit).
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 1; i < n_; ++i) {
+    if (digit(src, i) != digit(dst, i)) m = i;
+  }
+  return m;
+}
+
+std::size_t KaryNTree::route_count(NodeId src, NodeId dst) const {
+  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
+  return ipow(k_, ancestor_level(src, dst));
+}
+
+SourceRoute KaryNTree::build_route(NodeId src, NodeId dst, std::size_t choice) const {
+  DQOS_EXPECTS(choice < route_count(src, dst));
+  SourceRoute r;
+  const std::uint32_t m = ancestor_level(src, dst);
+  // Ascent: at level l in [0, m) pick up-port from the choice's digits.
+  std::size_t c = choice;
+  for (std::uint32_t l = 0; l < m; ++l) {
+    r.push_hop(static_cast<PortId>(k_ + c % k_));
+    c /= k_;
+  }
+  // Descent from level m down to level 1: entering level l-1 fixes its
+  // digit l-1 = dst host digit l, i.e. down-port = digit l of dst.
+  for (std::uint32_t l = m; l >= 1; --l) {
+    r.push_hop(static_cast<PortId>(digit(dst, l)));
+  }
+  // Leaf to host.
+  r.push_hop(static_cast<PortId>(dst % k_));
+  return r;
+}
+
+std::string KaryNTree::name() const {
+  return std::to_string(k_) + "-ary " + std::to_string(n_) + "-tree";
+}
+
+std::unique_ptr<Topology> make_kary_ntree(std::uint32_t k, std::uint32_t n) {
+  return std::make_unique<KaryNTree>(k, n);
+}
+
+}  // namespace dqos

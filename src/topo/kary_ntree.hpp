@@ -1,0 +1,45 @@
+/// \file kary_ntree.hpp
+/// Generalized k-ary n-tree (Petrini & Vanneschi): k^n hosts, n levels of
+/// k^(n-1) switches with k down-ports and k up-ports each. Used for the
+/// deeper-network ablations; the two-level Clos covers the paper's exact
+/// configuration.
+///
+/// Switch identity: <level l, index w>, where w is read as n-1 base-k
+/// digits. <l, w> connects upward to <l+1, w'> iff w and w' agree on every
+/// digit except digit l. Minimal routing ascends to the lowest common
+/// ancestor level (free up-port choice at each level — the path diversity
+/// the admission controller balances over) and then descends along the
+/// destination's digits.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace dqos {
+
+class KaryNTree final : public Topology {
+ public:
+  KaryNTree(std::uint32_t k, std::uint32_t n);
+
+  [[nodiscard]] std::size_t route_count(NodeId src, NodeId dst) const override;
+  [[nodiscard]] SourceRoute build_route(NodeId src, NodeId dst,
+                                        std::size_t choice) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] std::uint32_t levels() const { return n_; }
+  [[nodiscard]] NodeId tree_switch(std::uint32_t level, std::uint32_t w) const {
+    return switch_id(level * switches_per_level_ + w);
+  }
+
+ private:
+  /// Level of the lowest common ancestor of two hosts (0 = same leaf).
+  [[nodiscard]] std::uint32_t ancestor_level(NodeId src, NodeId dst) const;
+  /// Digit `i` (base k) of value `v`.
+  [[nodiscard]] std::uint32_t digit(std::uint32_t v, std::uint32_t i) const;
+
+  std::uint32_t k_;
+  std::uint32_t n_;
+  std::uint32_t switches_per_level_;
+};
+
+}  // namespace dqos

@@ -1,0 +1,75 @@
+#include "topo/mesh2d.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+Mesh2D::Mesh2D(std::uint32_t width, std::uint32_t height, std::uint32_t concentration)
+    : Topology(width * height * concentration, width * height,
+               concentration + 4),
+      width_(width),
+      height_(height),
+      conc_(concentration) {
+  DQOS_EXPECTS(width >= 2 && height >= 1 && concentration >= 1);
+  // Hosts: host h lives at switch h / conc_, local port h % conc_.
+  for (NodeId h = 0; h < num_hosts(); ++h) {
+    connect(h, 0, switch_id(h / conc_), static_cast<PortId>(h % conc_));
+  }
+  // Mesh links: +X east, +Y north (each also wires the reverse direction).
+  for (std::uint32_t y = 0; y < height_; ++y) {
+    for (std::uint32_t x = 0; x < width_; ++x) {
+      if (x + 1 < width_) {
+        connect(mesh_switch(x, y), east_port(), mesh_switch(x + 1, y), west_port());
+      }
+      if (y + 1 < height_) {
+        connect(mesh_switch(x, y), north_port(), mesh_switch(x, y + 1), south_port());
+      }
+    }
+  }
+}
+
+std::size_t Mesh2D::route_count(NodeId src, NodeId dst) const {
+  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
+  return 1;  // XY dimension order is deterministic
+}
+
+SourceRoute Mesh2D::build_route(NodeId src, NodeId dst, std::size_t choice) const {
+  DQOS_EXPECTS(choice == 0);
+  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
+  SourceRoute r;
+  const std::uint32_t s = src / conc_, d = dst / conc_;
+  std::uint32_t x = s % width_, y = s / width_;
+  const std::uint32_t dx = d % width_, dy = d / width_;
+  while (x != dx) {
+    if (x < dx) {
+      r.push_hop(east_port());
+      ++x;
+    } else {
+      r.push_hop(west_port());
+      --x;
+    }
+  }
+  while (y != dy) {
+    if (y < dy) {
+      r.push_hop(north_port());
+      ++y;
+    } else {
+      r.push_hop(south_port());
+      --y;
+    }
+  }
+  r.push_hop(static_cast<PortId>(dst % conc_));  // exit to the host
+  return r;
+}
+
+std::string Mesh2D::name() const {
+  return "mesh2d(" + std::to_string(width_) + "x" + std::to_string(height_) +
+         ",c=" + std::to_string(conc_) + ")";
+}
+
+std::unique_ptr<Topology> make_mesh2d(std::uint32_t width, std::uint32_t height,
+                                      std::uint32_t concentration) {
+  return std::make_unique<Mesh2D>(width, height, concentration);
+}
+
+}  // namespace dqos

@@ -1,0 +1,46 @@
+/// \file mesh2d.hpp
+/// 2D mesh with XY dimension-order routing — a *direct-network* extension
+/// beyond the paper's MIN evaluation (§6 closes with the EDF adaptation as
+/// a general switch mechanism; meshes are the other dominant HPC fabric).
+///
+/// Geometry: width x height switches, `concentration` hosts attached to
+/// each. Port layout per switch: [0, c) host down-ports, then +X, -X, +Y,
+/// -Y (edge switches leave the outward ports unwired). XY routing is
+/// deterministic (route_count == 1) and deadlock-free, so it composes with
+/// credit flow control without extra VCs — matching the paper's fixed
+/// routing requirement trivially.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace dqos {
+
+class Mesh2D final : public Topology {
+ public:
+  Mesh2D(std::uint32_t width, std::uint32_t height, std::uint32_t concentration);
+
+  [[nodiscard]] std::size_t route_count(NodeId src, NodeId dst) const override;
+  [[nodiscard]] SourceRoute build_route(NodeId src, NodeId dst,
+                                        std::size_t choice) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+  [[nodiscard]] NodeId mesh_switch(std::uint32_t x, std::uint32_t y) const {
+    return switch_id(y * width_ + x);
+  }
+
+  /// Port indices of the four directions (after the host ports).
+  [[nodiscard]] PortId east_port() const { return static_cast<PortId>(conc_ + 0); }
+  [[nodiscard]] PortId west_port() const { return static_cast<PortId>(conc_ + 1); }
+  [[nodiscard]] PortId north_port() const { return static_cast<PortId>(conc_ + 2); }
+  [[nodiscard]] PortId south_port() const { return static_cast<PortId>(conc_ + 3); }
+
+ private:
+  std::uint32_t width_, height_, conc_;
+};
+
+std::unique_ptr<Topology> make_mesh2d(std::uint32_t width, std::uint32_t height,
+                                      std::uint32_t concentration);
+
+}  // namespace dqos

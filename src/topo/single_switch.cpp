@@ -1,0 +1,35 @@
+#include "topo/single_switch.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+SingleSwitch::SingleSwitch(std::uint32_t n_hosts)
+    : Topology(n_hosts, 1, n_hosts) {
+  for (NodeId h = 0; h < num_hosts(); ++h) {
+    connect(h, 0, switch_id(0), static_cast<PortId>(h));
+  }
+}
+
+std::size_t SingleSwitch::route_count(NodeId src, NodeId dst) const {
+  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
+  return 1;
+}
+
+SourceRoute SingleSwitch::build_route(NodeId src, NodeId dst, std::size_t choice) const {
+  DQOS_EXPECTS(choice == 0);
+  (void)src;
+  SourceRoute r;
+  r.push_hop(static_cast<PortId>(dst));
+  return r;
+}
+
+std::string SingleSwitch::name() const {
+  return "single-switch(" + std::to_string(num_hosts()) + ")";
+}
+
+std::unique_ptr<Topology> make_single_switch(std::uint32_t n_hosts) {
+  return std::make_unique<SingleSwitch>(n_hosts);
+}
+
+}  // namespace dqos

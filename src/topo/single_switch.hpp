@@ -1,0 +1,21 @@
+/// \file single_switch.hpp
+/// One switch, n hosts: the minimal network. Isolates the switch
+/// architectures (queue disciplines, arbitration, credits) from topological
+/// effects in unit and integration tests.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace dqos {
+
+class SingleSwitch final : public Topology {
+ public:
+  explicit SingleSwitch(std::uint32_t n_hosts);
+
+  [[nodiscard]] std::size_t route_count(NodeId src, NodeId dst) const override;
+  [[nodiscard]] SourceRoute build_route(NodeId src, NodeId dst,
+                                        std::size_t choice) const override;
+  [[nodiscard]] std::string name() const override;
+};
+
+}  // namespace dqos

@@ -1,0 +1,89 @@
+#include "topo/topology.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+Topology::Topology(std::uint32_t hosts, std::uint32_t switches, std::size_t switch_ports)
+    : num_hosts_(hosts), num_switches_(switches), switch_ports_(switch_ports) {
+  DQOS_EXPECTS(hosts >= 2);
+  DQOS_EXPECTS(switches >= 1);
+  DQOS_EXPECTS(switch_ports >= 2 && switch_ports <= 255);
+  adjacency_.resize(num_nodes());
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    adjacency_[n].resize(is_host(n) ? 1 : switch_ports_);
+  }
+}
+
+std::uint32_t Topology::switch_index(NodeId n) const {
+  DQOS_EXPECTS(is_switch(n));
+  return n - num_hosts_;
+}
+
+std::size_t Topology::num_ports(NodeId n) const {
+  DQOS_EXPECTS(n < num_nodes());
+  return adjacency_[n].size();
+}
+
+Endpoint Topology::peer(NodeId n, PortId port) const {
+  DQOS_EXPECTS(n < num_nodes());
+  DQOS_EXPECTS(port < adjacency_[n].size());
+  return adjacency_[n][port];
+}
+
+void Topology::connect(NodeId a, PortId ap, NodeId b, PortId bp) {
+  DQOS_EXPECTS(a < num_nodes() && b < num_nodes() && a != b);
+  DQOS_EXPECTS(ap < adjacency_[a].size() && bp < adjacency_[b].size());
+  DQOS_EXPECTS(!adjacency_[a][ap].valid() && !adjacency_[b][bp].valid());
+  adjacency_[a][ap] = Endpoint{b, bp};
+  adjacency_[b][bp] = Endpoint{a, ap};
+}
+
+std::vector<Endpoint> Topology::route_links(NodeId src, NodeId dst,
+                                            std::size_t choice) const {
+  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
+  SourceRoute route = build_route(src, dst, choice);
+  std::vector<Endpoint> links;
+  links.reserve(route.length() + 1);
+  links.push_back(Endpoint{src, 0});
+  Endpoint at = host_attach(src);
+  for (std::size_t h = 0; h < route.length(); ++h) {
+    DQOS_ASSERT(is_switch(at.node));
+    const PortId out = route.hop(h);
+    links.push_back(Endpoint{at.node, out});
+    at = peer(at.node, out);
+    DQOS_ASSERT(at.valid());
+  }
+  DQOS_ASSERT(at.node == dst);
+  return links;
+}
+
+void Topology::validate() const {
+  // Link symmetry.
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    for (PortId p = 0; p < adjacency_[n].size(); ++p) {
+      const Endpoint e = adjacency_[n][p];
+      if (!e.valid()) continue;
+      const Endpoint back = peer(e.node, e.port);
+      DQOS_ASSERT(back.node == n && back.port == p);
+    }
+  }
+  // Hosts wired.
+  for (NodeId h = 0; h < num_hosts_; ++h) {
+    DQOS_ASSERT(host_attach(h).valid());
+    DQOS_ASSERT(is_switch(host_attach(h).node));
+  }
+  // Every route of every pair terminates correctly (route_links asserts it).
+  for (NodeId s = 0; s < num_hosts_; ++s) {
+    for (NodeId d = 0; d < num_hosts_; ++d) {
+      if (s == d) continue;
+      const std::size_t routes = route_count(s, d);
+      DQOS_ASSERT(routes >= 1);
+      for (std::size_t c = 0; c < routes; ++c) {
+        (void)route_links(s, d, c);
+      }
+    }
+  }
+}
+
+}  // namespace dqos

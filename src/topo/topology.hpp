@@ -1,0 +1,115 @@
+/// \file topology.hpp
+/// Network topology abstraction: nodes, ports, links and fixed-route
+/// computation.
+///
+/// The paper evaluates a folded (bidirectional) perfect-shuffle butterfly
+/// MIN with 128 endpoints built from 16-port switches (§4.1) and mandates
+/// **fixed routing** chosen at admission time (§3): packets follow the route
+/// their flow reserved; path diversity exists only at reservation time,
+/// where the admission controller balances load across the minimal paths.
+///
+/// A Topology therefore exposes:
+///   - the node/port graph (hosts have one port; switches have many),
+///   - `route_count(src,dst)`: how many distinct minimal paths exist,
+///   - `build_route(src,dst,k)`: the k-th minimal path as a SourceRoute
+///     (one output port per traversed switch, PCI AS source-routing style).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/packet.hpp"
+#include "proto/types.hpp"
+
+namespace dqos {
+
+/// One end of a link.
+struct Endpoint {
+  NodeId node = kInvalidNode;
+  PortId port = kInvalidPort;
+  [[nodiscard]] bool valid() const { return node != kInvalidNode; }
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// Base class: owns the port-level adjacency and id layout.
+/// Id layout: hosts occupy [0, num_hosts); switches [num_hosts, num_nodes).
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] std::uint32_t num_hosts() const { return num_hosts_; }
+  [[nodiscard]] std::uint32_t num_switches() const { return num_switches_; }
+  [[nodiscard]] std::uint32_t num_nodes() const { return num_hosts_ + num_switches_; }
+
+  [[nodiscard]] bool is_host(NodeId n) const { return n < num_hosts_; }
+  [[nodiscard]] bool is_switch(NodeId n) const {
+    return n >= num_hosts_ && n < num_nodes();
+  }
+  [[nodiscard]] NodeId switch_id(std::uint32_t index) const { return num_hosts_ + index; }
+  [[nodiscard]] std::uint32_t switch_index(NodeId n) const;
+
+  /// Number of ports on node `n` (hosts always have exactly 1).
+  [[nodiscard]] std::size_t num_ports(NodeId n) const;
+
+  /// Peer endpoint wired to (n, port); invalid Endpoint if unwired.
+  [[nodiscard]] Endpoint peer(NodeId n, PortId port) const;
+
+  /// Switch+port a host's single link attaches to.
+  [[nodiscard]] Endpoint host_attach(NodeId host) const { return peer(host, 0); }
+
+  /// Number of distinct minimal fixed routes from src host to dst host.
+  [[nodiscard]] virtual std::size_t route_count(NodeId src, NodeId dst) const = 0;
+
+  /// The `choice`-th minimal route (choice in [0, route_count)). The route
+  /// lists the output port to take at each switch on the path, in order.
+  [[nodiscard]] virtual SourceRoute build_route(NodeId src, NodeId dst,
+                                                std::size_t choice) const = 0;
+
+  /// Directed link sequence (as (node,port) departures) for a route —
+  /// used by the admission controller's per-link reservation ledger and by
+  /// topology validation. First entry is the host's injection link.
+  [[nodiscard]] std::vector<Endpoint> route_links(NodeId src, NodeId dst,
+                                                  std::size_t choice) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Structural self-check (every link bidirectional and consistent; every
+  /// route terminates at its destination). Aborts via contract on failure.
+  void validate() const;
+
+ protected:
+  Topology(std::uint32_t hosts, std::uint32_t switches, std::size_t switch_ports);
+
+  /// Wires (a,ap) <-> (b,bp). Both sides must be free.
+  void connect(NodeId a, PortId ap, NodeId b, PortId bp);
+
+ private:
+  std::uint32_t num_hosts_;
+  std::uint32_t num_switches_;
+  std::size_t switch_ports_;
+  /// adjacency_[node][port] = peer endpoint.
+  std::vector<std::vector<Endpoint>> adjacency_;
+};
+
+/// ---- Builders ----------------------------------------------------------
+
+/// The paper's network: a two-level folded-Clos ("folded perfect-shuffle
+/// butterfly"). `num_leaves` leaf switches each host `hosts_per_leaf`
+/// endpoints and have `num_spines` uplinks (one per spine switch); each
+/// spine has `num_leaves` down ports. The IPPS'07 configuration is
+/// (16 leaves, 8 hosts/leaf, 8 spines): 128 endpoints, 16-port switches.
+std::unique_ptr<Topology> make_two_level_clos(std::uint32_t num_leaves,
+                                              std::uint32_t hosts_per_leaf,
+                                              std::uint32_t num_spines);
+
+/// Generalized k-ary n-tree (k^n hosts, n levels of k^(n-1) switches with
+/// k down / k up ports). Deeper-network ablations use this.
+std::unique_ptr<Topology> make_kary_ntree(std::uint32_t k, std::uint32_t n);
+
+/// Degenerate single-switch "network" (crossbar with n hosts) for unit and
+/// integration tests of the switch architectures in isolation.
+std::unique_ptr<Topology> make_single_switch(std::uint32_t n_hosts);
+
+}  // namespace dqos

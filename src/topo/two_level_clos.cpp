@@ -1,0 +1,65 @@
+#include "topo/two_level_clos.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+TwoLevelClos::TwoLevelClos(std::uint32_t num_leaves, std::uint32_t hosts_per_leaf,
+                           std::uint32_t num_spines)
+    : Topology(num_leaves * hosts_per_leaf, num_leaves + num_spines,
+               std::max<std::size_t>(hosts_per_leaf + num_spines, num_leaves)),
+      num_leaves_(num_leaves),
+      hosts_per_leaf_(hosts_per_leaf),
+      num_spines_(num_spines) {
+  DQOS_EXPECTS(num_leaves >= 2 && hosts_per_leaf >= 1 && num_spines >= 1);
+  // Hosts to leaf down-ports [0, hosts_per_leaf).
+  for (NodeId h = 0; h < num_hosts(); ++h) {
+    const std::uint32_t leaf = h / hosts_per_leaf_;
+    const auto port = static_cast<PortId>(h % hosts_per_leaf_);
+    connect(h, 0, leaf_switch(leaf), port);
+  }
+  // Leaf uplink u (port hosts_per_leaf + u) to spine u, spine port = leaf.
+  for (std::uint32_t leaf = 0; leaf < num_leaves_; ++leaf) {
+    for (std::uint32_t u = 0; u < num_spines_; ++u) {
+      connect(leaf_switch(leaf), static_cast<PortId>(hosts_per_leaf_ + u),
+              spine_switch(u), static_cast<PortId>(leaf));
+    }
+  }
+}
+
+std::size_t TwoLevelClos::route_count(NodeId src, NodeId dst) const {
+  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
+  return leaf_of_host(src) == leaf_of_host(dst) ? 1 : num_spines_;
+}
+
+SourceRoute TwoLevelClos::build_route(NodeId src, NodeId dst, std::size_t choice) const {
+  DQOS_EXPECTS(choice < route_count(src, dst));
+  SourceRoute r;
+  const std::uint32_t src_leaf = leaf_of_host(src);
+  const std::uint32_t dst_leaf = leaf_of_host(dst);
+  const auto dst_port = static_cast<PortId>(dst % hosts_per_leaf_);
+  if (src_leaf == dst_leaf) {
+    r.push_hop(dst_port);  // turn around inside the leaf
+    return r;
+  }
+  r.push_hop(static_cast<PortId>(hosts_per_leaf_ + choice));  // up to spine `choice`
+  r.push_hop(static_cast<PortId>(dst_leaf));                  // spine down to dst leaf
+  r.push_hop(dst_port);                                       // leaf down to host
+  return r;
+}
+
+std::string TwoLevelClos::name() const {
+  return "folded-clos(" + std::to_string(num_leaves_) + "x" +
+         std::to_string(hosts_per_leaf_) + "," + std::to_string(num_spines_) +
+         " spines)";
+}
+
+std::unique_ptr<Topology> make_two_level_clos(std::uint32_t num_leaves,
+                                              std::uint32_t hosts_per_leaf,
+                                              std::uint32_t num_spines) {
+  return std::make_unique<TwoLevelClos>(num_leaves, hosts_per_leaf, num_spines);
+}
+
+}  // namespace dqos

@@ -1,0 +1,38 @@
+/// \file two_level_clos.hpp
+/// The paper's evaluation topology: a folded (bidirectional) perfect-shuffle
+/// butterfly MIN, i.e. a two-level folded Clos. With the IPPS'07 parameters
+/// (16-port switches, 128 endpoints) it has 16 leaf switches (8 hosts +
+/// 8 uplinks each) and 8 spine switches (16 down-ports each): the unique
+/// such MIN, with full bisection bandwidth and `num_spines` minimal paths
+/// between hosts on different leaves.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace dqos {
+
+class TwoLevelClos final : public Topology {
+ public:
+  TwoLevelClos(std::uint32_t num_leaves, std::uint32_t hosts_per_leaf,
+               std::uint32_t num_spines);
+
+  [[nodiscard]] std::size_t route_count(NodeId src, NodeId dst) const override;
+  [[nodiscard]] SourceRoute build_route(NodeId src, NodeId dst,
+                                        std::size_t choice) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] NodeId leaf_switch(std::uint32_t leaf) const { return switch_id(leaf); }
+  [[nodiscard]] NodeId spine_switch(std::uint32_t spine) const {
+    return switch_id(num_leaves_ + spine);
+  }
+  [[nodiscard]] std::uint32_t leaf_of_host(NodeId host) const {
+    return host / hosts_per_leaf_;
+  }
+
+ private:
+  std::uint32_t num_leaves_;
+  std::uint32_t hosts_per_leaf_;
+  std::uint32_t num_spines_;
+};
+
+}  // namespace dqos

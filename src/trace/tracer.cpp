@@ -1,0 +1,96 @@
+#include "trace/tracer.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+std::string_view to_string(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kCreated: return "created";
+    case TraceEvent::kInjected: return "injected";
+    case TraceEvent::kHopArrival: return "hop-arrival";
+    case TraceEvent::kXbarTransfer: return "xbar-transfer";
+    case TraceEvent::kLinkDepart: return "link-depart";
+    case TraceEvent::kDelivered: return "delivered";
+    case TraceEvent::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+PacketTracer::PacketTracer(std::size_t capacity) : capacity_(capacity) {
+  DQOS_EXPECTS(capacity > 0);
+  records_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void PacketTracer::push(const TraceRecord& r) {
+  if (records_.size() >= capacity_) {
+    ++overflow_;
+    return;
+  }
+  records_.push_back(r);
+}
+
+void PacketTracer::record(TimePoint when, TraceEvent ev, const Packet& p,
+                          NodeId node) {
+  push(TraceRecord{when, ev, p.hdr.packet_id, p.hdr.flow, node, p.hdr.tclass,
+                   p.hdr.wire_bytes, p.hdr.ttd});
+}
+
+void PacketTracer::record_drop(TimePoint when, FlowId flow, TrafficClass tclass,
+                               NodeId node) {
+  push(TraceRecord{when, TraceEvent::kDropped, 0, flow, node, tclass, 0,
+                   Duration::zero()});
+}
+
+std::vector<TraceRecord> PacketTracer::packet_history(std::uint64_t packet_id) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.packet_id == packet_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<double> PacketTracer::stage_latencies_us(TraceEvent from,
+                                                     TraceEvent to) const {
+  std::unordered_map<std::uint64_t, TimePoint> starts;
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (r.packet_id == 0) continue;
+    if (r.event == from) {
+      starts[r.packet_id] = r.when;
+    } else if (r.event == to) {
+      const auto it = starts.find(r.packet_id);
+      if (it != starts.end()) {
+        out.push_back((r.when - it->second).us());
+        starts.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
+bool PacketTracer::dump_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fputs("when_ps,event,packet_id,flow,node,class,bytes,ttd_ps\n", f);
+  for (const auto& r : records_) {
+    std::fprintf(f, "%lld,%s,%llu,%u,%u,%s,%u,%lld\n",
+                 static_cast<long long>(r.when.ps()),
+                 std::string(to_string(r.event)).c_str(),
+                 static_cast<unsigned long long>(r.packet_id), r.flow, r.node,
+                 std::string(to_string(r.tclass)).c_str(), r.bytes,
+                 static_cast<long long>(r.ttd.ps()));
+  }
+  std::fclose(f);
+  return true;
+}
+
+void PacketTracer::clear() {
+  records_.clear();
+  overflow_ = 0;
+}
+
+}  // namespace dqos

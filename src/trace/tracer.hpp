@@ -1,0 +1,78 @@
+/// \file tracer.hpp
+/// Packet event tracing: every hop of every packet, timestamped on the
+/// global observer clock, for debugging schedules and auditing QoS
+/// decisions ("why was this control packet late?").
+///
+/// Components accept an optional PacketTracer via set_tracer(); tracing is
+/// off (null) by default and costs nothing. The tracer keeps a bounded
+/// in-memory log (records beyond the capacity are counted, not stored) and
+/// can dump RFC-4180 CSV for offline analysis (scripts/ shows examples).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/packet.hpp"
+#include "proto/types.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+enum class TraceEvent : std::uint8_t {
+  kCreated = 0,       ///< application handed the message part to the NIC
+  kInjected = 1,      ///< first byte left the source host
+  kHopArrival = 2,    ///< tail arrived at a switch input buffer
+  kXbarTransfer = 3,  ///< crossbar moved it to the output buffer
+  kLinkDepart = 4,    ///< started serializing on an output link
+  kDelivered = 5,     ///< last byte reached the destination host
+  kDropped = 6,       ///< unregulated message shed at the source NIC
+};
+
+std::string_view to_string(TraceEvent ev);
+
+struct TraceRecord {
+  TimePoint when;
+  TraceEvent event = TraceEvent::kCreated;
+  std::uint64_t packet_id = 0;
+  FlowId flow = kInvalidFlow;
+  NodeId node = kInvalidNode;   ///< where it happened
+  TrafficClass tclass = TrafficClass::kControl;
+  std::uint32_t bytes = 0;
+  Duration ttd;                 ///< header TTD at the event (deadline slack)
+};
+
+class PacketTracer {
+ public:
+  explicit PacketTracer(std::size_t capacity = 1u << 20);
+
+  void record(TimePoint when, TraceEvent ev, const Packet& p, NodeId node);
+  /// Packet-less record (message drops).
+  void record_drop(TimePoint when, FlowId flow, TrafficClass tclass, NodeId node);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// All records of one packet, in time order (records are appended in
+  /// simulation order, so no sort is needed).
+  [[nodiscard]] std::vector<TraceRecord> packet_history(std::uint64_t packet_id) const;
+
+  /// Per-packet wall time between two events (e.g. kInjected->kDelivered);
+  /// returns samples for every packet that has both.
+  [[nodiscard]] std::vector<double> stage_latencies_us(TraceEvent from,
+                                                       TraceEvent to) const;
+
+  /// CSV: when_ps,event,packet_id,flow,node,class,bytes,ttd_ps.
+  bool dump_csv(const std::string& path) const;
+
+  void clear();
+
+ private:
+  void push(const TraceRecord& r);
+
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace dqos

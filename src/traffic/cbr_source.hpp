@@ -1,0 +1,34 @@
+/// \file cbr_source.hpp
+/// Constant-bit-rate source: fixed-size messages at a fixed period.
+/// Not part of the paper's Table 1 mix; used by examples, unit tests and
+/// the eligible-time ablation (a perfectly regular flow makes injection
+/// smoothing directly observable).
+#pragma once
+
+#include "traffic/source.hpp"
+
+namespace dqos {
+
+struct CbrParams {
+  std::uint32_t message_bytes = 2048;
+  Duration period = Duration::microseconds(100);
+  Duration phase = Duration::zero();  ///< offset of the first message
+  TrafficClass tclass = TrafficClass::kMultimedia;
+};
+
+class CbrSource final : public TrafficSource {
+ public:
+  CbrSource(Simulator& sim, Host& host, Rng rng, MetricsCollector* metrics,
+            FlowId flow, const CbrParams& params);
+
+  void start(TimePoint stop) override;
+  [[nodiscard]] TrafficClass tclass() const override { return params_.tclass; }
+
+ private:
+  void tick();
+
+  FlowId flow_;
+  CbrParams params_;
+};
+
+}  // namespace dqos

@@ -1,0 +1,51 @@
+#include "traffic/control_source.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+ControlSource::ControlSource(Simulator& sim, Host& host, Rng rng,
+                             MetricsCollector* metrics,
+                             std::vector<FlowId> flows_by_dst,
+                             const ControlParams& params,
+                             const DestinationPattern* pattern)
+    : TrafficSource(sim, host, rng, metrics),
+      flows_by_dst_(std::move(flows_by_dst)),
+      params_(params),
+      pattern_(pattern) {
+  DQOS_EXPECTS(flows_by_dst_.size() >= 2);
+  DQOS_EXPECTS(params.target_bytes_per_sec > 0.0);
+  DQOS_EXPECTS(params.min_bytes > 0 && params.min_bytes <= params.max_bytes);
+  if (pattern_ == nullptr) {
+    owned_ = make_pattern(PatternParams{},
+                          static_cast<std::uint32_t>(flows_by_dst_.size()));
+    pattern_ = owned_.get();
+  }
+  const double mean_msg = (params.min_bytes + params.max_bytes) / 2.0;
+  mean_interarrival_sec_ = mean_msg / params.target_bytes_per_sec;
+}
+
+void ControlSource::start(TimePoint stop) {
+  stop_ = stop;
+  schedule_next();
+}
+
+void ControlSource::schedule_next() {
+  const double wait = -mean_interarrival_sec_ * std::log(rng_.uniform_pos());
+  const TimePoint at = sim_.now() + Duration::from_seconds_double(wait);
+  if (at >= stop_) return;
+  sim_.schedule_at(at, [this] { arrival(); });
+}
+
+void ControlSource::arrival() {
+  const NodeId dst = pattern_->pick(host_.id(), rng_);
+  const FlowId f = flows_by_dst_.at(dst);
+  DQOS_ASSERT(f != kInvalidFlow);
+  const auto bytes = rng_.uniform_int(params_.min_bytes, params_.max_bytes);
+  emit(f, bytes);
+  schedule_next();
+}
+
+}  // namespace dqos

@@ -1,0 +1,45 @@
+/// \file control_source.hpp
+/// *Control* traffic (Table 1): small messages, [128 B, 2 KB], to uniformly
+/// random destinations, Poisson arrivals, demanding minimal latency. Rides
+/// kControlLatency flows (deadline bandwidth = link rate, no reservation).
+#pragma once
+
+#include <vector>
+
+#include "traffic/patterns.hpp"
+#include "traffic/source.hpp"
+
+namespace dqos {
+
+struct ControlParams {
+  double target_bytes_per_sec = 0.0;  ///< offered load for this source
+  std::uint32_t min_bytes = 128;
+  std::uint32_t max_bytes = 2048;
+};
+
+class ControlSource final : public TrafficSource {
+ public:
+  /// `flows_by_dst` — pre-admitted flow per destination host id
+  /// (kInvalidFlow at `host.id()` itself). `pattern` selects destinations
+  /// (non-owning; must outlive the source). Null pattern = uniform.
+  ControlSource(Simulator& sim, Host& host, Rng rng, MetricsCollector* metrics,
+                std::vector<FlowId> flows_by_dst, const ControlParams& params,
+                const DestinationPattern* pattern = nullptr);
+
+  void start(TimePoint stop) override;
+  [[nodiscard]] TrafficClass tclass() const override {
+    return TrafficClass::kControl;
+  }
+
+ private:
+  void arrival();
+  void schedule_next();
+
+  std::vector<FlowId> flows_by_dst_;
+  ControlParams params_;
+  const DestinationPattern* pattern_;           // may be null (uniform)
+  std::unique_ptr<DestinationPattern> owned_;   // fallback uniform pattern
+  double mean_interarrival_sec_;
+};
+
+}  // namespace dqos

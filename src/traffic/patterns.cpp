@@ -1,0 +1,154 @@
+#include "traffic/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+namespace {
+
+/// Self-avoidance for deterministic maps: step to the next host.
+NodeId avoid_self(NodeId dst, NodeId src, std::uint32_t n) {
+  return dst == src ? (dst + 1) % n : dst;
+}
+
+class UniformPattern final : public DestinationPattern {
+ public:
+  explicit UniformPattern(std::uint32_t n) : n_(n) { DQOS_EXPECTS(n >= 2); }
+  NodeId pick(NodeId src, Rng& rng) const override {
+    // Uniform over the n-1 others.
+    return static_cast<NodeId>((src + 1 + rng.uniform_int(0, n_ - 2)) % n_);
+  }
+  PatternKind kind() const override { return PatternKind::kUniform; }
+
+ private:
+  std::uint32_t n_;
+};
+
+class HotSpotPattern final : public DestinationPattern {
+ public:
+  HotSpotPattern(std::uint32_t n, double fraction, NodeId hot)
+      : uniform_(n), n_(n), fraction_(fraction), hot_(hot) {
+    DQOS_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+    DQOS_EXPECTS(hot < n);
+  }
+  NodeId pick(NodeId src, Rng& rng) const override {
+    if (src != hot_ && rng.chance(fraction_)) return hot_;
+    return uniform_.pick(src, rng);
+  }
+  PatternKind kind() const override { return PatternKind::kHotSpot; }
+
+ private:
+  UniformPattern uniform_;
+  std::uint32_t n_;
+  double fraction_;
+  NodeId hot_;
+};
+
+class BitComplementPattern final : public DestinationPattern {
+ public:
+  explicit BitComplementPattern(std::uint32_t n) : n_(n), mask_(n - 1) {
+    DQOS_EXPECTS(n >= 2 && (n & (n - 1)) == 0);  // power of two
+  }
+  NodeId pick(NodeId src, Rng&) const override {
+    return avoid_self((~src) & mask_, src, n_);
+  }
+  PatternKind kind() const override { return PatternKind::kBitComplement; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t mask_;
+};
+
+class TransposePattern final : public DestinationPattern {
+ public:
+  explicit TransposePattern(std::uint32_t n) : n_(n) {
+    side_ = static_cast<std::uint32_t>(std::lround(std::sqrt(static_cast<double>(n))));
+    DQOS_EXPECTS(side_ * side_ == n);  // square host count
+  }
+  NodeId pick(NodeId src, Rng&) const override {
+    const std::uint32_t row = src / side_, col = src % side_;
+    return avoid_self(col * side_ + row, src, n_);
+  }
+  PatternKind kind() const override { return PatternKind::kTranspose; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t side_;
+};
+
+class TornadoPattern final : public DestinationPattern {
+ public:
+  explicit TornadoPattern(std::uint32_t n) : n_(n) { DQOS_EXPECTS(n >= 2); }
+  NodeId pick(NodeId src, Rng&) const override {
+    return avoid_self((src + n_ / 2) % n_, src, n_);
+  }
+  PatternKind kind() const override { return PatternKind::kTornado; }
+
+ private:
+  std::uint32_t n_;
+};
+
+class PermutationPattern final : public DestinationPattern {
+ public:
+  PermutationPattern(std::uint32_t n, std::uint64_t seed) : map_(n) {
+    DQOS_EXPECTS(n >= 2);
+    std::iota(map_.begin(), map_.end(), NodeId{0});
+    Rng rng(seed);
+    // Fisher-Yates; then fix any fixed points by swapping with a neighbour.
+    for (std::uint32_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::uint32_t>(rng.uniform_int(0, i));
+      std::swap(map_[i], map_[j]);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (map_[i] == i) std::swap(map_[i], map_[(i + 1) % n]);
+    }
+  }
+  NodeId pick(NodeId src, Rng&) const override {
+    return avoid_self(map_[src], src, static_cast<std::uint32_t>(map_.size()));
+  }
+  PatternKind kind() const override { return PatternKind::kPermutation; }
+
+ private:
+  std::vector<NodeId> map_;
+};
+
+}  // namespace
+
+std::string_view to_string(PatternKind k) {
+  switch (k) {
+    case PatternKind::kUniform: return "uniform";
+    case PatternKind::kHotSpot: return "hotspot";
+    case PatternKind::kBitComplement: return "bit-complement";
+    case PatternKind::kTranspose: return "transpose";
+    case PatternKind::kTornado: return "tornado";
+    case PatternKind::kPermutation: return "permutation";
+  }
+  return "?";
+}
+
+std::unique_ptr<DestinationPattern> make_pattern(const PatternParams& params,
+                                                 std::uint32_t num_hosts) {
+  switch (params.kind) {
+    case PatternKind::kUniform:
+      return std::make_unique<UniformPattern>(num_hosts);
+    case PatternKind::kHotSpot:
+      return std::make_unique<HotSpotPattern>(num_hosts, params.hotspot_fraction,
+                                              params.hotspot_node);
+    case PatternKind::kBitComplement:
+      return std::make_unique<BitComplementPattern>(num_hosts);
+    case PatternKind::kTranspose:
+      return std::make_unique<TransposePattern>(num_hosts);
+    case PatternKind::kTornado:
+      return std::make_unique<TornadoPattern>(num_hosts);
+    case PatternKind::kPermutation:
+      return std::make_unique<PermutationPattern>(num_hosts,
+                                                  params.permutation_seed);
+  }
+  DQOS_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace dqos

@@ -1,0 +1,62 @@
+/// \file patterns.hpp
+/// Destination-selection patterns for workload sources.
+///
+/// The paper's evaluation draws destinations uniformly (the NPF benchmark's
+/// default); real clusters also see adversarial spatial patterns. These are
+/// the standard interconnection-network patterns (Dally & Towles):
+///
+///   uniform        — every other host equally likely
+///   hot-spot       — a fraction of traffic targets one hot node
+///   bit-complement — dst = bitwise complement of src (needs 2^k hosts)
+///   transpose      — view src as (row,col) of a square, dst = (col,row)
+///   tornado        — dst = (src + N/2) mod N (worst case for rings; here a
+///                    fixed permutation stressing specific spines)
+///   permutation    — a fixed random permutation drawn from the seed
+///
+/// Deterministic patterns that would map a host to itself fall back to the
+/// next host (self-traffic never enters the network).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "proto/types.hpp"
+#include "util/rng.hpp"
+
+namespace dqos {
+
+enum class PatternKind : std::uint8_t {
+  kUniform = 0,
+  kHotSpot = 1,
+  kBitComplement = 2,
+  kTranspose = 3,
+  kTornado = 4,
+  kPermutation = 5,
+};
+
+std::string_view to_string(PatternKind k);
+
+class DestinationPattern {
+ public:
+  virtual ~DestinationPattern() = default;
+  /// Picks a destination for `src` in [0, num_hosts), never `src` itself.
+  [[nodiscard]] virtual NodeId pick(NodeId src, Rng& rng) const = 0;
+  [[nodiscard]] virtual PatternKind kind() const = 0;
+};
+
+struct PatternParams {
+  PatternKind kind = PatternKind::kUniform;
+  /// kHotSpot: fraction of messages directed at the hot node.
+  double hotspot_fraction = 0.25;
+  NodeId hotspot_node = 0;
+  /// kPermutation: seed for drawing the permutation.
+  std::uint64_t permutation_seed = 0x9e3779b9;
+};
+
+/// Builds a pattern over `num_hosts` endpoints.
+std::unique_ptr<DestinationPattern> make_pattern(const PatternParams& params,
+                                                 std::uint32_t num_hosts);
+
+}  // namespace dqos

@@ -1,0 +1,75 @@
+#include "traffic/selfsimilar_source.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+SelfSimilarSource::SelfSimilarSource(Simulator& sim, Host& host, Rng rng,
+                                     MetricsCollector* metrics,
+                                     std::vector<FlowId> flows_by_dst,
+                                     const SelfSimilarParams& params,
+                                     const DestinationPattern* pattern)
+    : TrafficSource(sim, host, rng, metrics),
+      flows_by_dst_(std::move(flows_by_dst)),
+      params_(params),
+      pattern_(pattern),
+      size_dist_(params.size_alpha, params.min_bytes, params.max_bytes),
+      burst_dist_(params.burst_alpha, params.burst_min) {
+  DQOS_EXPECTS(flows_by_dst_.size() >= 2);
+  if (pattern_ == nullptr) {
+    owned_ = make_pattern(PatternParams{},
+                          static_cast<std::uint32_t>(flows_by_dst_.size()));
+    pattern_ = owned_.get();
+  }
+  DQOS_EXPECTS(params.target_bytes_per_sec > 0.0);
+  // Calibrate the off period so the long-run rate hits the target:
+  //   rate = E[burst bytes] / (E[burst duration] + E[off])
+  // At high targets the configured intra-burst gap can exceed the whole
+  // byte budget; drop the gap to zero (back-to-back burst) in that case so
+  // calibration stays feasible.
+  const double mean_burst_msgs = burst_dist_.mean();
+  const double mean_burst_bytes = mean_burst_msgs * size_dist_.mean();
+  const double budget_sec = mean_burst_bytes / params.target_bytes_per_sec;
+  double mean_burst_dur = mean_burst_msgs * params.intra_burst_gap.sec();
+  if (mean_burst_dur >= 0.5 * budget_sec) {
+    params_.intra_burst_gap = Duration::zero();
+    mean_burst_dur = 0.0;
+  }
+  mean_off_sec_ = budget_sec - mean_burst_dur;
+  DQOS_ENSURES(mean_off_sec_ > 0.0);
+}
+
+void SelfSimilarSource::start(TimePoint stop) {
+  stop_ = stop;
+  schedule_next_burst();
+}
+
+void SelfSimilarSource::schedule_next_burst() {
+  const double wait = -mean_off_sec_ * std::log(rng_.uniform_pos());
+  const TimePoint at = sim_.now() + Duration::from_seconds_double(wait);
+  if (at >= stop_) return;
+  sim_.schedule_at(at, [this] { begin_burst(); });
+}
+
+void SelfSimilarSource::begin_burst() {
+  const NodeId dst = pattern_->pick(host_.id(), rng_);
+  burst_flow_ = flows_by_dst_.at(dst);
+  DQOS_ASSERT(burst_flow_ != kInvalidFlow);
+  burst_left_ = static_cast<std::uint32_t>(std::lround(burst_dist_(rng_)));
+  if (burst_left_ == 0) burst_left_ = 1;
+  burst_message();
+}
+
+void SelfSimilarSource::burst_message() {
+  const auto bytes = static_cast<std::uint64_t>(size_dist_(rng_));
+  emit(burst_flow_, bytes);
+  if (--burst_left_ > 0 && sim_.now() + params_.intra_burst_gap < stop_) {
+    sim_.schedule_after(params_.intra_burst_gap, [this] { burst_message(); });
+  } else {
+    schedule_next_burst();
+  }
+}
+
+}  // namespace dqos

@@ -1,0 +1,59 @@
+/// \file selfsimilar_source.hpp
+/// Self-similar internet-like traffic (Table 1, *Best-effort* and
+/// *Background* classes): an on/off source emitting bursts of messages that
+/// all head to the same destination, with Pareto-distributed message sizes
+/// (Jain [10]) and Pareto burst lengths — the heavy tails that produce
+/// self-similarity in aggregate.
+#pragma once
+
+#include <vector>
+
+#include "traffic/patterns.hpp"
+#include "traffic/source.hpp"
+#include "util/distributions.hpp"
+
+namespace dqos {
+
+struct SelfSimilarParams {
+  double target_bytes_per_sec = 0.0;
+  TrafficClass tclass = TrafficClass::kBestEffort;  ///< or kBackground
+  double size_alpha = 1.3;     ///< Pareto shape for message sizes
+  std::uint32_t min_bytes = 128;
+  std::uint32_t max_bytes = 100 * 1024;
+  double burst_alpha = 1.5;    ///< Pareto shape for burst length (messages)
+  double burst_min = 1.0;      ///< minimum burst length
+  /// Messages within a burst are spaced at the class's fair line share to
+  /// avoid an artificial single-instant dump.
+  Duration intra_burst_gap = Duration::microseconds(2);
+};
+
+class SelfSimilarSource final : public TrafficSource {
+ public:
+  /// `flows_by_dst` — pre-admitted flow per destination host id
+  /// (kInvalidFlow at the host's own id). Null pattern = uniform.
+  SelfSimilarSource(Simulator& sim, Host& host, Rng rng, MetricsCollector* metrics,
+                    std::vector<FlowId> flows_by_dst,
+                    const SelfSimilarParams& params,
+                    const DestinationPattern* pattern = nullptr);
+
+  void start(TimePoint stop) override;
+  [[nodiscard]] TrafficClass tclass() const override { return params_.tclass; }
+
+ private:
+  void begin_burst();
+  void burst_message();
+  void schedule_next_burst();
+
+  std::vector<FlowId> flows_by_dst_;
+  SelfSimilarParams params_;
+  const DestinationPattern* pattern_;
+  std::unique_ptr<DestinationPattern> owned_;
+  BoundedPareto size_dist_;
+  Pareto burst_dist_;
+  double mean_off_sec_;
+  // current burst state
+  FlowId burst_flow_ = kInvalidFlow;
+  std::uint32_t burst_left_ = 0;
+};
+
+}  // namespace dqos

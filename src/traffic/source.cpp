@@ -1,0 +1,16 @@
+#include "traffic/source.hpp"
+
+namespace dqos {
+
+TrafficSource::TrafficSource(Simulator& sim, Host& host, Rng rng,
+                             MetricsCollector* metrics)
+    : sim_(sim), host_(host), rng_(rng), metrics_(metrics) {}
+
+void TrafficSource::emit(FlowId flow, std::uint64_t bytes) {
+  ++messages_;
+  bytes_ += bytes;
+  if (metrics_) metrics_->on_message_offered(tclass(), bytes, sim_.now());
+  host_.submit(flow, bytes);
+}
+
+}  // namespace dqos

@@ -1,0 +1,47 @@
+/// \file source.hpp
+/// Workload sources implementing the paper's traffic model (Table 1, §4.2,
+/// following the Network Processing Forum switch-fabric benchmark and
+/// Jain's recommendations). Each source is attached to one host, draws from
+/// its own RNG stream, and schedules its own arrival events until the stop
+/// time.
+#pragma once
+
+#include <cstdint>
+
+#include "host/host.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dqos {
+
+class TrafficSource {
+ public:
+  TrafficSource(Simulator& sim, Host& host, Rng rng, MetricsCollector* metrics);
+  virtual ~TrafficSource() = default;
+  TrafficSource(const TrafficSource&) = delete;
+  TrafficSource& operator=(const TrafficSource&) = delete;
+
+  /// Begins generation; the source keeps scheduling arrivals until `stop`.
+  virtual void start(TimePoint stop) = 0;
+
+  [[nodiscard]] virtual TrafficClass tclass() const = 0;
+  [[nodiscard]] std::uint64_t messages_generated() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_generated() const { return bytes_; }
+
+ protected:
+  /// Submits a message to the host NIC and records offered load.
+  void emit(FlowId flow, std::uint64_t bytes);
+
+  Simulator& sim_;
+  Host& host_;
+  Rng rng_;
+  MetricsCollector* metrics_;
+  TimePoint stop_ = TimePoint::max();
+
+ private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dqos

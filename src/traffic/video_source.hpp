@@ -1,0 +1,62 @@
+/// \file video_source.hpp
+/// *Multimedia* traffic (Table 1): a synthetic MPEG-4 video stream.
+///
+/// The paper transmits "actual MPEG video sequences" (3 Mbyte/s MPEG-4
+/// traces, one frame per 40 ms, frame sizes 1-120 KB). We have no trace
+/// files, so this source reproduces their published statistics: a
+/// 12-frame IBBPBBPBBPBB group of pictures with lognormal frame sizes per
+/// type (I > P > B), scaled to the configured mean rate and clamped to the
+/// paper's [min,max] frame range. Only those statistics feed the deadline
+/// algorithm, so the substitution preserves the evaluated behaviour
+/// (DESIGN.md, substitution table).
+#pragma once
+
+#include <array>
+
+#include "traffic/source.hpp"
+
+namespace dqos {
+
+struct VideoParams {
+  double mean_bytes_per_sec = 3.0e6;  ///< 3 Mbyte/s (Table 1)
+  Duration frame_period = Duration::milliseconds(40);  ///< 25 fps
+  std::uint32_t min_frame_bytes = 1024;
+  std::uint32_t max_frame_bytes = 120 * 1024;
+  double size_cv = 0.35;  ///< within-type coefficient of variation
+  /// Start phase is randomized within one period so hosts don't beat.
+  bool randomize_phase = true;
+};
+
+class VideoSource final : public TrafficSource {
+ public:
+  VideoSource(Simulator& sim, Host& host, Rng rng, MetricsCollector* metrics,
+              FlowId flow, const VideoParams& params);
+
+  void start(TimePoint stop) override;
+  [[nodiscard]] TrafficClass tclass() const override {
+    return TrafficClass::kMultimedia;
+  }
+
+  /// Mean frame size implied by rate and period (before clamping).
+  [[nodiscard]] double mean_frame_bytes() const;
+  /// Next frame size draw (exposed for workload validation tests).
+  std::uint32_t draw_frame_size();
+
+  /// Monte-Carlo estimate of the *realized* rate after the [min,max] frame
+  /// clamp (I-frames saturate the Table 1 cap). Workload builders divide
+  /// the class budget by this to pick stream counts that actually offer
+  /// the configured share.
+  static double estimate_realized_bytes_per_sec(const VideoParams& params,
+                                                Rng rng, int samples = 4096);
+
+ private:
+  void frame_tick();
+
+  FlowId flow_;
+  VideoParams params_;
+  std::size_t gop_pos_ = 0;
+  /// Relative mean size per GoP slot (I/P/B pattern), normalized to 1.
+  std::array<double, 12> gop_scale_{};
+};
+
+}  // namespace dqos

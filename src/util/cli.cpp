@@ -1,0 +1,103 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace dqos {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      // `--key value` form — but only if the next token isn't a flag.
+      set(arg, argv[++i]);
+    } else {
+      set(arg, "true");  // bare flag
+    }
+  }
+}
+
+bool ArgParser::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      set(trim(line), "true");
+    } else {
+      set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    }
+  }
+  return true;
+}
+
+void ArgParser::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool ArgParser::has(const std::string& key) const { return values_.contains(key); }
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& key,
+                              const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double d = std::strtod(v->c_str(), &end);
+  return end == v->c_str() ? fallback : d;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long n = std::strtoll(v->c_str(), &end, 10);
+  return end == v->c_str() ? fallback : n;
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> ArgParser::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace dqos

@@ -1,0 +1,55 @@
+/// \file cli.hpp
+/// Tiny command-line / key=value configuration parser used by the bench
+/// harnesses and the dqos_sim tool.
+///
+/// Grammar: arguments are either bare flags (`--paper`), options
+/// (`--load=0.8` or `--load 0.8`), or positionals. The same `key=value`
+/// lines are accepted from config files (one per line, `#` comments), so a
+/// run can be described once and replayed:
+///
+///   dqos_sim --config=run.cfg --arch=advanced --load=1.0
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dqos {
+
+class ArgParser {
+ public:
+  /// Parses argv. Later duplicates override earlier ones (so CLI args can
+  /// override file settings loaded first via load_file()).
+  ArgParser() = default;
+  ArgParser(int argc, const char* const* argv) { parse(argc, argv); }
+
+  void parse(int argc, const char* const* argv);
+
+  /// Loads `key=value` lines; returns false if the file can't be read.
+  bool load_file(const std::string& path);
+
+  /// Inserts/overrides a single setting.
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  /// All keys, for validation/diagnostics.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace dqos

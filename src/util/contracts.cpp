@@ -1,0 +1,16 @@
+#include "util/contracts.hpp"
+
+#include <cstdio>
+
+namespace dqos {
+
+void contract_violation(std::string_view kind, std::string_view condition,
+                        std::source_location where) {
+  std::fprintf(stderr, "dqos: %.*s violated: `%.*s` at %s:%u (%s)\n",
+               static_cast<int>(kind.size()), kind.data(),
+               static_cast<int>(condition.size()), condition.data(),
+               where.file_name(), where.line(), where.function_name());
+  std::abort();
+}
+
+}  // namespace dqos

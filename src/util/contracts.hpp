@@ -1,0 +1,38 @@
+/// \file contracts.hpp
+/// Lightweight Expects/Ensures-style contract checks (C++ Core Guidelines
+/// I.6/I.8). Violations abort with a diagnostic: simulation code must never
+/// continue past a broken invariant, since results would be silently wrong.
+#pragma once
+
+#include <cstdlib>
+#include <source_location>
+#include <string_view>
+
+namespace dqos {
+
+/// Prints a contract-violation diagnostic and aborts. Out-of-line so the
+/// checking macros stay cheap at call sites.
+[[noreturn]] void contract_violation(std::string_view kind,
+                                     std::string_view condition,
+                                     std::source_location where);
+
+namespace detail {
+inline void check(bool ok, std::string_view kind, std::string_view cond,
+                  std::source_location where = std::source_location::current()) {
+  if (!ok) contract_violation(kind, cond, where);
+}
+}  // namespace detail
+
+}  // namespace dqos
+
+/// Precondition check: argument/state requirements at function entry.
+#define DQOS_EXPECTS(cond) \
+  ::dqos::detail::check(static_cast<bool>(cond), "precondition", #cond)
+
+/// Postcondition / invariant check.
+#define DQOS_ENSURES(cond) \
+  ::dqos::detail::check(static_cast<bool>(cond), "postcondition", #cond)
+
+/// Internal invariant that should be unreachable if the module is correct.
+#define DQOS_ASSERT(cond) \
+  ::dqos::detail::check(static_cast<bool>(cond), "invariant", #cond)

@@ -1,0 +1,63 @@
+#include "util/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dqos {
+
+double Exponential::operator()(Rng& rng) const {
+  return -mean_ * std::log(rng.uniform_pos());
+}
+
+double Pareto::operator()(Rng& rng) const {
+  return xm_ / std::pow(rng.uniform_pos(), 1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  DQOS_EXPECTS(alpha_ > 1.0);
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+BoundedPareto::BoundedPareto(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+  DQOS_EXPECTS(alpha > 0 && lo > 0 && lo < hi);
+}
+
+double BoundedPareto::operator()(Rng& rng) const {
+  // Inverse CDF of the Pareto restricted to [lo, hi]:
+  //   F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a)
+  const double u = rng.uniform();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return std::min(std::max(x, lo_), hi_);
+}
+
+double BoundedPareto::mean() const {
+  if (alpha_ == 1.0) {
+    return lo_ * hi_ / (hi_ - lo_) * std::log(hi_ / lo_);
+  }
+  const double la = std::pow(lo_, alpha_);
+  const double t = 1.0 - std::pow(lo_ / hi_, alpha_);
+  return la / t * alpha_ / (alpha_ - 1.0) *
+         (1.0 / std::pow(lo_, alpha_ - 1.0) - 1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+LogNormal::LogNormal(double mean, double cv) : mean_(mean) {
+  DQOS_EXPECTS(mean > 0 && cv >= 0);
+  const double s2 = std::log(1.0 + cv * cv);
+  sigma_ = std::sqrt(s2);
+  mu_ = std::log(mean) - 0.5 * s2;
+}
+
+double LogNormal::operator()(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * standard_normal(rng));
+}
+
+double standard_normal(Rng& rng) {
+  const double u1 = rng.uniform_pos();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace dqos

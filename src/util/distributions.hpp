@@ -1,0 +1,100 @@
+/// \file distributions.hpp
+/// Random variates used by the workload models.
+///
+/// The paper's traffic model (Table 1, §4.2) needs:
+///   - uniform packet/message sizes (control traffic),
+///   - exponential inter-arrivals (Poisson arrival processes),
+///   - Pareto variates for self-similar internet-like traffic
+///     (burst lengths and packet sizes, per Jain [10] and the NPF switch
+///     fabric benchmark [5]),
+///   - lognormal frame sizes for the synthetic MPEG-4 model.
+/// All distributions draw from an explicit Rng so streams stay independent.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace dqos {
+
+/// Uniform real on [lo, hi).
+class UniformReal {
+ public:
+  UniformReal(double lo, double hi) : lo_(lo), hi_(hi) { DQOS_EXPECTS(lo <= hi); }
+  double operator()(Rng& rng) const { return lo_ + (hi_ - lo_) * rng.uniform(); }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Uniform integer on [lo, hi] inclusive.
+class UniformInt {
+ public:
+  UniformInt(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) { DQOS_EXPECTS(lo <= hi); }
+  std::int64_t operator()(Rng& rng) const {
+    return static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(lo_), static_cast<std::uint64_t>(hi_)));
+  }
+
+ private:
+  std::int64_t lo_, hi_;
+};
+
+/// Exponential with the given mean (= 1/lambda).
+class Exponential {
+ public:
+  explicit Exponential(double mean) : mean_(mean) { DQOS_EXPECTS(mean > 0); }
+  double operator()(Rng& rng) const;
+  [[nodiscard]] double mean() const { return mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Pareto with shape alpha and scale x_m (support [x_m, inf)).
+/// alpha in (1, 2] yields infinite variance — the self-similarity driver.
+class Pareto {
+ public:
+  Pareto(double alpha, double xm) : alpha_(alpha), xm_(xm) {
+    DQOS_EXPECTS(alpha > 0 && xm > 0);
+  }
+  double operator()(Rng& rng) const;
+  /// Mean, defined only for alpha > 1.
+  [[nodiscard]] double mean() const;
+
+ private:
+  double alpha_, xm_;
+};
+
+/// Pareto truncated to [lo, hi] by inverse-CDF restriction (not clipping),
+/// so the tail shape inside the window is preserved. Used for packet sizes
+/// in [128 B, 100 KB] (Table 1).
+class BoundedPareto {
+ public:
+  BoundedPareto(double alpha, double lo, double hi);
+  double operator()(Rng& rng) const;
+  /// Analytic mean of the truncated distribution.
+  [[nodiscard]] double mean() const;
+
+ private:
+  double alpha_, lo_, hi_;
+};
+
+/// Lognormal parameterized by the *target* mean and coefficient of
+/// variation of the variate itself (not of the underlying normal) — the
+/// natural way to express "mean frame size 120 KB, CV 0.4".
+class LogNormal {
+ public:
+  LogNormal(double mean, double cv);
+  double operator()(Rng& rng) const;
+  [[nodiscard]] double mean() const { return mean_; }
+
+ private:
+  double mean_, mu_, sigma_;
+};
+
+/// Standard normal via Box–Muller (single value per call; simple and
+/// branch-free enough for our rates).
+double standard_normal(Rng& rng);
+
+}  // namespace dqos

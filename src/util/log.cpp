@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dqos {
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("DQOS_LOG");
+  if (!env) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+LogLevel g_level = parse_env_level();
+
+const char* prefix(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kTrace: return "[trace] ";
+  }
+  return "";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel lv) { g_level = lv; }
+
+void Logger::logf(LogLevel lv, const char* fmt, ...) {
+  std::fputs(prefix(lv), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dqos

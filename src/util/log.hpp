@@ -1,0 +1,41 @@
+/// \file log.hpp
+/// Leveled, compile-out-able logging. Simulators produce torrents of trace
+/// output; the discipline here is: Error/Warn always on, Info for phase
+/// transitions, Debug/Trace for per-packet events (off by default, enabled
+/// via Logger::set_level or the DQOS_LOG environment variable).
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace dqos {
+
+enum class LogLevel : int { kError = 0, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  /// Global log level; reads DQOS_LOG (error|warn|info|debug|trace) once.
+  static LogLevel level();
+  static void set_level(LogLevel lv);
+  static bool enabled(LogLevel lv) { return lv <= level(); }
+
+  /// printf-style emission with a level prefix. Thread-compatible (the
+  /// simulator is single-threaded; benches may run several simulators
+  /// sequentially).
+  static void logf(LogLevel lv, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+};
+
+}  // namespace dqos
+
+#define DQOS_LOG(lv, ...)                                    \
+  do {                                                       \
+    if (::dqos::Logger::enabled(lv)) {                       \
+      ::dqos::Logger::logf(lv, __VA_ARGS__);                 \
+    }                                                        \
+  } while (0)
+
+#define DQOS_ERROR(...) DQOS_LOG(::dqos::LogLevel::kError, __VA_ARGS__)
+#define DQOS_WARN(...) DQOS_LOG(::dqos::LogLevel::kWarn, __VA_ARGS__)
+#define DQOS_INFO(...) DQOS_LOG(::dqos::LogLevel::kInfo, __VA_ARGS__)
+#define DQOS_DEBUG(...) DQOS_LOG(::dqos::LogLevel::kDebug, __VA_ARGS__)
+#define DQOS_TRACE(...) DQOS_LOG(::dqos::LogLevel::kTrace, __VA_ARGS__)

@@ -1,0 +1,4 @@
+#include "util/rng.hpp"
+
+// Header-only; this TU exists so the library always has at least one object
+// file per module and to hold future out-of-line additions.

@@ -1,0 +1,99 @@
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every stochastic component (traffic generators, clock-skew assignment,
+/// destination pickers) draws from its own Rng *stream*, derived from the
+/// experiment seed with SplitMix64. Two properties matter for a simulator:
+///   1. Reproducibility — same seed, same results, regardless of the order
+///      in which components happen to be constructed.
+///   2. Stream independence — adding a generator must not perturb the draws
+///      of existing ones, so A/B architecture comparisons see identical
+///      offered traffic.
+/// The core generator is xoshiro256** (public domain, Blackman & Vigna),
+/// which is much faster than std::mt19937_64 and has no observed failures
+/// in BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+/// SplitMix64 step: used for seeding and stream derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience draws. Satisfies
+/// std::uniform_random_bit_generator so it can feed <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state by running SplitMix64 on `seed`.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) : seed_(seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in (0, 1] — safe as an argument to log().
+  double uniform_pos() { return 1.0 - uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses Lemire-style rejection to
+  /// stay unbiased.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    DQOS_EXPECTS(lo <= hi);
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return next();  // full 64-bit range
+    const std::uint64_t limit = ~0ULL - ~0ULL % range;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return lo + v % range;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child stream; `salt` distinguishes siblings.
+  /// Child state depends only on (parent seed material, salt), never on how
+  /// many numbers the parent has drawn — call order can't couple streams.
+  [[nodiscard]] Rng split(std::uint64_t salt) const {
+    std::uint64_t sm = seed_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;  ///< original seed material; basis for split()
+};
+
+}  // namespace dqos

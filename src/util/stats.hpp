@@ -1,0 +1,109 @@
+/// \file stats.hpp
+/// Streaming statistics, quantiles and CDFs for the performance metrics the
+/// paper reports: average latency, jitter (latency standard deviation),
+/// maximum latency (the "closing vertical line" of the CDF plots), and the
+/// cumulative distribution function of latency (§5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dqos {
+
+/// Count / mean / variance / min / max in one pass (Welford's algorithm,
+/// numerically stable). Values are doubles in whatever unit the caller uses
+/// consistently (metrics code uses microseconds for latency, bytes for
+/// sizes).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< Population variance.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample collection for exact quantiles/CDFs. Stores every sample up to
+/// `cap`, then switches to uniform reservoir sampling so memory stays
+/// bounded while quantile estimates remain unbiased. Min/max/mean are always
+/// exact (tracked separately).
+class SampleSet {
+ public:
+  explicit SampleSet(std::size_t cap = 1u << 20, std::uint64_t seed = 0xda7a5e7);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return stats_.count(); }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double stddev() const { return stats_.stddev(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double max() const { return stats_.max(); }
+  [[nodiscard]] const StreamingStats& stats() const { return stats_; }
+
+  /// Exact (or reservoir-estimated) quantile, q in [0,1]. Empty set => 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fraction of samples <= x — one point of the empirical CDF.
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// Evaluates the empirical CDF at `points` evenly spaced values covering
+  /// [min, max]; returns (x, P[X<=x]) pairs ready for plotting/printing.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_curve(std::size_t points = 50) const;
+
+ private:
+  void sort_if_needed() const;
+
+  StreamingStats stats_;
+  std::size_t cap_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  Rng rng_;
+};
+
+/// Jain's fairness index over per-entity allocations x_i:
+///   J = (sum x)^2 / (n * sum x^2),  in (0, 1];  1 = perfectly fair.
+/// Standard metric for best-effort bandwidth sharing (Jain [10] of the
+/// paper's references). Empty input returns 0.
+double jain_fairness(const std::vector<double>& allocations);
+
+/// Fixed-bin histogram (linear bins). Used for burstiness/occupancy probes
+/// where bounded memory and O(1) insert matter more than exactness.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace dqos

@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+TableWriter::TableWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  DQOS_EXPECTS(!header_.empty());
+}
+
+void TableWriter::row(std::vector<std::string> cells) {
+  DQOS_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c ? "  " : "", static_cast<int>(width[c]), r[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string TableWriter::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string TableWriter::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::string path) { file_ = std::fopen(path.c_str(), "w"); }
+
+CsvWriter::~CsvWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!file_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (i) std::fputc(',', file_);
+    if (quote) {
+      std::fputc('"', file_);
+      for (char ch : cell) {
+        if (ch == '"') std::fputc('"', file_);
+        std::fputc(ch, file_);
+      }
+      std::fputc('"', file_);
+    } else {
+      std::fputs(cell.c_str(), file_);
+    }
+  }
+  std::fputc('\n', file_);
+}
+
+}  // namespace dqos

@@ -1,0 +1,50 @@
+/// \file table.hpp
+/// Console table and CSV emission for benchmark harnesses. Every bench
+/// binary prints the same rows/series the paper's table or figure reports;
+/// TableWriter renders aligned text, CsvWriter dumps machine-readable data
+/// alongside (for replotting).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dqos {
+
+/// Aligned fixed-width console table. Usage:
+///   TableWriter t({"load", "latency_us", "throughput"});
+///   t.row({"0.2", "12.4", "0.199"});
+///   t.print(stdout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  void print(std::FILE* out) const;
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 3);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180-ish quoting for cells containing commas or
+/// quotes). Opens lazily, creates parent-less paths as given.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace dqos

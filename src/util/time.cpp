@@ -1,0 +1,31 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dqos {
+namespace {
+
+std::string format_ps(std::int64_t ps) {
+  const double a = std::abs(static_cast<double>(ps));
+  char buf[64];
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(ps));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", static_cast<double>(ps) / 1e3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(ps) / 1e6);
+  } else if (a < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(ps) / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", static_cast<double>(ps) / 1e12);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) { return format_ps(d.ps()); }
+std::string to_string(TimePoint t) { return format_ps(t.ps()); }
+
+}  // namespace dqos

@@ -1,0 +1,149 @@
+/// \file time.hpp
+/// Strongly-typed simulated time.
+///
+/// All simulation time is kept in integer **picoseconds**. At the paper's
+/// 8 Gb/s link rate one byte serializes in exactly 1000 ps, so the Virtual
+/// Clock deadline increment L(P)/BW (paper §3.1) is exact for every packet
+/// length — no floating-point drift can reorder deadlines.
+///
+/// Two distinct types are used (Core Guidelines I.4: strong types over
+/// primitives):
+///   - Duration  — a span of time (signed; differences may be negative),
+///   - TimePoint — an absolute instant on some clock.
+/// TimePoint - TimePoint = Duration; TimePoint + Duration = TimePoint.
+/// Deadlines travel between nodes as Duration (the paper's TTD, §3.3).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dqos {
+
+/// A span of simulated time in picoseconds. Signed: TTD values and jitter
+/// measurements may legitimately be negative.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration picoseconds(std::int64_t ps) { return Duration(ps); }
+  constexpr static Duration nanoseconds(std::int64_t ns) { return Duration(ns * 1000); }
+  constexpr static Duration microseconds(std::int64_t us) { return Duration(us * 1'000'000); }
+  constexpr static Duration milliseconds(std::int64_t ms) { return Duration(ms * 1'000'000'000); }
+  constexpr static Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000'000); }
+  constexpr static Duration zero() { return Duration(0); }
+  constexpr static Duration max() { return Duration(std::numeric_limits<std::int64_t>::max()); }
+
+  /// Builds a duration from a (possibly fractional) count of seconds.
+  /// Used by workload generators; deadline arithmetic stays integral.
+  constexpr static Duration from_seconds_double(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e12));
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) / 1e3; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) / 1e9; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ps_) / 1e12; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(ps_ + o.ps_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ps_ - o.ps_); }
+  constexpr Duration operator-() const { return Duration(-ps_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ps_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ps_ / k); }
+  constexpr std::int64_t operator/(Duration o) const { return ps_ / o.ps_; }
+  constexpr Duration& operator+=(Duration o) { ps_ += o.ps_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ps_ -= o.ps_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+/// An absolute instant of simulated time (picoseconds since simulation
+/// start on the *global* clock, or since boot on a node's skewed local
+/// clock — the type does not distinguish clock domains; LocalClock does).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr static TimePoint from_ps(std::int64_t ps) { return TimePoint(ps); }
+  constexpr static TimePoint zero() { return TimePoint(0); }
+  constexpr static TimePoint max() { return TimePoint(std::numeric_limits<std::int64_t>::max()); }
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) / 1e9; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ps_) / 1e12; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ps_ + d.ps()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ps_ - d.ps()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration::picoseconds(ps_ - o.ps_); }
+  constexpr TimePoint& operator+=(Duration d) { ps_ += d.ps(); return *this; }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+constexpr TimePoint max(TimePoint a, TimePoint b) { return a < b ? b : a; }
+constexpr TimePoint min(TimePoint a, TimePoint b) { return a < b ? a : b; }
+constexpr Duration max(Duration a, Duration b) { return a < b ? b : a; }
+constexpr Duration min(Duration a, Duration b) { return a < b ? a : b; }
+
+namespace literals {
+constexpr Duration operator""_ps(unsigned long long v) { return Duration::picoseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::nanoseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::microseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::milliseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::seconds(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+/// Human-readable rendering with an auto-selected unit ("12.3 us").
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+/// Link bandwidth as an exact integral picoseconds-per-byte figure plus the
+/// conversions the deadline algebra needs. 8 Gb/s => 1000 ps/byte.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr static Bandwidth from_gbps(double gbps) {
+    // ps per byte = 8 bits / (gbps * 1e9 b/s) in ps.
+    return Bandwidth(static_cast<std::int64_t>(8000.0 / gbps));
+  }
+  constexpr static Bandwidth from_bytes_per_sec(double bps) {
+    return Bandwidth(static_cast<std::int64_t>(1e12 / bps));
+  }
+  constexpr static Bandwidth from_ps_per_byte(std::int64_t ppb) { return Bandwidth(ppb); }
+
+  [[nodiscard]] constexpr std::int64_t ps_per_byte() const { return ps_per_byte_; }
+  [[nodiscard]] constexpr double bytes_per_sec() const {
+    return 1e12 / static_cast<double>(ps_per_byte_);
+  }
+  [[nodiscard]] constexpr double gbps() const {
+    return 8000.0 / static_cast<double>(ps_per_byte_);
+  }
+
+  /// Serialization (or Virtual-Clock charging) time of `bytes` at this rate.
+  [[nodiscard]] constexpr Duration transfer_time(std::int64_t bytes) const {
+    return Duration::picoseconds(bytes * ps_per_byte_);
+  }
+
+  /// Scales the rate by `factor` (e.g. reserve 25% of a link).
+  [[nodiscard]] constexpr Bandwidth scaled(double factor) const {
+    return Bandwidth(static_cast<std::int64_t>(static_cast<double>(ps_per_byte_) / factor));
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+  [[nodiscard]] constexpr bool valid() const { return ps_per_byte_ > 0; }
+
+ private:
+  constexpr explicit Bandwidth(std::int64_t ppb) : ps_per_byte_(ppb) {}
+  std::int64_t ps_per_byte_ = 0;  ///< 0 = invalid/unset.
+};
+
+}  // namespace dqos

@@ -1,0 +1,185 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dqos {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail);
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseArch, AllSpellings) {
+  EXPECT_EQ(parse_arch("traditional"), SwitchArch::kTraditional2Vc);
+  EXPECT_EQ(parse_arch("trad"), SwitchArch::kTraditional2Vc);
+  EXPECT_EQ(parse_arch("ideal"), SwitchArch::kIdeal);
+  EXPECT_EQ(parse_arch("simple"), SwitchArch::kSimple2Vc);
+  EXPECT_EQ(parse_arch("advanced"), SwitchArch::kAdvanced2Vc);
+  EXPECT_EQ(parse_arch("takeover"), SwitchArch::kAdvanced2Vc);
+  EXPECT_FALSE(parse_arch("bogus").has_value());
+}
+
+TEST(ParseTopology, AllSpellings) {
+  EXPECT_EQ(parse_topology("clos"), TopologyKind::kFoldedClos);
+  EXPECT_EQ(parse_topology("min"), TopologyKind::kFoldedClos);
+  EXPECT_EQ(parse_topology("kary"), TopologyKind::kKaryNTree);
+  EXPECT_EQ(parse_topology("single"), TopologyKind::kSingleSwitch);
+  EXPECT_FALSE(parse_topology("torus??").has_value());
+}
+
+TEST(ConfigFromArgs, DefaultsUntouched) {
+  const SimConfig cfg = config_from_args(parse({}));
+  const SimConfig ref;
+  EXPECT_EQ(cfg.arch, ref.arch);
+  EXPECT_EQ(cfg.num_hosts(), ref.num_hosts());
+  EXPECT_DOUBLE_EQ(cfg.load, ref.load);
+}
+
+TEST(ConfigFromArgs, OverridesPlatform) {
+  const SimConfig cfg = config_from_args(parse(
+      {"--arch=simple", "--leaves=4", "--hosts-per-leaf=2", "--spines=3",
+       "--load=0.6", "--seed=77", "--vcs=4", "--vc-weights=8,4,2,1",
+       "--buffer=16384", "--mtu=1024", "--link-gbps=16",
+       "--link-latency-ns=250"}));
+  EXPECT_EQ(cfg.arch, SwitchArch::kSimple2Vc);
+  EXPECT_EQ(cfg.num_hosts(), 8u);
+  EXPECT_EQ(cfg.num_spines, 3u);
+  EXPECT_DOUBLE_EQ(cfg.load, 0.6);
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.num_vcs, 4);
+  EXPECT_EQ(cfg.vc_weights, (std::vector<std::uint32_t>{8, 4, 2, 1}));
+  EXPECT_EQ(cfg.buffer_bytes_per_vc, 16384u);
+  EXPECT_EQ(cfg.mtu_bytes, 1024u);
+  EXPECT_DOUBLE_EQ(cfg.link_bw.gbps(), 16.0);
+  EXPECT_EQ(cfg.link_latency, Duration::nanoseconds(250));
+}
+
+TEST(ConfigFromArgs, WorkloadToggles) {
+  const SimConfig cfg = config_from_args(
+      parse({"--no-video", "--no-background", "--be-weight=5",
+             "--frame-budget-ms=20", "--no-eligible", "--skew-us=100"}));
+  EXPECT_FALSE(cfg.enable_video);
+  EXPECT_TRUE(cfg.enable_control);
+  EXPECT_FALSE(cfg.enable_background);
+  EXPECT_DOUBLE_EQ(cfg.best_effort_weight, 5.0);
+  EXPECT_EQ(cfg.video_frame_budget, Duration::milliseconds(20));
+  EXPECT_FALSE(cfg.video_eligible_time);
+  EXPECT_EQ(cfg.max_clock_skew, Duration::microseconds(100));
+}
+
+TEST(ConfigFromArgs, Pattern) {
+  const SimConfig cfg = config_from_args(
+      parse({"--pattern=hotspot", "--hotspot-fraction=0.5", "--hotspot-node=3"}));
+  EXPECT_EQ(cfg.pattern.kind, PatternKind::kHotSpot);
+  EXPECT_DOUBLE_EQ(cfg.pattern.hotspot_fraction, 0.5);
+  EXPECT_EQ(cfg.pattern.hotspot_node, 3u);
+}
+
+TEST(ConfigFromArgs, TimeWindows) {
+  const SimConfig cfg = config_from_args(
+      parse({"--warmup-ms=5", "--measure-ms=50", "--drain-ms=7"}));
+  EXPECT_EQ(cfg.warmup, Duration::milliseconds(5));
+  EXPECT_EQ(cfg.measure, Duration::milliseconds(50));
+  EXPECT_EQ(cfg.drain, Duration::milliseconds(7));
+}
+
+TEST(ConfigFromArgs, KaryAndSingleTopologies) {
+  const SimConfig kary = config_from_args(
+      parse({"--topology=kary", "--kary-k=2", "--kary-n=4"}));
+  EXPECT_EQ(kary.topology, TopologyKind::kKaryNTree);
+  EXPECT_EQ(kary.num_hosts(), 16u);
+  const SimConfig single =
+      config_from_args(parse({"--topology=single", "--hosts=6"}));
+  EXPECT_EQ(single.num_hosts(), 6u);
+}
+
+TEST(ConfigFromArgs, MeshKeys) {
+  const SimConfig cfg = config_from_args(parse(
+      {"--topology=mesh", "--mesh-width=5", "--mesh-height=3",
+       "--mesh-concentration=2"}));
+  EXPECT_EQ(cfg.topology, TopologyKind::kMesh2D);
+  EXPECT_EQ(cfg.num_hosts(), 30u);
+}
+
+TEST(ConfigFromArgs, HeapOpLatency) {
+  const SimConfig cfg = config_from_args(parse({"--heap-op-ns=150"}));
+  EXPECT_EQ(cfg.heap_op_latency, Duration::nanoseconds(150));
+  EXPECT_EQ(config_from_args(parse({})).heap_op_latency, Duration::zero());
+}
+
+TEST(ConfigFromArgs, VideoTracePath) {
+  const SimConfig cfg = config_from_args(parse({"--video-trace=/tmp/x.trace"}));
+  EXPECT_EQ(cfg.video_trace_path, "/tmp/x.trace");
+}
+
+TEST(ConfigRoundTrip, MeshToStringAndBack) {
+  SimConfig original;
+  original.topology = TopologyKind::kMesh2D;
+  original.mesh_width = 6;
+  original.mesh_height = 2;
+  original.mesh_concentration = 3;
+  const std::string path = testing::TempDir() + "/dqos_mesh_roundtrip.cfg";
+  {
+    std::ofstream out(path);
+    out << config_to_string(original);
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  const SimConfig loaded = config_from_args(args);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.topology, TopologyKind::kMesh2D);
+  EXPECT_EQ(loaded.num_hosts(), 36u);
+}
+
+TEST(ConfigRoundTrip, ToStringAndBack) {
+  SimConfig original;
+  original.arch = SwitchArch::kSimple2Vc;
+  original.topology = TopologyKind::kKaryNTree;
+  original.kary_k = 2;
+  original.kary_n = 3;
+  original.load = 0.65;
+  original.seed = 123;
+  original.num_vcs = 4;
+  original.vc_weights = {4, 3, 2, 1};
+  original.buffer_bytes_per_vc = 4096;
+  original.enable_video = false;
+  original.video_eligible_time = false;
+  original.best_effort_weight = 3.5;
+  original.pattern.kind = PatternKind::kTornado;
+  original.max_clock_skew = Duration::microseconds(42);
+
+  const std::string path = testing::TempDir() + "/dqos_cfg_roundtrip.cfg";
+  {
+    std::ofstream out(path);
+    out << config_to_string(original);
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  const SimConfig loaded = config_from_args(args);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.arch, original.arch);
+  EXPECT_EQ(loaded.topology, original.topology);
+  EXPECT_EQ(loaded.num_hosts(), original.num_hosts());
+  EXPECT_DOUBLE_EQ(loaded.load, original.load);
+  EXPECT_EQ(loaded.seed, original.seed);
+  EXPECT_EQ(loaded.num_vcs, original.num_vcs);
+  EXPECT_EQ(loaded.vc_weights, original.vc_weights);
+  EXPECT_EQ(loaded.buffer_bytes_per_vc, original.buffer_bytes_per_vc);
+  EXPECT_EQ(loaded.enable_video, original.enable_video);
+  EXPECT_EQ(loaded.video_eligible_time, original.video_eligible_time);
+  EXPECT_DOUBLE_EQ(loaded.best_effort_weight, original.best_effort_weight);
+  EXPECT_EQ(loaded.pattern.kind, original.pattern.kind);
+  EXPECT_EQ(loaded.max_clock_skew, original.max_clock_skew);
+}
+
+TEST(ConfigFromArgsDeathTest, InvalidCombinationStillValidates) {
+  EXPECT_DEATH((void)config_from_args(parse({"--load=0"})), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

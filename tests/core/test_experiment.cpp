@@ -1,0 +1,122 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+SimConfig micro(SwitchArch arch, double load) {
+  SimConfig cfg;
+  cfg.arch = arch;
+  cfg.load = load;
+  cfg.topology = TopologyKind::kSingleSwitch;
+  cfg.single_switch_hosts = 4;
+  cfg.warmup = 100_us;
+  cfg.measure = 1_ms;
+  cfg.drain = 500_us;
+  cfg.enable_video = false;  // keep micro runs fast
+  return cfg;
+}
+
+TEST(RunSweep, CoversEveryCombination) {
+  const SwitchArch archs[] = {SwitchArch::kIdeal, SwitchArch::kSimple2Vc};
+  const double loads[] = {0.2, 0.5};
+  const auto points = run_sweep(micro(SwitchArch::kIdeal, 0.2), archs, loads);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].arch, SwitchArch::kIdeal);
+  EXPECT_DOUBLE_EQ(points[0].load, 0.2);
+  EXPECT_EQ(points[3].arch, SwitchArch::kSimple2Vc);
+  EXPECT_DOUBLE_EQ(points[3].load, 0.5);
+  for (const auto& p : points) EXPECT_GT(p.report.packets_delivered, 0u);
+}
+
+TEST(RunSweep, TweakHookAdjustsConfig) {
+  const SwitchArch archs[] = {SwitchArch::kIdeal};
+  const double loads[] = {0.3};
+  bool tweaked = false;
+  const auto points =
+      run_sweep(micro(SwitchArch::kIdeal, 0.3), archs, loads, [&](SimConfig& cfg) {
+        tweaked = true;
+        cfg.seed = 777;
+      });
+  EXPECT_TRUE(tweaked);
+  ASSERT_EQ(points.size(), 1u);
+}
+
+TEST(PrintSeries, ProducesTableAndCsv) {
+  const SwitchArch archs[] = {SwitchArch::kIdeal, SwitchArch::kAdvanced2Vc};
+  const double loads[] = {0.2, 0.4};
+  const auto points = run_sweep(micro(SwitchArch::kIdeal, 0.2), archs, loads);
+  const std::string csv_path = testing::TempDir() + "/dqos_series.csv";
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  print_series(tmp, points, "Control latency", "us", control_latency_us, 1,
+               csv_path);
+  std::rewind(tmp);
+  std::string all;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, tmp)) all += buf;
+  std::fclose(tmp);
+  EXPECT_NE(all.find("Control latency"), std::string::npos);
+  EXPECT_NE(all.find("Ideal"), std::string::npos);
+  EXPECT_NE(all.find("0.20"), std::string::npos);
+
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "load,Ideal,Advanced 2 VCs");
+  int rows = 0;
+  std::string line;
+  while (std::getline(csv, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+  std::remove(csv_path.c_str());
+}
+
+TEST(PrintCdf, RendersCurve) {
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.add(i);
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  print_cdf(tmp, samples, "test cdf", 5);
+  std::rewind(tmp);
+  std::string all;
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, tmp)) all += buf;
+  std::fclose(tmp);
+  EXPECT_NE(all.find("test cdf"), std::string::npos);
+  EXPECT_NE(all.find("P[X<=x]"), std::string::npos);
+  EXPECT_NE(all.find("1.0000"), std::string::npos);
+}
+
+TEST(MetricAccessors, ComputeFromReport) {
+  SimReport rep;
+  rep.classes[0].avg_packet_latency_us = 42.0;
+  rep.classes[0].offered_bytes_per_sec = 100.0;
+  rep.classes[0].throughput_bytes_per_sec = 80.0;
+  rep.classes[1].avg_message_latency_us = 10'000.0;
+  rep.classes[2].offered_bytes_per_sec = 200.0;
+  rep.classes[2].throughput_bytes_per_sec = 100.0;
+  rep.classes[3].offered_bytes_per_sec = 0.0;
+  EXPECT_DOUBLE_EQ(control_latency_us(rep), 42.0);
+  EXPECT_DOUBLE_EQ(control_throughput_frac(rep), 0.8);
+  EXPECT_DOUBLE_EQ(video_frame_latency_ms(rep), 10.0);
+  EXPECT_DOUBLE_EQ(best_effort_throughput_frac(rep), 0.5);
+  EXPECT_DOUBLE_EQ(background_throughput_frac(rep), 0.0);  // no offered
+}
+
+TEST(HasFlag, MatchesExactToken) {
+  const char* argv[] = {"prog", "--paper", "-x"};
+  EXPECT_TRUE(has_flag(3, const_cast<char**>(argv), "--paper"));
+  EXPECT_FALSE(has_flag(3, const_cast<char**>(argv), "--pap"));
+  EXPECT_FALSE(has_flag(1, const_cast<char**>(argv), "--paper"));
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,329 @@
+#include "core/network_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+/// Tiny-but-real configuration: full Table 1 mix on a 2x4-host Clos.
+SimConfig tiny(SwitchArch arch, double load) {
+  SimConfig cfg;
+  cfg.arch = arch;
+  cfg.load = load;
+  cfg.num_leaves = 2;
+  cfg.hosts_per_leaf = 4;
+  cfg.num_spines = 4;
+  cfg.warmup = 500_us;
+  cfg.measure = 4_ms;
+  cfg.drain = 1_ms;
+  return cfg;
+}
+
+TEST(SimConfigTest, Presets) {
+  const SimConfig p = SimConfig::paper(SwitchArch::kIdeal, 0.7);
+  EXPECT_EQ(p.num_hosts(), 128u);
+  EXPECT_EQ(p.arch, SwitchArch::kIdeal);
+  EXPECT_DOUBLE_EQ(p.load, 0.7);
+  p.validate();
+  const SimConfig s = SimConfig::small(SwitchArch::kSimple2Vc, 0.5);
+  EXPECT_EQ(s.num_hosts(), 32u);
+  s.validate();
+}
+
+TEST(SimConfigTest, NumHostsPerTopology) {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kKaryNTree;
+  cfg.kary_k = 4;
+  cfg.kary_n = 2;
+  EXPECT_EQ(cfg.num_hosts(), 16u);
+  cfg.topology = TopologyKind::kSingleSwitch;
+  cfg.single_switch_hosts = 10;
+  EXPECT_EQ(cfg.num_hosts(), 10u);
+}
+
+TEST(SimConfigDeathTest, ValidateRejectsNonsense) {
+  SimConfig cfg;
+  cfg.load = 0.0;
+  EXPECT_DEATH(cfg.validate(), "precondition");
+  SimConfig cfg2;
+  cfg2.buffer_bytes_per_vc = 64;  // smaller than one MTU packet
+  EXPECT_DEATH(cfg2.validate(), "precondition");
+}
+
+class EndToEnd : public testing::TestWithParam<SwitchArch> {};
+
+TEST_P(EndToEnd, DeliversTrafficWithoutReordering) {
+  NetworkSimulator net(tiny(GetParam(), 0.6));
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 1000u);
+  // The paper's hard invariant: never out-of-order within a flow.
+  EXPECT_EQ(rep.out_of_order, 0u);
+  // All four classes saw traffic.
+  for (const TrafficClass c : all_traffic_classes()) {
+    EXPECT_GT(rep.of(c).packets, 0u) << to_string(c);
+  }
+}
+
+TEST_P(EndToEnd, ControlLatencyBounded) {
+  NetworkSimulator net(tiny(GetParam(), 0.4));
+  const SimReport rep = net.run();
+  const auto& ctrl = rep.of(TrafficClass::kControl);
+  EXPECT_GT(ctrl.packets, 100u);
+  // At 40% load control latency stays far below a millisecond on all archs.
+  EXPECT_LT(ctrl.avg_packet_latency_us, 1000.0);
+  EXPECT_GT(ctrl.avg_packet_latency_us, 2.0);  // at least wire time
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, EndToEnd,
+                         testing::ValuesIn(all_switch_archs()),
+                         [](const testing::TestParamInfo<SwitchArch>& pi) {
+                           std::string n{to_string(pi.param)};
+                           for (char& ch : n) {
+                             if (ch == ' ') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(NetworkSimulatorTest, DeterministicForSameSeed) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.8);
+  cfg.seed = 42;
+  NetworkSimulator a(cfg);
+  NetworkSimulator b(cfg);
+  const SimReport ra = a.run();
+  const SimReport rb = b.run();
+  EXPECT_EQ(ra.packets_delivered, rb.packets_delivered);
+  EXPECT_EQ(ra.events_processed, rb.events_processed);
+  EXPECT_EQ(ra.order_errors, rb.order_errors);
+  for (const TrafficClass c : all_traffic_classes()) {
+    EXPECT_DOUBLE_EQ(ra.of(c).avg_packet_latency_us, rb.of(c).avg_packet_latency_us);
+  }
+}
+
+TEST(NetworkSimulatorTest, SeedChangesTraffic) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.8);
+  cfg.seed = 1;
+  NetworkSimulator a(cfg);
+  cfg.seed = 2;
+  NetworkSimulator b(cfg);
+  EXPECT_NE(a.run().packets_delivered, b.run().packets_delivered);
+}
+
+TEST(NetworkSimulatorTest, ClockSkewInvariance) {
+  // §3.3: the TTD mechanism makes scheduling independent of clock offsets.
+  SimConfig sync = tiny(SwitchArch::kAdvanced2Vc, 0.9);
+  SimConfig skew = sync;
+  skew.max_clock_skew = 10_ms;  // offsets far larger than any latency
+  NetworkSimulator a(sync);
+  NetworkSimulator b(skew);
+  const SimReport ra = a.run();
+  const SimReport rb = b.run();
+  EXPECT_EQ(ra.packets_delivered, rb.packets_delivered);
+  EXPECT_EQ(ra.order_errors, rb.order_errors);
+  for (const TrafficClass c : all_traffic_classes()) {
+    EXPECT_DOUBLE_EQ(ra.of(c).avg_packet_latency_us, rb.of(c).avg_packet_latency_us);
+    EXPECT_DOUBLE_EQ(ra.of(c).jitter_us, rb.of(c).jitter_us);
+  }
+}
+
+TEST(NetworkSimulatorTest, IdealHasNoOrderErrors) {
+  NetworkSimulator net(tiny(SwitchArch::kIdeal, 1.0));
+  const SimReport rep = net.run();
+  EXPECT_EQ(rep.order_errors, 0u);
+  EXPECT_EQ(rep.takeovers, 0u);
+}
+
+TEST(NetworkSimulatorTest, TakeoversOnlyOnAdvanced) {
+  NetworkSimulator simple(tiny(SwitchArch::kSimple2Vc, 1.0));
+  EXPECT_EQ(simple.run().takeovers, 0u);
+}
+
+TEST(NetworkSimulatorTest, EdfBeatsTraditionalOnControlLatencyUnderLoad) {
+  // The paper's headline qualitative result (Fig. 2).
+  NetworkSimulator trad(tiny(SwitchArch::kTraditional2Vc, 1.0));
+  NetworkSimulator adv(tiny(SwitchArch::kAdvanced2Vc, 1.0));
+  const double lat_trad = trad.run().of(TrafficClass::kControl).avg_packet_latency_us;
+  const double lat_adv = adv.run().of(TrafficClass::kControl).avg_packet_latency_us;
+  EXPECT_LT(lat_adv, lat_trad);
+}
+
+TEST(NetworkSimulatorTest, VideoFrameLatencyNearBudget) {
+  // Fig. 3: EDF architectures pin frame latency at ~the 10 ms budget.
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.8);
+  cfg.measure = 30_ms;  // enough frames
+  cfg.drain = 12_ms;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  const auto& mm = rep.of(TrafficClass::kMultimedia);
+  ASSERT_GT(mm.messages, 20u);
+  EXPECT_GT(mm.avg_message_latency_us, 7000.0);
+  EXPECT_LT(mm.avg_message_latency_us, 13000.0);
+}
+
+TEST(NetworkSimulatorTest, AdmissionRejectsOnlyWhenSaturated) {
+  NetworkSimulator net(tiny(SwitchArch::kAdvanced2Vc, 0.5));
+  EXPECT_GT(net.admission().admitted_flows(), 0u);
+  const SimReport rep = net.run();
+  EXPECT_EQ(rep.flows_rejected, 0u);
+}
+
+TEST(NetworkSimulatorTest, SingleSwitchTopologyWorks) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.7);
+  cfg.topology = TopologyKind::kSingleSwitch;
+  cfg.single_switch_hosts = 8;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 100u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(NetworkSimulatorTest, KaryTreeTopologyWorks) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.5);
+  cfg.topology = TopologyKind::kKaryNTree;
+  cfg.kary_k = 2;
+  cfg.kary_n = 3;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 100u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(NetworkSimulatorTest, Mesh2DTopologyWorks) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.3);
+  cfg.topology = TopologyKind::kMesh2D;
+  cfg.mesh_width = 3;
+  cfg.mesh_height = 3;
+  cfg.mesh_concentration = 1;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 100u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(NetworkSimulatorTest, HotSpotPatternRuns) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.5);
+  cfg.pattern.kind = PatternKind::kHotSpot;
+  cfg.pattern.hotspot_fraction = 0.4;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 100u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+  // The hot node receives far more than an average node.
+  std::uint64_t hot = net.host(0).packets_received();
+  std::uint64_t other = net.host(5).packets_received();
+  EXPECT_GT(hot, other * 2);
+}
+
+TEST(NetworkSimulatorTest, ProbeSeriesPopulated) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.8);
+  cfg.probe_interval = 50_us;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  ASSERT_NE(rep.queue_depth, nullptr);
+  ASSERT_NE(rep.injected_bytes, nullptr);
+  EXPECT_GT(rep.injected_bytes->bin_stats().sum(), 0.0);
+  EXPECT_GT(rep.queue_depth->bin_stats().max(), 0.0);
+}
+
+TEST(NetworkSimulatorTest, ProbesOffByDefault) {
+  NetworkSimulator net(tiny(SwitchArch::kIdeal, 0.3));
+  const SimReport rep = net.run();
+  EXPECT_EQ(rep.queue_depth, nullptr);
+  EXPECT_EQ(rep.injected_bytes, nullptr);
+}
+
+TEST(NetworkSimulatorTest, TraditionalMultiVcConfig) {
+  // Ablation A5: Traditional with one VC per class and an arbitration table.
+  SimConfig cfg = tiny(SwitchArch::kTraditional2Vc, 0.8);
+  cfg.num_vcs = 4;
+  cfg.vc_weights = {1, 1, 1, 1};
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 1000u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(NetworkSimulatorTest, PaperScaleConstructionWiring) {
+  // Build (not run) the full 128-endpoint platform: checks id layout,
+  // wiring contracts and admission bookkeeping at the paper's scale.
+  SimConfig cfg = SimConfig::paper(SwitchArch::kAdvanced2Vc, 1.0);
+  NetworkSimulator net(cfg);
+  EXPECT_EQ(net.num_hosts(), 128u);
+  EXPECT_EQ(net.num_switches(), 24u);  // 16 leaves + 8 spines
+  // Every host opened control flows to all 127 peers plus video and two
+  // unregulated aggregates.
+  EXPECT_GT(net.admission().admitted_flows(), 128u * 127u);
+  EXPECT_EQ(net.topology().num_ports(net.topology().switch_id(0)), 16u);
+}
+
+TEST(NetworkSimulatorTest, TransposePatternOnSquareHostCount) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.4);
+  cfg.num_leaves = 4;
+  cfg.hosts_per_leaf = 4;  // 16 hosts: a perfect square
+  cfg.pattern.kind = PatternKind::kTranspose;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 100u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(NetworkSimulatorTest, BitComplementPatternOnPow2Hosts) {
+  SimConfig cfg = tiny(SwitchArch::kSimple2Vc, 0.4);
+  cfg.pattern.kind = PatternKind::kBitComplement;  // 8 hosts = 2^3
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 100u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(NetworkSimulatorTest, LinkUtilizationTiersPopulated) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.8);
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.util_injection.mean, 0.1);
+  EXPECT_GT(rep.util_fabric.mean, 0.0);
+  EXPECT_GT(rep.util_delivery.mean, 0.1);
+  EXPECT_LE(rep.util_injection.max, 1.0 + 1e-9);
+  EXPECT_GE(rep.util_injection.max, rep.util_injection.mean);
+}
+
+TEST(NetworkSimulatorTest, DeadlineMissAccountingSane) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.6);
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  // Control deadlines are link-rate tight: some misses are expected under
+  // contention, but the regulated video class must rarely miss its 10ms.
+  const auto& mm = rep.of(TrafficClass::kMultimedia);
+  EXPECT_LT(mm.deadline_miss_fraction, 0.05);
+  EXPECT_GT(mm.avg_slack_us, 0.0);
+}
+
+TEST(NetworkSimulatorTest, VideoTraceFileDrivesMultimedia) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.5);
+  cfg.video_trace_path = DQOS_DATA_DIR "/mpeg4_sample.trace";
+  cfg.measure = 30_ms;
+  cfg.drain = 12_ms;
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  const auto& mm = rep.of(TrafficClass::kMultimedia);
+  EXPECT_GT(mm.messages, 10u);
+  // Frame-budget deadlines still pin frame latency at the budget.
+  EXPECT_NEAR(mm.avg_message_latency_us, 10'000.0, 1'000.0);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
+TEST(NetworkSimulatorDeathTest, MissingVideoTraceAborts) {
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.5);
+  cfg.video_trace_path = "/nonexistent/never.trace";
+  EXPECT_DEATH(NetworkSimulator net(cfg), "precondition");
+}
+
+TEST(NetworkSimulatorTest, RunTwiceAborts) {
+  NetworkSimulator net(tiny(SwitchArch::kIdeal, 0.3));
+  (void)net.run();
+  EXPECT_DEATH((void)net.run(), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,121 @@
+#include "host/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+FlowSpec base_spec(DeadlinePolicy policy, Bandwidth bw) {
+  FlowSpec spec;
+  spec.id = 1;
+  spec.policy = policy;
+  spec.deadline_bw = bw;
+  spec.frame_budget = 10_ms;
+  return spec;
+}
+
+TEST(DeadlineStamper, VirtualClockFirstPacket) {
+  // D(P_1) = T_now + L/BW.
+  DeadlineStamper s(base_spec(DeadlinePolicy::kVirtualClock,
+                              Bandwidth::from_bytes_per_sec(1e6)));  // 1 MB/s
+  const TimePoint now = TimePoint::from_ps(5'000'000);
+  const TimePoint d = s.stamp(now, 1000);  // 1000B at 1 MB/s = 1 ms
+  EXPECT_EQ(d, now + 1_ms);
+}
+
+TEST(DeadlineStamper, VirtualClockAccumulatesWhenBusy) {
+  // Back-to-back packets: D(P_i) = D(P_{i-1}) + L/BW (max picks D_prev).
+  DeadlineStamper s(base_spec(DeadlinePolicy::kVirtualClock,
+                              Bandwidth::from_bytes_per_sec(1e6)));
+  const TimePoint now = TimePoint::zero();
+  const TimePoint d1 = s.stamp(now, 1000);
+  const TimePoint d2 = s.stamp(now, 1000);
+  const TimePoint d3 = s.stamp(now, 500);
+  EXPECT_EQ(d1, now + 1_ms);
+  EXPECT_EQ(d2, now + 2_ms);
+  EXPECT_EQ(d3.ps() - d2.ps(), (1_ms / 2).ps());
+}
+
+TEST(DeadlineStamper, VirtualClockResetsAfterIdle) {
+  // After an idle gap longer than the backlog, T_now wins the max().
+  DeadlineStamper s(base_spec(DeadlinePolicy::kVirtualClock,
+                              Bandwidth::from_bytes_per_sec(1e6)));
+  (void)s.stamp(TimePoint::zero(), 1000);           // D = 1ms
+  const TimePoint late = TimePoint::zero() + 50_ms;  // long silence
+  const TimePoint d = s.stamp(late, 1000);
+  EXPECT_EQ(d, late + 1_ms);
+}
+
+TEST(DeadlineStamper, ControlUsesLinkBandwidth) {
+  // A 2 KB control packet at 8 Gb/s: deadline 2.048+ us out — maximum
+  // priority in practice.
+  DeadlineStamper s(base_spec(DeadlinePolicy::kControlLatency,
+                              Bandwidth::from_gbps(8.0)));
+  const TimePoint d = s.stamp(TimePoint::zero(), 2048);
+  EXPECT_EQ(d.ps(), 2048 * 1000);
+}
+
+TEST(DeadlineStamper, FrameBudgetSplitsEvenly) {
+  // An 80 KB frame at MTU 2 KB = 40 parts; each packet gets 10ms/40 = 250us.
+  FlowSpec spec = base_spec(DeadlinePolicy::kFrameBudget,
+                            Bandwidth::from_bytes_per_sec(3e6));
+  DeadlineStamper s(spec);
+  const TimePoint now = TimePoint::zero();
+  s.begin_frame(40);
+  TimePoint prev = now;
+  for (int i = 0; i < 40; ++i) {
+    const TimePoint d = s.stamp_frame_packet(now);
+    EXPECT_EQ(d - prev, 250_us);
+    prev = d;
+  }
+  // Last packet's deadline = frame budget: the whole frame lands at ~10 ms.
+  EXPECT_EQ(prev, now + 10_ms);
+}
+
+TEST(DeadlineStamper, FrameBudgetIndependentOfFrameSize) {
+  // Paper §3.1: "every frame will have a latency close to 10 milliseconds,
+  // independently of frame size."
+  FlowSpec spec = base_spec(DeadlinePolicy::kFrameBudget,
+                            Bandwidth::from_bytes_per_sec(3e6));
+  for (const std::uint16_t parts : {std::uint16_t{1}, std::uint16_t{3},
+                                    std::uint16_t{17}, std::uint16_t{60}}) {
+    DeadlineStamper s(spec);
+    const TimePoint now = TimePoint::from_ps(1'000'000);
+    s.begin_frame(parts);
+    TimePoint last;
+    for (std::uint16_t i = 0; i < parts; ++i) last = s.stamp_frame_packet(now);
+    // Integer division may shave < parts picoseconds.
+    EXPECT_NEAR(static_cast<double>((last - now).ps()), 1e10, parts);
+  }
+}
+
+TEST(DeadlineStamper, ConsecutiveFramesChainThroughMax) {
+  // A frame arriving before the previous one's budget elapsed queues after
+  // it (max(D_prev, T_now)).
+  FlowSpec spec = base_spec(DeadlinePolicy::kFrameBudget,
+                            Bandwidth::from_bytes_per_sec(3e6));
+  DeadlineStamper s(spec);
+  s.begin_frame(10);
+  TimePoint last;
+  for (int i = 0; i < 10; ++i) last = s.stamp_frame_packet(TimePoint::zero());
+  EXPECT_EQ(last, TimePoint::zero() + 10_ms);
+  // Next frame arrives at t=2ms (<10ms): its first packet extends the chain.
+  s.begin_frame(10);
+  const TimePoint d = s.stamp_frame_packet(TimePoint::zero() + 2_ms);
+  EXPECT_EQ(d, TimePoint::zero() + 11_ms);
+}
+
+TEST(DeadlineStamperDeathTest, PolicyMisuse) {
+  DeadlineStamper vc(base_spec(DeadlinePolicy::kVirtualClock,
+                               Bandwidth::from_gbps(8.0)));
+  EXPECT_DEATH(vc.begin_frame(4), "precondition");
+  DeadlineStamper fb(base_spec(DeadlinePolicy::kFrameBudget,
+                               Bandwidth::from_bytes_per_sec(3e6)));
+  EXPECT_DEATH((void)fb.stamp(TimePoint::zero(), 100), "precondition");
+  EXPECT_DEATH((void)fb.stamp_frame_packet(TimePoint::zero()), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

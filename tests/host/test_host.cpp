@@ -1,0 +1,449 @@
+#include "host/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+/// Two hosts wired back-to-back (empty source routes): isolates the NIC
+/// logic from switches entirely.
+class HostPairFixture : public testing::Test {
+ protected:
+  void build(HostParams params = HostParams{}, Duration skew0 = Duration::zero(),
+             Duration skew1 = Duration::zero()) {
+    Simulator& sim_ref = sim();
+    h0_ = std::make_unique<Host>(sim_ref, 0, params, LocalClock(skew0), pool_);
+    h1_ = std::make_unique<Host>(sim_ref, 1, params, LocalClock(skew1), pool_);
+    c01_ = std::make_unique<Channel>(sim_ref, Bandwidth::from_gbps(8.0), 100_ns,
+                                     params.num_vcs, 8192);
+    c10_ = std::make_unique<Channel>(sim_ref, Bandwidth::from_gbps(8.0), 100_ns,
+                                     params.num_vcs, 8192);
+    c01_->connect_to(h1_.get(), 0);
+    c10_->connect_to(h0_.get(), 0);
+    h0_->attach_uplink(c01_.get());
+    h0_->attach_downlink(c10_.get());
+    h1_->attach_uplink(c10_.get());
+    h1_->attach_downlink(c01_.get());
+    h1_->set_packet_callback(
+        [this](const Packet& p, TimePoint now, Duration slack) {
+          deliveries_.push_back({p.hdr.flow, p.hdr.flow_seq, now, p.t_injected,
+                                 p.t_created, p.size(), slack});
+        });
+    h1_->set_message_callback(
+        [this](const MessageDelivered& m) { messages_.push_back(m); });
+  }
+
+  FlowSpec spec(FlowId id, TrafficClass tc, DeadlinePolicy policy, Bandwidth dbw,
+                bool eligible = false) {
+    FlowSpec s;
+    s.id = id;
+    s.src = 0;
+    s.dst = 1;
+    s.tclass = tc;
+    s.vc = is_regulated(tc) ? kRegulatedVc : kBestEffortVc;
+    s.policy = policy;
+    s.deadline_bw = dbw;
+    s.use_eligible_time = eligible;
+    s.eligible_lead = 20_us;
+    s.frame_budget = 10_ms;
+    return s;
+  }
+
+  struct Delivery {
+    FlowId flow;
+    std::uint32_t seq;
+    TimePoint when;
+    TimePoint injected;
+    TimePoint created;
+    std::uint32_t bytes;
+    Duration slack;
+  };
+
+  Simulator& sim() {
+    if (!sim_ptr_) sim_ptr_ = std::make_unique<Simulator>();
+    return *sim_ptr_;
+  }
+  void reset_sim() {
+    h0_.reset();
+    h1_.reset();
+    c01_.reset();
+    c10_.reset();
+    sim_ptr_.reset();
+  }
+
+  std::unique_ptr<Simulator> sim_ptr_;
+  PacketPool pool_;
+  std::unique_ptr<Host> h0_, h1_;
+  std::unique_ptr<Channel> c01_, c10_;
+  std::vector<Delivery> deliveries_;
+  std::vector<MessageDelivered> messages_;
+};
+
+TEST_F(HostPairFixture, FragmentsToMtuAndReassembles) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  EXPECT_TRUE(h0_->submit(1, 5000));  // 2048 + 2048 + 904
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 3u);
+  EXPECT_EQ(deliveries_[0].bytes, 2048u + kHeaderBytes);
+  EXPECT_EQ(deliveries_[1].bytes, 2048u + kHeaderBytes);
+  EXPECT_EQ(deliveries_[2].bytes, 904u + kHeaderBytes);
+  ASSERT_EQ(messages_.size(), 1u);
+  EXPECT_EQ(messages_[0].bytes, 5000u + 3 * kHeaderBytes);
+  EXPECT_EQ(messages_[0].created, TimePoint::zero());
+  EXPECT_EQ(messages_[0].completed, deliveries_[2].when);
+  EXPECT_EQ(h0_->packets_injected(), 3u);
+  EXPECT_EQ(h1_->packets_received(), 3u);
+}
+
+TEST_F(HostPairFixture, TimestampsMonotone) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  h0_->submit(1, 4096);
+  sim().run();
+  for (const auto& d : deliveries_) {
+    EXPECT_LE(d.created, d.injected);
+    EXPECT_LT(d.injected, d.when);
+  }
+}
+
+TEST_F(HostPairFixture, InjectionSerializesAtLinkRate) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  h0_->submit(1, 3 * 2048);  // three full-MTU packets
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 3u);
+  const auto gap1 = deliveries_[1].when - deliveries_[0].when;
+  const auto gap2 = deliveries_[2].when - deliveries_[1].when;
+  // Each packet serializes for (2048+16) ns.
+  EXPECT_EQ(gap1.ps(), (2048 + 16) * 1000);
+  EXPECT_EQ(gap2.ps(), (2048 + 16) * 1000);
+}
+
+TEST_F(HostPairFixture, EligibleTimeDelaysInjection) {
+  build();
+  // One-part frame with a 10 ms budget: eligible at D - 20 us = 9.98 ms.
+  h0_->open_flow(spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget,
+                      Bandwidth::from_bytes_per_sec(3e6), /*eligible=*/true));
+  h0_->submit(1, 2048);
+  EXPECT_EQ(h0_->eligible_waiting(), 1u);
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].injected, TimePoint::zero() + 10_ms - 20_us);
+  EXPECT_EQ(h0_->eligible_waiting(), 0u);
+}
+
+TEST_F(HostPairFixture, NoEligibleTimeInjectsImmediately) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget,
+                      Bandwidth::from_bytes_per_sec(3e6), /*eligible=*/false));
+  h0_->submit(1, 2048);
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].injected, TimePoint::zero());
+}
+
+TEST_F(HostPairFixture, EdfReordersAcrossFlowsAtInjection) {
+  build();
+  // Flow 1: loose deadlines (slow deadline bandwidth). Flow 2: tight.
+  h0_->open_flow(spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(1e6)));
+  h0_->open_flow(spec(2, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(100e6)));
+  // Submit 4 loose packets first (first starts transmitting immediately),
+  // then 2 tight ones, which must overtake the 3 still queued.
+  h0_->submit(1, 4 * 2048);
+  h0_->submit(2, 2 * 2048);
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 6u);
+  EXPECT_EQ(deliveries_[0].flow, 1u);  // already on the wire
+  EXPECT_EQ(deliveries_[1].flow, 2u);
+  EXPECT_EQ(deliveries_[2].flow, 2u);
+  EXPECT_EQ(deliveries_[3].flow, 1u);
+  EXPECT_EQ(h1_->out_of_order_deliveries(), 0u);
+}
+
+TEST_F(HostPairFixture, FifoModeKeepsSubmissionOrder) {
+  HostParams params;
+  params.edf_queues = false;  // Traditional endpoint
+  build(params);
+  h0_->open_flow(spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(1e6)));
+  h0_->open_flow(spec(2, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(100e6)));
+  h0_->submit(1, 4 * 2048);
+  h0_->submit(2, 2 * 2048);
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 6u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(deliveries_[i].flow, 1u);
+  for (std::size_t i = 4; i < 6; ++i) EXPECT_EQ(deliveries_[i].flow, 2u);
+}
+
+TEST_F(HostPairFixture, RegulatedVcPreemptsBestEffortQueue) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kBestEffort, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(250e6)));
+  h0_->open_flow(spec(2, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  h0_->submit(1, 5 * 2048);  // best-effort backlog
+  h0_->submit(2, 512);       // control message must jump the queue
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 6u);
+  EXPECT_EQ(deliveries_[0].flow, 1u);  // was already transmitting
+  EXPECT_EQ(deliveries_[1].flow, 2u);  // control next
+}
+
+TEST_F(HostPairFixture, BestEffortCapDropsWholeMessages) {
+  HostParams params;
+  params.best_effort_queue_cap = 4;
+  build(params);
+  h0_->open_flow(spec(1, TrafficClass::kBackground, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(250e6)));
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) accepted += h0_->submit(1, 2048) ? 1 : 0;
+  EXPECT_LT(accepted, 10);
+  EXPECT_EQ(h0_->best_effort_drops(), static_cast<std::uint64_t>(10 - accepted));
+  sim().run();
+  EXPECT_EQ(deliveries_.size(), static_cast<std::size_t>(accepted));
+}
+
+TEST_F(HostPairFixture, RegulatedTrafficIsNeverDropped) {
+  HostParams params;
+  params.best_effort_queue_cap = 2;
+  build(params);
+  h0_->open_flow(spec(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(h0_->submit(1, 2048));
+  sim().run();
+  EXPECT_EQ(deliveries_.size(), 50u);
+  EXPECT_EQ(h0_->best_effort_drops(), 0u);
+}
+
+TEST_F(HostPairFixture, FlowWatchCollectsPerFlowStats) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  h0_->open_flow(spec(2, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  h1_->watch_flow(1);
+  h0_->submit(1, 2048);
+  h0_->submit(2, 1024);
+  sim().run();
+  const auto* w1 = h1_->flow_watch(1);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w1->packets, 1u);
+  EXPECT_EQ(w1->bytes, 2048u + kHeaderBytes);
+  EXPECT_GT(w1->latency_us.mean(), 0.0);
+  EXPECT_EQ(h1_->flow_watch(2), nullptr);  // not watched
+  EXPECT_EQ(h0_->flow_watch(1), nullptr);  // wrong side
+}
+
+TEST_F(HostPairFixture, PolicedFlowShedsExcessMessages) {
+  build();
+  FlowSpec s = spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                    Bandwidth::from_bytes_per_sec(1e6));
+  s.reserve_bw = Bandwidth::from_bytes_per_sec(1e6);  // 1 MB/s reservation
+  s.police = true;
+  s.police_burst = 10_ms;  // bucket: 10 KB (floored at 128 KB -> 128 KB)
+  h0_->open_flow(s);
+  // Offer 100 x 64 KB back-to-back = 6.4 MB instantly: only the bucket's
+  // 128 KB (2 messages) fit; the rest are policed away.
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) accepted += h0_->submit(1, 64 * 1024) ? 1 : 0;
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(h0_->policed_drops(), 98u);
+  sim().run();
+}
+
+TEST_F(HostPairFixture, ConformantPolicedFlowUnaffected) {
+  build();
+  FlowSpec s = spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                    Bandwidth::from_bytes_per_sec(10e6));
+  s.reserve_bw = Bandwidth::from_bytes_per_sec(10e6);
+  s.police = true;
+  h0_->open_flow(s);
+  // 1 KB per ms = 1 MB/s, a tenth of the reservation: nothing shed.
+  for (int i = 0; i < 50; ++i) {
+    sim().schedule_at(TimePoint::zero() + Duration::milliseconds(i),
+                      [this] { EXPECT_TRUE(h0_->submit(1, 1024)); });
+  }
+  sim().run();
+  EXPECT_EQ(h0_->policed_drops(), 0u);
+  EXPECT_EQ(deliveries_.size(), 50u);
+}
+
+TEST_F(HostPairFixture, DeliverySlackReflectsDeadline) {
+  build();
+  // Frame-budget flow: a lone 2 KB frame has ~10 ms of slack at delivery
+  // (delivered in microseconds, deadline 10 ms out).
+  h0_->open_flow(spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget,
+                      Bandwidth::from_bytes_per_sec(3e6)));
+  h0_->submit(1, 2048);
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_GT(deliveries_[0].slack, 9_ms);
+  EXPECT_LT(deliveries_[0].slack, 10_ms);
+}
+
+TEST_F(HostPairFixture, ClockSkewDoesNotChangeBehaviour) {
+  // Run the same workload twice: once synchronized, once with wild skews.
+  std::vector<TimePoint> base_times;
+  for (int pass = 0; pass < 2; ++pass) {
+    deliveries_.clear();
+    messages_.clear();
+    reset_sim();  // fresh calendar
+    const Duration skew0 = pass ? 5'000'000_us : 0_us;
+    const Duration skew1 = pass ? 123_us : 0_us;
+    build(HostParams{}, skew0, skew1);
+    h0_->open_flow(spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget,
+                        Bandwidth::from_bytes_per_sec(3e6), /*eligible=*/true));
+    h0_->open_flow(spec(2, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                        Bandwidth::from_gbps(8.0)));
+    h0_->submit(1, 8192);
+    h0_->submit(2, 512);
+    sim().run();
+    if (pass == 0) {
+      for (const auto& d : deliveries_) base_times.push_back(d.when);
+    } else {
+      ASSERT_EQ(deliveries_.size(), base_times.size());
+      for (std::size_t i = 0; i < base_times.size(); ++i) {
+        EXPECT_EQ(deliveries_[i].when, base_times[i]) << "delivery " << i;
+      }
+    }
+  }
+}
+
+TEST_F(HostPairFixture, MultiVcWeightedInjectionShares) {
+  // Traditional multi-VC endpoint: 4 VCs with an 8:4:2:1 arbitration
+  // table; all VCs saturated -> injected byte shares follow the weights.
+  HostParams params;
+  params.num_vcs = 4;
+  params.vc_weights = {8, 4, 2, 1};
+  params.edf_queues = false;
+  build(params);
+  for (FlowId f = 1; f <= 4; ++f) {
+    FlowSpec s = spec(f, TrafficClass::kBestEffort, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_gbps(8.0));
+    s.vc = static_cast<VcId>(f - 1);
+    h0_->open_flow(s);
+    h0_->submit(f, 300 * 2048);  // deep backlog on every VC
+  }
+  // Run long enough to inject ~150 packets total, then count shares.
+  sim().run_until(TimePoint::zero() + Duration::microseconds(310));
+  std::array<double, 4> bytes{};
+  double total = 0;
+  for (const auto& d : deliveries_) {
+    bytes[d.flow - 1] += d.bytes;
+    total += d.bytes;
+  }
+  ASSERT_GT(total, 0.0);
+  EXPECT_NEAR(bytes[0] / total, 8.0 / 15.0, 0.08);
+  EXPECT_NEAR(bytes[1] / total, 4.0 / 15.0, 0.06);
+  EXPECT_NEAR(bytes[2] / total, 2.0 / 15.0, 0.05);
+  EXPECT_NEAR(bytes[3] / total, 1.0 / 15.0, 0.04);
+  // Drain the backlog so no packet outlives the pool at teardown.
+  sim().run();
+}
+
+TEST_F(HostPairFixture, MultiVcStrictPriorityWithoutWeights) {
+  // Without a table, lower VC index always wins at the injection link.
+  HostParams params;
+  params.num_vcs = 3;
+  build(params);
+  for (FlowId f = 1; f <= 3; ++f) {
+    FlowSpec s = spec(f, TrafficClass::kBestEffort, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_gbps(8.0));
+    s.vc = static_cast<VcId>(f - 1);
+    h0_->open_flow(s);
+  }
+  h0_->submit(3, 2048);  // lowest priority, submitted first
+  h0_->submit(2, 2048);
+  h0_->submit(1, 3 * 2048);  // highest priority, bulk
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 5u);
+  // First delivery may be flow 3 (already on the wire); all flow-1 packets
+  // precede flow 2's.
+  std::size_t last_f1 = 0, first_f2 = deliveries_.size();
+  for (std::size_t i = 0; i < deliveries_.size(); ++i) {
+    if (deliveries_[i].flow == 1) last_f1 = i;
+    if (deliveries_[i].flow == 2 && i < first_f2) first_f2 = i;
+  }
+  EXPECT_LT(last_f1, first_f2);
+}
+
+TEST_F(HostPairFixture, ManyMessagesNoOutOfOrder) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(100e6)));
+  h0_->open_flow(spec(2, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(30e6)));
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    h0_->submit(rng.chance(0.5) ? 1 : 2, rng.uniform_int(100, 50000));
+  }
+  sim().run();
+  EXPECT_EQ(h1_->out_of_order_deliveries(), 0u);
+  EXPECT_EQ(h0_->queued_packets(), 0u);
+  EXPECT_EQ(messages_.size(), 200u);
+}
+
+TEST_F(HostPairFixture, EligibleTimesInterleaveAcrossFlows) {
+  // Two frame-budget flows with different budgets: the one with the
+  // earlier eligible instant is injected first even if submitted second.
+  build();
+  FlowSpec fast = spec(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget,
+                       Bandwidth::from_bytes_per_sec(3e6), /*eligible=*/true);
+  fast.frame_budget = 2_ms;
+  FlowSpec slow = spec(2, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget,
+                       Bandwidth::from_bytes_per_sec(3e6), /*eligible=*/true);
+  slow.frame_budget = 10_ms;
+  h0_->open_flow(fast);
+  h0_->open_flow(slow);
+  h0_->submit(2, 2048);  // eligible at ~9.98 ms
+  h0_->submit(1, 2048);  // eligible at ~1.98 ms — must go first
+  EXPECT_EQ(h0_->eligible_waiting(), 2u);
+  sim().run();
+  ASSERT_EQ(deliveries_.size(), 2u);
+  EXPECT_EQ(deliveries_[0].flow, 1u);
+  EXPECT_EQ(deliveries_[0].injected, TimePoint::zero() + 2_ms - 20_us);
+  EXPECT_EQ(deliveries_[1].flow, 2u);
+  EXPECT_EQ(deliveries_[1].injected, TimePoint::zero() + 10_ms - 20_us);
+}
+
+TEST_F(HostPairFixture, SubmitToUnknownFlowAborts) {
+  build();
+  EXPECT_DEATH((void)h0_->submit(999, 100), "precondition");
+}
+
+TEST_F(HostPairFixture, OpenDuplicateFlowAborts) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency,
+                      Bandwidth::from_gbps(8.0)));
+  EXPECT_DEATH(
+      h0_->open_flow(spec(1, TrafficClass::kControl,
+                          DeadlinePolicy::kControlLatency,
+                          Bandwidth::from_gbps(8.0))),
+      "precondition");
+}
+
+TEST_F(HostPairFixture, QueuedPacketsIntrospection) {
+  build();
+  h0_->open_flow(spec(1, TrafficClass::kBestEffort, DeadlinePolicy::kVirtualClock,
+                      Bandwidth::from_bytes_per_sec(250e6)));
+  h0_->submit(1, 10 * 2048);
+  EXPECT_GT(h0_->queued_packets(), 0u);
+  sim().run();
+  EXPECT_EQ(h0_->queued_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace dqos

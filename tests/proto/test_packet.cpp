@@ -1,0 +1,113 @@
+#include "proto/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto/types.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+TEST(TrafficClassTest, NamesAndRegulation) {
+  EXPECT_EQ(to_string(TrafficClass::kControl), "Control");
+  EXPECT_EQ(to_string(TrafficClass::kMultimedia), "Multimedia");
+  EXPECT_EQ(to_string(TrafficClass::kBestEffort), "Best-effort");
+  EXPECT_EQ(to_string(TrafficClass::kBackground), "Background");
+  EXPECT_TRUE(is_regulated(TrafficClass::kControl));
+  EXPECT_TRUE(is_regulated(TrafficClass::kMultimedia));
+  EXPECT_FALSE(is_regulated(TrafficClass::kBestEffort));
+  EXPECT_FALSE(is_regulated(TrafficClass::kBackground));
+  EXPECT_EQ(all_traffic_classes().size(), kNumTrafficClasses);
+}
+
+TEST(SourceRoute, PushAndConsumeHops) {
+  SourceRoute r;
+  EXPECT_EQ(r.length(), 0u);
+  r.push_hop(3);
+  r.push_hop(7);
+  r.push_hop(1);
+  EXPECT_EQ(r.length(), 3u);
+  EXPECT_FALSE(r.at_destination());
+  EXPECT_EQ(r.next_hop(), 3);
+  EXPECT_EQ(r.next_hop(), 7);
+  EXPECT_EQ(r.hops_taken(), 2u);
+  EXPECT_EQ(r.next_hop(), 1);
+  EXPECT_TRUE(r.at_destination());
+}
+
+TEST(SourceRoute, ResetCursorReplays) {
+  SourceRoute r;
+  r.push_hop(5);
+  EXPECT_EQ(r.next_hop(), 5);
+  r.reset_cursor();
+  EXPECT_EQ(r.next_hop(), 5);
+}
+
+TEST(SourceRoute, HopInspectionDoesNotAdvance) {
+  SourceRoute r;
+  r.push_hop(2);
+  r.push_hop(4);
+  EXPECT_EQ(r.hop(0), 2);
+  EXPECT_EQ(r.hop(1), 4);
+  EXPECT_EQ(r.hops_taken(), 0u);
+}
+
+TEST(SourceRouteDeathTest, OverflowAndOverrun) {
+  SourceRoute r;
+  for (std::size_t i = 0; i < SourceRoute::kMaxHops; ++i) r.push_hop(0);
+  EXPECT_DEATH(r.push_hop(0), "precondition");
+  SourceRoute empty;
+  EXPECT_DEATH(empty.next_hop(), "precondition");
+}
+
+TEST(LocalClock, ZeroOffsetIsIdentity) {
+  LocalClock clk;
+  const TimePoint g = TimePoint::from_ps(123456);
+  EXPECT_EQ(clk.local_now(g), g);
+}
+
+TEST(LocalClock, TtdRoundTripSameClock) {
+  LocalClock clk(42_us);
+  const TimePoint global_now = TimePoint::from_ps(10'000'000);
+  const TimePoint deadline = clk.local_now(global_now) + 7_us;
+  const Duration ttd = clk.encode_ttd(deadline, global_now);
+  EXPECT_EQ(ttd, 7_us);
+  EXPECT_EQ(clk.decode_ttd(ttd, global_now), deadline);
+}
+
+TEST(LocalClock, TtdTransfersAcrossSkewedClocks) {
+  // The paper's §3.3 invariant: TTD encodes "reach destination within n
+  // microseconds" — decoding on a node with a *different* offset yields a
+  // deadline that is the same instant in global time (minus link latency,
+  // zero here), regardless of skew.
+  const LocalClock sender(100_us);
+  const LocalClock receiver(-3_us);
+  const TimePoint global_now = TimePoint::from_ps(50'000'000);
+  const TimePoint sender_deadline = sender.local_now(global_now) + 9_us;
+  const Duration ttd = sender.encode_ttd(sender_deadline, global_now);
+  const TimePoint receiver_deadline = receiver.decode_ttd(ttd, global_now);
+  // Same remaining budget in both domains:
+  EXPECT_EQ(receiver_deadline - receiver.local_now(global_now), 9_us);
+  // And the same global instant:
+  EXPECT_EQ(receiver_deadline - receiver.offset(), sender_deadline - sender.offset());
+}
+
+TEST(LocalClock, NegativeTtdForExpiredDeadline) {
+  LocalClock clk;
+  const TimePoint now = TimePoint::from_ps(1'000'000);
+  const TimePoint past_deadline = TimePoint::from_ps(400'000);
+  EXPECT_LT(clk.encode_ttd(past_deadline, now), Duration::zero());
+}
+
+TEST(PacketTest, DefaultsAreInert) {
+  Packet p;
+  EXPECT_EQ(p.hdr.flow, kInvalidFlow);
+  EXPECT_EQ(p.hdr.src, kInvalidNode);
+  EXPECT_EQ(p.hdr.vc, kBestEffortVc);
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.hdr.message_parts, 1u);
+}
+
+}  // namespace
+}  // namespace dqos

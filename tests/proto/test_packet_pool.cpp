@@ -1,0 +1,64 @@
+#include "proto/packet_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dqos {
+namespace {
+
+TEST(PacketPool, MakeProducesFreshPacket) {
+  PacketPool pool;
+  PacketPtr p = pool.make();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->hdr.flow, kInvalidFlow);
+  EXPECT_EQ(pool.outstanding(), 1u);
+}
+
+TEST(PacketPool, RecyclesMemory) {
+  PacketPool pool;
+  Packet* raw;
+  {
+    PacketPtr p = pool.make();
+    p->hdr.flow = 7;
+    raw = p.get();
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  PacketPtr q = pool.make();
+  EXPECT_EQ(q.get(), raw);          // same storage reused
+  EXPECT_EQ(q->hdr.flow, kInvalidFlow);  // but reset to defaults
+}
+
+TEST(PacketPool, ManyOutstanding) {
+  PacketPool pool;
+  std::vector<PacketPtr> live;
+  for (int i = 0; i < 1000; ++i) live.push_back(pool.make());
+  EXPECT_EQ(pool.outstanding(), 1000u);
+  live.clear();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.free_count(), 1000u);
+}
+
+TEST(PacketPool, ChurnReusesBoundedMemory) {
+  PacketPool pool;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<PacketPtr> batch;
+    for (int i = 0; i < 10; ++i) batch.push_back(pool.make());
+  }
+  EXPECT_LE(pool.free_count(), 10u);
+}
+
+TEST(PacketPoolDeathTest, DestroyingPoolWithOutstandingPacketsAborts) {
+  EXPECT_DEATH(
+      {
+        PacketPtr leaked;
+        PacketPool pool;
+        leaked = pool.make();
+        // pool destructs before `leaked` → contract violation.
+      },
+      "invariant");
+}
+
+}  // namespace
+}  // namespace dqos

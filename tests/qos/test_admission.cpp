@@ -1,0 +1,201 @@
+#include "qos/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+#include "topo/two_level_clos.hpp"
+
+namespace dqos {
+namespace {
+
+class AdmissionTest : public testing::Test {
+ protected:
+  AdmissionTest() : topo_(4, 4, 4), ctrl_(topo_, Bandwidth::from_gbps(8.0)) {}
+
+  FlowRequest video_request(NodeId src, NodeId dst, double mbytes_per_sec) {
+    FlowRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.tclass = TrafficClass::kMultimedia;
+    req.policy = DeadlinePolicy::kFrameBudget;
+    req.reserve_bw = Bandwidth::from_bytes_per_sec(mbytes_per_sec * 1e6);
+    return req;
+  }
+
+  TwoLevelClos topo_;  // 16 hosts, 4 leaves, 4 spines
+  AdmissionController ctrl_;
+};
+
+TEST_F(AdmissionTest, ControlFlowAlwaysAdmittedWithLinkRateDeadlines) {
+  FlowRequest req;
+  req.src = 0;
+  req.dst = 15;
+  req.tclass = TrafficClass::kControl;
+  req.policy = DeadlinePolicy::kControlLatency;
+  const auto spec = ctrl_.admit(req);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->vc, kRegulatedVc);
+  EXPECT_EQ(spec->deadline_bw, Bandwidth::from_gbps(8.0));
+  EXPECT_FALSE(spec->reserve_bw.valid());
+  EXPECT_EQ(spec->route.length(), 3u);  // cross-leaf: up, down, host
+  EXPECT_EQ(ctrl_.admitted_flows(), 1u);
+}
+
+TEST_F(AdmissionTest, BestEffortMapsToVc1) {
+  FlowRequest req;
+  req.src = 0;
+  req.dst = 5;
+  req.tclass = TrafficClass::kBackground;
+  const auto spec = ctrl_.admit(req);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->vc, kBestEffortVc);
+  // Without explicit deadline_bw, unreserved flows default to link rate.
+  EXPECT_EQ(spec->deadline_bw, Bandwidth::from_gbps(8.0));
+}
+
+TEST_F(AdmissionTest, ExplicitDeadlineBwIsKept) {
+  FlowRequest req;
+  req.src = 0;
+  req.dst = 5;
+  req.tclass = TrafficClass::kBestEffort;
+  req.deadline_bw = Bandwidth::from_bytes_per_sec(2.5e8);
+  const auto spec = ctrl_.admit(req);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NEAR(spec->deadline_bw.bytes_per_sec(), 2.5e8, 1e6);
+}
+
+TEST_F(AdmissionTest, ReservationsAccumulateOnLinks) {
+  const auto spec = ctrl_.admit(video_request(0, 15, 100.0));
+  ASSERT_TRUE(spec.has_value());
+  // Injection link of host 0 carries the reservation.
+  const double frac = ctrl_.reserved_fraction(Endpoint{0, 0});
+  EXPECT_NEAR(frac, 100e6 / 1e9, 1e-3);
+}
+
+TEST_F(AdmissionTest, RejectsWhenEveryPathFull) {
+  // Saturate the destination's final link: hosts_per_leaf=4, so the last
+  // hop (leaf -> host 15) is shared by all paths. 8 Gb/s = 1000 MB/s.
+  for (int i = 0; i < 9; ++i) {
+    const NodeId src = static_cast<NodeId>(i);  // hosts 0..8 (different leaf ok)
+    const auto spec = ctrl_.admit(video_request(src, 15, 110.0));
+    ASSERT_TRUE(spec.has_value()) << "flow " << i;
+  }
+  // 9 x 110 MB/s = 990 MB/s reserved on the leaf->host15 link; one more
+  // 110 MB/s flow cannot fit on any path.
+  const auto rejected = ctrl_.admit(video_request(9, 15, 110.0));
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(ctrl_.rejected_flows(), 1u);
+}
+
+TEST_F(AdmissionTest, ReleaseFreesCapacity) {
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 9; ++i) {
+    ids.push_back(ctrl_.admit(video_request(static_cast<NodeId>(i), 15, 110.0))->id);
+  }
+  EXPECT_FALSE(ctrl_.admit(video_request(9, 15, 110.0)).has_value());
+  ctrl_.release(ids[0]);
+  EXPECT_TRUE(ctrl_.admit(video_request(9, 15, 110.0)).has_value());
+}
+
+TEST_F(AdmissionTest, LoadBalancesAcrossSpines) {
+  // Many unreserved flows between the same leaf pair must spread evenly
+  // over the 4 spines.
+  for (int i = 0; i < 40; ++i) {
+    FlowRequest req;
+    req.src = 0;
+    req.dst = 15;
+    req.tclass = TrafficClass::kBestEffort;
+    ASSERT_TRUE(ctrl_.admit(req).has_value());
+  }
+  // Uplinks of leaf 0 are ports 4..7 of the leaf switch.
+  const NodeId leaf0 = topo_.leaf_switch(0);
+  for (PortId up = 4; up < 8; ++up) {
+    EXPECT_EQ(ctrl_.flows_on_link(Endpoint{leaf0, up}), 10u);
+  }
+}
+
+TEST_F(AdmissionTest, ReservationsSteerPathChoice) {
+  // Reserve heavily via spine 0 between two leaves; the next reserved flow
+  // between the same leaves must avoid spine 0's uplink.
+  ASSERT_TRUE(ctrl_.admit(video_request(0, 15, 400.0)).has_value());
+  const auto second = ctrl_.admit(video_request(1, 14, 400.0));
+  ASSERT_TRUE(second.has_value());
+  const auto first_links = topo_.route_links(0, 15, 0);
+  // The two flows' reserved fractions never stack past 0.4 on any uplink.
+  const NodeId leaf0 = topo_.leaf_switch(0);
+  for (PortId up = 4; up < 8; ++up) {
+    EXPECT_LE(ctrl_.reserved_fraction(Endpoint{leaf0, up}), 0.41);
+  }
+}
+
+TEST_F(AdmissionTest, ReservableFractionCapsHeadroom) {
+  AdmissionController tight(topo_, Bandwidth::from_gbps(8.0), 0.5);
+  // 0.5 * 1000 MB/s = 500 MB/s budget on the shared last hop.
+  ASSERT_TRUE(tight.admit(video_request(0, 15, 400.0)).has_value());
+  EXPECT_FALSE(tight.admit(video_request(1, 15, 200.0)).has_value());
+}
+
+TEST_F(AdmissionTest, MultiVcClassMap) {
+  ctrl_.set_class_vc_map({0, 1, 2, 3});
+  FlowRequest req;
+  req.src = 0;
+  req.dst = 1;
+  req.tclass = TrafficClass::kMultimedia;
+  EXPECT_EQ(ctrl_.admit(req)->vc, 1);
+  req.tclass = TrafficClass::kBackground;
+  EXPECT_EQ(ctrl_.admit(req)->vc, 3);
+}
+
+TEST_F(AdmissionTest, SameLeafUsesLocalRoute) {
+  FlowRequest req;
+  req.src = 0;
+  req.dst = 1;
+  req.tclass = TrafficClass::kControl;
+  const auto spec = ctrl_.admit(req);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->route.length(), 1u);
+}
+
+TEST_F(AdmissionTest, RandomAdmitReleaseNeverLeaksReservations) {
+  // Property: after releasing everything, every link ledger returns to
+  // (approximately) zero and new maximal reservations succeed again.
+  Rng rng(321);
+  std::vector<FlowId> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const auto src = static_cast<NodeId>(rng.uniform_int(0, 15));
+      auto dst = static_cast<NodeId>(rng.uniform_int(0, 15));
+      if (dst == src) dst = (dst + 1) % 16;
+      const double mb = static_cast<double>(rng.uniform_int(10, 120));
+      const auto spec = ctrl_.admit(video_request(src, dst, mb));
+      if (spec) live.push_back(spec->id);
+    } else {
+      const auto i = rng.uniform_int(0, live.size() - 1);
+      ctrl_.release(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  for (const FlowId f : live) ctrl_.release(f);
+  EXPECT_EQ(ctrl_.admitted_flows(), 0u);
+  for (NodeId h = 0; h < 16; ++h) {
+    EXPECT_NEAR(ctrl_.reserved_fraction(Endpoint{h, 0}), 0.0, 1e-9);
+    EXPECT_EQ(ctrl_.flows_on_link(Endpoint{h, 0}), 0u);
+  }
+  // Full link is reservable again.
+  EXPECT_TRUE(ctrl_.admit(video_request(0, 15, 1000.0)).has_value());
+}
+
+TEST_F(AdmissionTest, ReleaseUnknownFlowAborts) {
+  EXPECT_DEATH(ctrl_.release(424242), "precondition");
+}
+
+TEST(DeadlinePolicyTest, Names) {
+  EXPECT_EQ(to_string(DeadlinePolicy::kVirtualClock), "virtual-clock");
+  EXPECT_EQ(to_string(DeadlinePolicy::kControlLatency), "control-latency");
+  EXPECT_EQ(to_string(DeadlinePolicy::kFrameBudget), "frame-budget");
+}
+
+}  // namespace
+}  // namespace dqos

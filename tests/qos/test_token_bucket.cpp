@@ -1,0 +1,75 @@
+#include "qos/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(Bandwidth::from_bytes_per_sec(1e6), 10'000);
+  EXPECT_EQ(tb.available(TimePoint::zero()), 10'000u);
+  EXPECT_TRUE(tb.try_consume(10'000, TimePoint::zero()));
+  EXPECT_FALSE(tb.try_consume(1, TimePoint::zero()));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  // 1 MB/s = 1 byte/us.
+  TokenBucket tb(Bandwidth::from_bytes_per_sec(1e6), 10'000);
+  ASSERT_TRUE(tb.try_consume(10'000, TimePoint::zero()));
+  EXPECT_EQ(tb.available(TimePoint::zero() + 1_ms), 1000u);
+  EXPECT_TRUE(tb.try_consume(1000, TimePoint::zero() + 1_ms));
+  EXPECT_FALSE(tb.try_consume(1, TimePoint::zero() + 1_ms));
+}
+
+TEST(TokenBucket, CapsAtCapacity) {
+  TokenBucket tb(Bandwidth::from_bytes_per_sec(1e9), 500);
+  EXPECT_EQ(tb.available(TimePoint::zero() + Duration::seconds(10)), 500u);
+}
+
+TEST(TokenBucket, SubByteRemaindersAreNotLost) {
+  // 3 bytes every 1000 ps would truncate if remainders were dropped.
+  TokenBucket tb(Bandwidth::from_ps_per_byte(333), 1'000'000);
+  ASSERT_TRUE(tb.try_consume(1'000'000, TimePoint::zero()));
+  // After 1 ms: floor(1e9 ps / 333) = 3003003 bytes, capped at capacity.
+  EXPECT_EQ(tb.available(TimePoint::zero() + 1_ms), 1'000'000u);
+  // Drain and measure a long interval precisely.
+  ASSERT_TRUE(tb.try_consume(1'000'000, TimePoint::zero() + 1_ms));
+  const auto earned = tb.available(TimePoint::zero() + 1_ms + 333_us);
+  EXPECT_NEAR(static_cast<double>(earned), 1e6, 2.0);
+}
+
+TEST(TokenBucket, ConformantStreamNeverBlocked) {
+  // Consume exactly at the refill rate: always admitted.
+  TokenBucket tb(Bandwidth::from_bytes_per_sec(1e6), 2048);
+  TimePoint t = TimePoint::zero();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tb.try_consume(1000, t)) << i;
+    t += 1_ms;  // 1000 bytes per ms = 1 MB/s
+  }
+}
+
+TEST(TokenBucket, OverrateStreamShedsExcess) {
+  // Offer 2x the rate: about half must be rejected in the long run.
+  TokenBucket tb(Bandwidth::from_bytes_per_sec(1e6), 2000);
+  TimePoint t = TimePoint::zero();
+  int accepted = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    accepted += tb.try_consume(1000, t) ? 1 : 0;
+    t += 500_us;  // 2 MB/s offered
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / kN, 0.5, 0.01);
+}
+
+TEST(TokenBucketDeathTest, RequiresValidParamsAndMonotoneClock) {
+  EXPECT_DEATH(TokenBucket(Bandwidth{}, 100), "precondition");
+  EXPECT_DEATH(TokenBucket(Bandwidth::from_gbps(1.0), 0), "precondition");
+  TokenBucket tb(Bandwidth::from_gbps(1.0), 100);
+  (void)tb.available(TimePoint::zero() + 1_ms);
+  EXPECT_DEATH((void)tb.available(TimePoint::zero()), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,127 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+Packet mk_packet(TrafficClass tc, TimePoint created, std::uint32_t bytes) {
+  Packet p;
+  p.hdr.tclass = tc;
+  p.hdr.wire_bytes = bytes;
+  p.t_created = created;
+  return p;
+}
+
+TEST(MetricsCollector, RecordsLatencyAndThroughput) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 10_ms);
+  const Packet p = mk_packet(TrafficClass::kControl, TimePoint::zero() + 1_ms, 1000);
+  m.on_packet_delivered(p, TimePoint::zero() + 1_ms + 50_us);
+  const ClassReport r = m.report(TrafficClass::kControl);
+  EXPECT_EQ(r.packets, 1u);
+  EXPECT_DOUBLE_EQ(r.avg_packet_latency_us, 50.0);
+  EXPECT_DOUBLE_EQ(r.max_packet_latency_us, 50.0);
+  EXPECT_DOUBLE_EQ(r.throughput_bytes_per_sec, 1000.0 / 0.01);
+}
+
+TEST(MetricsCollector, WindowFiltersByCreationTime) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero() + 5_ms, TimePoint::zero() + 10_ms);
+  // Created before the window: ignored even though delivered inside it.
+  m.on_packet_delivered(mk_packet(TrafficClass::kControl, TimePoint::zero() + 1_ms, 100),
+                        TimePoint::zero() + 6_ms);
+  // Created inside: counted, even if delivered after the window.
+  m.on_packet_delivered(mk_packet(TrafficClass::kControl, TimePoint::zero() + 7_ms, 100),
+                        TimePoint::zero() + 12_ms);
+  // Created at the end boundary: excluded (half-open interval).
+  m.on_packet_delivered(mk_packet(TrafficClass::kControl, TimePoint::zero() + 10_ms, 100),
+                        TimePoint::zero() + 11_ms);
+  EXPECT_EQ(m.report(TrafficClass::kControl).packets, 1u);
+}
+
+TEST(MetricsCollector, JitterIsLatencyStddev) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 1_s);
+  for (const int us : {10, 20, 30}) {
+    m.on_packet_delivered(mk_packet(TrafficClass::kMultimedia, TimePoint::zero() + 1_ms, 100),
+                          TimePoint::zero() + 1_ms + Duration::microseconds(us));
+  }
+  const ClassReport r = m.report(TrafficClass::kMultimedia);
+  EXPECT_DOUBLE_EQ(r.avg_packet_latency_us, 20.0);
+  EXPECT_NEAR(r.jitter_us, 8.1649, 1e-3);  // population stddev of {10,20,30}
+}
+
+TEST(MetricsCollector, MessageLatencySeparateFromPacketLatency) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 1_s);
+  m.on_message_delivered(TrafficClass::kMultimedia, TimePoint::zero() + 1_ms, 80000,
+                         TimePoint::zero() + 11_ms);
+  const ClassReport r = m.report(TrafficClass::kMultimedia);
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_DOUBLE_EQ(r.avg_message_latency_us, 10000.0);
+  EXPECT_EQ(r.packets, 0u);
+}
+
+TEST(MetricsCollector, PerClassSeparation) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 1_s);
+  m.on_packet_delivered(mk_packet(TrafficClass::kBestEffort, TimePoint::zero(), 500),
+                        TimePoint::zero() + 1_us);
+  m.on_packet_delivered(mk_packet(TrafficClass::kBackground, TimePoint::zero(), 700),
+                        TimePoint::zero() + 2_us);
+  EXPECT_EQ(m.delivered_bytes(TrafficClass::kBestEffort), 500u);
+  EXPECT_EQ(m.delivered_bytes(TrafficClass::kBackground), 700u);
+  EXPECT_EQ(m.report(TrafficClass::kControl).packets, 0u);
+}
+
+TEST(MetricsCollector, OfferedBytesTracked) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 10_ms);
+  m.on_message_offered(TrafficClass::kBestEffort, 4096, TimePoint::zero() + 1_ms);
+  m.on_message_offered(TrafficClass::kBestEffort, 4096, TimePoint::zero() + 20_ms);  // late
+  EXPECT_DOUBLE_EQ(m.report(TrafficClass::kBestEffort).offered_bytes_per_sec,
+                   4096.0 / 0.01);
+}
+
+TEST(MetricsCollector, CdfAccess) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 1_s);
+  for (int i = 1; i <= 100; ++i) {
+    m.on_packet_delivered(mk_packet(TrafficClass::kControl, TimePoint::zero(), 64),
+                          TimePoint::zero() + Duration::microseconds(i));
+  }
+  const SampleSet& lat = m.packet_latency(TrafficClass::kControl);
+  EXPECT_EQ(lat.count(), 100u);
+  EXPECT_NEAR(lat.cdf_at(50.0), 0.5, 0.01);
+}
+
+TEST(MetricsCollector, DeadlineSlackAndMisses) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 1_s);
+  const Packet p = mk_packet(TrafficClass::kControl, TimePoint::zero(), 100);
+  m.on_packet_delivered(p, TimePoint::zero() + 10_us, /*slack=*/5_us);
+  m.on_packet_delivered(p, TimePoint::zero() + 20_us, /*slack=*/-3_us);
+  m.on_packet_delivered(p, TimePoint::zero() + 30_us, /*slack=*/1_us);
+  const ClassReport r = m.report(TrafficClass::kControl);
+  EXPECT_DOUBLE_EQ(r.avg_slack_us, 1.0);
+  EXPECT_DOUBLE_EQ(r.deadline_miss_fraction, 1.0 / 3.0);
+}
+
+TEST(MetricsCollector, ZeroSlackIsNotAMiss) {
+  MetricsCollector m;
+  m.set_window(TimePoint::zero(), TimePoint::zero() + 1_s);
+  const Packet p = mk_packet(TrafficClass::kControl, TimePoint::zero(), 100);
+  m.on_packet_delivered(p, TimePoint::zero() + 10_us, Duration::zero());
+  EXPECT_DOUBLE_EQ(m.report(TrafficClass::kControl).deadline_miss_fraction, 0.0);
+}
+
+TEST(MetricsCollectorDeathTest, BadWindow) {
+  MetricsCollector m;
+  EXPECT_DEATH(m.set_window(TimePoint::zero() + 1_ms, TimePoint::zero()), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,82 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+TEST(TimeSeries, AccumulatesIntoCorrectBins) {
+  TimeSeries ts(TimePoint::zero(), 10_us, 5);
+  ts.add(TimePoint::zero(), 1.0);            // bin 0 (inclusive start)
+  ts.add(TimePoint::zero() + 9_us, 2.0);     // bin 0
+  ts.add(TimePoint::zero() + 10_us, 4.0);    // bin 1
+  ts.add(TimePoint::zero() + 49_us, 8.0);    // bin 4
+  EXPECT_DOUBLE_EQ(ts.bin_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.bin_sum(1), 4.0);
+  EXPECT_DOUBLE_EQ(ts.bin_sum(4), 8.0);
+  EXPECT_EQ(ts.clipped(), 0u);
+}
+
+TEST(TimeSeries, ClipsOutOfRange) {
+  TimeSeries ts(TimePoint::zero() + 100_us, 10_us, 2);
+  ts.add(TimePoint::zero() + 50_us, 1.0);   // before start
+  ts.add(TimePoint::zero() + 120_us, 1.0);  // past last bin
+  EXPECT_EQ(ts.clipped(), 2u);
+  EXPECT_DOUBLE_EQ(ts.bin_sum(0), 0.0);
+}
+
+TEST(TimeSeries, BinStartAndWidth) {
+  TimeSeries ts(TimePoint::zero() + 5_us, 2_us, 3);
+  EXPECT_EQ(ts.bin_start(0), TimePoint::zero() + 5_us);
+  EXPECT_EQ(ts.bin_start(2), TimePoint::zero() + 9_us);
+  EXPECT_EQ(ts.bin_width(), 2_us);
+  EXPECT_EQ(ts.bins(), 3u);
+}
+
+TEST(TimeSeries, BinStatsWithRange) {
+  TimeSeries ts(TimePoint::zero(), 1_us, 4);
+  for (int i = 0; i < 4; ++i) {
+    ts.add(TimePoint::zero() + Duration::microseconds(i), static_cast<double>(i + 1));
+  }
+  const StreamingStats all = ts.bin_stats();
+  EXPECT_EQ(all.count(), 4u);
+  EXPECT_DOUBLE_EQ(all.mean(), 2.5);
+  const StreamingStats tail = ts.bin_stats(2);
+  EXPECT_EQ(tail.count(), 2u);
+  EXPECT_DOUBLE_EQ(tail.mean(), 3.5);
+}
+
+TEST(TimeSeries, BurstinessZeroForConstantSeries) {
+  TimeSeries ts(TimePoint::zero(), 1_us, 10);
+  for (int i = 0; i < 10; ++i) {
+    ts.add(TimePoint::zero() + Duration::microseconds(i), 5.0);
+  }
+  EXPECT_DOUBLE_EQ(ts.burstiness(), 0.0);
+}
+
+TEST(TimeSeries, BurstinessHighForSpikySeries) {
+  TimeSeries smooth(TimePoint::zero(), 1_us, 10);
+  TimeSeries spiky(TimePoint::zero(), 1_us, 10);
+  for (int i = 0; i < 10; ++i) {
+    const TimePoint t = TimePoint::zero() + Duration::microseconds(i);
+    smooth.add(t, 10.0);
+    spiky.add(t, i == 0 ? 100.0 : 0.0);  // same total, one spike
+  }
+  EXPECT_GT(spiky.burstiness(), smooth.burstiness() + 1.0);
+}
+
+TEST(TimeSeries, EmptySeriesSafe) {
+  TimeSeries ts(TimePoint::zero(), 1_us, 3);
+  EXPECT_DOUBLE_EQ(ts.burstiness(), 0.0);
+  EXPECT_EQ(ts.bin_stats().count(), 3u);  // three zero bins
+}
+
+TEST(TimeSeriesDeathTest, BadConstruction) {
+  EXPECT_DEATH(TimeSeries(TimePoint::zero(), Duration::zero(), 4), "precondition");
+  EXPECT_DEATH(TimeSeries(TimePoint::zero(), 1_us, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

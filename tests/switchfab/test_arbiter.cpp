@@ -1,0 +1,137 @@
+#include "switchfab/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto/packet.hpp"
+
+namespace dqos {
+namespace {
+
+Packet mk(std::int64_t deadline) {
+  Packet p;
+  p.local_deadline = TimePoint::from_ps(deadline);
+  return p;
+}
+
+TEST(EdfInputArbiter, PicksMinimumDeadline) {
+  EdfInputArbiter arb;
+  Packet a = mk(300), b = mk(100), c = mk(200);
+  std::vector<ArbCandidate> cands{{0, &a}, {3, &b}, {7, &c}};
+  const auto w = arb.pick(cands);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(cands[*w].input, 3u);
+}
+
+TEST(EdfInputArbiter, TieBreaksByLowestInput) {
+  EdfInputArbiter arb;
+  Packet a = mk(100), b = mk(100);
+  std::vector<ArbCandidate> cands{{5, &a}, {2, &b}};
+  const auto w = arb.pick(cands);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(cands[*w].input, 2u);
+}
+
+TEST(EdfInputArbiter, EmptyYieldsNothing) {
+  EdfInputArbiter arb;
+  EXPECT_FALSE(arb.pick({}).has_value());
+}
+
+TEST(RoundRobinInputArbiter, RotatesAcrossGrants) {
+  RoundRobinInputArbiter arb(4);
+  Packet p = mk(0);
+  std::vector<ArbCandidate> cands{{0, &p}, {1, &p}, {2, &p}, {3, &p}};
+  std::vector<std::size_t> grants;
+  for (int i = 0; i < 8; ++i) {
+    const auto w = arb.pick(cands);
+    ASSERT_TRUE(w.has_value());
+    grants.push_back(cands[*w].input);
+    arb.granted(cands[*w].input);
+  }
+  EXPECT_EQ(grants, (std::vector<std::size_t>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(RoundRobinInputArbiter, SkipsAbsentInputs) {
+  RoundRobinInputArbiter arb(4);
+  Packet p = mk(0);
+  std::vector<ArbCandidate> cands{{1, &p}, {3, &p}};
+  auto w = arb.pick(cands);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(cands[*w].input, 1u);
+  arb.granted(1);
+  w = arb.pick(cands);
+  EXPECT_EQ(cands[*w].input, 3u);
+  arb.granted(3);
+  w = arb.pick(cands);  // wraps
+  EXPECT_EQ(cands[*w].input, 1u);
+}
+
+TEST(RoundRobinInputArbiter, PointerAdvancesOnlyOnGrant) {
+  RoundRobinInputArbiter arb(4);
+  Packet p = mk(0);
+  std::vector<ArbCandidate> cands{{0, &p}, {2, &p}};
+  // Two picks without granted(): same winner (credit-blocked retry must not
+  // unfairly skip an input).
+  EXPECT_EQ(cands[*arb.pick(cands)].input, 0u);
+  EXPECT_EQ(cands[*arb.pick(cands)].input, 0u);
+}
+
+TEST(StrictPriorityVc, AlwaysLowIndexFirst) {
+  StrictPriorityVcPolicy pol(3);
+  const auto order = pol.order();
+  EXPECT_EQ(order, (std::vector<VcId>{0, 1, 2}));
+  pol.granted(2, 4096);
+  EXPECT_EQ(pol.order(), (std::vector<VcId>{0, 1, 2}));
+}
+
+TEST(WeightedVc, OrderContainsAllVcsOnce) {
+  WeightedVcPolicy pol({1, 1, 1, 1});
+  const auto order = pol.order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (const VcId vc : order) seen[vc] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(WeightedVc, EqualWeightsShareEvenly) {
+  WeightedVcPolicy pol({1, 1}, 4096);
+  std::vector<std::uint64_t> bytes(2, 0);
+  // All VCs always have traffic: grant repeatedly to the first VC in order.
+  for (int i = 0; i < 10000; ++i) {
+    const VcId vc = pol.order().front();
+    bytes[vc] += 1024;
+    pol.granted(vc, 1024);
+  }
+  const double share0 = static_cast<double>(bytes[0]) / (10000.0 * 1024.0);
+  EXPECT_NEAR(share0, 0.5, 0.02);
+}
+
+TEST(WeightedVc, WeightsRespectedUnderSaturation) {
+  WeightedVcPolicy pol({3, 1}, 4096);
+  std::vector<std::uint64_t> bytes(2, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const VcId vc = pol.order().front();
+    bytes[vc] += 512;
+    pol.granted(vc, 512);
+  }
+  const double share0 =
+      static_cast<double>(bytes[0]) / static_cast<double>(bytes[0] + bytes[1]);
+  EXPECT_NEAR(share0, 0.75, 0.03);
+}
+
+TEST(WeightedVc, WorkConservingWhenVcSkipped) {
+  // If the preferred VC is empty, the switch takes the next in order; the
+  // policy then treats the actually-granted VC as current.
+  WeightedVcPolicy pol({1, 1}, 4096);
+  // Simulate: VC0 always empty; grants all go to VC1.
+  for (int i = 0; i < 100; ++i) pol.granted(1, 1024);
+  const auto order = pol.order();
+  EXPECT_EQ(order.size(), 2u);  // still valid and complete
+}
+
+TEST(MakeInputArbiter, Factory) {
+  EXPECT_NE(make_input_arbiter(InputArbiterKind::kEdf, 4), nullptr);
+  EXPECT_NE(make_input_arbiter(InputArbiterKind::kRoundRobin, 4), nullptr);
+}
+
+}  // namespace
+}  // namespace dqos

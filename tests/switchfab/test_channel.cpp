@@ -1,0 +1,150 @@
+#include "switchfab/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+#include <vector>
+
+#include "proto/packet_pool.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+struct Recorder final : PacketReceiver {
+  struct Delivery {
+    TimePoint when;
+    PortId port;
+    std::uint64_t packet_id;
+  };
+  explicit Recorder(Simulator& s) : sim(s) {}
+  void receive_packet(PacketPtr p, PortId in_port) override {
+    deliveries.push_back({sim.now(), in_port, p->hdr.packet_id});
+  }
+  Simulator& sim;
+  std::vector<Delivery> deliveries;
+};
+
+class ChannelTest : public testing::Test {
+ protected:
+  ChannelTest()
+      : ch_(sim_, Bandwidth::from_gbps(8.0), 100_ns, /*num_vcs=*/2,
+            /*credits_per_vc=*/8192),
+        rx_(sim_) {
+    ch_.connect_to(&rx_, 3);
+  }
+  PacketPtr pkt(std::uint32_t bytes, std::uint64_t id = 1) {
+    PacketPtr p = pool_.make();
+    p->hdr.wire_bytes = bytes;
+    p->hdr.packet_id = id;
+    return p;
+  }
+  Simulator sim_;
+  Channel ch_;
+  Recorder rx_;
+  PacketPool pool_;
+};
+
+TEST_F(ChannelTest, DeliversAfterSerializationPlusLatency) {
+  ch_.send(pkt(2048));
+  sim_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 1u);
+  // 2048 B at 8 Gb/s = 2048 ns; + 100 ns latency.
+  EXPECT_EQ(rx_.deliveries[0].when.ps(), (2048 + 100) * 1000);
+  EXPECT_EQ(rx_.deliveries[0].port, 3);
+}
+
+TEST_F(ChannelTest, SerializationScalesWithSize) {
+  EXPECT_EQ(ch_.serialization_time(128).ps(), 128'000);
+  EXPECT_EQ(ch_.serialization_time(100 * 1024).ps(),
+            static_cast<std::int64_t>(100 * 1024) * 1000);
+}
+
+TEST_F(ChannelTest, CreditsStartAtCapacityPerVc) {
+  EXPECT_EQ(ch_.credits(0), 8192);
+  EXPECT_EQ(ch_.credits(1), 8192);
+  EXPECT_TRUE(ch_.has_credits(0, 8192));
+  EXPECT_FALSE(ch_.has_credits(0, 8193));
+}
+
+TEST_F(ChannelTest, ConsumeAndReturnRoundTrip) {
+  ch_.consume_credits(0, 5000);
+  EXPECT_EQ(ch_.credits(0), 3192);
+  EXPECT_EQ(ch_.credits(1), 8192);  // independent pools
+  ch_.return_credits(0, 5000);
+  EXPECT_EQ(ch_.credits(0), 3192);  // not yet: credits ride the wire
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192);
+}
+
+TEST_F(ChannelTest, CreditReturnTakesWireLatency) {
+  ch_.consume_credits(1, 100);
+  ch_.return_credits(1, 100);
+  sim_.run_until(TimePoint::from_ps(99'000));
+  EXPECT_EQ(ch_.credits(1), 8092);
+  sim_.run_until(TimePoint::from_ps(100'000));
+  EXPECT_EQ(ch_.credits(1), 8192);
+}
+
+TEST_F(ChannelTest, OnCreditCallbackFires) {
+  int calls = 0;
+  ch_.set_on_credit([&] { ++calls; });
+  ch_.consume_credits(0, 10);
+  ch_.return_credits(0, 10);
+  sim_.run();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ChannelTest, StatsAccumulate) {
+  ch_.send(pkt(1000, 1));
+  sim_.run();
+  ch_.send(pkt(500, 2));
+  sim_.run();
+  EXPECT_EQ(ch_.packets_sent(), 2u);
+  EXPECT_EQ(ch_.bytes_sent(), 1500u);
+  EXPECT_EQ(ch_.busy_time().ps(), 1'500'000);
+}
+
+TEST_F(ChannelTest, BackToBackPacketsKeepOrder) {
+  ch_.send(pkt(1000, 1));
+  ch_.send(pkt(100, 2));  // shorter, sent immediately after (sender's duty
+                          // to respect serialization; channel keeps order by
+                          // schedule: 1100ns < 1? no: 1st at 1100, 2nd at 200)
+  sim_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 2u);
+  // Without sender-side busy handling, the short packet *would* overtake —
+  // documenting that the sender must serialize sends. Here we just check
+  // both arrive.
+}
+
+TEST_F(ChannelTest, ConsumeWithoutCreditsAborts) {
+  ch_.consume_credits(0, 8192);
+  EXPECT_DEATH(ch_.consume_credits(0, 1), "precondition");
+}
+
+TEST_F(ChannelTest, CreditConservationUnderRandomTraffic) {
+  // Property: consumed - returned == capacity - credits at every quiescent
+  // point; credits never exceed capacity after a full drain.
+  Rng rng(3);
+  std::int64_t outstanding = 0;  // bytes consumed but not yet returned
+  for (int i = 0; i < 500; ++i) {
+    const auto bytes = static_cast<std::uint32_t>(rng.uniform_int(1, 2000));
+    if (rng.chance(0.5) && ch_.has_credits(0, bytes)) {
+      ch_.consume_credits(0, bytes);
+      outstanding += bytes;
+    } else if (outstanding > 0) {
+      const auto back = std::min<std::int64_t>(outstanding, bytes);
+      ch_.return_credits(0, static_cast<std::uint32_t>(back));
+      outstanding -= back;
+    }
+    if (rng.chance(0.2)) sim_.run();
+  }
+  ch_.return_credits(0, static_cast<std::uint32_t>(outstanding));
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,97 @@
+#include "switchfab/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+constexpr std::uint32_t kBuf = 8 * 1024;  // the paper's 8 KB per VC
+
+TEST(CostModel, SramDominatesEveryOrganization) {
+  CostModel m;
+  for (const QueueKind k :
+       {QueueKind::kFifo, QueueKind::kTakeover, QueueKind::kHeap}) {
+    const CostBreakdown c = m.buffer_cost(k, kBuf);
+    EXPECT_GE(c.sram_bits, kBuf * 8.0);
+    EXPECT_GT(c.logic_gates, 0.0);
+  }
+}
+
+TEST(CostModel, TakeoverBarelyCostsMoreThanFifo) {
+  // The paper's pitch: the take-over queue is FIFO hardware plus two
+  // comparators — within a few percent of a plain FIFO buffer.
+  CostModel m;
+  const double fifo = m.buffer_cost(QueueKind::kFifo, kBuf).area_units(m.params());
+  const double takeover =
+      m.buffer_cost(QueueKind::kTakeover, kBuf).area_units(m.params());
+  EXPECT_GT(takeover, fifo);
+  EXPECT_LT(takeover / fifo, 1.10);  // < 10% over FIFO
+}
+
+TEST(CostModel, HeapSubstantiallyMoreExpensive) {
+  CostModel m;
+  const double fifo = m.buffer_cost(QueueKind::kFifo, kBuf).area_units(m.params());
+  const double heap = m.buffer_cost(QueueKind::kHeap, kBuf).area_units(m.params());
+  EXPECT_GT(heap / fifo, 1.15);  // visibly more area per buffer
+}
+
+TEST(CostModel, HeapLogicGrowsWithBufferDepth) {
+  CostModel m;
+  const double small = m.buffer_cost(QueueKind::kHeap, 2 * 1024).logic_gates;
+  const double big = m.buffer_cost(QueueKind::kHeap, 64 * 1024).logic_gates;
+  EXPECT_GT(big, small);
+  // FIFO control logic is depth-independent.
+  EXPECT_DOUBLE_EQ(m.buffer_cost(QueueKind::kFifo, 2 * 1024).logic_gates,
+                   m.buffer_cost(QueueKind::kFifo, 64 * 1024).logic_gates);
+}
+
+TEST(CostModel, EdfArbiterScalesWithRadixRoundRobinBarely) {
+  CostModel m;
+  const double edf8 = m.arbiter_cost(InputArbiterKind::kEdf, 8).logic_gates;
+  const double edf32 = m.arbiter_cost(InputArbiterKind::kEdf, 32).logic_gates;
+  const double rr32 = m.arbiter_cost(InputArbiterKind::kRoundRobin, 32).logic_gates;
+  EXPECT_NEAR(edf32 / edf8, 31.0 / 7.0, 0.01);  // (n-1) comparators
+  EXPECT_LT(rr32, edf32 / 10.0);                // RR is tiny by comparison
+}
+
+TEST(CostModel, PaperClaimSimilarCostExceptIdeal) {
+  // §5: "the cost of these architectures is similar, except the Ideal".
+  CostModel m;
+  const std::size_t ports = 16;
+  const std::uint8_t vcs = 2;
+  const double trad = m.relative_area(SwitchArch::kTraditional2Vc, ports, vcs, kBuf);
+  const double simple = m.relative_area(SwitchArch::kSimple2Vc, ports, vcs, kBuf);
+  const double advanced = m.relative_area(SwitchArch::kAdvanced2Vc, ports, vcs, kBuf);
+  const double ideal = m.relative_area(SwitchArch::kIdeal, ports, vcs, kBuf);
+  EXPECT_DOUBLE_EQ(trad, 1.0);
+  EXPECT_LT(simple, 1.05);
+  EXPECT_LT(advanced, 1.10);
+  EXPECT_GT(ideal, advanced * 1.10);  // the odd one out
+  EXPECT_GT(ideal, 1.20);
+}
+
+TEST(CostModel, MoreVcsCostProportionalBuffers) {
+  // The motivation for few VCs (§2.2): buffer area scales with VC count.
+  CostModel m;
+  const double two =
+      m.switch_cost(SwitchArch::kTraditional2Vc, 16, 2, kBuf).sram_bits;
+  const double eight =
+      m.switch_cost(SwitchArch::kTraditional2Vc, 16, 8, kBuf).sram_bits;
+  EXPECT_DOUBLE_EQ(eight / two, 4.0);
+}
+
+TEST(CostModel, BreakdownArithmetic) {
+  CostBreakdown a{100.0, 10.0};
+  CostBreakdown b{50.0, 5.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.sram_bits, 150.0);
+  EXPECT_DOUBLE_EQ(a.logic_gates, 15.0);
+  const CostBreakdown c = 2.0 * b;
+  EXPECT_DOUBLE_EQ(c.sram_bits, 100.0);
+  CostParams p;
+  p.sram_bits_per_gate = 2.0;
+  EXPECT_DOUBLE_EQ(c.area_units(p), 10.0 + 100.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,113 @@
+#include "switchfab/pipelined_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+TEST(PipelinedHeap, LevelsFromCapacity) {
+  // levels = smallest L with 2^L - 1 >= capacity.
+  EXPECT_EQ(PipelinedHeapModel(2, 4_ns).levels(), 2u);
+  EXPECT_EQ(PipelinedHeapModel(3, 4_ns).levels(), 2u);
+  EXPECT_EQ(PipelinedHeapModel(4, 4_ns).levels(), 3u);
+  EXPECT_EQ(PipelinedHeapModel(7, 4_ns).levels(), 3u);
+  EXPECT_EQ(PipelinedHeapModel(128, 4_ns).levels(), 8u);
+  EXPECT_EQ(PipelinedHeapModel(128, 4_ns).op_latency(), 32_ns);
+}
+
+TEST(PipelinedHeap, FunctionalMinHeap) {
+  PipelinedHeapModel h(64, 4_ns);
+  Rng rng(1);
+  std::vector<std::int64_t> keys;
+  TimePoint t;
+  for (int i = 0; i < 60; ++i) {
+    const auto k = static_cast<std::int64_t>(rng.uniform_int(0, 10000));
+    keys.push_back(k);
+    t = h.insert(k, t).next_issue;
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const auto expect : keys) {
+    EXPECT_EQ(h.min(), expect);
+    std::int64_t got = 0;
+    t = h.extract_min(t, &got).next_issue;
+    EXPECT_EQ(got, expect);
+  }
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.ops(), 120u);
+}
+
+TEST(PipelinedHeap, OperationsPipelineAtOnePerCycle) {
+  PipelinedHeapModel h(128, 4_ns);
+  // Back-to-back inserts at t=0: issues at 0, 4, 8 ns (one per cycle)...
+  const auto t1 = h.insert(10, TimePoint::zero());
+  const auto t2 = h.insert(20, TimePoint::zero());
+  const auto t3 = h.insert(5, TimePoint::zero());
+  EXPECT_EQ(t1.next_issue.ps(), 4'000);
+  EXPECT_EQ(t2.next_issue.ps(), 8'000);
+  EXPECT_EQ(t3.next_issue.ps(), 12'000);
+  // ...while each op completes a full pipeline later (8 levels x 4 ns).
+  EXPECT_EQ(t1.completes.ps(), 32'000);
+  EXPECT_EQ(t2.completes.ps(), 4'000 + 32'000);
+}
+
+TEST(PipelinedHeap, IdleHeapIssuesImmediately) {
+  PipelinedHeapModel h(128, 4_ns);
+  (void)h.insert(1, TimePoint::zero());
+  // Long idle: the next op starts exactly at `now`, not at a stale time.
+  const auto t = h.insert(2, TimePoint::zero() + 1_ms);
+  EXPECT_EQ(t.completes, TimePoint::zero() + 1_ms + 32_ns);
+}
+
+TEST(PipelinedHeap, ThroughputVsLatencyArgument) {
+  // The ICC'01 point: a pipelined heap sustains one op per cycle (so it
+  // *can* keep line rate) — the cost is one comparator+SRAM stage per
+  // level, which is what bench_cost_table charges for. A non-pipelined
+  // heap would instead pay op_latency() per op: for 8 KB / 64 B = 128
+  // entries at 4 ns cycles that is 32 ns/op vs 4 ns/op.
+  PipelinedHeapModel h(128, 4_ns);
+  EXPECT_EQ(h.issue_interval(), 4_ns);
+  EXPECT_EQ(h.op_latency(), 32_ns);
+  EXPECT_GT(h.op_latency(), h.issue_interval() * 4);
+}
+
+TEST(PipelinedHeap, RandomizedAgainstStdSort) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    PipelinedHeapModel h(512, 2_ns);
+    std::vector<std::int64_t> keys;
+    TimePoint t;
+    const int n = static_cast<int>(rng.uniform_int(1, 400));
+    for (int i = 0; i < n; ++i) {
+      const auto k = static_cast<std::int64_t>(rng.uniform_int(0, 1 << 20));
+      keys.push_back(k);
+      t = h.insert(k, t).next_issue;
+    }
+    std::sort(keys.begin(), keys.end());
+    std::vector<std::int64_t> out;
+    while (!h.empty()) {
+      std::int64_t k = 0;
+      t = h.extract_min(t, &k).next_issue;
+      out.push_back(k);
+    }
+    EXPECT_EQ(out, keys);
+  }
+}
+
+TEST(PipelinedHeapDeathTest, Contracts) {
+  EXPECT_DEATH(PipelinedHeapModel(1, 4_ns), "precondition");
+  EXPECT_DEATH(PipelinedHeapModel(8, Duration::zero()), "precondition");
+  PipelinedHeapModel h(4, 4_ns);
+  EXPECT_DEATH((void)h.min(), "precondition");
+  std::int64_t k;
+  EXPECT_DEATH((void)h.extract_min(TimePoint::zero(), &k), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

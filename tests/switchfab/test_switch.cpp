@@ -1,0 +1,315 @@
+#include "switchfab/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/packet_pool.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+constexpr std::uint32_t kBufBytes = 8 * 1024;
+
+/// Endpoint stub: records deliveries and (optionally) returns credits.
+struct TestHost final : PacketReceiver {
+  struct Delivery {
+    TimePoint when;
+    std::uint64_t id;
+    Duration ttd;
+  };
+  void receive_packet(PacketPtr p, PortId) override {
+    deliveries.push_back({sim->now(), p->hdr.packet_id, p->hdr.ttd});
+    if (!hold_credits) from_switch->return_credits(p->hdr.vc, p->size());
+    else held.push_back({p->hdr.vc, p->size()});
+  }
+  void release_held() {
+    for (const auto& [vc, bytes] : held) from_switch->return_credits(vc, bytes);
+    held.clear();
+  }
+  Simulator* sim = nullptr;
+  Channel* from_switch = nullptr;  ///< the switch->host channel (credit path)
+  bool hold_credits = false;
+  std::vector<std::pair<VcId, std::uint32_t>> held;
+  std::vector<Delivery> deliveries;
+};
+
+class SwitchFixture : public testing::Test {
+ protected:
+  static constexpr std::size_t kPorts = 4;
+
+  void build(SwitchArch arch, Duration switch_clock_offset = Duration::zero()) {
+    SwitchParams params;
+    params.arch = arch;
+    sw_ = std::make_unique<Switch>(sim_, /*id=*/100, kPorts, params,
+                                   LocalClock(switch_clock_offset));
+    for (PortId port = 0; port < kPorts; ++port) {
+      hosts_[port].sim = &sim_;
+      // host -> switch
+      to_switch_[port] = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0),
+                                                   100_ns, 2, kBufBytes);
+      to_switch_[port]->connect_to(sw_.get(), port);
+      sw_->attach_input(port, to_switch_[port].get());
+      // switch -> host
+      to_host_[port] = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0),
+                                                 100_ns, 2, kBufBytes);
+      to_host_[port]->connect_to(&hosts_[port], 0);
+      sw_->attach_output(port, to_host_[port].get());
+      hosts_[port].from_switch = to_host_[port].get();
+    }
+  }
+
+  /// Injects a packet from `in` to `out` with time-to-deadline `ttd`,
+  /// consuming injection credits like a real NIC.
+  void inject(PortId in, PortId out, Duration ttd, std::uint32_t bytes,
+              VcId vc = kRegulatedVc, std::uint64_t id = 0, FlowId flow = 0,
+              std::uint32_t seq = 0) {
+    PacketPtr p = pool_.make();
+    p->hdr.packet_id = id;
+    p->hdr.flow = flow;
+    p->hdr.flow_seq = seq;
+    p->hdr.wire_bytes = bytes;
+    p->hdr.vc = vc;
+    p->hdr.tclass = vc == kRegulatedVc ? TrafficClass::kControl : TrafficClass::kBestEffort;
+    p->hdr.ttd = ttd;
+    p->hdr.route.push_hop(out);
+    ASSERT_TRUE(to_switch_[in]->has_credits(vc, bytes));
+    to_switch_[in]->consume_credits(vc, bytes);
+    to_switch_[in]->send(std::move(p));
+  }
+
+  Simulator sim_;
+  PacketPool pool_;
+  std::unique_ptr<Switch> sw_;
+  std::array<std::unique_ptr<Channel>, kPorts> to_switch_;
+  std::array<std::unique_ptr<Channel>, kPorts> to_host_;
+  std::array<TestHost, kPorts> hosts_;
+};
+
+TEST_F(SwitchFixture, ForwardsWithExpectedLatency) {
+  build(SwitchArch::kAdvanced2Vc);
+  inject(0, 2, 1_ms, 1000, kRegulatedVc, 42);
+  sim_.run();
+  ASSERT_EQ(hosts_[2].deliveries.size(), 1u);
+  // 1000B @ 8Gb/s = 1000ns ser + 100ns wire to the switch (tail at 1100);
+  // crossbar at 2x speedup moves it in 500ns (output buffer at 1600);
+  // output link: 1000ns + 100ns. Total 2700ns.
+  EXPECT_EQ(hosts_[2].deliveries[0].when.ps(), 2700 * 1000);
+  EXPECT_EQ(hosts_[2].deliveries[0].id, 42u);
+  EXPECT_EQ(sw_->counters().packets_forwarded[0], 1u);
+  EXPECT_EQ(sw_->packets_queued(), 0u);
+}
+
+TEST_F(SwitchFixture, TtdShrinksByTimeSpentInside) {
+  build(SwitchArch::kAdvanced2Vc);
+  inject(0, 2, 1_ms, 1000);
+  sim_.run();
+  // TTD was 1 ms at injection-departure (t=0). The switch reconstructs the
+  // deadline at *header* arrival (t=100ns): D = 100ns + 1ms. It starts
+  // transmitting at 1600ns (tail arrival 1100 + 500ns crossbar transfer),
+  // so the re-encoded TTD = 1ms - 1500ns: the time the packet's own
+  // serialization and crossbar transfer consumed.
+  EXPECT_EQ(hosts_[2].deliveries[0].ttd, 1_ms - 1500_ns);
+}
+
+TEST_F(SwitchFixture, TtdInvariantUnderSwitchClockSkew) {
+  // Same scenario, wildly skewed switch clock: delivered TTD identical.
+  build(SwitchArch::kAdvanced2Vc, /*switch_clock_offset=*/123456_us);
+  inject(0, 2, 1_ms, 1000);
+  sim_.run();
+  ASSERT_EQ(hosts_[2].deliveries.size(), 1u);
+  EXPECT_EQ(hosts_[2].deliveries[0].ttd, 1_ms - 1500_ns);
+  EXPECT_EQ(hosts_[2].deliveries[0].when.ps(), 2700 * 1000);
+}
+
+TEST_F(SwitchFixture, EdfOrdersContendingInputsByDeadline) {
+  build(SwitchArch::kAdvanced2Vc);
+  // A occupies the output; B and C queue behind and EDF must pick C (50us)
+  // over B (100us) despite B arriving first.
+  inject(0, 3, 500_us, 1000, kRegulatedVc, 1);
+  sim_.schedule_at(TimePoint::from_ps(100'000),
+                   [&] { inject(1, 3, 100_us, 1000, kRegulatedVc, 2); });
+  sim_.schedule_at(TimePoint::from_ps(200'000),
+                   [&] { inject(2, 3, 50_us, 1000, kRegulatedVc, 3); });
+  sim_.run();
+  ASSERT_EQ(hosts_[3].deliveries.size(), 3u);
+  EXPECT_EQ(hosts_[3].deliveries[0].id, 1u);
+  EXPECT_EQ(hosts_[3].deliveries[1].id, 3u);  // earliest deadline overtakes
+  EXPECT_EQ(hosts_[3].deliveries[2].id, 2u);
+}
+
+TEST_F(SwitchFixture, TraditionalIgnoresDeadlines) {
+  build(SwitchArch::kTraditional2Vc);
+  inject(0, 3, 500_us, 1000, kRegulatedVc, 1);
+  sim_.schedule_at(TimePoint::from_ps(100'000),
+                   [&] { inject(1, 3, 100_us, 1000, kRegulatedVc, 2); });
+  sim_.schedule_at(TimePoint::from_ps(200'000),
+                   [&] { inject(2, 3, 50_us, 1000, kRegulatedVc, 3); });
+  sim_.run();
+  ASSERT_EQ(hosts_[3].deliveries.size(), 3u);
+  // Round-robin after port0: port1 then port2, regardless of deadlines.
+  EXPECT_EQ(hosts_[3].deliveries[1].id, 2u);
+  EXPECT_EQ(hosts_[3].deliveries[2].id, 3u);
+}
+
+TEST_F(SwitchFixture, RegulatedVcHasAbsolutePriority) {
+  build(SwitchArch::kAdvanced2Vc);
+  // Keep output 3 busy with a first packet, then queue one BE (earlier
+  // deadline!) and one regulated packet: regulated wins anyway.
+  inject(0, 3, 1_ms, 1000, kRegulatedVc, 1);
+  sim_.schedule_at(TimePoint::from_ps(100'000),
+                   [&] { inject(1, 3, 10_us, 1000, kBestEffortVc, 2); });
+  sim_.schedule_at(TimePoint::from_ps(200'000),
+                   [&] { inject(2, 3, 900_us, 1000, kRegulatedVc, 3); });
+  sim_.run();
+  ASSERT_EQ(hosts_[3].deliveries.size(), 3u);
+  EXPECT_EQ(hosts_[3].deliveries[1].id, 3u);
+  EXPECT_EQ(hosts_[3].deliveries[2].id, 2u);
+}
+
+TEST_F(SwitchFixture, BestEffortUsesLinkWhenRegulatedIdle) {
+  build(SwitchArch::kAdvanced2Vc);
+  inject(0, 1, 1_ms, 2048, kBestEffortVc, 7);
+  sim_.run();
+  ASSERT_EQ(hosts_[1].deliveries.size(), 1u);
+  EXPECT_EQ(hosts_[1].deliveries[0].id, 7u);
+}
+
+TEST_F(SwitchFixture, CreditStallThenResume) {
+  build(SwitchArch::kAdvanced2Vc);
+  hosts_[1].hold_credits = true;
+  // 5 x 2KB = 10KB > 8KB of credit: the 5th must wait for credit return.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    inject(static_cast<PortId>(i % 2), 1, 1_ms, 2048, kRegulatedVc, i);
+  }
+  sim_.run();
+  EXPECT_EQ(hosts_[1].deliveries.size(), 4u);
+  EXPECT_GT(sw_->counters().credit_stalls, 0u);
+  EXPECT_EQ(sw_->packets_queued(), 1u);
+  hosts_[1].release_held();
+  sim_.run();
+  EXPECT_EQ(hosts_[1].deliveries.size(), 5u);
+  EXPECT_EQ(sw_->packets_queued(), 0u);
+}
+
+TEST_F(SwitchFixture, BlockedRegulatedVcDoesNotBlockBestEffort) {
+  build(SwitchArch::kAdvanced2Vc);
+  hosts_[1].hold_credits = true;
+  // Fill VC0 credits toward host 1 (4 x 2KB = 8KB).
+  for (std::uint64_t i = 0; i < 4; ++i) inject(0, 1, 1_ms, 2048, kRegulatedVc, i);
+  sim_.run();
+  ASSERT_EQ(hosts_[1].deliveries.size(), 4u);
+  // A 5th regulated packet is credit-blocked; a best-effort packet must
+  // still get the link (different VC, own credits).
+  inject(0, 1, 1_ms, 2048, kRegulatedVc, 10);
+  inject(2, 1, 1_ms, 1024, kBestEffortVc, 11);
+  sim_.run();
+  ASSERT_EQ(hosts_[1].deliveries.size(), 5u);
+  EXPECT_EQ(hosts_[1].deliveries[4].id, 11u);
+  hosts_[1].release_held();
+  sim_.run();
+  EXPECT_EQ(hosts_[1].deliveries.size(), 6u);
+}
+
+TEST_F(SwitchFixture, OrderErrorsCountedOnSimpleArch) {
+  build(SwitchArch::kSimple2Vc);
+  // Same input, same output: a late-deadline packet arrives first and a
+  // FIFO cannot let the early-deadline one overtake -> 1 order error.
+  inject(0, 3, 900_us, 2048, kRegulatedVc, 1);   // keeps output busy
+  sim_.schedule_at(TimePoint::from_ps(2'300'000), [&] {
+    inject(1, 3, 800_us, 1000, kRegulatedVc, 2);  // queues (high deadline)
+  });
+  sim_.schedule_at(TimePoint::from_ps(2'500'000), [&] {
+    inject(1, 3, 10_us, 1000, kRegulatedVc, 3);  // lower deadline behind it
+  });
+  sim_.run();
+  ASSERT_EQ(hosts_[3].deliveries.size(), 3u);
+  EXPECT_EQ(hosts_[3].deliveries[1].id, 2u);  // FIFO forces the inversion
+  EXPECT_EQ(sw_->order_errors(), 1u);
+}
+
+TEST_F(SwitchFixture, AdvancedArchTakesOverInSameScenario) {
+  build(SwitchArch::kAdvanced2Vc);
+  inject(0, 3, 900_us, 2048, kRegulatedVc, 1);
+  sim_.schedule_at(TimePoint::from_ps(2'300'000), [&] {
+    inject(1, 3, 800_us, 1000, kRegulatedVc, 2);
+  });
+  sim_.schedule_at(TimePoint::from_ps(2'500'000), [&] {
+    inject(1, 3, 10_us, 1000, kRegulatedVc, 3);
+  });
+  sim_.run();
+  ASSERT_EQ(hosts_[3].deliveries.size(), 3u);
+  EXPECT_EQ(hosts_[3].deliveries[1].id, 3u);  // take-over queue lets it pass
+  EXPECT_EQ(sw_->order_errors(), 0u);
+  EXPECT_EQ(sw_->takeovers(), 1u);
+}
+
+TEST_F(SwitchFixture, VoqPreventsHeadOfLineBlocking) {
+  build(SwitchArch::kSimple2Vc);
+  hosts_[1].hold_credits = true;
+  // Block output 1 completely (credits exhausted), then send from the same
+  // input to output 2: VOQ must let it through immediately.
+  for (std::uint64_t i = 0; i < 4; ++i) inject(0, 1, 1_ms, 2048, kRegulatedVc, i);
+  sim_.run();
+  inject(0, 1, 1_ms, 2048, kRegulatedVc, 50);  // credit-blocked
+  inject(0, 2, 1_ms, 1000, kRegulatedVc, 51);  // different VOQ
+  sim_.run();
+  ASSERT_EQ(hosts_[2].deliveries.size(), 1u);
+  EXPECT_EQ(hosts_[2].deliveries[0].id, 51u);
+  EXPECT_EQ(sw_->packets_queued(), 1u);
+}
+
+TEST_F(SwitchFixture, CrossbarInputSerializes) {
+  build(SwitchArch::kAdvanced2Vc);
+  // Two packets from the same input to different (idle) outputs cannot
+  // leave simultaneously: second starts after the first's serialization.
+  inject(0, 1, 1_ms, 2000, kRegulatedVc, 1);
+  inject(0, 2, 1_ms, 2000, kRegulatedVc, 2);
+  sim_.run();
+  ASSERT_EQ(hosts_[1].deliveries.size(), 1u);
+  ASSERT_EQ(hosts_[2].deliveries.size(), 1u);
+  const auto t1 = hosts_[1].deliveries[0].when.ps();
+  const auto t2 = hosts_[2].deliveries[0].when.ps();
+  // Raw inject() bypasses NIC pacing: both packets land at the switch at
+  // 2100ns. The crossbar *read port* of input 0 then serializes them:
+  // transfers 2100-3100 and 3100-4100 (2000B at 2x speedup), each followed
+  // by 2000+100ns on its own output link.
+  EXPECT_EQ(t1, 5200 * 1000);
+  EXPECT_EQ(t2, 6200 * 1000);
+}
+
+TEST_F(SwitchFixture, CountersPerClass) {
+  build(SwitchArch::kAdvanced2Vc);
+  inject(0, 1, 1_ms, 1000, kRegulatedVc, 1);
+  inject(1, 2, 1_ms, 500, kBestEffortVc, 2);
+  sim_.run();
+  EXPECT_EQ(sw_->counters().packets_forwarded[static_cast<std::size_t>(
+                TrafficClass::kControl)],
+            1u);
+  EXPECT_EQ(sw_->counters().bytes_forwarded[static_cast<std::size_t>(
+                TrafficClass::kBestEffort)],
+            500u);
+}
+
+TEST(SwitchArchTest, Names) {
+  EXPECT_EQ(to_string(SwitchArch::kTraditional2Vc), "Traditional 2 VCs");
+  EXPECT_EQ(to_string(SwitchArch::kIdeal), "Ideal");
+  EXPECT_EQ(to_string(SwitchArch::kSimple2Vc), "Simple 2 VCs");
+  EXPECT_EQ(to_string(SwitchArch::kAdvanced2Vc), "Advanced 2 VCs");
+  EXPECT_EQ(all_switch_archs().size(), 4u);
+}
+
+TEST(SwitchArchTest, ArchitectureIngredients) {
+  EXPECT_EQ(queue_kind_for(SwitchArch::kIdeal), QueueKind::kHeap);
+  EXPECT_EQ(queue_kind_for(SwitchArch::kSimple2Vc), QueueKind::kFifo);
+  EXPECT_EQ(queue_kind_for(SwitchArch::kAdvanced2Vc), QueueKind::kTakeover);
+  EXPECT_EQ(queue_kind_for(SwitchArch::kTraditional2Vc), QueueKind::kFifo);
+  EXPECT_EQ(input_arbiter_for(SwitchArch::kTraditional2Vc),
+            InputArbiterKind::kRoundRobin);
+  EXPECT_EQ(input_arbiter_for(SwitchArch::kIdeal), InputArbiterKind::kEdf);
+}
+
+}  // namespace
+}  // namespace dqos

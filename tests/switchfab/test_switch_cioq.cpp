@@ -1,0 +1,227 @@
+/// Combined input/output queueing specifics: output-buffer capacity,
+/// crossbar speedup, order errors frozen at the output stage, and per-VC
+/// diagnostics.
+#include <gtest/gtest.h>
+
+#include "proto/packet_pool.hpp"
+#include "switchfab/switch.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+struct SinkHost final : PacketReceiver {
+  void receive_packet(PacketPtr p, PortId) override {
+    delivered.push_back({sim->now(), p->hdr.packet_id});
+    if (!hold_credits) {
+      from_switch->return_credits(p->hdr.vc, p->size());
+    } else {
+      held.push_back({p->hdr.vc, p->size()});
+    }
+  }
+  void release() {
+    for (auto [vc, b] : held) from_switch->return_credits(vc, b);
+    held.clear();
+  }
+  Simulator* sim = nullptr;
+  Channel* from_switch = nullptr;
+  bool hold_credits = false;
+  std::vector<std::pair<VcId, std::uint32_t>> held;
+  std::vector<std::pair<TimePoint, std::uint64_t>> delivered;
+};
+
+class CioqFixture : public testing::Test {
+ protected:
+  static constexpr std::size_t kPorts = 4;
+
+  void build(SwitchParams params) {
+    sw_ = std::make_unique<Switch>(sim_, 100, kPorts, params);
+    for (PortId port = 0; port < kPorts; ++port) {
+      hosts_[port].sim = &sim_;
+      in_[port] = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0),
+                                            100_ns, params.num_vcs,
+                                            params.buffer_bytes_per_vc);
+      in_[port]->connect_to(sw_.get(), port);
+      sw_->attach_input(port, in_[port].get());
+      out_[port] = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0),
+                                             100_ns, params.num_vcs,
+                                             params.buffer_bytes_per_vc);
+      out_[port]->connect_to(&hosts_[port], 0);
+      sw_->attach_output(port, out_[port].get());
+      hosts_[port].from_switch = out_[port].get();
+    }
+  }
+
+  void inject(PortId in, PortId out, Duration ttd, std::uint32_t bytes,
+              VcId vc = kRegulatedVc, std::uint64_t id = 0) {
+    PacketPtr p = pool_.make();
+    p->hdr.packet_id = id;
+    p->hdr.wire_bytes = bytes;
+    p->hdr.vc = vc;
+    p->hdr.tclass =
+        vc == kRegulatedVc ? TrafficClass::kControl : TrafficClass::kBestEffort;
+    p->hdr.ttd = ttd;
+    p->hdr.route.push_hop(out);
+    ASSERT_TRUE(in_[in]->has_credits(vc, bytes));
+    in_[in]->consume_credits(vc, bytes);
+    in_[in]->send(std::move(p));
+  }
+
+  Simulator sim_;
+  PacketPool pool_;
+  std::unique_ptr<Switch> sw_;
+  std::array<std::unique_ptr<Channel>, kPorts> in_, out_;
+  std::array<SinkHost, kPorts> hosts_;
+};
+
+TEST_F(CioqFixture, SpeedupOneMakesCrossbarTransferFullLength) {
+  SwitchParams p;
+  p.arch = SwitchArch::kAdvanced2Vc;
+  p.crossbar_speedup = 1.0;
+  build(p);
+  inject(0, 2, 1_ms, 1000, kRegulatedVc, 1);
+  sim_.run();
+  ASSERT_EQ(hosts_[2].delivered.size(), 1u);
+  // tail at 1100ns; crossbar 1000ns at 1x; output link 1000+100.
+  EXPECT_EQ(hosts_[2].delivered[0].first.ps(), 3200 * 1000);
+}
+
+TEST_F(CioqFixture, HigherSpeedupShortensTransit) {
+  SwitchParams p;
+  p.arch = SwitchArch::kAdvanced2Vc;
+  p.crossbar_speedup = 4.0;
+  build(p);
+  inject(0, 2, 1_ms, 1000, kRegulatedVc, 1);
+  sim_.run();
+  ASSERT_EQ(hosts_[2].delivered.size(), 1u);
+  EXPECT_EQ(hosts_[2].delivered[0].first.ps(), 2450 * 1000);  // 250ns xbar
+}
+
+TEST_F(CioqFixture, OutputBufferAbsorbsExactlyItsCapacity) {
+  SwitchParams p;
+  p.arch = SwitchArch::kSimple2Vc;
+  build(p);
+  hosts_[1].hold_credits = true;
+  // 8 x 2048B from two inputs toward one output with a dead downstream:
+  // 4 packets consume all downstream credit (transmitted into the void of
+  // the held host), then the 8KB output buffer absorbs 4 more? No — the
+  // first 4 *drain* (credits exist); after that credits are gone, so the
+  // output queue retains what the crossbar moved: 4 packets (8192 B), and
+  // nothing remains at the inputs.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    inject(static_cast<PortId>(i % 2), 1, 1_ms, 2048, kRegulatedVc, i);
+  }
+  sim_.run();
+  EXPECT_EQ(hosts_[1].delivered.size(), 4u);
+  EXPECT_EQ(sw_->packets_queued(), 4u);
+  hosts_[1].release();
+  sim_.run();
+  EXPECT_EQ(hosts_[1].delivered.size(), 8u);
+  EXPECT_EQ(sw_->packets_queued(), 0u);
+}
+
+TEST_F(CioqFixture, InputBuffersHoldOverflowBeyondOutputBuffer) {
+  SwitchParams p;
+  p.arch = SwitchArch::kSimple2Vc;
+  build(p);
+  hosts_[1].hold_credits = true;
+  // 12 x 2048 paced at link rate (so injection credits recycle): 4 drain
+  // into held credits, 4 sit in the output buffer, 4 remain across the two
+  // input buffers.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    sim_.schedule_at(TimePoint::from_ps(static_cast<std::int64_t>(i / 2) * 2'200'000),
+                     [this, i] {
+                       inject(static_cast<PortId>(i % 2), 1, 1_ms, 2048,
+                              kRegulatedVc, i);
+                     });
+  }
+  sim_.run();
+  EXPECT_EQ(hosts_[1].delivered.size(), 4u);
+  EXPECT_EQ(sw_->packets_queued(), 8u);
+  hosts_[1].hold_credits = false;  // resume normal credit returns
+  hosts_[1].release();
+  sim_.run();
+  EXPECT_EQ(hosts_[1].delivered.size(), 12u);
+}
+
+TEST_F(CioqFixture, OrderErrorFrozenInOutputFifo) {
+  // Two packets from *different inputs*: the later-deadline one crosses the
+  // crossbar first and freezes ahead in the output FIFO. With Simple this
+  // is an order error; with Advanced the take-over queue fixes it.
+  for (const SwitchArch arch :
+       {SwitchArch::kSimple2Vc, SwitchArch::kAdvanced2Vc}) {
+    SCOPED_TRACE(std::string(to_string(arch)));
+    sw_.reset();
+    for (auto& c : in_) c.reset();
+    for (auto& c : out_) c.reset();
+    for (auto& h : hosts_) h = SinkHost{};
+    SwitchParams p;
+    p.arch = arch;
+    build(p);
+    // id1 late deadline, arrives first; id2 early deadline, 300ns later;
+    // a long id0 occupies the output link so both wait in the output queue.
+    inject(0, 3, 1_ms, 2048, kRegulatedVc, 0);
+    sim_.schedule_at(sim_.now() + 2200_ns,
+                     [&] { inject(1, 3, 900_us, 1000, kRegulatedVc, 1); });
+    sim_.schedule_at(sim_.now() + 2500_ns,
+                     [&] { inject(2, 3, 10_us, 1000, kRegulatedVc, 2); });
+    sim_.run();
+    ASSERT_EQ(hosts_[3].delivered.size(), 3u);
+    if (arch == SwitchArch::kSimple2Vc) {
+      EXPECT_EQ(hosts_[3].delivered[1].second, 1u);  // frozen inversion
+      EXPECT_GE(sw_->order_errors(), 1u);
+      EXPECT_EQ(sw_->order_errors_vc(kRegulatedVc), sw_->order_errors());
+    } else {
+      EXPECT_EQ(hosts_[3].delivered[1].second, 2u);  // take-over wins
+      EXPECT_EQ(sw_->order_errors(), 0u);
+      EXPECT_GE(sw_->takeovers(), 1u);
+    }
+  }
+}
+
+TEST_F(CioqFixture, PerVcOrderErrorAccounting) {
+  SwitchParams p;
+  p.arch = SwitchArch::kSimple2Vc;
+  build(p);
+  // Inversion on the best-effort VC only.
+  inject(0, 3, 1_ms, 2048, kBestEffortVc, 0);
+  sim_.schedule_at(sim_.now() + 2200_ns,
+                   [&] { inject(1, 3, 900_us, 1000, kBestEffortVc, 1); });
+  sim_.schedule_at(sim_.now() + 2500_ns,
+                   [&] { inject(2, 3, 10_us, 1000, kBestEffortVc, 2); });
+  sim_.run();
+  EXPECT_GE(sw_->order_errors_vc(kBestEffortVc), 1u);
+  EXPECT_EQ(sw_->order_errors_vc(kRegulatedVc), 0u);
+}
+
+TEST_F(CioqFixture, HeapOpLatencySlowsIdealDrain) {
+  SwitchParams p;
+  p.arch = SwitchArch::kIdeal;
+  p.heap_op_latency = 500_ns;
+  build(p);
+  // Two packets to the same output: second drain must wait an extra 500ns
+  // beyond the first packet's serialization.
+  inject(0, 1, 1_ms, 1000, kRegulatedVc, 1);
+  inject(2, 1, 1_ms, 1000, kRegulatedVc, 2);
+  sim_.run();
+  ASSERT_EQ(hosts_[1].delivered.size(), 2u);
+  const auto gap = hosts_[1].delivered[1].first - hosts_[1].delivered[0].first;
+  EXPECT_EQ(gap.ps(), (1000 + 500) * 1000);
+}
+
+TEST_F(CioqFixture, HeapOpLatencyIgnoredByNonHeapArchs) {
+  SwitchParams p;
+  p.arch = SwitchArch::kAdvanced2Vc;
+  p.heap_op_latency = 500_ns;  // must have no effect
+  build(p);
+  inject(0, 1, 1_ms, 1000, kRegulatedVc, 1);
+  inject(2, 1, 1_ms, 1000, kRegulatedVc, 2);
+  sim_.run();
+  ASSERT_EQ(hosts_[1].delivered.size(), 2u);
+  const auto gap = hosts_[1].delivered[1].first - hosts_[1].delivered[0].first;
+  EXPECT_EQ(gap.ps(), 1000 * 1000);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,227 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "topo/kary_ntree.hpp"
+#include "topo/mesh2d.hpp"
+#include "topo/two_level_clos.hpp"
+
+namespace dqos {
+namespace {
+
+// ---------- parameterized structural properties over topology family ------
+
+struct TopoCase {
+  std::string label;
+  std::function<std::unique_ptr<Topology>()> make;
+  std::uint32_t hosts;
+  std::uint32_t switches;
+};
+
+class TopologyProperty : public testing::TestWithParam<TopoCase> {};
+
+TEST_P(TopologyProperty, CountsMatch) {
+  const auto t = GetParam().make();
+  EXPECT_EQ(t->num_hosts(), GetParam().hosts);
+  EXPECT_EQ(t->num_switches(), GetParam().switches);
+  EXPECT_EQ(t->num_nodes(), GetParam().hosts + GetParam().switches);
+}
+
+TEST_P(TopologyProperty, StructureValidates) {
+  const auto t = GetParam().make();
+  t->validate();  // aborts on any inconsistency
+}
+
+TEST_P(TopologyProperty, HostsHaveOnePortSwitchesMany) {
+  const auto t = GetParam().make();
+  for (NodeId h = 0; h < t->num_hosts(); ++h) {
+    EXPECT_TRUE(t->is_host(h));
+    EXPECT_EQ(t->num_ports(h), 1u);
+  }
+  for (std::uint32_t s = 0; s < t->num_switches(); ++s) {
+    EXPECT_TRUE(t->is_switch(t->switch_id(s)));
+    EXPECT_GE(t->num_ports(t->switch_id(s)), 2u);
+  }
+}
+
+TEST_P(TopologyProperty, EveryRouteReachesDestination) {
+  const auto t = GetParam().make();
+  // route_links() contract-checks arrival at dst; also check route lengths
+  // are odd (up-down through a tree always takes 2m+1 switch hops).
+  for (NodeId s = 0; s < t->num_hosts(); ++s) {
+    for (NodeId d = 0; d < t->num_hosts(); ++d) {
+      if (s == d) continue;
+      for (std::size_t c = 0; c < t->route_count(s, d); ++c) {
+        const SourceRoute r = t->build_route(s, d, c);
+        EXPECT_GE(r.length(), 1u);
+        const auto links = t->route_links(s, d, c);
+        EXPECT_EQ(links.size(), r.length() + 1);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyProperty, DistinctChoicesGiveDistinctPaths) {
+  const auto t = GetParam().make();
+  const NodeId s = 0;
+  const NodeId d = t->num_hosts() - 1;
+  std::set<std::vector<std::uint32_t>> paths;
+  for (std::size_t c = 0; c < t->route_count(s, d); ++c) {
+    const auto links = t->route_links(s, d, c);
+    std::vector<std::uint32_t> key;
+    for (const auto& e : links) key.push_back(e.node * 1000u + e.port);
+    paths.insert(key);
+  }
+  EXPECT_EQ(paths.size(), t->route_count(s, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, TopologyProperty,
+    testing::Values(
+        TopoCase{"paper_clos_128", [] { return make_two_level_clos(16, 8, 8); }, 128, 24},
+        TopoCase{"small_clos", [] { return make_two_level_clos(4, 4, 2); }, 16, 6},
+        TopoCase{"asym_clos", [] { return make_two_level_clos(3, 5, 4); }, 15, 7},
+        TopoCase{"kary_2_2", [] { return make_kary_ntree(2, 2); }, 4, 4},
+        TopoCase{"kary_4_2", [] { return make_kary_ntree(4, 2); }, 16, 8},
+        TopoCase{"kary_2_4", [] { return make_kary_ntree(2, 4); }, 16, 32},
+        TopoCase{"kary_4_3", [] { return make_kary_ntree(4, 3); }, 64, 48},
+        TopoCase{"single_8", [] { return make_single_switch(8); }, 8, 1},
+        TopoCase{"mesh_4x4_c2", [] { return make_mesh2d(4, 4, 2); }, 32, 16},
+        TopoCase{"mesh_3x2_c1", [] { return make_mesh2d(3, 2, 1); }, 6, 6},
+        TopoCase{"mesh_8x1_c2", [] { return make_mesh2d(8, 1, 2); }, 16, 8}),
+    [](const testing::TestParamInfo<TopoCase>& pi) { return pi.param.label; });
+
+// ---------- specific facts about the paper topology -----------------------
+
+TEST(TwoLevelClosTest, PaperConfigPortCounts) {
+  TwoLevelClos t(16, 8, 8);
+  // 16-port switches throughout (§4.1).
+  for (std::uint32_t s = 0; s < t.num_switches(); ++s) {
+    EXPECT_EQ(t.num_ports(t.switch_id(s)), 16u);
+  }
+  EXPECT_EQ(t.name(), "folded-clos(16x8,8 spines)");
+}
+
+TEST(TwoLevelClosTest, SameLeafRouteIsSingleHop) {
+  TwoLevelClos t(16, 8, 8);
+  EXPECT_EQ(t.route_count(0, 1), 1u);
+  const SourceRoute r = t.build_route(0, 1, 0);
+  EXPECT_EQ(r.length(), 1u);
+  EXPECT_EQ(r.hop(0), 1);  // down-port of host 1 at the shared leaf
+}
+
+TEST(TwoLevelClosTest, CrossLeafRouteTraversesChosenSpine) {
+  TwoLevelClos t(16, 8, 8);
+  const NodeId src = 0, dst = 127;  // leaf 0 -> leaf 15
+  EXPECT_EQ(t.route_count(src, dst), 8u);  // one per spine
+  for (std::size_t spine = 0; spine < 8; ++spine) {
+    const auto links = t.route_links(src, dst, spine);
+    ASSERT_EQ(links.size(), 4u);  // host, leaf, spine, leaf departures
+    EXPECT_EQ(links[2].node, t.spine_switch(static_cast<std::uint32_t>(spine)));
+  }
+}
+
+TEST(TwoLevelClosTest, FullBisection) {
+  // Uplink capacity of each leaf equals its host capacity in the paper
+  // config: 8 hosts, 8 uplinks.
+  TwoLevelClos t(16, 8, 8);
+  const NodeId leaf0 = t.leaf_switch(0);
+  std::size_t up = 0, down = 0;
+  for (PortId p = 0; p < 16; ++p) {
+    const Endpoint e = t.peer(leaf0, p);
+    ASSERT_TRUE(e.valid());
+    if (t.is_host(e.node)) {
+      ++down;
+    } else {
+      ++up;
+    }
+  }
+  EXPECT_EQ(down, 8u);
+  EXPECT_EQ(up, 8u);
+}
+
+// ---------- k-ary n-tree specifics ----------------------------------------
+
+TEST(KaryNTreeTest, RouteDiversityGrowsWithDistance) {
+  KaryNTree t(2, 4);  // 16 hosts, 4 levels
+  EXPECT_EQ(t.route_count(0, 1), 1u);   // same leaf
+  EXPECT_EQ(t.route_count(0, 2), 2u);   // LCA at level 1
+  EXPECT_EQ(t.route_count(0, 4), 4u);   // LCA at level 2
+  EXPECT_EQ(t.route_count(0, 8), 8u);   // LCA at level 3
+}
+
+TEST(KaryNTreeTest, RouteLengthMatchesAncestorLevel) {
+  KaryNTree t(2, 4);
+  EXPECT_EQ(t.build_route(0, 1, 0).length(), 1u);
+  EXPECT_EQ(t.build_route(0, 2, 0).length(), 3u);
+  EXPECT_EQ(t.build_route(0, 4, 0).length(), 5u);
+  EXPECT_EQ(t.build_route(0, 8, 0).length(), 7u);
+}
+
+TEST(KaryNTreeTest, TopLevelHasNoParents) {
+  KaryNTree t(2, 3);
+  const NodeId top = t.tree_switch(2, 0);
+  // Up-ports of top-level switches are unwired.
+  for (PortId p = 2; p < 4; ++p) EXPECT_FALSE(t.peer(top, p).valid());
+}
+
+TEST(SingleSwitchTest, DirectRouting) {
+  const auto t = make_single_switch(4);
+  for (NodeId s = 0; s < 4; ++s) {
+    for (NodeId d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      const SourceRoute r = t->build_route(s, d, 0);
+      EXPECT_EQ(r.length(), 1u);
+      EXPECT_EQ(r.hop(0), d);
+    }
+  }
+}
+
+TEST(Mesh2DTest, XyRoutingTakesManhattanPath) {
+  Mesh2D m(4, 4, 2);
+  // Host 0 is at switch (0,0); host 31 at switch (3,3) local port 1.
+  const SourceRoute r = m.build_route(0, 31, 0);
+  // 3 east hops + 3 north hops + exit = 7.
+  ASSERT_EQ(r.length(), 7u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r.hop(static_cast<std::size_t>(i)), m.east_port());
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(r.hop(static_cast<std::size_t>(i)), m.north_port());
+  EXPECT_EQ(r.hop(6), 1);  // local port of host 31
+}
+
+TEST(Mesh2DTest, SameSwitchRouteIsOneHop) {
+  Mesh2D m(4, 4, 2);
+  const SourceRoute r = m.build_route(0, 1, 0);  // both at switch (0,0)
+  EXPECT_EQ(r.length(), 1u);
+  EXPECT_EQ(r.hop(0), 1);
+}
+
+TEST(Mesh2DTest, WestAndSouthDirections) {
+  Mesh2D m(3, 3, 1);
+  // Host 8 at (2,2) -> host 0 at (0,0): west x2 then south x2.
+  const SourceRoute r = m.build_route(8, 0, 0);
+  ASSERT_EQ(r.length(), 5u);
+  EXPECT_EQ(r.hop(0), m.west_port());
+  EXPECT_EQ(r.hop(1), m.west_port());
+  EXPECT_EQ(r.hop(2), m.south_port());
+  EXPECT_EQ(r.hop(3), m.south_port());
+}
+
+TEST(Mesh2DTest, EdgePortsUnwired) {
+  Mesh2D m(3, 3, 1);
+  EXPECT_FALSE(m.peer(m.mesh_switch(0, 0), m.west_port()).valid());
+  EXPECT_FALSE(m.peer(m.mesh_switch(0, 0), m.south_port()).valid());
+  EXPECT_TRUE(m.peer(m.mesh_switch(0, 0), m.east_port()).valid());
+  EXPECT_FALSE(m.peer(m.mesh_switch(2, 2), m.east_port()).valid());
+  EXPECT_FALSE(m.peer(m.mesh_switch(2, 2), m.north_port()).valid());
+}
+
+TEST(TopologyDeathTest, BadRouteChoiceAborts) {
+  TwoLevelClos t(4, 4, 2);
+  EXPECT_DEATH((void)t.build_route(0, 15, 2), "precondition");
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,115 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+Packet mk(std::uint64_t id, FlowId flow = 1, std::uint32_t bytes = 512) {
+  Packet p;
+  p.hdr.packet_id = id;
+  p.hdr.flow = flow;
+  p.hdr.wire_bytes = bytes;
+  p.hdr.tclass = TrafficClass::kControl;
+  p.hdr.ttd = 5_us;
+  return p;
+}
+
+TEST(PacketTracer, RecordsEventsInOrder) {
+  PacketTracer t;
+  const Packet p = mk(7);
+  t.record(TimePoint::from_ps(100), TraceEvent::kCreated, p, 0);
+  t.record(TimePoint::from_ps(200), TraceEvent::kInjected, p, 0);
+  t.record(TimePoint::from_ps(300), TraceEvent::kDelivered, p, 1);
+  ASSERT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.records()[0].event, TraceEvent::kCreated);
+  EXPECT_EQ(t.records()[1].node, 0u);
+  EXPECT_EQ(t.records()[2].when.ps(), 300);
+  EXPECT_EQ(t.records()[2].ttd, 5_us);
+  EXPECT_EQ(t.overflow(), 0u);
+}
+
+TEST(PacketTracer, CapacityBoundsMemory) {
+  PacketTracer t(4);
+  const Packet p = mk(1);
+  for (int i = 0; i < 10; ++i) {
+    t.record(TimePoint::from_ps(i), TraceEvent::kHopArrival, p, 5);
+  }
+  EXPECT_EQ(t.records().size(), 4u);
+  EXPECT_EQ(t.overflow(), 6u);
+}
+
+TEST(PacketTracer, PacketHistoryFilters) {
+  PacketTracer t;
+  t.record(TimePoint::from_ps(1), TraceEvent::kCreated, mk(1), 0);
+  t.record(TimePoint::from_ps(2), TraceEvent::kCreated, mk(2), 0);
+  t.record(TimePoint::from_ps(3), TraceEvent::kDelivered, mk(1), 1);
+  const auto hist = t.packet_history(1);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].event, TraceEvent::kCreated);
+  EXPECT_EQ(hist[1].event, TraceEvent::kDelivered);
+  EXPECT_TRUE(t.packet_history(99).empty());
+}
+
+TEST(PacketTracer, StageLatencies) {
+  PacketTracer t;
+  t.record(TimePoint::from_ps(1'000'000), TraceEvent::kInjected, mk(1), 0);
+  t.record(TimePoint::from_ps(2'000'000), TraceEvent::kInjected, mk(2), 0);
+  t.record(TimePoint::from_ps(4'000'000), TraceEvent::kDelivered, mk(1), 1);
+  t.record(TimePoint::from_ps(9'000'000), TraceEvent::kDelivered, mk(2), 1);
+  const auto lat = t.stage_latencies_us(TraceEvent::kInjected, TraceEvent::kDelivered);
+  ASSERT_EQ(lat.size(), 2u);
+  EXPECT_DOUBLE_EQ(lat[0], 3.0);
+  EXPECT_DOUBLE_EQ(lat[1], 7.0);
+}
+
+TEST(PacketTracer, DropRecords) {
+  PacketTracer t;
+  t.record_drop(TimePoint::from_ps(5), 42, TrafficClass::kBackground, 3);
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].event, TraceEvent::kDropped);
+  EXPECT_EQ(t.records()[0].flow, 42u);
+  EXPECT_EQ(t.records()[0].packet_id, 0u);
+}
+
+TEST(PacketTracer, CsvDump) {
+  PacketTracer t;
+  t.record(TimePoint::from_ps(123), TraceEvent::kLinkDepart, mk(9, 4, 777), 12);
+  const std::string path = testing::TempDir() + "/dqos_trace.csv";
+  ASSERT_TRUE(t.dump_csv(path));
+  std::ifstream in(path);
+  std::string header, line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(header, "when_ps,event,packet_id,flow,node,class,bytes,ttd_ps");
+  EXPECT_EQ(line, "123,link-depart,9,4,12,Control,777,5000000");
+  std::remove(path.c_str());
+}
+
+TEST(PacketTracer, ClearResets) {
+  PacketTracer t(2);
+  const Packet p = mk(1);
+  for (int i = 0; i < 5; ++i) t.record(TimePoint::zero(), TraceEvent::kCreated, p, 0);
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.overflow(), 0u);
+}
+
+TEST(TraceEventNames, AllNamed) {
+  EXPECT_EQ(to_string(TraceEvent::kCreated), "created");
+  EXPECT_EQ(to_string(TraceEvent::kInjected), "injected");
+  EXPECT_EQ(to_string(TraceEvent::kHopArrival), "hop-arrival");
+  EXPECT_EQ(to_string(TraceEvent::kXbarTransfer), "xbar-transfer");
+  EXPECT_EQ(to_string(TraceEvent::kLinkDepart), "link-depart");
+  EXPECT_EQ(to_string(TraceEvent::kDelivered), "delivered");
+  EXPECT_EQ(to_string(TraceEvent::kDropped), "dropped");
+}
+
+}  // namespace
+}  // namespace dqos

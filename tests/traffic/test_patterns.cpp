@@ -1,0 +1,160 @@
+#include "traffic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dqos {
+namespace {
+
+PatternParams params_of(PatternKind k) {
+  PatternParams p;
+  p.kind = k;
+  return p;
+}
+
+class PatternProperty : public testing::TestWithParam<PatternKind> {};
+
+TEST_P(PatternProperty, NeverPicksSelfAndStaysInRange) {
+  const auto pat = make_pattern(params_of(GetParam()), 16);
+  Rng rng(3);
+  for (NodeId src = 0; src < 16; ++src) {
+    for (int i = 0; i < 200; ++i) {
+      const NodeId dst = pat->pick(src, rng);
+      ASSERT_NE(dst, src);
+      ASSERT_LT(dst, 16u);
+    }
+  }
+}
+
+TEST_P(PatternProperty, KindReportsItself) {
+  const auto pat = make_pattern(params_of(GetParam()), 16);
+  EXPECT_EQ(pat->kind(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PatternProperty,
+    testing::Values(PatternKind::kUniform, PatternKind::kHotSpot,
+                    PatternKind::kBitComplement, PatternKind::kTranspose,
+                    PatternKind::kTornado, PatternKind::kPermutation),
+    [](const testing::TestParamInfo<PatternKind>& pi) {
+      std::string n{to_string(pi.param)};
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(UniformPatternTest, CoversAllDestinationsEvenly) {
+  const auto pat = make_pattern(params_of(PatternKind::kUniform), 8);
+  Rng rng(1);
+  std::map<NodeId, int> counts;
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) ++counts[pat->pick(3, rng)];
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [dst, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 1.0 / 7.0, 0.01) << dst;
+  }
+}
+
+TEST(HotSpotPatternTest, HotNodeReceivesConfiguredFraction) {
+  PatternParams p = params_of(PatternKind::kHotSpot);
+  p.hotspot_fraction = 0.4;
+  p.hotspot_node = 5;
+  const auto pat = make_pattern(p, 16);
+  Rng rng(2);
+  int hot = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hot += (pat->pick(0, rng) == 5);
+  // 0.4 directly + 1/15 of the remaining 0.6 via the uniform leg.
+  EXPECT_NEAR(static_cast<double>(hot) / kN, 0.4 + 0.6 / 15.0, 0.01);
+}
+
+TEST(HotSpotPatternTest, HotNodeItselfSendsUniformly) {
+  PatternParams p = params_of(PatternKind::kHotSpot);
+  p.hotspot_fraction = 1.0;
+  p.hotspot_node = 5;
+  const auto pat = make_pattern(p, 16);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) ASSERT_NE(pat->pick(5, rng), 5u);
+}
+
+TEST(BitComplementPatternTest, ExactMapping) {
+  const auto pat = make_pattern(params_of(PatternKind::kBitComplement), 8);
+  Rng rng(4);
+  EXPECT_EQ(pat->pick(0, rng), 7u);  // 000 -> 111
+  EXPECT_EQ(pat->pick(5, rng), 2u);  // 101 -> 010
+  EXPECT_EQ(pat->pick(3, rng), 4u);  // 011 -> 100
+}
+
+TEST(BitComplementPatternTest, RequiresPowerOfTwo) {
+  EXPECT_DEATH((void)make_pattern(params_of(PatternKind::kBitComplement), 12),
+               "precondition");
+}
+
+TEST(TransposePatternTest, SquareMapping) {
+  const auto pat = make_pattern(params_of(PatternKind::kTranspose), 16);
+  Rng rng(5);
+  // src 1 = (0,1) -> (1,0) = 4.
+  EXPECT_EQ(pat->pick(1, rng), 4u);
+  EXPECT_EQ(pat->pick(7, rng), 13u);  // (1,3) -> (3,1)
+  // Diagonal points map to themselves; fall back to the next host.
+  EXPECT_EQ(pat->pick(5, rng), 6u);  // (1,1)
+}
+
+TEST(TransposePatternTest, RequiresSquare) {
+  EXPECT_DEATH((void)make_pattern(params_of(PatternKind::kTranspose), 8),
+               "precondition");
+}
+
+TEST(TornadoPatternTest, HalfRotation) {
+  const auto pat = make_pattern(params_of(PatternKind::kTornado), 8);
+  Rng rng(6);
+  EXPECT_EQ(pat->pick(0, rng), 4u);
+  EXPECT_EQ(pat->pick(6, rng), 2u);
+}
+
+TEST(PermutationPatternTest, IsAFixedDerangement) {
+  PatternParams p = params_of(PatternKind::kPermutation);
+  p.permutation_seed = 99;
+  const auto pat = make_pattern(p, 10);
+  Rng rng(7);
+  std::map<NodeId, NodeId> map;
+  for (NodeId s = 0; s < 10; ++s) {
+    const NodeId d1 = pat->pick(s, rng);
+    const NodeId d2 = pat->pick(s, rng);
+    EXPECT_EQ(d1, d2);  // deterministic
+    map[s] = d1;
+  }
+  // All destinations distinct (true permutation without fixed points)...
+  std::set<NodeId> dsts;
+  for (const auto& [s, d] : map) dsts.insert(d);
+  // ...except possibly where the fixed-point fixup created a duplicate;
+  // allow at most one collision.
+  EXPECT_GE(dsts.size(), 9u);
+}
+
+TEST(PermutationPatternTest, SeedChangesPermutation) {
+  PatternParams a = params_of(PatternKind::kPermutation);
+  a.permutation_seed = 1;
+  PatternParams b = a;
+  b.permutation_seed = 2;
+  const auto pa = make_pattern(a, 32);
+  const auto pb = make_pattern(b, 32);
+  Rng rng(8);
+  int same = 0;
+  for (NodeId s = 0; s < 32; ++s) same += (pa->pick(s, rng) == pb->pick(s, rng));
+  EXPECT_LT(same, 8);
+}
+
+TEST(PatternNames, AllDistinct) {
+  EXPECT_EQ(to_string(PatternKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(PatternKind::kHotSpot), "hotspot");
+  EXPECT_EQ(to_string(PatternKind::kBitComplement), "bit-complement");
+  EXPECT_EQ(to_string(PatternKind::kTranspose), "transpose");
+  EXPECT_EQ(to_string(PatternKind::kTornado), "tornado");
+  EXPECT_EQ(to_string(PatternKind::kPermutation), "permutation");
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "traffic/cbr_source.hpp"
+#include "traffic/control_source.hpp"
+#include "traffic/selfsimilar_source.hpp"
+#include "traffic/video_source.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+/// Sources drive a real host pair; we validate generation statistics.
+class SourceFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    HostParams params;
+    h0_ = std::make_unique<Host>(sim_, 0, params, LocalClock{}, pool_);
+    h1_ = std::make_unique<Host>(sim_, 1, params, LocalClock{}, pool_);
+    c01_ = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0), 100_ns, 2, 8192);
+    c10_ = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0), 100_ns, 2, 8192);
+    c01_->connect_to(h1_.get(), 0);
+    c10_->connect_to(h0_.get(), 0);
+    h0_->attach_uplink(c01_.get());
+    h0_->attach_downlink(c10_.get());
+    h1_->attach_uplink(c10_.get());
+    h1_->attach_downlink(c01_.get());
+    h1_->set_packet_callback([this](const Packet& p, TimePoint, Duration) {
+      sizes_.push_back(p.size() - kHeaderBytes);
+    });
+  }
+
+  FlowId open(FlowId id, TrafficClass tc, DeadlinePolicy pol = DeadlinePolicy::kVirtualClock) {
+    FlowSpec s;
+    s.id = id;
+    s.src = 0;
+    s.dst = 1;
+    s.tclass = tc;
+    s.vc = is_regulated(tc) ? kRegulatedVc : kBestEffortVc;
+    s.policy = pol;
+    s.deadline_bw = Bandwidth::from_gbps(8.0);
+    s.frame_budget = 10_ms;
+    h0_->open_flow(s);
+    return id;
+  }
+
+  Simulator sim_;
+  PacketPool pool_;
+  std::unique_ptr<Host> h0_, h1_;
+  std::unique_ptr<Channel> c01_, c10_;
+  std::vector<std::uint32_t> sizes_;  // payload fragment sizes delivered
+};
+
+TEST_F(SourceFixture, ControlRateAndSizes) {
+  open(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency);
+  ControlParams cp;
+  cp.target_bytes_per_sec = 50e6;
+  ControlSource src(sim_, *h0_, Rng(7), nullptr, {kInvalidFlow, 1}, cp);
+  const Duration span = 100_ms;
+  src.start(TimePoint::zero() + span);
+  sim_.run();
+  // Long-run offered rate within 10% of target (Poisson noise).
+  const double rate = static_cast<double>(src.bytes_generated()) / span.sec();
+  EXPECT_NEAR(rate, 50e6, 5e6);
+  EXPECT_GT(src.messages_generated(), 1000u);
+  // Sizes in [128, 2048]: no fragment exceeds MTU and messages are small.
+  for (const auto s : sizes_) EXPECT_LE(s, 2048u);
+}
+
+TEST_F(SourceFixture, ControlStopsAtStopTime) {
+  open(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency);
+  ControlParams cp;
+  cp.target_bytes_per_sec = 100e6;
+  ControlSource src(sim_, *h0_, Rng(8), nullptr, {kInvalidFlow, 1}, cp);
+  src.start(TimePoint::zero() + 10_ms);
+  sim_.run();
+  EXPECT_LE(sim_.now().ps(), (10_ms + 1_ms).ps());  // only drain past stop
+}
+
+TEST_F(SourceFixture, VideoFrameCadence) {
+  open(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget);
+  VideoParams vp;
+  vp.randomize_phase = false;
+  VideoSource src(sim_, *h0_, Rng(9), nullptr, 1, vp);
+  src.start(TimePoint::zero() + 400_ms);
+  sim_.run();
+  // 400 ms / 40 ms = 10 frames.
+  EXPECT_EQ(src.messages_generated(), 10u);
+}
+
+TEST_F(SourceFixture, VideoFrameSizesRespectTable1Bounds) {
+  open(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget);
+  VideoParams vp;
+  VideoSource src(sim_, *h0_, Rng(10), nullptr, 1, vp);
+  StreamingStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = src.draw_frame_size();
+    ASSERT_GE(s, vp.min_frame_bytes);
+    ASSERT_LE(s, vp.max_frame_bytes);
+    stats.add(s);
+  }
+  // I-frames are big, B-frames small: substantial spread.
+  EXPECT_GT(stats.stddev(), 10e3);
+}
+
+TEST_F(SourceFixture, VideoRealizedRateEstimateMatchesDraws) {
+  VideoParams vp;
+  const double est = VideoSource::estimate_realized_bytes_per_sec(vp, Rng(11));
+  open(1, TrafficClass::kMultimedia, DeadlinePolicy::kFrameBudget);
+  VideoSource src(sim_, *h0_, Rng(12), nullptr, 1, vp);
+  double sum = 0.0;
+  constexpr int kN = 12000;
+  for (int i = 0; i < kN; ++i) sum += src.draw_frame_size();
+  const double empirical = (sum / kN) / vp.frame_period.sec();
+  EXPECT_NEAR(est, empirical, empirical * 0.05);
+  // The clamp bites: realized is below the nominal 3 MB/s.
+  EXPECT_LT(est, vp.mean_bytes_per_sec);
+  EXPECT_GT(est, vp.mean_bytes_per_sec * 0.4);
+}
+
+TEST_F(SourceFixture, SelfSimilarLongRunRate) {
+  open(1, TrafficClass::kBestEffort);
+  SelfSimilarParams sp;
+  sp.target_bytes_per_sec = 100e6;
+  SelfSimilarSource src(sim_, *h0_, Rng(13), nullptr, {kInvalidFlow, 1}, sp);
+  const Duration span = Duration::milliseconds(400);
+  src.start(TimePoint::zero() + span);
+  sim_.run();
+  const double rate = static_cast<double>(src.bytes_generated()) / span.sec();
+  // Heavy-tailed: generous tolerance.
+  EXPECT_GT(rate, 100e6 * 0.5);
+  EXPECT_LT(rate, 100e6 * 2.0);
+}
+
+TEST_F(SourceFixture, SelfSimilarSizesWithinBounds) {
+  open(1, TrafficClass::kBackground);
+  SelfSimilarParams sp;
+  sp.target_bytes_per_sec = 200e6;
+  sp.tclass = TrafficClass::kBackground;
+  SelfSimilarSource src(sim_, *h0_, Rng(14), nullptr, {kInvalidFlow, 1}, sp);
+  src.start(TimePoint::zero() + 50_ms);
+  sim_.run();
+  EXPECT_EQ(src.tclass(), TrafficClass::kBackground);
+  EXPECT_GT(src.messages_generated(), 10u);
+  for (const auto s : sizes_) EXPECT_LE(s, 2048u);  // MTU fragments
+}
+
+TEST_F(SourceFixture, SelfSimilarBurstiness) {
+  // Inter-message gaps must be bimodal: tiny inside bursts, long between.
+  open(1, TrafficClass::kBestEffort);
+  SelfSimilarParams sp;
+  sp.target_bytes_per_sec = 20e6;  // low rate -> long off periods
+  SelfSimilarSource src(sim_, *h0_, Rng(15), nullptr, {kInvalidFlow, 1}, sp);
+  src.start(TimePoint::zero() + 200_ms);
+  std::vector<TimePoint> arrivals;
+  // Track submissions via injected packets' created timestamps.
+  h1_->set_packet_callback([&](const Packet& p, TimePoint, Duration) {
+    arrivals.push_back(p.t_created);
+  });
+  sim_.run();
+  ASSERT_GT(arrivals.size(), 20u);
+  int tiny = 0, long_gap = 0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const Duration gap = arrivals[i] - arrivals[i - 1];
+    if (gap <= 2_us) ++tiny;
+    if (gap > 100_us) ++long_gap;
+  }
+  EXPECT_GT(tiny, 0);
+  EXPECT_GT(long_gap, 0);
+}
+
+TEST_F(SourceFixture, CbrExactCadence) {
+  open(1, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock);
+  CbrParams cp;
+  cp.message_bytes = 1024;
+  cp.period = 1_ms;
+  CbrSource src(sim_, *h0_, Rng(16), nullptr, 1, cp);
+  src.start(TimePoint::zero() + 10_ms);
+  sim_.run();
+  EXPECT_EQ(src.messages_generated(), 10u);
+  EXPECT_EQ(src.bytes_generated(), 10u * 1024u);
+}
+
+TEST_F(SourceFixture, CbrPhaseOffset) {
+  open(1, TrafficClass::kMultimedia, DeadlinePolicy::kVirtualClock);
+  CbrParams cp;
+  cp.period = 1_ms;
+  cp.phase = 500_us;
+  CbrSource src(sim_, *h0_, Rng(17), nullptr, 1, cp);
+  src.start(TimePoint::zero() + 3_ms);
+  sim_.run();
+  EXPECT_EQ(src.messages_generated(), 3u);  // 0.5, 1.5, 2.5 ms
+}
+
+TEST_F(SourceFixture, OfferedLoadRecordedInMetrics) {
+  MetricsCollector metrics;
+  metrics.set_window(TimePoint::zero(), TimePoint::zero() + 1_s);
+  open(1, TrafficClass::kControl, DeadlinePolicy::kControlLatency);
+  ControlParams cp;
+  cp.target_bytes_per_sec = 10e6;
+  ControlSource src(sim_, *h0_, Rng(18), &metrics, {kInvalidFlow, 1}, cp);
+  src.start(TimePoint::zero() + 20_ms);
+  sim_.run();
+  EXPECT_GT(metrics.report(TrafficClass::kControl).offered_bytes_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,131 @@
+#include "traffic/video_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+TEST(LoadFrameTrace, ParsesSizesSkipsCommentsAndBlanks) {
+  const std::string path = testing::TempDir() + "/dqos_trace_test.trace";
+  {
+    std::ofstream out(path);
+    out << "# header comment\n"
+        << "1024\n"
+        << "\n"
+        << "  2048  # inline comment\n"
+        << "120000\n";
+  }
+  const auto frames = load_frame_trace(path);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], 1024u);
+  EXPECT_EQ(frames[1], 2048u);
+  EXPECT_EQ(frames[2], 120000u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadFrameTrace, MissingFileYieldsEmpty) {
+  EXPECT_TRUE(load_frame_trace("/nonexistent/never.trace").empty());
+}
+
+TEST(LoadFrameTrace, BundledSampleHasTable1Statistics) {
+  // The committed sample trace must respect the paper's frame-size range.
+  const auto frames = load_frame_trace(DQOS_DATA_DIR "/mpeg4_sample.trace");
+  ASSERT_GE(frames.size(), 1000u);
+  double sum = 0.0;
+  for (const auto f : frames) {
+    ASSERT_GE(f, 1024u);
+    ASSERT_LE(f, 120u * 1024u);
+    sum += f;
+  }
+  // ~2-3 MB/s at 25 fps.
+  const double rate = (sum / static_cast<double>(frames.size())) / 0.040;
+  EXPECT_GT(rate, 1.5e6);
+  EXPECT_LT(rate, 3.5e6);
+}
+
+class TraceSourceFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    HostParams params;
+    h0_ = std::make_unique<Host>(sim_, 0, params, LocalClock{}, pool_);
+    h1_ = std::make_unique<Host>(sim_, 1, params, LocalClock{}, pool_);
+    c01_ = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0), 100_ns, 2, 8192);
+    c10_ = std::make_unique<Channel>(sim_, Bandwidth::from_gbps(8.0), 100_ns, 2, 8192);
+    c01_->connect_to(h1_.get(), 0);
+    c10_->connect_to(h0_.get(), 0);
+    h0_->attach_uplink(c01_.get());
+    h0_->attach_downlink(c10_.get());
+    h1_->attach_uplink(c10_.get());
+    h1_->attach_downlink(c01_.get());
+    FlowSpec s;
+    s.id = 1;
+    s.src = 0;
+    s.dst = 1;
+    s.tclass = TrafficClass::kMultimedia;
+    s.vc = kRegulatedVc;
+    s.policy = DeadlinePolicy::kFrameBudget;
+    s.deadline_bw = Bandwidth::from_bytes_per_sec(3e6);
+    s.frame_budget = 10_ms;
+    h0_->open_flow(s);
+    h1_->set_message_callback(
+        [this](const MessageDelivered& m) { frames_.push_back(m.bytes); });
+  }
+
+  Simulator sim_;
+  PacketPool pool_;
+  std::unique_ptr<Host> h0_, h1_;
+  std::unique_ptr<Channel> c01_, c10_;
+  std::vector<std::uint64_t> frames_;
+};
+
+TEST_F(TraceSourceFixture, PlaysTraceInOrder) {
+  const std::vector<std::uint32_t> trace{10000, 20000, 30000};
+  TraceVideoParams params;
+  params.randomize_phase = false;
+  TraceVideoSource src(sim_, *h0_, Rng(1), nullptr, 1, &trace, params);
+  src.start(TimePoint::zero() + 120_ms);  // 3 frames
+  sim_.run();
+  ASSERT_EQ(frames_.size(), 3u);
+  // Delivered bytes include per-packet header overhead.
+  EXPECT_GE(frames_[0], 10000u);
+  EXPECT_LT(frames_[0], 10000u + 6 * kHeaderBytes);
+  EXPECT_GE(frames_[1], 20000u);
+  EXPECT_GE(frames_[2], 30000u);
+}
+
+TEST_F(TraceSourceFixture, WrapsAroundCyclically) {
+  const std::vector<std::uint32_t> trace{5000, 9000};
+  TraceVideoParams params;
+  params.randomize_phase = false;
+  TraceVideoSource src(sim_, *h0_, Rng(2), nullptr, 1, &trace, params);
+  src.start(TimePoint::zero() + 200_ms);  // 5 frames: 5k 9k 5k 9k 5k
+  sim_.run();
+  ASSERT_EQ(frames_.size(), 5u);
+  EXPECT_LT(frames_[0], 6000u);
+  EXPECT_GT(frames_[1], 9000u - 1);
+  EXPECT_LT(frames_[4], 6000u);
+}
+
+TEST_F(TraceSourceFixture, StartFrameOffsets) {
+  const std::vector<std::uint32_t> trace{5000, 9000};
+  TraceVideoParams params;
+  params.randomize_phase = false;
+  params.start_frame = 1;
+  TraceVideoSource src(sim_, *h0_, Rng(3), nullptr, 1, &trace, params);
+  src.start(TimePoint::zero() + 80_ms);  // 2 frames: 9k, 5k
+  sim_.run();
+  ASSERT_EQ(frames_.size(), 2u);
+  EXPECT_GT(frames_[0], 9000u - 1);
+  EXPECT_LT(frames_[1], 6000u);
+}
+
+TEST(TraceMean, ComputesMean) {
+  EXPECT_DOUBLE_EQ(TraceVideoSource::trace_mean_bytes({100, 200, 300}), 200.0);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,117 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dqos {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail);
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsForm) {
+  const ArgParser args = parse({"--load=0.8", "--arch=advanced"});
+  EXPECT_EQ(args.get_or("arch", ""), "advanced");
+  EXPECT_DOUBLE_EQ(args.get_double("load", 0.0), 0.8);
+}
+
+TEST(ArgParser, SpaceSeparatedForm) {
+  const ArgParser args = parse({"--seed", "42", "--name", "x"});
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_EQ(args.get_or("name", ""), "x");
+}
+
+TEST(ArgParser, BareFlag) {
+  const ArgParser args = parse({"--paper", "--verbose"});
+  EXPECT_TRUE(args.get_bool("paper", false));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("absent"));
+}
+
+TEST(ArgParser, FlagFollowedByFlagIsNotAValue) {
+  const ArgParser args = parse({"--paper", "--load=0.5"});
+  EXPECT_EQ(args.get_or("paper", ""), "true");
+}
+
+TEST(ArgParser, Positionals) {
+  const ArgParser args = parse({"input.cfg", "--x=1", "output.csv"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "input.cfg");
+  EXPECT_EQ(args.positionals()[1], "output.csv");
+}
+
+TEST(ArgParser, LaterOverridesEarlier) {
+  const ArgParser args = parse({"--load=0.5", "--load=0.9"});
+  EXPECT_DOUBLE_EQ(args.get_double("load", 0.0), 0.9);
+}
+
+TEST(ArgParser, TypedFallbacks) {
+  const ArgParser args = parse({"--notnum=abc"});
+  EXPECT_DOUBLE_EQ(args.get_double("notnum", 1.5), 1.5);
+  EXPECT_EQ(args.get_int("notnum", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(ArgParser, BoolSpellings) {
+  const ArgParser args =
+      parse({"--a=true", "--b=1", "--c=yes", "--d=on", "--e=false", "--f=0"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_TRUE(args.get_bool("d", false));
+  EXPECT_FALSE(args.get_bool("e", true));
+  EXPECT_FALSE(args.get_bool("f", true));
+}
+
+TEST(ArgParser, ConfigFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/dqos_cli_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "load=0.75\n"
+        << "  arch = simple  # trailing comment\n"
+        << "\n"
+        << "paper\n";
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  EXPECT_DOUBLE_EQ(args.get_double("load", 0.0), 0.75);
+  EXPECT_EQ(args.get_or("arch", ""), "simple");
+  EXPECT_TRUE(args.get_bool("paper", false));
+  std::remove(path.c_str());
+}
+
+TEST(ArgParser, MissingFileReturnsFalse) {
+  ArgParser args;
+  EXPECT_FALSE(args.load_file("/nonexistent/dqos.cfg"));
+}
+
+TEST(ArgParser, CliOverridesFile) {
+  const std::string path = testing::TempDir() + "/dqos_cli_test2.cfg";
+  {
+    std::ofstream out(path);
+    out << "load=0.5\n";
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  const char* argv[] = {"prog", "--load=1.0"};
+  args.parse(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("load", 0.0), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ArgParser, KeysEnumeration) {
+  const ArgParser args = parse({"--b=2", "--a=1"});
+  const auto keys = args.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");  // map order: sorted
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace dqos

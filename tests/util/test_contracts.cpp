@@ -1,0 +1,21 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+TEST(Contracts, PassingChecksAreSilent) {
+  DQOS_EXPECTS(1 + 1 == 2);
+  DQOS_ENSURES(true);
+  DQOS_ASSERT(42 > 0);
+}
+
+TEST(ContractsDeathTest, ViolationAborts) {
+  EXPECT_DEATH(DQOS_EXPECTS(false), "precondition");
+  EXPECT_DEATH(DQOS_ENSURES(1 == 2), "postcondition");
+  EXPECT_DEATH(DQOS_ASSERT(false), "invariant");
+}
+
+}  // namespace
+}  // namespace dqos

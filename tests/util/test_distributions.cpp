@@ -1,0 +1,155 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dqos {
+namespace {
+
+constexpr int kN = 200000;
+
+TEST(UniformReal, MeanAndBounds) {
+  Rng rng(1);
+  UniformReal u(10.0, 20.0);
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = u(rng);
+    ASSERT_GE(x, 10.0);
+    ASSERT_LT(x, 20.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 15.0, 0.05);
+}
+
+TEST(UniformInt, InclusiveBounds) {
+  Rng rng(2);
+  UniformInt u(128, 2048);  // control message size range (Table 1)
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < kN; ++i) {
+    const auto x = u(rng);
+    ASSERT_GE(x, 128);
+    ASSERT_LE(x, 2048);
+    hit_lo |= (x < 160);
+    hit_hi |= (x > 2016);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Exponential, MeanMatches) {
+  Rng rng(3);
+  Exponential e(5.0);
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = e(rng);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Exponential, Memoryless) {
+  // P(X > a+b | X > a) == P(X > b): compare tail fractions.
+  Rng rng(4);
+  Exponential e(1.0);
+  int gt1 = 0, gt2_given = 0, gt1_total = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = e(rng);
+    if (x > 1.0) {
+      ++gt1_total;
+      if (x > 2.0) ++gt2_given;
+    }
+    gt1 += (x > 1.0);
+  }
+  const double p_tail = static_cast<double>(gt1) / kN;
+  const double p_cond = static_cast<double>(gt2_given) / gt1_total;
+  EXPECT_NEAR(p_cond, p_tail, 0.02);
+}
+
+TEST(Pareto, SupportAndMean) {
+  Rng rng(5);
+  Pareto p(2.5, 4.0);
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = p(rng);
+    ASSERT_GE(x, 4.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, p.mean(), p.mean() * 0.03);
+  EXPECT_DOUBLE_EQ(p.mean(), 2.5 * 4.0 / 1.5);
+}
+
+TEST(Pareto, HeavyTailProducesLargeValues) {
+  Rng rng(6);
+  Pareto p(1.2, 1.0);  // infinite variance regime
+  double mx = 0;
+  for (int i = 0; i < kN; ++i) mx = std::max(mx, p(rng));
+  EXPECT_GT(mx, 1000.0);  // heavy tail reaches far
+}
+
+TEST(BoundedPareto, StaysInBounds) {
+  Rng rng(7);
+  BoundedPareto bp(1.2, 128.0, 100.0 * 1024);  // Table 1 BE size range
+  for (int i = 0; i < kN; ++i) {
+    const double x = bp(rng);
+    ASSERT_GE(x, 128.0);
+    ASSERT_LE(x, 100.0 * 1024);
+  }
+}
+
+TEST(BoundedPareto, EmpiricalMeanMatchesAnalytic) {
+  Rng rng(8);
+  BoundedPareto bp(1.3, 100.0, 10000.0);
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += bp(rng);
+  EXPECT_NEAR(sum / kN, bp.mean(), bp.mean() * 0.03);
+}
+
+TEST(BoundedPareto, AlphaOneMean) {
+  Rng rng(9);
+  BoundedPareto bp(1.0, 10.0, 1000.0);
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += bp(rng);
+  EXPECT_NEAR(sum / kN, bp.mean(), bp.mean() * 0.05);
+}
+
+TEST(BoundedPareto, MostMassNearLowEnd) {
+  // Pareto is bursty-small: the median must sit far below the midpoint.
+  Rng rng(10);
+  BoundedPareto bp(1.2, 128.0, 102400.0);
+  int below_1k = 0;
+  for (int i = 0; i < kN; ++i) below_1k += (bp(rng) < 1024.0);
+  EXPECT_GT(static_cast<double>(below_1k) / kN, 0.75);
+}
+
+TEST(LogNormal, TargetsMeanAndCv) {
+  Rng rng(11);
+  LogNormal ln(120000.0, 0.5);  // frame-size-like scale
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = ln(rng);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 120000.0, 120000.0 * 0.02);
+  EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.03);
+}
+
+TEST(StandardNormal, MeanZeroVarOne) {
+  Rng rng(12);
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = standard_normal(rng);
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sq / kN, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace dqos

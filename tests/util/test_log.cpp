@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+TEST(Logger, LevelGatingIsMonotone) {
+  const LogLevel saved = Logger::level();
+  Logger::set_level(LogLevel::kInfo);
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kInfo));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kTrace));
+  Logger::set_level(LogLevel::kError);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kWarn));
+  Logger::set_level(saved);
+}
+
+TEST(Logger, MacroCompilesAndRespectsLevel) {
+  const LogLevel saved = Logger::level();
+  Logger::set_level(LogLevel::kError);
+  DQOS_DEBUG("this must not be emitted: %d", 42);  // gated off
+  DQOS_ERROR("error path exercised: %s", "ok");     // emitted to stderr
+  Logger::set_level(saved);
+}
+
+}  // namespace
+}  // namespace dqos

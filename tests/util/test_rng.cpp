@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dqos {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(rng.uniform_pos(), 0.0);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 10);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all 8 values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentDrawCount) {
+  // Stream derivation must not depend on how many draws the parent made:
+  // adding a consumer cannot perturb existing streams.
+  Rng parent1(123);
+  Rng child_a = parent1.split(7);
+  Rng parent2(123);
+  for (int i = 0; i < 50; ++i) parent2.next();
+  Rng child_b = parent2.split(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_a.next(), child_b.next());
+}
+
+TEST(Rng, SplitSaltsDistinguishSiblings) {
+  Rng parent(123);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dqos {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeEqualsSinglePass) {
+  StreamingStats a, b, whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i < 37 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(SampleSet, ExactQuantilesBelowCap) {
+  SampleSet s(1000);
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(SampleSet, CdfCurveIsMonotone) {
+  SampleSet s;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) s.add(rng.uniform() * 42);
+  const auto curve = s.cdf_curve(40);
+  ASSERT_EQ(curve.size(), 40u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(SampleSet, ReservoirKeepsExactExtremesAndApproxQuantiles) {
+  SampleSet s(1024);
+  Rng rng(4);
+  for (int i = 0; i < 200000; ++i) s.add(rng.uniform());
+  EXPECT_EQ(s.count(), 200000u);
+  // Extremes tracked exactly even after reservoir kicks in.
+  EXPECT_LT(s.min(), 1e-4);
+  EXPECT_GT(s.max(), 1.0 - 1e-4);
+  // Quantiles remain unbiased estimates.
+  EXPECT_NEAR(s.quantile(0.5), 0.5, 0.05);
+  EXPECT_NEAR(s.quantile(0.9), 0.9, 0.05);
+}
+
+TEST(SampleSet, EmptySetSafeDefaults) {
+  SampleSet s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.cdf_at(1.0), 0.0);
+  EXPECT_TRUE(s.cdf_curve().empty());
+}
+
+TEST(JainFairness, PerfectlyFairIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0}), 1.0);
+}
+
+TEST(JainFairness, StarvationApproachesOneOverN) {
+  // One entity gets everything: J = 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness({10.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainFairness, KnownMixedValue) {
+  // x = {1,2,3}: J = 36 / (3*14) = 6/7.
+  EXPECT_NEAR(jain_fairness({1.0, 2.0, 3.0}), 6.0 / 7.0, 1e-12);
+}
+
+TEST(JainFairness, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 0.0);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);    // bin 0 (inclusive low edge)
+  h.add(0.999);  // bin 0
+  h.add(5.0);    // bin 5
+  h.add(9.999);  // bin 9
+  h.add(10.0);   // overflow (exclusive high edge)
+  h.add(-0.1);   // underflow
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+}  // namespace
+}  // namespace dqos

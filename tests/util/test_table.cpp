@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dqos {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"load", "latency_us"});
+  t.row({"0.2", "12.4"});
+  t.row({"1.0", "10312.9"});
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  t.print(tmp);
+  std::rewind(tmp);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, tmp), nullptr);
+  const std::string header(buf);
+  EXPECT_NE(header.find("load"), std::string::npos);
+  EXPECT_NE(header.find("latency_us"), std::string::npos);
+  std::fclose(tmp);
+}
+
+TEST(TableWriter, NumFormatting) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(3.0, 0), "3");
+  EXPECT_EQ(TableWriter::num(std::uint64_t{12345}), "12345");
+}
+
+TEST(CsvWriter, WritesRowsWithQuoting) {
+  const std::string path = testing::TempDir() + "/dqos_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.row({"a", "b,c", "d\"e"});
+    csv.row({"1", "2", "3"});
+  }
+  const std::string content = read_file(path);
+  EXPECT_EQ(content, "a,\"b,c\",\"d\"\"e\"\n1,2,3\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, BadPathIsInert) {
+  CsvWriter csv("/nonexistent_dir_dqos/x.csv");
+  EXPECT_FALSE(csv.ok());
+  csv.row({"no", "crash"});
+}
+
+}  // namespace
+}  // namespace dqos

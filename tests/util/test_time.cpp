@@ -1,0 +1,107 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::nanoseconds(1).ps(), 1000);
+  EXPECT_EQ(Duration::microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(Duration::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(Duration::seconds(1).ps(), 1'000'000'000'000);
+  EXPECT_EQ(1_us, Duration::nanoseconds(1000));
+}
+
+TEST(Duration, ArithmeticAndComparison) {
+  const Duration a = 10_us;
+  const Duration b = 3_us;
+  EXPECT_EQ((a + b).ps(), 13'000'000);
+  EXPECT_EQ((a - b).ps(), 7'000'000);
+  EXPECT_EQ((-b).ps(), -3'000'000);
+  EXPECT_EQ((a * 4).ps(), 40'000'000);
+  EXPECT_EQ((a / 2).ps(), 5'000'000);
+  EXPECT_EQ(a / b, 3);  // integer ratio
+  EXPECT_LT(b, a);
+  EXPECT_EQ(max(a, b), a);
+  EXPECT_EQ(min(a, b), b);
+}
+
+TEST(Duration, FromSecondsDouble) {
+  EXPECT_EQ(Duration::from_seconds_double(0.001).ps(), 1'000'000'000);
+  EXPECT_NEAR(Duration::from_seconds_double(1e-9).sec(), 1e-9, 1e-15);
+}
+
+TEST(Duration, ConversionAccessors) {
+  const Duration d = Duration::picoseconds(2'500'000);
+  EXPECT_DOUBLE_EQ(d.ns(), 2500.0);
+  EXPECT_DOUBLE_EQ(d.us(), 2.5);
+  EXPECT_DOUBLE_EQ(d.ms(), 0.0025);
+}
+
+TEST(TimePoint, RelationToDuration) {
+  const TimePoint t0 = TimePoint::from_ps(5000);
+  const TimePoint t1 = t0 + 2_ns;
+  EXPECT_EQ(t1.ps(), 7000);
+  EXPECT_EQ((t1 - t0).ps(), 2000);
+  EXPECT_EQ((t0 - t1).ps(), -2000);  // Duration may be negative
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(max(t0, t1), t1);
+}
+
+TEST(TimePoint, CompoundAdd) {
+  TimePoint t;
+  t += 3_us;
+  EXPECT_EQ(t.ps(), 3'000'000);
+}
+
+TEST(TimeFormatting, PicksReadableUnit) {
+  EXPECT_EQ(to_string(Duration::picoseconds(500)), "500 ps");
+  EXPECT_EQ(to_string(12_us), "12.000 us");
+  EXPECT_EQ(to_string(3_ms), "3.000 ms");
+  EXPECT_EQ(to_string(Duration::seconds(2)), "2.000 s");
+}
+
+TEST(TimeFormatting, NegativeDurations) {
+  EXPECT_EQ(to_string(Duration::picoseconds(-500)), "-500 ps");
+  EXPECT_EQ(to_string(Duration::microseconds(-12)), "-12.000 us");
+}
+
+TEST(Duration, MinMaxSentinels) {
+  EXPECT_LT(Duration::zero(), Duration::max());
+  EXPECT_LT(TimePoint::zero(), TimePoint::max());
+}
+
+TEST(Bandwidth, FromPsPerByte) {
+  const Bandwidth bw = Bandwidth::from_ps_per_byte(500);  // 16 Gb/s
+  EXPECT_DOUBLE_EQ(bw.gbps(), 16.0);
+  EXPECT_EQ(bw.transfer_time(100).ps(), 50'000);
+}
+
+TEST(Bandwidth, PaperLinkRateIsExact) {
+  // 8 Gb/s: one byte serializes in exactly 1000 ps (deadline math is exact).
+  const Bandwidth link = Bandwidth::from_gbps(8.0);
+  EXPECT_EQ(link.ps_per_byte(), 1000);
+  EXPECT_EQ(link.transfer_time(2048).ps(), 2'048'000);
+  EXPECT_DOUBLE_EQ(link.gbps(), 8.0);
+}
+
+TEST(Bandwidth, FromBytesPerSec) {
+  const Bandwidth bw = Bandwidth::from_bytes_per_sec(3e6);  // 3 MB/s MPEG
+  EXPECT_NEAR(bw.bytes_per_sec(), 3e6, 10.0);
+  // A 2 KB packet at 3 MB/s takes ~683 us of Virtual Clock budget.
+  EXPECT_NEAR(bw.transfer_time(2048).us(), 682.7, 0.1);
+}
+
+TEST(Bandwidth, Scaled) {
+  const Bandwidth link = Bandwidth::from_gbps(8.0);
+  const Bandwidth quarter = link.scaled(0.25);
+  EXPECT_EQ(quarter.ps_per_byte(), 4000);
+  EXPECT_FALSE(Bandwidth{}.valid());
+  EXPECT_TRUE(link.valid());
+}
+
+}  // namespace
+}  // namespace dqos

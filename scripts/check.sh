@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite under both sanitizers.
+#
+#   scripts/check.sh            # asan + ubsan presets, all tests
+#   scripts/check.sh asan       # just one preset
+#
+# Death tests exercise contract aborts on purpose; ASAN's allocator is told
+# not to treat those intentional aborts as leaks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=(asan ubsan)
+[[ $# -gt 0 ]] && presets=("$@")
+
+export ASAN_OPTIONS=abort_on_error=0
+export UBSAN_OPTIONS=print_stacktrace=1
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset" -j "$(nproc)"
+done
+
+echo "=== all checks passed ==="

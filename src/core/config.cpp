@@ -21,23 +21,63 @@ std::uint32_t SimConfig::num_hosts() const {
   return 0;
 }
 
-void SimConfig::validate() const {
-  DQOS_EXPECTS(num_hosts() >= 2);
-  DQOS_EXPECTS(load > 0.0 && load <= 2.0);
-  DQOS_EXPECTS(num_vcs >= 1 && num_vcs <= 8);
-  DQOS_EXPECTS(vc_weights.empty() || vc_weights.size() == num_vcs);
-  DQOS_EXPECTS(link_bw.valid());
-  DQOS_EXPECTS(buffer_bytes_per_vc >= mtu_bytes + kHeaderBytes);
-  DQOS_EXPECTS(warmup >= Duration::zero() && measure > Duration::zero());
+std::string SimConfig::check() const {
+  if (num_hosts() < 2) return "topology must provide at least 2 hosts";
+  if (!(load > 0.0 && load <= 2.0)) return "load must be in (0, 2]";
+  if (!(num_vcs >= 1 && num_vcs <= 8)) return "vcs must be in [1, 8]";
+  if (!vc_weights.empty() && vc_weights.size() != num_vcs) {
+    return "vc-weights must list exactly one weight per VC";
+  }
+  if (!link_bw.valid()) return "link-gbps must be positive";
+  if (buffer_bytes_per_vc < mtu_bytes + kHeaderBytes) {
+    return "buffer-bytes must hold at least one MTU packet plus header";
+  }
+  if (warmup < Duration::zero()) return "warmup-ms must be non-negative";
+  if (measure <= Duration::zero()) return "measure-ms must be positive";
   double share_sum = 0.0;
   for (const double s : class_share) {
-    DQOS_EXPECTS(s >= 0.0);
+    if (s < 0.0) return "class shares must be non-negative";
     share_sum += s;
   }
   // > 1.0 deliberately oversubscribes (Fig. 4 stresses the unregulated
   // classes); cap at 2x to catch unit mistakes.
-  DQOS_EXPECTS(share_sum <= 2.0 + 1e-9);
-  DQOS_EXPECTS(best_effort_weight > 0.0 && background_weight > 0.0);
+  if (share_sum > 2.0 + 1e-9) return "class shares must sum to at most 2.0";
+  if (!(best_effort_weight > 0.0 && background_weight > 0.0)) {
+    return "class weights must be positive";
+  }
+  if (fault.link_down_per_sec < 0.0 || fault.credit_loss_per_sec < 0.0 ||
+      fault.ttd_corrupt_per_sec < 0.0 || fault.clock_drift_per_sec < 0.0) {
+    return "fault rates must be non-negative";
+  }
+  if (fault.link_permanent_fraction < 0.0 || fault.link_permanent_fraction > 1.0) {
+    return "fault-permanent-fraction must be in [0, 1]";
+  }
+  if (fault.link_outage_mean <= Duration::zero()) {
+    return "fault-link-outage-ms must be positive";
+  }
+  if (fault.credit_loss_bytes == 0 && fault.credit_loss_per_sec > 0.0) {
+    return "fault-credit-loss-bytes must be positive when losses are enabled";
+  }
+  if (fault.credit_resync_window < Duration::zero()) {
+    return "credit-resync-us must be non-negative (0 = off)";
+  }
+  if (fault.control_retry && fault.retry_timeout <= Duration::zero()) {
+    return "retry-timeout-us must be positive";
+  }
+  if (fault.watchdog_interval < Duration::zero()) {
+    return "watchdog-ms must be non-negative (0 = off)";
+  }
+  if (fault.watchdog_interval > Duration::zero() && fault.watchdog_rounds == 0) {
+    return "watchdog-rounds must be positive";
+  }
+  return "";
+}
+
+void SimConfig::validate() const {
+  const std::string msg = check();
+  if (!msg.empty()) {
+    DQOS_EXPECTS(msg.empty() && "invalid SimConfig");
+  }
 }
 
 SimConfig SimConfig::paper(SwitchArch arch, double load) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_config.hpp"
 #include "switchfab/switch.hpp"
 #include "traffic/patterns.hpp"
 #include "traffic/video_source.hpp"
@@ -79,6 +80,9 @@ struct SimConfig {
   /// (0 = perfectly synchronized). Results must not depend on it.
   Duration max_clock_skew = Duration::zero();
 
+  // --- fault injection (all off by default: bit-identical baseline) ---
+  FaultConfig fault;
+
   // --- run control ---
   std::uint64_t seed = 1;
   /// Periodic probe sampling of fabric occupancy and injection rate into
@@ -90,6 +94,9 @@ struct SimConfig {
 
   /// Number of hosts implied by the topology settings.
   [[nodiscard]] std::uint32_t num_hosts() const;
+  /// First inconsistency found, as a human-readable message ("" = valid).
+  /// config_io turns this into a ConfigError with file/line context.
+  [[nodiscard]] std::string check() const;
   /// Aborts (contract) on inconsistent settings.
   void validate() const;
 

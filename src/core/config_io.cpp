@@ -1,19 +1,80 @@
 #include "core/config_io.hpp"
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace dqos {
 namespace {
 
-std::vector<std::uint32_t> parse_weight_list(const std::string& csv) {
+/// Builds the ConfigError for a bad value of `key`, citing its origin.
+[[noreturn]] void fail_key(const ArgParser& args, const std::string& key,
+                           const std::string& why) {
+  std::string msg = "config error: --" + key + ": " + why;
+  const std::string origin = args.origin(key);
+  if (!origin.empty()) msg += " (from " + origin + ")";
+  throw ConfigError(msg);
+}
+
+/// Strict full-string numeric parsing: "1x", "", "--" are errors, not
+/// silent fallbacks.
+double num_double(const ArgParser& args, const std::string& key, double cur) {
+  const auto v = args.get(key);
+  if (!v) return cur;
+  char* end = nullptr;
+  const double d = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    fail_key(args, key, "'" + *v + "' is not a number");
+  }
+  return d;
+}
+
+std::int64_t num_int(const ArgParser& args, const std::string& key,
+                     std::int64_t cur) {
+  const auto v = args.get(key);
+  if (!v) return cur;
+  char* end = nullptr;
+  const long long n = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    fail_key(args, key, "'" + *v + "' is not an integer");
+  }
+  return n;
+}
+
+std::uint32_t num_u32(const ArgParser& args, const std::string& key,
+                      std::uint32_t cur) {
+  const std::int64_t n = num_int(args, key, cur);
+  if (n < 0 || n > std::numeric_limits<std::uint32_t>::max()) {
+    fail_key(args, key, "value " + std::to_string(n) + " is out of range");
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
+bool flag(const ArgParser& args, const std::string& key, bool cur) {
+  const auto v = args.get(key);
+  if (!v) return cur;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  fail_key(args, key, "'" + *v + "' is not a boolean");
+}
+
+std::vector<std::uint32_t> parse_weight_list(const ArgParser& args,
+                                             const std::string& key,
+                                             const std::string& csv) {
   std::vector<std::uint32_t> out;
   std::stringstream ss(csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) {
-      out.push_back(static_cast<std::uint32_t>(std::strtoul(item.c_str(), nullptr, 10)));
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const unsigned long w = std::strtoul(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0' ||
+        w > std::numeric_limits<std::uint32_t>::max()) {
+      fail_key(args, key, "'" + item + "' is not a valid weight");
     }
+    out.push_back(static_cast<std::uint32_t>(w));
   }
   return out;
 }
@@ -60,13 +121,24 @@ std::optional<TopologyKind> parse_topology(const std::string& name) {
 
 SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
   if (const auto a = args.get("arch")) {
-    if (const auto parsed = parse_arch(*a)) cfg.arch = *parsed;
+    const auto parsed = parse_arch(*a);
+    if (!parsed) {
+      fail_key(args, "arch",
+               "unknown architecture '" + *a +
+                   "' (expected traditional|ideal|simple|advanced)");
+    }
+    cfg.arch = *parsed;
   }
   if (const auto t = args.get("topology")) {
-    if (const auto parsed = parse_topology(*t)) cfg.topology = *parsed;
+    const auto parsed = parse_topology(*t);
+    if (!parsed) {
+      fail_key(args, "topology",
+               "unknown topology '" + *t + "' (expected clos|kary|single|mesh)");
+    }
+    cfg.topology = *parsed;
   }
   auto u32 = [&](const char* key, std::uint32_t cur) {
-    return static_cast<std::uint32_t>(args.get_int(key, cur));
+    return num_u32(args, key, cur);
   };
   cfg.num_leaves = u32("leaves", cfg.num_leaves);
   cfg.hosts_per_leaf = u32("hosts-per-leaf", cfg.hosts_per_leaf);
@@ -78,49 +150,55 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
   cfg.mesh_height = u32("mesh-height", cfg.mesh_height);
   cfg.mesh_concentration = u32("mesh-concentration", cfg.mesh_concentration);
 
-  cfg.load = args.get_double("load", cfg.load);
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
-  cfg.num_vcs = static_cast<std::uint8_t>(args.get_int("vcs", cfg.num_vcs));
-  if (const auto w = args.get("vc-weights")) cfg.vc_weights = parse_weight_list(*w);
+  cfg.load = num_double(args, "load", cfg.load);
+  cfg.seed = static_cast<std::uint64_t>(
+      num_int(args, "seed", static_cast<std::int64_t>(cfg.seed)));
+  const std::uint32_t vcs = u32("vcs", cfg.num_vcs);
+  if (vcs > 255) fail_key(args, "vcs", "value is out of range");
+  cfg.num_vcs = static_cast<std::uint8_t>(vcs);
+  if (const auto w = args.get("vc-weights")) {
+    cfg.vc_weights = parse_weight_list(args, "vc-weights", *w);
+  }
   cfg.buffer_bytes_per_vc = u32("buffer", cfg.buffer_bytes_per_vc);
   cfg.mtu_bytes = u32("mtu", cfg.mtu_bytes);
   if (args.has("link-gbps")) {
-    cfg.link_bw = Bandwidth::from_gbps(args.get_double("link-gbps", cfg.link_bw.gbps()));
+    const double gbps = num_double(args, "link-gbps", cfg.link_bw.gbps());
+    if (gbps <= 0.0) fail_key(args, "link-gbps", "bandwidth must be positive");
+    cfg.link_bw = Bandwidth::from_gbps(gbps);
   }
   if (args.has("heap-op-ns")) {
-    cfg.heap_op_latency =
-        Duration::nanoseconds(args.get_int("heap-op-ns", 0));
+    cfg.heap_op_latency = Duration::nanoseconds(num_int(args, "heap-op-ns", 0));
   }
   if (args.has("link-latency-ns")) {
-    cfg.link_latency =
-        Duration::nanoseconds(args.get_int("link-latency-ns", cfg.link_latency.ps() / 1000));
+    cfg.link_latency = Duration::nanoseconds(
+        num_int(args, "link-latency-ns", cfg.link_latency.ps() / 1000));
   }
 
   cfg.warmup = Duration::from_seconds_double(
-      args.get_double("warmup-ms", cfg.warmup.ms()) / 1e3);
+      num_double(args, "warmup-ms", cfg.warmup.ms()) / 1e3);
   cfg.measure = Duration::from_seconds_double(
-      args.get_double("measure-ms", cfg.measure.ms()) / 1e3);
+      num_double(args, "measure-ms", cfg.measure.ms()) / 1e3);
   cfg.drain = Duration::from_seconds_double(
-      args.get_double("drain-ms", cfg.drain.ms()) / 1e3);
+      num_double(args, "drain-ms", cfg.drain.ms()) / 1e3);
 
-  cfg.enable_control = !args.get_bool("no-control", !cfg.enable_control);
-  cfg.enable_video = !args.get_bool("no-video", !cfg.enable_video);
-  cfg.enable_best_effort = !args.get_bool("no-besteffort", !cfg.enable_best_effort);
-  cfg.enable_background = !args.get_bool("no-background", !cfg.enable_background);
+  cfg.enable_control = !flag(args, "no-control", !cfg.enable_control);
+  cfg.enable_video = !flag(args, "no-video", !cfg.enable_video);
+  cfg.enable_best_effort = !flag(args, "no-besteffort", !cfg.enable_best_effort);
+  cfg.enable_background = !flag(args, "no-background", !cfg.enable_background);
 
   if (const auto trace = args.get("video-trace")) cfg.video_trace_path = *trace;
   if (args.has("video-rate-mbs")) {
-    cfg.video.mean_bytes_per_sec = args.get_double("video-rate-mbs", 3.0) * 1e6;
+    cfg.video.mean_bytes_per_sec = num_double(args, "video-rate-mbs", 3.0) * 1e6;
   }
   cfg.video_frame_budget = Duration::from_seconds_double(
-      args.get_double("frame-budget-ms", cfg.video_frame_budget.ms()) / 1e3);
-  cfg.video_eligible_time = !args.get_bool("no-eligible", !cfg.video_eligible_time);
+      num_double(args, "frame-budget-ms", cfg.video_frame_budget.ms()) / 1e3);
+  cfg.video_eligible_time = !flag(args, "no-eligible", !cfg.video_eligible_time);
   cfg.eligible_lead = Duration::from_seconds_double(
-      args.get_double("eligible-lead-us", cfg.eligible_lead.us()) / 1e6);
-  cfg.best_effort_weight = args.get_double("be-weight", cfg.best_effort_weight);
-  cfg.background_weight = args.get_double("bg-weight", cfg.background_weight);
+      num_double(args, "eligible-lead-us", cfg.eligible_lead.us()) / 1e6);
+  cfg.best_effort_weight = num_double(args, "be-weight", cfg.best_effort_weight);
+  cfg.background_weight = num_double(args, "bg-weight", cfg.background_weight);
   cfg.max_clock_skew = Duration::from_seconds_double(
-      args.get_double("skew-us", cfg.max_clock_skew.us()) / 1e6);
+      num_double(args, "skew-us", cfg.max_clock_skew.us()) / 1e6);
 
   if (const auto p = args.get("pattern")) {
     if (*p == "uniform") cfg.pattern.kind = PatternKind::kUniform;
@@ -129,14 +207,100 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
     else if (*p == "transpose") cfg.pattern.kind = PatternKind::kTranspose;
     else if (*p == "tornado") cfg.pattern.kind = PatternKind::kTornado;
     else if (*p == "permutation") cfg.pattern.kind = PatternKind::kPermutation;
+    else {
+      fail_key(args, "pattern", "unknown traffic pattern '" + *p + "'");
+    }
   }
   cfg.pattern.hotspot_fraction =
-      args.get_double("hotspot-fraction", cfg.pattern.hotspot_fraction);
-  cfg.pattern.hotspot_node = static_cast<NodeId>(
-      args.get_int("hotspot-node", cfg.pattern.hotspot_node));
+      num_double(args, "hotspot-fraction", cfg.pattern.hotspot_fraction);
+  cfg.pattern.hotspot_node =
+      static_cast<NodeId>(num_u32(args, "hotspot-node", cfg.pattern.hotspot_node));
 
-  cfg.validate();
+  // --- fault injection ------------------------------------------------------
+  cfg.fault.enabled = flag(args, "fault-inject", cfg.fault.enabled);
+  cfg.fault.seed = static_cast<std::uint64_t>(
+      num_int(args, "fault-seed", static_cast<std::int64_t>(cfg.fault.seed)));
+  cfg.fault.link_down_per_sec =
+      num_double(args, "fault-link-down-per-sec", cfg.fault.link_down_per_sec);
+  cfg.fault.link_outage_mean = Duration::from_seconds_double(
+      num_double(args, "fault-link-outage-ms", cfg.fault.link_outage_mean.ms()) /
+      1e3);
+  cfg.fault.link_permanent_fraction = num_double(
+      args, "fault-permanent-fraction", cfg.fault.link_permanent_fraction);
+  cfg.fault.credit_loss_per_sec =
+      num_double(args, "fault-credit-loss-per-sec", cfg.fault.credit_loss_per_sec);
+  cfg.fault.credit_loss_bytes =
+      u32("fault-credit-loss-bytes", cfg.fault.credit_loss_bytes);
+  cfg.fault.ttd_corrupt_per_sec =
+      num_double(args, "fault-ttd-corrupt-per-sec", cfg.fault.ttd_corrupt_per_sec);
+  cfg.fault.ttd_corrupt_max = Duration::from_seconds_double(
+      num_double(args, "fault-ttd-corrupt-max-us", cfg.fault.ttd_corrupt_max.us()) /
+      1e6);
+  cfg.fault.clock_drift_per_sec =
+      num_double(args, "fault-clock-drift-per-sec", cfg.fault.clock_drift_per_sec);
+  cfg.fault.clock_drift_max = Duration::from_seconds_double(
+      num_double(args, "fault-clock-drift-max-us", cfg.fault.clock_drift_max.us()) /
+      1e6);
+  cfg.fault.credit_resync_window = Duration::from_seconds_double(
+      num_double(args, "credit-resync-us", cfg.fault.credit_resync_window.us()) /
+      1e6);
+  cfg.fault.control_retry = !flag(args, "no-control-retry", !cfg.fault.control_retry);
+  cfg.fault.retry_timeout = Duration::from_seconds_double(
+      num_double(args, "retry-timeout-us", cfg.fault.retry_timeout.us()) / 1e6);
+  cfg.fault.max_retries = u32("retry-max", cfg.fault.max_retries);
+  cfg.fault.watchdog_interval = Duration::from_seconds_double(
+      num_double(args, "watchdog-ms", cfg.fault.watchdog_interval.ms()) / 1e3);
+  cfg.fault.watchdog_rounds = u32("watchdog-rounds", cfg.fault.watchdog_rounds);
+
+  const std::string problem = cfg.check();
+  if (!problem.empty()) throw ConfigError("config error: " + problem);
   return cfg;
+}
+
+namespace {
+
+constexpr std::array kKnownKeys = {
+    "arch", "topology", "leaves", "hosts-per-leaf", "spines", "kary-k",
+    "kary-n", "hosts", "mesh-width", "mesh-height", "mesh-concentration",
+    "load", "seed", "vcs", "vc-weights", "buffer", "mtu", "link-gbps",
+    "heap-op-ns", "link-latency-ns", "warmup-ms", "measure-ms", "drain-ms",
+    "no-control", "no-video", "no-besteffort", "no-background", "video-trace",
+    "video-rate-mbs", "frame-budget-ms", "no-eligible", "eligible-lead-us",
+    "be-weight", "bg-weight", "skew-us", "pattern", "hotspot-fraction",
+    "hotspot-node", "fault-inject", "fault-seed", "fault-link-down-per-sec",
+    "fault-link-outage-ms", "fault-permanent-fraction",
+    "fault-credit-loss-per-sec", "fault-credit-loss-bytes",
+    "fault-ttd-corrupt-per-sec", "fault-ttd-corrupt-max-us",
+    "fault-clock-drift-per-sec", "fault-clock-drift-max-us", "credit-resync-us",
+    "no-control-retry", "retry-timeout-us", "retry-max", "watchdog-ms",
+    "watchdog-rounds",
+};
+
+}  // namespace
+
+void require_known_keys(const ArgParser& args,
+                        std::initializer_list<std::string_view> extra) {
+  for (const std::string& key : args.keys()) {
+    bool known = false;
+    for (const char* k : kKnownKeys) {
+      if (key == k) {
+        known = true;
+        break;
+      }
+    }
+    for (const std::string_view k : extra) {
+      if (key == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string msg = "config error: unknown key '--" + key + "'";
+      const std::string origin = args.origin(key);
+      if (!origin.empty()) msg += " (from " + origin + ")";
+      throw ConfigError(msg);
+    }
+  }
 }
 
 std::string config_to_string(const SimConfig& cfg) {
@@ -187,6 +351,25 @@ std::string config_to_string(const SimConfig& cfg) {
   out << "pattern=" << to_string(cfg.pattern.kind) << "\n";
   out << "hotspot-fraction=" << cfg.pattern.hotspot_fraction << "\n";
   out << "hotspot-node=" << cfg.pattern.hotspot_node << "\n";
+  if (cfg.fault.enabled || cfg.fault.any_faults()) {
+    out << "fault-inject=true\n";
+    out << "fault-seed=" << cfg.fault.seed << "\n";
+    out << "fault-link-down-per-sec=" << cfg.fault.link_down_per_sec << "\n";
+    out << "fault-link-outage-ms=" << cfg.fault.link_outage_mean.ms() << "\n";
+    out << "fault-permanent-fraction=" << cfg.fault.link_permanent_fraction << "\n";
+    out << "fault-credit-loss-per-sec=" << cfg.fault.credit_loss_per_sec << "\n";
+    out << "fault-credit-loss-bytes=" << cfg.fault.credit_loss_bytes << "\n";
+    out << "fault-ttd-corrupt-per-sec=" << cfg.fault.ttd_corrupt_per_sec << "\n";
+    out << "fault-ttd-corrupt-max-us=" << cfg.fault.ttd_corrupt_max.us() << "\n";
+    out << "fault-clock-drift-per-sec=" << cfg.fault.clock_drift_per_sec << "\n";
+    out << "fault-clock-drift-max-us=" << cfg.fault.clock_drift_max.us() << "\n";
+    out << "credit-resync-us=" << cfg.fault.credit_resync_window.us() << "\n";
+    if (!cfg.fault.control_retry) out << "no-control-retry=true\n";
+    out << "retry-timeout-us=" << cfg.fault.retry_timeout.us() << "\n";
+    out << "retry-max=" << cfg.fault.max_retries << "\n";
+    out << "watchdog-ms=" << cfg.fault.watchdog_interval.ms() << "\n";
+    out << "watchdog-rounds=" << cfg.fault.watchdog_rounds << "\n";
+  }
   return out.str();
 }
 

@@ -13,21 +13,41 @@
 ///   --eligible-lead-us=20 --be-weight=2 --bg-weight=1 --skew-us=0
 #pragma once
 
+#include <initializer_list>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/config.hpp"
 #include "util/cli.hpp"
 
 namespace dqos {
 
+/// A malformed, unknown, or out-of-range configuration value. The message
+/// names the offending key, the rejected value, and where it came from
+/// (config-file line or command line) — tools print it and exit instead of
+/// tripping a contract abort on user input.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
 [[nodiscard]] std::optional<SwitchArch> parse_arch(const std::string& name);
 [[nodiscard]] std::optional<TopologyKind> parse_topology(const std::string& name);
 
 /// Overlays recognized keys from `args` onto `base` and validates.
-/// Unrecognized keys are ignored (callers may use extra keys themselves).
+/// Throws ConfigError on malformed or out-of-range values (unrecognized
+/// keys are still ignored here — callers may use extra keys themselves;
+/// see require_known_keys for strict checking).
 [[nodiscard]] SimConfig config_from_args(const ArgParser& args,
                                          SimConfig base = SimConfig{});
+
+/// Throws ConfigError if `args` holds a key that is neither a SimConfig key
+/// nor listed in `extra` (tool-specific switches). Catches typos like
+/// --laod=0.9 that would otherwise be silently ignored.
+void require_known_keys(const ArgParser& args,
+                        std::initializer_list<std::string_view> extra = {});
 
 /// Serializes a SimConfig to `key=value` lines accepted back by
 /// ArgParser::load_file + config_from_args (round-trippable).

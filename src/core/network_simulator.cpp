@@ -30,7 +30,14 @@ std::array<VcId, kNumTrafficClasses> class_vc_map(std::uint8_t num_vcs) {
 NetworkSimulator::NetworkSimulator(const SimConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed), metrics_(std::make_shared<MetricsCollector>()) {
   cfg_.validate();
+  fault_active_ = cfg_.fault.enabled || cfg_.fault.any_faults();
   build_topology();
+  injector_ = std::make_unique<FaultInjector>(sim_, *topo_, cfg_.fault);
+  injector_->set_admission(admission_.get());
+  if (fault_active_ && cfg_.fault.watchdog_interval > Duration::zero()) {
+    watchdog_ = std::make_unique<DeadlockWatchdog>(
+        sim_, cfg_.fault.watchdog_interval, cfg_.fault.watchdog_rounds);
+  }
   build_nodes();
   build_channels();
   build_workload();
@@ -80,6 +87,10 @@ void NetworkSimulator::build_nodes() {
     const NodeId id = topo_->switch_id(s);
     switches_.push_back(std::make_unique<Switch>(
         sim_, id, topo_->num_ports(id), sw, LocalClock(draw_offset())));
+    switches_.back()->set_drop_callback(
+        [m = metrics_.get()](TrafficClass tc) { m->on_packet_dropped(tc); });
+    injector_->register_switch(switches_.back().get());
+    if (watchdog_) watchdog_->register_switch(switches_.back().get());
   }
 
   HostParams hp;
@@ -88,6 +99,7 @@ void NetworkSimulator::build_nodes() {
   hp.edf_queues = cfg_.arch != SwitchArch::kTraditional2Vc;
   hp.vc_weights = cfg_.vc_weights;
   hosts_.reserve(topo_->num_hosts());
+  const bool retry_on = fault_active_ && cfg_.fault.control_retry;
   for (NodeId h = 0; h < topo_->num_hosts(); ++h) {
     hosts_.push_back(
         std::make_unique<Host>(sim_, h, hp, LocalClock(draw_offset()), pool_));
@@ -95,10 +107,23 @@ void NetworkSimulator::build_nodes() {
         [m = metrics_.get()](const Packet& p, TimePoint now, Duration slack) {
           m->on_packet_delivered(p, now, slack);
         });
-    hosts_.back()->set_message_callback(
-        [m = metrics_.get()](const MessageDelivered& d) {
-          m->on_message_delivered(d.tclass, d.created, d.bytes, d.completed);
-        });
+    // Message completion doubles as the (zero-latency, control-plane) ack
+    // that disarms a pending control retry at the source.
+    hosts_.back()->set_message_callback([this, retry_on](const MessageDelivered& d) {
+      metrics_->on_message_delivered(d.tclass, d.created, d.bytes, d.completed);
+      if (retry_on && d.tclass == TrafficClass::kControl) {
+        const auto it = flow_src_.find(d.flow);
+        if (it != flow_src_.end()) {
+          hosts_[it->second]->on_message_acked(d.flow, d.message_id);
+        }
+      }
+    });
+    if (retry_on) {
+      hosts_.back()->enable_control_retry(
+          Host::RetryParams{cfg_.fault.retry_timeout, cfg_.fault.max_retries});
+    }
+    injector_->register_host(hosts_.back().get());
+    if (watchdog_) watchdog_->register_host(hosts_.back().get());
   }
 }
 
@@ -112,6 +137,7 @@ void NetworkSimulator::build_channels() {
           sim_, cfg_.link_bw, cfg_.link_latency, cfg_.num_vcs,
           cfg_.buffer_bytes_per_vc));
       Channel* ch = channels_.back().get();
+      injector_->register_channel(Endpoint{n, p}, ch);
       channel_tier_.push_back(topo_->is_host(n)
                                   ? LinkTier::kInjection
                                   : (topo_->is_host(peer.node) ? LinkTier::kDelivery
@@ -165,6 +191,7 @@ void NetworkSimulator::build_workload() {
         const auto spec = admission_->admit(req);
         DQOS_ASSERT(spec.has_value());  // control reserves nothing
         host.open_flow(*spec);
+        flow_src_.emplace(spec->id, h);
         flows_by_dst[d] = spec->id;
       }
       ControlParams cp;
@@ -202,6 +229,7 @@ void NetworkSimulator::build_workload() {
         const auto spec = admission_->admit(req);
         if (!spec) continue;  // network reservation exhausted
         host.open_flow(*spec);
+        flow_src_.emplace(spec->id, h);
         if (video_trace_.empty()) {
           sources_.push_back(std::make_unique<VideoSource>(
               sim_, host, pick.split(100 + v), metrics_.get(), spec->id,
@@ -256,6 +284,7 @@ void NetworkSimulator::build_workload() {
         if (aggregate == kInvalidFlow) aggregate = spec->id;
         spec->aggregate = aggregate;
         host.open_flow(*spec);
+        flow_src_.emplace(spec->id, h);
         flows_by_dst[d] = spec->id;
       }
       SelfSimilarParams sp;
@@ -282,6 +311,20 @@ SimReport NetworkSimulator::run() {
   metrics_->set_window(window_start, window_end);
   for (const auto& src : sources_) src->start(window_end);
 
+  // Fault machinery (opt-in: schedules nothing when inactive, so the
+  // default run stays bit-identical). Periodic processes are bounded by
+  // the run horizon so the calendar can still drain.
+  const TimePoint horizon = window_end + cfg_.drain;
+  if (fault_active_) {
+    if (cfg_.fault.credit_resync_window > Duration::zero()) {
+      for (const auto& ch : channels_) {
+        ch->enable_credit_resync(cfg_.fault.credit_resync_window, horizon);
+      }
+    }
+    injector_->start(horizon);
+    if (watchdog_) watchdog_->arm(horizon);
+  }
+
   if (cfg_.probe_interval > Duration::zero()) {
     const TimePoint probe_end = window_end + cfg_.drain;
     const auto bins = static_cast<std::size_t>((probe_end - t0) / cfg_.probe_interval) + 1;
@@ -306,6 +349,7 @@ SimReport NetworkSimulator::run() {
   }
 
   sim_.run_until(window_end + cfg_.drain);
+  if (watchdog_) watchdog_->final_check();
 
   SimReport rep;
   rep.arch = cfg_.arch;
@@ -327,6 +371,28 @@ SimReport NetworkSimulator::run() {
   rep.flows_admitted = admission_->admitted_flows();
   rep.flows_rejected = admission_->rejected_flows();
   rep.metrics = metrics_;
+
+  rep.fault.active = fault_active_;
+  rep.fault.injected = injector_->stats();
+  for (const auto& ch : channels_) {
+    rep.fault.credit_resyncs += ch->resyncs();
+    rep.fault.credit_bytes_resynced += ch->resynced_bytes();
+  }
+  for (const auto& s : switches_) {
+    rep.fault.packets_dropped_link_down += s->counters().dropped_link_down;
+    rep.fault.link_down_stalls += s->counters().link_down_stalls;
+  }
+  for (const auto& h : hosts_) {
+    rep.fault.control_retries += h->control_retries();
+    rep.fault.control_retries_abandoned += h->control_retries_abandoned();
+    rep.fault.shed_submissions += h->shed_submissions();
+  }
+  rep.fault.flows_rerouted = admission_->flows_rerouted();
+  rep.fault.flows_shed = admission_->flows_shed();
+  if (watchdog_) {
+    rep.fault.watchdog_fired = watchdog_->fired();
+    rep.fault.watchdog_report = watchdog_->report();
+  }
   rep.queue_depth = queue_depth_series_;
   rep.injected_bytes = injection_series_;
 

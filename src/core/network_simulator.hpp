@@ -13,9 +13,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/watchdog.hpp"
 #include "host/host.hpp"
 #include "qos/admission.hpp"
 #include "stats/metrics.hpp"
@@ -64,6 +68,25 @@ struct SimReport {
   std::shared_ptr<const TimeSeries> queue_depth;
   std::shared_ptr<const TimeSeries> injected_bytes;
 
+  /// Fault-injection outcome (all-zero unless faults were configured or
+  /// scripted through NetworkSimulator::fault_injector()).
+  struct FaultReport {
+    bool active = false;             ///< fault machinery was armed this run
+    FaultStats injected;             ///< what the injector actually did
+    std::uint64_t credit_resyncs = 0;
+    std::uint64_t credit_bytes_resynced = 0;
+    std::uint64_t packets_dropped_link_down = 0;
+    std::uint64_t link_down_stalls = 0;
+    std::uint64_t control_retries = 0;
+    std::uint64_t control_retries_abandoned = 0;
+    std::uint64_t shed_submissions = 0;
+    std::uint64_t flows_rerouted = 0;
+    std::uint64_t flows_shed = 0;
+    bool watchdog_fired = false;
+    std::string watchdog_report;     ///< per-switch diagnostics when fired
+  };
+  FaultReport fault;
+
   [[nodiscard]] const ClassReport& of(TrafficClass c) const {
     return classes[static_cast<std::size_t>(c)];
   }
@@ -95,6 +118,14 @@ class NetworkSimulator {
     return static_cast<std::uint32_t>(switches_.size());
   }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  /// Fault scripting interface (tests pin exact faults at exact instants).
+  /// Scripted faults work even when SimConfig::fault is all-default, but
+  /// recovery machinery (resync, retry, watchdog) is armed only when
+  /// cfg.fault.enabled is set or a random fault rate is nonzero.
+  [[nodiscard]] FaultInjector& fault_injector() { return *injector_; }
+  /// Null unless the fault machinery is armed with a watchdog interval.
+  [[nodiscard]] DeadlockWatchdog* watchdog() { return watchdog_.get(); }
 
   /// Sum of order errors / take-overs / credit stalls over all switches.
   [[nodiscard]] std::uint64_t total_order_errors() const;
@@ -128,6 +159,10 @@ class NetworkSimulator {
   enum class LinkTier : std::uint8_t { kInjection, kDelivery, kFabric };
   std::vector<LinkTier> channel_tier_;  ///< parallel to channels_
   std::vector<std::unique_ptr<TrafficSource>> sources_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<DeadlockWatchdog> watchdog_;
+  std::unordered_map<FlowId, NodeId> flow_src_;  ///< ack routing (retries)
+  bool fault_active_ = false;
   std::vector<std::uint32_t> video_trace_;  ///< loaded frame sizes (optional)
   std::shared_ptr<TimeSeries> queue_depth_series_;
   std::shared_ptr<TimeSeries> injection_series_;

@@ -1,0 +1,65 @@
+/// \file fault_config.hpp
+/// Knobs for the fault-injection subsystem (all off by default).
+///
+/// The QoS guarantees of the paper assume a lossless, fully-working fabric.
+/// This subsystem stresses that assumption: links fail (transiently or for
+/// good), credit symbols get lost on the wire, TTD headers get corrupted,
+/// and host clocks drift — and the stack has to degrade *predictably*:
+/// stall-and-resume for transient outages, reroute-or-shed with full
+/// accounting for permanent ones, credit resync for lost symbols.
+///
+/// Determinism contract: with `enabled == false` and no scripted faults the
+/// simulator must be bit-identical to a build without this subsystem — no
+/// extra calendar events, no RNG draws, no behavioural branches taken.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace dqos {
+
+struct FaultConfig {
+  /// Master switch for *random* fault processes. Scripted faults
+  /// (FaultInjector::fail_link_at etc.) work regardless.
+  bool enabled = false;
+  /// Seed for the dedicated fault RNG stream (independent of workload RNG,
+  /// so the same traffic sees the same faults across scheduler ablations).
+  std::uint64_t seed = 1;
+
+  // --- random fault processes (Poisson, per simulated second) -------------
+  double link_down_per_sec = 0.0;    ///< link failure rate (whole fabric)
+  Duration link_outage_mean = Duration::microseconds(500);  ///< transient repair mean
+  double link_permanent_fraction = 0.0;  ///< P[failure is permanent]
+  double credit_loss_per_sec = 0.0;  ///< lost-credit-symbol events per second
+  std::uint32_t credit_loss_bytes = 256;  ///< credits destroyed per event
+  double ttd_corrupt_per_sec = 0.0;  ///< TTD header corruption events per second
+  Duration ttd_corrupt_max = Duration::microseconds(50);  ///< |delta| bound
+  double clock_drift_per_sec = 0.0;  ///< host clock re-skew events per second
+  Duration clock_drift_max = Duration::microseconds(10);  ///< |offset| bound
+
+  // --- recovery ------------------------------------------------------------
+  /// Credit resync: a VC quiet for this long gets its sender-side credit
+  /// counter re-derived from downstream occupancy (zero = resync off).
+  Duration credit_resync_window = Duration::microseconds(200);
+  /// End-to-end retry for control-class messages. The timeout must sit well
+  /// above the healthy-network delivery latency (ms-scale under load) or
+  /// every slow-but-successful message spawns a spurious duplicate.
+  bool control_retry = true;
+  Duration retry_timeout = Duration::milliseconds(10);
+  std::uint32_t max_retries = 3;
+
+  // --- deadlock watchdog ---------------------------------------------------
+  /// Sampling cadence of the progress watchdog (zero = watchdog off).
+  Duration watchdog_interval = Duration::milliseconds(1);
+  /// Consecutive zero-progress samples (with traffic queued) before firing.
+  std::uint32_t watchdog_rounds = 5;
+
+  /// True if any random fault process has a nonzero rate.
+  [[nodiscard]] bool any_faults() const {
+    return link_down_per_sec > 0.0 || credit_loss_per_sec > 0.0 ||
+           ttd_corrupt_per_sec > 0.0 || clock_drift_per_sec > 0.0;
+  }
+};
+
+}  // namespace dqos

@@ -1,0 +1,255 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+FaultInjector::FaultInjector(Simulator& sim, const Topology& topo,
+                             const FaultConfig& cfg)
+    : sim_(sim), topo_(topo), cfg_(cfg), rng_(cfg.seed) {}
+
+void FaultInjector::register_channel(const Endpoint& from, Channel* ch) {
+  DQOS_EXPECTS(ch != nullptr);
+  const bool inserted = channels_.emplace(key(from), ch).second;
+  DQOS_EXPECTS(inserted);
+  all_links_.push_back(from);
+  const Endpoint to = topo_.peer(from.node, from.port);
+  if (topo_.is_switch(from.node) && to.valid() && topo_.is_switch(to.node)) {
+    fabric_links_.push_back(from);
+  }
+  pools_sorted_ = false;
+}
+
+void FaultInjector::register_switch(Switch* sw) {
+  DQOS_EXPECTS(sw != nullptr);
+  switches_.emplace(sw->id(), sw);
+}
+
+void FaultInjector::register_host(Host* host) {
+  DQOS_EXPECTS(host != nullptr);
+  hosts_.emplace(host->id(), host);
+  host_ids_.push_back(host->id());
+  pools_sorted_ = false;
+}
+
+Channel* FaultInjector::channel_at(const Endpoint& e) const {
+  const auto it = channels_.find(key(e));
+  return it == channels_.end() ? nullptr : it->second;
+}
+
+void FaultInjector::sort_pools() {
+  if (pools_sorted_) return;
+  const auto by_key = [](const Endpoint& a, const Endpoint& b) {
+    return key(a) < key(b);
+  };
+  std::sort(fabric_links_.begin(), fabric_links_.end(), by_key);
+  std::sort(all_links_.begin(), all_links_.end(), by_key);
+  std::sort(host_ids_.begin(), host_ids_.end());
+  pools_sorted_ = true;
+}
+
+/// ---- scripted faults -----------------------------------------------------
+
+void FaultInjector::fail_link_at(TimePoint when, const Endpoint& link,
+                                 Duration outage, bool permanent) {
+  DQOS_EXPECTS(when >= sim_.now());
+  sim_.schedule_at(when, [this, link, outage, permanent] {
+    fail_link(link, outage, permanent);
+  });
+}
+
+void FaultInjector::lose_credits_at(TimePoint when, const Endpoint& link, VcId vc,
+                                    std::uint32_t bytes) {
+  DQOS_EXPECTS(when >= sim_.now());
+  sim_.schedule_at(when, [this, link, vc, bytes] {
+    Channel* ch = channel_at(link);
+    DQOS_EXPECTS(ch != nullptr);
+    const std::uint32_t lost = ch->lose_credits(vc, bytes);
+    ++stats_.credit_loss_events;
+    stats_.credit_bytes_lost += lost;
+  });
+}
+
+void FaultInjector::corrupt_ttd_at(TimePoint when, const Endpoint& link,
+                                   Duration delta) {
+  DQOS_EXPECTS(when >= sim_.now());
+  sim_.schedule_at(when, [this, link, delta] {
+    Channel* ch = channel_at(link);
+    DQOS_EXPECTS(ch != nullptr);
+    ch->corrupt_next_ttd(delta);
+    ++stats_.ttd_corruptions;
+  });
+}
+
+void FaultInjector::drift_clock_at(TimePoint when, NodeId host, Duration offset) {
+  DQOS_EXPECTS(when >= sim_.now());
+  sim_.schedule_at(when, [this, host, offset] {
+    const auto it = hosts_.find(host);
+    DQOS_EXPECTS(it != hosts_.end());
+    it->second->set_clock_offset(offset);
+    ++stats_.clock_drift_events;
+  });
+}
+
+/// ---- link failure / repair -----------------------------------------------
+
+void FaultInjector::fail_link(const Endpoint& link, Duration outage,
+                              bool permanent) {
+  Channel* fwd = channel_at(link);
+  const Endpoint rev = topo_.peer(link.node, link.port);
+  DQOS_EXPECTS(fwd != nullptr && rev.valid());
+  Channel* bwd = channel_at(rev);
+  DQOS_EXPECTS(bwd != nullptr);
+  // A link already down cannot fail again (random processes may collide).
+  if (!fwd->is_up() || !bwd->is_up()) return;
+
+  fwd->fail(permanent);
+  bwd->fail(permanent);
+  ++stats_.link_failures;
+  if (tracer_) {
+    tracer_->record_link_event(sim_.now(), TraceEvent::kLinkDown, link.node, link.port);
+    tracer_->record_link_event(sim_.now(), TraceEvent::kLinkDown, rev.node, rev.port);
+  }
+
+  if (permanent) {
+    ++stats_.permanent_link_failures;
+    // Queued traffic aimed at the dead cable has nowhere to go: shed it
+    // (with upstream credits returned) before re-routing the survivors.
+    flush_dead_output(link);
+    flush_dead_output(rev);
+    if (admission_ != nullptr) {
+      admission_->mark_link_failed(link);
+      admission_->mark_link_failed(rev);
+      apply_reroutes();
+    }
+  } else {
+    sim_.schedule_after(outage, [this, link, rev] { repair_link(link, rev); });
+  }
+}
+
+void FaultInjector::repair_link(const Endpoint& fwd_ep, const Endpoint& rev_ep) {
+  Channel* fwd = channel_at(fwd_ep);
+  Channel* bwd = channel_at(rev_ep);
+  DQOS_ASSERT(fwd != nullptr && bwd != nullptr);
+  // A scripted permanent failure may have landed during the outage.
+  if (fwd->failed_permanently() || bwd->failed_permanently()) return;
+  if (!fwd->is_up()) fwd->repair();
+  if (!bwd->is_up()) bwd->repair();
+  ++stats_.link_repairs;
+  if (tracer_) {
+    tracer_->record_link_event(sim_.now(), TraceEvent::kLinkUp, fwd_ep.node,
+                               fwd_ep.port);
+    tracer_->record_link_event(sim_.now(), TraceEvent::kLinkUp, rev_ep.node,
+                               rev_ep.port);
+  }
+}
+
+void FaultInjector::flush_dead_output(const Endpoint& link) {
+  if (!topo_.is_switch(link.node)) return;  // host NICs purge via close_flow
+  const auto it = switches_.find(link.node);
+  if (it == switches_.end()) return;
+  it->second->flush_output(link.port);
+}
+
+void FaultInjector::apply_reroutes() {
+  DQOS_ASSERT(admission_ != nullptr);
+  for (const auto& r : admission_->reroute_around_failures()) {
+    const auto it = hosts_.find(r.src);
+    if (it == hosts_.end()) continue;  // source not simulated (unit tests)
+    if (r.rerouted) {
+      it->second->update_flow_route(r.flow, r.new_route, r.new_choice);
+    } else {
+      it->second->close_flow(r.flow);
+    }
+  }
+}
+
+/// ---- random fault processes ----------------------------------------------
+
+Duration FaultInjector::exp_interval(double rate_per_sec) {
+  DQOS_ASSERT(rate_per_sec > 0.0);
+  return Duration::from_seconds_double(-std::log(rng_.uniform_pos()) /
+                                       rate_per_sec);
+}
+
+void FaultInjector::start(TimePoint horizon) {
+  if (!cfg_.enabled || !cfg_.any_faults()) return;
+  sort_pools();
+  if (cfg_.link_down_per_sec > 0.0 && !fabric_links_.empty()) {
+    schedule_next_link_down(horizon);
+  }
+  if (cfg_.credit_loss_per_sec > 0.0 && !all_links_.empty()) {
+    schedule_next_credit_loss(horizon);
+  }
+  if (cfg_.ttd_corrupt_per_sec > 0.0 && !all_links_.empty()) {
+    schedule_next_ttd_corrupt(horizon);
+  }
+  if (cfg_.clock_drift_per_sec > 0.0 && !host_ids_.empty()) {
+    schedule_next_clock_drift(horizon);
+  }
+}
+
+void FaultInjector::schedule_next_link_down(TimePoint horizon) {
+  const TimePoint at = sim_.now() + exp_interval(cfg_.link_down_per_sec);
+  if (at > horizon) return;
+  sim_.schedule_at(at, [this, horizon] {
+    const auto idx = rng_.uniform_int(0, fabric_links_.size() - 1);
+    const Endpoint link = fabric_links_[idx];
+    const bool permanent = rng_.chance(cfg_.link_permanent_fraction);
+    const Duration outage = Duration::from_seconds_double(
+        -std::log(rng_.uniform_pos()) * cfg_.link_outage_mean.sec());
+    fail_link(link, outage, permanent);
+    schedule_next_link_down(horizon);
+  });
+}
+
+void FaultInjector::schedule_next_credit_loss(TimePoint horizon) {
+  const TimePoint at = sim_.now() + exp_interval(cfg_.credit_loss_per_sec);
+  if (at > horizon) return;
+  sim_.schedule_at(at, [this, horizon] {
+    const auto idx = rng_.uniform_int(0, all_links_.size() - 1);
+    Channel* ch = channel_at(all_links_[idx]);
+    const auto vc = static_cast<VcId>(rng_.uniform_int(0, ch->num_vcs() - 1));
+    const std::uint32_t lost = ch->lose_credits(vc, cfg_.credit_loss_bytes);
+    ++stats_.credit_loss_events;
+    stats_.credit_bytes_lost += lost;
+    schedule_next_credit_loss(horizon);
+  });
+}
+
+void FaultInjector::schedule_next_ttd_corrupt(TimePoint horizon) {
+  const TimePoint at = sim_.now() + exp_interval(cfg_.ttd_corrupt_per_sec);
+  if (at > horizon) return;
+  sim_.schedule_at(at, [this, horizon] {
+    const auto idx = rng_.uniform_int(0, all_links_.size() - 1);
+    const auto max_ps = static_cast<std::uint64_t>(cfg_.ttd_corrupt_max.ps());
+    const auto raw = rng_.uniform_int(0, 2 * max_ps);
+    const Duration delta =
+        Duration::picoseconds(static_cast<std::int64_t>(raw) -
+                              cfg_.ttd_corrupt_max.ps());
+    channel_at(all_links_[idx])->corrupt_next_ttd(delta);
+    ++stats_.ttd_corruptions;
+    schedule_next_ttd_corrupt(horizon);
+  });
+}
+
+void FaultInjector::schedule_next_clock_drift(TimePoint horizon) {
+  const TimePoint at = sim_.now() + exp_interval(cfg_.clock_drift_per_sec);
+  if (at > horizon) return;
+  sim_.schedule_at(at, [this, horizon] {
+    const auto idx = rng_.uniform_int(0, host_ids_.size() - 1);
+    const auto max_ps = static_cast<std::uint64_t>(cfg_.clock_drift_max.ps());
+    const auto raw = rng_.uniform_int(0, 2 * max_ps);
+    const Duration offset =
+        Duration::picoseconds(static_cast<std::int64_t>(raw) -
+                              cfg_.clock_drift_max.ps());
+    hosts_.at(host_ids_[idx])->set_clock_offset(offset);
+    ++stats_.clock_drift_events;
+    schedule_next_clock_drift(horizon);
+  });
+}
+
+}  // namespace dqos

@@ -1,0 +1,119 @@
+/// \file fault_injector.hpp
+/// Deterministic fault injection driven by the simulation calendar.
+///
+/// Faults come in two flavours:
+///   - *scripted*: tests pin an exact fault at an exact instant
+///     (fail_link_at, lose_credits_at, ...) for reproducible scenarios;
+///   - *random*: Poisson processes over the fabric, drawn from a dedicated
+///     seeded RNG stream (FaultConfig::seed) so fault sequences are
+///     identical across scheduler/architecture ablations.
+///
+/// Link failures take down *both directions* of the physical link (cable
+/// model). Transient failures stall traffic (senders hold, credits freeze)
+/// and repair after an outage drawn from an exponential distribution;
+/// permanent failures additionally flush the queues feeding the dead link,
+/// mark it failed at the admission controller, and trigger re-routing of
+/// every admitted flow whose fixed path crossed it (shedding the ones that
+/// no longer fit — fixed routing means in-flight/queued packets of shed
+/// flows are dropped and accounted, never silently lost).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_config.hpp"
+#include "qos/admission.hpp"
+#include "host/host.hpp"
+#include "sim/simulator.hpp"
+#include "switchfab/channel.hpp"
+#include "switchfab/switch.hpp"
+#include "topo/topology.hpp"
+#include "trace/tracer.hpp"
+#include "util/rng.hpp"
+
+namespace dqos {
+
+struct FaultStats {
+  std::uint64_t link_failures = 0;
+  std::uint64_t permanent_link_failures = 0;
+  std::uint64_t link_repairs = 0;
+  std::uint64_t credit_loss_events = 0;
+  std::uint64_t credit_bytes_lost = 0;
+  std::uint64_t ttd_corruptions = 0;
+  std::uint64_t clock_drift_events = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, const Topology& topo, const FaultConfig& cfg);
+
+  /// --- wiring (done once, before start()) ---------------------------------
+  /// Registers the channel carrying the directed link departing (from).
+  void register_channel(const Endpoint& from, Channel* ch);
+  void register_switch(Switch* sw);
+  void register_host(Host* host);
+  /// Optional: without an admission controller permanent failures only
+  /// drop (no re-routing).
+  void set_admission(AdmissionController* adm) { admission_ = adm; }
+  void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+
+  /// --- scripted faults ----------------------------------------------------
+  /// Takes the physical link through (link) down at `when`; transient
+  /// failures repair after `outage`.
+  void fail_link_at(TimePoint when, const Endpoint& link, Duration outage,
+                    bool permanent = false);
+  /// Destroys `bytes` of sender-side credit on the directed link at `when`.
+  void lose_credits_at(TimePoint when, const Endpoint& link, VcId vc,
+                       std::uint32_t bytes);
+  /// Adds `delta` to the TTD header of the next packet sent on the link.
+  void corrupt_ttd_at(TimePoint when, const Endpoint& link, Duration delta);
+  /// Re-skews a host's local clock to `offset` at `when`.
+  void drift_clock_at(TimePoint when, NodeId host, Duration offset);
+
+  /// Starts the random fault processes (no-op unless cfg.enabled and some
+  /// rate is nonzero); events are generated up to `horizon`.
+  void start(TimePoint horizon);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(const Endpoint& e) {
+    return (static_cast<std::uint64_t>(e.node) << 8) | e.port;
+  }
+  [[nodiscard]] Channel* channel_at(const Endpoint& e) const;
+
+  void fail_link(const Endpoint& link, Duration outage, bool permanent);
+  void repair_link(const Endpoint& fwd, const Endpoint& rev);
+  /// Flush the switch output queues feeding the dead directed link.
+  void flush_dead_output(const Endpoint& link);
+  void apply_reroutes();
+
+  /// Poisson processes: each schedules its own next arrival.
+  void schedule_next_link_down(TimePoint horizon);
+  void schedule_next_credit_loss(TimePoint horizon);
+  void schedule_next_ttd_corrupt(TimePoint horizon);
+  void schedule_next_clock_drift(TimePoint horizon);
+  [[nodiscard]] Duration exp_interval(double rate_per_sec);
+
+  Simulator& sim_;
+  const Topology& topo_;
+  FaultConfig cfg_;
+  Rng rng_;
+  AdmissionController* admission_ = nullptr;
+  PacketTracer* tracer_ = nullptr;
+
+  std::unordered_map<std::uint64_t, Channel*> channels_;
+  std::unordered_map<NodeId, Switch*> switches_;
+  std::unordered_map<NodeId, Host*> hosts_;
+  /// Random-target pools, in deterministic (registration-independent) order.
+  std::vector<Endpoint> fabric_links_;  ///< switch->switch directed links
+  std::vector<Endpoint> all_links_;     ///< every registered directed link
+  std::vector<NodeId> host_ids_;
+  bool pools_sorted_ = false;
+  void sort_pools();
+
+  FaultStats stats_;
+};
+
+}  // namespace dqos

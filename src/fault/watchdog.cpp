@@ -1,0 +1,105 @@
+#include "fault/watchdog.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+DeadlockWatchdog::DeadlockWatchdog(Simulator& sim, Duration interval,
+                                   std::uint32_t rounds)
+    : sim_(sim), interval_(interval), rounds_(rounds) {
+  DQOS_EXPECTS(interval > Duration::zero());
+  DQOS_EXPECTS(rounds >= 1);
+}
+
+void DeadlockWatchdog::register_switch(Switch* sw) {
+  DQOS_EXPECTS(sw != nullptr);
+  switches_.push_back(sw);
+}
+
+void DeadlockWatchdog::register_host(Host* host) {
+  DQOS_EXPECTS(host != nullptr);
+  hosts_.push_back(host);
+}
+
+std::uint64_t DeadlockWatchdog::progress_signature() const {
+  // Any packet movement — forward, delivery, injection — or accounted loss
+  // (drop, shed) changes the signature. Frozen signature + queued traffic
+  // means nothing is moving *and* nothing is being shed: a wedge.
+  std::uint64_t sig = 0;
+  for (const Switch* sw : switches_) {
+    const SwitchCounters& c = sw->counters();
+    for (const auto n : c.packets_forwarded) sig += n;
+    sig += c.dropped_link_down;
+  }
+  for (const Host* h : hosts_) {
+    sig += h->packets_injected() + h->packets_received() + h->shed_submissions();
+  }
+  return sig;
+}
+
+std::size_t DeadlockWatchdog::queued_packets() const {
+  std::size_t n = 0;
+  for (const Switch* sw : switches_) n += sw->packets_queued();
+  for (const Host* h : hosts_) {
+    // Eligible-queue packets are parked on purpose (future eligible time).
+    n += h->queued_packets() - h->eligible_waiting();
+  }
+  return n;
+}
+
+void DeadlockWatchdog::arm(TimePoint horizon) {
+  last_signature_ = progress_signature();
+  stalled_rounds_ = 0;
+  const TimePoint first = sim_.now() + interval_;
+  if (first <= horizon) {
+    sim_.schedule_at(first, [this, horizon] { tick(horizon); });
+  }
+}
+
+void DeadlockWatchdog::tick(TimePoint horizon) {
+  if (fired_) return;  // one post-mortem is enough
+  const std::uint64_t sig = progress_signature();
+  if (queued_packets() > 0 && sig == last_signature_) {
+    if (++stalled_rounds_ >= rounds_) {
+      fire("progress signature frozen with traffic queued");
+      return;
+    }
+  } else {
+    stalled_rounds_ = 0;
+  }
+  last_signature_ = sig;
+  const TimePoint next = sim_.now() + interval_;
+  if (next <= horizon) {
+    sim_.schedule_at(next, [this, horizon] { tick(horizon); });
+  }
+}
+
+void DeadlockWatchdog::final_check() {
+  if (fired_) return;
+  if (queued_packets() > 0 && sim_.events_pending() == 0) {
+    fire("queued traffic with an empty event calendar");
+  }
+}
+
+void DeadlockWatchdog::fire(const char* cause) {
+  fired_ = true;
+  std::ostringstream os;
+  os << "DEADLOCK WATCHDOG at t=" << sim_.now().ps() << "ps: " << cause
+     << " (stalled_rounds=" << stalled_rounds_
+     << ", queued=" << queued_packets() << ")\n";
+  for (const Switch* sw : switches_) {
+    if (sw->packets_queued() > 0) os << sw->debug_dump();
+  }
+  for (const Host* h : hosts_) {
+    const std::size_t q = h->queued_packets();
+    if (q > 0) {
+      os << "host " << h->id() << ": queued=" << q
+         << " (eligible=" << h->eligible_waiting() << ")\n";
+    }
+  }
+  report_ = os.str();
+}
+
+}  // namespace dqos

@@ -1,0 +1,70 @@
+/// \file watchdog.hpp
+/// Deadlock/livelock watchdog for fault runs.
+///
+/// Credit-based flow control plus fault injection can wedge: a lost credit
+/// symbol or a link that fails while holding buffered traffic may leave
+/// "queues non-empty but nothing moving". The watchdog samples a global
+/// progress signature (total packets forwarded by switches + received and
+/// injected by hosts) on a fixed cadence; if the signature freezes for N
+/// consecutive samples while traffic is still queued, it fires: the run is
+/// declared stuck and a per-switch credit/occupancy diagnostic report is
+/// captured for the post-mortem.
+///
+/// Host packets waiting in the *eligible* queue are excluded from the
+/// "queued" criterion — they are deliberately parked until their eligible
+/// time and would otherwise read as a stall.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/host.hpp"
+#include "sim/simulator.hpp"
+#include "switchfab/switch.hpp"
+
+namespace dqos {
+
+class DeadlockWatchdog {
+ public:
+  /// Fires after `rounds` consecutive samples (every `interval`) with
+  /// queued traffic and a frozen progress signature.
+  DeadlockWatchdog(Simulator& sim, Duration interval, std::uint32_t rounds);
+
+  void register_switch(Switch* sw);
+  void register_host(Host* host);
+
+  /// Starts sampling; no events are scheduled past `horizon` (so the
+  /// calendar can still drain and the run can end).
+  void arm(TimePoint horizon);
+
+  /// End-of-run check: with an empty calendar, queued traffic can never
+  /// move again — that is a deadlock even if the cadence never caught it.
+  /// Call after the simulator ran out of events (or hit its horizon).
+  void final_check();
+
+  [[nodiscard]] bool fired() const { return fired_; }
+  /// Per-switch credit/occupancy diagnostics captured when it fired.
+  [[nodiscard]] const std::string& report() const { return report_; }
+
+  /// Progress signature / queued census (exposed for tests).
+  [[nodiscard]] std::uint64_t progress_signature() const;
+  [[nodiscard]] std::size_t queued_packets() const;
+
+ private:
+  void tick(TimePoint horizon);
+  void fire(const char* cause);
+
+  Simulator& sim_;
+  Duration interval_;
+  std::uint32_t rounds_;
+  std::vector<Switch*> switches_;
+  std::vector<Host*> hosts_;
+
+  std::uint64_t last_signature_ = 0;
+  std::uint32_t stalled_rounds_ = 0;
+  bool fired_ = false;
+  std::string report_;
+};
+
+}  // namespace dqos

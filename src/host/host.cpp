@@ -70,11 +70,23 @@ PacketPtr Host::pop_entry(MinHeap& h) {
 }
 
 bool Host::submit(FlowId flow, std::uint64_t bytes) {
+  return do_submit(flow, bytes, 0);
+}
+
+bool Host::do_submit(FlowId flow, std::uint64_t bytes, std::uint32_t attempt) {
   DQOS_EXPECTS(bytes > 0);
   const auto it = flows_.find(flow);
   DQOS_EXPECTS(it != flows_.end());
   FlowState& fs = it->second;
   const VcId vc = fs.spec.vc;
+
+  // Shed flows (close_flow) accept nothing; the application-side source
+  // keeps producing, so the refusals are counted as degradation.
+  if (fs.closed) {
+    ++shed_submissions_;
+    if (tracer_) tracer_->record_drop(sim_.now(), flow, fs.spec.tclass, id_);
+    return false;
+  }
 
   // Ingress policing (A9): a reserved flow may not exceed its reservation;
   // non-conformant messages are shed before they can poison the regulated
@@ -106,6 +118,9 @@ bool Host::submit(FlowId flow, std::uint64_t bytes) {
   const TimePoint created = sim_.now();
   const TimePoint local_now = clock_.local_now(created);
   const std::uint32_t message_id = fs.next_message++;
+  if (retry_ && fs.spec.tclass == TrafficClass::kControl) {
+    arm_retry(flow, message_id, bytes, attempt);
+  }
 
   std::uint64_t remaining = bytes;
   for (std::uint16_t part = 0; part < parts; ++part) {
@@ -154,6 +169,101 @@ bool Host::submit(FlowId flow, std::uint64_t bytes) {
   return true;
 }
 
+void Host::update_flow_route(FlowId flow, const SourceRoute& route,
+                             std::size_t choice) {
+  const auto it = flows_.find(flow);
+  DQOS_EXPECTS(it != flows_.end());
+  it->second.spec.route = route;
+  it->second.spec.route_choice = choice;
+  // Queued packets still carry the dead path; re-stamp them so they survive.
+  // (Heap order depends only on time keys, so in-place rewrite is safe.)
+  const auto restamp = [&](Packet& p) {
+    if (p.hdr.flow != flow) return;
+    p.hdr.route = route;
+    p.hdr.route.reset_cursor();
+  };
+  for (auto& e : eligible_q_) restamp(*e.pkt);
+  for (auto& q : ready_q_) {
+    for (auto& e : q) restamp(*e.pkt);
+  }
+  for (auto& q : fifo_q_) {
+    for (auto& p : q) restamp(*p);
+  }
+}
+
+void Host::close_flow(FlowId flow) {
+  const auto it = flows_.find(flow);
+  DQOS_EXPECTS(it != flows_.end());
+  it->second.closed = true;
+
+  // Purge queued packets of the shed flow; they have nowhere to go.
+  const auto doomed = [&](const PacketPtr& p) {
+    if (p->hdr.flow != flow) return false;
+    if (p->hdr.vc != kRegulatedVc) {
+      auto& backlog = unreg_backlog_[static_cast<std::size_t>(p->hdr.tclass)];
+      DQOS_ASSERT(backlog > 0);
+      --backlog;
+    }
+    ++shed_submissions_;
+    if (tracer_) tracer_->record_drop(sim_.now(), flow, p->hdr.tclass, id_);
+    return true;
+  };
+  const auto purge_heap = [&](MinHeap& h) {
+    const auto mid = std::remove_if(h.begin(), h.end(),
+                                    [&](const QEntry& e) { return doomed(e.pkt); });
+    if (mid == h.end()) return;
+    h.erase(mid, h.end());
+    std::make_heap(h.begin(), h.end(), std::greater<>{});
+  };
+  purge_heap(eligible_q_);
+  for (auto& q : ready_q_) purge_heap(q);
+  for (auto& q : fifo_q_) {
+    q.erase(std::remove_if(q.begin(), q.end(), doomed), q.end());
+  }
+}
+
+void Host::enable_control_retry(const RetryParams& params) {
+  DQOS_EXPECTS(params.timeout > Duration::zero());
+  retry_ = params;
+}
+
+void Host::arm_retry(FlowId flow, std::uint32_t message_id, std::uint64_t bytes,
+                     std::uint32_t attempt) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(flow) << 32) | message_id;
+  // Exponential backoff: timeout doubles with every unacked attempt.
+  const Duration wait = Duration::picoseconds(retry_->timeout.ps() << attempt);
+  const EventId timer = sim_.schedule_after(wait, [this, key] { retry_timeout(key); });
+  const bool inserted =
+      pending_retry_.emplace(key, PendingRetry{bytes, attempt, timer}).second;
+  DQOS_ASSERT(inserted);
+}
+
+void Host::retry_timeout(std::uint64_t key) {
+  const auto it = pending_retry_.find(key);
+  if (it == pending_retry_.end()) return;  // acked after the timer fired
+  const PendingRetry pr = it->second;
+  pending_retry_.erase(it);
+  if (pr.attempt >= retry_->max_retries) {
+    ++retries_abandoned_;
+    return;
+  }
+  ++retries_;
+  const auto flow = static_cast<FlowId>(key >> 32);
+  // Resubmitted as a *new* message (fresh id and deadline stamps); if the
+  // flow was shed or policed in the meantime, the message is lost for good.
+  if (!do_submit(flow, pr.bytes, pr.attempt + 1)) ++retries_abandoned_;
+}
+
+void Host::on_message_acked(FlowId flow, std::uint32_t message_id) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(flow) << 32) | message_id;
+  const auto it = pending_retry_.find(key);
+  if (it == pending_retry_.end()) return;
+  sim_.cancel(it->second.timer);
+  pending_retry_.erase(it);
+}
+
 void Host::pump() {
   const TimePoint now = sim_.now();
   const TimePoint local_now = clock_.local_now(now);
@@ -170,6 +280,9 @@ void Host::pump() {
 
   if (link_busy_until_ > now) return;
   DQOS_ASSERT(uplink_ != nullptr);
+  // Injection link down (fault injection): stall; Channel::repair() fires
+  // the credit callback, which resumes the pump.
+  if (!uplink_->is_up()) return;
 
   for (const VcId vc : vc_policy_->order()) {
     const Packet* head = nullptr;
@@ -274,7 +387,8 @@ void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
   if (--mit->second.parts_left == 0) {
     if (on_message_) {
       on_message_(MessageDelivered{p->hdr.flow, p->hdr.tclass, mit->second.created,
-                                   p->t_delivered, mit->second.bytes});
+                                   p->t_delivered, mit->second.bytes,
+                                   p->hdr.message_id});
     }
     rx_messages_.erase(mit);
   }

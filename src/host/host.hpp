@@ -24,6 +24,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +65,7 @@ struct MessageDelivered {
   TimePoint created;
   TimePoint completed;
   std::uint64_t bytes;
+  std::uint32_t message_id;  ///< source-assigned (acks for control retry)
 };
 using MessageDeliveredFn = std::function<void(const MessageDelivered&)>;
 
@@ -82,6 +84,31 @@ class Host final : public PacketReceiver {
 
   /// Registers an admitted flow originating at this host.
   void open_flow(const FlowSpec& spec);
+
+  /// --- fault handling ------------------------------------------------------
+  /// Replaces the fixed route of an open flow (admission rerouted it around
+  /// a failed link). Packets already queued in the NIC are re-stamped with
+  /// the new route; packets already in the fabric are beyond help.
+  void update_flow_route(FlowId flow, const SourceRoute& route, std::size_t choice);
+  /// Shuts an open flow whose reservation was shed (no surviving path):
+  /// queued packets are purged and future submissions are refused (counted
+  /// in shed_submissions()).
+  void close_flow(FlowId flow);
+  /// Fault injection: per-host clock drift (replaces the LocalClock skew).
+  void set_clock_offset(Duration offset) { clock_ = LocalClock(offset); }
+
+  /// End-to-end retry for control-class messages: when enabled, a control
+  /// submission that is not acknowledged (on_message_acked) within
+  /// `timeout << attempt` is resubmitted as a fresh message, up to
+  /// `max_retries` times, then abandoned. Lossless fabrics never ack late,
+  /// so this is inert without fault injection.
+  struct RetryParams {
+    Duration timeout = Duration::zero();
+    std::uint32_t max_retries = 0;
+  };
+  void enable_control_retry(const RetryParams& params);
+  /// Destination completed (flow, message_id) — cancels the pending retry.
+  void on_message_acked(FlowId flow, std::uint32_t message_id);
 
   /// Receiver-side per-flow observation (opt-in; global metrics stay
   /// aggregate). Call on the *destination* host of the flow.
@@ -117,6 +144,15 @@ class Host final : public PacketReceiver {
   [[nodiscard]] std::uint64_t policed_drops() const { return policed_drops_; }
   [[nodiscard]] std::size_t queued_packets() const;
   [[nodiscard]] std::size_t eligible_waiting() const { return eligible_q_.size(); }
+  /// Control messages resubmitted after an ack timeout.
+  [[nodiscard]] std::uint64_t control_retries() const { return retries_; }
+  /// Control messages given up on after max_retries unacked attempts.
+  [[nodiscard]] std::uint64_t control_retries_abandoned() const {
+    return retries_abandoned_;
+  }
+  /// Submissions refused because the flow was shed (close_flow), plus
+  /// packets purged from the NIC queues at shedding time.
+  [[nodiscard]] std::uint64_t shed_submissions() const { return shed_submissions_; }
 
  private:
   struct FlowState {
@@ -125,6 +161,7 @@ class Host final : public PacketReceiver {
     std::uint32_t next_seq = 0;
     std::uint32_t next_message = 1;
     std::unique_ptr<TokenBucket> policer;  ///< non-null iff spec.police
+    bool closed = false;                   ///< shed by fault re-routing
   };
   /// Min-heap entry for both NIC queues (key = eligible time or deadline).
   struct QEntry {
@@ -144,6 +181,11 @@ class Host final : public PacketReceiver {
   /// Moves newly eligible packets, then tries to start one injection.
   void pump();
   void schedule_eligible_wakeup();
+  /// Shared by submit() (attempt 0) and retry timeouts (attempt > 0).
+  bool do_submit(FlowId flow, std::uint64_t bytes, std::uint32_t attempt);
+  void arm_retry(FlowId flow, std::uint32_t message_id, std::uint64_t bytes,
+                 std::uint32_t attempt);
+  void retry_timeout(std::uint64_t key);
 
   Simulator& sim_;
   NodeId id_;
@@ -184,6 +226,17 @@ class Host final : public PacketReceiver {
   std::uint64_t ooo_ = 0;
   std::uint64_t be_drops_ = 0;
   std::uint64_t policed_drops_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retries_abandoned_ = 0;
+  std::uint64_t shed_submissions_ = 0;
+  /// Unacked control messages, keyed (flow << 32) | message_id.
+  struct PendingRetry {
+    std::uint64_t bytes;
+    std::uint32_t attempt;
+    EventId timer;
+  };
+  std::optional<RetryParams> retry_;
+  std::unordered_map<std::uint64_t, PendingRetry> pending_retry_;
   /// Unregulated NIC backlog per traffic class (quota accounting).
   std::array<std::size_t, kNumTrafficClasses> unreg_backlog_{};
 };

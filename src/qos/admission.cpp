@@ -1,5 +1,6 @@
 #include "qos/admission.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/contracts.hpp"
@@ -31,21 +32,22 @@ std::pair<double, std::uint32_t> AdmissionController::path_load(
   return {max_frac, max_flows};
 }
 
-std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
-  DQOS_EXPECTS(topo_.is_host(req.src) && topo_.is_host(req.dst));
-  DQOS_EXPECTS(req.src != req.dst);
-
-  const double want_bps = req.reserve_bw.valid() ? req.reserve_bw.bytes_per_sec() : 0.0;
+std::optional<std::size_t> AdmissionController::pick_route(NodeId src, NodeId dst,
+                                                           double want_bps) const {
   const double budget_bps = link_bw_.bytes_per_sec() * reservable_fraction_;
 
   // Evaluate every minimal path; keep the least loaded feasible one.
-  const std::size_t n_choices = topo_.route_count(req.src, req.dst);
+  const std::size_t n_choices = topo_.route_count(src, dst);
   std::optional<std::size_t> best;
   std::pair<double, std::uint32_t> best_load{0.0, 0};
   for (std::size_t c = 0; c < n_choices; ++c) {
-    const auto links = topo_.route_links(req.src, req.dst, c);
+    const auto links = topo_.route_links(src, dst, c);
     bool feasible = true;
     for (const auto& e : links) {
+      if (failed_.count(key(e)) > 0) {
+        feasible = false;
+        break;
+      }
       const auto it = load_.find(key(e));
       const double reserved = it == load_.end() ? 0.0 : it->second.reserved_bytes_per_sec;
       // 1 B/s epsilon: accumulated FP dust must not reject an exact fit.
@@ -61,6 +63,15 @@ std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
       best_load = pl;
     }
   }
+  return best;
+}
+
+std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
+  DQOS_EXPECTS(topo_.is_host(req.src) && topo_.is_host(req.dst));
+  DQOS_EXPECTS(req.src != req.dst);
+
+  const double want_bps = req.reserve_bw.valid() ? req.reserve_bw.bytes_per_sec() : 0.0;
+  const auto best = pick_route(req.src, req.dst, want_bps);
   if (!best) {
     ++rejected_;
     return std::nullopt;
@@ -114,6 +125,57 @@ void AdmissionController::release(FlowId id) {
     if (std::abs(l.reserved_bytes_per_sec) < 1e-6) l.reserved_bytes_per_sec = 0.0;
   }
   flows_.erase(it);
+}
+
+void AdmissionController::mark_link_failed(const Endpoint& link) {
+  failed_.insert(key(link));
+}
+
+void AdmissionController::mark_link_repaired(const Endpoint& link) {
+  failed_.erase(key(link));
+}
+
+std::vector<AdmissionController::Reroute> AdmissionController::reroute_around_failures() {
+  std::vector<Reroute> out;
+  if (failed_.empty()) return out;
+
+  // Ascending FlowId order: unordered_map iteration order must not leak
+  // into which flow wins contended residual bandwidth.
+  std::vector<FlowId> affected;
+  for (const auto& [id, rec] : flows_) {
+    for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
+      if (failed_.count(key(e)) > 0) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+
+  for (const FlowId id : affected) {
+    const FlowRecord rec = flows_.at(id);  // copy: release() erases it
+    release(id);
+    Reroute r;
+    r.flow = id;
+    r.src = rec.src;
+    const auto best = pick_route(rec.src, rec.dst, rec.reserved_bytes_per_sec);
+    if (best) {
+      for (const auto& e : topo_.route_links(rec.src, rec.dst, *best)) {
+        LinkLoad& l = load_[key(e)];
+        l.reserved_bytes_per_sec += rec.reserved_bytes_per_sec;
+        ++l.flow_count;
+      }
+      flows_.emplace(id, FlowRecord{rec.src, rec.dst, *best, rec.reserved_bytes_per_sec});
+      r.rerouted = true;
+      r.new_choice = *best;
+      r.new_route = topo_.build_route(rec.src, rec.dst, *best);
+      ++flows_rerouted_;
+    } else {
+      ++flows_shed_;
+    }
+    out.push_back(r);
+  }
+  return out;
 }
 
 double AdmissionController::reserved_fraction(const Endpoint& link) const {

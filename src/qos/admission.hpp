@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "qos/flow.hpp"
@@ -46,6 +47,36 @@ class AdmissionController {
   /// Releases an admitted flow's reservation and path-count contributions.
   void release(FlowId id);
 
+  /// --- Fault handling -----------------------------------------------------
+  /// A permanently-failed directed link: admit() treats it as infeasible,
+  /// and reroute_around_failures() moves or sheds the flows crossing it.
+  void mark_link_failed(const Endpoint& link);
+  /// Clears the failed mark (transient outages that recover before any
+  /// reroute, or repaired hardware readmitted to service).
+  void mark_link_repaired(const Endpoint& link);
+  [[nodiscard]] bool link_failed(const Endpoint& link) const {
+    return failed_.count(key(link)) > 0;
+  }
+
+  /// One rerouted (or shed) flow, for the caller to apply to hosts.
+  struct Reroute {
+    FlowId flow = kInvalidFlow;
+    NodeId src = kInvalidNode;
+    bool rerouted = false;      ///< false = shed (no surviving feasible path)
+    SourceRoute new_route;      ///< valid only when rerouted
+    std::size_t new_choice = 0;
+  };
+
+  /// Re-examines every admitted flow whose fixed path crosses a failed
+  /// link: releases its reservation, then re-admits it over the least
+  /// loaded surviving feasible path, or sheds it when none exists. Flows
+  /// are processed in ascending FlowId order (deterministic). Shed flows
+  /// are erased from the ledger; the caller must stop their sources.
+  std::vector<Reroute> reroute_around_failures();
+
+  [[nodiscard]] std::uint64_t flows_rerouted() const { return flows_rerouted_; }
+  [[nodiscard]] std::uint64_t flows_shed() const { return flows_shed_; }
+
   /// Reserved fraction of a directed link's bandwidth (diagnostics/tests).
   [[nodiscard]] double reserved_fraction(const Endpoint& link) const;
   /// Number of flows routed over the directed link.
@@ -73,14 +104,22 @@ class AdmissionController {
   [[nodiscard]] std::pair<double, std::uint32_t> path_load(
       const std::vector<Endpoint>& links) const;
 
+  /// Best feasible route choice for (src, dst) given current load and
+  /// failed links; `want_bps` is the bandwidth about to be reserved.
+  [[nodiscard]] std::optional<std::size_t> pick_route(NodeId src, NodeId dst,
+                                                      double want_bps) const;
+
   const Topology& topo_;
   Bandwidth link_bw_;
   double reservable_fraction_;
   std::array<VcId, kNumTrafficClasses> class_vc_{0, 0, 1, 1};
   std::unordered_map<std::uint64_t, LinkLoad> load_;
   std::unordered_map<FlowId, FlowRecord> flows_;
+  std::unordered_set<std::uint64_t> failed_;
   FlowId next_id_ = 1;
   std::uint64_t rejected_ = 0;
+  std::uint64_t flows_rerouted_ = 0;
+  std::uint64_t flows_shed_ = 0;
 };
 
 }  // namespace dqos

@@ -7,11 +7,15 @@ EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
   DQOS_EXPECTS(fn != nullptr);
   const EventId id = next_id_++;
   heap_.push(Entry{t, id, std::move(fn)});
+  pending_.insert(id);
   return id;
 }
 
 void Simulator::cancel(EventId id) {
-  if (id != 0 && id < next_id_) cancelled_.insert(id);
+  // Only an id that is actually pending gets a lazy-delete marker; fired or
+  // unknown ids leave no residue (the marker set would otherwise grow
+  // unboundedly under schedule/fire/cancel cycles).
+  if (pending_.erase(id) > 0) cancelled_.insert(id);
 }
 
 bool Simulator::pop_next(Entry& out) {
@@ -22,9 +26,10 @@ bool Simulator::pop_next(Entry& out) {
     out.id = heap_.top().id;
     out.fn = std::move(const_cast<Entry&>(heap_.top()).fn);
     heap_.pop();
-    const auto it = cancelled_.find(out.id);
-    if (it == cancelled_.end()) return true;
-    cancelled_.erase(it);
+    if (cancelled_.erase(out.id) == 0) {
+      pending_.erase(out.id);
+      return true;
+    }
   }
   return false;
 }

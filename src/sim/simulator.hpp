@@ -46,7 +46,9 @@ class Simulator {
   }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is
-  /// a no-op (lazy deletion: the entry is skipped when popped).
+  /// a no-op. Only ids still in the calendar are recorded for lazy deletion,
+  /// and the record is pruned when the heap entry is popped, so repeated
+  /// cancellation in a long run cannot grow memory without bound.
   void cancel(EventId id);
 
   /// Fires the next event. Returns false when the calendar is empty.
@@ -63,7 +65,11 @@ class Simulator {
   void run();
 
   [[nodiscard]] std::uint64_t events_processed() const { return fired_; }
-  [[nodiscard]] std::size_t events_pending() const { return heap_.size() - cancelled_.size(); }
+  /// Live (scheduled, not yet fired, not cancelled) events.
+  [[nodiscard]] std::size_t events_pending() const { return pending_.size(); }
+  /// Cancelled entries still awaiting heap removal (bounded by heap size;
+  /// exposed for the regression test of the pruning behaviour).
+  [[nodiscard]] std::size_t cancelled_pending() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -85,7 +91,8 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;    ///< ids currently live in the heap
+  std::unordered_set<EventId> cancelled_;  ///< subset awaiting heap removal
 };
 
 }  // namespace dqos

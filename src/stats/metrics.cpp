@@ -55,6 +55,7 @@ ClassReport MetricsCollector::report(TrafficClass tc) const {
   r.max_message_latency_us = msg_latency_[c].max();
   r.p99_message_latency_us = msg_latency_[c].quantile(0.99);
   r.avg_slack_us = slack_us_[c].mean();
+  r.dropped_packets = dropped_[c];
   r.deadline_miss_fraction =
       r.packets ? static_cast<double>(deadline_misses_[c]) /
                       static_cast<double>(r.packets)

@@ -43,6 +43,10 @@ struct ClassReport {
   /// the mean remaining budget (us; negative = late on average).
   double deadline_miss_fraction = 0.0;
   double avg_slack_us = 0.0;
+  /// Packets shed inside the fabric (failed-link drops; whole run, since
+  /// faults strike outside the measurement window too). Zero without fault
+  /// injection: credit flow control never drops.
+  std::uint64_t dropped_packets = 0;
 };
 
 class MetricsCollector {
@@ -62,6 +66,10 @@ class MetricsCollector {
                             std::uint64_t bytes, TimePoint completed);
   /// Offered load accounting (called at submission).
   void on_message_offered(TrafficClass tclass, std::uint64_t bytes, TimePoint now);
+  /// A switch shed a packet (failed link). Counted over the whole run.
+  void on_packet_dropped(TrafficClass tclass) {
+    ++dropped_[static_cast<std::size_t>(tclass)];
+  }
 
   [[nodiscard]] ClassReport report(TrafficClass c) const;
 
@@ -90,6 +98,7 @@ class MetricsCollector {
   std::array<std::uint64_t, kNumTrafficClasses> messages_{};
   std::array<StreamingStats, kNumTrafficClasses> slack_us_{};
   std::array<std::uint64_t, kNumTrafficClasses> deadline_misses_{};
+  std::array<std::uint64_t, kNumTrafficClasses> dropped_{};
 };
 
 }  // namespace dqos

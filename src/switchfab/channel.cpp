@@ -1,17 +1,22 @@
 #include "switchfab/channel.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace dqos {
 
 Channel::Channel(Simulator& sim, Bandwidth bw, Duration latency, std::uint8_t num_vcs,
                  std::uint32_t credits_per_vc)
-    : sim_(sim), bw_(bw), latency_(latency) {
+    : sim_(sim), bw_(bw), latency_(latency), capacity_(credits_per_vc) {
   DQOS_EXPECTS(bw.valid());
   DQOS_EXPECTS(latency >= Duration::zero());
   DQOS_EXPECTS(num_vcs >= 1);
   DQOS_EXPECTS(credits_per_vc > 0);
   credits_.assign(num_vcs, static_cast<std::int64_t>(credits_per_vc));
+  in_flight_bytes_.assign(num_vcs, 0);
+  credits_in_flight_.assign(num_vcs, 0);
+  last_credit_activity_.assign(num_vcs, TimePoint::zero());
 }
 
 void Channel::connect_to(PacketReceiver* dst, PortId dst_port) {
@@ -24,12 +29,16 @@ void Channel::consume_credits(VcId vc, std::uint32_t bytes) {
   DQOS_EXPECTS(vc < credits_.size());
   DQOS_EXPECTS(has_credits(vc, bytes));
   credits_[vc] -= bytes;
+  last_credit_activity_[vc] = sim_.now();
 }
 
 void Channel::return_credits(VcId vc, std::uint32_t bytes) {
   DQOS_EXPECTS(vc < credits_.size());
+  credits_in_flight_[vc] += static_cast<std::int64_t>(bytes);
   sim_.schedule_after(latency_, [this, vc, bytes] {
+    credits_in_flight_[vc] -= static_cast<std::int64_t>(bytes);
     credits_[vc] += bytes;
+    last_credit_activity_[vc] = sim_.now();
     if (on_credit_) on_credit_();
   });
 }
@@ -37,16 +46,92 @@ void Channel::return_credits(VcId vc, std::uint32_t bytes) {
 void Channel::send(PacketPtr p) {
   DQOS_EXPECTS(dst_ != nullptr);
   DQOS_EXPECTS(p != nullptr);
+  DQOS_EXPECTS(p->hdr.vc < credits_.size());
+  if (!up_) {
+    // The wire is dead: the packet evaporates. The sender's consumed
+    // credits stay consumed — the credit-resync protocol (or a reroute)
+    // makes the loss good later.
+    ++dropped_;
+    return;
+  }
+  if (ttd_corrupt_armed_) {
+    p->hdr.ttd += ttd_corrupt_delta_;
+    ttd_corrupt_armed_ = false;
+    ++ttd_corruptions_;
+  }
+  const VcId vc = p->hdr.vc;
   const Duration ser = serialization_time(p->size());
   ++packets_sent_;
   bytes_sent_ += p->size();
   busy_time_ += ser;
+  in_flight_bytes_[vc] += static_cast<std::int64_t>(p->size());
   // shared_ptr shim: std::function requires copyable closures, PacketPtr is
   // move-only.
   auto shared = std::make_shared<PacketPtr>(std::move(p));
-  sim_.schedule_after(ser + latency_, [this, shared]() mutable {
+  sim_.schedule_after(ser + latency_, [this, shared, vc]() mutable {
+    in_flight_bytes_[vc] -= static_cast<std::int64_t>((*shared)->size());
     dst_->receive_packet(std::move(*shared), dst_port_);
   });
+}
+
+void Channel::fail(bool permanent) {
+  up_ = false;
+  permanent_ = permanent_ || permanent;
+}
+
+void Channel::repair() {
+  DQOS_EXPECTS(!permanent_);  // permanent failures are rerouted, not repaired
+  if (up_) return;
+  up_ = true;
+  // Stalled senders re-arbitrate as if credits had just arrived.
+  if (on_credit_) on_credit_();
+}
+
+std::uint32_t Channel::lose_credits(VcId vc, std::uint32_t bytes) {
+  DQOS_EXPECTS(vc < credits_.size());
+  const auto lost = static_cast<std::uint32_t>(std::min<std::int64_t>(
+      static_cast<std::int64_t>(bytes), std::max<std::int64_t>(credits_[vc], 0)));
+  credits_[vc] -= lost;
+  credits_lost_ += lost;
+  return lost;
+}
+
+void Channel::corrupt_next_ttd(Duration delta) {
+  ttd_corrupt_armed_ = true;
+  ttd_corrupt_delta_ = delta;
+}
+
+void Channel::enable_credit_resync(Duration silence_window, TimePoint horizon) {
+  DQOS_EXPECTS(silence_window > Duration::zero());
+  resync_window_ = silence_window;
+  resync_horizon_ = horizon;
+  if (sim_.now() + silence_window <= horizon) {
+    sim_.schedule_after(silence_window, [this] { resync_check(); });
+  }
+}
+
+void Channel::resync_check() {
+  const TimePoint now = sim_.now();
+  for (VcId vc = 0; up_ && vc < num_vcs(); ++vc) {
+    // Quiet VC only: any credit activity within the window means the normal
+    // protocol is alive and the counter is trusted.
+    if (last_credit_activity_[vc] + resync_window_ > now) continue;
+    const std::int64_t occupancy =
+        occupancy_probe_ ? static_cast<std::int64_t>(occupancy_probe_(vc)) : 0;
+    const std::int64_t expected = static_cast<std::int64_t>(capacity_) -
+                                  occupancy - in_flight_bytes_[vc] -
+                                  credits_in_flight_[vc];
+    if (expected > credits_[vc]) {
+      resynced_bytes_ += static_cast<std::uint64_t>(expected - credits_[vc]);
+      credits_[vc] = expected;
+      ++resyncs_;
+      last_credit_activity_[vc] = now;
+      if (on_credit_) on_credit_();
+    }
+  }
+  if (now + resync_window_ <= resync_horizon_) {
+    sim_.schedule_after(resync_window_, [this] { resync_check(); });
+  }
 }
 
 }  // namespace dqos

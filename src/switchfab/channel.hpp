@@ -11,6 +11,20 @@
 ///     downstream-processing latency;
 ///   - the credit-return path (the reverse wire), modelled as the same
 ///     fixed latency applied to credit symbols.
+///
+/// Fault model (the lossless assumption, relaxed): a channel can be taken
+/// down (transiently or permanently), lose credit symbols on the reverse
+/// wire, or corrupt a TTD tag in transit. Recovery is a credit-resync
+/// watchdog: the sender tracks bytes in flight in both directions, and
+/// after a configurable silence window re-derives its credit counter from
+/// the conservation invariant
+///
+///   credits + in_flight_packets + downstream_occupancy + credits_in_flight
+///     == capacity
+///
+/// restoring exactly what was lost. All fault machinery is opt-in: a
+/// default-constructed channel schedules no extra events and behaves
+/// bit-identically to the lossless model.
 #pragma once
 
 #include <functional>
@@ -40,6 +54,7 @@ class Channel {
   void connect_to(PacketReceiver* dst, PortId dst_port);
 
   /// Called by the sender when fresh credits arrive (to retry arbitration).
+  /// Also invoked on repair() so stalled senders resume draining.
   void set_on_credit(std::function<void()> cb) { on_credit_ = std::move(cb); }
 
   // --- sender-side credit view ---
@@ -59,21 +74,65 @@ class Channel {
   }
   [[nodiscard]] Bandwidth bandwidth() const { return bw_; }
   [[nodiscard]] Duration latency() const { return latency_; }
+  [[nodiscard]] std::uint8_t num_vcs() const {
+    return static_cast<std::uint8_t>(credits_.size());
+  }
+  [[nodiscard]] std::uint32_t credits_per_vc() const { return capacity_; }
 
   /// Ships a packet departing *now*: the receiver gets it at
   /// now + serialization + latency. The caller is responsible for keeping
   /// its output busy for the serialization time (crossbar/link occupancy).
+  /// If the link is down the packet is dropped and counted (the consumed
+  /// credits stay consumed until resync restores them).
   void send(PacketPtr p);
+
+  // --- link fault state -----------------------------------------------
+  [[nodiscard]] bool is_up() const { return up_; }
+  [[nodiscard]] bool failed_permanently() const { return !up_ && permanent_; }
+  /// Takes the link down. Packets already serialized onto the wire still
+  /// arrive; subsequent send() calls drop.
+  void fail(bool permanent);
+  /// Brings a transiently-failed link back; kicks the sender via the
+  /// on_credit callback so stalled arbitration resumes.
+  void repair();
+
+  /// Fault injection: `bytes` of credit symbols vanish from the reverse
+  /// wire (sender-side counter decremented, receiver never knows). Returns
+  /// the bytes actually lost (clamped at the current counter).
+  std::uint32_t lose_credits(VcId vc, std::uint32_t bytes);
+
+  /// Fault injection: the next packet sent carries a TTD skewed by `delta`.
+  void corrupt_next_ttd(Duration delta);
+
+  // --- credit-resync protocol -------------------------------------------
+  /// The receiver-side occupancy oracle (bytes queued downstream for a VC);
+  /// wired by Switch::attach_input. Unset = downstream consumes instantly
+  /// (hosts), occupancy 0.
+  void set_occupancy_probe(std::function<std::uint64_t(VcId)> probe) {
+    occupancy_probe_ = std::move(probe);
+  }
+  /// Arms the periodic resync check: every `silence_window`, any VC with no
+  /// credit activity for at least that long has its counter re-derived from
+  /// the conservation invariant. Self-rescheduling until `horizon`.
+  void enable_credit_resync(Duration silence_window, TimePoint horizon);
 
   // --- occupancy statistics ---
   [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] Duration busy_time() const { return busy_time_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t credits_lost() const { return credits_lost_; }
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  [[nodiscard]] std::uint64_t resynced_bytes() const { return resynced_bytes_; }
+  [[nodiscard]] std::uint64_t ttd_corruptions() const { return ttd_corruptions_; }
 
  private:
+  void resync_check();
+
   Simulator& sim_;
   Bandwidth bw_;
   Duration latency_;
+  std::uint32_t capacity_;
   std::vector<std::int64_t> credits_;
   PacketReceiver* dst_ = nullptr;
   PortId dst_port_ = kInvalidPort;
@@ -81,6 +140,23 @@ class Channel {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   Duration busy_time_ = Duration::zero();
+
+  // fault state (inert unless a fault is injected / resync enabled)
+  bool up_ = true;
+  bool permanent_ = false;
+  bool ttd_corrupt_armed_ = false;
+  Duration ttd_corrupt_delta_ = Duration::zero();
+  std::function<std::uint64_t(VcId)> occupancy_probe_;
+  Duration resync_window_ = Duration::zero();  ///< zero = resync disabled
+  TimePoint resync_horizon_ = TimePoint::zero();
+  std::vector<std::int64_t> in_flight_bytes_;      ///< packets on the wire
+  std::vector<std::int64_t> credits_in_flight_;    ///< credits on reverse wire
+  std::vector<TimePoint> last_credit_activity_;    ///< per VC
+  std::uint64_t dropped_ = 0;
+  std::uint64_t credits_lost_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t resynced_bytes_ = 0;
+  std::uint64_t ttd_corruptions_ = 0;
 };
 
 }  // namespace dqos

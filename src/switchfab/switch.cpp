@@ -1,5 +1,7 @@
 #include "switchfab/switch.hpp"
 
+#include <sstream>
+
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -81,6 +83,10 @@ void Switch::attach_input(PortId port, Channel* ch) {
   DQOS_EXPECTS(port < inputs_.size() && ch != nullptr);
   DQOS_EXPECTS(inputs_[port].channel == nullptr);
   inputs_[port].channel = ch;
+  // Credit-resync oracle: the upstream sender may re-derive its counter
+  // from this buffer's occupancy after a credit loss.
+  ch->set_occupancy_probe(
+      [this, port](VcId vc) { return inputs_[port].vc_buf[vc]->used_bytes(); });
 }
 
 void Switch::receive_packet(PacketPtr p, PortId in_port) {
@@ -102,8 +108,49 @@ void Switch::receive_packet(PacketPtr p, PortId in_port) {
   const PortId out = p->hdr.route.next_hop();
   DQOS_EXPECTS(out < outputs_.size());
   const VcId vc = p->hdr.vc;
+  // Graceful shed: a packet routed at a permanently-failed link would wedge
+  // its VOQ forever (the flow has been rerouted or shed by admission).
+  // Drop it here and free the upstream buffer claim immediately.
+  if (outputs_[out].channel != nullptr && outputs_[out].channel->failed_permanently()) {
+    ++counters_.dropped_link_down;
+    if (drop_cb_) drop_cb_(p->hdr.tclass);
+    if (tracer_) tracer_->record(sim_.now(), TraceEvent::kDropped, *p, id_);
+    if (inputs_[in_port].channel != nullptr) {
+      inputs_[in_port].channel->return_credits(vc, p->size());
+    }
+    return;
+  }
   inputs_[in_port].vc_buf[vc]->enqueue(std::move(p), out);
   try_fill(out);
+}
+
+std::size_t Switch::flush_output(PortId port) {
+  DQOS_EXPECTS(port < outputs_.size());
+  std::size_t shed = 0;
+  const auto drop = [&](const PacketPtr& p) {
+    ++shed;
+    if (drop_cb_) drop_cb_(p->hdr.tclass);
+    if (tracer_) tracer_->record(sim_.now(), TraceEvent::kDropped, *p, id_);
+  };
+  Output& o = outputs_[port];
+  for (auto& q : o.vc_q) {
+    while (q->candidate() != nullptr) {
+      const PacketPtr p = q->dequeue();
+      drop(p);
+    }
+  }
+  for (auto& in : inputs_) {
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      InputBuffer& buf = *in.vc_buf[vc];
+      while (buf.candidate(port) != nullptr) {
+        const PacketPtr p = buf.dequeue(port);
+        if (in.channel != nullptr) in.channel->return_credits(vc, p->size());
+        drop(p);
+      }
+    }
+  }
+  counters_.dropped_link_down += shed;
+  return shed;
 }
 
 void Switch::try_fill(std::size_t out) {
@@ -162,6 +209,17 @@ void Switch::try_drain(std::size_t out) {
   DQOS_ASSERT(o.channel != nullptr);
   const TimePoint now = sim_.now();
   if (o.link_busy_until > now) return;
+  if (!o.channel->is_up()) {
+    // Transient outage: hold the packets; repair() re-kicks this drain via
+    // the channel's on_credit callback.
+    for (const auto& q : o.vc_q) {
+      if (!q->empty()) {
+        ++counters_.link_down_stalls;
+        break;
+      }
+    }
+    return;
+  }
 
   for (const VcId vc : o.link_vc_policy->order()) {
     const Packet* head = o.vc_q[vc]->candidate();
@@ -244,6 +302,46 @@ std::uint64_t Switch::takeovers() const {
     }
   }
   return sum;
+}
+
+std::string Switch::debug_dump() const {
+  std::ostringstream out;
+  out << "switch " << id_ << ": queued=" << packets_queued()
+      << " credit_stalls=" << counters_.credit_stalls
+      << " link_down_stalls=" << counters_.link_down_stalls
+      << " dropped=" << counters_.dropped_link_down << "\n";
+  for (std::size_t port = 0; port < outputs_.size(); ++port) {
+    const Output& o = outputs_[port];
+    if (o.channel == nullptr) continue;
+    std::size_t out_pkts = 0;
+    for (const auto& q : o.vc_q) out_pkts += q->packets();
+    std::size_t voq_pkts = 0;
+    for (const auto& in : inputs_) {
+      for (const auto& buf : in.vc_buf) voq_pkts += buf->packets(port);
+    }
+    if (out_pkts == 0 && voq_pkts == 0 && o.channel->is_up()) continue;
+    out << "  out " << port << ": link="
+        << (o.channel->is_up() ? "up"
+                               : (o.channel->failed_permanently() ? "down(permanent)"
+                                                                  : "down"))
+        << " outq=" << out_pkts << " voq=" << voq_pkts << " credits=[";
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      out << (vc ? "," : "") << o.channel->credits(vc);
+    }
+    out << "]\n";
+  }
+  for (std::size_t port = 0; port < inputs_.size(); ++port) {
+    const Input& in = inputs_[port];
+    std::uint64_t used = 0;
+    for (const auto& buf : in.vc_buf) used += buf->used_bytes();
+    if (used == 0) continue;
+    out << "  in " << port << ": used_bytes=[";
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      out << (vc ? "," : "") << in.vc_buf[vc]->used_bytes();
+    }
+    out << "]\n";
+  }
+  return out.str();
 }
 
 std::size_t Switch::packets_queued() const {

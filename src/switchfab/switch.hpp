@@ -32,7 +32,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "switchfab/arbiter.hpp"
@@ -80,6 +82,8 @@ struct SwitchCounters {
   std::array<std::uint64_t, kNumTrafficClasses> packets_forwarded{};
   std::array<std::uint64_t, kNumTrafficClasses> bytes_forwarded{};
   std::uint64_t credit_stalls = 0;  ///< link-drain rounds blocked on credits
+  std::uint64_t link_down_stalls = 0;   ///< drain rounds blocked on a dead link
+  std::uint64_t dropped_link_down = 0;  ///< packets shed at/for a failed link
 };
 
 class Switch final : public PacketReceiver {
@@ -97,6 +101,24 @@ class Switch final : public PacketReceiver {
 
   /// Optional packet-event tracing (null = off, zero cost).
   void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+  /// Observer for packets this switch sheds (failed-link drops).
+  void set_drop_callback(std::function<void(TrafficClass)> cb) {
+    drop_cb_ = std::move(cb);
+  }
+
+  /// Drops everything queued for `port` (output buffers and the input VOQs
+  /// feeding it), returning upstream credits for VOQ packets. Called when
+  /// the attached link fails permanently and flows are rerouted; queued
+  /// packets would otherwise wedge the VOQ forever. Returns packets shed.
+  std::size_t flush_output(PortId port);
+
+  /// Fault injection: re-bases this switch's local clock (clock drift).
+  /// Deadlines of already-queued packets keep the old domain — exactly the
+  /// mis-stamping hazard drift injection is meant to exercise.
+  void set_clock_offset(Duration offset) { clock_ = LocalClock(offset); }
+
+  /// Per-port credit/occupancy snapshot for the deadlock watchdog report.
+  [[nodiscard]] std::string debug_dump() const;
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] std::size_t num_ports() const { return inputs_.size(); }
@@ -150,6 +172,7 @@ class Switch final : public PacketReceiver {
   std::vector<Output> outputs_;
   SwitchCounters counters_;
   PacketTracer* tracer_ = nullptr;
+  std::function<void(TrafficClass)> drop_cb_;
 };
 
 }  // namespace dqos

@@ -16,6 +16,8 @@ std::string_view to_string(TraceEvent ev) {
     case TraceEvent::kLinkDepart: return "link-depart";
     case TraceEvent::kDelivered: return "delivered";
     case TraceEvent::kDropped: return "dropped";
+    case TraceEvent::kLinkDown: return "link-down";
+    case TraceEvent::kLinkUp: return "link-up";
   }
   return "?";
 }
@@ -42,6 +44,13 @@ void PacketTracer::record(TimePoint when, TraceEvent ev, const Packet& p,
 void PacketTracer::record_drop(TimePoint when, FlowId flow, TrafficClass tclass,
                                NodeId node) {
   push(TraceRecord{when, TraceEvent::kDropped, 0, flow, node, tclass, 0,
+                   Duration::zero()});
+}
+
+void PacketTracer::record_link_event(TimePoint when, TraceEvent ev, NodeId node,
+                                     PortId port) {
+  DQOS_EXPECTS(ev == TraceEvent::kLinkDown || ev == TraceEvent::kLinkUp);
+  push(TraceRecord{when, ev, 0, kInvalidFlow, node, TrafficClass::kControl, port,
                    Duration::zero()});
 }
 

@@ -27,6 +27,8 @@ enum class TraceEvent : std::uint8_t {
   kLinkDepart = 4,    ///< started serializing on an output link
   kDelivered = 5,     ///< last byte reached the destination host
   kDropped = 6,       ///< unregulated message shed at the source NIC
+  kLinkDown = 7,      ///< fault injection took a link down
+  kLinkUp = 8,        ///< a transiently-failed link was repaired
 };
 
 std::string_view to_string(TraceEvent ev);
@@ -49,6 +51,8 @@ class PacketTracer {
   void record(TimePoint when, TraceEvent ev, const Packet& p, NodeId node);
   /// Packet-less record (message drops).
   void record_drop(TimePoint when, FlowId flow, TrafficClass tclass, NodeId node);
+  /// Link state change at (node, port); `bytes` carries the port number.
+  void record_link_event(TimePoint when, TraceEvent ev, NodeId node, PortId port);
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }

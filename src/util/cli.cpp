@@ -39,23 +39,33 @@ bool ArgParser::load_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     line = trim(line);
     if (line.empty()) continue;
+    const std::string origin = path + ":" + std::to_string(lineno);
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      set(trim(line), "true");
+      set(trim(line), "true", origin);
     } else {
-      set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+      set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)), origin);
     }
   }
   return true;
 }
 
-void ArgParser::set(const std::string& key, const std::string& value) {
+void ArgParser::set(const std::string& key, const std::string& value,
+                    const std::string& origin) {
   values_[key] = value;
+  origins_[key] = origin;
+}
+
+std::string ArgParser::origin(const std::string& key) const {
+  const auto it = origins_.find(key);
+  return it == origins_.end() ? "" : it->second;
 }
 
 bool ArgParser::has(const std::string& key) const { return values_.contains(key); }

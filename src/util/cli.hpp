@@ -29,8 +29,13 @@ class ArgParser {
   /// Loads `key=value` lines; returns false if the file can't be read.
   bool load_file(const std::string& path);
 
-  /// Inserts/overrides a single setting.
-  void set(const std::string& key, const std::string& value);
+  /// Inserts/overrides a single setting. `origin` says where the value came
+  /// from ("command line", "file.cfg:12") for error messages.
+  void set(const std::string& key, const std::string& value,
+           const std::string& origin = "command line");
+
+  /// Where the key's value was defined ("" for unknown keys).
+  [[nodiscard]] std::string origin(const std::string& key) const;
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
@@ -49,6 +54,7 @@ class ArgParser {
 
  private:
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> origins_;
   std::vector<std::string> positionals_;
 };
 

@@ -177,8 +177,117 @@ TEST(ConfigRoundTrip, ToStringAndBack) {
   EXPECT_EQ(loaded.max_clock_skew, original.max_clock_skew);
 }
 
-TEST(ConfigFromArgsDeathTest, InvalidCombinationStillValidates) {
-  EXPECT_DEATH((void)config_from_args(parse({"--load=0"})), "precondition");
+// --- negative paths: user input must raise ConfigError, never abort --------
+
+/// Runs config_from_args and returns the ConfigError message ("" = accepted).
+std::string error_of(std::initializer_list<const char*> argv_tail) {
+  try {
+    (void)config_from_args(parse(argv_tail));
+    return "";
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+}
+
+TEST(ConfigFromArgsErrors, MalformedNumberNamesKeyAndValue) {
+  const std::string msg = error_of({"--load=fast"});
+  EXPECT_NE(msg.find("--load"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("command line"), std::string::npos) << msg;
+}
+
+TEST(ConfigFromArgsErrors, TrailingGarbageIsMalformed) {
+  EXPECT_NE(error_of({"--load=0.9x"}), "");
+  EXPECT_NE(error_of({"--seed=12abc"}), "");
+  EXPECT_NE(error_of({"--leaves=4.5"}), "");  // integer key rejects fractions
+}
+
+TEST(ConfigFromArgsErrors, OutOfRangeValues) {
+  EXPECT_NE(error_of({"--load=0"}), "");      // load must be in (0, 2]
+  EXPECT_NE(error_of({"--load=2.5"}), "");
+  EXPECT_NE(error_of({"--load=-1"}), "");
+  EXPECT_NE(error_of({"--vcs=256"}), "");     // VcId is 8-bit
+  EXPECT_NE(error_of({"--vcs=0"}), "");
+  EXPECT_NE(error_of({"--link-gbps=0"}), "");
+  EXPECT_NE(error_of({"--leaves=0"}), "");
+}
+
+TEST(ConfigFromArgsErrors, UnknownEnumerations) {
+  const std::string arch = error_of({"--arch=quantum"});
+  EXPECT_NE(arch.find("traditional|ideal|simple|advanced"), std::string::npos)
+      << arch;
+  const std::string topo = error_of({"--topology=torus"});
+  EXPECT_NE(topo.find("clos|kary|single|mesh"), std::string::npos) << topo;
+  EXPECT_NE(error_of({"--pattern=zigzag"}), "");
+}
+
+TEST(ConfigFromArgsErrors, MalformedBooleanAndWeightList) {
+  EXPECT_NE(error_of({"--no-video=perhaps"}), "");
+  EXPECT_NE(error_of({"--vc-weights=8,x,2"}), "");
+  EXPECT_EQ(error_of({"--no-video=yes"}), "");
+}
+
+TEST(ConfigFromArgsErrors, InconsistentCombinationIsAnError) {
+  // Buffer too small for one MTU packet: a cross-field rule, still a clean
+  // ConfigError (this used to trip a contract abort).
+  const std::string msg = error_of({"--buffer=64", "--mtu=2048"});
+  EXPECT_NE(msg, "");
+  EXPECT_NE(msg.find("buffer"), std::string::npos) << msg;
+}
+
+TEST(ConfigFromArgsErrors, FaultKeysValidated) {
+  EXPECT_EQ(error_of({"--fault-inject", "--fault-link-down-per-sec=100"}), "");
+  EXPECT_NE(error_of({"--fault-link-down-per-sec=-5"}), "");
+  EXPECT_NE(error_of({"--fault-permanent-fraction=1.5"}), "");
+  EXPECT_NE(error_of({"--fault-credit-loss-per-sec=10",
+                      "--fault-credit-loss-bytes=0"}), "");
+  EXPECT_NE(error_of({"--retry-timeout-us=0"}), "");
+  EXPECT_NE(error_of({"--watchdog-ms=1", "--watchdog-rounds=0"}), "");
+}
+
+TEST(ConfigFileErrors, MessageCarriesFileAndLine) {
+  const std::string path = testing::TempDir() + "/dqos_bad.cfg";
+  {
+    std::ofstream out(path);
+    out << "# comment\n"
+           "load=0.8\n"
+           "buffer=banana\n";
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  std::string msg;
+  try {
+    (void)config_from_args(args);
+  } catch (const ConfigError& e) {
+    msg = e.what();
+  }
+  std::remove(path.c_str());
+  EXPECT_NE(msg.find("--buffer"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(path + ":3"), std::string::npos) << msg;
+}
+
+TEST(RequireKnownKeys, CatchesTypos) {
+  const ArgParser args = parse({"--laod=0.9"});
+  try {
+    require_known_keys(args);
+    FAIL() << "typo accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("laod"), std::string::npos);
+  }
+}
+
+TEST(RequireKnownKeys, AcceptsConfigKeysAndExtras) {
+  EXPECT_NO_THROW(require_known_keys(
+      parse({"--arch=ideal", "--load=0.9", "--fault-inject", "--csv=x.csv"}),
+      {"csv"}));
+}
+
+TEST(SimConfigCheck, ProgrammaticUseStillAborts) {
+  // Library users bypass config_io; a bad SimConfig there is a programming
+  // error and keeps the contract abort.
+  SimConfig cfg;
+  cfg.load = 0.0;
+  EXPECT_DEATH(cfg.validate(), "precondition");
 }
 
 }  // namespace

@@ -174,5 +174,45 @@ TEST(Simulator, RandomScheduleCancelStress) {
   EXPECT_GE(fired, scheduled - cancelled);
 }
 
+TEST(Simulator, CancelBookkeepingStaysBounded) {
+  // Regression: cancel() used to park every cancelled id in a tombstone set
+  // forever. The set must shrink as the heap pops (or skips) entries, so a
+  // long-running schedule/cancel churn cannot grow memory without bound.
+  Simulator sim;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventId> ids;
+    ids.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(sim.schedule_after(Duration::nanoseconds(i + 1), [] {}));
+    }
+    for (const EventId id : ids) sim.cancel(id);
+    sim.run();
+    EXPECT_EQ(sim.events_pending(), 0u);
+    EXPECT_EQ(sim.cancelled_pending(), 0u);  // tombstones fully reclaimed
+  }
+}
+
+TEST(Simulator, CancelAfterFireIsNoopAndLeavesNoTombstone) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_after(Duration::nanoseconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.cancel(id);  // already fired: must not register a tombstone
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, DoubleCancelRegistersOneTombstone) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(Duration::nanoseconds(5), [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.cancelled_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
 }  // namespace
 }  // namespace dqos

@@ -146,5 +146,99 @@ TEST_F(ChannelTest, CreditConservationUnderRandomTraffic) {
   EXPECT_EQ(ch_.credits(0), 8192);
 }
 
+TEST_F(ChannelTest, ZeroCreditStallResumesOnReturn) {
+  int kicks = 0;
+  ch_.set_on_credit([&] { ++kicks; });
+  ch_.consume_credits(0, 8192);  // drain VC0 to zero — sender must stall
+  EXPECT_FALSE(ch_.has_credits(0, 1));
+  EXPECT_EQ(kicks, 0);
+  ch_.return_credits(0, 2048);
+  sim_.run();
+  EXPECT_EQ(kicks, 1);  // the stalled sender gets re-armed exactly once
+  EXPECT_TRUE(ch_.has_credits(0, 2048));
+  EXPECT_FALSE(ch_.has_credits(0, 2049));
+}
+
+TEST_F(ChannelTest, SendWhileDownDropsAndCounts) {
+  ch_.fail(/*permanent=*/false);
+  EXPECT_FALSE(ch_.is_up());
+  ch_.send(pkt(1000));
+  ch_.send(pkt(500));
+  sim_.run();
+  EXPECT_TRUE(rx_.deliveries.empty());
+  EXPECT_EQ(ch_.packets_dropped(), 2u);
+  EXPECT_EQ(ch_.packets_sent(), 0u);  // drops are not sends
+}
+
+TEST_F(ChannelTest, RepairResumesDeliveryAndKicksSender) {
+  int kicks = 0;
+  ch_.set_on_credit([&] { ++kicks; });
+  ch_.fail(/*permanent=*/false);
+  ch_.send(pkt(1000, 1));  // lost
+  ch_.repair();
+  EXPECT_TRUE(ch_.is_up());
+  EXPECT_EQ(kicks, 1);  // stalled arbitration re-armed on repair
+  ch_.send(pkt(1000, 2));
+  sim_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 1u);
+  EXPECT_EQ(rx_.deliveries[0].packet_id, 2u);
+  EXPECT_EQ(ch_.packets_dropped(), 1u);
+}
+
+TEST_F(ChannelTest, PermanentFailureSticks) {
+  ch_.fail(/*permanent=*/true);
+  EXPECT_TRUE(ch_.failed_permanently());
+  // Transient repair machinery must refuse to resurrect a dead cable.
+  EXPECT_DEATH(ch_.repair(), "precondition");
+}
+
+TEST_F(ChannelTest, LoseCreditsClampsAtCounter) {
+  EXPECT_EQ(ch_.lose_credits(0, 100), 100u);
+  EXPECT_EQ(ch_.credits(0), 8092);
+  EXPECT_EQ(ch_.lose_credits(0, 1 << 20), 8092u);  // clamped, never negative
+  EXPECT_EQ(ch_.credits(0), 0);
+  EXPECT_EQ(ch_.credits_lost(), 8192u);
+}
+
+TEST_F(ChannelTest, CreditResyncRestoresLostCredits) {
+  ch_.enable_credit_resync(10_us, TimePoint::from_ps(Duration::milliseconds(1).ps()));
+  ch_.lose_credits(0, 3000);
+  EXPECT_EQ(ch_.credits(0), 5192);
+  sim_.run();  // resync window elapses with the VC quiet
+  EXPECT_EQ(ch_.credits(0), 8192);  // conservation invariant restores the loss
+  EXPECT_GE(ch_.resyncs(), 1u);
+  EXPECT_EQ(ch_.resynced_bytes(), 3000u);
+}
+
+TEST_F(ChannelTest, CreditResyncRespectsOutstandingBytes) {
+  // 2000 B legitimately outstanding downstream (occupancy probe reports it),
+  // plus 1000 B genuinely lost: resync must restore only the 1000.
+  ch_.set_occupancy_probe([](VcId) -> std::uint64_t { return 2000; });
+  ch_.consume_credits(0, 2000);
+  ch_.lose_credits(0, 1000);
+  ch_.enable_credit_resync(10_us, TimePoint::from_ps(Duration::milliseconds(1).ps()));
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192 - 2000);
+  EXPECT_EQ(ch_.resynced_bytes(), 1000u);
+}
+
+TEST_F(ChannelTest, CreditResyncNeverConfiscates) {
+  // Occupancy says more is downstream than the counter implies (e.g. a stale
+  // probe): resync only restores, it never lowers the counter.
+  ch_.set_occupancy_probe([](VcId) -> std::uint64_t { return 4000; });
+  ch_.enable_credit_resync(10_us, TimePoint::from_ps(Duration::milliseconds(1).ps()));
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192);
+  EXPECT_EQ(ch_.resyncs(), 0u);
+}
+
+TEST_F(ChannelTest, CorruptNextTtdHitsExactlyOnePacket) {
+  ch_.corrupt_next_ttd(50_us);
+  ch_.send(pkt(100, 1));
+  ch_.send(pkt(100, 2));
+  sim_.run();
+  EXPECT_EQ(ch_.ttd_corruptions(), 1u);
+}
+
 }  // namespace
 }  // namespace dqos

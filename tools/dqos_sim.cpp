@@ -26,7 +26,9 @@ void print_usage() {
       "usage: dqos_sim [--config=FILE] [--arch=traditional|ideal|simple|advanced]\n"
       "                [--topology=clos|kary|single] [--load=F] [--seed=N]\n"
       "                [--leaves=N --hosts-per-leaf=N --spines=N]\n"
-      "                [--measure-ms=N] [--csv=FILE] [--dump-config] ...\n"
+      "                [--measure-ms=N] [--csv=FILE] [--dump-config]\n"
+      "                [--fault-inject --fault-link-down-per-sec=F\n"
+      "                 --fault-credit-loss-per-sec=F --watchdog-ms=N] ...\n"
       "full key reference: src/core/config_io.hpp");
 }
 
@@ -49,7 +51,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  SimConfig cfg = config_from_args(args);
+  SimConfig cfg;
+  try {
+    require_known_keys(args,
+                       {"config", "help", "dump-config", "csv", "trace",
+                        "trace-cap"});
+    cfg = config_from_args(args);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "dqos_sim: %s\n", e.what());
+    return 2;
+  }
   if (args.get_bool("dump-config", false)) {
     std::fputs(config_to_string(cfg).c_str(), stdout);
     return 0;
@@ -70,6 +81,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t s = 0; s < net.num_switches(); ++s) {
       net.fabric_switch(s).set_tracer(tracer.get());
     }
+    net.fault_injector().set_tracer(tracer.get());
   }
   const SimReport rep = net.run();
 
@@ -111,6 +123,39 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rep.flows_rejected),
               static_cast<unsigned long long>(rep.events_processed));
 
+  if (rep.fault.active) {
+    const auto& f = rep.fault;
+    std::printf("\nfaults: %llu link failures (%llu permanent), %llu repairs, "
+                "%llu credit losses (%llu B), %llu TTD corruptions, "
+                "%llu clock drifts\n",
+                static_cast<unsigned long long>(f.injected.link_failures),
+                static_cast<unsigned long long>(
+                    f.injected.permanent_link_failures),
+                static_cast<unsigned long long>(f.injected.link_repairs),
+                static_cast<unsigned long long>(f.injected.credit_loss_events),
+                static_cast<unsigned long long>(f.injected.credit_bytes_lost),
+                static_cast<unsigned long long>(f.injected.ttd_corruptions),
+                static_cast<unsigned long long>(f.injected.clock_drift_events));
+    std::printf("recovery: %llu credit resyncs (%llu B restored), "
+                "%llu control retries (%llu abandoned)\n",
+                static_cast<unsigned long long>(f.credit_resyncs),
+                static_cast<unsigned long long>(f.credit_bytes_resynced),
+                static_cast<unsigned long long>(f.control_retries),
+                static_cast<unsigned long long>(f.control_retries_abandoned));
+    std::printf("degradation: %llu packets dropped on dead links, "
+                "%llu link-down stalls, %llu submissions shed, "
+                "%llu flows rerouted, %llu flows shed\n",
+                static_cast<unsigned long long>(f.packets_dropped_link_down),
+                static_cast<unsigned long long>(f.link_down_stalls),
+                static_cast<unsigned long long>(f.shed_submissions),
+                static_cast<unsigned long long>(f.flows_rerouted),
+                static_cast<unsigned long long>(f.flows_shed));
+    if (f.watchdog_fired) {
+      std::fprintf(stderr, "dqos_sim: DEADLOCK WATCHDOG FIRED\n%s",
+                   f.watchdog_report.c_str());
+    }
+  }
+
   if (tracer) {
     const std::string path = args.get_or("trace", "trace.csv");
     if (tracer->dump_csv(path)) {
@@ -139,5 +184,6 @@ int main(int argc, char** argv) {
                TableWriter::num(r.avg_message_latency_us, 3)});
     }
   }
+  if (rep.fault.watchdog_fired) return 3;
   return rep.out_of_order == 0 ? 0 : 1;
 }

@@ -8,8 +8,10 @@
 ///
 ///   ./bench_buffer_sweep [--paper]
 #include <cstdio>
+#include <iterator>
 
 #include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 
 using namespace dqos;
 using namespace dqos::literals;
@@ -27,23 +29,34 @@ int main(int argc, char** argv) {
 
   TableWriter table({"buffer/VC", "architecture", "control lat [us]",
                      "control max [us]", "order errs/1k", "credit stalls"});
+  struct Point {
+    std::uint32_t bytes;
+    SwitchArch arch;
+  };
+  std::vector<Point> grid;
   for (const std::uint32_t bytes : sizes) {
-    for (const SwitchArch arch : archs) {
-      SimConfig cfg = base;
-      cfg.arch = arch;
-      cfg.buffer_bytes_per_vc = bytes;
-      std::fprintf(stderr, "  [run] %u KB / %s ...\n", bytes / 1024,
-                   std::string(to_string(arch)).c_str());
-      NetworkSimulator net(cfg);
-      const SimReport rep = net.run();
-      const double per_k = 1000.0 * static_cast<double>(rep.order_errors) /
-                           static_cast<double>(rep.packets_delivered);
-      table.row({std::to_string(bytes / 1024) + " KB",
-                 std::string(to_string(arch)),
-                 TableWriter::num(rep.of(TrafficClass::kControl).avg_packet_latency_us, 1),
-                 TableWriter::num(rep.of(TrafficClass::kControl).max_packet_latency_us, 1),
-                 TableWriter::num(per_k, 1), TableWriter::num(rep.credit_stalls)});
-    }
+    for (const SwitchArch arch : archs) grid.push_back({bytes, arch});
+  }
+  std::vector<SimReport> reports(grid.size());
+  SweepRunner runner;
+  runner.run(grid.size(), [&](std::size_t i) {
+    SimConfig cfg = base;
+    cfg.arch = grid[i].arch;
+    cfg.buffer_bytes_per_vc = grid[i].bytes;
+    NetworkSimulator net(cfg);
+    reports[i] = net.run();
+    runner.log("  [run] " + std::to_string(grid[i].bytes / 1024) + " KB / " +
+               std::string(to_string(grid[i].arch)) + " done");
+  });
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const SimReport& rep = reports[i];
+    const double per_k = 1000.0 * static_cast<double>(rep.order_errors) /
+                         static_cast<double>(rep.packets_delivered);
+    table.row({std::to_string(grid[i].bytes / 1024) + " KB",
+               std::string(to_string(grid[i].arch)),
+               TableWriter::num(rep.of(TrafficClass::kControl).avg_packet_latency_us, 1),
+               TableWriter::num(rep.of(TrafficClass::kControl).max_packet_latency_us, 1),
+               TableWriter::num(per_k, 1), TableWriter::num(rep.credit_stalls)});
   }
   table.print(stdout);
   std::printf("\npaper context: 8 KB/VC (§4.1). Bigger FIFOs deepen the "

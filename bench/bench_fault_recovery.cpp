@@ -14,9 +14,12 @@
 ///                       transient outages (stall/resume)
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 
 using namespace dqos;
 using namespace dqos::literals;
@@ -66,13 +69,23 @@ int main(int argc, char** argv) {
            "packets_dropped_link_down", "shed_submissions", "flows_rerouted",
            "flows_shed", "watchdog_fired"});
 
-  bool watchdog_quiet = true;
-  for (const double rate : rates) {
+  constexpr std::size_t kPoints = std::size(rates);
+  std::vector<SimReport> reports(kPoints);
+  SweepRunner runner;
+  runner.run(kPoints, [&](std::size_t i) {
     SimConfig cfg = base;
-    cfg.fault.link_down_per_sec = rate;
-    std::fprintf(stderr, "  [run] %.0f faults/s ...\n", rate);
+    cfg.fault.link_down_per_sec = rates[i];
     NetworkSimulator net(cfg);
-    const SimReport rep = net.run();
+    reports[i] = net.run();
+    char line[64];
+    std::snprintf(line, sizeof line, "  [run] %.0f faults/s done", rates[i]);
+    runner.log(line);
+  });
+
+  bool watchdog_quiet = true;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const double rate = rates[i];
+    const SimReport& rep = reports[i];
     const auto& f = rep.fault;
     watchdog_quiet &= !f.watchdog_fired;
     if (f.watchdog_fired) {

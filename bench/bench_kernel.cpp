@@ -1,0 +1,246 @@
+/// \file bench_kernel.cpp
+/// Perf trajectory **K1** — event-kernel throughput and allocation budget.
+///
+/// Two measurements, both against the public kernel API so the numbers are
+/// comparable across kernel implementations:
+///
+///   1. `kernel_storm` — a raw Simulator micro-benchmark: a population of
+///      self-rescheduling timers with a cancel/reschedule churn component,
+///      the access pattern the switch/host hot paths produce (schedule,
+///      fire, occasionally cancel a pending wake-up and re-arm it).
+///   2. `mesh16_saturated` — the full platform: a 4x4 mesh (one host per
+///      switch) at 100% offered load, the saturated pattern used by the
+///      ROADMAP perf trajectory.
+///
+/// For each, events/sec, wall time, and allocs/event are reported; heap
+/// allocations are counted by an instrumented global operator new (this
+/// binary only — the library is untouched). JSON goes to --json=PATH for
+/// scripts/bench_report.py to fold into BENCH_kernel.json.
+///
+///   ./bench_kernel [--quick] [--json=PATH]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/rng.hpp"
+
+// --- instrumented allocator hook (counts every heap allocation) ----------
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace dqos;
+using namespace dqos::literals;
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                      : 0.0;
+  }
+};
+
+void print_measurement(const char* name, const Measurement& m) {
+  std::printf("  %-16s %12llu events  %8.3f s  %12.0f events/s  %7.4f allocs/event\n",
+              name, static_cast<unsigned long long>(m.events), m.wall_s,
+              m.events_per_sec(), m.allocs_per_event());
+}
+
+/// Shared mutable state of the storm (kept outside the closures so each
+/// closure is a small trivially-movable object, like the real hot-path
+/// lambdas `[this, vc, bytes]`).
+struct StormState {
+  Simulator* sim = nullptr;
+  Rng rng{42};
+  std::uint64_t fired = 0;
+  std::uint64_t budget = 0;
+  std::vector<EventId> timers;  ///< one pending wake-up per storm slot
+};
+
+/// A self-rescheduling timer: fires, re-arms itself, and occasionally
+/// cancels + re-arms a random other slot (the Host::schedule_eligible_wakeup
+/// pattern). 24 bytes of captures: heap-allocated by std::function's 16-byte
+/// SBO, inline in a >=48-byte small-buffer task.
+struct Tick {
+  StormState* st;
+  std::uint32_t slot;
+  void operator()() const {
+    StormState& s = *st;
+    ++s.fired;
+    if (s.fired >= s.budget) return;  // let the calendar drain
+    const auto delay =
+        Duration::picoseconds(static_cast<std::int64_t>(s.rng.uniform_int(1, 5000)));
+    s.timers[slot] = s.sim->schedule_after(delay, Tick{st, slot});
+    if (s.rng.chance(0.25)) {
+      // Cancel-and-re-arm churn on a random other timer.
+      const auto victim =
+          static_cast<std::uint32_t>(s.rng.uniform_int(0, s.timers.size() - 1));
+      s.sim->cancel(s.timers[victim]);
+      const auto redelay = Duration::picoseconds(
+          static_cast<std::int64_t>(s.rng.uniform_int(1, 5000)));
+      s.timers[victim] = s.sim->schedule_after(redelay, Tick{st, victim});
+    }
+  }
+};
+
+Measurement run_storm(std::uint64_t budget) {
+  Simulator sim;
+  StormState st;
+  st.sim = &sim;
+  st.budget = budget;
+  const std::uint32_t kSlots = 512;
+  st.timers.resize(kSlots);
+  for (std::uint32_t i = 0; i < kSlots; ++i) {
+    st.timers[i] = sim.schedule_after(
+        Duration::picoseconds(static_cast<std::int64_t>(i) + 1), Tick{&st, i});
+  }
+  // Warm up allocator/heap capacity before the measured window.
+  const std::uint64_t warm = budget / 10;
+  while (st.fired < warm && sim.step()) {
+  }
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t fired0 = sim.events_processed();
+  const auto t0 = Clock::now();
+  sim.run();
+  const auto t1 = Clock::now();
+  Measurement m;
+  m.events = sim.events_processed() - fired0;
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return m;
+}
+
+Measurement run_mesh16(bool quick) {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kMesh2D;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.mesh_concentration = 1;
+  cfg.arch = SwitchArch::kAdvanced2Vc;
+  cfg.load = 1.0;  // saturated
+  cfg.warmup = 1_ms;
+  cfg.measure = quick ? 2_ms : 10_ms;
+  cfg.drain = 2_ms;
+  cfg.seed = 1;
+  NetworkSimulator net(cfg);
+  // Steady-state budget: count from run() onward; platform construction
+  // (topology, buffers, sources) is setup cost, not per-event cost.
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  const SimReport rep = net.run();
+  const auto t1 = Clock::now();
+  Measurement m;
+  m.events = rep.events_processed;
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return m;
+}
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+void emit_json(std::FILE* f, const Measurement& storm, const Measurement& mesh,
+               bool quick) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_kernel\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  const auto section = [f](const char* name, const Measurement& m, bool last) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"events\": %llu,\n"
+                 "    \"wall_s\": %.6f,\n"
+                 "    \"events_per_sec\": %.1f,\n"
+                 "    \"allocs\": %llu,\n"
+                 "    \"allocs_per_event\": %.6f\n"
+                 "  }%s\n",
+                 name, static_cast<unsigned long long>(m.events), m.wall_s,
+                 m.events_per_sec(), static_cast<unsigned long long>(m.allocs),
+                 m.allocs_per_event(), last ? "" : ",");
+  };
+  section("kernel_storm", storm, false);
+  section("mesh16_saturated", mesh, true);
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "--quick");
+  const std::string json_path = arg_value(argc, argv, "json", "");
+
+  std::printf("=== K1: event-kernel throughput / allocation budget%s ===\n",
+              quick ? " (quick)" : "");
+  const Measurement storm = run_storm(quick ? 500'000 : 5'000'000);
+  print_measurement("kernel_storm", storm);
+  const Measurement mesh = run_mesh16(quick);
+  print_measurement("mesh16_saturated", mesh);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_kernel: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    emit_json(f, storm, mesh, quick);
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "bench_kernel: write to %s failed\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json: %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -10,8 +10,10 @@
 ///
 ///   ./bench_vc_sweep [--paper]
 #include <cstdio>
+#include <iterator>
 
 #include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 
 using namespace dqos;
 using namespace dqos::literals;
@@ -40,14 +42,21 @@ int main(int argc, char** argv) {
 
   TableWriter table({"configuration", "VC buffers", "control lat [us]",
                      "control p99 [us]", "frame lat [ms]", "BE/BG ratio"});
-  for (const auto& c : configs) {
+  constexpr std::size_t kPoints = std::size(configs);
+  std::vector<SimReport> reports(kPoints);
+  SweepRunner runner;
+  runner.run(kPoints, [&](std::size_t i) {
     SimConfig cfg = base;
-    cfg.arch = c.arch;
-    cfg.num_vcs = c.num_vcs;
-    cfg.vc_weights = c.weights;
-    std::fprintf(stderr, "  [run] %s ...\n", c.label);
+    cfg.arch = configs[i].arch;
+    cfg.num_vcs = configs[i].num_vcs;
+    cfg.vc_weights = configs[i].weights;
     NetworkSimulator net(cfg);
-    const SimReport rep = net.run();
+    reports[i] = net.run();
+    runner.log(std::string("  [run] ") + configs[i].label + " done");
+  });
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const auto& c = configs[i];
+    const SimReport& rep = reports[i];
     const double bg = background_throughput_frac(rep);
     table.row({c.label, std::to_string(c.num_vcs),
                TableWriter::num(rep.of(TrafficClass::kControl).avg_packet_latency_us, 1),

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Run bench_kernel and emit/refresh BENCH_kernel.json, the repo's kernel
+performance trajectory.
+
+The committed BENCH_kernel.json records, per benchmark section, a *baseline*
+(the pre-optimization kernel, captured once per optimization PR) and the
+*current* measurement, plus speedup/allocation ratios — so the acceptance
+numbers ("N x events/sec, M allocs/event vs the old kernel") live in one
+auditable artifact instead of a PR description.
+
+Usage:
+  scripts/bench_report.py --bench build/bench/bench_kernel \
+      [--baseline old.json] [--out BENCH_kernel.json] [--quick] [--label txt]
+
+With --baseline, that file's measurements become the recorded baseline.
+Without it, an existing --out file's baseline is carried forward (the usual
+CI refresh mode); if neither exists the current run doubles as the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SECTIONS = ("kernel_storm", "mesh16_saturated")
+MEASURE_KEYS = ("events", "wall_s", "events_per_sec", "allocs", "allocs_per_event")
+
+
+def run_bench(bench: Path, quick: bool) -> dict:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = Path(tmp.name)
+    try:
+        cmd = [str(bench), f"--json={tmp_path}"]
+        if quick:
+            cmd.append("--quick")
+        subprocess.run(cmd, check=True, stdout=sys.stderr)
+        return json.loads(tmp_path.read_text())
+    finally:
+        tmp_path.unlink(missing_ok=True)
+
+
+def section_measurements(doc: dict, source: str) -> dict:
+    out = {}
+    for name in SECTIONS:
+        if name not in doc:
+            raise SystemExit(f"error: {source} is missing section '{name}'")
+        sec = doc[name]
+        missing = [k for k in MEASURE_KEYS if k not in sec]
+        if missing:
+            raise SystemExit(f"error: {source} section '{name}' lacks {missing}")
+        out[name] = {k: sec[k] for k in MEASURE_KEYS}
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", type=Path, default=Path("build/bench/bench_kernel"),
+                    help="bench_kernel binary (default: build/bench/bench_kernel)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="JSON from the pre-change kernel to record as baseline")
+    ap.add_argument("--out", type=Path, default=Path("BENCH_kernel.json"))
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to bench_kernel (CI smoke; noisier numbers)")
+    ap.add_argument("--label", default="",
+                    help="free-form note stored alongside the current run")
+    args = ap.parse_args()
+
+    if not args.bench.is_file():
+        raise SystemExit(f"error: bench binary not found: {args.bench}")
+
+    current = section_measurements(run_bench(args.bench, args.quick), "bench run")
+
+    if args.baseline is not None:
+        baseline = section_measurements(
+            json.loads(args.baseline.read_text()), str(args.baseline))
+    elif args.out.is_file():
+        prior = json.loads(args.out.read_text())
+        baseline = {name: prior[name]["baseline"] for name in SECTIONS
+                    if name in prior and "baseline" in prior[name]}
+        if set(baseline) != set(SECTIONS):
+            baseline = current
+    else:
+        baseline = current
+
+    doc = {
+        "bench": "bench_kernel",
+        "quick": args.quick,
+        "label": args.label,
+    }
+    for name in SECTIONS:
+        base, cur = baseline[name], current[name]
+        doc[name] = {
+            "baseline": base,
+            "current": cur,
+            "events_per_sec_ratio": round(
+                cur["events_per_sec"] / base["events_per_sec"], 3)
+            if base["events_per_sec"] > 0 else None,
+            "allocs_per_event_delta": round(
+                cur["allocs_per_event"] - base["allocs_per_event"], 6),
+        }
+
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for name in SECTIONS:
+        sec = doc[name]
+        print(f"  {name:<18} {sec['current']['events_per_sec']:>12.1f} ev/s "
+              f"({sec['events_per_sec_ratio']}x baseline), "
+              f"{sec['current']['allocs_per_event']:.4f} allocs/event")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

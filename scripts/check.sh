@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite under both sanitizers.
+# Tier-1 verification: build + full test suite under both sanitizers, then
+# a Release perf smoke (bench_kernel --quick must produce valid JSON; the
+# *numbers* are not gated here — perf regressions are reviewed via
+# BENCH_kernel.json, keeping CI stable on noisy machines).
 #
-#   scripts/check.sh            # asan + ubsan presets, all tests
-#   scripts/check.sh asan       # just one preset
+#   scripts/check.sh            # asan + ubsan presets, all tests, perf smoke
+#   scripts/check.sh asan       # just one preset (skips the perf smoke)
 #
 # Death tests exercise contract aborts on purpose; ASAN's allocator is told
 # not to treat those intentional aborts as leaks.
@@ -10,7 +13,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=(asan ubsan)
-[[ $# -gt 0 ]] && presets=("$@")
+run_perf_smoke=1
+if [[ $# -gt 0 ]]; then
+  presets=("$@")
+  run_perf_smoke=0
+fi
 
 export ASAN_OPTIONS=abort_on_error=0
 export UBSAN_OPTIONS=print_stacktrace=1
@@ -23,5 +30,15 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$(nproc)"
 done
+
+if [[ $run_perf_smoke -eq 1 ]]; then
+  echo "=== [bench] Release perf smoke ==="
+  cmake --preset bench
+  cmake --build --preset bench --target bench_kernel -j "$(nproc)"
+  smoke_json=build-bench/bench_kernel_smoke.json
+  build-bench/bench/bench_kernel --quick --json="$smoke_json"
+  python3 -m json.tool "$smoke_json" > /dev/null
+  echo "perf smoke OK: $smoke_json"
+fi
 
 echo "=== all checks passed ==="

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/sweep_runner.hpp"
 #include "util/contracts.hpp"
 
 namespace dqos {
@@ -10,25 +11,37 @@ std::vector<SweepPoint> run_sweep(const SimConfig& base,
                                   std::span<const SwitchArch> archs,
                                   std::span<const double> loads,
                                   const std::function<void(SimConfig&)>& tweak) {
-  std::vector<SweepPoint> points;
-  points.reserve(archs.size() * loads.size());
+  // Build every point's config on this thread, in serial-loop order; the
+  // tweak callback therefore never runs concurrently and per-point seeds
+  // are fixed before any replica starts.
+  std::vector<SimConfig> cfgs;
+  cfgs.reserve(archs.size() * loads.size());
   for (const SwitchArch arch : archs) {
     for (const double load : loads) {
       SimConfig cfg = base;
       cfg.arch = arch;
       cfg.load = load;
       if (tweak) tweak(cfg);
-      std::fprintf(stderr, "  [run] %-17s load=%.2f ...", std::string(to_string(arch)).c_str(),
-                   load);
-      std::fflush(stderr);
-      NetworkSimulator net(cfg);
-      SimReport rep = net.run();
-      std::fprintf(stderr, " done (%llu pkts, %llu events)\n",
-                   static_cast<unsigned long long>(rep.packets_delivered),
-                   static_cast<unsigned long long>(rep.events_processed));
-      points.push_back(SweepPoint{arch, load, std::move(rep)});
+      cfgs.push_back(std::move(cfg));
     }
   }
+
+  // Fan out: one independent single-threaded replica per point, collected
+  // by index so the result order (and every downstream table/CSV byte)
+  // matches the serial loop exactly.
+  std::vector<SweepPoint> points(cfgs.size());
+  SweepRunner runner;
+  runner.run(cfgs.size(), [&](std::size_t i) {
+    NetworkSimulator net(cfgs[i]);
+    SimReport rep = net.run();
+    char line[160];
+    std::snprintf(line, sizeof line, "  [run] %-17s load=%.2f done (%llu pkts, %llu events)",
+                  std::string(to_string(cfgs[i].arch)).c_str(), cfgs[i].load,
+                  static_cast<unsigned long long>(rep.packets_delivered),
+                  static_cast<unsigned long long>(rep.events_processed));
+    runner.log(line);
+    points[i] = SweepPoint{cfgs[i].arch, cfgs[i].load, std::move(rep)};
+  });
   return points;
 }
 

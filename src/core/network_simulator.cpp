@@ -99,6 +99,10 @@ void NetworkSimulator::build_nodes() {
   hp.edf_queues = cfg_.arch != SwitchArch::kTraditional2Vc;
   hp.vc_weights = cfg_.vc_weights;
   hosts_.reserve(topo_->num_hosts());
+  // Warm the packet pool to the expected steady-state working set (a few
+  // packets in flight per host plus NIC backlog) so the measured phase never
+  // touches the general heap on the packet path.
+  pool_.preallocate(static_cast<std::size_t>(topo_->num_hosts()) * 64);
   const bool retry_on = fault_active_ && cfg_.fault.control_retry;
   for (NodeId h = 0; h < topo_->num_hosts(); ++h) {
     hosts_.push_back(

@@ -1,0 +1,73 @@
+#include "core/sweep_runner.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace dqos {
+
+unsigned SweepRunner::resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DQOS_SWEEP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(resolve_threads(threads)) {}
+
+void SweepRunner::run(std::size_t n, const std::function<void(std::size_t)>& job) {
+  if (n == 0) return;
+  const std::size_t nthreads = std::min<std::size_t>(threads_, n);
+  if (nthreads <= 1) {
+    // Serial path: no pool, exceptions propagate naturally. This is also
+    // the reference execution order the parallel path must reproduce.
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mutex;
+  std::exception_ptr first_err;
+  std::size_t first_err_index = std::numeric_limits<std::size_t>::max();
+
+  auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        job(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lk(err_mutex);
+        if (i < first_err_index) {
+          first_err_index = i;
+          first_err = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  if (first_err) std::rethrow_exception(first_err);
+}
+
+void SweepRunner::log(const std::string& line) {
+  const std::lock_guard<std::mutex> lk(log_mutex_);
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace dqos

@@ -1,0 +1,51 @@
+/// \file sweep_runner.hpp
+/// Parallel fan-out for embarrassingly-parallel simulation sweeps.
+///
+/// Each sweep point is an independent single-threaded NetworkSimulator
+/// replica with its own seed, pool, and metrics — there is no shared
+/// mutable state between points, so running them on a thread pool cannot
+/// perturb results. Determinism is preserved by construction:
+///   * configs (including per-point seeds) are built by the caller on the
+///     main thread, in the same order as the serial loop;
+///   * each job writes only to its own pre-sized result slot, so collected
+///     results are index-ordered regardless of completion order;
+///   * the golden-determinism suite (tests/core/test_determinism.cpp)
+///     pins the resulting CSV bytes against the serial baseline.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace dqos {
+
+class SweepRunner {
+ public:
+  /// threads == 0: use DQOS_SWEEP_THREADS if set (positive integer),
+  /// else std::thread::hardware_concurrency(), else 1.
+  explicit SweepRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Runs job(i) for every i in [0, n) across the pool (work-stealing via
+  /// a shared atomic index). Jobs must be self-contained: each may touch
+  /// only its own result slot. Blocks until all jobs finish. If any job
+  /// throws, the remaining queue is abandoned, in-flight jobs complete,
+  /// and the exception from the lowest-indexed failure is rethrown on the
+  /// calling thread.
+  void run(std::size_t n, const std::function<void(std::size_t)>& job);
+
+  /// Serialized progress line (jobs finish out of order; interleaved
+  /// two-part "start ... done" logs would garble). Appends its own '\n'.
+  void log(const std::string& line);
+
+  /// What SweepRunner{0} would use — for harness banners.
+  [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+
+ private:
+  unsigned threads_;
+  std::mutex log_mutex_;
+};
+
+}  // namespace dqos

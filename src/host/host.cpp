@@ -284,7 +284,8 @@ void Host::pump() {
   // the credit callback, which resumes the pump.
   if (!uplink_->is_up()) return;
 
-  for (const VcId vc : vc_policy_->order()) {
+  vc_policy_->order(vc_order_scratch_);
+  for (const VcId vc : vc_order_scratch_) {
     const Packet* head = nullptr;
     if (params_.edf_queues) {
       if (!ready_q_[vc].empty()) head = ready_q_[vc].front().pkt.get();

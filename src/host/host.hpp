@@ -23,6 +23,7 @@
 /// without bound).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -201,6 +202,7 @@ class Host final : public PacketReceiver {
   std::vector<MinHeap> ready_q_;       ///< per VC, deadline-ordered (EDF mode)
   std::vector<std::deque<PacketPtr>> fifo_q_;  ///< per VC (FIFO mode)
   std::unique_ptr<VcSelectionPolicy> vc_policy_;
+  std::vector<VcId> vc_order_scratch_;  ///< pump() hot-path scratch
   TimePoint link_busy_until_;
   EventId eligible_wakeup_ = 0;
   TimePoint eligible_wakeup_at_ = TimePoint::max();

@@ -9,7 +9,7 @@ void PacketRecycler::operator()(Packet* p) const {
   if (pool) {
     pool->recycle(p);
   } else {
-    delete p;
+    delete p;  // not pool storage: an individually allocated Packet
   }
 }
 
@@ -18,18 +18,24 @@ PacketPool::~PacketPool() {
   // deleters; destroying the pool first is a use-after-free in the making.
   // Contract-check it instead of letting it fester.
   DQOS_ASSERT(outstanding_ == 0);
-  for (Packet* p : free_) delete p;
+}
+
+void PacketPool::grow() {
+  auto chunk = std::make_unique<Packet[]>(kChunkPackets);
+  free_.reserve(free_.size() + kChunkPackets);
+  for (std::size_t i = 0; i < kChunkPackets; ++i) free_.push_back(&chunk[i]);
+  chunks_.push_back(std::move(chunk));
+}
+
+void PacketPool::preallocate(std::size_t n) {
+  while (free_.size() < n) grow();
 }
 
 PacketPtr PacketPool::make() {
-  Packet* p;
-  if (free_.empty()) {
-    p = new Packet();
-  } else {
-    p = free_.back();
-    free_.pop_back();
-    *p = Packet{};
-  }
+  if (free_.empty()) grow();
+  Packet* p = free_.back();
+  free_.pop_back();
+  *p = Packet{};
   ++outstanding_;
   return PacketPtr(p, PacketRecycler{this});
 }

@@ -5,6 +5,11 @@
 /// from the general heap is measurable and fragments memory. The pool keeps
 /// a free list and hands out unique_ptrs whose deleter returns the object
 /// to the pool (RAII — packets can never leak even on early unwinds).
+///
+/// Storage grows in chunks of kChunkPackets (not one object at a time), so
+/// a cold-started pool reaches steady state in a handful of allocations,
+/// and NetworkSimulator can preallocate() the expected working set up
+/// front, making the simulation loop allocation-free on the packet path.
 #pragma once
 
 #include <memory>
@@ -16,9 +21,10 @@ namespace dqos {
 
 class PacketPool;
 
-/// Deleter that recycles into the owning pool (or frees if the pool died
-/// first — pools outlive packets in normal operation, but unit tests may
-/// tear down in any order).
+/// Deleter that recycles into the owning pool. Pool-made packets always
+/// carry a valid pool pointer (the pool asserts it outlives them); the
+/// null-pool branch only serves PacketPtrs built around an individually
+/// new-ed Packet outside any pool.
 struct PacketRecycler {
   PacketPool* pool = nullptr;
   void operator()(Packet* p) const;
@@ -28,6 +34,10 @@ using PacketPtr = std::unique_ptr<Packet, PacketRecycler>;
 
 class PacketPool {
  public:
+  /// Packets per storage chunk: big enough to amortize the allocation,
+  /// small enough that a tiny test platform does not over-commit.
+  static constexpr std::size_t kChunkPackets = 256;
+
   PacketPool() = default;
   ~PacketPool();
   PacketPool(const PacketPool&) = delete;
@@ -36,13 +46,19 @@ class PacketPool {
   /// Returns a zero-initialized packet (fields reset to defaults).
   PacketPtr make();
 
+  /// Grows the pool until at least `n` packets are free, in whole chunks.
+  /// Called by NetworkSimulator setup so the measured run starts warm.
+  void preallocate(std::size_t n);
+
   [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
   [[nodiscard]] std::size_t free_count() const { return free_.size(); }
 
  private:
   friend struct PacketRecycler;
   void recycle(Packet* p);
+  void grow();
 
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
   std::vector<Packet*> free_;
   std::size_t outstanding_ = 0;
 };

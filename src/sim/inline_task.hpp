@@ -1,0 +1,197 @@
+/// \file inline_task.hpp
+/// Move-only callable for the event calendar, optimized for zero heap
+/// allocations on the scheduling hot path.
+///
+/// Every scheduled event in the simulator is a small closure — typically
+/// `[this, vc, bytes]` or `[this, p = std::move(packet), out]`, 16–40
+/// bytes. `std::function` stores anything beyond its 16-byte small buffer
+/// on the general heap *and* requires copyability, which forced
+/// `shared_ptr<PacketPtr>` shims around move-only packets. InlineTask fixes
+/// both:
+///
+///   - a 48-byte inline buffer holds every hot-path closure in place
+///     (no allocation, no pointer chase on invoke);
+///   - move-only targets (unique_ptr captures) are supported directly;
+///   - closures that do overflow the buffer fall back to a thread-local
+///     slab of fixed-size blocks, recycled on a free list, so even the
+///     cold path stops paying one malloc/free per event in steady state.
+///
+/// Thread model: tasks are created, invoked, and destroyed on the thread
+/// that owns their Simulator (each replica of a parallel sweep is
+/// single-threaded). Slab blocks are individually heap-allocated, so a
+/// block released on a different thread than the one that allocated it is
+/// still safe — it simply joins the releasing thread's free list.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+namespace detail {
+
+/// Thread-local recycling allocator for oversized task closures. Fixed
+/// block size keeps the free list trivially reusable; blocks are plain
+/// `operator new` allocations, freed for real only when the owning thread
+/// exits (so sanitizers see no leaks).
+class TaskSlab {
+ public:
+  /// Generous upper bound: any closure the simulator schedules should be
+  /// far below this; bigger ones use plain operator new.
+  static constexpr std::size_t kBlockBytes = 192;
+
+  static void* allocate() {
+    TaskSlab& s = instance();
+    if (s.free_.empty()) {
+      return ::operator new(kBlockBytes, std::align_val_t{alignof(std::max_align_t)});
+    }
+    void* p = s.free_.back();
+    s.free_.pop_back();
+    return p;
+  }
+
+  static void deallocate(void* p) { instance().free_.push_back(p); }
+
+  ~TaskSlab() {
+    for (void* p : free_) {
+      ::operator delete(p, std::align_val_t{alignof(std::max_align_t)});
+    }
+  }
+
+ private:
+  static TaskSlab& instance() {
+    thread_local TaskSlab slab;
+    return slab;
+  }
+  std::vector<void*> free_;
+};
+
+}  // namespace detail
+
+/// A move-only `void()` callable with a 48-byte small-buffer optimization
+/// and slab-allocated overflow. Drop-in replacement for
+/// `std::function<void()>` on the Simulator API (minus copyability).
+class InlineTask {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineTask() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineTask> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineTask(F&& f) {  // NOLINT(google-explicit-constructor) — mirrors std::function
+    constexpr bool kInline = sizeof(D) <= kInlineBytes &&
+                             alignof(D) <= alignof(std::max_align_t) &&
+                             std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kInline) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::kOps;
+    } else if constexpr (sizeof(D) <= detail::TaskSlab::kBlockBytes &&
+                         alignof(D) <= alignof(std::max_align_t)) {
+      void* mem = detail::TaskSlab::allocate();
+      ::new (mem) D(std::forward<F>(f));
+      ptr() = mem;
+      ops_ = &HeapOps<D, true>::kOps;
+    } else {
+      void* mem = ::operator new(sizeof(D), std::align_val_t{alignof(D)});
+      ::new (mem) D(std::forward<F>(f));
+      ptr() = mem;
+      ops_ = &HeapOps<D, false>::kOps;
+    }
+  }
+
+  InlineTask(InlineTask&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(*this, other);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->relocate(*this, other);
+        ops_ = other.ops_;
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(*this);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    DQOS_EXPECTS(ops_ != nullptr);
+    ops_->invoke(*this);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(InlineTask&);
+    /// Move-construct the target into raw `dst` storage, destroying `src`'s.
+    void (*relocate)(InlineTask& dst, InlineTask& src) noexcept;
+    void (*destroy)(InlineTask&) noexcept;
+  };
+
+  [[nodiscard]] void*& ptr() { return *reinterpret_cast<void**>(buf_); }
+
+  template <typename D>
+  struct InlineOps {
+    static D& target(InlineTask& t) {
+      return *std::launder(reinterpret_cast<D*>(t.buf_));
+    }
+    static void invoke(InlineTask& t) { target(t)(); }
+    static void relocate(InlineTask& dst, InlineTask& src) noexcept {
+      ::new (static_cast<void*>(dst.buf_)) D(std::move(target(src)));
+      target(src).~D();
+    }
+    static void destroy(InlineTask& t) noexcept { target(t).~D(); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D, bool kSlab>
+  struct HeapOps {
+    static D& target(InlineTask& t) { return *static_cast<D*>(t.ptr()); }
+    static void invoke(InlineTask& t) { target(t)(); }
+    static void relocate(InlineTask& dst, InlineTask& src) noexcept {
+      dst.ptr() = src.ptr();  // ownership transfer: just move the pointer
+    }
+    static void destroy(InlineTask& t) noexcept {
+      D* d = &target(t);
+      d->~D();
+      if constexpr (kSlab) {
+        detail::TaskSlab::deallocate(t.ptr());
+      } else {
+        ::operator delete(t.ptr(), std::align_val_t{alignof(D)});
+      }
+    }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dqos

@@ -2,60 +2,134 @@
 
 namespace dqos {
 
-EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+EventId Simulator::schedule_at(TimePoint t, InlineTask fn) {
   DQOS_EXPECTS(t >= now_);
-  DQOS_EXPECTS(fn != nullptr);
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  DQOS_EXPECTS(static_cast<bool>(fn));
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(HeapNode{t, seq, slot});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return make_id(s.gen, slot);
 }
 
 void Simulator::cancel(EventId id) {
-  // Only an id that is actually pending gets a lazy-delete marker; fired or
-  // unknown ids leave no residue (the marker set would otherwise grow
-  // unboundedly under schedule/fire/cancel cycles).
-  if (pending_.erase(id) > 0) cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffULL);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // Fired/cancelled/reused slots fail the live || generation check: no
+  // residue, so schedule/fire/cancel cycles cannot grow memory unboundedly.
+  if (!s.live || s.gen != gen) return;
+  s.live = false;
+  s.cancelled = true;
+  s.fn.reset();  // release captures now; the heap node dies lazily
+  --live_;
+  ++tombstones_;
 }
 
-bool Simulator::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top() is const; the function object must be moved out,
-    // so use const_cast on the known-safe mutable member (standard idiom).
-    out.time = heap_.top().time;
-    out.id = heap_.top().id;
-    out.fn = std::move(const_cast<Entry&>(heap_.top()).fn);
-    heap_.pop();
-    if (cancelled_.erase(out.id) == 0) {
-      pending_.erase(out.id);
-      return true;
+void Simulator::sift_up(std::size_t i) {
+  const HeapNode moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = moving;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapNode moving = heap_[i];
+  while (true) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = (first + kArity < n) ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
     }
+    if (!earlier(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+void Simulator::pop_root() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulator::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  s.cancelled = false;
+  if (++s.gen == 0) s.gen = 1;  // ids are never zero
+  free_slots_.push_back(slot);
+}
+
+bool Simulator::pop_next(TimePoint& t, std::uint64_t& seq, InlineTask& fn) {
+  while (!heap_.empty()) {
+    const HeapNode node = heap_[0];
+    pop_root();
+    Slot& s = slots_[node.slot];
+    if (s.cancelled) {
+      free_slot(node.slot);
+      --tombstones_;
+      continue;
+    }
+    DQOS_ASSERT(s.live);
+    t = node.time;
+    seq = node.seq;
+    fn = std::move(s.fn);
+    free_slot(node.slot);
+    --live_;
+    return true;
   }
   return false;
 }
 
+void Simulator::prune_cancelled_head() {
+  while (!heap_.empty() && slots_[heap_[0].slot].cancelled) {
+    const std::uint32_t slot = heap_[0].slot;
+    pop_root();
+    free_slot(slot);
+    --tombstones_;
+  }
+}
+
 bool Simulator::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
-  DQOS_ASSERT(e.time >= now_);
-  now_ = e.time;
+  TimePoint t;
+  std::uint64_t seq = 0;
+  InlineTask fn;
+  if (!pop_next(t, seq, fn)) return false;
+  DQOS_ASSERT(t >= now_);
+  now_ = t;
   ++fired_;
-  e.fn();
+  if (fire_hook_) fire_hook_(seq, t);
+  fn();
   return true;
 }
 
 void Simulator::run_until(TimePoint t) {
   DQOS_EXPECTS(t >= now_);
-  while (!heap_.empty()) {
-    Entry e;
+  while (true) {
     // Peek without committing: if the earliest live event is past t, stop.
-    // pop_next would discard it, so check the raw top first and prune
-    // cancelled heads explicitly.
-    while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().time > t) break;
+    prune_cancelled_head();
+    if (heap_.empty() || heap_[0].time > t) break;
     const bool fired = step();
     DQOS_ASSERT(fired);
   }

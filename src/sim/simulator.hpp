@@ -11,20 +11,29 @@
 /// the messy construct once): no process abstraction, no channels — the
 /// network components in src/switchfab and src/host are plain objects that
 /// schedule their own wake-ups.
+///
+/// Hot-path design (see DESIGN.md §7): closures are stored as InlineTask
+/// (48-byte small-buffer, move-only — steady-state scheduling performs no
+/// heap allocation), and the calendar is a 4-ary heap of 24-byte nodes
+/// over a slot table indexed by the event handle. Cancellation is O(1):
+/// the slot is tombstoned (and its closure destroyed immediately) while
+/// the heap node dies lazily on pop, so the pop path does no hash lookups
+/// at all. Handles are generation-tagged slot indices; stale handles from
+/// fired or cancelled events miss the generation check and are no-ops.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_task.hpp"
 #include "util/contracts.hpp"
 #include "util/time.hpp"
 
 namespace dqos {
 
-/// Opaque handle to a scheduled event, usable for cancellation.
+/// Opaque handle to a scheduled event, usable for cancellation. Zero is
+/// never a valid handle (components use 0 as "no event armed").
 using EventId = std::uint64_t;
 
 class Simulator {
@@ -37,18 +46,19 @@ class Simulator {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t`. `t` must not be in the past.
-  EventId schedule_at(TimePoint t, std::function<void()> fn);
+  EventId schedule_at(TimePoint t, InlineTask fn);
 
   /// Schedules `fn` after a non-negative delay from now.
-  EventId schedule_after(Duration d, std::function<void()> fn) {
+  EventId schedule_after(Duration d, InlineTask fn) {
     DQOS_EXPECTS(d >= Duration::zero());
     return schedule_at(now_ + d, std::move(fn));
   }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is
-  /// a no-op. Only ids still in the calendar are recorded for lazy deletion,
-  /// and the record is pruned when the heap entry is popped, so repeated
-  /// cancellation in a long run cannot grow memory without bound.
+  /// a no-op (the generation tag in the handle goes stale when the slot is
+  /// reused). The closure is destroyed immediately; the heap node is
+  /// reclaimed when it reaches the top, so repeated cancellation in a long
+  /// run cannot grow memory without bound.
   void cancel(EventId id);
 
   /// Fires the next event. Returns false when the calendar is empty.
@@ -64,35 +74,74 @@ class Simulator {
   /// Drains the calendar completely.
   void run();
 
+  /// Test/diagnostic instrumentation: called after the clock advances and
+  /// before each event's closure runs, with the event's scheduling sequence
+  /// number (FIFO tie-break key; assigned 1, 2, 3, … in schedule order) and
+  /// fire time. The golden-determinism test hashes this stream; keep the
+  /// (seq, time) contract stable across kernel implementations.
+  void set_fire_hook(std::function<void(std::uint64_t, TimePoint)> hook) {
+    fire_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] std::uint64_t events_processed() const { return fired_; }
   /// Live (scheduled, not yet fired, not cancelled) events.
-  [[nodiscard]] std::size_t events_pending() const { return pending_.size(); }
+  [[nodiscard]] std::size_t events_pending() const { return live_; }
   /// Cancelled entries still awaiting heap removal (bounded by heap size;
   /// exposed for the regression test of the pruning behaviour).
-  [[nodiscard]] std::size_t cancelled_pending() const { return cancelled_.size(); }
+  [[nodiscard]] std::size_t cancelled_pending() const { return tombstones_; }
 
  private:
-  struct Entry {
-    TimePoint time;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among simultaneous events
-    }
+  /// One calendar entry's storage. The closure lives here; the heap refers
+  /// to slots by index. A slot is freed (generation bumped, index pushed on
+  /// the free list) exactly once — when its heap node is popped.
+  struct Slot {
+    InlineTask fn;
+    std::uint32_t gen = 1;
+    bool live = false;       ///< scheduled, not fired, not cancelled
+    bool cancelled = false;  ///< tombstoned, awaiting lazy heap removal
   };
 
-  /// Pops entries, skipping cancelled ones; returns false if empty.
-  bool pop_next(Entry& out);
+  /// A 4-ary min-heap node: 24 bytes, trivially movable, holds the full
+  /// (time, seq) ordering key so sift compares never touch the slot table.
+  struct HeapNode {
+    TimePoint time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  static constexpr std::size_t kArity = 4;
+
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  /// Strict-weak order of the calendar: earliest time first, FIFO among
+  /// simultaneous events.
+  static bool earlier(const HeapNode& a, const HeapNode& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_root();
+  void free_slot(std::uint32_t slot);
+  /// Pops entries, skipping tombstones; returns false if empty. On success
+  /// the slot is already recycled and the closure moved to `fn`.
+  bool pop_next(TimePoint& t, std::uint64_t& seq, InlineTask& fn);
+  /// Discards tombstoned entries at the heap root (peek must see a live
+  /// head to decide whether it is due).
+  void prune_cancelled_head();
 
   TimePoint now_ = TimePoint::zero();
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;    ///< ids currently live in the heap
-  std::unordered_set<EventId> cancelled_;  ///< subset awaiting heap removal
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
+  std::vector<HeapNode> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::function<void(std::uint64_t, TimePoint)> fire_hook_;
 };
 
 }  // namespace dqos

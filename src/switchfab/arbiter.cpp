@@ -59,16 +59,15 @@ WeightedVcPolicy::WeightedVcPolicy(std::vector<std::uint32_t> weights,
   }
 }
 
-std::vector<VcId> WeightedVcPolicy::order() {
+void WeightedVcPolicy::order(std::vector<VcId>& out) {
   // Current VC first while it retains deficit, then the others in ring
   // order. The switch skips unservable VCs, keeping the policy
   // work-conserving.
-  std::vector<VcId> out;
+  out.clear();
   out.reserve(weights_.size());
   for (std::size_t i = 0; i < weights_.size(); ++i) {
     out.push_back(static_cast<VcId>((current_ + i) % weights_.size()));
   }
-  return out;
 }
 
 void WeightedVcPolicy::granted(VcId vc, std::uint32_t bytes) {

@@ -81,9 +81,17 @@ std::unique_ptr<InputArbiter> make_input_arbiter(InputArbiterKind kind,
 class VcSelectionPolicy {
  public:
   virtual ~VcSelectionPolicy() = default;
-  /// VCs in the order they should be offered the link for this decision.
-  /// The switch takes the first VC that yields a transmittable packet.
-  [[nodiscard]] virtual std::vector<VcId> order() = 0;
+  /// Fills `out` (cleared first) with VCs in the order they should be
+  /// offered the link for this decision. The switch takes the first VC that
+  /// yields a transmittable packet. Out-param so hot-path callers reuse one
+  /// scratch buffer per port instead of allocating per decision.
+  virtual void order(std::vector<VcId>& out) = 0;
+  /// Allocating convenience wrapper (tests, diagnostics).
+  [[nodiscard]] std::vector<VcId> order() {
+    std::vector<VcId> out;
+    order(out);
+    return out;
+  }
   virtual void granted(VcId vc, std::uint32_t bytes) = 0;
 };
 
@@ -91,7 +99,10 @@ class VcSelectionPolicy {
 class StrictPriorityVcPolicy final : public VcSelectionPolicy {
  public:
   explicit StrictPriorityVcPolicy(std::uint8_t num_vcs);
-  [[nodiscard]] std::vector<VcId> order() override { return order_; }
+  using VcSelectionPolicy::order;
+  void order(std::vector<VcId>& out) override {
+    out.assign(order_.begin(), order_.end());
+  }
   void granted(VcId, std::uint32_t) override {}
 
  private:
@@ -108,7 +119,8 @@ class WeightedVcPolicy final : public VcSelectionPolicy {
   /// `quantum_bytes` — bytes of service per weight unit per round.
   explicit WeightedVcPolicy(std::vector<std::uint32_t> weights,
                             std::uint32_t quantum_bytes = 4096);
-  [[nodiscard]] std::vector<VcId> order() override;
+  using VcSelectionPolicy::order;
+  void order(std::vector<VcId>& out) override;
   void granted(VcId vc, std::uint32_t bytes) override;
 
  private:

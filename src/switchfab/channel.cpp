@@ -65,12 +65,9 @@ void Channel::send(PacketPtr p) {
   bytes_sent_ += p->size();
   busy_time_ += ser;
   in_flight_bytes_[vc] += static_cast<std::int64_t>(p->size());
-  // shared_ptr shim: std::function requires copyable closures, PacketPtr is
-  // move-only.
-  auto shared = std::make_shared<PacketPtr>(std::move(p));
-  sim_.schedule_after(ser + latency_, [this, shared, vc]() mutable {
-    in_flight_bytes_[vc] -= static_cast<std::int64_t>((*shared)->size());
-    dst_->receive_packet(std::move(*shared), dst_port_);
+  sim_.schedule_after(ser + latency_, [this, p = std::move(p), vc]() mutable {
+    in_flight_bytes_[vc] -= static_cast<std::int64_t>(p->size());
+    dst_->receive_packet(std::move(p), dst_port_);
   });
 }
 

@@ -162,7 +162,8 @@ void Switch::try_fill(std::size_t out) {
   // bandwidth first (§3.2 "absolute priority"); per-VC output queues keep
   // lower VCs from being starved of *space*.
   for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
-    std::vector<ArbCandidate> cands;
+    std::vector<ArbCandidate>& cands = cands_scratch_;
+    cands.clear();
     for (std::size_t in = 0; in < inputs_.size(); ++in) {
       if (inputs_[in].read_busy_until > now) continue;
       if (const Packet* head = inputs_[in].vc_buf[vc]->candidate(out)) {
@@ -186,9 +187,8 @@ void Switch::try_fill(std::size_t out) {
     o.write_busy_until = i.read_busy_until = now + xfer;
     // The packet is in flight across the crossbar; it lands in the output
     // buffer after the transfer.
-    auto shared = std::make_shared<PacketPtr>(std::move(p));
-    sim_.schedule_after(xfer, [this, shared, out]() mutable {
-      xbar_arrive(std::move(*shared), out);
+    sim_.schedule_after(xfer, [this, p = std::move(p), out]() mutable {
+      xbar_arrive(std::move(p), out);
     });
     sim_.schedule_after(xfer, [this, out] { try_fill(out); });
     sim_.schedule_after(xfer, [this, in] { on_input_free(in); });
@@ -221,7 +221,8 @@ void Switch::try_drain(std::size_t out) {
     return;
   }
 
-  for (const VcId vc : o.link_vc_policy->order()) {
+  o.link_vc_policy->order(vc_order_scratch_);
+  for (const VcId vc : vc_order_scratch_) {
     const Packet* head = o.vc_q[vc]->candidate();
     if (head == nullptr) continue;
     // Only the selected (minimum-deadline) packet is checked for credits

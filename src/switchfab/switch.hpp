@@ -173,6 +173,10 @@ class Switch final : public PacketReceiver {
   SwitchCounters counters_;
   PacketTracer* tracer_ = nullptr;
   std::function<void(TrafficClass)> drop_cb_;
+  // Hot-path scratch buffers (single-threaded switch; reused to keep the
+  // per-decision paths allocation-free).
+  std::vector<ArbCandidate> cands_scratch_;
+  std::vector<VcId> vc_order_scratch_;
 };
 
 }  // namespace dqos

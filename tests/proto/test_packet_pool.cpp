@@ -24,9 +24,10 @@ TEST(PacketPool, RecyclesMemory) {
     raw = p.get();
   }
   EXPECT_EQ(pool.outstanding(), 0u);
-  EXPECT_EQ(pool.free_count(), 1u);
+  // Storage grows by whole chunks; the recycled packet sits on top.
+  EXPECT_EQ(pool.free_count(), PacketPool::kChunkPackets);
   PacketPtr q = pool.make();
-  EXPECT_EQ(q.get(), raw);          // same storage reused
+  EXPECT_EQ(q.get(), raw);          // same storage reused (LIFO free list)
   EXPECT_EQ(q->hdr.flow, kInvalidFlow);  // but reset to defaults
 }
 
@@ -37,7 +38,10 @@ TEST(PacketPool, ManyOutstanding) {
   EXPECT_EQ(pool.outstanding(), 1000u);
   live.clear();
   EXPECT_EQ(pool.outstanding(), 0u);
-  EXPECT_EQ(pool.free_count(), 1000u);
+  EXPECT_GE(pool.free_count(), 1000u);  // everything returned…
+  EXPECT_LE(pool.free_count(),          // …rounded up to whole chunks
+            ((1000 + PacketPool::kChunkPackets - 1) / PacketPool::kChunkPackets) *
+                PacketPool::kChunkPackets);
 }
 
 TEST(PacketPool, ChurnReusesBoundedMemory) {
@@ -46,7 +50,31 @@ TEST(PacketPool, ChurnReusesBoundedMemory) {
     std::vector<PacketPtr> batch;
     for (int i = 0; i < 10; ++i) batch.push_back(pool.make());
   }
-  EXPECT_LE(pool.free_count(), 10u);
+  // Churn far below a chunk never grows past the first chunk.
+  EXPECT_LE(pool.free_count(), PacketPool::kChunkPackets);
+}
+
+TEST(PacketPool, PreallocateFillsWholeChunks) {
+  PacketPool pool;
+  pool.preallocate(1000);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_GE(pool.free_count(), 1000u);
+  EXPECT_EQ(pool.free_count() % PacketPool::kChunkPackets, 0u);
+  const std::size_t warm = pool.free_count();
+  // A warm pool serves makes without growing.
+  std::vector<PacketPtr> live;
+  for (int i = 0; i < 1000; ++i) live.push_back(pool.make());
+  EXPECT_EQ(pool.free_count(), warm - 1000u);
+  live.clear();
+  EXPECT_EQ(pool.free_count(), warm);
+}
+
+TEST(PacketPool, PreallocateIsIdempotent) {
+  PacketPool pool;
+  pool.preallocate(100);
+  const std::size_t warm = pool.free_count();
+  pool.preallocate(50);  // already satisfied: no growth
+  EXPECT_EQ(pool.free_count(), warm);
 }
 
 TEST(PacketPoolDeathTest, DestroyingPoolWithOutstandingPacketsAborts) {

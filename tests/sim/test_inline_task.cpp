@@ -1,0 +1,121 @@
+#include "sim/inline_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace dqos {
+namespace {
+
+TEST(InlineTask, EmptyIsFalsy) {
+  InlineTask t;
+  EXPECT_FALSE(t);
+}
+
+TEST(InlineTask, InvokesSmallClosure) {
+  int hits = 0;
+  InlineTask t([&hits] { ++hits; });
+  ASSERT_TRUE(t);
+  t();
+  EXPECT_EQ(hits, 1);
+  t();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineTask, MoveTransfersTarget) {
+  int hits = 0;
+  InlineTask a([&hits] { ++hits; });
+  InlineTask b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — contract under test
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineTask, MoveAssignReplacesAndDestroysOld) {
+  auto counted = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = counted;
+  InlineTask a([p = std::move(counted)] { ++*p; });
+  InlineTask b([] {});
+  a = std::move(b);  // old target (holding the shared_ptr) must be destroyed
+  EXPECT_TRUE(watch.expired());
+  ASSERT_TRUE(a);
+  a();  // the replacement no-op target
+}
+
+TEST(InlineTask, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(9);
+  int seen = 0;
+  InlineTask t([p = std::move(p), &seen] { seen = *p; });
+  InlineTask moved(std::move(t));
+  moved();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(InlineTask, ResetDestroysCapturesImmediately) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracked;
+  InlineTask t([p = std::move(tracked)] { (void)*p; });
+  EXPECT_FALSE(watch.expired());
+  t.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(t);
+}
+
+// A closure bigger than the 48-byte inline buffer but within the slab
+// block size: exercises the TaskSlab fallback path.
+TEST(InlineTask, OversizedClosureUsesSlabAndStillWorks) {
+  static_assert(sizeof(std::array<std::uint64_t, 12>) > InlineTask::kInlineBytes);
+  std::array<std::uint64_t, 12> big{};
+  big[0] = 3;
+  big[11] = 4;
+  std::uint64_t sum = 0;
+  InlineTask t([big, &sum] { sum = big[0] + big[11]; });
+  InlineTask moved(std::move(t));  // heap path: move is a pointer swap
+  moved();
+  EXPECT_EQ(sum, 7u);
+}
+
+TEST(InlineTask, SlabRecyclesBlocks) {
+  // Two sequential oversized tasks should reuse the same slab block
+  // (create → destroy → create returns the freed block, LIFO).
+  std::array<std::byte, 100> payload{};
+  void* first = nullptr;
+  {
+    InlineTask t([payload, &first]() mutable { first = payload.data(); });
+    t();
+  }
+  void* second = nullptr;
+  {
+    InlineTask t([payload, &second]() mutable { second = payload.data(); });
+    t();
+  }
+  EXPECT_EQ(first, second);
+}
+
+// Beyond the slab block size: plain operator-new fallback.
+TEST(InlineTask, HugeClosureFallsBackToHeap) {
+  static_assert(sizeof(std::array<std::uint64_t, 64>) > detail::TaskSlab::kBlockBytes);
+  std::array<std::uint64_t, 64> huge{};
+  huge[63] = 42;
+  std::uint64_t seen = 0;
+  InlineTask t([huge, &seen] { seen = huge[63]; });
+  t();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(InlineTask, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  InlineTask t([&hits] { ++hits; });
+  InlineTask& alias = t;
+  t = std::move(alias);
+  ASSERT_TRUE(t);
+  t();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -4,6 +4,7 @@
 
 #include "util/rng.hpp"
 
+#include <memory>
 #include <vector>
 
 namespace dqos {
@@ -212,6 +213,117 @@ TEST(Simulator, DoubleCancelRegistersOneTombstone) {
   EXPECT_EQ(sim.cancelled_pending(), 1u);
   sim.run();
   EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, CancelThenRescheduleStorm) {
+  // The host retry-timer pattern, at storm intensity: one logical timer is
+  // cancelled and re-armed thousands of times; only the last arming may
+  // fire, and the indexed heap must not leak slots or tombstones.
+  Simulator sim;
+  int fired = 0;
+  EventId timer = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (i > 0) sim.cancel(timer);
+    timer = sim.schedule_after(Duration::nanoseconds(100 + i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseIsNoop) {
+  // Generation tags: once an event fires, its id must never alias a newer
+  // event that recycled the same heap slot.
+  Simulator sim;
+  int first = 0, second = 0;
+  const EventId old_id = sim.schedule_after(Duration::nanoseconds(1), [&] { ++first; });
+  sim.run();
+  EXPECT_EQ(first, 1);
+  // The freed slot is recycled by the next schedule; the stale id differs
+  // only in generation.
+  const EventId new_id = sim.schedule_after(Duration::nanoseconds(1), [&] { ++second; });
+  EXPECT_NE(old_id, new_id);
+  sim.cancel(old_id);  // stale: must NOT cancel the new occupant
+  sim.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, CancelInsideCallback) {
+  // A firing event cancels a later one and a simultaneous one — both from
+  // inside the kernel's dispatch loop.
+  Simulator sim;
+  bool later_fired = false, peer_fired = false;
+  const EventId later =
+      sim.schedule_at(TimePoint::from_ps(200), [&] { later_fired = true; });
+  EventId peer = 0;
+  sim.schedule_at(TimePoint::from_ps(100), [&] {
+    sim.cancel(later);
+    sim.cancel(peer);
+  });
+  peer = sim.schedule_at(TimePoint::from_ps(100), [&] { peer_fired = true; });
+  sim.run();
+  EXPECT_FALSE(later_fired);
+  EXPECT_FALSE(peer_fired);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  EXPECT_EQ(sim.now().ps(), 100);
+}
+
+TEST(Simulator, CancelOwnEventInsideItsCallbackIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  EventId self = 0;
+  self = sim.schedule_after(Duration::nanoseconds(1), [&] {
+    ++fired;
+    sim.cancel(self);  // already popped: must be a no-op, not a tombstone
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, MoveOnlyClosure) {
+  // The kernel accepts move-only callables directly (the zero-copy packet
+  // hand-off relies on this — no shared_ptr shim).
+  Simulator sim;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  sim.schedule_after(Duration::nanoseconds(1),
+                     [p = std::move(payload), &seen] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, CancelDestroysClosureEagerly) {
+  // cancel() releases the closure's resources immediately, not at pop time
+  // — a cancelled retry timer must not pin its captures for the remaining
+  // heap lifetime of the tombstone.
+  Simulator sim;
+  auto tracked = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = tracked;
+  const EventId id = sim.schedule_after(Duration::nanoseconds(1000),
+                                        [p = std::move(tracked)] { (void)*p; });
+  EXPECT_FALSE(watch.expired());
+  sim.cancel(id);
+  EXPECT_TRUE(watch.expired());
+  sim.run();
+}
+
+TEST(Simulator, InterleavedCancelRescheduleKeepsFifoOrder) {
+  // Cancelling and rescheduling at one instant must not perturb the FIFO
+  // order of the surviving same-time events (the determinism contract).
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(
+        sim.schedule_at(TimePoint::from_ps(500), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 20; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  sim.run();
+  std::vector<int> expect;
+  for (int i = 0; i < 20; i += 2) expect.push_back(i);
+  EXPECT_EQ(order, expect);
 }
 
 }  // namespace

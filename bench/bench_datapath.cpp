@@ -1,0 +1,186 @@
+/// \file bench_datapath.cpp
+/// Perf trajectory **D1** — switch datapath throughput per architecture.
+///
+/// Where bench_kernel measures the event calendar, this measures the switch
+/// datapath the calendar drives: ring-buffer queue storage, devirtualized
+/// disciplines, and the cached min-deadline arbitration scan. Three
+/// saturated mesh16 scenarios, one per queueing scheme:
+///
+///   1. `mesh16_simple`   — Simple2Vc (FIFO + EDF arbitration),
+///   2. `mesh16_advanced` — Advanced2Vc (take-over L/U queues),
+///   3. `mesh16_heap`     — Ideal (heap buffers, full sort).
+///
+/// For each: events/sec, wall time, and allocs/event via an instrumented
+/// global operator new — the zero-allocation steady-state claim for the
+/// datapath is checked against this number. JSON goes to --json=PATH for
+/// scripts/bench_report.py (with --sections) to fold into
+/// BENCH_datapath.json.
+///
+///   ./bench_datapath [--quick] [--json=PATH]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "core/experiment.hpp"
+
+// --- instrumented allocator hook (counts every heap allocation) ----------
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace dqos;
+using namespace dqos::literals;
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                      : 0.0;
+  }
+};
+
+void print_measurement(const char* name, const Measurement& m) {
+  std::printf("  %-16s %12llu events  %8.3f s  %12.0f events/s  %7.4f allocs/event\n",
+              name, static_cast<unsigned long long>(m.events), m.wall_s,
+              m.events_per_sec(), m.allocs_per_event());
+}
+
+/// One saturated 4x4-mesh run of `arch`. Warmup inside the run absorbs the
+/// cold-queue growth allocations (ring chunks, sample reserves); the alloc
+/// counter spans the whole run, so allocs/event is an *upper bound* on the
+/// steady-state datapath cost.
+Measurement run_mesh16(SwitchArch arch, bool quick) {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kMesh2D;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.mesh_concentration = 1;
+  cfg.arch = arch;
+  cfg.load = 1.0;  // saturated: the datapath, not the sources, is the limit
+  cfg.warmup = 1_ms;
+  cfg.measure = quick ? 2_ms : 10_ms;
+  cfg.drain = 2_ms;
+  cfg.seed = 1;
+  NetworkSimulator net(cfg);
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  const SimReport rep = net.run();
+  const auto t1 = Clock::now();
+  Measurement m;
+  m.events = rep.events_processed;
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return m;
+}
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+void emit_json(std::FILE* f, const Measurement& simple, const Measurement& adv,
+               const Measurement& heap, bool quick) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_datapath\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  const auto section = [f](const char* name, const Measurement& m, bool last) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"events\": %llu,\n"
+                 "    \"wall_s\": %.6f,\n"
+                 "    \"events_per_sec\": %.1f,\n"
+                 "    \"allocs\": %llu,\n"
+                 "    \"allocs_per_event\": %.6f\n"
+                 "  }%s\n",
+                 name, static_cast<unsigned long long>(m.events), m.wall_s,
+                 m.events_per_sec(), static_cast<unsigned long long>(m.allocs),
+                 m.allocs_per_event(), last ? "" : ",");
+  };
+  section("mesh16_simple", simple, false);
+  section("mesh16_advanced", adv, false);
+  section("mesh16_heap", heap, true);
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "--quick");
+  const std::string json_path = arg_value(argc, argv, "json", "");
+
+  std::printf("=== D1: switch datapath throughput per architecture%s ===\n",
+              quick ? " (quick)" : "");
+  const Measurement simple = run_mesh16(SwitchArch::kSimple2Vc, quick);
+  print_measurement("mesh16_simple", simple);
+  const Measurement adv = run_mesh16(SwitchArch::kAdvanced2Vc, quick);
+  print_measurement("mesh16_advanced", adv);
+  const Measurement heap = run_mesh16(SwitchArch::kIdeal, quick);
+  print_measurement("mesh16_heap", heap);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_datapath: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    emit_json(f, simple, adv, heap, quick);
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "bench_datapath: write to %s failed\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("json: %s\n", json_path.c_str());
+  }
+  return 0;
+}

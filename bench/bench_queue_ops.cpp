@@ -30,10 +30,10 @@ void run_queue_mix(benchmark::State& state, QueueKind kind) {
     p->hdr.wire_bytes = 2048;
     return p;
   };
-  for (std::size_t i = 0; i < occupancy; ++i) q->enqueue(fresh());
+  for (std::size_t i = 0; i < occupancy; ++i) q.enqueue(fresh());
   for (auto _ : state) {
-    q->enqueue(fresh());
-    PacketPtr out = q->dequeue();
+    q.enqueue(fresh());
+    PacketPtr out = q.dequeue();
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);

@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""Run bench_kernel and emit/refresh BENCH_kernel.json, the repo's kernel
-performance trajectory.
+"""Run a perf-trajectory benchmark and emit/refresh its BENCH_*.json.
 
-The committed BENCH_kernel.json records, per benchmark section, a *baseline*
-(the pre-optimization kernel, captured once per optimization PR) and the
+The committed BENCH_*.json records, per benchmark section, a *baseline*
+(the pre-optimization build, captured once per optimization PR) and the
 *current* measurement, plus speedup/allocation ratios — so the acceptance
-numbers ("N x events/sec, M allocs/event vs the old kernel") live in one
+numbers ("N x events/sec, M allocs/event vs the old build") live in one
 auditable artifact instead of a PR description.
 
 Usage:
   scripts/bench_report.py --bench build/bench/bench_kernel \
+      [--sections kernel_storm,mesh16_saturated] \
       [--baseline old.json] [--out BENCH_kernel.json] [--quick] [--label txt]
+
+Any benchmark that takes --quick/--json=PATH and emits the per-section
+{events, wall_s, events_per_sec, allocs, allocs_per_event} layout works;
+--sections names the JSON sections to track (defaults to bench_kernel's).
 
 With --baseline, that file's measurements become the recorded baseline.
 Without it, an existing --out file's baseline is carried forward (the usual
@@ -26,7 +30,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-SECTIONS = ("kernel_storm", "mesh16_saturated")
+DEFAULT_SECTIONS = "kernel_storm,mesh16_saturated"
 MEASURE_KEYS = ("events", "wall_s", "events_per_sec", "allocs", "allocs_per_event")
 
 
@@ -43,9 +47,9 @@ def run_bench(bench: Path, quick: bool) -> dict:
         tmp_path.unlink(missing_ok=True)
 
 
-def section_measurements(doc: dict, source: str) -> dict:
+def section_measurements(doc: dict, source: str, sections: tuple) -> dict:
     out = {}
-    for name in SECTIONS:
+    for name in sections:
         if name not in doc:
             raise SystemExit(f"error: {source} is missing section '{name}'")
         sec = doc[name]
@@ -63,6 +67,9 @@ def main() -> int:
     ap.add_argument("--baseline", type=Path, default=None,
                     help="JSON from the pre-change kernel to record as baseline")
     ap.add_argument("--out", type=Path, default=Path("BENCH_kernel.json"))
+    ap.add_argument("--sections", default=DEFAULT_SECTIONS,
+                    help="comma-separated JSON sections the benchmark emits "
+                         f"(default: {DEFAULT_SECTIONS})")
     ap.add_argument("--quick", action="store_true",
                     help="pass --quick to bench_kernel (CI smoke; noisier numbers)")
     ap.add_argument("--label", default="",
@@ -71,27 +78,31 @@ def main() -> int:
 
     if not args.bench.is_file():
         raise SystemExit(f"error: bench binary not found: {args.bench}")
+    sections = tuple(s for s in args.sections.split(",") if s)
+    if not sections:
+        raise SystemExit("error: --sections is empty")
 
-    current = section_measurements(run_bench(args.bench, args.quick), "bench run")
+    raw = run_bench(args.bench, args.quick)
+    current = section_measurements(raw, "bench run", sections)
 
     if args.baseline is not None:
         baseline = section_measurements(
-            json.loads(args.baseline.read_text()), str(args.baseline))
+            json.loads(args.baseline.read_text()), str(args.baseline), sections)
     elif args.out.is_file():
         prior = json.loads(args.out.read_text())
-        baseline = {name: prior[name]["baseline"] for name in SECTIONS
+        baseline = {name: prior[name]["baseline"] for name in sections
                     if name in prior and "baseline" in prior[name]}
-        if set(baseline) != set(SECTIONS):
+        if set(baseline) != set(sections):
             baseline = current
     else:
         baseline = current
 
     doc = {
-        "bench": "bench_kernel",
+        "bench": raw.get("bench", str(args.bench.name)),
         "quick": args.quick,
         "label": args.label,
     }
-    for name in SECTIONS:
+    for name in sections:
         base, cur = baseline[name], current[name]
         doc[name] = {
             "baseline": base,
@@ -105,7 +116,7 @@ def main() -> int:
 
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")
-    for name in SECTIONS:
+    for name in sections:
         sec = doc[name]
         print(f"  {name:<18} {sec['current']['events_per_sec']:>12.1f} ev/s "
               f"({sec['events_per_sec_ratio']}x baseline), "

@@ -34,11 +34,36 @@ done
 if [[ $run_perf_smoke -eq 1 ]]; then
   echo "=== [bench] Release perf smoke ==="
   cmake --preset bench
-  cmake --build --preset bench --target bench_kernel -j "$(nproc)"
+  cmake --build --preset bench --target bench_kernel bench_datapath -j "$(nproc)"
   smoke_json=build-bench/bench_kernel_smoke.json
   build-bench/bench/bench_kernel --quick --json="$smoke_json"
   python3 -m json.tool "$smoke_json" > /dev/null
   echo "perf smoke OK: $smoke_json"
+
+  # Regression gate (Release preset only): a fresh quick run of the
+  # datapath bench must stay within 10% events/s of the committed
+  # BENCH_datapath.json numbers. Quick runs are noisy, so only a clear
+  # slide fails; refresh the JSON via scripts/bench_report.py when a PR
+  # moves performance on purpose (EXPERIMENTS.md D1).
+  gate_json=build-bench/bench_datapath_smoke.json
+  build-bench/bench/bench_datapath --quick --json="$gate_json"
+  python3 - "$gate_json" BENCH_datapath.json <<'PYGATE'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+failed = False
+for name, sec in committed.items():
+    if not isinstance(sec, dict) or "current" not in sec:
+        continue
+    ref = sec["current"]["events_per_sec"]
+    got = fresh[name]["events_per_sec"]
+    verdict = "OK" if got >= 0.9 * ref else "REGRESSION"
+    failed |= verdict == "REGRESSION"
+    print(f"  {name:<18} {got:>12.0f} ev/s vs committed {ref:>12.0f} [{verdict}]")
+if failed:
+    sys.exit("bench gate: >10% events/s regression vs BENCH_datapath.json")
+PYGATE
+  echo "bench gate OK: $gate_json"
 fi
 
 echo "=== all checks passed ==="

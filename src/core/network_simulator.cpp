@@ -1,5 +1,6 @@
 #include "core/network_simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "topo/kary_ntree.hpp"
@@ -313,6 +314,20 @@ SimReport NetworkSimulator::run() {
   const TimePoint window_start = t0 + cfg_.warmup;
   const TimePoint window_end = window_start + cfg_.measure;
   metrics_->set_window(window_start, window_end);
+  {
+    // Pre-size latency sample stores from the offered load so the
+    // measurement phase never reallocates mid-run. Worst case each class
+    // carries the whole offered load; SampleSet clamps at its cap, so an
+    // over-estimate only wastes address space, never memory commit.
+    const double offered_bytes = static_cast<double>(cfg_.num_hosts()) *
+                                 cfg_.load * cfg_.link_bw.bytes_per_sec() *
+                                 cfg_.measure.sec();
+    double max_share = 0.0;
+    for (const double s : cfg_.class_share) max_share = std::max(max_share, s);
+    const auto pkts = static_cast<std::size_t>(
+        offered_bytes * max_share / static_cast<double>(cfg_.mtu_bytes)) + 64;
+    metrics_->reserve_samples(pkts, pkts / 8 + 64);
+  }
   for (const auto& src : sources_) src->start(window_end);
 
   // Fault machinery (opt-in: schedules nothing when inactive, so the

@@ -20,11 +20,9 @@ Host::Host(Simulator& sim, NodeId id, const HostParams& params, LocalClock clock
                params.vc_weights.size() == params.num_vcs);
   ready_q_.resize(params.num_vcs);
   fifo_q_.resize(params.num_vcs);
-  vc_policy_ = params.vc_weights.empty()
-                   ? std::unique_ptr<VcSelectionPolicy>(
-                         std::make_unique<StrictPriorityVcPolicy>(params.num_vcs))
-                   : std::unique_ptr<VcSelectionPolicy>(
-                         std::make_unique<WeightedVcPolicy>(params.vc_weights));
+  if (!params.vc_weights.empty()) {
+    weighted_vc_ = std::make_unique<WeightedVcPolicy>(params.vc_weights);
+  }
 }
 
 void Host::attach_uplink(Channel* to_switch) {
@@ -284,43 +282,55 @@ void Host::pump() {
   // the credit callback, which resumes the pump.
   if (!uplink_->is_up()) return;
 
-  vc_policy_->order(vc_order_scratch_);
-  for (const VcId vc : vc_order_scratch_) {
-    const Packet* head = nullptr;
-    if (params_.edf_queues) {
-      if (!ready_q_[vc].empty()) head = ready_q_[vc].front().pkt.get();
-    } else {
-      if (!fifo_q_[vc].empty()) head = fifo_q_[vc].front().get();
+  if (weighted_vc_ == nullptr) {
+    // Strict VC priority (all paper architectures): VC0 first, no order
+    // materialization, no arbitration-policy virtual calls.
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      if (inject_from_vc(vc, now)) return;
     }
-    if (head == nullptr) continue;
-    if (!uplink_->has_credits(vc, head->size())) continue;
-
-    PacketPtr p;
-    if (params_.edf_queues) {
-      p = pop_entry(ready_q_[vc]);
-    } else {
-      p = std::move(fifo_q_[vc].front());
-      fifo_q_[vc].pop_front();
-    }
-    if (vc != kRegulatedVc) {
-      auto& backlog = unreg_backlog_[static_cast<std::size_t>(p->hdr.tclass)];
-      DQOS_ASSERT(backlog > 0);
-      --backlog;
-    }
-    p->t_injected = now;
-    p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);
-    if (tracer_) tracer_->record(now, TraceEvent::kInjected, *p, id_);
-    const std::uint32_t wire = p->size();
-    const Duration ser = uplink_->serialization_time(wire);
-    uplink_->consume_credits(vc, wire);
-    vc_policy_->granted(vc, wire);
-    uplink_->send(std::move(p));
-    ++injected_;
-    bytes_injected_ += wire;
-    link_busy_until_ = now + ser;
-    sim_.schedule_after(ser, [this] { pump(); });
     return;
   }
+  weighted_vc_->order(vc_order_scratch_);
+  for (const VcId vc : vc_order_scratch_) {
+    if (inject_from_vc(vc, now)) return;
+  }
+}
+
+bool Host::inject_from_vc(VcId vc, TimePoint now) {
+  const Packet* head = nullptr;
+  if (params_.edf_queues) {
+    if (!ready_q_[vc].empty()) head = ready_q_[vc].front().pkt.get();
+  } else {
+    if (!fifo_q_[vc].empty()) head = fifo_q_[vc].front().get();
+  }
+  if (head == nullptr) return false;
+  if (!uplink_->has_credits(vc, head->size())) return false;
+
+  PacketPtr p;
+  if (params_.edf_queues) {
+    p = pop_entry(ready_q_[vc]);
+  } else {
+    p = std::move(fifo_q_[vc].front());
+    fifo_q_[vc].pop_front();
+  }
+  if (vc != kRegulatedVc) {
+    auto& backlog = unreg_backlog_[static_cast<std::size_t>(p->hdr.tclass)];
+    DQOS_ASSERT(backlog > 0);
+    --backlog;
+  }
+  p->t_injected = now;
+  p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);
+  if (tracer_) tracer_->record(now, TraceEvent::kInjected, *p, id_);
+  const std::uint32_t wire = p->size();
+  const Duration ser = uplink_->serialization_time(wire);
+  uplink_->consume_credits(vc, wire);
+  if (weighted_vc_) weighted_vc_->granted(vc, wire);
+  uplink_->send(std::move(p));
+  ++injected_;
+  bytes_injected_ += wire;
+  link_busy_until_ = now + ser;
+  sim_.schedule_after(ser, [this] { pump(); });
+  return true;
 }
 
 void Host::schedule_eligible_wakeup() {

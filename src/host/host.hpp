@@ -181,6 +181,10 @@ class Host final : public PacketReceiver {
 
   /// Moves newly eligible packets, then tries to start one injection.
   void pump();
+  /// One arbitration decision: if `vc` has a transmittable head packet and
+  /// credits, injects it and schedules the next pump. Returns whether the
+  /// link was taken (the caller's VC scan stops there).
+  bool inject_from_vc(VcId vc, TimePoint now);
   void schedule_eligible_wakeup();
   /// Shared by submit() (attempt 0) and retry timeouts (attempt > 0).
   bool do_submit(FlowId flow, std::uint64_t bytes, std::uint32_t attempt);
@@ -201,7 +205,10 @@ class Host final : public PacketReceiver {
   MinHeap eligible_q_;                 ///< regulated, waiting for eligibility
   std::vector<MinHeap> ready_q_;       ///< per VC, deadline-ordered (EDF mode)
   std::vector<std::deque<PacketPtr>> fifo_q_;  ///< per VC (FIFO mode)
-  std::unique_ptr<VcSelectionPolicy> vc_policy_;
+  /// Non-null only under weighted arbitration. Null means strict VC
+  /// priority (the paper architectures), which pump() runs as a plain
+  /// VC0-first loop — no virtual order/granted calls per injection.
+  std::unique_ptr<WeightedVcPolicy> weighted_vc_;
   std::vector<VcId> vc_order_scratch_;  ///< pump() hot-path scratch
   TimePoint link_busy_until_;
   EventId eligible_wakeup_ = 0;

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -110,7 +111,16 @@ class InlineTask {
 
   InlineTask(InlineTask&& other) noexcept {
     if (other.ops_ != nullptr) {
-      other.ops_->relocate(*this, other);
+      // Most hot-path closures capture `this` plus scalars: trivially
+      // copyable, trivially destructible. Relocating those with a fixed
+      // 48-byte memcpy (vectorized, branch-free) instead of an indirect
+      // call matters at millions of schedule/fire pairs per second; heap
+      // targets relocate by pointer, so the same memcpy moves them too.
+      if (other.ops_->trivial_relocate) {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      } else {
+        other.ops_->relocate(*this, other);
+      }
       ops_ = other.ops_;
       other.ops_ = nullptr;
     }
@@ -120,7 +130,11 @@ class InlineTask {
     if (this != &other) {
       reset();
       if (other.ops_ != nullptr) {
-        other.ops_->relocate(*this, other);
+        if (other.ops_->trivial_relocate) {
+          std::memcpy(buf_, other.buf_, kInlineBytes);
+        } else {
+          other.ops_->relocate(*this, other);
+        }
         ops_ = other.ops_;
         other.ops_ = nullptr;
       }
@@ -135,7 +149,7 @@ class InlineTask {
 
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(*this);
+      if (!ops_->trivial_destroy) ops_->destroy(*this);
       ops_ = nullptr;
     }
   }
@@ -153,6 +167,11 @@ class InlineTask {
     /// Move-construct the target into raw `dst` storage, destroying `src`'s.
     void (*relocate)(InlineTask& dst, InlineTask& src) noexcept;
     void (*destroy)(InlineTask&) noexcept;
+    /// Relocation is equivalent to memcpy of the buffer (trivially copyable
+    /// inline targets, or heap targets whose buffer holds just a pointer).
+    bool trivial_relocate;
+    /// Destruction is a no-op (trivially destructible inline targets).
+    bool trivial_destroy;
   };
 
   [[nodiscard]] void*& ptr() { return *reinterpret_cast<void**>(buf_); }
@@ -168,7 +187,10 @@ class InlineTask {
       target(src).~D();
     }
     static void destroy(InlineTask& t) noexcept { target(t).~D(); }
-    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+    static constexpr Ops kOps{&invoke, &relocate, &destroy,
+                              std::is_trivially_copyable_v<D> &&
+                                  std::is_trivially_destructible_v<D>,
+                              std::is_trivially_destructible_v<D>};
   };
 
   template <typename D, bool kSlab>
@@ -187,10 +209,15 @@ class InlineTask {
         ::operator delete(t.ptr(), std::align_val_t{alignof(D)});
       }
     }
-    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+    // Heap targets: the inline buffer holds only the owning pointer, so a
+    // buffer memcpy *is* the ownership transfer; destruction is real.
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, true, false};
   };
 
-  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  // Zero-initialized so the fixed-size relocation memcpy never reads
+  // indeterminate tail bytes when the stored closure is smaller than the
+  // buffer (three vector stores; noise next to the indirect call it saves).
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes] = {};
   const Ops* ops_ = nullptr;
 };
 

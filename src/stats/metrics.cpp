@@ -12,6 +12,14 @@ void MetricsCollector::set_window(TimePoint start, TimePoint end) {
   end_ = end;
 }
 
+void MetricsCollector::reserve_samples(std::size_t packets_per_class,
+                                       std::size_t messages_per_class) {
+  for (std::size_t c = 0; c < kNumTrafficClasses; ++c) {
+    pkt_latency_[c].reserve(packets_per_class);
+    msg_latency_[c].reserve(messages_per_class);
+  }
+}
+
 void MetricsCollector::on_packet_delivered(const Packet& p, TimePoint now,
                                            Duration slack) {
   if (!in_window(p.t_created)) return;
@@ -50,10 +58,10 @@ ClassReport MetricsCollector::report(TrafficClass tc) const {
   r.avg_packet_latency_us = pkt_latency_[c].mean();
   r.max_packet_latency_us = pkt_latency_[c].max();
   r.jitter_us = pkt_latency_[c].stddev();
-  r.p99_packet_latency_us = pkt_latency_[c].quantile(0.99);
+  r.p99_packet_latency_us = pkt_latency_[c].p99();
   r.avg_message_latency_us = msg_latency_[c].mean();
   r.max_message_latency_us = msg_latency_[c].max();
-  r.p99_message_latency_us = msg_latency_[c].quantile(0.99);
+  r.p99_message_latency_us = msg_latency_[c].p99();
   r.avg_slack_us = slack_us_[c].mean();
   r.dropped_packets = dropped_[c];
   r.deadline_miss_fraction =

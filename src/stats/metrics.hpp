@@ -55,6 +55,14 @@ class MetricsCollector {
 
   /// Only samples with creation time in [start, end) are recorded.
   void set_window(TimePoint start, TimePoint end);
+
+  /// Pre-sizes the per-class latency sample stores from config-derived
+  /// traffic estimates so the measurement phase never reallocates a
+  /// multi-megabyte vector mid-run (the growth copy used to show up as a
+  /// periodic latency spike in event-rate profiles). Over-estimates cost
+  /// only address space: SampleSet clamps at its reservoir cap.
+  void reserve_samples(std::size_t packets_per_class,
+                       std::size_t messages_per_class);
   [[nodiscard]] TimePoint window_start() const { return start_; }
   [[nodiscard]] TimePoint window_end() const { return end_; }
 

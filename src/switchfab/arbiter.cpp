@@ -74,14 +74,20 @@ void WeightedVcPolicy::granted(VcId vc, std::uint32_t bytes) {
   DQOS_EXPECTS(vc < weights_.size());
   if (vc != current_) {
     // The ring moved on (earlier VCs were empty/blocked): make `vc` current
-    // with a fresh allocation before charging.
+    // and bank a fresh allocation on top of its residue before charging.
     current_ = vc;
-    deficit_[vc] = static_cast<std::int64_t>(weights_[vc]) * quantum_;
+    replenish(vc);
   }
   deficit_[vc] -= bytes;
   if (deficit_[vc] <= 0) {
-    current_ = (current_ + 1) % weights_.size();
-    deficit_[current_] = static_cast<std::int64_t>(weights_[current_]) * quantum_;
+    // Advance past VCs still in debt, banking one allocation per visit: a
+    // VC that overshot its allocation pays the debt off in skipped rounds
+    // before the ring offers it the link first again. Terminates because
+    // each visit adds a positive allocation toward the positive clamp.
+    do {
+      current_ = (current_ + 1) % weights_.size();
+      replenish(current_);
+    } while (deficit_[current_] <= 0);
   }
 }
 

@@ -14,6 +14,7 @@
 ///      is deadline-blind and uses round-robin.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -113,6 +114,16 @@ class StrictPriorityVcPolicy final : public VcSelectionPolicy {
 /// table. Each VC carries a weight; a VC keeps the grant as long as its
 /// deficit (replenished as quantum * weight) lasts. Work-conserving: empty
 /// or blocked VCs are skipped.
+///
+/// The deficit is *banked* (classic DRR): service a VC did not use, and
+/// debt from a packet that overshot its allocation, carry into the next
+/// round rather than being reset — otherwise a VC that keeps overshooting
+/// by one max-size packet per round gets systematically more than its
+/// share. The bank is clamped at one allocation plus one quantum so a VC
+/// that sits idle or blocked for a long stretch cannot hoard unbounded
+/// credit and then monopolize the link (the DRR "unbounded deficit
+/// growth" hazard); the regression test asserts exactly this bound after
+/// every grant.
 class WeightedVcPolicy final : public VcSelectionPolicy {
  public:
   /// `weights` — one per VC, relative shares (e.g. {1,1,1,1}).
@@ -123,7 +134,22 @@ class WeightedVcPolicy final : public VcSelectionPolicy {
   void order(std::vector<VcId>& out) override;
   void granted(VcId vc, std::uint32_t bytes) override;
 
+  /// Current banked deficit of `vc` (diagnostics / tests). Bounded above
+  /// by allocation(vc) + quantum at every quiescent point.
+  [[nodiscard]] std::int64_t deficit(VcId vc) const { return deficit_[vc]; }
+  /// One round's allocation for `vc`: weight * quantum bytes.
+  [[nodiscard]] std::int64_t allocation(VcId vc) const {
+    return static_cast<std::int64_t>(weights_[vc]) * quantum_;
+  }
+
  private:
+  /// Replenishes `vc` for a new round: adds one allocation to the banked
+  /// residue, clamped at one allocation + one quantum of carried credit.
+  void replenish(std::size_t vc) {
+    deficit_[vc] = std::min(deficit_[vc] + allocation(static_cast<VcId>(vc)),
+                            allocation(static_cast<VcId>(vc)) + quantum_);
+  }
+
   std::vector<std::uint32_t> weights_;
   std::vector<std::int64_t> deficit_;
   std::uint32_t quantum_;

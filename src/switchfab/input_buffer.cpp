@@ -9,7 +9,7 @@ InputBuffer::InputBuffer(QueueKind kind, std::uint32_t capacity_bytes,
     : capacity_(capacity_bytes) {
   DQOS_EXPECTS(capacity_bytes > 0 && num_outputs > 0);
   queues_.reserve(num_outputs);
-  for (std::size_t i = 0; i < num_outputs; ++i) queues_.push_back(make_queue(kind));
+  for (std::size_t i = 0; i < num_outputs; ++i) queues_.emplace_back(kind);
 }
 
 void InputBuffer::enqueue(PacketPtr p, std::size_t output) {
@@ -19,12 +19,12 @@ void InputBuffer::enqueue(PacketPtr p, std::size_t output) {
   DQOS_ASSERT(has_space(p->size()));
   used_bytes_ += p->size();
   ++total_packets_;
-  queues_[output]->enqueue(std::move(p));
+  queues_[output].enqueue(std::move(p));
 }
 
 PacketPtr InputBuffer::dequeue(std::size_t output) {
   DQOS_EXPECTS(output < queues_.size());
-  PacketPtr p = queues_[output]->dequeue();
+  PacketPtr p = queues_[output].dequeue();
   DQOS_ASSERT(used_bytes_ >= p->size() && total_packets_ > 0);
   used_bytes_ -= p->size();
   --total_packets_;
@@ -33,17 +33,13 @@ PacketPtr InputBuffer::dequeue(std::size_t output) {
 
 std::uint64_t InputBuffer::order_errors() const {
   std::uint64_t sum = 0;
-  for (const auto& q : queues_) sum += q->order_errors();
+  for (const auto& q : queues_) sum += q.order_errors();
   return sum;
 }
 
 std::uint64_t InputBuffer::takeovers() const {
   std::uint64_t sum = 0;
-  for (const auto& q : queues_) {
-    if (const auto* t = dynamic_cast<const TakeoverQueue*>(q.get())) {
-      sum += t->takeovers();
-    }
-  }
+  for (const auto& q : queues_) sum += q.takeovers();
   return sum;
 }
 

@@ -8,9 +8,12 @@
 /// (FIFO / heap / take-over); the byte budget is accounted here, across all
 /// VOQs of the VC, which is exactly what the upstream credit counter
 /// mirrors.
+///
+/// The VOQs are held by value in one contiguous array (PacketQueue is the
+/// devirtualized tagged-union discipline), so a crossbar arbitration pass
+/// touches no per-queue heap indirection.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "switchfab/queue_discipline.hpp"
@@ -22,6 +25,9 @@ class InputBuffer {
   /// `capacity_bytes` — the per-VC budget (8 KB in the paper).
   /// `num_outputs`    — VOQ fan-out (one queue per switch output).
   InputBuffer(QueueKind kind, std::uint32_t capacity_bytes, std::size_t num_outputs);
+
+  InputBuffer(InputBuffer&&) noexcept = default;
+  InputBuffer& operator=(InputBuffer&&) noexcept = default;
 
   [[nodiscard]] bool has_space(std::uint32_t bytes) const {
     return used_bytes_ + bytes <= capacity_;
@@ -35,13 +41,13 @@ class InputBuffer {
 
   /// Transmission candidate of the VOQ for `output` (nullptr if empty).
   [[nodiscard]] const Packet* candidate(std::size_t output) const {
-    return queues_[output]->candidate();
+    return queues_[output].candidate();
   }
 
   PacketPtr dequeue(std::size_t output);
 
   [[nodiscard]] std::size_t packets(std::size_t output) const {
-    return queues_[output]->packets();
+    return queues_[output].packets();
   }
   [[nodiscard]] std::size_t total_packets() const { return total_packets_; }
   [[nodiscard]] bool empty() const { return total_packets_ == 0; }
@@ -55,7 +61,7 @@ class InputBuffer {
   std::uint32_t capacity_;
   std::uint64_t used_bytes_ = 0;
   std::size_t total_packets_ = 0;
-  std::vector<std::unique_ptr<QueueDiscipline>> queues_;
+  std::vector<PacketQueue> queues_;  ///< by value: one cache-resident array
 };
 
 }  // namespace dqos

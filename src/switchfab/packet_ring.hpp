@@ -1,0 +1,130 @@
+/// \file packet_ring.hpp
+/// Power-of-two ring buffer — the storage of the switch datapath.
+///
+/// Every packet queue in the switch (FIFO buffers, the take-over scheme's
+/// L/U queues, the FIFO min-deadline tracker) is a bounded-occupancy queue
+/// with push-back/pop-front access. `std::deque` serves that pattern with
+/// heap-scattered blocks and a steady trickle of block allocations as the
+/// cursor migrates; a power-of-two ring keeps the whole queue in one
+/// contiguous slab, wraps with a mask (no invalidation, no relocation on
+/// wrap), and allocates only when occupancy exceeds every previous high
+/// water mark — i.e. never at steady state.
+///
+/// Growth is by whole chunks (capacity doubles, with a small floor), so a
+/// cold queue reaches its working size in a handful of allocations and a
+/// switch with hundreds of queues does not over-commit memory.
+///
+/// The element type only needs to be movable (PacketPtr is move-only).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "proto/packet_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Smallest non-zero capacity (one growth chunk).
+  static constexpr std::size_t kMinCapacity = 16;
+
+  RingBuffer() = default;
+  explicit RingBuffer(std::size_t initial_capacity) {
+    if (initial_capacity > 0) reallocate(pow2_at_least(initial_capacity));
+  }
+
+  RingBuffer(RingBuffer&&) noexcept = default;
+  RingBuffer& operator=(RingBuffer&&) noexcept = default;
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  /// Ensures room for at least `n` elements without further allocation.
+  void reserve(std::size_t n) {
+    if (n > cap_) reallocate(pow2_at_least(n));
+  }
+
+  void push_back(T v) {
+    if (count_ == cap_) reallocate(cap_ ? cap_ * 2 : kMinCapacity);
+    slots_[(head_ + count_) & mask_] = std::move(v);
+    ++count_;
+  }
+
+  T pop_front() {
+    DQOS_EXPECTS(count_ > 0);
+    T v = std::move(slots_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    return v;
+  }
+
+  T pop_back() {
+    DQOS_EXPECTS(count_ > 0);
+    --count_;
+    return std::move(slots_[(head_ + count_) & mask_]);
+  }
+
+  [[nodiscard]] T& front() {
+    DQOS_EXPECTS(count_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    DQOS_EXPECTS(count_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] T& back() {
+    DQOS_EXPECTS(count_ > 0);
+    return slots_[(head_ + count_ - 1) & mask_];
+  }
+  [[nodiscard]] const T& back() const {
+    DQOS_EXPECTS(count_ > 0);
+    return slots_[(head_ + count_ - 1) & mask_];
+  }
+
+  /// i-th element from the front (0 = front). For diagnostic scans.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    DQOS_EXPECTS(i < count_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  void clear() {
+    while (count_ > 0) (void)pop_front();
+  }
+
+ private:
+  static std::size_t pow2_at_least(std::size_t n) {
+    std::size_t c = kMinCapacity;
+    while (c < n) c *= 2;
+    return c;
+  }
+
+  /// Moves the live window to the front of a fresh power-of-two slab.
+  void reallocate(std::size_t new_cap) {
+    auto fresh = std::make_unique<T[]>(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      fresh[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(fresh);
+    cap_ = new_cap;
+    mask_ = new_cap - 1;
+    head_ = 0;
+  }
+
+  std::unique_ptr<T[]> slots_;
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// The switch datapath's packet queue storage.
+using PacketRing = RingBuffer<PacketPtr>;
+
+}  // namespace dqos

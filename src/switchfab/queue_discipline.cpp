@@ -13,64 +13,122 @@ std::string_view to_string(QueueKind k) {
   return "?";
 }
 
-// ---------------------------------------------------------------- FifoQueue
-
-void FifoQueue::enqueue(PacketPtr p) {
+void PacketQueue::enqueue(PacketPtr p) {
   DQOS_EXPECTS(p != nullptr);
   note_enqueue(*p);
-  deadlines_.insert(p->local_deadline.ps());
-  q_.push_back(std::move(p));
+  switch (kind_) {
+    case QueueKind::kFifo: {
+      // Maintain the sliding-window minimum: drop tail candidates the new
+      // arrival dominates, then append. The ring stays sorted by deadline
+      // (non-decreasing), so its front is always the true queue minimum.
+      const std::int64_t d = p->local_deadline.ps();
+      while (!mono_.empty() && mono_.back().deadline_ps > d) {
+        (void)mono_.pop_back();
+      }
+      mono_.push_back(MonoEntry{d, next_seq_});
+      ++next_seq_;
+      lq_.push_back(std::move(p));
+      return;
+    }
+    case QueueKind::kHeap:
+      heap_.push_back(HeapEntry{p->local_deadline, next_seq_++, std::move(p)});
+      sift_up(heap_.size() - 1);
+      return;
+    case QueueKind::kTakeover:
+      if (lq_.empty()) {
+        // Definition 1: both queues empty -> L. (L empty while U holds
+        // packets is unreachable, Lemma 1 — assert the invariant instead of
+        // handling it.)
+        DQOS_ASSERT(uq_.empty());
+        lq_.push_back(std::move(p));
+        return;
+      }
+      if (p->local_deadline >= lq_.back()->local_deadline) {
+        lq_.push_back(std::move(p));
+      } else {
+        ++takeovers_;
+        uq_.push_back(std::move(p));
+      }
+      return;
+  }
+  DQOS_ASSERT(false);
 }
 
-const Packet* FifoQueue::candidate() const {
-  return q_.empty() ? nullptr : q_.front().get();
+PacketPtr PacketQueue::dequeue() {
+  switch (kind_) {
+    case QueueKind::kFifo: {
+      DQOS_EXPECTS(!lq_.empty());
+      const TimePoint min_before = min_deadline();
+      PacketPtr p = lq_.pop_front();
+      note_dequeue(*p, min_before);
+      // The departing head owned the tracker's front entry iff it was the
+      // window minimum; otherwise its candidacy was already dominated.
+      DQOS_ASSERT(!mono_.empty());
+      if (mono_.front().seq == head_seq_) (void)mono_.pop_front();
+      ++head_seq_;
+      return p;
+    }
+    case QueueKind::kHeap: {
+      DQOS_EXPECTS(!heap_.empty());
+      // Head is the min: never an order error.
+      note_dequeue(*heap_.front().pkt, min_deadline());
+      PacketPtr p = std::move(heap_.front().pkt);
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      if (!heap_.empty()) sift_down(0);
+      return p;
+    }
+    case QueueKind::kTakeover: {
+      DQOS_EXPECTS(!empty());
+      const TimePoint min_before = min_deadline();
+      PacketRing& q = pick_upper() ? uq_ : lq_;
+      PacketPtr p = q.pop_front();
+      note_dequeue(*p, min_before);
+      return p;
+    }
+  }
+  DQOS_ASSERT(false);
+  return nullptr;
 }
 
-PacketPtr FifoQueue::dequeue() {
-  DQOS_EXPECTS(!q_.empty());
-  const TimePoint min_before = min_deadline();
-  PacketPtr p = std::move(q_.front());
-  q_.pop_front();
-  note_dequeue(*p, min_before);
-  const auto it = deadlines_.find(p->local_deadline.ps());
-  DQOS_ASSERT(it != deadlines_.end());
-  deadlines_.erase(it);
-  return p;
+TimePoint PacketQueue::min_deadline() const {
+  switch (kind_) {
+    case QueueKind::kFifo:
+      return mono_.empty() ? TimePoint::max()
+                           : TimePoint::from_ps(mono_.front().deadline_ps);
+    case QueueKind::kHeap:
+      return heap_.empty() ? TimePoint::max() : heap_.front().deadline;
+    case QueueKind::kTakeover: {
+      // L is deadline-sorted (Theorem 1) so its min is the head; U is not,
+      // so scan it. U is small in practice (only take-over packets), and
+      // this is diagnostics-only — hardware would not do it.
+      TimePoint m = lq_.empty() ? TimePoint::max() : lq_.front()->local_deadline;
+      for (std::size_t i = 0; i < uq_.size(); ++i) {
+        m = min(m, uq_.at(i)->local_deadline);
+      }
+      return m;
+    }
+  }
+  return TimePoint::max();
 }
 
-TimePoint FifoQueue::min_deadline() const {
-  return deadlines_.empty() ? TimePoint::max() : TimePoint::from_ps(*deadlines_.begin());
+void PacketQueue::reserve(std::size_t packets) {
+  switch (kind_) {
+    case QueueKind::kFifo:
+      lq_.reserve(packets);
+      mono_.reserve(packets);
+      return;
+    case QueueKind::kHeap:
+      heap_.reserve(packets);
+      return;
+    case QueueKind::kTakeover:
+      lq_.reserve(packets);
+      uq_.reserve(packets);
+      return;
+  }
 }
 
-// ---------------------------------------------------------------- HeapQueue
-
-void HeapQueue::enqueue(PacketPtr p) {
-  DQOS_EXPECTS(p != nullptr);
-  note_enqueue(*p);
-  heap_.push_back(Entry{p->local_deadline, next_seq_++, std::move(p)});
-  sift_up(heap_.size() - 1);
-}
-
-const Packet* HeapQueue::candidate() const {
-  return heap_.empty() ? nullptr : heap_.front().pkt.get();
-}
-
-PacketPtr HeapQueue::dequeue() {
-  DQOS_EXPECTS(!heap_.empty());
-  // Head is the min: never an order error.
-  note_dequeue(*heap_.front().pkt, min_deadline());
-  PacketPtr p = std::move(heap_.front().pkt);
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return p;
-}
-
-TimePoint HeapQueue::min_deadline() const {
-  return heap_.empty() ? TimePoint::max() : heap_.front().deadline;
-}
-
-void HeapQueue::sift_up(std::size_t i) {
+void PacketQueue::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
     if (!(heap_[parent] > heap_[i])) break;
@@ -79,7 +137,7 @@ void HeapQueue::sift_up(std::size_t i) {
   }
 }
 
-void HeapQueue::sift_down(std::size_t i) {
+void PacketQueue::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
   for (;;) {
     std::size_t smallest = i;
@@ -92,65 +150,6 @@ void HeapQueue::sift_down(std::size_t i) {
   }
 }
 
-// ------------------------------------------------------------ TakeoverQueue
-
-void TakeoverQueue::enqueue(PacketPtr p) {
-  DQOS_EXPECTS(p != nullptr);
-  note_enqueue(*p);
-  if (lq_.empty()) {
-    // Definition 1: both queues empty -> L. (L empty while U holds packets
-    // is unreachable, Lemma 1 — assert the invariant instead of handling it.)
-    DQOS_ASSERT(uq_.empty());
-    lq_.push_back(std::move(p));
-    return;
-  }
-  if (p->local_deadline >= lq_.back()->local_deadline) {
-    lq_.push_back(std::move(p));
-  } else {
-    ++takeovers_;
-    uq_.push_back(std::move(p));
-  }
-}
-
-bool TakeoverQueue::pick_upper() const {
-  DQOS_ASSERT(!lq_.empty());  // Lemma 1
-  return !uq_.empty() && uq_.front()->local_deadline < lq_.front()->local_deadline;
-}
-
-const Packet* TakeoverQueue::candidate() const {
-  if (lq_.empty()) return nullptr;
-  return pick_upper() ? uq_.front().get() : lq_.front().get();
-}
-
-PacketPtr TakeoverQueue::dequeue() {
-  DQOS_EXPECTS(!empty());
-  const TimePoint min_before = min_deadline();
-  auto& q = pick_upper() ? uq_ : lq_;
-  PacketPtr p = std::move(q.front());
-  q.pop_front();
-  note_dequeue(*p, min_before);
-  return p;
-}
-
-TimePoint TakeoverQueue::min_deadline() const {
-  // L is deadline-sorted (Theorem 1) so its min is the head; U is not, so
-  // scan it. U is small in practice (only take-over packets), and this is
-  // diagnostics-only — hardware would not do it.
-  TimePoint m = lq_.empty() ? TimePoint::max() : lq_.front()->local_deadline;
-  for (const auto& p : uq_) m = min(m, p->local_deadline);
-  return m;
-}
-
-// ------------------------------------------------------------------ factory
-
-std::unique_ptr<QueueDiscipline> make_queue(QueueKind kind) {
-  switch (kind) {
-    case QueueKind::kFifo: return std::make_unique<FifoQueue>();
-    case QueueKind::kHeap: return std::make_unique<HeapQueue>();
-    case QueueKind::kTakeover: return std::make_unique<TakeoverQueue>();
-  }
-  DQOS_ASSERT(false);
-  return nullptr;
-}
+PacketQueue make_queue(QueueKind kind) { return PacketQueue(kind); }
 
 }  // namespace dqos

@@ -1,38 +1,50 @@
 /// \file queue_discipline.hpp
-/// The three buffer organizations the paper evaluates (§3.2, §3.4, §4.1).
+/// The three buffer organizations the paper evaluates (§3.2, §3.4, §4.1),
+/// as one devirtualized, cache-resident queue type.
 ///
-/// - FifoQueue     — a plain FIFO. The *Simple 2 VCs* architecture: the
-///                   arbiter may only look at the head, so a high-deadline
-///                   packet at the front penalizes low-deadline packets
-///                   behind it (an *order error*).
-/// - HeapQueue     — a deadline-ordered priority queue. The *Ideal*
-///                   architecture: always exposes the minimum-deadline
-///                   packet, but a hardware heap per buffer is unfeasible
-///                   at high radix (the paper cites Ioannou & Katevenis).
-/// - TakeoverQueue — the paper's contribution (§3.4 + appendix): two FIFOs,
-///                   an *ordered queue* L and a *take-over queue* U.
-///                   Enqueue (Definition 1): to L iff deadline >= L's tail,
-///                   else to U. Dequeue (Definition 2): the smaller-deadline
-///                   of the two heads. Provably never reorders packets of a
-///                   single flow (Theorems 1-3) while sharply reducing order
-///                   errors.
+/// - fifo     — a plain FIFO. The *Simple 2 VCs* architecture: the arbiter
+///              may only look at the head, so a high-deadline packet at the
+///              front penalizes low-deadline packets behind it (an *order
+///              error*).
+/// - heap     — a deadline-ordered priority queue. The *Ideal*
+///              architecture: always exposes the minimum-deadline packet,
+///              but a hardware heap per buffer is unfeasible at high radix
+///              (the paper cites Ioannou & Katevenis).
+/// - takeover — the paper's contribution (§3.4 + appendix): two FIFOs, an
+///              *ordered queue* L and a *take-over queue* U.
+///              Enqueue (Definition 1): to L iff deadline >= L's tail,
+///              else to U. Dequeue (Definition 2): the smaller-deadline of
+///              the two heads. Provably never reorders packets of a single
+///              flow (Theorems 1-3) while sharply reducing order errors.
 ///
-/// All disciplines expose a single `candidate()`: per the appendix's flow
+/// PacketQueue is a tagged union over the three schemes: the kind is fixed
+/// at construction (one per switch configuration), `enqueue` / `dequeue` /
+/// `candidate` dispatch on a two-bit tag through a perfectly-predicted
+/// branch instead of a vtable, and all storage is ring buffers / a flat
+/// vector — no per-packet node allocation anywhere. A switch holds
+/// PacketQueues by value in contiguous arrays (see switch.hpp), which is
+/// what lets the arbitration hot path stay in cache.
+///
+/// All schemes expose a single `candidate()`: per the appendix's flow
 /// control note, **only the minimum-deadline head is checked for credits**,
 /// otherwise a smaller packet could sneak out and corrupt the discipline.
 ///
 /// Order errors are counted at dequeue time: an order error occurs when the
 /// packet handed out has a strictly larger deadline than some packet still
 /// waiting in the same buffer (the scheduler did not choose the earliest
-/// deadline; §3.4 distinguishes this from out-of-order *delivery*).
+/// deadline; §3.4 distinguishes this from out-of-order *delivery*). The
+/// FIFO scheme tracks the true queue minimum with a monotonic ring (the
+/// classic sliding-window-minimum structure) instead of the old
+/// `std::multiset`, so the diagnostic costs O(1) amortized and zero
+/// allocations rather than two red-black-tree operations per packet.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <set>
+#include <string_view>
+#include <vector>
 
 #include "proto/packet_pool.hpp"
+#include "switchfab/packet_ring.hpp"
 #include "util/time.hpp"
 
 namespace dqos {
@@ -45,32 +57,88 @@ enum class QueueKind : std::uint8_t {
 
 std::string_view to_string(QueueKind k);
 
-class QueueDiscipline {
+class PacketQueue {
  public:
-  virtual ~QueueDiscipline() = default;
+  explicit PacketQueue(QueueKind kind) : kind_(kind) {}
+
+  PacketQueue(PacketQueue&&) noexcept = default;
+  PacketQueue& operator=(PacketQueue&&) noexcept = default;
+
+  [[nodiscard]] QueueKind kind() const { return kind_; }
 
   /// Stores `p`. `p->local_deadline` must already be reconstructed into this
   /// node's clock domain.
-  virtual void enqueue(PacketPtr p) = 0;
+  void enqueue(PacketPtr p);
 
   /// The unique packet eligible for transmission, or nullptr if empty.
-  [[nodiscard]] virtual const Packet* candidate() const = 0;
+  [[nodiscard]] const Packet* candidate() const {
+    switch (kind_) {
+      case QueueKind::kFifo:
+        return lq_.empty() ? nullptr : lq_.front().get();
+      case QueueKind::kHeap:
+        return heap_.empty() ? nullptr : heap_.front().pkt.get();
+      case QueueKind::kTakeover:
+        if (lq_.empty()) return nullptr;
+        return pick_upper() ? uq_.front().get() : lq_.front().get();
+    }
+    return nullptr;
+  }
 
   /// Removes and returns the candidate. Queue must be non-empty.
-  virtual PacketPtr dequeue() = 0;
+  PacketPtr dequeue();
 
-  [[nodiscard]] virtual std::size_t packets() const = 0;
+  [[nodiscard]] std::size_t packets() const {
+    return kind_ == QueueKind::kHeap ? heap_.size() : lq_.size() + uq_.size();
+  }
   [[nodiscard]] bool empty() const { return packets() == 0; }
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
 
   /// Smallest deadline currently queued (TimePoint::max() if empty).
   /// Diagnostic only — architectures must not schedule from it.
-  [[nodiscard]] virtual TimePoint min_deadline() const = 0;
+  [[nodiscard]] TimePoint min_deadline() const;
 
   /// Dequeues whose packet was not the true queue minimum.
   [[nodiscard]] std::uint64_t order_errors() const { return order_errors_; }
 
- protected:
+  /// Pre-sizes the rings/heap so a run at the expected occupancy never
+  /// allocates past warm-up.
+  void reserve(std::size_t packets);
+
+  // --- take-over-scheme diagnostics (zero / empty for other kinds) ---
+  /// Packets routed to the take-over queue so far (ablation A1 metric).
+  [[nodiscard]] std::uint64_t takeovers() const { return takeovers_; }
+  [[nodiscard]] std::size_t ordered_packets() const { return lq_.size(); }
+  [[nodiscard]] std::size_t takeover_packets() const { return uq_.size(); }
+
+ private:
+  struct HeapEntry {
+    TimePoint deadline;
+    std::uint64_t seq;
+    PacketPtr pkt;
+    bool operator>(const HeapEntry& o) const {
+      if (deadline != o.deadline) return deadline > o.deadline;
+      return seq > o.seq;
+    }
+  };
+  /// One candidate for "minimum of the FIFO window": deadline plus the
+  /// arrival sequence it belongs to (so the tracker can tell when its
+  /// minimum left the queue).
+  struct MonoEntry {
+    std::int64_t deadline_ps;
+    std::uint64_t seq;
+  };
+
+  /// True if the dequeue candidate is U's head (strictly smaller deadline
+  /// than L's head; ties stay with L, matching Definition 2's "smallest").
+  [[nodiscard]] bool pick_upper() const {
+    DQOS_ASSERT(!lq_.empty());  // Lemma 1
+    return !uq_.empty() &&
+           uq_.front()->local_deadline < lq_.front()->local_deadline;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
   void note_enqueue(const Packet& p) { bytes_ += p.size(); }
   /// `min_before_removal` is min_deadline() computed while `p` was still
   /// queued; a strictly larger deadline means another packet deserved to go.
@@ -79,77 +147,33 @@ class QueueDiscipline {
     if (p.local_deadline > min_before_removal) ++order_errors_;
   }
 
- private:
+  QueueKind kind_;
+  PacketRing lq_;  ///< fifo: the queue; takeover: L, the ordered queue
+  PacketRing uq_;  ///< takeover only: U, the take-over queue
+  std::vector<HeapEntry> heap_;  ///< heap only: manual binary min-heap
+  RingBuffer<MonoEntry> mono_;   ///< fifo only: sliding-window minimum
+  std::uint64_t next_seq_ = 0;   ///< arrival counter (heap ties, fifo mono)
+  std::uint64_t head_seq_ = 0;   ///< fifo: arrival seq of lq_'s front
   std::uint64_t bytes_ = 0;
   std::uint64_t order_errors_ = 0;
-};
-
-/// Plain FIFO. Tracks the multiset of queued deadlines purely for order-
-/// error diagnostics (a real switch would not).
-class FifoQueue final : public QueueDiscipline {
- public:
-  void enqueue(PacketPtr p) override;
-  [[nodiscard]] const Packet* candidate() const override;
-  PacketPtr dequeue() override;
-  [[nodiscard]] std::size_t packets() const override { return q_.size(); }
-  [[nodiscard]] TimePoint min_deadline() const override;
-
- private:
-  std::deque<PacketPtr> q_;
-  std::multiset<std::int64_t> deadlines_;
-};
-
-/// Deadline-ordered heap with FIFO tie-break (stable: equal deadlines leave
-/// in arrival order, so single-flow order is preserved even with ties).
-class HeapQueue final : public QueueDiscipline {
- public:
-  void enqueue(PacketPtr p) override;
-  [[nodiscard]] const Packet* candidate() const override;
-  PacketPtr dequeue() override;
-  [[nodiscard]] std::size_t packets() const override { return heap_.size(); }
-  [[nodiscard]] TimePoint min_deadline() const override;
-
- private:
-  struct Entry {
-    TimePoint deadline;
-    std::uint64_t seq;
-    PacketPtr pkt;
-    bool operator>(const Entry& o) const {
-      if (deadline != o.deadline) return deadline > o.deadline;
-      return seq > o.seq;
-    }
-  };
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-
-  std::vector<Entry> heap_;  // manual binary min-heap (entries move-only)
-  std::uint64_t next_seq_ = 0;
-};
-
-/// The paper's ordered-queue + take-over-queue pair.
-class TakeoverQueue final : public QueueDiscipline {
- public:
-  void enqueue(PacketPtr p) override;
-  [[nodiscard]] const Packet* candidate() const override;
-  PacketPtr dequeue() override;
-  [[nodiscard]] std::size_t packets() const override { return lq_.size() + uq_.size(); }
-  [[nodiscard]] TimePoint min_deadline() const override;
-
-  /// Packets routed to the take-over queue so far (ablation A1 metric).
-  [[nodiscard]] std::uint64_t takeovers() const { return takeovers_; }
-  [[nodiscard]] std::size_t ordered_packets() const { return lq_.size(); }
-  [[nodiscard]] std::size_t takeover_packets() const { return uq_.size(); }
-
- private:
-  /// True if the dequeue candidate is U's head (strictly smaller deadline
-  /// than L's head; ties stay with L, matching Definition 2's "smallest").
-  [[nodiscard]] bool pick_upper() const;
-
-  std::deque<PacketPtr> lq_;  ///< L: ordered queue
-  std::deque<PacketPtr> uq_;  ///< U: take-over queue
   std::uint64_t takeovers_ = 0;
 };
 
-std::unique_ptr<QueueDiscipline> make_queue(QueueKind kind);
+/// Convenience constructors retained from the virtual-hierarchy era; the
+/// paper-facing names still appear in tests, benches and docs.
+class FifoQueue final : public PacketQueue {
+ public:
+  FifoQueue() : PacketQueue(QueueKind::kFifo) {}
+};
+class HeapQueue final : public PacketQueue {
+ public:
+  HeapQueue() : PacketQueue(QueueKind::kHeap) {}
+};
+class TakeoverQueue final : public PacketQueue {
+ public:
+  TakeoverQueue() : PacketQueue(QueueKind::kTakeover) {}
+};
+
+[[nodiscard]] PacketQueue make_queue(QueueKind kind);
 
 }  // namespace dqos

@@ -42,30 +42,27 @@ Switch::Switch(Simulator& sim, NodeId id, std::size_t num_ports,
   DQOS_EXPECTS(params.vc_weights.empty() ||
                params.vc_weights.size() == params.num_vcs);
   const QueueKind kind = queue_kind_for(params.arch);
+  edf_arbiter_ = input_arbiter_for(params.arch) == InputArbiterKind::kEdf;
+  heap_queues_ = kind == QueueKind::kHeap;
   inputs_.resize(num_ports);
   outputs_.resize(num_ports);
-  for (auto& in : inputs_) {
-    in.vc_buf.reserve(params.num_vcs);
+  const std::size_t nvq = num_ports * params.num_vcs;
+  in_bufs_.reserve(nvq);
+  out_qs_.reserve(nvq);
+  for (std::size_t i = 0; i < num_ports; ++i) {
     for (std::uint8_t vc = 0; vc < params.num_vcs; ++vc) {
-      in.vc_buf.push_back(std::make_unique<InputBuffer>(
-          kind, params.buffer_bytes_per_vc, num_ports));
+      in_bufs_.emplace_back(kind, params.buffer_bytes_per_vc, num_ports);
+      out_qs_.emplace_back(kind);
     }
   }
-  for (auto& out : outputs_) {
-    out.link_vc_policy =
-        params.vc_weights.empty()
-            ? std::unique_ptr<VcSelectionPolicy>(
-                  std::make_unique<StrictPriorityVcPolicy>(params.num_vcs))
-            : std::unique_ptr<VcSelectionPolicy>(
-                  std::make_unique<WeightedVcPolicy>(params.vc_weights));
-    out.vc_q.reserve(params.num_vcs);
-    out.xbar_arb.reserve(params.num_vcs);
-    for (std::uint8_t vc = 0; vc < params.num_vcs; ++vc) {
-      out.vc_q.push_back(make_queue(kind));
-      out.xbar_arb.push_back(
-          make_input_arbiter(input_arbiter_for(params.arch), num_ports));
+  if (!params.vc_weights.empty()) {
+    for (auto& out : outputs_) {
+      out.weighted_vc = std::make_unique<WeightedVcPolicy>(params.vc_weights);
     }
   }
+  voq_dl_.assign(params.num_vcs * num_ports * num_ports, kNoCandidate);
+  voq_sz_.assign(params.num_vcs * num_ports * num_ports, 0);
+  rr_last_.assign(nvq, kNoWinner);  // first round starts at input 0
 }
 
 void Switch::attach_output(PortId port, Channel* ch) {
@@ -86,7 +83,7 @@ void Switch::attach_input(PortId port, Channel* ch) {
   // Credit-resync oracle: the upstream sender may re-derive its counter
   // from this buffer's occupancy after a credit loss.
   ch->set_occupancy_probe(
-      [this, port](VcId vc) { return inputs_[port].vc_buf[vc]->used_bytes(); });
+      [this, port](VcId vc) { return in_buf(port, vc).used_bytes(); });
 }
 
 void Switch::receive_packet(PacketPtr p, PortId in_port) {
@@ -120,7 +117,9 @@ void Switch::receive_packet(PacketPtr p, PortId in_port) {
     }
     return;
   }
-  inputs_[in_port].vc_buf[vc]->enqueue(std::move(p), out);
+  in_buf(in_port, vc).enqueue(std::move(p), out);
+  ++queued_packets_;
+  refresh_voq(in_port, vc, out);
   try_fill(out);
 }
 
@@ -129,24 +128,29 @@ std::size_t Switch::flush_output(PortId port) {
   std::size_t shed = 0;
   const auto drop = [&](const PacketPtr& p) {
     ++shed;
+    DQOS_ASSERT(queued_packets_ > 0);
+    --queued_packets_;
     if (drop_cb_) drop_cb_(p->hdr.tclass);
     if (tracer_) tracer_->record(sim_.now(), TraceEvent::kDropped, *p, id_);
   };
-  Output& o = outputs_[port];
-  for (auto& q : o.vc_q) {
-    while (q->candidate() != nullptr) {
-      const PacketPtr p = q->dequeue();
+  for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+    PacketQueue& q = out_q(port, vc);
+    while (q.candidate() != nullptr) {
+      const PacketPtr p = q.dequeue();
       drop(p);
     }
   }
-  for (auto& in : inputs_) {
+  for (std::size_t in = 0; in < inputs_.size(); ++in) {
     for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
-      InputBuffer& buf = *in.vc_buf[vc];
+      InputBuffer& buf = in_buf(in, vc);
       while (buf.candidate(port) != nullptr) {
         const PacketPtr p = buf.dequeue(port);
-        if (in.channel != nullptr) in.channel->return_credits(vc, p->size());
+        if (inputs_[in].channel != nullptr) {
+          inputs_[in].channel->return_credits(vc, p->size());
+        }
         drop(p);
       }
+      refresh_voq(in, vc, port);
     }
   }
   counters_.dropped_link_down += shed;
@@ -158,26 +162,60 @@ void Switch::try_fill(std::size_t out) {
   const TimePoint now = sim_.now();
   if (o.write_busy_until > now) return;  // retried when the port frees
 
+  const std::size_t num_ports = inputs_.size();
   // Crossbar fill uses strict VC priority: the regulated VC claims fabric
   // bandwidth first (§3.2 "absolute priority"); per-VC output queues keep
   // lower VCs from being starved of *space*.
   for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
-    std::vector<ArbCandidate>& cands = cands_scratch_;
-    cands.clear();
-    for (std::size_t in = 0; in < inputs_.size(); ++in) {
-      if (inputs_[in].read_busy_until > now) continue;
-      if (const Packet* head = inputs_[in].vc_buf[vc]->candidate(out)) {
-        if (output_q_has_space(o, vc, head->size())) {
-          cands.push_back(ArbCandidate{in, head});
+    // Occupancy may transiently exceed the cap: a grant issued at the exact
+    // completion instant of an in-flight transfer does not see its bytes
+    // yet (same race the virtual-dispatch datapath had), so clamp at zero.
+    const std::uint64_t used = out_q(out, vc).bytes();
+    const std::uint64_t space_left =
+        used < params_.buffer_bytes_per_vc ? params_.buffer_bytes_per_vc - used
+                                           : 0;
+    // One arbitration round = one linear scan of the candidate cache row
+    // for this (vc, out): deadlines and sizes, no queue pointers touched.
+    const std::int64_t* dl = voq_dl_.data() + voq_index(vc, out, 0);
+    const std::uint32_t* sz = voq_sz_.data() + voq_index(vc, out, 0);
+    std::size_t win = kNoWinner;
+    if (edf_arbiter_) {
+      // EDF: minimum deadline; ties go to the lowest input (strict < over
+      // an ascending scan).
+      std::int64_t best = kNoCandidate;
+      for (std::size_t in = 0; in < num_ports; ++in) {
+        if (dl[in] == kNoCandidate) continue;
+        if (inputs_[in].read_busy_until > now) continue;
+        if (sz[in] > space_left) continue;
+        if (dl[in] < best) {
+          best = dl[in];
+          win = in;
         }
       }
+    } else {
+      // Round-robin: first eligible input after the last grant, wrapping.
+      const std::size_t last = rr_last_[out * params_.num_vcs + vc];
+      std::size_t first = kNoWinner;
+      for (std::size_t in = 0; in < num_ports; ++in) {
+        if (dl[in] == kNoCandidate) continue;
+        if (inputs_[in].read_busy_until > now) continue;
+        if (sz[in] > space_left) continue;
+        if (first == kNoWinner) first = in;
+        if (in > last) {
+          win = in;
+          break;
+        }
+      }
+      if (win == kNoWinner) win = first;
     }
-    const auto winner = o.xbar_arb[vc]->pick(cands);
-    if (!winner) continue;
-    const std::size_t in = cands[*winner].input;
-    Input& i = inputs_[in];
-    PacketPtr p = i.vc_buf[vc]->dequeue(out);
-    o.xbar_arb[vc]->granted(in);
+    if (win == kNoWinner) continue;
+
+    Input& i = inputs_[win];
+    PacketPtr p = in_buf(win, vc).dequeue(out);
+    DQOS_ASSERT(queued_packets_ > 0);
+    --queued_packets_;  // in flight across the crossbar until xbar_arrive
+    refresh_voq(win, vc, out);
+    if (!edf_arbiter_) rr_last_[out * params_.num_vcs + vc] = win;
 
     // Freed input-buffer space: return credits upstream.
     DQOS_ASSERT(i.channel != nullptr);
@@ -191,17 +229,55 @@ void Switch::try_fill(std::size_t out) {
       xbar_arrive(std::move(p), out);
     });
     sim_.schedule_after(xfer, [this, out] { try_fill(out); });
-    sim_.schedule_after(xfer, [this, in] { on_input_free(in); });
+    sim_.schedule_after(xfer, [this, in = win] { on_input_free(in); });
     return;
   }
 }
 
 void Switch::xbar_arrive(PacketPtr p, std::size_t out) {
-  Output& o = outputs_[out];
   const VcId vc = p->hdr.vc;
   if (tracer_) tracer_->record(sim_.now(), TraceEvent::kXbarTransfer, *p, id_);
-  o.vc_q[vc]->enqueue(std::move(p));
+  out_q(out, vc).enqueue(std::move(p));
+  ++queued_packets_;
   try_drain(out);
+}
+
+bool Switch::drain_vc(std::size_t out, VcId vc, TimePoint now) {
+  Output& o = outputs_[out];
+  PacketQueue& q = out_q(out, vc);
+  const Packet* head = q.candidate();
+  if (head == nullptr) return false;
+  // Only the selected (minimum-deadline) packet is checked for credits
+  // (appendix flow-control rule); if it does not fit, this VC stalls and
+  // a lower-priority VC may use the link instead.
+  if (!o.channel->has_credits(vc, head->size())) {
+    ++counters_.credit_stalls;
+    return false;
+  }
+  PacketPtr p = q.dequeue();
+  DQOS_ASSERT(queued_packets_ > 0);
+  --queued_packets_;
+  if (o.weighted_vc) o.weighted_vc->granted(vc, p->size());
+
+  const auto cls = static_cast<std::size_t>(p->hdr.tclass);
+  ++counters_.packets_forwarded[cls];
+  counters_.bytes_forwarded[cls] += p->size();
+
+  // Re-encode the deadline as TTD for the wire (§3.3).
+  p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);
+  if (tracer_) tracer_->record(now, TraceEvent::kLinkDepart, *p, id_);
+
+  const Duration ser = o.channel->serialization_time(p->size());
+  o.channel->consume_credits(vc, p->size());
+  o.channel->send(std::move(p));
+  // A heap buffer pays its access latency on every scheduling decision;
+  // the link sits idle for that long after each packet (A10).
+  const Duration op = heap_queues_ ? params_.heap_op_latency : Duration::zero();
+  o.link_busy_until = now + ser + op;
+  sim_.schedule_after(ser + op, [this, out] { try_drain(out); });
+  // Output-buffer space freed: the crossbar may refill.
+  try_fill(out);
+  return true;
 }
 
 void Switch::try_drain(std::size_t out) {
@@ -212,8 +288,8 @@ void Switch::try_drain(std::size_t out) {
   if (!o.channel->is_up()) {
     // Transient outage: hold the packets; repair() re-kicks this drain via
     // the channel's on_credit callback.
-    for (const auto& q : o.vc_q) {
-      if (!q->empty()) {
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      if (!out_q(out, vc).empty()) {
         ++counters_.link_down_stalls;
         break;
       }
@@ -221,49 +297,27 @@ void Switch::try_drain(std::size_t out) {
     return;
   }
 
-  o.link_vc_policy->order(vc_order_scratch_);
-  for (const VcId vc : vc_order_scratch_) {
-    const Packet* head = o.vc_q[vc]->candidate();
-    if (head == nullptr) continue;
-    // Only the selected (minimum-deadline) packet is checked for credits
-    // (appendix flow-control rule); if it does not fit, this VC stalls and
-    // a lower-priority VC may use the link instead.
-    if (!o.channel->has_credits(vc, head->size())) {
-      ++counters_.credit_stalls;
-      continue;
+  if (o.weighted_vc == nullptr) {
+    // Strict VC priority (all paper architectures): VC0 first, no order
+    // materialization.
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      if (drain_vc(out, vc, now)) return;
     }
-    PacketPtr p = o.vc_q[vc]->dequeue();
-    o.link_vc_policy->granted(vc, p->size());
-
-    const auto cls = static_cast<std::size_t>(p->hdr.tclass);
-    ++counters_.packets_forwarded[cls];
-    counters_.bytes_forwarded[cls] += p->size();
-
-    // Re-encode the deadline as TTD for the wire (§3.3).
-    p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);
-    if (tracer_) tracer_->record(now, TraceEvent::kLinkDepart, *p, id_);
-
-    const Duration ser = o.channel->serialization_time(p->size());
-    o.channel->consume_credits(vc, p->size());
-    o.channel->send(std::move(p));
-    // A heap buffer pays its access latency on every scheduling decision;
-    // the link sits idle for that long after each packet (A10).
-    const Duration op = queue_kind_for(params_.arch) == QueueKind::kHeap
-                            ? params_.heap_op_latency
-                            : Duration::zero();
-    o.link_busy_until = now + ser + op;
-    sim_.schedule_after(ser + op, [this, out] { try_drain(out); });
-    // Output-buffer space freed: the crossbar may refill.
-    try_fill(out);
     return;
+  }
+  o.weighted_vc->order(vc_order_scratch_);
+  for (const VcId vc : vc_order_scratch_) {
+    if (drain_vc(out, vc, now)) return;
   }
 }
 
 void Switch::on_input_free(std::size_t in) {
-  // Any output this input holds traffic for may now be able to fill.
-  for (std::size_t out = 0; out < outputs_.size(); ++out) {
+  // Any output this input holds traffic for may now be able to fill. The
+  // candidate cache answers "holds traffic" without touching the queues.
+  const std::size_t num_ports = inputs_.size();
+  for (std::size_t out = 0; out < num_ports; ++out) {
     for (std::uint8_t vc = 0; vc < params_.num_vcs; ++vc) {
-      if (inputs_[in].vc_buf[vc]->candidate(out) != nullptr) {
+      if (voq_dl_[voq_index(vc, out, in)] != kNoCandidate) {
         try_fill(out);
         break;
       }
@@ -273,35 +327,27 @@ void Switch::on_input_free(std::size_t in) {
 
 std::uint64_t Switch::order_errors() const {
   std::uint64_t sum = 0;
-  for (const auto& in : inputs_) {
-    for (const auto& buf : in.vc_buf) sum += buf->order_errors();
-  }
-  for (const auto& out : outputs_) {
-    for (const auto& q : out.vc_q) sum += q->order_errors();
-  }
+  for (const auto& buf : in_bufs_) sum += buf.order_errors();
+  for (const auto& q : out_qs_) sum += q.order_errors();
   return sum;
 }
 
 std::uint64_t Switch::order_errors_vc(VcId vc) const {
   DQOS_EXPECTS(vc < params_.num_vcs);
   std::uint64_t sum = 0;
-  for (const auto& in : inputs_) sum += in.vc_buf[vc]->order_errors();
-  for (const auto& out : outputs_) sum += out.vc_q[vc]->order_errors();
+  for (std::size_t in = 0; in < inputs_.size(); ++in) {
+    sum += in_buf(in, vc).order_errors();
+  }
+  for (std::size_t out = 0; out < outputs_.size(); ++out) {
+    sum += out_q(out, vc).order_errors();
+  }
   return sum;
 }
 
 std::uint64_t Switch::takeovers() const {
   std::uint64_t sum = 0;
-  for (const auto& in : inputs_) {
-    for (const auto& buf : in.vc_buf) sum += buf->takeovers();
-  }
-  for (const auto& out : outputs_) {
-    for (const auto& q : out.vc_q) {
-      if (const auto* t = dynamic_cast<const TakeoverQueue*>(q.get())) {
-        sum += t->takeovers();
-      }
-    }
-  }
+  for (const auto& buf : in_bufs_) sum += buf.takeovers();
+  for (const auto& q : out_qs_) sum += q.takeovers();
   return sum;
 }
 
@@ -311,14 +357,27 @@ std::string Switch::debug_dump() const {
       << " credit_stalls=" << counters_.credit_stalls
       << " link_down_stalls=" << counters_.link_down_stalls
       << " dropped=" << counters_.dropped_link_down << "\n";
+  // Walk the queues and cross-check the O(1) occupancy counter — the dump
+  // runs off the hot path (watchdog reports), so the audit is free.
+  std::size_t walked = 0;
+  for (const auto& buf : in_bufs_) walked += buf.total_packets();
+  for (const auto& q : out_qs_) walked += q.packets();
+  if (walked != queued_packets_) {
+    out << "  WARNING: occupancy counter " << queued_packets_
+        << " != walked total " << walked << "\n";
+  }
   for (std::size_t port = 0; port < outputs_.size(); ++port) {
     const Output& o = outputs_[port];
     if (o.channel == nullptr) continue;
     std::size_t out_pkts = 0;
-    for (const auto& q : o.vc_q) out_pkts += q->packets();
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      out_pkts += out_q(port, vc).packets();
+    }
     std::size_t voq_pkts = 0;
-    for (const auto& in : inputs_) {
-      for (const auto& buf : in.vc_buf) voq_pkts += buf->packets(port);
+    for (std::size_t in = 0; in < inputs_.size(); ++in) {
+      for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+        voq_pkts += in_buf(in, vc).packets(port);
+      }
     }
     if (out_pkts == 0 && voq_pkts == 0 && o.channel->is_up()) continue;
     out << "  out " << port << ": link="
@@ -332,28 +391,18 @@ std::string Switch::debug_dump() const {
     out << "]\n";
   }
   for (std::size_t port = 0; port < inputs_.size(); ++port) {
-    const Input& in = inputs_[port];
     std::uint64_t used = 0;
-    for (const auto& buf : in.vc_buf) used += buf->used_bytes();
+    for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
+      used += in_buf(port, vc).used_bytes();
+    }
     if (used == 0) continue;
     out << "  in " << port << ": used_bytes=[";
     for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
-      out << (vc ? "," : "") << in.vc_buf[vc]->used_bytes();
+      out << (vc ? "," : "") << in_buf(port, vc).used_bytes();
     }
     out << "]\n";
   }
   return out.str();
-}
-
-std::size_t Switch::packets_queued() const {
-  std::size_t sum = 0;
-  for (const auto& in : inputs_) {
-    for (const auto& buf : in.vc_buf) sum += buf->total_packets();
-  }
-  for (const auto& out : outputs_) {
-    for (const auto& q : out.vc_q) sum += q->packets();
-  }
-  return sum;
 }
 
 }  // namespace dqos

@@ -28,11 +28,32 @@
 /// The deadline tag crosses links as TTD and is reconstructed against this
 /// switch's (skewed) local clock at header arrival — no behaviour may
 /// depend on the global clock.
+///
+/// ## Datapath micro-architecture (DESIGN.md §8)
+///
+/// The software model mirrors the paper's hardware-cost argument: the
+/// datapath is flat arrays, not pointer graphs.
+///
+///   - All queues (input VOQs and output buffers) are `PacketQueue` values
+///     in contiguous arrays — the discipline is a tagged union resolved at
+///     construction, so enqueue/dequeue/candidate are direct calls.
+///   - `try_fill` arbitration never peeks into queues: a **candidate
+///     deadline cache** (`voq_dl_` / `voq_sz_`, laid out `[vc][out][in]`)
+///     is maintained incrementally at every VOQ mutation, so one
+///     arbitration round is a linear scan of `num_ports` int64s — the
+///     software analogue of the paper's "heads suffice" sorting-network
+///     argument (§3.2).
+///   - The crossbar input arbiter (EDF or round-robin) is inlined into the
+///     scan; only the round-robin pointer is state (`rr_last_`).
+///   - Per-switch occupancy is an O(1) counter (`queued_packets_`)
+///     maintained at the same mutation points, so periodic probe sampling
+///     reads a word instead of walking every queue.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -130,27 +151,57 @@ class Switch final : public PacketReceiver {
   /// Order errors on one VC only (e.g. the regulated VC).
   [[nodiscard]] std::uint64_t order_errors_vc(VcId vc) const;
   [[nodiscard]] std::uint64_t takeovers() const;
-  /// Packets currently buffered inside the switch (both sides).
-  [[nodiscard]] std::size_t packets_queued() const;
+  /// Packets currently buffered inside the switch (both sides). O(1): an
+  /// incrementally-maintained per-switch counter (probe sampling reads
+  /// this every interval; it must not walk the queues).
+  [[nodiscard]] std::size_t packets_queued() const { return queued_packets_; }
 
  private:
+  /// Sentinel in the candidate-deadline cache: VOQ empty.
+  static constexpr std::int64_t kNoCandidate =
+      std::numeric_limits<std::int64_t>::max();
+  static constexpr std::size_t kNoWinner = ~std::size_t{0};
+
   struct Input {
-    Channel* channel = nullptr;                        ///< upstream (credits)
-    std::vector<std::unique_ptr<InputBuffer>> vc_buf;  ///< one per VC (VOQ)
-    TimePoint read_busy_until;                         ///< crossbar read port
+    Channel* channel = nullptr;  ///< upstream (credits)
+    TimePoint read_busy_until;   ///< crossbar read port
   };
   struct Output {
     Channel* channel = nullptr;  ///< downstream link
-    std::vector<std::unique_ptr<QueueDiscipline>> vc_q;  ///< output buffers
     TimePoint write_busy_until;  ///< crossbar write port
     TimePoint link_busy_until;   ///< wire
-    std::unique_ptr<VcSelectionPolicy> link_vc_policy;
-    std::vector<std::unique_ptr<InputArbiter>> xbar_arb;  ///< one per VC
+    /// Weighted VC arbitration table (A5) — null for the paper's strict
+    /// VC priority, which is inlined in try_drain.
+    std::unique_ptr<WeightedVcPolicy> weighted_vc;
   };
 
-  [[nodiscard]] bool output_q_has_space(const Output& o, VcId vc,
-                                        std::uint32_t bytes) const {
-    return o.vc_q[vc]->bytes() + bytes <= params_.buffer_bytes_per_vc;
+  // --- flat datapath storage accessors ---
+  [[nodiscard]] InputBuffer& in_buf(std::size_t in, VcId vc) {
+    return in_bufs_[in * params_.num_vcs + vc];
+  }
+  [[nodiscard]] const InputBuffer& in_buf(std::size_t in, VcId vc) const {
+    return in_bufs_[in * params_.num_vcs + vc];
+  }
+  [[nodiscard]] PacketQueue& out_q(std::size_t out, VcId vc) {
+    return out_qs_[out * params_.num_vcs + vc];
+  }
+  [[nodiscard]] const PacketQueue& out_q(std::size_t out, VcId vc) const {
+    return out_qs_[out * params_.num_vcs + vc];
+  }
+  /// Candidate-cache index, laid out so an arbitration round for a given
+  /// (vc, out) scans `num_ports` contiguous entries over `in`.
+  [[nodiscard]] std::size_t voq_index(VcId vc, std::size_t out,
+                                      std::size_t in) const {
+    return (static_cast<std::size_t>(vc) * inputs_.size() + out) * inputs_.size() +
+           in;
+  }
+  /// Re-derives the cached candidate deadline/size of one VOQ after a
+  /// mutation (the cache invariant: cache == candidate() at all times).
+  void refresh_voq(std::size_t in, VcId vc, std::size_t out) {
+    const Packet* c = in_buf(in, vc).candidate(out);
+    const std::size_t i = voq_index(vc, out, in);
+    voq_dl_[i] = c != nullptr ? c->local_deadline.ps() : kNoCandidate;
+    voq_sz_[i] = c != nullptr ? c->size() : 0;
   }
 
   /// Crossbar scheduling: move one packet from an input VOQ into `out`'s
@@ -158,6 +209,8 @@ class Switch final : public PacketReceiver {
   void try_fill(std::size_t out);
   /// Link scheduling: transmit the best packet from `out`'s output buffers.
   void try_drain(std::size_t out);
+  /// One drain attempt on a single VC; true if a packet left on the link.
+  bool drain_vc(std::size_t out, VcId vc, TimePoint now);
   /// An input's crossbar read port freed: outputs it feeds may fill again.
   void on_input_free(std::size_t in);
   /// Crossbar transfer completion: the packet lands in the output buffer.
@@ -168,14 +221,24 @@ class Switch final : public PacketReceiver {
   SwitchParams params_;
   LocalClock clock_;
   Bandwidth xbar_bw_;  ///< derived: link bw x speedup (set on first attach)
+  bool edf_arbiter_ = true;   ///< resolved once from params_.arch
+  bool heap_queues_ = false;  ///< arch uses heap buffers (A10 latency)
   std::vector<Input> inputs_;
   std::vector<Output> outputs_;
+  std::vector<InputBuffer> in_bufs_;   ///< [in * num_vcs + vc]
+  std::vector<PacketQueue> out_qs_;    ///< [out * num_vcs + vc]
+  /// Candidate deadline / size per VOQ, indexed by voq_index() — what the
+  /// crossbar arbiter scans instead of peeking through the queues.
+  std::vector<std::int64_t> voq_dl_;
+  std::vector<std::uint32_t> voq_sz_;
+  /// Round-robin grant pointer per (out, vc) (Traditional arch only).
+  std::vector<std::size_t> rr_last_;
+  std::size_t queued_packets_ = 0;
   SwitchCounters counters_;
   PacketTracer* tracer_ = nullptr;
   std::function<void(TrafficClass)> drop_cb_;
-  // Hot-path scratch buffers (single-threaded switch; reused to keep the
-  // per-decision paths allocation-free).
-  std::vector<ArbCandidate> cands_scratch_;
+  /// Scratch for the weighted VC order (A5 path only; strict priority never
+  /// materializes an order).
   std::vector<VcId> vc_order_scratch_;
 };
 

@@ -45,12 +45,98 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  DQOS_EXPECTS(q > 0.0 && q < 1.0);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) pos_[i] = static_cast<double>(i + 1);
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * q_;
+      desired_[2] = 1.0 + 4.0 * q_;
+      desired_[3] = 3.0 + 2.0 * q_;
+      desired_[4] = 5.0;
+      incr_[0] = 0.0;
+      incr_[1] = q_ / 2.0;
+      incr_[2] = q_;
+      incr_[3] = (1.0 + q_) / 2.0;
+      incr_[4] = 1.0;
+    }
+    return;
+  }
+  ++n_;
+  // Locate the cell containing x and stretch the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += incr_[i];
+  // Nudge interior markers toward their desired positions, adjusting the
+  // heights with the piecewise-parabolic (P²) formula, falling back to
+  // linear interpolation when the parabola would break monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    const double right = pos_[i + 1] - pos_[i];
+    const double left = pos_[i - 1] - pos_[i];
+    if ((d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double hi = heights_[i + 1];
+      const double hm = heights_[i];
+      const double lo = heights_[i - 1];
+      double cand = hm + s / (right - left) *
+                             ((s - left) * (hi - hm) / right +
+                              (right - s) * (hm - lo) / -left);
+      if (cand <= lo || cand >= hi) {
+        // Parabolic step left the bracket: use the linear formula.
+        cand = s > 0 ? hm + (hi - hm) / right : hm + (lo - hm) / -left;
+      }
+      heights_[i] = cand;
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact small-sample quantile with linear interpolation (matches
+    // SampleSet::quantile so the fallback is seamless for tiny sets).
+    double tmp[5];
+    std::copy(heights_, heights_ + n_, tmp);
+    std::sort(tmp, tmp + n_);
+    const double posn = q_ * static_cast<double>(n_ - 1);
+    const auto i = static_cast<std::size_t>(posn);
+    const double frac = posn - static_cast<double>(i);
+    if (i + 1 >= n_) return tmp[n_ - 1];
+    return tmp[i] * (1.0 - frac) + tmp[i + 1] * frac;
+  }
+  return heights_[2];
+}
+
 SampleSet::SampleSet(std::size_t cap, std::uint64_t seed) : cap_(cap), rng_(seed) {
   DQOS_EXPECTS(cap > 0);
 }
 
+void SampleSet::reserve(std::size_t n) {
+  samples_.reserve(std::min(n, cap_));
+}
+
 void SampleSet::add(double x) {
   stats_.add(x);
+  p99_est_.add(x);
   if (samples_.size() < cap_) {
     samples_.push_back(x);
     sorted_ = false;
@@ -82,6 +168,14 @@ double SampleSet::quantile(double q) const {
   const double frac = pos - static_cast<double>(i);
   if (i + 1 >= samples_.size()) return samples_.back();
   return samples_[i] * (1.0 - frac) + samples_[i + 1] * frac;
+}
+
+double SampleSet::p99() const {
+  // While every sample is retained the sorted-set quantile is exact; once
+  // the reservoir engages, prefer the P² estimate — it tracks the true
+  // tail without the reservoir's subsampling noise.
+  if (stats_.count() <= cap_) return quantile(0.99);
+  return p99_est_.value();
 }
 
 double SampleSet::cdf_at(double x) const {

@@ -40,6 +40,31 @@ class StreamingStats {
   double max_ = 0.0;
 };
 
+/// Streaming quantile estimator — the P² (P-square) algorithm of Jain &
+/// Chlamtac (CACM 1985). Tracks one quantile with five markers (heights +
+/// positions) in O(1) memory and O(1) per sample, no allocation, no
+/// sorting. Exact until five samples have arrived; afterwards the classic
+/// piecewise-parabolic marker update. Used as the tail-latency fallback
+/// once a SampleSet's reservoir engages (the reservoir's p99 carries
+/// sampling noise exactly where the paper's plots care most).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  /// Current estimate (exact small-sample quantile before 5 samples).
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::uint64_t n_ = 0;
+  double heights_[5]{};
+  double pos_[5]{};      ///< actual marker positions (1-based)
+  double desired_[5]{};  ///< desired marker positions
+  double incr_[5]{};     ///< desired-position increments per sample
+};
+
 /// Sample collection for exact quantiles/CDFs. Stores every sample up to
 /// `cap`, then switches to uniform reservoir sampling so memory stays
 /// bounded while quantile estimates remain unbiased. Min/max/mean are always
@@ -50,6 +75,11 @@ class SampleSet {
 
   void add(double x);
 
+  /// Pre-sizes the backing store for `n` expected samples (clamped at the
+  /// reservoir cap) so steady-state sampling never reallocates multi-MB
+  /// vectors mid-run. Call before the first add().
+  void reserve(std::size_t n);
+
   [[nodiscard]] std::uint64_t count() const { return stats_.count(); }
   [[nodiscard]] double mean() const { return stats_.mean(); }
   [[nodiscard]] double stddev() const { return stats_.stddev(); }
@@ -59,6 +89,11 @@ class SampleSet {
 
   /// Exact (or reservoir-estimated) quantile, q in [0,1]. Empty set => 0.
   [[nodiscard]] double quantile(double q) const;
+
+  /// 99th percentile: exact while every sample is stored; once the
+  /// reservoir engages (count > cap), falls back to the P² streaming
+  /// estimator, which has no subsampling noise. Small runs are unaffected.
+  [[nodiscard]] double p99() const;
 
   /// Fraction of samples <= x — one point of the empirical CDF.
   [[nodiscard]] double cdf_at(double x) const;
@@ -75,6 +110,7 @@ class SampleSet {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
   Rng rng_;
+  P2Quantile p99_est_{0.99};
 };
 
 /// Jain's fairness index over per-entity allocations x_i:

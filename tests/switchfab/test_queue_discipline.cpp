@@ -303,21 +303,21 @@ TEST_P(AnyQueue, BytesAccounting) {
     p->local_deadline = TimePoint::from_ps(d);
     return p;
   };
-  EXPECT_EQ(q->bytes(), 0u);
-  q->enqueue(mk(100, 5));
-  q->enqueue(mk(200, 3));
-  EXPECT_EQ(q->bytes(), 300u);
-  EXPECT_EQ(q->packets(), 2u);
-  (void)q->dequeue();
-  (void)q->dequeue();
-  EXPECT_EQ(q->bytes(), 0u);
-  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q.bytes(), 0u);
+  q.enqueue(mk(100, 5));
+  q.enqueue(mk(200, 3));
+  EXPECT_EQ(q.bytes(), 300u);
+  EXPECT_EQ(q.packets(), 2u);
+  (void)q.dequeue();
+  (void)q.dequeue();
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST_P(AnyQueue, CandidateNullWhenEmpty) {
   auto q = make_queue(GetParam());
-  EXPECT_EQ(q->candidate(), nullptr);
-  EXPECT_EQ(q->min_deadline(), TimePoint::max());
+  EXPECT_EQ(q.candidate(), nullptr);
+  EXPECT_EQ(q.min_deadline(), TimePoint::max());
 }
 
 TEST_P(AnyQueue, CandidateMatchesDequeue) {
@@ -325,15 +325,15 @@ TEST_P(AnyQueue, CandidateMatchesDequeue) {
   Rng rng(99);
   auto q = make_queue(GetParam());
   for (int i = 0; i < 200; ++i) {
-    if (q->empty() || rng.chance(0.6)) {
+    if (q.empty() || rng.chance(0.6)) {
       PacketPtr p = pool.make();
       p->hdr.wire_bytes = 64;
       p->local_deadline = TimePoint::from_ps(static_cast<std::int64_t>(rng.uniform_int(0, 1000)));
-      q->enqueue(std::move(p));
+      q.enqueue(std::move(p));
     } else {
-      const Packet* c = q->candidate();
+      const Packet* c = q.candidate();
       ASSERT_NE(c, nullptr);
-      PacketPtr p = q->dequeue();
+      PacketPtr p = q.dequeue();
       EXPECT_EQ(p.get(), c);
     }
   }
@@ -359,10 +359,10 @@ TEST_P(AnyQueue, PerFlowOrderPreservedUnderHypotheses) {
       p->hdr.flow = static_cast<FlowId>(f);
       p->hdr.flow_seq = flow_seq[f]++;
       p->hdr.wire_bytes = 64;
-      q->enqueue(std::move(p));
+      q.enqueue(std::move(p));
       ++in_flight;
     } else {
-      PacketPtr p = q->dequeue();
+      PacketPtr p = q.dequeue();
       --in_flight;
       auto [it, inserted] = last.try_emplace(p->hdr.flow, p->hdr.flow_seq);
       if (!inserted) {

@@ -5,6 +5,7 @@
 
 #include "proto/packet_pool.hpp"
 #include "switchfab/switch.hpp"
+#include "util/rng.hpp"
 
 namespace dqos {
 namespace {
@@ -110,6 +111,78 @@ TEST_F(WeightedVcFixture, FourVcTable) {
   ASSERT_GT(total, 0.0);
   EXPECT_NEAR(static_cast<double>(hosts_[1].bytes_per_vc[0]) / total, 0.5, 0.08);
   EXPECT_NEAR(static_cast<double>(hosts_[1].bytes_per_vc[1]) / total, 0.25, 0.06);
+}
+
+// --------- banked-deficit bound (policy-level regression) -----------------
+
+/// The DRR bank must never exceed one allocation plus one quantum, no
+/// matter how adversarial the grant sequence: without the clamp, a VC that
+/// the ring repeatedly skips (blocked upstream) would accrue unbounded
+/// credit and then monopolize the link for arbitrarily long when it wakes.
+TEST(WeightedVcDeficit, BankIsClampedUnderAdversarialSequences) {
+  const std::uint32_t quantum = 4096;
+  WeightedVcPolicy pol({4, 2, 1, 1}, quantum);
+  Rng rng(2024);
+  const auto check_bound = [&] {
+    for (VcId vc = 0; vc < 4; ++vc) {
+      EXPECT_LE(pol.deficit(vc), pol.allocation(vc) + quantum)
+          << "vc " << static_cast<int>(vc) << " hoarded credit";
+    }
+  };
+  check_bound();
+  // Phase 1: VC3 never transmits (simulates a long credit block) while the
+  // others cycle with max-size packets — the classic hoarding setup.
+  for (int i = 0; i < 50'000; ++i) {
+    pol.granted(static_cast<VcId>(rng.uniform_int(0, 2)), 2048);
+    check_bound();
+  }
+  // Phase 2: VC3 wakes. Its first service round must be bounded by one
+  // allocation + one quantum of bytes, not 50k rounds of back-credit.
+  std::int64_t vc3_burst = 0;
+  pol.granted(3, 2048);
+  vc3_burst += 2048;
+  while (pol.order().front() == 3) {
+    pol.granted(3, 2048);
+    vc3_burst += 2048;
+    ASSERT_LE(vc3_burst, pol.allocation(3) + quantum + 2048);
+  }
+  check_bound();
+  // Phase 3: random interleavings with mixed sizes (including overshooting
+  // jumbo grants) keep the bank bounded on every step.
+  for (int i = 0; i < 50'000; ++i) {
+    const auto vc = static_cast<VcId>(rng.uniform_int(0, 3));
+    const auto bytes =
+        static_cast<std::uint32_t>(rng.uniform_int(64, 9000));
+    pol.granted(vc, bytes);
+    check_bound();
+  }
+}
+
+/// Overshoot debt carries into the next round (banked DRR): a VC whose
+/// packets always overshoot its allocation must not get a fresh full
+/// allocation every round, or its long-run share exceeds its weight.
+TEST(WeightedVcDeficit, OvershootDebtCarriesAcrossRounds) {
+  const std::uint32_t quantum = 1024;
+  WeightedVcPolicy pol({1, 1}, quantum);
+  // VC0 sends one 4 KB packet per round against a 1 KB allocation; VC1
+  // drains in 1 KB packets. Over many rounds the byte shares must track the
+  // 1:1 weights despite VC0's per-round overshoot.
+  std::int64_t b0 = 0, b1 = 0;
+  for (int round = 0; round < 4000; ++round) {
+    std::vector<VcId> order = pol.order();
+    if (order.front() == 0) {
+      pol.granted(0, 4096);
+      b0 += 4096;
+    } else {
+      pol.granted(1, 1024);
+      b1 += 1024;
+    }
+  }
+  ASSERT_GT(b0, 0);
+  ASSERT_GT(b1, 0);
+  const double share0 =
+      static_cast<double>(b0) / static_cast<double>(b0 + b1);
+  EXPECT_NEAR(share0, 0.5, 0.05);
 }
 
 }  // namespace

@@ -103,6 +103,71 @@ TEST(SampleSet, EmptySetSafeDefaults) {
   EXPECT_TRUE(s.cdf_curve().empty());
 }
 
+TEST(P2Quantile, ExactForTinySamples) {
+  P2Quantile p(0.5);
+  EXPECT_EQ(p.value(), 0.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.value(), 3.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);  // median of {1,3}
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);
+}
+
+TEST(P2Quantile, TracksUniformMedianAndTail) {
+  P2Quantile med(0.5), tail(0.99);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform();
+    med.add(x);
+    tail.add(x);
+  }
+  EXPECT_NEAR(med.value(), 0.5, 0.01);
+  EXPECT_NEAR(tail.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, TracksSkewedTail) {
+  // Exponential tail — the regime the estimator exists for: latency p99.
+  P2Quantile tail(0.99);
+  Rng rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    tail.add(-std::log(1.0 - rng.uniform()));
+  }
+  // True p99 of Exp(1) is -ln(0.01) ~= 4.605.
+  EXPECT_NEAR(tail.value(), 4.605, 0.25);
+}
+
+TEST(SampleSet, P99ExactWhileBelowCap) {
+  SampleSet s(1000);
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  // With every sample retained, p99() must equal the exact quantile.
+  EXPECT_DOUBLE_EQ(s.p99(), s.quantile(0.99));
+}
+
+TEST(SampleSet, P99UsesStreamingEstimatorPastCap) {
+  // Tiny cap forces the reservoir on; the P2-backed p99 should land close
+  // to the true tail even though the reservoir holds only 64 samples.
+  SampleSet s(64);
+  Rng rng(13);
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_GT(s.count(), 64u);
+  EXPECT_NEAR(s.p99(), 0.99, 0.02);
+}
+
+TEST(SampleSet, ReserveDoesNotChangeContents) {
+  SampleSet a(1000), b(1000);
+  b.reserve(500000);  // clamped at cap internally
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform();
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
 TEST(JainFairness, PerfectlyFairIsOne) {
   EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
   EXPECT_DOUBLE_EQ(jain_fairness({1.0}), 1.0);

@@ -31,6 +31,9 @@ struct Outcome {
 
 Outcome run_case(const SimConfig& base, bool police, bool misbehave) {
   NetworkSimulator net(base);
+  // Admit the Table 1 mix first so the rogue's flow id lands after the
+  // static population (run() would build the workload lazily otherwise).
+  net.prepare_workload();
   // Admit the rogue flow through the normal control plane.
   FlowRequest req;
   req.src = 0;

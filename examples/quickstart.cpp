@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
               std::string(to_string(cfg.arch)).c_str(), cfg.load * 100.0);
 
   NetworkSimulator net(cfg);
+  net.prepare_workload();  // admit the static Table 1 flows (run() would too)
   std::printf("topology: %s, %u switches, %llu flows admitted\n",
               net.topology().name().c_str(), net.num_switches(),
               static_cast<unsigned long long>(net.admission().admitted_flows()));

@@ -31,10 +31,32 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset" -j "$(nproc)"
 done
 
+if [[ " ${presets[*]} " == *" asan "* ]]; then
+  # Churn-scenario smoke under ASAN: the full three-phase mesh16 scenario
+  # (mid-run admits, releases, retargets) must run clean and hand back
+  # every reserved byte at teardown (EXPERIMENTS.md C1).
+  echo "=== [asan] churn scenario smoke ==="
+  churn_out=$(build-asan/tools/dqos_sim --scenario=configs/mesh16_churn.cfg)
+  echo "$churn_out" | tail -1
+  if ! grep -q "reserved 0.0 B/s after" <<<"$churn_out"; then
+    echo "churn smoke: reserved bandwidth did not return to zero" >&2
+    exit 1
+  fi
+fi
+
 if [[ $run_perf_smoke -eq 1 ]]; then
   echo "=== [bench] Release perf smoke ==="
   cmake --preset bench
-  cmake --build --preset bench --target bench_kernel bench_datapath -j "$(nproc)"
+  cmake --build --preset bench --target bench_kernel bench_datapath dqos_sim_tool \
+      -j "$(nproc)"
+
+  # The phased scenario path at Release optimization levels: same churn
+  # config as the ASAN smoke, shortened so it adds seconds, not minutes.
+  build-bench/tools/dqos_sim --scenario=configs/mesh16_churn.cfg \
+      --measure-ms=4 --drain-ms=1 --phase.1.start-ms=1 --phase.2.start-ms=3 \
+      > /dev/null
+  echo "scenario smoke OK (Release)"
+
   smoke_json=build-bench/bench_kernel_smoke.json
   build-bench/bench/bench_kernel --quick --json="$smoke_json"
   python3 -m json.tool "$smoke_json" > /dev/null

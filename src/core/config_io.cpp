@@ -1,5 +1,6 @@
 #include "core/config_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +98,17 @@ std::string topology_key(TopologyKind t) {
     case TopologyKind::kMesh2D: return "mesh";
   }
   return "?";
+}
+
+PatternKind parse_pattern_or_fail(const ArgParser& args, const std::string& key,
+                                  const std::string& name) {
+  if (name == "uniform") return PatternKind::kUniform;
+  if (name == "hotspot") return PatternKind::kHotSpot;
+  if (name == "bit-complement") return PatternKind::kBitComplement;
+  if (name == "transpose") return PatternKind::kTranspose;
+  if (name == "tornado") return PatternKind::kTornado;
+  if (name == "permutation") return PatternKind::kPermutation;
+  fail_key(args, key, "unknown traffic pattern '" + name + "'");
 }
 
 }  // namespace
@@ -201,15 +213,7 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
       num_double(args, "skew-us", cfg.max_clock_skew.us()) / 1e6);
 
   if (const auto p = args.get("pattern")) {
-    if (*p == "uniform") cfg.pattern.kind = PatternKind::kUniform;
-    else if (*p == "hotspot") cfg.pattern.kind = PatternKind::kHotSpot;
-    else if (*p == "bit-complement") cfg.pattern.kind = PatternKind::kBitComplement;
-    else if (*p == "transpose") cfg.pattern.kind = PatternKind::kTranspose;
-    else if (*p == "tornado") cfg.pattern.kind = PatternKind::kTornado;
-    else if (*p == "permutation") cfg.pattern.kind = PatternKind::kPermutation;
-    else {
-      fail_key(args, "pattern", "unknown traffic pattern '" + *p + "'");
-    }
+    cfg.pattern.kind = parse_pattern_or_fail(args, "pattern", *p);
   }
   cfg.pattern.hotspot_fraction =
       num_double(args, "hotspot-fraction", cfg.pattern.hotspot_fraction);
@@ -276,12 +280,43 @@ constexpr std::array kKnownKeys = {
     "watchdog-rounds",
 };
 
+constexpr std::array kKnownPhaseSubkeys = {
+    "start-ms",      "load",
+    "share",         "pattern",
+    "hotspot-fraction", "hotspot-node",
+    "flow-arrivals-per-sec", "flow-departures-per-sec",
+};
+
+/// `phase.<index>.<subkey>` -> index; nullopt when `key` is not a phase key
+/// at all; ConfigError when it is one but malformed (bad index, unknown
+/// subkey).
+std::optional<std::size_t> phase_index(const ArgParser& args,
+                                       const std::string& key) {
+  if (key.rfind("phase.", 0) != 0) return std::nullopt;
+  const auto dot = key.find('.', 6);
+  if (dot == std::string::npos || dot == 6) {
+    fail_key(args, key, "expected phase.<index>.<key>");
+  }
+  const std::string idx = key.substr(6, dot - 6);
+  const std::string sub = key.substr(dot + 1);
+  bool digits = true;
+  for (const char ch : idx) digits = digits && ch >= '0' && ch <= '9';
+  if (!digits) fail_key(args, key, "'" + idx + "' is not a phase index");
+  if (std::strtoul(idx.c_str(), nullptr, 10) > 4095) {
+    fail_key(args, key, "phase index " + idx + " is out of range (max 4095)");
+  }
+  for (const char* k : kKnownPhaseSubkeys) {
+    if (sub == k) return std::strtoul(idx.c_str(), nullptr, 10);
+  }
+  fail_key(args, key, "unknown phase key '" + sub + "'");
+}
+
 }  // namespace
 
 void require_known_keys(const ArgParser& args,
                         std::initializer_list<std::string_view> extra) {
   for (const std::string& key : args.keys()) {
-    bool known = false;
+    bool known = phase_index(args, key).has_value();
     for (const char* k : kKnownKeys) {
       if (key == k) {
         known = true;
@@ -369,6 +404,122 @@ std::string config_to_string(const SimConfig& cfg) {
     out << "retry-max=" << cfg.fault.max_retries << "\n";
     out << "watchdog-ms=" << cfg.fault.watchdog_interval.ms() << "\n";
     out << "watchdog-rounds=" << cfg.fault.watchdog_rounds << "\n";
+  }
+  return out.str();
+}
+
+std::optional<Scenario> scenario_from_args(const ArgParser& args,
+                                           const SimConfig& base) {
+  std::size_t max_index = 0;
+  bool any = false;
+  for (const std::string& key : args.keys()) {
+    if (const auto idx = phase_index(args, key)) {
+      any = true;
+      max_index = std::max(max_index, *idx);
+    }
+  }
+  if (!any) return std::nullopt;
+
+  std::vector<bool> present(max_index + 1, false);
+  for (const std::string& key : args.keys()) {
+    if (const auto idx = phase_index(args, key)) present[*idx] = true;
+  }
+  for (std::size_t i = 0; i <= max_index; ++i) {
+    if (!present[i]) {
+      throw ConfigError(
+          "config error: phase indices must be contiguous from 0; [phase." +
+          std::to_string(i) + "] is missing");
+    }
+  }
+
+  Scenario scn;
+  scn.phases.resize(max_index + 1);
+  for (std::size_t i = 0; i < scn.phases.size(); ++i) {
+    PhaseSpec& ph = scn.phases[i];
+    const std::string p = "phase." + std::to_string(i) + ".";
+    // Omitted subkeys inherit the base single-phase run: each phase is a
+    // delta against the flat config.
+    ph.load = base.load;
+    ph.class_share = base.class_share;
+    ph.pattern = base.pattern;
+
+    const std::string start_key = p + "start-ms";
+    if (i == 0) {
+      if (num_double(args, start_key, 0.0) != 0.0) {
+        fail_key(args, start_key,
+                 "phase 0 always starts at offset 0 (the measurement-window "
+                 "start)");
+      }
+    } else {
+      if (!args.has(start_key)) {
+        throw ConfigError("config error: --" + start_key +
+                          " is required: the start offset of phase " +
+                          std::to_string(i) +
+                          " in ms from the measurement-window start");
+      }
+      ph.start =
+          Duration::from_seconds_double(num_double(args, start_key, 0.0) / 1e3);
+      if (ph.start <= scn.phases[i - 1].start) {
+        fail_key(args, start_key,
+                 "phase starts must be strictly increasing (phase " +
+                     std::to_string(i - 1) + " starts at " +
+                     std::to_string(scn.phases[i - 1].start.ms()) + " ms)");
+      }
+    }
+
+    ph.load = num_double(args, p + "load", ph.load);
+    if (const auto csv = args.get(p + "share")) {
+      // Control, Multimedia, BestEffort, Background.
+      std::stringstream ss(*csv);
+      std::string item;
+      std::size_t c = 0;
+      while (std::getline(ss, item, ',')) {
+        char* end = nullptr;
+        const double s = std::strtod(item.c_str(), &end);
+        if (end == item.c_str() || *end != '\0' || c >= kNumTrafficClasses) {
+          fail_key(args, p + "share",
+                   "expected 4 comma-separated class shares");
+        }
+        ph.class_share[c++] = s;
+      }
+      if (c != kNumTrafficClasses) {
+        fail_key(args, p + "share", "expected 4 comma-separated class shares");
+      }
+    }
+    if (const auto pat = args.get(p + "pattern")) {
+      ph.pattern.kind = parse_pattern_or_fail(args, p + "pattern", *pat);
+    }
+    ph.pattern.hotspot_fraction =
+        num_double(args, p + "hotspot-fraction", ph.pattern.hotspot_fraction);
+    ph.pattern.hotspot_node = static_cast<NodeId>(
+        num_u32(args, p + "hotspot-node", ph.pattern.hotspot_node));
+    ph.flow_arrivals_per_sec =
+        num_double(args, p + "flow-arrivals-per-sec", ph.flow_arrivals_per_sec);
+    ph.flow_departures_per_sec = num_double(args, p + "flow-departures-per-sec",
+                                            ph.flow_departures_per_sec);
+  }
+
+  const std::string problem = scn.check(base);
+  if (!problem.empty()) throw ConfigError("config error: " + problem);
+  return scn;
+}
+
+std::string scenario_to_string(const Scenario& scn) {
+  std::ostringstream out;
+  out << "# dqos run scenario (starts are offsets from the measurement "
+         "window)\n";
+  for (std::size_t i = 0; i < scn.phases.size(); ++i) {
+    const PhaseSpec& ph = scn.phases[i];
+    out << "[phase." << i << "]\n";
+    if (i > 0) out << "start-ms=" << ph.start.ms() << "\n";
+    out << "load=" << ph.load << "\n";
+    out << "share=" << ph.class_share[0] << "," << ph.class_share[1] << ","
+        << ph.class_share[2] << "," << ph.class_share[3] << "\n";
+    out << "pattern=" << to_string(ph.pattern.kind) << "\n";
+    out << "hotspot-fraction=" << ph.pattern.hotspot_fraction << "\n";
+    out << "hotspot-node=" << ph.pattern.hotspot_node << "\n";
+    out << "flow-arrivals-per-sec=" << ph.flow_arrivals_per_sec << "\n";
+    out << "flow-departures-per-sec=" << ph.flow_departures_per_sec << "\n";
   }
   return out.str();
 }

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "core/config.hpp"
+#include "core/scenario.hpp"
 #include "util/cli.hpp"
 
 namespace dqos {
@@ -52,5 +53,23 @@ void require_known_keys(const ArgParser& args,
 /// Serializes a SimConfig to `key=value` lines accepted back by
 /// ArgParser::load_file + config_from_args (round-trippable).
 [[nodiscard]] std::string config_to_string(const SimConfig& cfg);
+
+/// Builds a Scenario from `[phase.N]` sections (keys `phase.N.<subkey>`
+/// after ArgParser::load_file prefixing). Returns nullopt when `args`
+/// carries no phase keys at all. Phases must be numbered contiguously
+/// from 0; phase 0 starts at the measurement window's origin, later
+/// phases need `start-ms` (offset from that origin, strictly
+/// increasing). Subkeys: start-ms, load, share (4-value csv summing like
+/// SimConfig::class_share), pattern, hotspot-fraction, hotspot-node,
+/// flow-arrivals-per-sec, flow-departures-per-sec; omitted subkeys
+/// inherit from `base` (phase 0) — i.e. each phase is a delta on the
+/// base single-phase run. Throws ConfigError (with the file:line origin)
+/// on malformed values, overlapping/unsorted starts, or index gaps.
+[[nodiscard]] std::optional<Scenario> scenario_from_args(const ArgParser& args,
+                                                         const SimConfig& base);
+
+/// Serializes a Scenario to `[phase.N]` sections accepted back by
+/// ArgParser::load_file + scenario_from_args (round-trippable).
+[[nodiscard]] std::string scenario_to_string(const Scenario& scn);
 
 }  // namespace dqos

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/run_controller.hpp"
 #include "core/sweep_runner.hpp"
 #include "util/contracts.hpp"
 
@@ -10,18 +11,29 @@ namespace dqos {
 std::vector<SweepPoint> run_sweep(const SimConfig& base,
                                   std::span<const SwitchArch> archs,
                                   std::span<const double> loads,
-                                  const std::function<void(SimConfig&)>& tweak) {
+                                  const std::function<void(SimConfig&)>& tweak,
+                                  const Scenario* scenario) {
   // Build every point's config on this thread, in serial-loop order; the
   // tweak callback therefore never runs concurrently and per-point seeds
   // are fixed before any replica starts.
   std::vector<SimConfig> cfgs;
+  std::vector<Scenario> scns;
   cfgs.reserve(archs.size() * loads.size());
+  if (scenario) scns.reserve(archs.size() * loads.size());
   for (const SwitchArch arch : archs) {
     for (const double load : loads) {
       SimConfig cfg = base;
       cfg.arch = arch;
       cfg.load = load;
       if (tweak) tweak(cfg);
+      if (scenario) {
+        // Validate every scaled scenario serially so a bad phase load
+        // surfaces as one RunError here, not a race of worker failures.
+        Scenario scn = scenario->scaled(load);
+        const std::string problem = scn.check(cfg);
+        if (!problem.empty()) throw RunError("scenario error: " + problem);
+        scns.push_back(std::move(scn));
+      }
       cfgs.push_back(std::move(cfg));
     }
   }
@@ -33,7 +45,13 @@ std::vector<SweepPoint> run_sweep(const SimConfig& base,
   SweepRunner runner;
   runner.run(cfgs.size(), [&](std::size_t i) {
     NetworkSimulator net(cfgs[i]);
-    SimReport rep = net.run();
+    SimReport rep;
+    if (scenario) {
+      RunController rc(net, scns[i]);
+      rep = rc.run().total;
+    } else {
+      rep = net.run();
+    }
     char line[160];
     std::snprintf(line, sizeof line, "  [run] %-17s load=%.2f done (%llu pkts, %llu events)",
                   std::string(to_string(cfgs[i].arch)).c_str(), cfgs[i].load,

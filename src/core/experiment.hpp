@@ -22,10 +22,16 @@ struct SweepPoint {
 
 /// Runs `base` for every (arch, load) combination. `tweak` (optional) can
 /// adjust the config per point before the run. Progress goes to stderr.
+/// When `scenario` is non-null every point runs through a RunController
+/// executing `scenario->scaled(point load)` — phase loads act as
+/// multipliers of the sweep point's load — and reports the whole-run
+/// totals; invalid scaled scenarios throw RunError before any replica
+/// starts.
 std::vector<SweepPoint> run_sweep(
     const SimConfig& base, std::span<const SwitchArch> archs,
     std::span<const double> loads,
-    const std::function<void(SimConfig&)>& tweak = nullptr);
+    const std::function<void(SimConfig&)>& tweak = nullptr,
+    const Scenario* scenario = nullptr);
 
 /// Metric accessor: one number out of a report (e.g. control avg latency).
 using MetricFn = std::function<double(const SimReport&)>;

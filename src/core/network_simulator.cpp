@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/run_controller.hpp"
 #include "topo/kary_ntree.hpp"
 #include "topo/mesh2d.hpp"
 #include "topo/single_switch.hpp"
@@ -26,6 +27,12 @@ std::array<VcId, kNumTrafficClasses> class_vc_map(std::uint8_t num_vcs) {
   }
 }
 
+bool same_pattern(const PatternParams& a, const PatternParams& b) {
+  return a.kind == b.kind && a.hotspot_fraction == b.hotspot_fraction &&
+         a.hotspot_node == b.hotspot_node &&
+         a.permutation_seed == b.permutation_seed;
+}
+
 }  // namespace
 
 NetworkSimulator::NetworkSimulator(const SimConfig& cfg)
@@ -41,7 +48,12 @@ NetworkSimulator::NetworkSimulator(const SimConfig& cfg)
   }
   build_nodes();
   build_channels();
-  build_workload();
+  if (!cfg_.video_trace_path.empty()) {
+    video_trace_ = load_frame_trace(cfg_.video_trace_path);
+    // A configured-but-unreadable trace is a setup error, not a fallback —
+    // caught at construction even though the workload is built lazily.
+    DQOS_EXPECTS(!video_trace_.empty());
+  }
 }
 
 NetworkSimulator::~NetworkSimulator() = default;
@@ -167,16 +179,52 @@ void NetworkSimulator::build_channels() {
   }
 }
 
-double NetworkSimulator::class_rate(TrafficClass c) const {
-  return cfg_.load * cfg_.class_share[static_cast<std::size_t>(c)] *
+double NetworkSimulator::phase_rate(const PhaseSpec& ph, TrafficClass c) const {
+  return ph.load * ph.class_share[static_cast<std::size_t>(c)] *
          cfg_.link_bw.bytes_per_sec();
 }
 
-void NetworkSimulator::build_workload() {
-  if (!cfg_.video_trace_path.empty()) {
-    video_trace_ = load_frame_trace(cfg_.video_trace_path);
-    // A configured-but-unreadable trace is a setup error, not a fallback.
-    DQOS_EXPECTS(!video_trace_.empty());
+void NetworkSimulator::activate_pattern(const PatternParams& params) {
+  if (same_pattern(params, active_pattern_params_)) return;
+  extra_patterns_.push_back(make_pattern(params, topo_->num_hosts()));
+  active_pattern_ = extra_patterns_.back().get();
+  active_pattern_params_ = params;
+}
+
+void NetworkSimulator::prepare_workload() {
+  prepare_workload(Scenario::single_phase(cfg_));
+}
+
+void NetworkSimulator::prepare_workload(const Scenario& scn) {
+  if (workload_prepared_) return;
+  workload_prepared_ = true;
+  DQOS_EXPECTS(!scn.phases.empty());
+  const PhaseSpec& p0 = scn.phases.front();
+  active_pattern_ = pattern_.get();
+  active_pattern_params_ = cfg_.pattern;
+  activate_pattern(p0.pattern);  // no-op for single_phase(cfg_)
+  // A class's sources exist iff it is enabled and offers load in *some*
+  // phase; phase 0 sets the initial rate (possibly zero = paused). For a
+  // one-phase scenario this collapses to the legacy "enabled && rate > 0".
+  const auto peak_rate = [&](TrafficClass c) {
+    double r = 0.0;
+    for (const PhaseSpec& ph : scn.phases) {
+      r = std::max(r, phase_rate(ph, c));
+    }
+    return r;
+  };
+  // Per-stream video rate: from the trace if one is configured, else from
+  // the clamp-corrected synthetic model, so the class actually offers its
+  // Table 1 share. Computed once — churn admissions reuse it. (The
+  // estimate draws from a fresh split of the seed, so hoisting it out of
+  // the per-host loop changes no stream: every host saw the same value.)
+  if (cfg_.enable_video) {
+    video_realized_bps_ =
+        video_trace_.empty()
+            ? VideoSource::estimate_realized_bytes_per_sec(cfg_.video,
+                                                           rng_.split(0x71de0))
+            : TraceVideoSource::trace_mean_bytes(video_trace_) /
+                  cfg_.video.frame_period.sec();
   }
   const std::uint32_t n = topo_->num_hosts();
   for (NodeId h = 0; h < n; ++h) {
@@ -184,7 +232,7 @@ void NetworkSimulator::build_workload() {
     Rng host_rng = rng_.split(0xbeef0000ULL + h);
 
     // ---- Control: latency-critical small messages to patterned peers ----
-    if (cfg_.enable_control && class_rate(TrafficClass::kControl) > 0.0) {
+    if (cfg_.enable_control && peak_rate(TrafficClass::kControl) > 0.0) {
       std::vector<FlowId> flows_by_dst(n, kInvalidFlow);
       for (NodeId d = 0; d < n; ++d) {
         if (d == h) continue;
@@ -200,34 +248,28 @@ void NetworkSimulator::build_workload() {
         flows_by_dst[d] = spec->id;
       }
       ControlParams cp;
-      cp.target_bytes_per_sec = class_rate(TrafficClass::kControl);
+      cp.target_bytes_per_sec = phase_rate(p0, TrafficClass::kControl);
       sources_.push_back(std::make_unique<ControlSource>(
           sim_, host, host_rng.split(1), metrics_.get(), std::move(flows_by_dst),
-          cp, pattern_.get()));
+          cp, active_pattern_));
     }
 
     // ---- Multimedia: admitted MPEG-4 streams with 10 ms frame budget ----
-    if (cfg_.enable_video && class_rate(TrafficClass::kMultimedia) > 0.0) {
-      // Per-stream rate: from the trace if one is configured, else from the
-      // clamp-corrected synthetic model, so the class actually offers its
-      // Table 1 share.
-      const double realized =
-          video_trace_.empty()
-              ? VideoSource::estimate_realized_bytes_per_sec(cfg_.video,
-                                                             rng_.split(0x71de0))
-              : TraceVideoSource::trace_mean_bytes(video_trace_) /
-                    cfg_.video.frame_period.sec();
-      const auto n_streams = static_cast<std::uint32_t>(
-          std::lround(class_rate(TrafficClass::kMultimedia) / realized));
+    // Static streams are sized by phase 0; later phases change the video
+    // population through churn (whole streams admitted/departed), never by
+    // retargeting a running stream's rate.
+    if (cfg_.enable_video && phase_rate(p0, TrafficClass::kMultimedia) > 0.0) {
+      const auto n_streams = static_cast<std::uint32_t>(std::lround(
+          phase_rate(p0, TrafficClass::kMultimedia) / video_realized_bps_));
       Rng pick = host_rng.split(2);
       for (std::uint32_t v = 0; v < n_streams; ++v) {
-        const NodeId dst = pattern_->pick(h, pick);
+        const NodeId dst = active_pattern_->pick(h, pick);
         FlowRequest req;
         req.src = h;
         req.dst = dst;
         req.tclass = TrafficClass::kMultimedia;
         req.policy = DeadlinePolicy::kFrameBudget;
-        req.reserve_bw = Bandwidth::from_bytes_per_sec(realized);
+        req.reserve_bw = Bandwidth::from_bytes_per_sec(video_realized_bps_);
         req.frame_budget = cfg_.video_frame_budget;
         req.use_eligible_time = cfg_.video_eligible_time;
         req.eligible_lead = cfg_.eligible_lead;
@@ -259,9 +301,12 @@ void NetworkSimulator::build_workload() {
     // careful assigning weights". If the clocks were allowed to outrun the
     // arrival rates, every deadline would sit at ~now and the weights would
     // differentiate nothing (Fig. 4 would flatten).
+    // Deadline weights are fixed at admission from the phase 0 shares;
+    // later phases shift *offered* rates via retarget(), not the weights
+    // (re-deriving weights would mean re-admitting every aggregate).
     const double regulated_share =
-        cfg_.class_share[static_cast<std::size_t>(TrafficClass::kControl)] +
-        cfg_.class_share[static_cast<std::size_t>(TrafficClass::kMultimedia)];
+        p0.class_share[static_cast<std::size_t>(TrafficClass::kControl)] +
+        p0.class_share[static_cast<std::size_t>(TrafficClass::kMultimedia)];
     const double leftover_bps =
         std::max(0.05, 1.0 - regulated_share) * cfg_.link_bw.bytes_per_sec();
     const double weight_sum =
@@ -269,8 +314,7 @@ void NetworkSimulator::build_workload() {
         (cfg_.enable_background ? cfg_.background_weight : 0.0);
     const auto add_unregulated = [&](TrafficClass tc, double weight, bool enabled,
                                      std::uint64_t salt) {
-      const double rate = class_rate(tc);
-      if (!enabled || rate <= 0.0) return;
+      if (!enabled || peak_rate(tc) <= 0.0) return;
       std::vector<FlowId> flows_by_dst(n, kInvalidFlow);
       FlowId aggregate = kInvalidFlow;
       for (NodeId d = 0; d < n; ++d) {
@@ -293,11 +337,11 @@ void NetworkSimulator::build_workload() {
         flows_by_dst[d] = spec->id;
       }
       SelfSimilarParams sp;
-      sp.target_bytes_per_sec = rate;
+      sp.target_bytes_per_sec = phase_rate(p0, tc);
       sp.tclass = tc;
       sources_.push_back(std::make_unique<SelfSimilarSource>(
           sim_, host, host_rng.split(salt), metrics_.get(), std::move(flows_by_dst),
-          sp, pattern_.get()));
+          sp, active_pattern_));
     };
     add_unregulated(TrafficClass::kBestEffort, cfg_.best_effort_weight,
                     cfg_.enable_best_effort, 3);
@@ -307,33 +351,32 @@ void NetworkSimulator::build_workload() {
 }
 
 SimReport NetworkSimulator::run() {
-  DQOS_EXPECTS(!ran_);
-  ran_ = true;
+  // The legacy single-shot entry point is now literally a one-phase
+  // scenario; RunController replays the old lifecycle event-for-event.
+  RunController controller(*this, Scenario::single_phase(cfg_));
+  return controller.run().total;
+}
 
-  const TimePoint t0 = sim_.now();
-  const TimePoint window_start = t0 + cfg_.warmup;
-  const TimePoint window_end = window_start + cfg_.measure;
-  metrics_->set_window(window_start, window_end);
-  {
-    // Pre-size latency sample stores from the offered load so the
-    // measurement phase never reallocates mid-run. Worst case each class
-    // carries the whole offered load; SampleSet clamps at its cap, so an
-    // over-estimate only wastes address space, never memory commit.
-    const double offered_bytes = static_cast<double>(cfg_.num_hosts()) *
-                                 cfg_.load * cfg_.link_bw.bytes_per_sec() *
-                                 cfg_.measure.sec();
-    double max_share = 0.0;
-    for (const double s : cfg_.class_share) max_share = std::max(max_share, s);
-    const auto pkts = static_cast<std::size_t>(
-        offered_bytes * max_share / static_cast<double>(cfg_.mtu_bytes)) + 64;
-    metrics_->reserve_samples(pkts, pkts / 8 + 64);
+void NetworkSimulator::begin_run() {
+  if (ran_) {
+    throw RunError(
+        "run error: this NetworkSimulator has already run; the event "
+        "calendar and metric windows are single-shot — construct a fresh "
+        "simulator per run (phased experiments go through RunController)");
   }
-  for (const auto& src : sources_) src->start(window_end);
+  ran_ = true;
+  prepare_workload();
+}
 
+void NetworkSimulator::start_sources(TimePoint stop) {
+  for (const auto& src : sources_) src->start(stop);
+}
+
+void NetworkSimulator::arm_run_services(TimePoint horizon) {
+  const TimePoint t0 = sim_.now();
   // Fault machinery (opt-in: schedules nothing when inactive, so the
   // default run stays bit-identical). Periodic processes are bounded by
   // the run horizon so the calendar can still drain.
-  const TimePoint horizon = window_end + cfg_.drain;
   if (fault_active_) {
     if (cfg_.fault.credit_resync_window > Duration::zero()) {
       for (const auto& ch : channels_) {
@@ -345,7 +388,7 @@ SimReport NetworkSimulator::run() {
   }
 
   if (cfg_.probe_interval > Duration::zero()) {
-    const TimePoint probe_end = window_end + cfg_.drain;
+    const TimePoint probe_end = horizon;
     const auto bins = static_cast<std::size_t>((probe_end - t0) / cfg_.probe_interval) + 1;
     queue_depth_series_ = std::make_shared<TimeSeries>(t0, cfg_.probe_interval, bins);
     injection_series_ = std::make_shared<TimeSeries>(t0, cfg_.probe_interval, bins);
@@ -366,8 +409,9 @@ SimReport NetworkSimulator::run() {
     };
     sim_.schedule_after(cfg_.probe_interval, [this] { probe_fn_(); });
   }
+}
 
-  sim_.run_until(window_end + cfg_.drain);
+SimReport NetworkSimulator::collect_report(TimePoint t0) {
   if (watchdog_) watchdog_->final_check();
 
   SimReport rep;
@@ -428,6 +472,78 @@ SimReport NetworkSimulator::run() {
     rep.util_fabric = {tiers[2].mean(), tiers[2].max()};
   }
   return rep;
+}
+
+void NetworkSimulator::apply_phase(const PhaseSpec& phase) {
+  DQOS_EXPECTS(workload_prepared_);
+  activate_pattern(phase.pattern);
+  for (const auto& src : sources_) {
+    // Multimedia streams are fixed-rate; their population is churn-driven.
+    // Stopped sources (departed churn flows) ignore the retarget.
+    if (src->tclass() == TrafficClass::kMultimedia) continue;
+    src->retarget(phase_rate(phase, src->tclass()), active_pattern_);
+  }
+}
+
+std::optional<FlowId> NetworkSimulator::open_video_flow(NodeId src, Rng rng,
+                                                        TimePoint stop) {
+  DQOS_EXPECTS(workload_prepared_);
+  DQOS_EXPECTS(cfg_.enable_video);
+  DQOS_EXPECTS(src < topo_->num_hosts());
+  const NodeId dst = active_pattern_->pick(src, rng);
+  FlowRequest req;
+  req.src = src;
+  req.dst = dst;
+  req.tclass = TrafficClass::kMultimedia;
+  req.policy = DeadlinePolicy::kFrameBudget;
+  req.reserve_bw = Bandwidth::from_bytes_per_sec(video_realized_bps_);
+  req.frame_budget = cfg_.video_frame_budget;
+  req.use_eligible_time = cfg_.video_eligible_time;
+  req.eligible_lead = cfg_.eligible_lead;
+  const auto spec = admission_->admit(req);
+  if (!spec) return std::nullopt;  // mid-run rejection: no headroom left
+  Host& host = *hosts_[src];
+  host.open_flow(*spec);
+  flow_src_.emplace(spec->id, src);
+  if (video_trace_.empty()) {
+    sources_.push_back(std::make_unique<VideoSource>(
+        sim_, host, rng.split(1), metrics_.get(), spec->id, cfg_.video));
+  } else {
+    TraceVideoParams tv;
+    tv.frame_period = cfg_.video.frame_period;
+    tv.start_frame = static_cast<std::size_t>(
+        rng.uniform_int(0, video_trace_.size() - 1));
+    sources_.push_back(std::make_unique<TraceVideoSource>(
+        sim_, host, rng.split(1), metrics_.get(), spec->id, &video_trace_,
+        tv));
+  }
+  churn_sources_.emplace(spec->id, sources_.back().get());
+  sources_.back()->start(stop);
+  return spec->id;
+}
+
+void NetworkSimulator::close_video_flow(FlowId id) {
+  const auto it = churn_sources_.find(id);
+  DQOS_EXPECTS(it != churn_sources_.end());
+  // Order matters: silence the source before retiring its host flow
+  // (submitting to a retired flow is a contract violation), and release
+  // the reservation only if the fault path hasn't already shed it.
+  it->second->stop();
+  churn_sources_.erase(it);
+  if (admission_->has_flow(id)) admission_->release(id);
+  const auto src_it = flow_src_.find(id);
+  DQOS_ASSERT(src_it != flow_src_.end());
+  hosts_[src_it->second]->retire_flow(id);
+  flow_src_.erase(src_it);
+}
+
+std::uint64_t NetworkSimulator::close_remaining_churn_flows() {
+  std::vector<FlowId> ids;
+  ids.reserve(churn_sources_.size());
+  for (const auto& [id, src] : churn_sources_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const FlowId id : ids) close_video_flow(id);
+  return ids.size();
 }
 
 std::uint64_t NetworkSimulator::total_order_errors() const {

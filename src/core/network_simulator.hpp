@@ -1,7 +1,11 @@
 /// \file network_simulator.hpp
 /// The top-level facade: builds the full platform (topology, switches,
-/// channels, hosts, admission control, Table 1 traffic) from a SimConfig,
-/// runs warm-up + measurement + drain, and returns a SimReport.
+/// channels, hosts, admission control) from a SimConfig and exposes the
+/// run lifecycle as narrow verbs (prepare_workload, start_sources,
+/// arm_run_services, apply_phase, open/close_video_flow, collect_report)
+/// that core/run_controller.hpp sequences. run() is the one-call legacy
+/// entry point: it executes a single-phase scenario, bit-identical to the
+/// pre-scenario-engine behavior.
 ///
 /// Typical use (see examples/quickstart.cpp):
 ///
@@ -10,14 +14,19 @@
 ///   SimReport rep = net.run();
 ///   printf("control latency: %.1f us\n",
 ///          rep.classes[0].avg_packet_latency_us);
+///
+/// For phased runs with load shifts and flow churn, build a Scenario and
+/// drive it through RunController instead (core/scenario.hpp).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/scenario.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
 #include "host/host.hpp"
@@ -101,8 +110,48 @@ class NetworkSimulator {
   NetworkSimulator& operator=(const NetworkSimulator&) = delete;
 
   /// Starts traffic, runs warm-up + measurement + drain, returns the report.
-  /// May be called once.
+  /// Equivalent to driving Scenario::single_phase(config()) through a
+  /// RunController. A second call throws RunError (the event calendar and
+  /// metric windows are single-shot; build a fresh simulator per run).
   SimReport run();
+
+  // --- scenario-engine verbs (sequenced by RunController) --------------
+  /// Admits the Table 1 workload and creates its sources. Idempotent, and
+  /// implied by run()/begin_run() — call it explicitly only to inspect or
+  /// adjust flows before the run starts. The parameterless overload
+  /// prepares the legacy single-phase workload; the Scenario overload
+  /// sizes sources for phase 0 (later phases retarget them mid-run).
+  void prepare_workload();
+  void prepare_workload(const Scenario& scn);
+  /// Marks the run started (throws RunError when called twice) and
+  /// prepares the workload if prepare_workload() hasn't run yet.
+  void begin_run();
+  /// Starts every source; each keeps generating until `stop`.
+  void start_sources(TimePoint stop);
+  /// Arms the opt-in run services — fault injection, credit resync,
+  /// watchdog, probe sampling — exactly as the legacy run() did, bounded
+  /// by the drain horizon so the calendar can empty.
+  void arm_run_services(TimePoint horizon);
+  /// Runs the watchdog final check and assembles the SimReport. Must be
+  /// called before any teardown releases admission state (flows_admitted
+  /// reads the live ledger).
+  [[nodiscard]] SimReport collect_report(TimePoint t0);
+  /// Applies a phase's load/shares/pattern to the running sources via
+  /// retarget(). The multimedia population is churn-driven (admitted and
+  /// departed as whole streams), not retargeted.
+  void apply_phase(const PhaseSpec& phase);
+  /// Mid-run churn: admits and starts one video stream from `src` toward
+  /// a pattern-drawn destination, at the same per-stream rate as the
+  /// static workload. nullopt = admission rejected (reservation
+  /// exhausted). The stream generates until `stop` or close_video_flow().
+  std::optional<FlowId> open_video_flow(NodeId src, Rng rng, TimePoint stop);
+  /// Departs a churn flow: stops its source, releases its reservation (if
+  /// the fault path hasn't already shed it) and retires the flow from its
+  /// host. Packets already queued drain and deliver normally.
+  void close_video_flow(FlowId id);
+  /// Teardown sweep: close_video_flow() on every churn flow still open,
+  /// in flow-id order. Returns how many were closed.
+  std::uint64_t close_remaining_churn_flows();
 
   // --- component access for tests, examples and custom experiments ---
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -137,10 +186,12 @@ class NetworkSimulator {
   void build_topology();
   void build_nodes();
   void build_channels();
-  void build_workload();
 
-  /// Per-class offered bandwidth (bytes/s) at the configured load.
-  [[nodiscard]] double class_rate(TrafficClass c) const;
+  /// Per-class offered bandwidth (bytes/s) under a phase's load and shares.
+  [[nodiscard]] double phase_rate(const PhaseSpec& ph, TrafficClass c) const;
+  /// Points active_pattern_ at (a pattern equal to) `params`, instantiating
+  /// a new one only when it differs from the current pattern.
+  void activate_pattern(const PatternParams& params);
 
   SimConfig cfg_;
   Rng rng_;
@@ -153,6 +204,11 @@ class NetworkSimulator {
   std::shared_ptr<MetricsCollector> metrics_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<DestinationPattern> pattern_;
+  /// Patterns instantiated for phases whose params differ from the
+  /// config's (apply_phase); active_pattern_ points into pattern_ or here.
+  std::vector<std::unique_ptr<DestinationPattern>> extra_patterns_;
+  const DestinationPattern* active_pattern_ = nullptr;
+  PatternParams active_pattern_params_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Channel>> channels_;
@@ -162,7 +218,14 @@ class NetworkSimulator {
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<DeadlockWatchdog> watchdog_;
   std::unordered_map<FlowId, NodeId> flow_src_;  ///< ack routing (retries)
+  /// Churn-created flows still open, keyed to their sources (owned by
+  /// sources_; pointers stay valid because sources_ only grows mid-run).
+  std::unordered_map<FlowId, TrafficSource*> churn_sources_;
   bool fault_active_ = false;
+  bool workload_prepared_ = false;
+  /// Per-stream video rate (bytes/s) shared by the static population and
+  /// churn admissions; computed once in prepare_workload.
+  double video_realized_bps_ = 0.0;
   std::vector<std::uint32_t> video_trace_;  ///< loaded frame sizes (optional)
   std::shared_ptr<TimeSeries> queue_depth_series_;
   std::shared_ptr<TimeSeries> injection_series_;

@@ -1,0 +1,103 @@
+/// \file run_controller.hpp
+/// The scenario engine's executor: owns the run lifecycle that used to be
+/// inlined in NetworkSimulator::run() — warm-up / measurement / drain
+/// boundaries, per-phase metric windows, phase-transition events on the
+/// simulator calendar, and Poisson flow churn (mid-run video admissions
+/// with exponential lifetimes).
+///
+/// The controller drives the facade through narrow verbs
+/// (prepare_workload, start_sources, arm_run_services, apply_phase,
+/// open/close_video_flow, collect_report); the facade keeps owning the
+/// platform. A one-phase scenario schedules zero extra events and replays
+/// the legacy run() bit-for-bit — same fire order, same RNG streams, same
+/// CSV bytes (tests/core/test_determinism.cpp pins this).
+///
+/// At teardown (after the drain), every churn flow still open is departed,
+/// and — for scenario runs (multi-phase or churn) — every remaining
+/// reservation is released through AdmissionController::release(), so
+/// `reserved_bps_after_teardown` checks the §3.2 accounting invariant:
+/// exact rollback, reserved bandwidth back to zero.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network_simulator.hpp"
+#include "core/scenario.hpp"
+
+namespace dqos {
+
+/// Per-phase slice of the run: metric window [start, end) plus the churn
+/// activity observed while the phase was active.
+struct PhaseReport {
+  std::size_t index = 0;
+  TimePoint start;  ///< absolute (phase offset + measurement-window start)
+  TimePoint end;
+  double load = 0.0;
+  std::array<ClassReport, kNumTrafficClasses> classes;
+  std::uint64_t churn_arrivals = 0;   ///< admitted mid-run video flows
+  std::uint64_t churn_rejected = 0;   ///< admission refused (no headroom)
+  std::uint64_t churn_departures = 0;
+
+  [[nodiscard]] const ClassReport& of(TrafficClass c) const {
+    return classes[static_cast<std::size_t>(c)];
+  }
+};
+
+struct ScenarioReport {
+  /// Whole-run report, identical in layout (and — for one-phase scenarios —
+  /// in content) to what the legacy NetworkSimulator::run() returned.
+  SimReport total;
+  std::vector<PhaseReport> phases;
+  /// Reserved bandwidth summed over every directed link after teardown.
+  /// Exactly 0.0 for scenario runs — any residue is accounting drift.
+  double reserved_bps_after_teardown = 0.0;
+  std::uint64_t flows_released = 0;  ///< releases performed at teardown
+};
+
+class RunController {
+ public:
+  /// Validates `scenario` against the simulator's config; throws RunError
+  /// (not a contract abort) on an inconsistent scenario so tools can print
+  /// a diagnostic and exit.
+  RunController(NetworkSimulator& net, Scenario scenario);
+
+  /// Executes the scenario: prepares the workload (phase 0 rates), starts
+  /// sources, arms fault/probe services, schedules phase transitions and
+  /// churn, runs to the drain horizon, collects reports and tears down.
+  /// Throws RunError if the simulator has already run.
+  ScenarioReport run();
+
+  [[nodiscard]] const Scenario& scenario() const { return scn_; }
+
+ private:
+  void enter_phase(std::size_t idx);
+  /// Draws the next churn arrival for the active phase; no-op when the
+  /// phase's arrival rate is zero or the draw lands past the window end.
+  void arm_churn();
+  void churn_arrival();
+  void teardown();
+
+  NetworkSimulator& net_;
+  Scenario scn_;
+  /// Dedicated stream: seed-derived, disjoint from every workload stream,
+  /// so churn draws never perturb the static sources (and a churn-free
+  /// scenario draws nothing at all).
+  Rng churn_rng_;
+
+  TimePoint t0_;
+  TimePoint window_start_;
+  TimePoint window_end_;
+  std::size_t active_phase_ = 0;
+  EventId churn_event_ = 0;
+  std::vector<EventId> transition_events_;
+  std::unordered_map<FlowId, EventId> departure_events_;
+  std::uint64_t arrival_seq_ = 0;  ///< salts the per-arrival RNG split
+  std::vector<std::uint64_t> arrivals_;
+  std::vector<std::uint64_t> rejected_;
+  std::vector<std::uint64_t> departed_;
+  std::uint64_t flows_released_ = 0;
+};
+
+}  // namespace dqos

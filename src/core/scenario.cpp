@@ -1,0 +1,75 @@
+#include "core/scenario.hpp"
+
+namespace dqos {
+
+namespace {
+
+std::string phase_err(std::size_t i, const std::string& why) {
+  return "phase " + std::to_string(i) + " " + why;
+}
+
+}  // namespace
+
+std::string Scenario::check(const SimConfig& base) const {
+  if (phases.empty()) return "scenario needs at least one phase";
+  if (phases.front().start != Duration::zero()) {
+    return "phase 0 must start at offset 0 (it also covers warm-up)";
+  }
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSpec& ph = phases[i];
+    if (i > 0 && ph.start <= phases[i - 1].start) {
+      return phase_err(i, "must start strictly after phase " +
+                              std::to_string(i - 1) +
+                              " (starts must be sorted and distinct)");
+    }
+    if (ph.start >= base.measure) {
+      return phase_err(i, "starts at or past the end of the measurement "
+                          "window (measure-ms)");
+    }
+    if (!(ph.load > 0.0) || ph.load > 2.0) {
+      return phase_err(i, "load must be in (0, 2]");
+    }
+    double share_sum = 0.0;
+    for (const double s : ph.class_share) {
+      if (s < 0.0) return phase_err(i, "class shares must be non-negative");
+      share_sum += s;
+    }
+    if (share_sum > 2.0 + 1e-9) {
+      return phase_err(i, "class shares must sum to at most 2.0");
+    }
+    if (ph.flow_arrivals_per_sec < 0.0 || ph.flow_departures_per_sec < 0.0) {
+      return phase_err(i, "churn rates must be non-negative");
+    }
+    if (ph.flow_arrivals_per_sec > 0.0 && !base.enable_video) {
+      return phase_err(i, "requests flow churn but video traffic is disabled "
+                          "(churn arrivals are multimedia streams)");
+    }
+  }
+  return "";
+}
+
+bool Scenario::has_churn() const {
+  for (const PhaseSpec& ph : phases) {
+    if (ph.flow_arrivals_per_sec > 0.0) return true;
+  }
+  return false;
+}
+
+Scenario Scenario::single_phase(const SimConfig& cfg) {
+  Scenario scn;
+  PhaseSpec ph;
+  ph.start = Duration::zero();
+  ph.load = cfg.load;
+  ph.class_share = cfg.class_share;
+  ph.pattern = cfg.pattern;
+  scn.phases.push_back(ph);
+  return scn;
+}
+
+Scenario Scenario::scaled(double load_factor) const {
+  Scenario out = *this;
+  for (PhaseSpec& ph : out.phases) ph.load *= load_factor;
+  return out;
+}
+
+}  // namespace dqos

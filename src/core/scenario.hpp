@@ -1,0 +1,89 @@
+/// \file scenario.hpp
+/// Declarative run scenarios: a timeline of phases, each with its own load
+/// level, class shares, destination pattern and Poisson flow churn rates,
+/// executed by RunController (run_controller.hpp).
+///
+/// The paper evaluates a *static* Table 1 mix; its admission-control story
+/// (§3.2) only matters when flows arrive and leave while the network is
+/// hot. A Scenario describes that regime declaratively:
+///
+///   Scenario scn;
+///   scn.phases = {
+///     {0_ms,  0.3, {0.25, 0.25, 0.25, 0.25}, {}, 0.0,    0.0},
+///     {4_ms,  0.9, {0.25, 0.25, 0.25, 0.25}, {}, 2000.0, 500.0},
+///     {8_ms,  0.5, {0.40, 0.10, 0.25, 0.25}, {}, 0.0,    0.0},
+///   };
+///   RunController rc(net, scn);
+///   ScenarioReport rep = rc.run();
+///
+/// Phase starts are offsets from the *measurement-window* start; phase 0
+/// must start at offset 0 (it also governs the warm-up period). The last
+/// phase ends with the measurement window. A one-phase scenario built by
+/// Scenario::single_phase() reproduces the legacy NetworkSimulator::run()
+/// bit-for-bit (same events, same RNG streams, same CSV bytes).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "traffic/patterns.hpp"
+
+namespace dqos {
+
+/// A run-lifecycle error: run() called twice, or a scenario that cannot be
+/// executed against the given config. Sibling of ConfigError (config_io.hpp)
+/// — tools print it and exit instead of tripping a contract abort.
+class RunError : public std::runtime_error {
+ public:
+  explicit RunError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One segment of the run timeline.
+struct PhaseSpec {
+  /// Offset from the measurement-window start. Phase 0 must be zero.
+  Duration start = Duration::zero();
+  /// Offered load (fraction of each host's injection bandwidth) while the
+  /// phase is active. Applied to the Control/BestEffort/Background sources
+  /// via retarget(); the Multimedia population is churn-driven instead.
+  double load = 1.0;
+  /// Class shares of the offered load (Control, Multimedia, BE, Background).
+  /// A zero share pauses that class's sources for the phase.
+  std::array<double, kNumTrafficClasses> class_share = {0.25, 0.25, 0.25,
+                                                        0.25};
+  /// Destination pattern for retargeted sources and churn admissions.
+  PatternParams pattern;
+  /// Poisson rate of new video-stream admissions (flows/s; 0 = no churn).
+  /// Each arrival picks a uniform source host and a pattern-drawn
+  /// destination, and goes through AdmissionController::admit() — so churn
+  /// exercises mid-run admission and rejection.
+  double flow_arrivals_per_sec = 0.0;
+  /// Per-flow departure rate (1/s) of churn-created flows: each admitted
+  /// churn flow draws an exponential lifetime with this rate (0 = flows
+  /// live until the window ends). The static Table 1 population never
+  /// departs — that keeps the single-phase path identical to legacy runs.
+  double flow_departures_per_sec = 0.0;
+};
+
+struct Scenario {
+  std::vector<PhaseSpec> phases;
+
+  /// First inconsistency as a human-readable message ("" = valid), in the
+  /// style of SimConfig::check(). Validated against `base` because phase
+  /// offsets must fit the measurement window and churn needs video enabled.
+  [[nodiscard]] std::string check(const SimConfig& base) const;
+
+  [[nodiscard]] bool multi_phase() const { return phases.size() > 1; }
+  [[nodiscard]] bool has_churn() const;
+
+  /// The scenario equivalent of the legacy single-shot run: one phase with
+  /// the config's load, shares and pattern, and no churn.
+  [[nodiscard]] static Scenario single_phase(const SimConfig& cfg);
+
+  /// Every phase load multiplied by `load_factor` — sweep composition
+  /// (run_sweep treats phase loads as multipliers of the sweep point load).
+  [[nodiscard]] Scenario scaled(double load_factor) const;
+};
+
+}  // namespace dqos

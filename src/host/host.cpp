@@ -220,6 +220,22 @@ void Host::close_flow(FlowId flow) {
   }
 }
 
+void Host::retire_flow(FlowId flow) {
+  const auto it = flows_.find(flow);
+  DQOS_EXPECTS(it != flows_.end());
+  const FlowId skey = it->second.stamper_key;
+  flows_.erase(it);
+  // The stamper may be shared by an aggregate; drop it with its last user.
+  bool shared = false;
+  for (const auto& [id, fs] : flows_) {
+    if (fs.stamper_key == skey) {
+      shared = true;
+      break;
+    }
+  }
+  if (!shared) stampers_.erase(skey);
+}
+
 void Host::enable_control_retry(const RetryParams& params) {
   DQOS_EXPECTS(params.timeout > Duration::zero());
   retry_ = params;

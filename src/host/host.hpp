@@ -98,6 +98,14 @@ class Host final : public PacketReceiver {
   /// Fault injection: per-host clock drift (replaces the LocalClock skew).
   void set_clock_offset(Duration offset) { clock_ = LocalClock(offset); }
 
+  /// Removes a departed flow (mid-run churn): the flow-table entry is
+  /// erased — packets already queued or in flight drain and deliver
+  /// normally (the pump and receive paths never consult the table) — and
+  /// the flow's deadline stamper is dropped with its last user. The caller
+  /// must stop the flow's source first: submitting to a retired flow is a
+  /// contract violation. Works on live and shed (close_flow) flows alike.
+  void retire_flow(FlowId flow);
+
   /// End-to-end retry for control-class messages: when enabled, a control
   /// submission that is not acknowledged (on_message_acked) within
   /// `timeout << attempt` is resubmitted as a fresh message, up to

@@ -178,6 +178,20 @@ std::vector<AdmissionController::Reroute> AdmissionController::reroute_around_fa
   return out;
 }
 
+std::vector<FlowId> AdmissionController::admitted_ids() const {
+  std::vector<FlowId> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, rec] : flows_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double AdmissionController::total_reserved_bytes_per_sec() const {
+  double sum = 0.0;
+  for (const auto& [k, l] : load_) sum += l.reserved_bytes_per_sec;
+  return sum;
+}
+
 double AdmissionController::reserved_fraction(const Endpoint& link) const {
   const auto it = load_.find(key(link));
   if (it == load_.end()) return 0.0;

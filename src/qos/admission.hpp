@@ -86,6 +86,17 @@ class AdmissionController {
   [[nodiscard]] std::uint64_t rejected_flows() const { return rejected_; }
   [[nodiscard]] Bandwidth link_bandwidth() const { return link_bw_; }
 
+  /// Whether `id` is currently admitted (released and shed flows are not).
+  [[nodiscard]] bool has_flow(FlowId id) const { return flows_.count(id) > 0; }
+  /// Every admitted flow id, ascending — a deterministic iteration order
+  /// for teardown sweeps and invariant tests.
+  [[nodiscard]] std::vector<FlowId> admitted_ids() const;
+  /// Reserved bandwidth summed over every directed link in the ledger.
+  /// The §3.2 accounting invariant: after every admitted flow is released
+  /// this returns exactly 0.0 — release() sweeps FP dust so admit/release
+  /// storms (and fault-path reroutes) cannot leave drift behind.
+  [[nodiscard]] double total_reserved_bytes_per_sec() const;
+
  private:
   struct LinkLoad {
     double reserved_bytes_per_sec = 0.0;

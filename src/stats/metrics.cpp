@@ -20,6 +20,19 @@ void MetricsCollector::reserve_samples(std::size_t packets_per_class,
   }
 }
 
+void MetricsCollector::set_phase_starts(std::vector<TimePoint> starts) {
+  DQOS_EXPECTS(!starts.empty());
+  DQOS_EXPECTS(starts.front() == start_);
+  DQOS_EXPECTS(starts.back() < end_);
+  phases_.clear();
+  phases_.resize(starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    if (i > 0) DQOS_EXPECTS(starts[i] > starts[i - 1]);
+    phases_[i].start = starts[i];
+    phases_[i].end = i + 1 < starts.size() ? starts[i + 1] : end_;
+  }
+}
+
 void MetricsCollector::on_packet_delivered(const Packet& p, TimePoint now,
                                            Duration slack) {
   if (!in_window(p.t_created)) return;
@@ -28,6 +41,12 @@ void MetricsCollector::on_packet_delivered(const Packet& p, TimePoint now,
   bytes_delivered_[c] += p.size();
   slack_us_[c].add(slack.us());
   if (slack < Duration::zero()) ++deadline_misses_[c];
+  if (PhaseStore* ph = phase_of(p.t_created)) {
+    ph->pkt_latency[c].add((now - p.t_created).us());
+    ph->bytes_delivered[c] += p.size();
+    ph->slack_us[c].add(slack.us());
+    if (slack < Duration::zero()) ++ph->deadline_misses[c];
+  }
 }
 
 void MetricsCollector::on_message_delivered(TrafficClass tclass, TimePoint created,
@@ -37,12 +56,19 @@ void MetricsCollector::on_message_delivered(TrafficClass tclass, TimePoint creat
   const auto c = static_cast<std::size_t>(tclass);
   msg_latency_[c].add((completed - created).us());
   ++messages_[c];
+  if (PhaseStore* ph = phase_of(created)) {
+    ph->msg_latency[c].add((completed - created).us());
+    ++ph->messages[c];
+  }
 }
 
 void MetricsCollector::on_message_offered(TrafficClass tclass, std::uint64_t bytes,
                                           TimePoint now) {
   if (!in_window(now)) return;
   bytes_offered_[static_cast<std::size_t>(tclass)] += bytes;
+  if (PhaseStore* ph = phase_of(now)) {
+    ph->bytes_offered[static_cast<std::size_t>(tclass)] += bytes;
+  }
 }
 
 ClassReport MetricsCollector::report(TrafficClass tc) const {
@@ -66,6 +92,38 @@ ClassReport MetricsCollector::report(TrafficClass tc) const {
   r.dropped_packets = dropped_[c];
   r.deadline_miss_fraction =
       r.packets ? static_cast<double>(deadline_misses_[c]) /
+                      static_cast<double>(r.packets)
+                : 0.0;
+  return r;
+}
+
+ClassReport MetricsCollector::phase_report(std::size_t phase,
+                                           TrafficClass tc) const {
+  DQOS_EXPECTS(phase < phases_.size());
+  const PhaseStore& ph = phases_[phase];
+  const auto c = static_cast<std::size_t>(tc);
+  ClassReport r;
+  r.tclass = tc;
+  r.packets = ph.pkt_latency[c].count();
+  r.messages = ph.messages[c];
+  const double window_sec = (ph.end - ph.start).sec();
+  DQOS_ASSERT(window_sec > 0.0);
+  r.throughput_bytes_per_sec =
+      static_cast<double>(ph.bytes_delivered[c]) / window_sec;
+  r.offered_bytes_per_sec =
+      static_cast<double>(ph.bytes_offered[c]) / window_sec;
+  r.avg_packet_latency_us = ph.pkt_latency[c].mean();
+  r.max_packet_latency_us = ph.pkt_latency[c].max();
+  r.jitter_us = ph.pkt_latency[c].stddev();
+  r.p99_packet_latency_us = ph.pkt_latency[c].p99();
+  r.avg_message_latency_us = ph.msg_latency[c].mean();
+  r.max_message_latency_us = ph.msg_latency[c].max();
+  r.p99_message_latency_us = ph.msg_latency[c].p99();
+  r.avg_slack_us = ph.slack_us[c].mean();
+  // dropped_packets deliberately stays 0: the drop hook has no creation
+  // timestamp to attribute a drop to a phase (whole-run report has them).
+  r.deadline_miss_fraction =
+      r.packets ? static_cast<double>(ph.deadline_misses[c]) /
                       static_cast<double>(r.packets)
                 : 0.0;
   return r;

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "proto/packet.hpp"
 #include "proto/types.hpp"
@@ -66,6 +67,20 @@ class MetricsCollector {
   [[nodiscard]] TimePoint window_start() const { return start_; }
   [[nodiscard]] TimePoint window_end() const { return end_; }
 
+  /// Arms per-phase sub-windows (scenario engine): `starts` are absolute
+  /// phase boundaries, sorted ascending; the first must equal the window
+  /// start and the last must precede the window end (phase i spans
+  /// [starts[i], starts[i+1]), the final phase runs to the window end).
+  /// Call after set_window and before traffic flows. Single-phase runs
+  /// never call this, so the per-sample hooks stay branch-cheap.
+  void set_phase_starts(std::vector<TimePoint> starts);
+  [[nodiscard]] std::size_t num_phases() const { return phases_.size(); }
+  /// Per-phase analogue of report(): same indices over the phase's
+  /// sub-window. dropped_packets stays 0 per phase — the switch drop hook
+  /// carries no creation timestamp to attribute a drop to a phase; use
+  /// the whole-run report for drops.
+  [[nodiscard]] ClassReport phase_report(std::size_t phase, TrafficClass c) const;
+
   /// Hooks — wire these to the Hosts' callbacks. `slack` is the remaining
   /// time-to-deadline at delivery (negative = missed).
   void on_packet_delivered(const Packet& p, TimePoint now,
@@ -93,12 +108,35 @@ class MetricsCollector {
   }
 
  private:
+  /// One phase's sub-window accumulators (mirrors the aggregate stores;
+  /// phases add *in addition to* the aggregates, never instead).
+  struct PhaseStore {
+    TimePoint start;
+    TimePoint end;
+    std::array<SampleSet, kNumTrafficClasses> pkt_latency;
+    std::array<SampleSet, kNumTrafficClasses> msg_latency;
+    std::array<std::uint64_t, kNumTrafficClasses> bytes_delivered{};
+    std::array<std::uint64_t, kNumTrafficClasses> bytes_offered{};
+    std::array<std::uint64_t, kNumTrafficClasses> messages{};
+    std::array<StreamingStats, kNumTrafficClasses> slack_us{};
+    std::array<std::uint64_t, kNumTrafficClasses> deadline_misses{};
+  };
+
   [[nodiscard]] bool in_window(TimePoint created) const {
     return created >= start_ && created < end_;
+  }
+  /// Phase containing `t` (caller guarantees t is inside the window);
+  /// null when no phases are armed.
+  [[nodiscard]] PhaseStore* phase_of(TimePoint t) {
+    if (phases_.empty()) return nullptr;
+    std::size_t i = phases_.size() - 1;
+    while (i > 0 && t < phases_[i].start) --i;
+    return &phases_[i];
   }
 
   TimePoint start_ = TimePoint::zero();
   TimePoint end_ = TimePoint::max();
+  std::vector<PhaseStore> phases_;  ///< empty unless set_phase_starts ran
   std::array<SampleSet, kNumTrafficClasses> pkt_latency_;   // microseconds
   std::array<SampleSet, kNumTrafficClasses> msg_latency_;   // microseconds
   std::array<std::uint64_t, kNumTrafficClasses> bytes_delivered_{};

@@ -12,17 +12,24 @@ CbrSource::CbrSource(Simulator& sim, Host& host, Rng rng, MetricsCollector* metr
 }
 
 void CbrSource::start(TimePoint stop) {
+  started_ = true;
   stop_ = stop;
   const TimePoint first = sim_.now() + params_.phase;
   if (first >= stop_) return;
-  sim_.schedule_at(first, [this] { tick(); });
+  pending_ = sim_.schedule_at(first, [this] {
+    pending_ = 0;
+    tick();
+  });
 }
 
 void CbrSource::tick() {
   emit(flow_, params_.message_bytes);
   const TimePoint next = sim_.now() + params_.period;
   if (next < stop_) {
-    sim_.schedule_at(next, [this] { tick(); });
+    pending_ = sim_.schedule_at(next, [this] {
+      pending_ = 0;
+      tick();
+    });
   }
 }
 

@@ -27,6 +27,9 @@ class ControlSource final : public TrafficSource {
                 const DestinationPattern* pattern = nullptr);
 
   void start(TimePoint stop) override;
+  /// Rate 0 pauses the source; a later retarget resumes it.
+  void retarget(double target_bytes_per_sec,
+                const DestinationPattern* pattern) override;
   [[nodiscard]] TrafficClass tclass() const override {
     return TrafficClass::kControl;
   }

@@ -16,23 +16,34 @@ SelfSimilarSource::SelfSimilarSource(Simulator& sim, Host& host, Rng rng,
       params_(params),
       pattern_(pattern),
       size_dist_(params.size_alpha, params.min_bytes, params.max_bytes),
-      burst_dist_(params.burst_alpha, params.burst_min) {
+      burst_dist_(params.burst_alpha, params.burst_min),
+      configured_gap_(params.intra_burst_gap) {
   DQOS_EXPECTS(flows_by_dst_.size() >= 2);
   if (pattern_ == nullptr) {
     owned_ = make_pattern(PatternParams{},
                           static_cast<std::uint32_t>(flows_by_dst_.size()));
     pattern_ = owned_.get();
   }
-  DQOS_EXPECTS(params.target_bytes_per_sec > 0.0);
+  DQOS_EXPECTS(params.target_bytes_per_sec >= 0.0);  // 0 = paused until retarget
+  recalibrate();
+}
+
+void SelfSimilarSource::recalibrate() {
+  if (params_.target_bytes_per_sec <= 0.0) {
+    mean_off_sec_ = 0.0;  // paused: schedule_next_burst becomes a no-op
+    return;
+  }
   // Calibrate the off period so the long-run rate hits the target:
   //   rate = E[burst bytes] / (E[burst duration] + E[off])
   // At high targets the configured intra-burst gap can exceed the whole
   // byte budget; drop the gap to zero (back-to-back burst) in that case so
-  // calibration stays feasible.
+  // calibration stays feasible. The clamp is re-decided from the
+  // configured gap each time, so a rate drop can restore the gap.
   const double mean_burst_msgs = burst_dist_.mean();
   const double mean_burst_bytes = mean_burst_msgs * size_dist_.mean();
-  const double budget_sec = mean_burst_bytes / params.target_bytes_per_sec;
-  double mean_burst_dur = mean_burst_msgs * params.intra_burst_gap.sec();
+  const double budget_sec = mean_burst_bytes / params_.target_bytes_per_sec;
+  params_.intra_burst_gap = configured_gap_;
+  double mean_burst_dur = mean_burst_msgs * params_.intra_burst_gap.sec();
   if (mean_burst_dur >= 0.5 * budget_sec) {
     params_.intra_burst_gap = Duration::zero();
     mean_burst_dur = 0.0;
@@ -42,15 +53,38 @@ SelfSimilarSource::SelfSimilarSource(Simulator& sim, Host& host, Rng rng,
 }
 
 void SelfSimilarSource::start(TimePoint stop) {
+  started_ = true;
   stop_ = stop;
   schedule_next_burst();
 }
 
+void SelfSimilarSource::retarget(double target_bytes_per_sec,
+                                 const DestinationPattern* pattern) {
+  DQOS_EXPECTS(target_bytes_per_sec >= 0.0);
+  params_.target_bytes_per_sec = target_bytes_per_sec;
+  if (pattern != nullptr) pattern_ = pattern;
+  recalibrate();
+  if (!started_ || stopped_) return;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+  // Abandon any burst in progress; the next burst draws fresh under the
+  // new rate and pattern.
+  burst_left_ = 0;
+  burst_flow_ = kInvalidFlow;
+  schedule_next_burst();
+}
+
 void SelfSimilarSource::schedule_next_burst() {
+  if (mean_off_sec_ <= 0.0) return;  // paused (rate 0)
   const double wait = -mean_off_sec_ * std::log(rng_.uniform_pos());
   const TimePoint at = sim_.now() + Duration::from_seconds_double(wait);
   if (at >= stop_) return;
-  sim_.schedule_at(at, [this] { begin_burst(); });
+  pending_ = sim_.schedule_at(at, [this] {
+    pending_ = 0;
+    begin_burst();
+  });
 }
 
 void SelfSimilarSource::begin_burst() {
@@ -66,7 +100,10 @@ void SelfSimilarSource::burst_message() {
   const auto bytes = static_cast<std::uint64_t>(size_dist_(rng_));
   emit(burst_flow_, bytes);
   if (--burst_left_ > 0 && sim_.now() + params_.intra_burst_gap < stop_) {
-    sim_.schedule_after(params_.intra_burst_gap, [this] { burst_message(); });
+    pending_ = sim_.schedule_after(params_.intra_burst_gap, [this] {
+      pending_ = 0;
+      burst_message();
+    });
   } else {
     schedule_next_burst();
   }

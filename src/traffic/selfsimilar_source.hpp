@@ -37,12 +37,19 @@ class SelfSimilarSource final : public TrafficSource {
                     const DestinationPattern* pattern = nullptr);
 
   void start(TimePoint stop) override;
+  /// Re-calibrates the on/off cycle for the new rate and abandons any
+  /// in-progress burst. Rate 0 pauses the source until a later retarget.
+  void retarget(double target_bytes_per_sec,
+                const DestinationPattern* pattern) override;
   [[nodiscard]] TrafficClass tclass() const override { return params_.tclass; }
 
  private:
   void begin_burst();
   void burst_message();
   void schedule_next_burst();
+  /// Derives mean_off_sec_ from the current target rate (0 = paused),
+  /// re-deciding the intra-burst-gap clamp from the configured gap.
+  void recalibrate();
 
   std::vector<FlowId> flows_by_dst_;
   SelfSimilarParams params_;
@@ -50,6 +57,7 @@ class SelfSimilarSource final : public TrafficSource {
   std::unique_ptr<DestinationPattern> owned_;
   BoundedPareto size_dist_;
   Pareto burst_dist_;
+  Duration configured_gap_;  ///< pre-clamp gap, restored on recalibrate
   double mean_off_sec_;
   // current burst state
   FlowId burst_flow_ = kInvalidFlow;

@@ -6,6 +6,15 @@ TrafficSource::TrafficSource(Simulator& sim, Host& host, Rng rng,
                              MetricsCollector* metrics)
     : sim_(sim), host_(host), rng_(rng), metrics_(metrics) {}
 
+void TrafficSource::stop() {
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+  stopped_ = true;
+  stop_ = sim_.now();
+}
+
 void TrafficSource::emit(FlowId flow, std::uint64_t bytes) {
   ++messages_;
   bytes_ += bytes;

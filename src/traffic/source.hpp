@@ -15,6 +15,8 @@
 
 namespace dqos {
 
+class DestinationPattern;
+
 class TrafficSource {
  public:
   TrafficSource(Simulator& sim, Host& host, Rng rng, MetricsCollector* metrics);
@@ -23,11 +25,30 @@ class TrafficSource {
   TrafficSource& operator=(const TrafficSource&) = delete;
 
   /// Begins generation; the source keeps scheduling arrivals until `stop`.
+  /// May be called mid-run (churn): implementations set started_, record
+  /// `stop` in stop_, and track their in-flight arrival event in pending_.
   virtual void start(TimePoint stop) = 0;
+
+  /// Halts generation immediately: cancels the pending arrival event and
+  /// pulls the stop time to now. Idempotent; safe before start(). A stopped
+  /// source stays stopped (restart by constructing a new source).
+  void stop();
+
+  /// Re-aims a running source at a new offered rate (bytes/s; 0 pauses it
+  /// until a later retarget) and optionally a new destination pattern
+  /// (null = keep current). Fixed-rate sources (video) ignore this — their
+  /// class shifts load by changing the stream population instead.
+  virtual void retarget(double target_bytes_per_sec,
+                        const DestinationPattern* pattern) {
+    (void)target_bytes_per_sec;
+    (void)pattern;
+  }
 
   [[nodiscard]] virtual TrafficClass tclass() const = 0;
   [[nodiscard]] std::uint64_t messages_generated() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_generated() const { return bytes_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
 
  protected:
   /// Submits a message to the host NIC and records offered load.
@@ -38,6 +59,13 @@ class TrafficSource {
   Rng rng_;
   MetricsCollector* metrics_;
   TimePoint stop_ = TimePoint::max();
+  /// The single in-flight arrival event (0 = none). Every subclass routes
+  /// its self-scheduling chain through this so stop()/retarget() can
+  /// cancel it; the ids of fired events are stale, so a missed clear is
+  /// harmless, but keep it accurate for readability.
+  EventId pending_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
 
  private:
   std::uint64_t messages_ = 0;

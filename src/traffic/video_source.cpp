@@ -71,6 +71,7 @@ double VideoSource::estimate_realized_bytes_per_sec(const VideoParams& params,
 }
 
 void VideoSource::start(TimePoint stop) {
+  started_ = true;
   stop_ = stop;
   Duration phase = Duration::zero();
   if (params_.randomize_phase) {
@@ -79,14 +80,20 @@ void VideoSource::start(TimePoint stop) {
   }
   const TimePoint first = sim_.now() + phase;
   if (first >= stop_) return;
-  sim_.schedule_at(first, [this] { frame_tick(); });
+  pending_ = sim_.schedule_at(first, [this] {
+    pending_ = 0;
+    frame_tick();
+  });
 }
 
 void VideoSource::frame_tick() {
   emit(flow_, draw_frame_size());
   const TimePoint next = sim_.now() + params_.frame_period;
   if (next < stop_) {
-    sim_.schedule_at(next, [this] { frame_tick(); });
+    pending_ = sim_.schedule_at(next, [this] {
+      pending_ = 0;
+      frame_tick();
+    });
   }
 }
 

@@ -45,6 +45,7 @@ double TraceVideoSource::trace_mean_bytes(const std::vector<std::uint32_t>& trac
 }
 
 void TraceVideoSource::start(TimePoint stop) {
+  started_ = true;
   stop_ = stop;
   Duration phase = Duration::zero();
   if (params_.randomize_phase) {
@@ -53,7 +54,10 @@ void TraceVideoSource::start(TimePoint stop) {
   }
   const TimePoint first = sim_.now() + phase;
   if (first >= stop_) return;
-  sim_.schedule_at(first, [this] { frame_tick(); });
+  pending_ = sim_.schedule_at(first, [this] {
+    pending_ = 0;
+    frame_tick();
+  });
 }
 
 void TraceVideoSource::frame_tick() {
@@ -61,7 +65,10 @@ void TraceVideoSource::frame_tick() {
   next_frame_ = (next_frame_ + 1) % trace_->size();
   const TimePoint next = sim_.now() + params_.frame_period;
   if (next < stop_) {
-    sim_.schedule_at(next, [this] { frame_tick(); });
+    pending_ = sim_.schedule_at(next, [this] {
+      pending_ = 0;
+      frame_tick();
+    });
   }
 }
 

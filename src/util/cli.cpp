@@ -39,6 +39,7 @@ bool ArgParser::load_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
+  std::string section;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
@@ -46,12 +47,19 @@ bool ArgParser::load_file(const std::string& path) {
     if (hash != std::string::npos) line.erase(hash);
     line = trim(line);
     if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      // `[phase.2]` opens a section: subsequent keys get the prefix
+      // `phase.2.`. `[]` returns to top level.
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const std::string prefix = section.empty() ? "" : section + ".";
     const std::string origin = path + ":" + std::to_string(lineno);
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      set(trim(line), "true", origin);
+      set(prefix + trim(line), "true", origin);
     } else {
-      set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)), origin);
+      set(prefix + trim(line.substr(0, eq)), trim(line.substr(eq + 1)), origin);
     }
   }
   return true;

@@ -27,6 +27,9 @@ class ArgParser {
   void parse(int argc, const char* const* argv);
 
   /// Loads `key=value` lines; returns false if the file can't be read.
+  /// `[section]` headers prefix subsequent keys with `section.` (so
+  /// `load=0.9` under `[phase.1]` becomes `phase.1.load`); a bare `[]`
+  /// returns to top level.
   bool load_file(const std::string& path);
 
   /// Inserts/overrides a single setting. `origin` says where the value came

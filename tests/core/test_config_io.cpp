@@ -282,6 +282,152 @@ TEST(RequireKnownKeys, AcceptsConfigKeysAndExtras) {
       {"csv"}));
 }
 
+// --- scenario ([phase.N]) parsing -------------------------------------------
+
+TEST(ScenarioFromArgs, NoPhaseKeysMeansNoScenario) {
+  EXPECT_FALSE(scenario_from_args(parse({"--load=0.8"}), SimConfig{})
+                   .has_value());
+}
+
+TEST(ScenarioFromArgs, PhasesInheritBaseAndOverride) {
+  SimConfig base;
+  base.load = 0.4;
+  base.measure = Duration::milliseconds(10);
+  const auto scn = scenario_from_args(
+      parse({"--phase.0.load=0.3", "--phase.1.start-ms=4",
+             "--phase.1.flow-arrivals-per-sec=2000",
+             "--phase.1.flow-departures-per-sec=500",
+             "--phase.2.start-ms=8", "--phase.2.share=0.4,0.1,0.25,0.25"}),
+      base);
+  ASSERT_TRUE(scn.has_value());
+  ASSERT_EQ(scn->phases.size(), 3u);
+  EXPECT_DOUBLE_EQ(scn->phases[0].load, 0.3);
+  EXPECT_DOUBLE_EQ(scn->phases[1].load, 0.4);  // inherited from base
+  EXPECT_EQ(scn->phases[1].start, Duration::milliseconds(4));
+  EXPECT_DOUBLE_EQ(scn->phases[1].flow_arrivals_per_sec, 2000.0);
+  EXPECT_DOUBLE_EQ(scn->phases[1].flow_departures_per_sec, 500.0);
+  EXPECT_DOUBLE_EQ(scn->phases[2].class_share[0], 0.4);
+  EXPECT_DOUBLE_EQ(scn->phases[2].class_share[1], 0.1);
+  EXPECT_TRUE(scn->multi_phase());
+  EXPECT_TRUE(scn->has_churn());
+}
+
+TEST(ScenarioRoundTrip, ToStringAndBack) {
+  SimConfig base;
+  base.measure = Duration::milliseconds(20);
+  Scenario original;
+  original.phases.resize(3);
+  original.phases[0].load = 0.3;
+  original.phases[1].start = Duration::milliseconds(5);
+  original.phases[1].load = 0.9;
+  original.phases[1].flow_arrivals_per_sec = 1500.0;
+  original.phases[1].flow_departures_per_sec = 250.0;
+  original.phases[1].pattern.kind = PatternKind::kHotSpot;
+  original.phases[1].pattern.hotspot_fraction = 0.5;
+  original.phases[1].pattern.hotspot_node = 3;
+  original.phases[2].start = Duration::milliseconds(12);
+  original.phases[2].class_share = {0.4, 0.1, 0.25, 0.25};
+  ASSERT_EQ(original.check(base), "");
+
+  const std::string path = testing::TempDir() + "/dqos_scn_roundtrip.cfg";
+  {
+    std::ofstream out(path);
+    out << scenario_to_string(original);
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  EXPECT_NO_THROW(require_known_keys(args));
+  const auto loaded = scenario_from_args(args, base);
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->phases.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const PhaseSpec& a = original.phases[i];
+    const PhaseSpec& b = loaded->phases[i];
+    EXPECT_EQ(b.start, a.start) << "phase " << i;
+    EXPECT_DOUBLE_EQ(b.load, a.load) << "phase " << i;
+    EXPECT_EQ(b.class_share, a.class_share) << "phase " << i;
+    EXPECT_EQ(b.pattern.kind, a.pattern.kind) << "phase " << i;
+    EXPECT_DOUBLE_EQ(b.pattern.hotspot_fraction, a.pattern.hotspot_fraction);
+    EXPECT_EQ(b.pattern.hotspot_node, a.pattern.hotspot_node);
+    EXPECT_DOUBLE_EQ(b.flow_arrivals_per_sec, a.flow_arrivals_per_sec);
+    EXPECT_DOUBLE_EQ(b.flow_departures_per_sec, a.flow_departures_per_sec);
+  }
+}
+
+/// Runs scenario_from_args and returns the ConfigError message.
+std::string scenario_error_of(std::initializer_list<const char*> argv_tail,
+                              const SimConfig& base = SimConfig{}) {
+  try {
+    (void)scenario_from_args(parse(argv_tail), base);
+    return "";
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+}
+
+TEST(ScenarioFromArgsErrors, UnsortedOrDuplicateStarts) {
+  EXPECT_NE(scenario_error_of({"--phase.0.load=0.5", "--phase.1.start-ms=8",
+                               "--phase.2.start-ms=4"}),
+            "");
+  const std::string dup = scenario_error_of(
+      {"--phase.0.load=0.5", "--phase.1.start-ms=4", "--phase.2.start-ms=4"});
+  EXPECT_NE(dup.find("strictly increasing"), std::string::npos) << dup;
+}
+
+TEST(ScenarioFromArgsErrors, PhaseZeroMustStartAtZero) {
+  const std::string msg = scenario_error_of({"--phase.0.start-ms=2"});
+  EXPECT_NE(msg.find("phase 0"), std::string::npos) << msg;
+}
+
+TEST(ScenarioFromArgsErrors, IndexGapAndMissingStart) {
+  EXPECT_NE(scenario_error_of({"--phase.0.load=0.5", "--phase.2.start-ms=4"}),
+            "");
+  const std::string msg =
+      scenario_error_of({"--phase.0.load=0.5", "--phase.1.load=0.9"});
+  EXPECT_NE(msg.find("start-ms"), std::string::npos) << msg;
+}
+
+TEST(ScenarioFromArgsErrors, UnknownSubkeyAndBadIndex) {
+  EXPECT_NE(scenario_error_of({"--phase.0.laod=0.5"}), "");
+  EXPECT_NE(scenario_error_of({"--phase.x.load=0.5"}), "");
+  EXPECT_NE(scenario_error_of({"--phase.9999.load=0.5"}), "");
+}
+
+TEST(ScenarioFromArgsErrors, ChurnNeedsVideoEnabled) {
+  SimConfig base;
+  base.enable_video = false;
+  EXPECT_NE(
+      scenario_error_of({"--phase.0.flow-arrivals-per-sec=100"}, base), "");
+}
+
+TEST(ScenarioFileErrors, MessageCarriesFileAndLine) {
+  // `[phase.N]` sections in a file: a bad start ordering must cite the
+  // offending file:line, like every other config error.
+  const std::string path = testing::TempDir() + "/dqos_bad_scn.cfg";
+  {
+    std::ofstream out(path);
+    out << "[phase.0]\n"
+           "load=0.5\n"
+           "[phase.1]\n"
+           "start-ms=8\n"
+           "[phase.2]\n"
+           "start-ms=4\n";
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  std::string msg;
+  try {
+    (void)scenario_from_args(args, SimConfig{});
+  } catch (const ConfigError& e) {
+    msg = e.what();
+  }
+  std::remove(path.c_str());
+  EXPECT_NE(msg.find("--phase.2.start-ms"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(path + ":6"), std::string::npos) << msg;
+}
+
 TEST(SimConfigCheck, ProgrammaticUseStillAborts) {
   // Library users bypass config_io; a bad SimConfig there is a programming
   // error and keeps the contract abort.

@@ -15,9 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/network_simulator.hpp"
+#include "core/run_controller.hpp"
 
 namespace dqos {
 namespace {
@@ -73,6 +75,53 @@ TEST(GoldenDeterminism, Mesh16EventFireOrderHash) {
   EXPECT_EQ(h.value(), kGoldenMesh16FireOrderHash)
       << "event fire order changed: seq/time stream hash = " << std::hex
       << h.value();
+}
+
+TEST(GoldenDeterminism, OnePhaseScenarioMatchesLegacyRun) {
+  // The scenario engine's compatibility contract: a one-phase scenario
+  // schedules zero extra events, so RunController(single_phase) replays
+  // the legacy run() bit-for-bit — same fire-order stream, same goldens,
+  // same per-class CSV bytes.
+  auto fire_hash = [](NetworkSimulator& net) {
+    auto h = std::make_shared<StreamHash>();
+    net.sim().set_fire_hook([h](std::uint64_t seq, TimePoint t) {
+      h->mix(seq);
+      h->mix(static_cast<std::uint64_t>(t.ps()));
+    });
+    return h;
+  };
+  auto csv_bytes = [](const SimReport& rep) {
+    std::string out;
+    for (const TrafficClass c : all_traffic_classes()) {
+      const ClassReport& r = rep.of(c);
+      char row[256];
+      std::snprintf(row, sizeof row, "%s,%llu,%llu,%.3f,%.3f,%.1f,%.1f\n",
+                    std::string(to_string(c)).c_str(),
+                    static_cast<unsigned long long>(r.packets),
+                    static_cast<unsigned long long>(r.messages),
+                    r.avg_packet_latency_us, r.p99_packet_latency_us,
+                    r.throughput_bytes_per_sec, r.offered_bytes_per_sec);
+      out += row;
+    }
+    return out;
+  };
+
+  NetworkSimulator legacy(mesh16_config());
+  const auto legacy_hash = fire_hash(legacy);
+  const SimReport legacy_rep = legacy.run();
+
+  NetworkSimulator scenario(mesh16_config());
+  const auto scenario_hash = fire_hash(scenario);
+  RunController controller(scenario,
+                           Scenario::single_phase(scenario.config()));
+  const ScenarioReport srep = controller.run();
+
+  EXPECT_EQ(scenario_hash->value(), legacy_hash->value());
+  EXPECT_EQ(legacy_hash->value(), kGoldenMesh16FireOrderHash);
+  EXPECT_EQ(csv_bytes(srep.total), csv_bytes(legacy_rep));
+  ASSERT_EQ(srep.phases.size(), 1u);
+  EXPECT_EQ(srep.phases.front().of(TrafficClass::kControl).packets,
+            legacy_rep.of(TrafficClass::kControl).packets);
 }
 
 TEST(GoldenDeterminism, Mesh16RerunsAreBitIdentical) {

@@ -163,6 +163,7 @@ TEST(NetworkSimulatorTest, VideoFrameLatencyNearBudget) {
 
 TEST(NetworkSimulatorTest, AdmissionRejectsOnlyWhenSaturated) {
   NetworkSimulator net(tiny(SwitchArch::kAdvanced2Vc, 0.5));
+  net.prepare_workload();  // admit the static mix (run() would, lazily)
   EXPECT_GT(net.admission().admitted_flows(), 0u);
   const SimReport rep = net.run();
   EXPECT_EQ(rep.flows_rejected, 0u);
@@ -249,6 +250,7 @@ TEST(NetworkSimulatorTest, PaperScaleConstructionWiring) {
   // wiring contracts and admission bookkeeping at the paper's scale.
   SimConfig cfg = SimConfig::paper(SwitchArch::kAdvanced2Vc, 1.0);
   NetworkSimulator net(cfg);
+  net.prepare_workload();
   EXPECT_EQ(net.num_hosts(), 128u);
   EXPECT_EQ(net.num_switches(), 24u);  // 16 leaves + 8 spines
   // Every host opened control flows to all 127 peers plus video and two
@@ -319,10 +321,18 @@ TEST(NetworkSimulatorDeathTest, MissingVideoTraceAborts) {
   EXPECT_DEATH(NetworkSimulator net(cfg), "precondition");
 }
 
-TEST(NetworkSimulatorTest, RunTwiceAborts) {
+TEST(NetworkSimulatorTest, RunTwiceThrowsRunError) {
+  // The calendar and metric windows are single-shot: a second run() is a
+  // usage error reported like a ConfigError, not a contract abort.
   NetworkSimulator net(tiny(SwitchArch::kIdeal, 0.3));
   (void)net.run();
-  EXPECT_DEATH((void)net.run(), "precondition");
+  EXPECT_THROW((void)net.run(), RunError);
+  try {
+    (void)net.run();
+    FAIL() << "second run() must throw";
+  } catch (const RunError& e) {
+    EXPECT_NE(std::string(e.what()).find("already run"), std::string::npos);
+  }
 }
 
 }  // namespace

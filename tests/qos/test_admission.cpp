@@ -187,6 +187,46 @@ TEST_F(AdmissionTest, RandomAdmitReleaseNeverLeaksReservations) {
   EXPECT_TRUE(ctrl_.admit(video_request(0, 15, 1000.0)).has_value());
 }
 
+TEST_F(AdmissionTest, StormWithFaultReroutesLeavesExactlyZeroReserved) {
+  // The §3.2 exact-rollback invariant, including the fault path: an
+  // admit/release storm interleaved with link failures and reroutes must
+  // leave the summed ledger at *exactly* 0.0 (not merely near) once every
+  // surviving flow is released — release() sweeps FP dust, and rerouted
+  // flows carry their reservation to the new path without duplication.
+  Rng rng(777);
+  for (int step = 0; step < 1500; ++step) {
+    const double r = rng.uniform();
+    if (r < 0.55) {
+      const auto src = static_cast<NodeId>(rng.uniform_int(0, 15));
+      auto dst = static_cast<NodeId>(rng.uniform_int(0, 15));
+      if (dst == src) dst = (dst + 1) % 16;
+      // Fractional rates on purpose: maximal FP dust accumulation.
+      const double mb = 10.0 + rng.uniform() * 110.0;
+      (void)ctrl_.admit(video_request(src, dst, mb));
+    } else if (r < 0.8) {
+      const auto ids = ctrl_.admitted_ids();
+      if (!ids.empty()) {
+        ctrl_.release(ids[rng.uniform_int(0, ids.size() - 1)]);
+      }
+    } else if (r < 0.9) {
+      // Fail a random leaf uplink, reroute the flows crossing it, repair.
+      const NodeId leaf = topo_.leaf_switch(
+          static_cast<std::uint32_t>(rng.uniform_int(0, 3)));
+      const PortId up = static_cast<PortId>(rng.uniform_int(4, 7));
+      ctrl_.mark_link_failed(Endpoint{leaf, up});
+      (void)ctrl_.reroute_around_failures();
+      ctrl_.mark_link_repaired(Endpoint{leaf, up});
+    } else {
+      (void)ctrl_.reroute_around_failures();  // no-op when nothing failed
+    }
+  }
+  for (const FlowId f : ctrl_.admitted_ids()) ctrl_.release(f);
+  EXPECT_EQ(ctrl_.admitted_flows(), 0u);
+  // Exact, not approximate: the seed accounting must show zero drift.
+  EXPECT_EQ(ctrl_.total_reserved_bytes_per_sec(), 0.0);
+  EXPECT_TRUE(ctrl_.admit(video_request(0, 15, 1000.0)).has_value());
+}
+
 TEST_F(AdmissionTest, ReleaseUnknownFlowAborts) {
   EXPECT_DEATH(ctrl_.release(424242), "precondition");
 }

@@ -5,15 +5,19 @@
 ///
 ///   dqos_sim --arch=advanced --load=1.0 --leaves=16 --hosts-per-leaf=8
 ///   dqos_sim --config=run.cfg                 # same keys from a file
+///   dqos_sim --scenario=churn.cfg             # phased run with flow churn
 ///   dqos_sim --dump-config                    # print effective config
 ///   dqos_sim --csv=out.csv                    # machine-readable report
 ///
-/// See src/core/config_io.hpp for the full key reference.
+/// See src/core/config_io.hpp for the full key reference; `[phase.N]`
+/// sections (inline in --config or in a separate --scenario file) turn the
+/// run into a phased scenario executed by RunController.
 #include <cstdio>
 #include <cstring>
 
 #include "core/config_io.hpp"
 #include "core/network_simulator.hpp"
+#include "core/run_controller.hpp"
 #include "trace/tracer.hpp"
 #include "util/table.hpp"
 
@@ -23,25 +27,34 @@ namespace {
 
 void print_usage() {
   std::puts(
-      "usage: dqos_sim [--config=FILE] [--arch=traditional|ideal|simple|advanced]\n"
+      "usage: dqos_sim [--config=FILE] [--scenario=FILE]\n"
+      "                [--arch=traditional|ideal|simple|advanced]\n"
       "                [--topology=clos|kary|single] [--load=F] [--seed=N]\n"
       "                [--leaves=N --hosts-per-leaf=N --spines=N]\n"
       "                [--measure-ms=N] [--csv=FILE] [--dump-config]\n"
       "                [--fault-inject --fault-link-down-per-sec=F\n"
       "                 --fault-credit-loss-per-sec=F --watchdog-ms=N] ...\n"
-      "full key reference: src/core/config_io.hpp");
+      "full key reference: src/core/config_io.hpp ([phase.N] sections make\n"
+      "the run a phased scenario with optional flow churn)");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args;
-  // Config file first (if any), CLI overrides second.
+  // Config file first (if any), then the scenario file, CLI overrides last.
   ArgParser cli(argc, argv);
   if (const auto cfg_file = cli.get("config")) {
     if (!args.load_file(*cfg_file)) {
       std::fprintf(stderr, "dqos_sim: cannot read config file '%s'\n",
                    cfg_file->c_str());
+      return 2;
+    }
+  }
+  if (const auto scn_file = cli.get("scenario")) {
+    if (!args.load_file(*scn_file)) {
+      std::fprintf(stderr, "dqos_sim: cannot read scenario file '%s'\n",
+                   scn_file->c_str());
       return 2;
     }
   }
@@ -52,11 +65,13 @@ int main(int argc, char** argv) {
   }
 
   SimConfig cfg;
+  std::optional<Scenario> scn;
   try {
     require_known_keys(args,
-                       {"config", "help", "dump-config", "csv", "trace",
-                        "trace-cap"});
+                       {"config", "scenario", "help", "dump-config", "csv",
+                        "trace", "trace-cap"});
     cfg = config_from_args(args);
+    scn = scenario_from_args(args, cfg);
   } catch (const ConfigError& e) {
     std::fprintf(stderr, "dqos_sim: %s\n", e.what());
     return 2;
@@ -83,7 +98,19 @@ int main(int argc, char** argv) {
     }
     net.fault_injector().set_tracer(tracer.get());
   }
-  const SimReport rep = net.run();
+  ScenarioReport srep;
+  try {
+    if (scn) {
+      RunController controller(net, *scn);
+      srep = controller.run();
+    } else {
+      srep.total = net.run();
+    }
+  } catch (const RunError& e) {
+    std::fprintf(stderr, "dqos_sim: %s\n", e.what());
+    return 2;
+  }
+  const SimReport& rep = srep.total;
 
   TableWriter table({"class", "packets", "messages", "avg lat [us]", "p99 [us]",
                      "max [us]", "jitter [us]", "tput [MB/s]", "offered [MB/s]",
@@ -122,6 +149,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rep.flows_admitted),
               static_cast<unsigned long long>(rep.flows_rejected),
               static_cast<unsigned long long>(rep.events_processed));
+
+  if (scn) {
+    for (const PhaseReport& ph : srep.phases) {
+      std::printf("\nphase %zu [%.2f..%.2f ms] load %.2f\n", ph.index,
+                  ph.start.ms(), ph.end.ms(), ph.load);
+      TableWriter pt({"class", "packets", "avg lat [us]", "p99 [us]",
+                      "tput [MB/s]", "offered [MB/s]"});
+      for (const TrafficClass c : all_traffic_classes()) {
+        const ClassReport& r = ph.of(c);
+        pt.row({std::string(to_string(c)), TableWriter::num(r.packets),
+                TableWriter::num(r.avg_packet_latency_us, 1),
+                TableWriter::num(r.p99_packet_latency_us, 1),
+                TableWriter::num(r.throughput_bytes_per_sec / 1e6, 1),
+                TableWriter::num(r.offered_bytes_per_sec / 1e6, 1)});
+      }
+      pt.print(stdout);
+      if (ph.churn_arrivals || ph.churn_rejected || ph.churn_departures) {
+        std::printf("churn: %llu arrivals, %llu rejected, %llu departures\n",
+                    static_cast<unsigned long long>(ph.churn_arrivals),
+                    static_cast<unsigned long long>(ph.churn_rejected),
+                    static_cast<unsigned long long>(ph.churn_departures));
+      }
+    }
+    std::printf("\nteardown: %llu flows released, reserved %.1f B/s after\n",
+                static_cast<unsigned long long>(srep.flows_released),
+                srep.reserved_bps_after_teardown);
+  }
 
   if (rep.fault.active) {
     const auto& f = rep.fault;
@@ -171,10 +225,8 @@ int main(int argc, char** argv) {
     csv.row({"class", "packets", "messages", "avg_latency_us", "p99_latency_us",
              "max_latency_us", "jitter_us", "throughput_Bps", "offered_Bps",
              "avg_message_latency_us"});
-    for (const TrafficClass c : all_traffic_classes()) {
-      const ClassReport& r = rep.of(c);
-      csv.row({std::string(to_string(c)), TableWriter::num(r.packets),
-               TableWriter::num(r.messages),
+    auto class_row = [&](const std::string& label, const ClassReport& r) {
+      csv.row({label, TableWriter::num(r.packets), TableWriter::num(r.messages),
                TableWriter::num(r.avg_packet_latency_us, 3),
                TableWriter::num(r.p99_packet_latency_us, 3),
                TableWriter::num(r.max_packet_latency_us, 3),
@@ -182,6 +234,20 @@ int main(int argc, char** argv) {
                TableWriter::num(r.throughput_bytes_per_sec, 1),
                TableWriter::num(r.offered_bytes_per_sec, 1),
                TableWriter::num(r.avg_message_latency_us, 3)});
+    };
+    for (const TrafficClass c : all_traffic_classes()) {
+      class_row(std::string(to_string(c)), rep.of(c));
+    }
+    // Phased runs append per-phase rows (labelled p<N>:<class>) after the
+    // whole-run rows, so single-phase CSVs keep their legacy bytes.
+    if (scn && scn->multi_phase()) {
+      for (const PhaseReport& ph : srep.phases) {
+        for (const TrafficClass c : all_traffic_classes()) {
+          class_row("p" + std::to_string(ph.index) + ":" +
+                        std::string(to_string(c)),
+                    ph.of(c));
+        }
+      }
     }
   }
   if (rep.fault.watchdog_fired) return 3;

@@ -6,6 +6,9 @@
 ///
 ///   dqos_sweep --loads=0.2,0.6,1.0 --archs=traditional,advanced
 ///              --leaves=8 --measure-ms=20 --csv-prefix=myrun
+///   dqos_sweep --scenario=churn.cfg ...       # phased runs at every point
+///                                             # (phase loads scale with the
+///                                             # sweep point's load)
 #include <cstdio>
 #include <sstream>
 
@@ -40,14 +43,30 @@ std::vector<SwitchArch> parse_archs(const std::string& csv) {
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
-  if (const auto cfg_file = args.get("config")) {
+  if (args.has("config") || args.has("scenario")) {
     ArgParser file_args;
-    if (file_args.load_file(*cfg_file)) {
-      file_args.parse(argc, argv);  // CLI overrides file
-      args = file_args;
+    if (const auto cfg_file = args.get("config")) {
+      file_args.load_file(*cfg_file);
     }
+    if (const auto scn_file = args.get("scenario")) {
+      if (!file_args.load_file(*scn_file)) {
+        std::fprintf(stderr, "dqos_sweep: cannot read scenario file '%s'\n",
+                     scn_file->c_str());
+        return 2;
+      }
+    }
+    file_args.parse(argc, argv);  // CLI overrides file
+    args = file_args;
   }
-  const SimConfig base = config_from_args(args);
+  SimConfig base;
+  std::optional<Scenario> scn;
+  try {
+    base = config_from_args(args);
+    scn = scenario_from_args(args, base);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "dqos_sweep: %s\n", e.what());
+    return 2;
+  }
 
   const auto loads = parse_loads(args.get_or("loads", "0.2,0.4,0.6,0.8,1.0"));
   auto archs = parse_archs(args.get_or("archs", "traditional,ideal,simple,advanced"));
@@ -60,9 +79,16 @@ int main(int argc, char** argv) {
     return prefix.empty() ? std::string{} : prefix + "_" + name + ".csv";
   };
 
-  std::fprintf(stderr, "dqos_sweep: %zu archs x %zu loads on %u hosts\n",
-               archs.size(), loads.size(), base.num_hosts());
-  const auto points = run_sweep(base, archs, loads);
+  std::fprintf(stderr, "dqos_sweep: %zu archs x %zu loads on %u hosts%s\n",
+               archs.size(), loads.size(), base.num_hosts(),
+               scn ? " (phased scenario)" : "");
+  std::vector<SweepPoint> points;
+  try {
+    points = run_sweep(base, archs, loads, nullptr, scn ? &*scn : nullptr);
+  } catch (const RunError& e) {
+    std::fprintf(stderr, "dqos_sweep: %s\n", e.what());
+    return 2;
+  }
 
   for (const TrafficClass c : all_traffic_classes()) {
     const std::string cname{to_string(c)};

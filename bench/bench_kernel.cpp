@@ -18,6 +18,8 @@
 /// scripts/bench_report.py to fold into BENCH_kernel.json.
 ///
 ///   ./bench_kernel [--quick] [--json=PATH]
+// Wall-clock timing is this benchmark's whole purpose; the simulated
+// system under test never reads it. dqos-lint: allow-file(no-wallclock)
 #include <atomic>
 #include <chrono>
 #include <cstdio>

@@ -4,15 +4,17 @@
 # *numbers* are not gated here — perf regressions are reviewed via
 # BENCH_kernel.json, keeping CI stable on noisy machines).
 #
-#   scripts/check.sh            # asan + ubsan presets, all tests, perf smoke
+#   scripts/check.sh            # lint + asan + ubsan presets, perf smoke
 #   scripts/check.sh asan       # just one preset (skips the perf smoke)
+#   scripts/check.sh lint       # dqos_lint + clang-tidy + format check only
+#   scripts/check.sh tsan       # ThreadSanitizer: full suite + sweep smoke
 #
 # Death tests exercise contract aborts on purpose; ASAN's allocator is told
 # not to treat those intentional aborts as leaks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-presets=(asan ubsan)
+presets=(lint asan ubsan)
 run_perf_smoke=1
 if [[ $# -gt 0 ]]; then
   presets=("$@")
@@ -21,8 +23,24 @@ fi
 
 export ASAN_OPTIONS=abort_on_error=0
 export UBSAN_OPTIONS=print_stacktrace=1
+# die_after_fork=0: death tests fork on purpose.
+export TSAN_OPTIONS="suppressions=$PWD/tsan.supp history_size=4 die_after_fork=0"
 
 for preset in "${presets[@]}"; do
+  if [[ $preset == lint ]]; then
+    # Static legs (DESIGN.md §9): dqos_lint gated on lint_baseline.txt
+    # (including the header-standalone check), clang-tidy when installed,
+    # and the formatting diff vs main. No sanitizer build needed — the
+    # default preset hosts the lint tooling.
+    echo "=== [lint] dqos_lint + clang-tidy baseline ==="
+    cmake --preset default
+    cmake --build --preset default --target dqos_lint -j "$(nproc)"
+    build/tools/dqos_lint --root=. --baseline=lint_baseline.txt --check-headers
+    cmake --build --preset default --target lint
+    echo "=== [lint] format check ==="
+    scripts/format_check.sh
+    continue
+  fi
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
@@ -30,6 +48,18 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$(nproc)"
 done
+
+if [[ " ${presets[*]} " == *" tsan "* ]]; then
+  # Multi-threaded sweep smoke under TSAN: four worker threads fanning
+  # out full simulator replicas — the exact concurrency production sweeps
+  # use. ctest above already covers SweepDeterminism; this drives the
+  # real CLI end to end (EXPERIMENTS.md S1).
+  echo "=== [tsan] 4-thread sweep smoke ==="
+  DQOS_SWEEP_THREADS=4 build-tsan/tools/dqos_sweep --topology=single \
+      --hosts=4 --loads=0.2,0.3,0.4,0.5 --archs=simple,advanced \
+      --warmup-ms=0.2 --measure-ms=1 --drain-ms=0.5 --no-video > /dev/null
+  echo "tsan sweep smoke OK"
+fi
 
 if [[ " ${presets[*]} " == *" asan "* ]]; then
   # Churn-scenario smoke under ASAN: the full three-phase mesh16 scenario

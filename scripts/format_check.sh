@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run over the .cpp/.hpp files this
+# branch changed relative to main (merge-base), so historical files are
+# never churned retroactively. Skips gracefully — with a loud warning —
+# when clang-format is not installed (the CI image has it; minimal dev
+# boxes may not).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format_check: clang-format not found; skipping (install it to enforce .clang-format)" >&2
+  exit 0
+fi
+
+base=$(git merge-base HEAD main 2> /dev/null || git rev-parse HEAD~1 2> /dev/null || true)
+if [ -z "$base" ]; then
+  echo "format_check: no merge-base with main; checking the whole tree" >&2
+  mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+    'tools/**/*.cpp' 'tools/**/*.hpp' 'tests/**/*.cpp' 'bench/**/*.cpp')
+else
+  mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$base" -- \
+    'src/**/*.cpp' 'src/**/*.hpp' 'tools/**/*.cpp' 'tools/**/*.hpp' \
+    'tests/**/*.cpp' 'tests/**/*.hpp' 'bench/**/*.cpp')
+fi
+
+# Lint fixtures are deliberately malformed inputs, not project code.
+keep=()
+for f in "${files[@]:-}"; do
+  [ -z "$f" ] && continue
+  case "$f" in
+    tests/lint/fixtures/*) continue ;;
+  esac
+  [ -f "$f" ] && keep+=("$f")
+done
+
+if [ "${#keep[@]}" -eq 0 ]; then
+  echo "format_check: no changed C++ files vs main"
+  exit 0
+fi
+
+echo "format_check: checking ${#keep[@]} file(s) changed vs main"
+clang-format --dry-run -Werror "${keep[@]}"
+echo "format_check: OK"

@@ -101,7 +101,10 @@ void NetworkSimulator::build_nodes() {
     switches_.push_back(std::make_unique<Switch>(
         sim_, id, topo_->num_ports(id), sw, LocalClock(draw_offset())));
     switches_.back()->set_drop_callback(
-        [m = metrics_.get()](TrafficClass tc) { m->on_packet_dropped(tc); });
+        {[](void* ctx, TrafficClass tc) {
+           static_cast<MetricsCollector*>(ctx)->on_packet_dropped(tc);
+         },
+         metrics_.get()});
     injector_->register_switch(switches_.back().get());
     if (watchdog_) watchdog_->register_switch(switches_.back().get());
   }
@@ -540,6 +543,7 @@ void NetworkSimulator::close_video_flow(FlowId id) {
 std::uint64_t NetworkSimulator::close_remaining_churn_flows() {
   std::vector<FlowId> ids;
   ids.reserve(churn_sources_.size());
+  // Key harvest only — sorted before any stateful use. dqos-lint: allow(unordered-iteration)
   for (const auto& [id, src] : churn_sources_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   for (const FlowId id : ids) close_video_flow(id);

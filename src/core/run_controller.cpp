@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/contracts.hpp"
 
@@ -166,7 +167,14 @@ void RunController::teardown() {
   }
   for (const EventId id : transition_events_) sim.cancel(id);
   transition_events_.clear();
-  for (const auto& [flow, ev] : departure_events_) sim.cancel(ev);
+  // Cancel in ascending FlowId order: the map is FlowId-keyed and
+  // unordered, and cancellation mutates kernel state — keep teardown
+  // replayable no matter what the hash layout did.
+  // dqos-lint: allow(unordered-iteration) — copy harvest, sorted below
+  std::vector<std::pair<FlowId, EventId>> departures(departure_events_.begin(),
+                                                     departure_events_.end());
+  std::sort(departures.begin(), departures.end());
+  for (const auto& [flow, ev] : departures) sim.cancel(ev);
   departure_events_.clear();
 
   flows_released_ += net_.close_remaining_churn_flows();

@@ -28,7 +28,8 @@ Host::Host(Simulator& sim, NodeId id, const HostParams& params, LocalClock clock
 void Host::attach_uplink(Channel* to_switch) {
   DQOS_EXPECTS(to_switch != nullptr && uplink_ == nullptr);
   uplink_ = to_switch;
-  uplink_->set_on_credit([this] { pump(); });
+  uplink_->set_on_credit(
+      {[](void* ctx) { static_cast<Host*>(ctx)->pump(); }, this});
 }
 
 void Host::attach_downlink(Channel* from_switch) {
@@ -227,6 +228,8 @@ void Host::retire_flow(FlowId flow) {
   flows_.erase(it);
   // The stamper may be shared by an aggregate; drop it with its last user.
   bool shared = false;
+  // Existence check only — the result is order-independent.
+  // dqos-lint: allow(unordered-iteration)
   for (const auto& [id, fs] : flows_) {
     if (fs.stamper_key == skey) {
       shared = true;

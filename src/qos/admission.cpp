@@ -142,6 +142,7 @@ std::vector<AdmissionController::Reroute> AdmissionController::reroute_around_fa
   // Ascending FlowId order: unordered_map iteration order must not leak
   // into which flow wins contended residual bandwidth.
   std::vector<FlowId> affected;
+  // dqos-lint: allow(unordered-iteration) — harvest, sorted below
   for (const auto& [id, rec] : flows_) {
     for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
       if (failed_.count(key(e)) > 0) {
@@ -181,6 +182,7 @@ std::vector<AdmissionController::Reroute> AdmissionController::reroute_around_fa
 std::vector<FlowId> AdmissionController::admitted_ids() const {
   std::vector<FlowId> out;
   out.reserve(flows_.size());
+  // dqos-lint: allow(unordered-iteration) — harvest, sorted below
   for (const auto& [id, rec] : flows_) out.push_back(id);
   std::sort(out.begin(), out.end());
   return out;

@@ -38,10 +38,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/inline_task.hpp"
+#include "util/callback.hpp"
 #include "util/contracts.hpp"
 #include "util/time.hpp"
 
@@ -95,9 +95,11 @@ class Simulator {
   /// before each event's closure runs, with the event's scheduling sequence
   /// number (FIFO tie-break key; assigned 1, 2, 3, … in schedule order) and
   /// fire time. The golden-determinism test hashes this stream; keep the
-  /// (seq, time) contract stable across kernel implementations.
-  void set_fire_hook(std::function<void(std::uint64_t, TimePoint)> hook) {
-    fire_hook_ = std::move(hook);
+  /// (seq, time) contract stable across kernel implementations. The hook is
+  /// a raw Callback (fn-pointer + context) so instrumented builds stay
+  /// type-erasure-free on the hot path; the context must outlive the run.
+  void set_fire_hook(Callback<void(std::uint64_t, TimePoint)> hook) {
+    fire_hook_ = hook;
   }
 
   [[nodiscard]] std::uint64_t events_processed() const { return fired_; }
@@ -188,7 +190,7 @@ class Simulator {
   std::vector<std::int64_t> times_;   ///< width-estimation staging
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::function<void(std::uint64_t, TimePoint)> fire_hook_;
+  Callback<void(std::uint64_t, TimePoint)> fire_hook_;
 };
 
 }  // namespace dqos

@@ -27,12 +27,12 @@
 /// bit-identically to the lossless model.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "proto/packet_pool.hpp"
 #include "proto/types.hpp"
 #include "sim/simulator.hpp"
+#include "util/callback.hpp"
 #include "util/time.hpp"
 
 namespace dqos {
@@ -54,8 +54,9 @@ class Channel {
   void connect_to(PacketReceiver* dst, PortId dst_port);
 
   /// Called by the sender when fresh credits arrive (to retry arbitration).
-  /// Also invoked on repair() so stalled senders resume draining.
-  void set_on_credit(std::function<void()> cb) { on_credit_ = std::move(cb); }
+  /// Also invoked on repair() so stalled senders resume draining. The
+  /// context pointer must outlive this channel's event activity.
+  void set_on_credit(Callback<void()> cb) { on_credit_ = cb; }
 
   // --- sender-side credit view ---
   [[nodiscard]] bool has_credits(VcId vc, std::uint32_t bytes) const {
@@ -108,8 +109,8 @@ class Channel {
   /// The receiver-side occupancy oracle (bytes queued downstream for a VC);
   /// wired by Switch::attach_input. Unset = downstream consumes instantly
   /// (hosts), occupancy 0.
-  void set_occupancy_probe(std::function<std::uint64_t(VcId)> probe) {
-    occupancy_probe_ = std::move(probe);
+  void set_occupancy_probe(Callback<std::uint64_t(VcId)> probe) {
+    occupancy_probe_ = probe;
   }
   /// Arms the periodic resync check: every `silence_window`, any VC with no
   /// credit activity for at least that long has its counter re-derived from
@@ -136,7 +137,7 @@ class Channel {
   std::vector<std::int64_t> credits_;
   PacketReceiver* dst_ = nullptr;
   PortId dst_port_ = kInvalidPort;
-  std::function<void()> on_credit_;
+  Callback<void()> on_credit_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   Duration busy_time_ = Duration::zero();
@@ -146,7 +147,7 @@ class Channel {
   bool permanent_ = false;
   bool ttd_corrupt_armed_ = false;
   Duration ttd_corrupt_delta_ = Duration::zero();
-  std::function<std::uint64_t(VcId)> occupancy_probe_;
+  Callback<std::uint64_t(VcId)> occupancy_probe_;
   Duration resync_window_ = Duration::zero();  ///< zero = resync disabled
   TimePoint resync_horizon_ = TimePoint::zero();
   std::vector<std::int64_t> in_flight_bytes_;      ///< packets on the wire

@@ -46,6 +46,12 @@ Switch::Switch(Simulator& sim, NodeId id, std::size_t num_ports,
   heap_queues_ = kind == QueueKind::kHeap;
   inputs_.resize(num_ports);
   outputs_.resize(num_ports);
+  for (std::size_t i = 0; i < num_ports; ++i) {
+    inputs_[i].self = this;
+    inputs_[i].port = static_cast<PortId>(i);
+    outputs_[i].self = this;
+    outputs_[i].port = static_cast<PortId>(i);
+  }
   const std::size_t nvq = num_ports * params.num_vcs;
   in_bufs_.reserve(nvq);
   out_qs_.reserve(nvq);
@@ -69,7 +75,11 @@ void Switch::attach_output(PortId port, Channel* ch) {
   DQOS_EXPECTS(port < outputs_.size() && ch != nullptr);
   DQOS_EXPECTS(outputs_[port].channel == nullptr);
   outputs_[port].channel = ch;
-  ch->set_on_credit([this, port] { try_drain(port); });
+  ch->set_on_credit({[](void* ctx) {
+                       auto* out = static_cast<Output*>(ctx);
+                       out->self->try_drain(out->port);
+                     },
+                     &outputs_[port]});
   xbar_bw_ = Bandwidth::from_ps_per_byte(std::max<std::int64_t>(
       1, static_cast<std::int64_t>(
              static_cast<double>(ch->bandwidth().ps_per_byte()) /
@@ -82,8 +92,11 @@ void Switch::attach_input(PortId port, Channel* ch) {
   inputs_[port].channel = ch;
   // Credit-resync oracle: the upstream sender may re-derive its counter
   // from this buffer's occupancy after a credit loss.
-  ch->set_occupancy_probe(
-      [this, port](VcId vc) { return in_buf(port, vc).used_bytes(); });
+  ch->set_occupancy_probe({[](void* ctx, VcId vc) -> std::uint64_t {
+                             auto* in = static_cast<Input*>(ctx);
+                             return in->self->in_buf(in->port, vc).used_bytes();
+                           },
+                           &inputs_[port]});
 }
 
 void Switch::receive_packet(PacketPtr p, PortId in_port) {

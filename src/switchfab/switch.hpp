@@ -52,7 +52,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
@@ -122,10 +121,9 @@ class Switch final : public PacketReceiver {
 
   /// Optional packet-event tracing (null = off, zero cost).
   void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
-  /// Observer for packets this switch sheds (failed-link drops).
-  void set_drop_callback(std::function<void(TrafficClass)> cb) {
-    drop_cb_ = std::move(cb);
-  }
+  /// Observer for packets this switch sheds (failed-link drops). Raw
+  /// Callback (fn-pointer + context); the context must outlive the switch.
+  void set_drop_callback(Callback<void(TrafficClass)> cb) { drop_cb_ = cb; }
 
   /// Drops everything queued for `port` (output buffers and the input VOQs
   /// feeding it), returning upstream credits for VOQ packets. Called when
@@ -162,11 +160,19 @@ class Switch final : public PacketReceiver {
       std::numeric_limits<std::int64_t>::max();
   static constexpr std::size_t kNoWinner = ~std::size_t{0};
 
+  /// Input/Output carry a back-pointer + port index so channel callbacks
+  /// can be wired as raw (fn, ctx) pairs with the struct as context — the
+  /// vectors are sized once in the constructor and never reallocate, so
+  /// element addresses are stable for the life of the switch.
   struct Input {
+    Switch* self = nullptr;      ///< owning switch (callback context)
+    PortId port = kInvalidPort;  ///< this input's index
     Channel* channel = nullptr;  ///< upstream (credits)
     TimePoint read_busy_until;   ///< crossbar read port
   };
   struct Output {
+    Switch* self = nullptr;      ///< owning switch (callback context)
+    PortId port = kInvalidPort;  ///< this output's index
     Channel* channel = nullptr;  ///< downstream link
     TimePoint write_busy_until;  ///< crossbar write port
     TimePoint link_busy_until;   ///< wire
@@ -236,7 +242,7 @@ class Switch final : public PacketReceiver {
   std::size_t queued_packets_ = 0;
   SwitchCounters counters_;
   PacketTracer* tracer_ = nullptr;
-  std::function<void(TrafficClass)> drop_cb_;
+  Callback<void(TrafficClass)> drop_cb_;
   /// Scratch for the weighted VC order (A5 path only; strict priority never
   /// materializes an order).
   std::vector<VcId> vc_order_scratch_;

@@ -1,0 +1,48 @@
+/// \file callback.hpp
+/// A non-allocating, non-owning callback: a plain function pointer plus an
+/// opaque context pointer.
+///
+/// The hot-path components (src/sim, src/switchfab) were de-virtualized in
+/// PRs 2–3; `std::function` was the last remaining type-erasure there — it
+/// heap-allocates beyond its small buffer, and its indirect call defeats
+/// the branch predictor the same way a virtual dispatch does. Callback is
+/// the deterministic replacement: 16 bytes, trivially copyable, no
+/// allocation ever, and the dqos_lint rule `hot-path-type-erasure` keeps
+/// `std::function`/`shared_ptr` from creeping back in.
+///
+/// Wiring idiom (the context pointer must outlive the callback):
+///
+///   ch->set_on_credit({[](void* c) { static_cast<Host*>(c)->pump(); },
+///                      this});
+///
+/// A capture-less lambda converts to the raw function pointer; access
+/// checking happens in the enclosing scope, so member functions can wire
+/// private methods without trampolines.
+#pragma once
+
+namespace dqos {
+
+template <typename Sig>
+class Callback;
+
+template <typename R, typename... Args>
+class Callback<R(Args...)> {
+ public:
+  using RawFn = R (*)(void*, Args...);
+
+  constexpr Callback() = default;
+  constexpr Callback(RawFn fn, void* ctx) : fn_(fn), ctx_(ctx) {}
+
+  /// True when a target is installed; an empty Callback must not be invoked.
+  [[nodiscard]] constexpr explicit operator bool() const {
+    return fn_ != nullptr;
+  }
+
+  R operator()(Args... args) const { return fn_(ctx_, args...); }
+
+ private:
+  RawFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+};
+
+}  // namespace dqos

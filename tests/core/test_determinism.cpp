@@ -58,6 +58,17 @@ SimConfig mesh16_config() {
   return cfg;
 }
 
+/// Wires `h` as the simulator fire hook via a raw (fn, ctx) Callback;
+/// `h` must outlive the run.
+void hook_hash(NetworkSimulator& net, StreamHash& h) {
+  net.sim().set_fire_hook({[](void* ctx, std::uint64_t seq, TimePoint t) {
+                             auto* hash = static_cast<StreamHash*>(ctx);
+                             hash->mix(seq);
+                             hash->mix(static_cast<std::uint64_t>(t.ps()));
+                           },
+                           &h});
+}
+
 // Golden values captured on the pre-change kernel (priority_queue-based,
 // PR 1 tree). A mismatch means the fire order or simulation outcome moved.
 constexpr std::uint64_t kGoldenMesh16FireOrderHash = 0xe2e7ad102854c2e4ULL;
@@ -66,10 +77,7 @@ constexpr std::uint64_t kGoldenFig2CsvHash = 0x291d89f300f86c23ULL;
 TEST(GoldenDeterminism, Mesh16EventFireOrderHash) {
   NetworkSimulator net(mesh16_config());
   StreamHash h;
-  net.sim().set_fire_hook([&h](std::uint64_t seq, TimePoint t) {
-    h.mix(seq);
-    h.mix(static_cast<std::uint64_t>(t.ps()));
-  });
+  hook_hash(net, h);
   const SimReport rep = net.run();
   EXPECT_GT(rep.events_processed, 100'000u);  // the run actually did work
   EXPECT_EQ(h.value(), kGoldenMesh16FireOrderHash)
@@ -83,11 +91,8 @@ TEST(GoldenDeterminism, OnePhaseScenarioMatchesLegacyRun) {
   // the legacy run() bit-for-bit — same fire-order stream, same goldens,
   // same per-class CSV bytes.
   auto fire_hash = [](NetworkSimulator& net) {
-    auto h = std::make_shared<StreamHash>();
-    net.sim().set_fire_hook([h](std::uint64_t seq, TimePoint t) {
-      h->mix(seq);
-      h->mix(static_cast<std::uint64_t>(t.ps()));
-    });
+    auto h = std::make_unique<StreamHash>();
+    hook_hash(net, *h);
     return h;
   };
   auto csv_bytes = [](const SimReport& rep) {
@@ -129,10 +134,7 @@ TEST(GoldenDeterminism, Mesh16RerunsAreBitIdentical) {
   auto run_hash = [] {
     NetworkSimulator net(mesh16_config());
     StreamHash h;
-    net.sim().set_fire_hook([&h](std::uint64_t seq, TimePoint t) {
-      h.mix(seq);
-      h.mix(static_cast<std::uint64_t>(t.ps()));
-    });
+    hook_hash(net, h);
     (void)net.run();
     return h.value();
   };

@@ -1,0 +1,140 @@
+/// \file test_sweep_runner.cpp
+/// SweepRunner contract tests plus the multi-threaded determinism smoke
+/// that the tsan preset runs race-free (DESIGN.md §9): a ≥4-thread
+/// run_sweep must be bit-identical to the serial reference execution.
+#include "core/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+TEST(SweepRunner, CoversEveryIndexExactlyOnceAcrossThreads) {
+  SweepRunner runner(4);
+  EXPECT_EQ(runner.threads(), 4u);
+  std::vector<std::atomic<int>> hits(97);
+  runner.run(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, SerialPathRunsInIndexOrder) {
+  SweepRunner runner(1);
+  std::vector<std::size_t> order;
+  runner.run(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepRunner, ZeroJobsIsANoop) {
+  SweepRunner runner(4);
+  bool ran = false;
+  runner.run(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(SweepRunner, LowestIndexedFailureIsRethrown) {
+  // Indices are handed out in order, and a dispatched job always executes,
+  // so index 3 always throws; it must win over the later failure at 11.
+  SweepRunner runner(4);
+  const auto attempt = [&] {
+    runner.run(32, [](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("job " + std::to_string(i));
+      }
+    });
+  };
+  EXPECT_THROW(
+      {
+        try {
+          attempt();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "job 3");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(SweepRunner, ResolveThreadsPrefersExplicitThenEnv) {
+  ASSERT_EQ(::setenv("DQOS_SWEEP_THREADS", "7", /*overwrite=*/1), 0);
+  EXPECT_EQ(SweepRunner::resolve_threads(3), 3u);  // explicit wins
+  EXPECT_EQ(SweepRunner::resolve_threads(0), 7u);  // env fallback
+  ASSERT_EQ(::setenv("DQOS_SWEEP_THREADS", "nonsense", 1), 0);
+  EXPECT_GE(SweepRunner::resolve_threads(0), 1u);  // garbage -> hw/1
+  ASSERT_EQ(::unsetenv("DQOS_SWEEP_THREADS"), 0);
+}
+
+/// A small single-switch platform: big enough to exercise every traffic
+/// class, small enough that a 3x sweep stays test-suite fast.
+SimConfig smoke_config() {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kSingleSwitch;
+  cfg.single_switch_hosts = 4;
+  cfg.warmup = 200_us;
+  cfg.measure = 1_ms;
+  cfg.drain = 500_us;
+  cfg.seed = 42;
+  cfg.enable_video = false;  // video flows dominate runtime; not needed here
+  return cfg;
+}
+
+/// Serializes the fields every figure/CSV derives from, with full double
+/// precision — byte equality here means byte-equal CSVs downstream.
+std::string fingerprint(const std::vector<SweepPoint>& points) {
+  std::string out;
+  for (const SweepPoint& p : points) {
+    char head[64];
+    std::snprintf(head, sizeof head, "%d,%.3f,%llu,%llu\n",
+                  static_cast<int>(p.arch), p.load,
+                  static_cast<unsigned long long>(p.report.packets_delivered),
+                  static_cast<unsigned long long>(p.report.events_processed));
+    out += head;
+    for (const TrafficClass c : all_traffic_classes()) {
+      const ClassReport& r = p.report.classes[static_cast<std::size_t>(c)];
+      char row[256];
+      std::snprintf(row, sizeof row, "%llu,%llu,%.17g,%.17g,%.17g,%.17g\n",
+                    static_cast<unsigned long long>(r.packets),
+                    static_cast<unsigned long long>(r.messages),
+                    r.avg_packet_latency_us, r.p99_packet_latency_us,
+                    r.throughput_bytes_per_sec, r.offered_bytes_per_sec);
+      out += row;
+    }
+  }
+  return out;
+}
+
+TEST(SweepDeterminism, FourThreadSweepMatchesSerialBitForBit) {
+  const auto run_with = [](const char* threads) {
+    EXPECT_EQ(::setenv("DQOS_SWEEP_THREADS", threads, 1), 0);
+    const SimConfig base = smoke_config();
+    const std::vector<SwitchArch> archs = {SwitchArch::kSimple2Vc,
+                                           SwitchArch::kAdvanced2Vc};
+    const std::vector<double> loads = {0.2, 0.4};
+    const std::vector<SweepPoint> points = run_sweep(base, archs, loads);
+    EXPECT_EQ(::unsetenv("DQOS_SWEEP_THREADS"), 0);
+    return fingerprint(points);
+  };
+  const std::string serial = run_with("1");
+  const std::string parallel4 = run_with("4");
+  const std::string parallel4_again = run_with("4");
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel4)
+      << "4-thread sweep diverged from the serial reference";
+  EXPECT_EQ(parallel4, parallel4_again) << "4-thread sweep is not replayable";
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,10 @@
+// Fixture: linted as src/core/companion.cpp with companion.hpp as the
+// paired header — the container is declared over there, so this file
+// alone looks clean; only the pairing makes line 8 a finding.
+#include "companion.hpp"
+
+int Registry::total() const {
+  int sum = 0;
+  for (const auto& [id, v] : table_) sum += v;  // line 8
+  return sum;
+}

@@ -1,0 +1,16 @@
+// Fixture: linted as src/core/companion.hpp — declares the
+// FlowId-keyed member that companion.cpp iterates; the pairing logic must
+// carry `table_` into the .cpp's flagged set.
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+
+using FlowId = std::uint32_t;
+
+class Registry {
+ public:
+  int total() const;
+
+ private:
+  std::unordered_map<FlowId, int> table_;
+};

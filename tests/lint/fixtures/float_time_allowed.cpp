@@ -1,0 +1,9 @@
+// Fixture: linted as src/core/clock_math_ok.cpp — a statistics
+// accumulator legitimately sums time-valued doubles (already converted
+// out of the simulation clock), suppressed with a rationale.
+int summarize(double sample_us) {
+  double total_latency_time = 0.0;
+  // dqos-lint: allow(float-time-accum) — post-run statistics, not the clock
+  total_latency_time += sample_us;
+  return total_latency_time > 0.0;
+}

@@ -1,0 +1,11 @@
+// Fixture: linted as src/core/clock_math.cpp — accumulating simulation
+// time in floating point drifts; time must stay integer picoseconds.
+int advance(double dt) {
+  double sim_time_s = 0.0;
+  double elapsed = 0.0;
+  sim_time_s += dt;                // line 6
+  elapsed = elapsed + dt;          // line 7
+  double ratio = 0.0;
+  ratio += dt;  // not time-named: must NOT be flagged
+  return sim_time_s > 0.0 && elapsed > 0.0 && ratio > 0.0;
+}

@@ -1,0 +1,6 @@
+// Fixture for header_compiles(): uses std::vector without including
+// <vector> — compiles only when some earlier include dragged it in, so
+// the standalone check must fail it.
+#pragma once
+
+inline std::vector<int> make_row() { return {1, 2, 3}; }

@@ -1,0 +1,10 @@
+// Fixture for header_compiles(): includes everything it uses.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+inline std::uint64_t checksum(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint64_t x : xs) h = (h ^ x) * 1099511628211ULL;
+  return h;
+}

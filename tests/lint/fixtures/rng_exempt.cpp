@@ -1,0 +1,9 @@
+// Fixture: linted as src/util/rng_seed.cpp — the one place allowed to
+// touch <random> and hardware entropy. The test asserts zero findings.
+#include <random>
+
+unsigned hardware_seed() {
+  std::random_device dev;
+  std::mt19937_64 gen(dev());
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,10 @@
+// Mini-tree fixture: benchmark wall-clock use under a file suppression —
+// the walk must report nothing for this file.
+// dqos-lint: allow-file(no-wallclock)
+#include <chrono>
+
+double tick() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,2 @@
+// Mini-tree fixture for the lint_tree walk test: one wall-clock call.
+int jitter() { return rand(); }  // line 2

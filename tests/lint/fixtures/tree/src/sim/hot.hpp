@@ -1,0 +1,7 @@
+// Mini-tree fixture: type erasure in a hot-path dir, found by the walk.
+#pragma once
+#include <functional>  // line 3
+
+struct Hot {
+  std::function<void()> cb;  // line 6
+};

@@ -1,0 +1,10 @@
+// Fixture: linted as src/sim/hot_callbacks.hpp — type erasure and shared
+// ownership on the hot path. Each banned construct is one finding.
+#pragma once
+#include <functional>  // line 4: banned include in hot-path dirs
+#include <memory>
+
+struct HotPath {
+  std::function<void(int)> on_fire;  // line 8
+  std::shared_ptr<int> refcounted;   // line 9
+};

@@ -1,0 +1,18 @@
+// Fixture: linted as src/core/flow_state_ok.cpp — order-independent
+// harvests over the same containers, suppressed with a rationale. The
+// test asserts zero findings. An int-keyed map is fine without any
+// suppression: iteration order can't leak through a commutative sum.
+#include <cstdint>
+#include <unordered_map>
+
+using FlowId = std::uint32_t;
+
+int walk_flows_allowed() {
+  std::unordered_map<FlowId, int> flows;
+  std::unordered_map<int, int> histogram;
+  int sum = 0;
+  // dqos-lint: allow(unordered-iteration) — commutative sum, order-free
+  for (const auto& [id, v] : flows) sum += v;
+  for (const auto& [bucket, n] : histogram) sum += n;
+  return sum;
+}

@@ -1,0 +1,19 @@
+// Fixture: linted as src/core/flow_state.cpp — iteration over containers
+// whose order depends on the hash layout (FlowId keys, pointer keys).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+using FlowId = std::uint32_t;
+struct Flow {};
+
+int walk_flows() {
+  std::unordered_map<FlowId, int> flows;
+  std::unordered_set<Flow*> live;
+  int sum = 0;
+  for (const auto& [id, v] : flows) sum += v;  // line 14: range-for
+  for (Flow* f : live) sum += f != nullptr;    // line 15: pointer-keyed
+  auto it = flows.begin();                     // line 16: explicit begin()
+  (void)it;
+  return sum;
+}

@@ -1,0 +1,11 @@
+// Fixture: linted as bench/wall_timer.cpp — a benchmark that measures
+// wall time on purpose; the file-wide suppression must silence every
+// no-wallclock finding below.
+// dqos-lint: allow-file(no-wallclock)
+#include <chrono>
+
+double bench_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

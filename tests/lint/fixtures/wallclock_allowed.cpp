@@ -1,0 +1,12 @@
+// Fixture: linted as src/core/clockish_ok.cpp — the same wall-clock
+// idioms as wallclock_bad.cpp, each silenced by a line suppression. The
+// test asserts zero findings.
+#include <chrono>  // dqos-lint: allow(no-wallclock)
+
+int wall_seed_allowed() {
+  // dqos-lint: allow(no-wallclock) — next-line form
+  const auto t = std::chrono::steady_clock::now();
+  int noise = rand();  // dqos-lint: allow(no-wallclock)
+  (void)t;
+  return noise;
+}

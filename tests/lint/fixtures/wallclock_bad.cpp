@@ -1,0 +1,11 @@
+// Fixture: linted as src/core/clockish.cpp — every wall-clock idiom the
+// rule must catch. Never compiled; tests/lint/test_lint.cpp feeds it to
+// lint_source() and asserts on the findings.
+#include <chrono>  // line 4: banned header
+
+int wall_seed() {
+  const auto t = std::chrono::steady_clock::now();  // line 7: banned ident
+  int noise = rand();                               // line 8: banned call
+  (void)t;
+  return noise;
+}

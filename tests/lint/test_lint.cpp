@@ -1,0 +1,268 @@
+/// \file test_lint.cpp
+/// dqos_lint's own test coverage (DESIGN.md §9): every rule has a
+/// positive fixture with a deliberate violation and a suppressed-negative
+/// fixture that must lint clean. Fixtures live under
+/// tests/lint/fixtures/; each states the repo-relative path it pretends
+/// to live at, because rule scoping keys off the path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+#include "lint/rules.hpp"
+
+namespace dqos::lintkit {
+namespace {
+
+std::string slurp(const std::string& rel) {
+  const std::string path = std::string(DQOS_LINT_FIXTURE_DIR) + "/" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const Finding& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return static_cast<int>(static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; })));
+}
+
+// ---------------------------------------------------------------- lexer
+
+TEST(LintLexer, StripsCommentsAndLiteralsButKeepsLines) {
+  const LexedFile lx = lex(
+      "int a; // rand() inside a comment\n"
+      "const char* s = \"std::chrono::steady_clock\";\n"
+      "/* time() in a block\n   comment */ int b;\n");
+  for (const Token& t : lx.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "steady_clock");
+  }
+  // `int b;` sits on line 4, after the multi-line comment.
+  const auto b = std::find_if(lx.tokens.begin(), lx.tokens.end(),
+                              [](const Token& t) { return t.text == "b"; });
+  ASSERT_NE(b, lx.tokens.end());
+  EXPECT_EQ(b->line, 4);
+}
+
+TEST(LintLexer, RawStringsAndIncludesLexAsOpaqueTokens) {
+  const LexedFile lx = lex(
+      "#include <unordered_map>\n"
+      "auto s = R\"(for (auto& x : rand_map))\";\n");
+  ASSERT_FALSE(lx.tokens.empty());
+  const auto hdr =
+      std::find_if(lx.tokens.begin(), lx.tokens.end(), [](const Token& t) {
+        return t.kind == Token::Kind::kHeaderName;
+      });
+  ASSERT_NE(hdr, lx.tokens.end());
+  EXPECT_EQ(hdr->text, "unordered_map");
+  for (const Token& t : lx.tokens) EXPECT_NE(t.text, "rand_map");
+}
+
+TEST(LintLexer, AllowMarkerCoversSameAndNextLineOnly) {
+  const LexedFile lx = lex(
+      "// dqos-lint: allow(no-wallclock)\n"
+      "int a;\n"
+      "int b;\n");
+  EXPECT_TRUE(lx.allowed("no-wallclock", 1));
+  EXPECT_TRUE(lx.allowed("no-wallclock", 2));
+  EXPECT_FALSE(lx.allowed("no-wallclock", 3));
+  EXPECT_FALSE(lx.allowed("unordered-iteration", 1));
+}
+
+TEST(LintLexer, AllowFileMarkerCoversEveryLine) {
+  const LexedFile lx = lex(
+      "int a;\n"
+      "// dqos-lint: allow-file(no-wallclock)\n"
+      "int b;\n");
+  EXPECT_TRUE(lx.allowed("no-wallclock", 1));
+  EXPECT_TRUE(lx.allowed("no-wallclock", 999));
+}
+
+// ------------------------------------------------------- rule: wallclock
+
+TEST(LintRules, WallclockFixtureFlagsHeaderIdentAndCall) {
+  const auto fs = lint_source("src/core/clockish.cpp", slurp("wallclock_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "no-wallclock"), 3) << testing::PrintToString(rules_of(fs));
+  std::set<int> lines;
+  for (const Finding& f : fs) lines.insert(f.line);
+  EXPECT_EQ(lines, (std::set<int>{4, 7, 8}));
+}
+
+TEST(LintRules, WallclockSuppressionsSilenceEveryForm) {
+  const auto fs =
+      lint_source("src/core/clockish_ok.cpp", slurp("wallclock_allowed.cpp"));
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, WallclockAllowFileSilencesWholeBenchmark) {
+  const auto fs =
+      lint_source("bench/wall_timer.cpp", slurp("wallclock_allow_file.cpp"));
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, RngUtilIsExemptFromWallclock) {
+  const auto fs = lint_source("src/util/rng_seed.cpp", slurp("rng_exempt.cpp"));
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, MemberCallNamedTimeIsNotAWallclockCall) {
+  // sim.time() / clock.rand() are project methods, not libc.
+  const auto fs = lint_source("src/core/x.cpp",
+                              "int f(S& sim) { return sim.time() + sim->clock(); }\n");
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+// --------------------------------------------- rule: unordered-iteration
+
+TEST(LintRules, UnorderedFixtureFlagsRangeForPointerSetAndBegin) {
+  const auto fs =
+      lint_source("src/core/flow_state.cpp", slurp("unordered_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "unordered-iteration"), 3)
+      << testing::PrintToString(rules_of(fs));
+  std::set<int> lines;
+  for (const Finding& f : fs) lines.insert(f.line);
+  EXPECT_EQ(lines, (std::set<int>{14, 15, 16}));
+}
+
+TEST(LintRules, UnorderedSuppressionAndIntKeysLintClean) {
+  const auto fs = lint_source("src/core/flow_state_ok.cpp",
+                              slurp("unordered_allowed.cpp"));
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, CompanionHeaderContainersCarryIntoTheCpp) {
+  const std::string hpp = slurp("companion.hpp");
+  const std::string cpp = slurp("companion.cpp");
+  // Alone, the .cpp has no container declaration in sight — clean.
+  EXPECT_TRUE(lint_source("src/core/companion.cpp", cpp).empty());
+  // Paired with its header, the iteration over table_ is a finding.
+  const auto fs = lint_source("src/core/companion.cpp", cpp, hpp);
+  ASSERT_EQ(fs.size(), 1u) << testing::PrintToString(rules_of(fs));
+  EXPECT_EQ(fs[0].rule, "unordered-iteration");
+  EXPECT_EQ(fs[0].line, 8);
+}
+
+TEST(LintRules, UnorderedIterationOutsideSrcIsNotSimState) {
+  const auto fs =
+      lint_source("tools/some_tool.cpp", slurp("unordered_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "unordered-iteration"), 0)
+      << testing::PrintToString(rules_of(fs));
+}
+
+// ------------------------------------------- rule: hot-path-type-erasure
+
+TEST(LintRules, TypeErasureFixtureFlagsIncludeFunctionAndSharedPtr) {
+  const auto fs = lint_source("src/sim/hot_callbacks.hpp",
+                              slurp("type_erasure_bad.hpp"));
+  EXPECT_EQ(count_rule(fs, "hot-path-type-erasure"), 3)
+      << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, TypeErasureIsAllowedOffTheHotPath) {
+  const auto fs = lint_source("src/core/cold_callbacks.hpp",
+                              slurp("type_erasure_bad.hpp"));
+  EXPECT_EQ(count_rule(fs, "hot-path-type-erasure"), 0)
+      << testing::PrintToString(rules_of(fs));
+}
+
+// ----------------------------------------------- rule: float-time-accum
+
+TEST(LintRules, FloatTimeFixtureFlagsBothAccumulationForms) {
+  const auto fs =
+      lint_source("src/core/clock_math.cpp", slurp("float_time_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "float-time-accum"), 2)
+      << testing::PrintToString(rules_of(fs));
+  std::set<int> lines;
+  for (const Finding& f : fs) lines.insert(f.line);
+  EXPECT_EQ(lines, (std::set<int>{6, 7}));
+}
+
+TEST(LintRules, FloatTimeSuppressionLintsClean) {
+  const auto fs = lint_source("src/core/clock_math_ok.cpp",
+                              slurp("float_time_allowed.cpp"));
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+// --------------------------------------------------- tree walk + headers
+
+TEST(LintDriver, TreeWalkFindsViolationsAndHonorsFileSuppression) {
+  Options opt;
+  opt.root = std::string(DQOS_LINT_FIXTURE_DIR) + "/tree";
+  const auto fs = lint_tree(opt);
+  ASSERT_EQ(fs.size(), 3u) << testing::PrintToString(rules_of(fs));
+  // Sorted by (file, line, rule): bench/timer.cpp contributes nothing.
+  EXPECT_EQ(fs[0].file, "src/core/clocky.cpp");
+  EXPECT_EQ(fs[0].rule, "no-wallclock");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[1].file, "src/sim/hot.hpp");
+  EXPECT_EQ(count_rule(fs, "hot-path-type-erasure"), 2);
+}
+
+TEST(LintDriver, HeaderStandaloneCheckSeparatesGoodFromBad) {
+  Options opt;
+  opt.root = std::string(DQOS_LINT_FIXTURE_DIR) + "/headers";
+  opt.include_dirs = {};
+  const std::string base = std::string(DQOS_LINT_FIXTURE_DIR) + "/headers/";
+  EXPECT_TRUE(header_compiles(base + "self_sufficient.hpp", opt));
+  EXPECT_FALSE(header_compiles(base + "leans_on_neighbor.hpp", opt));
+}
+
+// ------------------------------------------------------------- baseline
+
+TEST(LintBaseline, RoundTripsAndGatesOnlyNewFindings) {
+  const std::vector<Finding> old = {
+      {"src/a.cpp", 3, "no-wallclock", "m"},
+      {"src/a.cpp", 9, "no-wallclock", "m"},
+      {"src/b.cpp", 1, "float-time-accum", "m"},
+  };
+  const std::string text = format_baseline(old);
+  // Parse what format_baseline wrote, via a temp file.
+  const std::string path = ::testing::TempDir() + "dqos_lint_baseline_test.txt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  const std::map<BaselineKey, int> base = load_baseline(path);
+  ASSERT_EQ(base.size(), 2u);
+  EXPECT_EQ(base.at({"src/a.cpp", "no-wallclock"}), 2);
+  EXPECT_EQ(base.at({"src/b.cpp", "float-time-accum"}), 1);
+
+  // Same debt -> nothing new; one extra finding in a.cpp -> exactly the
+  // overflow is reported; a fresh (file, rule) pair is always new.
+  EXPECT_TRUE(new_findings(old, base).empty());
+  std::vector<Finding> grown = old;
+  grown.push_back({"src/a.cpp", 20, "no-wallclock", "m"});
+  grown.push_back({"src/c.cpp", 2, "unordered-iteration", "m"});
+  const auto fresh = new_findings(grown, base);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].file, "src/a.cpp");
+  EXPECT_EQ(fresh[1].file, "src/c.cpp");
+}
+
+TEST(LintBaseline, MissingBaselineFileMeansZeroAllowance) {
+  const std::map<BaselineKey, int> base =
+      load_baseline("/nonexistent/dqos/baseline.txt");
+  EXPECT_TRUE(base.empty());
+  const std::vector<Finding> fs = {{"src/a.cpp", 1, "no-wallclock", "m"}};
+  EXPECT_EQ(new_findings(fs, base).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dqos::lintkit

@@ -90,7 +90,7 @@ TEST_F(ChannelTest, CreditReturnTakesWireLatency) {
 
 TEST_F(ChannelTest, OnCreditCallbackFires) {
   int calls = 0;
-  ch_.set_on_credit([&] { ++calls; });
+  ch_.set_on_credit({[](void* c) { ++*static_cast<int*>(c); }, &calls});
   ch_.consume_credits(0, 10);
   ch_.return_credits(0, 10);
   sim_.run();
@@ -148,7 +148,7 @@ TEST_F(ChannelTest, CreditConservationUnderRandomTraffic) {
 
 TEST_F(ChannelTest, ZeroCreditStallResumesOnReturn) {
   int kicks = 0;
-  ch_.set_on_credit([&] { ++kicks; });
+  ch_.set_on_credit({[](void* c) { ++*static_cast<int*>(c); }, &kicks});
   ch_.consume_credits(0, 8192);  // drain VC0 to zero — sender must stall
   EXPECT_FALSE(ch_.has_credits(0, 1));
   EXPECT_EQ(kicks, 0);
@@ -172,7 +172,7 @@ TEST_F(ChannelTest, SendWhileDownDropsAndCounts) {
 
 TEST_F(ChannelTest, RepairResumesDeliveryAndKicksSender) {
   int kicks = 0;
-  ch_.set_on_credit([&] { ++kicks; });
+  ch_.set_on_credit({[](void* c) { ++*static_cast<int*>(c); }, &kicks});
   ch_.fail(/*permanent=*/false);
   ch_.send(pkt(1000, 1));  // lost
   ch_.repair();
@@ -213,7 +213,8 @@ TEST_F(ChannelTest, CreditResyncRestoresLostCredits) {
 TEST_F(ChannelTest, CreditResyncRespectsOutstandingBytes) {
   // 2000 B legitimately outstanding downstream (occupancy probe reports it),
   // plus 1000 B genuinely lost: resync must restore only the 1000.
-  ch_.set_occupancy_probe([](VcId) -> std::uint64_t { return 2000; });
+  ch_.set_occupancy_probe(
+      {[](void*, VcId) -> std::uint64_t { return 2000; }, nullptr});
   ch_.consume_credits(0, 2000);
   ch_.lose_credits(0, 1000);
   ch_.enable_credit_resync(10_us, TimePoint::from_ps(Duration::milliseconds(1).ps()));
@@ -225,7 +226,8 @@ TEST_F(ChannelTest, CreditResyncRespectsOutstandingBytes) {
 TEST_F(ChannelTest, CreditResyncNeverConfiscates) {
   // Occupancy says more is downstream than the counter implies (e.g. a stale
   // probe): resync only restores, it never lowers the counter.
-  ch_.set_occupancy_probe([](VcId) -> std::uint64_t { return 4000; });
+  ch_.set_occupancy_probe(
+      {[](void*, VcId) -> std::uint64_t { return 4000; }, nullptr});
   ch_.enable_credit_resync(10_us, TimePoint::from_ps(Duration::milliseconds(1).ps()));
   sim_.run();
   EXPECT_EQ(ch_.credits(0), 8192);

@@ -1,0 +1,196 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace dqos::lintkit {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses `dqos-lint: allow(...)` / `allow-file(...)` markers out of one
+/// comment's text and records them against `line`.
+void scan_comment(const std::string& text, int line, LexedFile& out) {
+  const std::string tag = "dqos-lint:";
+  std::size_t pos = text.find(tag);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + tag.size();
+    while (p < text.size() && text[p] == ' ') ++p;
+    bool file_scope = false;
+    if (text.compare(p, 11, "allow-file(") == 0) {
+      file_scope = true;
+      p += 11;
+    } else if (text.compare(p, 6, "allow(") == 0) {
+      p += 6;
+    } else {
+      pos = text.find(tag, p);
+      continue;
+    }
+    const std::size_t close = text.find(')', p);
+    if (close == std::string::npos) break;
+    // Split the comma-separated rule ids.
+    std::string id;
+    for (std::size_t i = p; i <= close; ++i) {
+      const char c = text[i];
+      if (c == ',' || c == ')') {
+        if (!id.empty()) {
+          (file_scope ? out.file_allows : out.line_allows[line]).insert(id);
+        }
+        id.clear();
+      } else if (c != ' ') {
+        id += c;
+      }
+    }
+    pos = text.find(tag, close);
+  }
+}
+
+}  // namespace
+
+bool LexedFile::allowed(const std::string& rule, int line) const {
+  if (file_allows.count(rule) != 0 || file_allows.count("*") != 0) return true;
+  for (const int l : {line, line - 1}) {
+    const auto it = line_allows.find(l);
+    if (it != line_allows.end() &&
+        (it->second.count(rule) != 0 || it->second.count("*") != 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  // After `# include`, the next `<...>` or "..." is a header-name, not a
+  // comparison / string.
+  bool expect_header = false;
+
+  auto push = [&](Token::Kind k, std::string text) {
+    out.tokens.push_back(Token{k, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      expect_header = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Line continuation inside a directive.
+    if (c == '\\' && i + 1 < n && src[i + 1] == '\n') {
+      ++line;
+      i += 2;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = eol == std::string::npos ? n : eol;
+      scan_comment(src.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const std::size_t close = src.find("*/", i + 2);
+      const std::size_t end = close == std::string::npos ? n : close + 2;
+      scan_comment(src.substr(i, end - i), start_line, out);
+      for (std::size_t j = i; j < end; ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = end;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      std::string word = src.substr(i, j - i);
+      // Raw string literal: the prefix ends in R and a quote follows.
+      if (j < n && src[j] == '"' && (word == "R" || word == "u8R" ||
+                                     word == "uR" || word == "UR" || word == "LR")) {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && src[k] != '(') delim += src[k++];
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t close = src.find(closer, k);
+        const std::size_t end = close == std::string::npos ? n : close + closer.size();
+        push(Token::Kind::kString, "");
+        for (std::size_t q = i; q < end; ++q) {
+          if (src[q] == '\n') ++line;
+        }
+        i = end;
+        continue;
+      }
+      push(Token::Kind::kIdent, std::move(word));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (is_ident_char(src[j]) || src[j] == '.' || src[j] == '\'')) ++j;
+      push(Token::Kind::kNumber, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      if (expect_header && quote == '"') {
+        push(Token::Kind::kHeaderName, src.substr(i + 1, j - (i + 1)));
+        expect_header = false;
+      } else {
+        push(Token::Kind::kString, "");
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (c == '<' && expect_header) {
+      const std::size_t close = src.find('>', i + 1);
+      const std::size_t end = close == std::string::npos ? n : close;
+      push(Token::Kind::kHeaderName, src.substr(i + 1, end - (i + 1)));
+      expect_header = false;
+      i = close == std::string::npos ? n : close + 1;
+      continue;
+    }
+    // `# include` arms header-name lexing for the rest of the line.
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (src.compare(j, 7, "include") == 0) expect_header = true;
+      push(Token::Kind::kPunct, "#");
+      i = j;
+      continue;
+    }
+    // Two-char operators the rules care about; everything else is one char.
+    if (i + 1 < n) {
+      const std::string two = src.substr(i, 2);
+      if (two == "::" || two == "->" || two == "+=" || two == "-=") {
+        push(Token::Kind::kPunct, two);
+        i += 2;
+        continue;
+      }
+    }
+    push(Token::Kind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace dqos::lintkit

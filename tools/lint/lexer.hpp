@@ -1,0 +1,46 @@
+/// \file lexer.hpp
+/// A lightweight C++ tokenizer for dqos_lint (no LLVM dependency).
+///
+/// Produces just enough structure for the project's invariant rules:
+/// identifiers, single/double-char punctuation (`::`, `->`, `+=`, `-=` are
+/// merged), numbers, string/char literals (contents discarded — rule
+/// matching never fires inside literals), and `#include` header names.
+/// Comments are stripped, but scanned for suppression markers first:
+///
+///   // dqos-lint: allow(rule-a, rule-b)   — suppresses those rules on
+///                                           this line and the next
+///   // dqos-lint: allow-file(rule-a)      — suppresses for the whole file
+///
+/// Line numbers are 1-based and attached to every token so findings print
+/// as `file:line: [rule-id] message`.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dqos::lintkit {
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kNumber, kString, kHeaderName };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// line -> rule ids allowed on that line and the line after it.
+  std::map<int, std::set<std::string>> line_allows;
+  /// rule ids allowed anywhere in the file.
+  std::set<std::string> file_allows;
+
+  /// True if `rule` is suppressed at `line` (by a same-line marker, a
+  /// marker on the previous line, or a file-level marker).
+  [[nodiscard]] bool allowed(const std::string& rule, int line) const;
+};
+
+LexedFile lex(const std::string& src);
+
+}  // namespace dqos::lintkit

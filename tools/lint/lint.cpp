@@ -1,0 +1,153 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dqos::lintkit {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool has_ext(const fs::path& p, const char* ext) { return p.extension() == ext; }
+
+/// Directories that can appear under the scanned roots but hold generated
+/// artifacts, never project sources.
+bool skip_dir(const std::string& name) {
+  return name == "CMakeFiles" || name.rfind("build", 0) == 0 ||
+         name.rfind(".", 0) == 0;
+}
+
+void sort_findings(std::vector<Finding>& v) {
+  std::sort(v.begin(), v.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& rel_path,
+                                 const std::string& content,
+                                 const std::string& companion_content) {
+  std::set<std::string> companions;
+  if (!companion_content.empty()) {
+    companions = nondeterministic_containers(lex(companion_content));
+  }
+  std::vector<Finding> out;
+  run_rules(rel_path, lex(content), companions, out);
+  sort_findings(out);
+  return out;
+}
+
+bool header_compiles(const std::string& abs_path, const Options& opt) {
+  std::string cmd = opt.compiler + " " + opt.std_flag + " -fsyntax-only -x c++";
+  std::vector<std::string> incs = opt.include_dirs;
+  if (incs.empty()) incs = {"src", "tools"};
+  for (const std::string& inc : incs) {
+    cmd += " -I \"" + (fs::path(opt.root) / inc).string() + "\"";
+  }
+  cmd += " \"" + abs_path + "\" > /dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+std::vector<Finding> lint_tree(const Options& opt) {
+  std::vector<std::string> roots = opt.paths;
+  if (roots.empty()) roots = {"src", "tools", "bench"};
+
+  std::vector<fs::path> files;
+  for (const std::string& r : roots) {
+    const fs::path base = fs::path(opt.root) / r;
+    if (!fs::exists(base)) continue;
+    if (fs::is_regular_file(base)) {
+      files.push_back(base);
+      continue;
+    }
+    fs::recursive_directory_iterator it(base), end;
+    for (; it != end; ++it) {
+      if (it->is_directory()) {
+        if (skip_dir(it->path().filename().string())) it.disable_recursion_pending();
+        continue;
+      }
+      if (has_ext(it->path(), ".hpp") || has_ext(it->path(), ".cpp")) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> out;
+  for (const fs::path& f : files) {
+    const std::string rel =
+        fs::relative(f, opt.root).generic_string();
+    std::string companion;
+    if (has_ext(f, ".cpp")) {
+      fs::path header = f;
+      header.replace_extension(".hpp");
+      if (fs::exists(header)) companion = slurp(header);
+    }
+    std::vector<Finding> fnd = lint_source(rel, slurp(f), companion);
+    out.insert(out.end(), fnd.begin(), fnd.end());
+    if (opt.check_headers && has_ext(f, ".hpp") &&
+        !header_compiles(fs::absolute(f).string(), opt)) {
+      out.push_back(Finding{rel, 1, "header-standalone",
+                            "header does not compile standalone (missing "
+                            "includes or forward declarations)"});
+    }
+  }
+  sort_findings(out);
+  return out;
+}
+
+std::map<BaselineKey, int> load_baseline(const std::string& path) {
+  std::map<BaselineKey, int> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string file, rule;
+    int count = 0;
+    if (ss >> file >> rule >> count) out[{file, rule}] += count;
+  }
+  return out;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::map<BaselineKey, int> counts;
+  for (const Finding& f : findings) ++counts[{f.file, f.rule}];
+  std::ostringstream ss;
+  ss << "# dqos_lint baseline: <file> <rule> <count>, sorted. Findings in\n"
+        "# excess of their baselined count fail the build; shrink this file\n"
+        "# as debt is paid down, never grow it.\n";
+  for (const auto& [key, count] : counts) {
+    ss << key.first << ' ' << key.second << ' ' << count << '\n';
+  }
+  return ss.str();
+}
+
+std::vector<Finding> new_findings(const std::vector<Finding>& all,
+                                  const std::map<BaselineKey, int>& baseline) {
+  std::map<BaselineKey, int> seen;
+  std::vector<Finding> out;
+  for (const Finding& f : all) {
+    const int allowance = [&] {
+      const auto it = baseline.find({f.file, f.rule});
+      return it == baseline.end() ? 0 : it->second;
+    }();
+    if (++seen[{f.file, f.rule}] > allowance) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace dqos::lintkit

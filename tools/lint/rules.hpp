@@ -1,0 +1,58 @@
+/// \file rules.hpp
+/// The project-invariant rules dqos_lint enforces (DESIGN.md §9).
+///
+///   rule id                | guards against
+///   -----------------------|------------------------------------------------
+///   no-wallclock           | wall-clock / libc randomness outside
+///                          | src/util/rng* (breaks replay determinism)
+///   unordered-iteration    | iterating unordered containers keyed by
+///                          | pointers or FlowId in simulation-state code
+///                          | (iteration order leaks into event order)
+///   hot-path-type-erasure  | std::function / shared_ptr re-entering the
+///                          | de-virtualized hot path (src/sim, src/switchfab)
+///   float-time-accum       | accumulating simulated time in floating point
+///                          | (drift can reorder deadlines; time is int ps)
+///   header-standalone      | headers that do not compile on their own
+///                          | (checked by the driver, not a token rule)
+///
+/// Every rule is suppressible via `// dqos-lint: allow(rule-id)` — see
+/// lexer.hpp for the marker grammar.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace dqos::lintkit {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// File-scope classification derived from the repo-relative path
+/// (forward-slash separated).
+struct FileScope {
+  bool rng_exempt = false;  ///< src/util/rng* — the sanctioned RNG home
+  bool hot_path = false;    ///< src/sim/, src/switchfab/
+  bool sim_state = false;   ///< anything under src/
+};
+[[nodiscard]] FileScope classify(const std::string& rel_path);
+
+/// Names of unordered_map/unordered_set variables declared in `lx` whose
+/// key type is a pointer or FlowId. Exposed so a .cpp can inherit the
+/// member declarations of its companion header.
+[[nodiscard]] std::set<std::string> nondeterministic_containers(const LexedFile& lx);
+
+/// Runs every token rule on one lexed file. `companion_containers` seeds
+/// the unordered-iteration rule with declarations from the matching
+/// header. Suppressed findings are dropped here.
+void run_rules(const std::string& rel_path, const LexedFile& lx,
+               const std::set<std::string>& companion_containers,
+               std::vector<Finding>& out);
+
+}  // namespace dqos::lintkit

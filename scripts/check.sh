@@ -72,6 +72,23 @@ if [[ " ${presets[*]} " == *" asan "* ]]; then
     echo "churn smoke: reserved bandwidth did not return to zero" >&2
     exit 1
   fi
+
+  # Overload-degradation smoke under ASAN: 1.2x-capacity phase plus a
+  # transient-fault phase with expiry, backoff retries, high-water load
+  # shedding and the invariant auditor at its tightest practical epoch
+  # (EXPERIMENTS.md O1). An AuditError exits nonzero and fails the check.
+  echo "=== [asan] overload scenario smoke ==="
+  overload_out=$(build-asan/tools/dqos_sim \
+      --scenario=configs/mesh16_overload.cfg --audit-epoch-us=100)
+  echo "$overload_out" | grep -E "overload:|backpressure:"
+  if ! grep -q "reserved 0.0 B/s after" <<<"$overload_out"; then
+    echo "overload smoke: reserved bandwidth did not return to zero" >&2
+    exit 1
+  fi
+  if grep -qE "backpressure:.* 0 audits passed" <<<"$overload_out"; then
+    echo "overload smoke: the invariant auditor never ran" >&2
+    exit 1
+  fi
 fi
 
 if [[ $run_perf_smoke -eq 1 ]]; then

@@ -45,6 +45,9 @@ std::string SimConfig::check() const {
   if (!(best_effort_weight > 0.0 && background_weight > 0.0)) {
     return "class weights must be positive";
   }
+  if (!(reservable_fraction > 0.0 && reservable_fraction <= 1.0)) {
+    return "reservable-fraction must be in (0, 1]";
+  }
   if (fault.link_down_per_sec < 0.0 || fault.credit_loss_per_sec < 0.0 ||
       fault.ttd_corrupt_per_sec < 0.0 || fault.clock_drift_per_sec < 0.0) {
     return "fault rates must be non-negative";
@@ -69,6 +72,21 @@ std::string SimConfig::check() const {
   }
   if (fault.watchdog_interval > Duration::zero() && fault.watchdog_rounds == 0) {
     return "watchdog-rounds must be positive";
+  }
+  if (fault.audit_epoch < Duration::zero()) {
+    return "audit-epoch-us must be non-negative (0 = off)";
+  }
+  if (expiry_abort_ratio < 0.0 || expiry_abort_ratio > 1.0) {
+    return "expiry-abort-ratio must be in [0, 1]";
+  }
+  if (expiry_abort_ratio > 0.0 && !expiry_drop) {
+    return "expiry-abort-ratio requires expiry-drop";
+  }
+  if (admit_retry_max > 0 && admit_retry_backoff <= Duration::zero()) {
+    return "admit-retry-backoff-us must be positive when retries are enabled";
+  }
+  if (shed_highwater < 0.0 || shed_highwater > 1.0) {
+    return "shed-highwater must be in [0, 1] (0 = off)";
   }
   return "";
 }

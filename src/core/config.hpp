@@ -83,6 +83,27 @@ struct SimConfig {
   // --- fault injection (all off by default: bit-identical baseline) ---
   FaultConfig fault;
 
+  // --- overload degradation (all off by default: bit-identical baseline) ---
+  /// End-host expiry & drop: a regulated packet whose deadline has already
+  /// passed when it reaches the NIC head is dropped at the source ("skip
+  /// it, already late") instead of hauling worthless bytes.
+  bool expiry_drop = false;
+  /// Retire a flow once its expired/submitted byte ratio exceeds this
+  /// (0 = never abort). Only consulted when expiry_drop is on and the flow
+  /// has submitted enough bytes for the ratio to be meaningful.
+  double expiry_abort_ratio = 0.0;
+  /// Admission backpressure: rejected or fault-shed churn flows re-try
+  /// admission up to this many times with exponential backoff (0 = rejected
+  /// flows are dropped on the floor, the legacy behaviour).
+  std::uint32_t admit_retry_max = 0;
+  /// Base backoff before the first retry; attempt k waits base << k, with
+  /// deterministic jitter from a dedicated split RNG stream.
+  Duration admit_retry_backoff = Duration::microseconds(100);
+  /// Load shedding: when total reserved bandwidth on any link exceeds this
+  /// fraction of its reservable budget, shed lowest-class flows first until
+  /// back under the mark (0 = shedding off).
+  double shed_highwater = 0.0;
+
   // --- run control ---
   std::uint64_t seed = 1;
   /// Periodic probe sampling of fabric occupancy and injection rate into

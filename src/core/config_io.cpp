@@ -202,6 +202,11 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
   if (args.has("video-rate-mbs")) {
     cfg.video.mean_bytes_per_sec = num_double(args, "video-rate-mbs", 3.0) * 1e6;
   }
+  if (args.has("frame-period-ms")) {
+    const double ms = num_double(args, "frame-period-ms", cfg.video.frame_period.ms());
+    if (ms <= 0.0) fail_key(args, "frame-period-ms", "period must be positive");
+    cfg.video.frame_period = Duration::from_seconds_double(ms / 1e3);
+  }
   cfg.video_frame_budget = Duration::from_seconds_double(
       num_double(args, "frame-budget-ms", cfg.video_frame_budget.ms()) / 1e3);
   cfg.video_eligible_time = !flag(args, "no-eligible", !cfg.video_eligible_time);
@@ -209,6 +214,8 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
       num_double(args, "eligible-lead-us", cfg.eligible_lead.us()) / 1e6);
   cfg.best_effort_weight = num_double(args, "be-weight", cfg.best_effort_weight);
   cfg.background_weight = num_double(args, "bg-weight", cfg.background_weight);
+  cfg.reservable_fraction =
+      num_double(args, "reservable-fraction", cfg.reservable_fraction);
   cfg.max_clock_skew = Duration::from_seconds_double(
       num_double(args, "skew-us", cfg.max_clock_skew.us()) / 1e6);
 
@@ -255,6 +262,18 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
   cfg.fault.watchdog_interval = Duration::from_seconds_double(
       num_double(args, "watchdog-ms", cfg.fault.watchdog_interval.ms()) / 1e3);
   cfg.fault.watchdog_rounds = u32("watchdog-rounds", cfg.fault.watchdog_rounds);
+  cfg.fault.audit_epoch = Duration::from_seconds_double(
+      num_double(args, "audit-epoch-us", cfg.fault.audit_epoch.us()) / 1e6);
+
+  // --- overload degradation -------------------------------------------------
+  cfg.expiry_drop = flag(args, "expiry-drop", cfg.expiry_drop);
+  cfg.expiry_abort_ratio =
+      num_double(args, "expiry-abort-ratio", cfg.expiry_abort_ratio);
+  cfg.admit_retry_max = u32("admit-retry-max", cfg.admit_retry_max);
+  cfg.admit_retry_backoff = Duration::from_seconds_double(
+      num_double(args, "admit-retry-backoff-us", cfg.admit_retry_backoff.us()) /
+      1e6);
+  cfg.shed_highwater = num_double(args, "shed-highwater", cfg.shed_highwater);
 
   const std::string problem = cfg.check();
   if (!problem.empty()) throw ConfigError("config error: " + problem);
@@ -269,15 +288,18 @@ constexpr std::array kKnownKeys = {
     "load", "seed", "vcs", "vc-weights", "buffer", "mtu", "link-gbps",
     "heap-op-ns", "link-latency-ns", "warmup-ms", "measure-ms", "drain-ms",
     "no-control", "no-video", "no-besteffort", "no-background", "video-trace",
-    "video-rate-mbs", "frame-budget-ms", "no-eligible", "eligible-lead-us",
-    "be-weight", "bg-weight", "skew-us", "pattern", "hotspot-fraction",
+    "video-rate-mbs", "frame-period-ms", "frame-budget-ms", "no-eligible",
+    "eligible-lead-us",
+    "be-weight", "bg-weight", "reservable-fraction", "skew-us", "pattern",
+    "hotspot-fraction",
     "hotspot-node", "fault-inject", "fault-seed", "fault-link-down-per-sec",
     "fault-link-outage-ms", "fault-permanent-fraction",
     "fault-credit-loss-per-sec", "fault-credit-loss-bytes",
     "fault-ttd-corrupt-per-sec", "fault-ttd-corrupt-max-us",
     "fault-clock-drift-per-sec", "fault-clock-drift-max-us", "credit-resync-us",
     "no-control-retry", "retry-timeout-us", "retry-max", "watchdog-ms",
-    "watchdog-rounds",
+    "watchdog-rounds", "audit-epoch-us", "expiry-drop", "expiry-abort-ratio",
+    "admit-retry-max", "admit-retry-backoff-us", "shed-highwater",
 };
 
 constexpr std::array kKnownPhaseSubkeys = {
@@ -377,17 +399,24 @@ std::string config_to_string(const SimConfig& cfg) {
     out << "video-trace=" << cfg.video_trace_path << "\n";
   }
   out << "video-rate-mbs=" << cfg.video.mean_bytes_per_sec / 1e6 << "\n";
+  if (cfg.video.frame_period != Duration::milliseconds(40)) {
+    out << "frame-period-ms=" << cfg.video.frame_period.ms() << "\n";
+  }
   out << "frame-budget-ms=" << cfg.video_frame_budget.ms() << "\n";
   if (!cfg.video_eligible_time) out << "no-eligible=true\n";
   out << "eligible-lead-us=" << cfg.eligible_lead.us() << "\n";
   out << "be-weight=" << cfg.best_effort_weight << "\n";
   out << "bg-weight=" << cfg.background_weight << "\n";
+  if (cfg.reservable_fraction != 1.0) {  // emission gated: legacy dump bytes
+    out << "reservable-fraction=" << cfg.reservable_fraction << "\n";
+  }
   out << "skew-us=" << cfg.max_clock_skew.us() << "\n";
   out << "pattern=" << to_string(cfg.pattern.kind) << "\n";
   out << "hotspot-fraction=" << cfg.pattern.hotspot_fraction << "\n";
   out << "hotspot-node=" << cfg.pattern.hotspot_node << "\n";
-  if (cfg.fault.enabled || cfg.fault.any_faults()) {
-    out << "fault-inject=true\n";
+  if (cfg.fault.enabled || cfg.fault.any_faults() ||
+      cfg.fault.audit_epoch > Duration::zero()) {
+    if (cfg.fault.enabled || cfg.fault.any_faults()) out << "fault-inject=true\n";
     out << "fault-seed=" << cfg.fault.seed << "\n";
     out << "fault-link-down-per-sec=" << cfg.fault.link_down_per_sec << "\n";
     out << "fault-link-outage-ms=" << cfg.fault.link_outage_mean.ms() << "\n";
@@ -404,6 +433,23 @@ std::string config_to_string(const SimConfig& cfg) {
     out << "retry-max=" << cfg.fault.max_retries << "\n";
     out << "watchdog-ms=" << cfg.fault.watchdog_interval.ms() << "\n";
     out << "watchdog-rounds=" << cfg.fault.watchdog_rounds << "\n";
+    if (cfg.fault.audit_epoch > Duration::zero()) {
+      out << "audit-epoch-us=" << cfg.fault.audit_epoch.us() << "\n";
+    }
+  }
+  // Degradation knobs print only when on, keeping legacy dump bytes intact.
+  if (cfg.expiry_drop) {
+    out << "expiry-drop=true\n";
+    if (cfg.expiry_abort_ratio > 0.0) {
+      out << "expiry-abort-ratio=" << cfg.expiry_abort_ratio << "\n";
+    }
+  }
+  if (cfg.admit_retry_max > 0) {
+    out << "admit-retry-max=" << cfg.admit_retry_max << "\n";
+    out << "admit-retry-backoff-us=" << cfg.admit_retry_backoff.us() << "\n";
+  }
+  if (cfg.shed_highwater > 0.0) {
+    out << "shed-highwater=" << cfg.shed_highwater << "\n";
   }
   return out.str();
 }

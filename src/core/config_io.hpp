@@ -15,13 +15,13 @@
 
 #include <initializer_list>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "core/config.hpp"
 #include "core/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 namespace dqos {
 
@@ -29,9 +29,9 @@ namespace dqos {
 /// names the offending key, the rejected value, and where it came from
 /// (config-file line or command line) — tools print it and exit instead of
 /// tripping a contract abort on user input.
-class ConfigError : public std::runtime_error {
+class ConfigError : public DqosError {
  public:
-  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+  explicit ConfigError(const std::string& what) : DqosError(what) {}
 };
 
 [[nodiscard]] std::optional<SwitchArch> parse_arch(const std::string& name);

@@ -39,12 +39,19 @@ NetworkSimulator::NetworkSimulator(const SimConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed), metrics_(std::make_shared<MetricsCollector>()) {
   cfg_.validate();
   fault_active_ = cfg_.fault.enabled || cfg_.fault.any_faults();
+  // Frame-aware degradation rides the expiry switch: when the NIC drops
+  // late packets, the video sources also withhold the next B frame.
+  cfg_.video.drop_late_b_frames = cfg_.expiry_drop;
   build_topology();
   injector_ = std::make_unique<FaultInjector>(sim_, *topo_, cfg_.fault);
   injector_->set_admission(admission_.get());
   if (fault_active_ && cfg_.fault.watchdog_interval > Duration::zero()) {
     watchdog_ = std::make_unique<DeadlockWatchdog>(
         sim_, cfg_.fault.watchdog_interval, cfg_.fault.watchdog_rounds);
+  }
+  if (cfg_.fault.audit_epoch > Duration::zero()) {
+    auditor_ = std::make_unique<InvariantAuditor>(sim_, pool_);
+    auditor_->set_admission(admission_.get());
   }
   build_nodes();
   build_channels();
@@ -107,6 +114,7 @@ void NetworkSimulator::build_nodes() {
          metrics_.get()});
     injector_->register_switch(switches_.back().get());
     if (watchdog_) watchdog_->register_switch(switches_.back().get());
+    if (auditor_) auditor_->register_switch(switches_.back().get());
   }
 
   HostParams hp;
@@ -114,6 +122,8 @@ void NetworkSimulator::build_nodes() {
   hp.mtu_bytes = cfg_.mtu_bytes;
   hp.edf_queues = cfg_.arch != SwitchArch::kTraditional2Vc;
   hp.vc_weights = cfg_.vc_weights;
+  hp.expiry_drop = cfg_.expiry_drop;
+  hp.expiry_abort_ratio = cfg_.expiry_abort_ratio;
   hosts_.reserve(topo_->num_hosts());
   // Warm the packet pool to the expected steady-state working set (a few
   // packets in flight per host plus NIC backlog) so the measured phase never
@@ -142,8 +152,17 @@ void NetworkSimulator::build_nodes() {
       hosts_.back()->enable_control_retry(
           Host::RetryParams{cfg_.fault.retry_timeout, cfg_.fault.max_retries});
     }
+    if (cfg_.expiry_drop) {
+      hosts_.back()->set_expired_callback(
+          [m = metrics_.get()](const Packet& p, TimePoint /*now*/) {
+            m->on_packet_expired(p);
+          });
+      hosts_.back()->set_flow_aborted_callback(
+          [this](FlowId id) { on_flow_aborted(id); });
+    }
     injector_->register_host(hosts_.back().get());
     if (watchdog_) watchdog_->register_host(hosts_.back().get());
+    if (auditor_) auditor_->register_host(hosts_.back().get());
   }
 }
 
@@ -158,6 +177,7 @@ void NetworkSimulator::build_channels() {
           cfg_.buffer_bytes_per_vc));
       Channel* ch = channels_.back().get();
       injector_->register_channel(Endpoint{n, p}, ch);
+      if (auditor_) auditor_->register_channel(Endpoint{n, p}, ch);
       channel_tier_.push_back(topo_->is_host(n)
                                   ? LinkTier::kInjection
                                   : (topo_->is_host(peer.node) ? LinkTier::kDelivery
@@ -389,6 +409,9 @@ void NetworkSimulator::arm_run_services(TimePoint horizon) {
     injector_->start(horizon);
     if (watchdog_) watchdog_->arm(horizon);
   }
+  // The auditor opts in independently of fault injection: a clean overload
+  // run still wants its conservation laws checked at every epoch.
+  if (auditor_) auditor_->arm(cfg_.fault.audit_epoch, horizon);
 
   if (cfg_.probe_interval > Duration::zero()) {
     const TimePoint probe_end = horizon;
@@ -461,6 +484,18 @@ SimReport NetworkSimulator::collect_report(TimePoint t0) {
   }
   rep.queue_depth = queue_depth_series_;
   rep.injected_bytes = injection_series_;
+
+  for (const auto& h : hosts_) {
+    rep.degradation.expired_packets += h->expired_packets();
+    rep.degradation.expired_bytes += h->expired_bytes();
+    rep.degradation.flows_aborted += h->flows_aborted();
+  }
+  rep.degradation.frames_dropped = total_frames_dropped();
+  rep.degradation.messages_refused = total_messages_refused();
+  if (auditor_) {
+    auditor_->audit_now("collect_report");
+    rep.degradation.audits_passed = auditor_->audits_passed();
+  }
 
   // Per-tier link utilization over the whole run.
   const double elapsed_sec = (sim_.now() - t0).sec();
@@ -548,6 +583,40 @@ std::uint64_t NetworkSimulator::close_remaining_churn_flows() {
   std::sort(ids.begin(), ids.end());
   for (const FlowId id : ids) close_video_flow(id);
   return ids.size();
+}
+
+void NetworkSimulator::retire_shed_flow(FlowId id, NodeId src) {
+  if (churn_sources_.count(id) > 0) {
+    close_video_flow(id);  // reservation already gone: release is guarded
+    return;
+  }
+  DQOS_EXPECTS(src < hosts_.size());
+  hosts_[src]->close_flow(id);
+  if (admission_->has_flow(id)) admission_->release(id);
+}
+
+void NetworkSimulator::on_flow_aborted(FlowId id) {
+  // The host has already closed the flow and purged its queues; free its
+  // reservation so the bandwidth helps flows still meeting deadlines.
+  if (churn_sources_.count(id) > 0) {
+    close_video_flow(id);  // stops the source, releases, retires
+    return;
+  }
+  if (admission_->has_flow(id)) admission_->release(id);
+  // Static sources keep producing into the closed flow; every refused
+  // submission is counted (shed_submissions) as degradation.
+}
+
+std::uint64_t NetworkSimulator::total_frames_dropped() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : sources_) sum += s->frames_dropped();
+  return sum;
+}
+
+std::uint64_t NetworkSimulator::total_messages_refused() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : sources_) sum += s->messages_refused();
+  return sum;
 }
 
 std::uint64_t NetworkSimulator::total_order_errors() const {

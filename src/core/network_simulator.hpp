@@ -27,6 +27,7 @@
 
 #include "core/config.hpp"
 #include "core/scenario.hpp"
+#include "fault/auditor.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
 #include "host/host.hpp"
@@ -96,6 +97,22 @@ struct SimReport {
   };
   FaultReport fault;
 
+  /// Overload-degradation outcome (all-zero unless expiry/backoff/auditing
+  /// was configured — the features schedule nothing when off).
+  struct DegradationReport {
+    std::uint64_t expired_packets = 0;   ///< dropped already-late at the NIC
+    std::uint64_t expired_bytes = 0;
+    std::uint64_t flows_aborted = 0;     ///< expiry ratio over the threshold
+    std::uint64_t frames_dropped = 0;    ///< late B frames withheld at source
+    std::uint64_t messages_refused = 0;  ///< NIC refused (cap/policer/shed)
+    std::uint64_t admit_retries = 0;         ///< backoff re-admission attempts
+    std::uint64_t admit_retries_exhausted = 0;  ///< gave up after max retries
+    std::uint64_t flows_readmitted = 0;  ///< retries that eventually succeeded
+    std::uint64_t flows_shed_highwater = 0;  ///< load-shed at the high-water mark
+    std::uint64_t audits_passed = 0;     ///< invariant audits that held
+  };
+  DegradationReport degradation;
+
   [[nodiscard]] const ClassReport& of(TrafficClass c) const {
     return classes[static_cast<std::size_t>(c)];
   }
@@ -152,6 +169,12 @@ class NetworkSimulator {
   /// Teardown sweep: close_video_flow() on every churn flow still open,
   /// in flow-id order. Returns how many were closed.
   std::uint64_t close_remaining_churn_flows();
+  /// Retires a flow shed by the high-water load shedder (the shedder has
+  /// already erased its reservation): churn flows fully depart — source
+  /// stopped, host flow retired — while static flows merely close at the
+  /// host (their sources keep producing; every refused submission is
+  /// counted as shed degradation).
+  void retire_shed_flow(FlowId id, NodeId src);
 
   // --- component access for tests, examples and custom experiments ---
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -175,6 +198,17 @@ class NetworkSimulator {
   [[nodiscard]] FaultInjector& fault_injector() { return *injector_; }
   /// Null unless the fault machinery is armed with a watchdog interval.
   [[nodiscard]] DeadlockWatchdog* watchdog() { return watchdog_.get(); }
+  /// Null unless FaultConfig::audit_epoch > 0.
+  [[nodiscard]] InvariantAuditor* auditor() { return auditor_.get(); }
+  /// The packet pool (auditor tests plant custody leaks through this).
+  [[nodiscard]] PacketPool& packet_pool() { return pool_; }
+  /// Channels in construction order (auditor tests plant credit corruption
+  /// through Channel::debug_corrupt_credits()).
+  [[nodiscard]] Channel& channel(std::size_t i) { return *channels_.at(i); }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+  /// Sum of frames_dropped / messages_refused over every source.
+  [[nodiscard]] std::uint64_t total_frames_dropped() const;
+  [[nodiscard]] std::uint64_t total_messages_refused() const;
 
   /// Sum of order errors / take-overs / credit stalls over all switches.
   [[nodiscard]] std::uint64_t total_order_errors() const;
@@ -192,6 +226,9 @@ class NetworkSimulator {
   /// Points active_pattern_ at (a pattern equal to) `params`, instantiating
   /// a new one only when it differs from the current pattern.
   void activate_pattern(const PatternParams& params);
+  /// Host reported a flow aborted by the expiry-ratio threshold: release
+  /// its reservation and silence its source (churn flows fully depart).
+  void on_flow_aborted(FlowId id);
 
   SimConfig cfg_;
   Rng rng_;
@@ -217,6 +254,7 @@ class NetworkSimulator {
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<DeadlockWatchdog> watchdog_;
+  std::unique_ptr<InvariantAuditor> auditor_;
   std::unordered_map<FlowId, NodeId> flow_src_;  ///< ack routing (retries)
   /// Churn-created flows still open, keyed to their sources (owned by
   /// sources_; pointers stay valid because sources_ only grows mid-run).

@@ -11,7 +11,8 @@ namespace dqos {
 RunController::RunController(NetworkSimulator& net, Scenario scenario)
     : net_(net),
       scn_(std::move(scenario)),
-      churn_rng_(Rng(net.config().seed).split(0x5ce7a810)) {
+      churn_rng_(Rng(net.config().seed).split(0x5ce7a810)),
+      backoff_rng_(Rng(net.config().seed).split(0xbacc0ff5)) {
   const std::string problem = scn_.check(net_.config());
   if (!problem.empty()) throw RunError("scenario error: " + problem);
 }
@@ -73,11 +74,27 @@ ScenarioReport RunController::run() {
   rejected_.assign(scn_.phases.size(), 0);
   departed_.assign(scn_.phases.size(), 0);
   arm_churn();
+  if (cfg.admit_retry_max > 0) {
+    // Flows the fault path sheds (no surviving feasible route) re-enter
+    // through the same backoff queue as rejected churn arrivals.
+    net_.fault_injector().set_flow_displaced(
+        [this](const AdmissionController::Reroute& r) {
+          if (r.rerouted) return;  // moved, not shed: nothing to re-admit
+          schedule_retry(r.src, backoff_rng_.split(0xd15b00d5 + retry_seq_),
+                         1);
+        });
+  }
 
   sim.run_until(horizon);
 
   ScenarioReport out;
   out.total = net_.collect_report(t0_);
+  // The facade filled the host/source-derived degradation fields; the
+  // backpressure counters live here.
+  out.total.degradation.admit_retries = retries_;
+  out.total.degradation.admit_retries_exhausted = retries_exhausted_;
+  out.total.degradation.flows_readmitted = readmitted_;
+  out.total.degradation.flows_shed_highwater = shed_flows_;
   out.phases.resize(scn_.phases.size());
   for (std::size_t i = 0; i < scn_.phases.size(); ++i) {
     PhaseReport& pr = out.phases[i];
@@ -105,6 +122,11 @@ ScenarioReport RunController::run() {
 
 void RunController::enter_phase(std::size_t idx) {
   DQOS_ASSERT(idx < scn_.phases.size());
+  // Phase boundaries are natural audit points: the workload is about to
+  // shift, so any conservation drift the old phase caused is pinned to it.
+  if (InvariantAuditor* aud = net_.auditor()) {
+    aud->audit_now("enter phase " + std::to_string(idx));
+  }
   active_phase_ = idx;
   net_.apply_phase(scn_.phases[idx]);
   // Re-draw the churn clock at the new phase's arrival rate.
@@ -136,24 +158,87 @@ void RunController::churn_arrival() {
   const auto flow = net_.open_video_flow(src, flow_rng, window_end_);
   if (flow.has_value()) {
     ++arrivals_[active_phase_];
-    const double mu = scn_.phases[active_phase_].flow_departures_per_sec;
-    if (mu > 0.0) {
-      const double life = -std::log(churn_rng_.uniform_pos()) / mu;
-      const TimePoint at =
-          net_.sim().now() + Duration::from_seconds_double(life);
-      if (at < window_end_) {
-        const FlowId id = *flow;
-        departure_events_[id] = net_.sim().schedule_at(at, [this, id] {
-          departure_events_.erase(id);
-          ++departed_[active_phase_];
-          net_.close_video_flow(id);
-        });
-      }
-    }
+    arm_departure(*flow, churn_rng_);
+    shed_check();
   } else {
     ++rejected_[active_phase_];
+    if (net_.config().admit_retry_max > 0) schedule_retry(src, flow_rng, 1);
   }
   arm_churn();
+}
+
+void RunController::arm_departure(FlowId id, Rng& stream) {
+  const double mu = scn_.phases[active_phase_].flow_departures_per_sec;
+  if (mu <= 0.0) return;
+  const double life = -std::log(stream.uniform_pos()) / mu;
+  const TimePoint at = net_.sim().now() + Duration::from_seconds_double(life);
+  if (at >= window_end_) return;
+  departure_events_[id] = net_.sim().schedule_at(at, [this, id] {
+    departure_events_.erase(id);
+    ++departed_[active_phase_];
+    net_.close_video_flow(id);
+  });
+}
+
+void RunController::schedule_retry(NodeId src, Rng flow_rng,
+                                   std::uint32_t attempt) {
+  const SimConfig& cfg = net_.config();
+  if (attempt > cfg.admit_retry_max) {
+    ++retries_exhausted_;
+    return;
+  }
+  // Exponential backoff with jitter in [0.5, 1.5): doubling spreads a
+  // rejection storm out in time, the jitter keeps retriers that collided
+  // once from re-colliding on the same calendar instant forever.
+  const double scale = static_cast<double>(1ULL << (attempt - 1));
+  const double jitter = 0.5 + backoff_rng_.uniform();
+  const TimePoint at =
+      net_.sim().now() + Duration::from_seconds_double(
+                             cfg.admit_retry_backoff.sec() * scale * jitter);
+  if (at >= window_end_) {  // never retry into the drain: give up instead
+    ++retries_exhausted_;
+    return;
+  }
+  const std::uint64_t token = retry_seq_++;
+  retry_events_[token] =
+      net_.sim().schedule_at(at, [this, token, src, flow_rng, attempt] {
+        retry_events_.erase(token);
+        retry_admission(src, flow_rng, attempt);
+      });
+}
+
+void RunController::retry_admission(NodeId src, Rng flow_rng,
+                                    std::uint32_t attempt) {
+  ++retries_;
+  const auto flow = net_.open_video_flow(src, flow_rng, window_end_);
+  if (!flow.has_value()) {
+    schedule_retry(src, flow_rng, attempt + 1);
+    return;
+  }
+  ++readmitted_;
+  ++arrivals_[active_phase_];
+  // Lifetime from the backoff stream: a retry storm must not advance the
+  // churn stream, or retry-free replays of the same seed would diverge.
+  arm_departure(*flow, backoff_rng_);
+  shed_check();
+}
+
+void RunController::shed_check() {
+  const double highwater = net_.config().shed_highwater;
+  if (highwater <= 0.0) return;
+  for (const auto& r : net_.admission().shed_to_highwater(highwater)) {
+    ++shed_flows_;
+    const auto it = departure_events_.find(r.flow);
+    if (it != departure_events_.end()) {
+      net_.sim().cancel(it->second);
+      departure_events_.erase(it);
+    }
+    net_.retire_shed_flow(r.flow, r.src);
+    if (net_.config().admit_retry_max > 0) {
+      // The shed flow queues for re-admission once load subsides.
+      schedule_retry(r.src, backoff_rng_.split(0x5eed0000 + retry_seq_), 1);
+    }
+  }
 }
 
 void RunController::teardown() {
@@ -176,6 +261,12 @@ void RunController::teardown() {
   std::sort(departures.begin(), departures.end());
   for (const auto& [flow, ev] : departures) sim.cancel(ev);
   departure_events_.clear();
+  // dqos-lint: allow(unordered-iteration) — copy harvest, sorted below
+  std::vector<std::pair<std::uint64_t, EventId>> retries(retry_events_.begin(),
+                                                         retry_events_.end());
+  std::sort(retries.begin(), retries.end());
+  for (const auto& [token, ev] : retries) sim.cancel(ev);
+  retry_events_.clear();
 
   flows_released_ += net_.close_remaining_churn_flows();
   if (scn_.multi_phase() || scn_.has_churn()) {

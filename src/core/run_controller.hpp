@@ -17,6 +17,16 @@
 /// reservation is released through AdmissionController::release(), so
 /// `reserved_bps_after_teardown` checks the §3.2 accounting invariant:
 /// exact rollback, reserved bandwidth back to zero.
+///
+/// Admission backpressure (opt-in, SimConfig::admit_retry_max > 0): a
+/// rejected churn arrival — or a flow shed by the fault path or the
+/// high-water load shedder — re-enters through a deterministic
+/// exponential-backoff retry queue. Backoff jitter and retried-flow
+/// internals draw from a dedicated split stream, so runs without retries
+/// draw nothing and runs with them replay bit-for-bit under one seed.
+/// When SimConfig::shed_highwater > 0, every successful admission is
+/// followed by AdmissionController::shed_to_highwater(), dropping the
+/// lowest-class reserving flows until every link is back under the mark.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +87,22 @@ class RunController {
   /// phase's arrival rate is zero or the draw lands past the window end.
   void arm_churn();
   void churn_arrival();
+  /// Schedules an exponential-lifetime departure for an admitted churn
+  /// flow, drawing from `stream` (churn stream for ordinary arrivals,
+  /// backoff stream for readmitted retries — so retries never perturb the
+  /// churn draws). No-op when the phase's departure rate is zero or the
+  /// lifetime outlives the measurement window.
+  void arm_departure(FlowId id, Rng& stream);
+  /// Queues a backoff retry for a rejected or shed admission from `src`:
+  /// wait = admit_retry_backoff * 2^(attempt-1) * jitter in [0.5, 1.5).
+  /// Counts the flow as exhausted when attempts or the window run out.
+  void schedule_retry(NodeId src, Rng flow_rng, std::uint32_t attempt);
+  /// A retry fired: re-offer the flow to admission; on success arm its
+  /// departure and re-check the high-water mark, on rejection re-queue.
+  void retry_admission(NodeId src, Rng flow_rng, std::uint32_t attempt);
+  /// Sheds reserving flows down to SimConfig::shed_highwater (no-op when
+  /// the mark is unset); shed flows re-enter the retry queue.
+  void shed_check();
   void teardown();
 
   NetworkSimulator& net_;
@@ -85,6 +111,10 @@ class RunController {
   /// so churn draws never perturb the static sources (and a churn-free
   /// scenario draws nothing at all).
   Rng churn_rng_;
+  /// Backpressure stream, disjoint from churn_rng_: backoff jitter,
+  /// retried-flow internals and retry-flow lifetimes all draw here, so a
+  /// retry storm leaves the churn sequence untouched.
+  Rng backoff_rng_;
 
   TimePoint t0_;
   TimePoint window_start_;
@@ -98,6 +128,14 @@ class RunController {
   std::vector<std::uint64_t> rejected_;
   std::vector<std::uint64_t> departed_;
   std::uint64_t flows_released_ = 0;
+  /// Pending backoff retries, token -> calendar event (cancelled at
+  /// teardown; tokens also salt the per-retry RNG splits).
+  std::unordered_map<std::uint64_t, EventId> retry_events_;
+  std::uint64_t retry_seq_ = 0;
+  std::uint64_t retries_ = 0;            ///< retry attempts fired
+  std::uint64_t retries_exhausted_ = 0;  ///< flows that gave up
+  std::uint64_t readmitted_ = 0;         ///< retries that succeeded
+  std::uint64_t shed_flows_ = 0;         ///< high-water load sheds
 };
 
 }  // namespace dqos

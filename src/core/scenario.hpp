@@ -23,21 +23,22 @@
 /// bit-for-bit (same events, same RNG streams, same CSV bytes).
 #pragma once
 
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "traffic/patterns.hpp"
+#include "util/error.hpp"
 
 namespace dqos {
 
 /// A run-lifecycle error: run() called twice, or a scenario that cannot be
 /// executed against the given config. Sibling of ConfigError (config_io.hpp)
-/// — tools print it and exit instead of tripping a contract abort.
-class RunError : public std::runtime_error {
+/// and AuditError (fault/auditor.hpp) — tools print it and exit instead of
+/// tripping a contract abort.
+class RunError : public DqosError {
  public:
-  explicit RunError(const std::string& what) : std::runtime_error(what) {}
+  explicit RunError(const std::string& what) : DqosError(what) {}
 };
 
 /// One segment of the run timeline.

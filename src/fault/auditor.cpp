@@ -1,0 +1,202 @@
+#include "fault/auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+namespace {
+
+/// Audit failures carry their check site: "file:line: <law>: <diagnosis>".
+std::string at(const char* file, int line, const std::string& msg) {
+  std::string f(file);
+  const auto slash = f.find_last_of('/');
+  if (slash != std::string::npos) f.erase(0, slash + 1);
+  return f + ":" + std::to_string(line) + ": " + msg;
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(Simulator& sim, const PacketPool& pool)
+    : sim_(sim), pool_(pool) {}
+
+void InvariantAuditor::register_channel(const Endpoint& from, const Channel* ch) {
+  DQOS_EXPECTS(ch != nullptr);
+  channels_.emplace_back((static_cast<std::uint64_t>(from.node) << 8) | from.port,
+                         ch);
+  sorted_ = false;
+}
+
+void InvariantAuditor::register_switch(const Switch* sw) {
+  DQOS_EXPECTS(sw != nullptr);
+  switches_.push_back(sw);
+  sorted_ = false;
+}
+
+void InvariantAuditor::register_host(const Host* host) {
+  DQOS_EXPECTS(host != nullptr);
+  hosts_.push_back(host);
+  sorted_ = false;
+}
+
+void InvariantAuditor::sort_registries() {
+  if (sorted_) return;
+  // Deterministic check order, independent of registration order: the first
+  // violation reported must be the same across identical runs.
+  std::sort(channels_.begin(), channels_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(switches_.begin(), switches_.end(),
+            [](const Switch* a, const Switch* b) { return a->id() < b->id(); });
+  std::sort(hosts_.begin(), hosts_.end(),
+            [](const Host* a, const Host* b) { return a->id() < b->id(); });
+  sorted_ = true;
+}
+
+void InvariantAuditor::arm(Duration epoch, TimePoint horizon) {
+  DQOS_EXPECTS(epoch > Duration::zero());
+  epoch_ = epoch;
+  horizon_ = horizon;
+  if (sim_.now() + epoch <= horizon) {
+    sim_.schedule_after(epoch, [this] { epoch_check(); });
+  }
+}
+
+void InvariantAuditor::epoch_check() {
+  audit_now("epoch " + std::to_string(audits_passed_));
+  if (sim_.now() + epoch_ <= horizon_) {
+    sim_.schedule_after(epoch_, [this] { epoch_check(); });
+  }
+}
+
+void InvariantAuditor::audit_now(const std::string& context) {
+  sort_registries();
+  std::string problem = check_credits();
+  if (problem.empty()) problem = check_packet_custody();
+  if (problem.empty()) problem = check_admission();
+  if (!problem.empty()) {
+    throw AuditError("audit failed (" + context + ", t=" +
+                         std::to_string(sim_.now().us()) + "us): " + problem,
+                     dump_state());
+  }
+  ++audits_passed_;
+}
+
+std::string InvariantAuditor::check_credits() const {
+  for (const auto& [key, ch] : channels_) {
+    const auto node = static_cast<NodeId>(key >> 8);
+    const auto port = static_cast<PortId>(key & 0xff);
+    for (VcId vc = 0; vc < ch->num_vcs(); ++vc) {
+      const std::int64_t held = ch->credits(vc);
+      const std::int64_t wire = ch->in_flight_bytes(vc);
+      const std::int64_t back = ch->credits_in_flight(vc);
+      const auto occ = static_cast<std::int64_t>(ch->downstream_occupancy(vc));
+      const std::int64_t deficit =
+          static_cast<std::int64_t>(ch->credits_per_vc()) -
+          (held + wire + back + occ);
+      // A surplus means credits were invented from nothing: always a bug,
+      // faulted or not.
+      if (deficit < 0) {
+        return at(__FILE__, __LINE__,
+                  "credit conservation: link (" + std::to_string(node) + "," +
+                      std::to_string(port) + ") vc" + std::to_string(vc) +
+                      " holds a credit surplus of " + std::to_string(-deficit) +
+                      " B (held " + std::to_string(held) + " + wire " +
+                      std::to_string(wire) + " + returning " +
+                      std::to_string(back) + " + queued " + std::to_string(occ) +
+                      " > capacity " + std::to_string(ch->credits_per_vc()) + ")");
+      }
+      // A deficit is legitimate only on a channel faults have touched
+      // (packets evaporated on a dead wire, credit symbols destroyed).
+      const bool clean = ch->is_up() && ch->packets_dropped() == 0 &&
+                         ch->credits_lost() == 0;
+      if (clean && deficit != 0) {
+        return at(__FILE__, __LINE__,
+                  "credit conservation: link (" + std::to_string(node) + "," +
+                      std::to_string(port) + ") vc" + std::to_string(vc) +
+                      " leaks " + std::to_string(deficit) +
+                      " B of credit with no fault to blame (held " +
+                      std::to_string(held) + " + wire " + std::to_string(wire) +
+                      " + returning " + std::to_string(back) + " + queued " +
+                      std::to_string(occ) + " != capacity " +
+                      std::to_string(ch->credits_per_vc()) + ")");
+      }
+    }
+  }
+  return "";
+}
+
+std::string InvariantAuditor::check_packet_custody() const {
+  // Pool self-consistency: the counters are incremented/decremented in
+  // lock-step, so a divergence means raw deleter bypass.
+  const std::uint64_t ledger = pool_.allocated_total() - pool_.recycled_total();
+  if (ledger != pool_.outstanding()) {
+    return at(__FILE__, __LINE__,
+              "packet custody: pool outstanding " +
+                  std::to_string(pool_.outstanding()) + " != allocated " +
+                  std::to_string(pool_.allocated_total()) + " - recycled " +
+                  std::to_string(pool_.recycled_total()));
+  }
+  // Census: every outstanding packet is in exactly one custody point.
+  std::uint64_t census = 0;
+  for (const Host* h : hosts_) census += h->queued_packets();
+  for (const Switch* s : switches_) {
+    census += s->packets_queued() + s->packets_in_transit();
+  }
+  for (const auto& [key, ch] : channels_) census += ch->packets_in_flight();
+  if (census != pool_.outstanding()) {
+    return at(__FILE__, __LINE__,
+              "packet custody: " + std::to_string(pool_.outstanding()) +
+                  " packets outstanding but custody census finds " +
+                  std::to_string(census) +
+                  " (host queues + switch buffers + crossbar + wires)");
+  }
+  return "";
+}
+
+std::string InvariantAuditor::check_admission() const {
+  if (admission_ == nullptr) return "";
+  std::string problem = admission_->audit_ledger();
+  if (!problem.empty()) return at(__FILE__, __LINE__, problem);
+  return "";
+}
+
+std::string InvariantAuditor::dump_state() const {
+  std::ostringstream out;
+  out << "audit state dump @" << sim_.now().us() << "us\n";
+  out << "pool: outstanding=" << pool_.outstanding()
+      << " allocated=" << pool_.allocated_total()
+      << " recycled=" << pool_.recycled_total()
+      << " retired=" << pool_.retired_total() << "\n";
+  for (const Host* h : hosts_) {
+    out << "host " << h->id() << ": queued=" << h->queued_packets()
+        << " injected=" << h->packets_injected()
+        << " received=" << h->packets_received() << "\n";
+  }
+  for (const Switch* s : switches_) {
+    out << "switch " << s->id() << ": queued=" << s->packets_queued()
+        << " xbar=" << s->packets_in_transit() << "\n";
+  }
+  for (const auto& [key, ch] : channels_) {
+    out << "link (" << (key >> 8) << "," << (key & 0xff) << "):"
+        << (ch->is_up() ? "" : " DOWN") << " in_flight=" << ch->packets_in_flight()
+        << " dropped=" << ch->packets_dropped()
+        << " credits_lost=" << ch->credits_lost();
+    for (VcId vc = 0; vc < ch->num_vcs(); ++vc) {
+      out << " vc" << static_cast<int>(vc) << "={held=" << ch->credits(vc)
+          << ",wire=" << ch->in_flight_bytes(vc)
+          << ",returning=" << ch->credits_in_flight(vc)
+          << ",queued=" << ch->downstream_occupancy(vc) << "}";
+    }
+    out << "\n";
+  }
+  if (admission_ != nullptr) {
+    out << "admission: flows=" << admission_->admitted_flows()
+        << " reserved=" << admission_->total_reserved_bytes_per_sec()
+        << " B/s shed=" << admission_->flows_shed() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dqos

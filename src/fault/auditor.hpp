@@ -1,0 +1,105 @@
+/// \file auditor.hpp
+/// Runtime invariant auditor: cross-checks the conservation laws the whole
+/// simulator is built on, at configurable epochs on the event calendar.
+///
+/// Three ledgers are audited, each against an independent source of truth:
+///
+///   1. *Credit conservation* (per channel, per VC): credits held by the
+///      sender + bytes serialized onto the wire + credit symbols on the
+///      reverse wire + bytes queued downstream must equal the configured
+///      buffer capacity — exactly, for an up channel that has never dropped
+///      a packet or lost a credit symbol. Channels touched by faults may
+///      run a *deficit* (capacity minus the sum is positive: bytes
+///      genuinely lost on a dead wire) but never a surplus.
+///
+///   2. *Packet custody* (pool census): every packet the pool has handed
+///      out and not yet taken back must be accounted for in exactly one
+///      place — a host NIC queue, a switch buffer, mid-crossbar, or on a
+///      wire. Pool outstanding == allocated − recycled, and equals the sum
+///      over all registered custody points.
+///
+///   3. *Admission ledger*: the incrementally-maintained per-link
+///      reservation table must match what re-summing every admitted flow
+///      record produces (AdmissionController::audit_ledger).
+///
+/// A violated invariant throws AuditError (a DqosError, like RunError and
+/// ConfigError) carrying a full state dump; the simulation stops at the
+/// offending epoch instead of silently corrupting results. Auditing
+/// schedules calendar events, so it is strictly opt-in
+/// (FaultConfig::audit_epoch > 0) and excluded from golden-hash runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/packet_pool.hpp"
+#include "qos/admission.hpp"
+#include "host/host.hpp"
+#include "sim/simulator.hpp"
+#include "switchfab/channel.hpp"
+#include "switchfab/switch.hpp"
+#include "topo/topology.hpp"
+#include "util/error.hpp"
+
+namespace dqos {
+
+/// A conservation invariant did not hold at an audit epoch. `what()` leads
+/// with the violated law and the audit site (file:line of the check);
+/// `dump()` carries the full custody/credit census for post-mortems.
+class AuditError : public DqosError {
+ public:
+  AuditError(const std::string& what, std::string dump)
+      : DqosError(what), dump_(std::move(dump)) {}
+  [[nodiscard]] const std::string& dump() const { return dump_; }
+
+ private:
+  std::string dump_;
+};
+
+class InvariantAuditor {
+ public:
+  InvariantAuditor(Simulator& sim, const PacketPool& pool);
+
+  /// --- wiring (done once, before arm()) -----------------------------------
+  /// Registers the channel carrying the directed link departing `from`.
+  void register_channel(const Endpoint& from, const Channel* ch);
+  void register_switch(const Switch* sw);
+  void register_host(const Host* host);
+  /// Optional: without an admission controller invariant 3 is skipped.
+  void set_admission(const AdmissionController* adm) { admission_ = adm; }
+
+  /// Arms the periodic audit: every `epoch` until `horizon`, all three
+  /// invariants are checked; the first violation throws AuditError out of
+  /// the event loop. Self-rescheduling, bounded so the calendar can drain.
+  void arm(Duration epoch, TimePoint horizon);
+
+  /// One immediate audit pass (phase transitions, teardown, tests).
+  /// `context` labels the check site in any thrown AuditError.
+  void audit_now(const std::string& context);
+
+  [[nodiscard]] std::uint64_t audits_passed() const { return audits_passed_; }
+
+ private:
+  void epoch_check();
+  /// Each returns "" when the invariant holds, else a one-line diagnosis.
+  [[nodiscard]] std::string check_credits() const;
+  [[nodiscard]] std::string check_packet_custody() const;
+  [[nodiscard]] std::string check_admission() const;
+  /// Full census, attached to every AuditError.
+  [[nodiscard]] std::string dump_state() const;
+  void sort_registries();
+
+  Simulator& sim_;
+  const PacketPool& pool_;
+  const AdmissionController* admission_ = nullptr;
+  std::vector<std::pair<std::uint64_t, const Channel*>> channels_;  ///< keyed
+  std::vector<const Switch*> switches_;
+  std::vector<const Host*> hosts_;
+  bool sorted_ = false;
+  Duration epoch_ = Duration::zero();
+  TimePoint horizon_ = TimePoint::zero();
+  std::uint64_t audits_passed_ = 0;
+};
+
+}  // namespace dqos

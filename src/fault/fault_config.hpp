@@ -55,6 +55,14 @@ struct FaultConfig {
   /// Consecutive zero-progress samples (with traffic queued) before firing.
   std::uint32_t watchdog_rounds = 5;
 
+  // --- invariant auditor ---------------------------------------------------
+  /// Cadence of the runtime invariant auditor (fault/auditor.hpp): every
+  /// epoch it walks the network asserting credit/packet/bandwidth
+  /// conservation and throws AuditError with a dump on the first violation.
+  /// Zero = auditor off (the default; auditing schedules calendar events,
+  /// so it is excluded from the golden fire-order runs).
+  Duration audit_epoch = Duration::zero();
+
   /// True if any random fault process has a nonzero rate.
   [[nodiscard]] bool any_faults() const {
     return link_down_per_sec > 0.0 || credit_loss_per_sec > 0.0 ||

@@ -126,6 +126,7 @@ void FaultInjector::fail_link(const Endpoint& link, Duration outage,
       apply_reroutes();
     }
   } else {
+    down_since_[key(link)] = sim_.now();
     sim_.schedule_after(outage, [this, link, rev] { repair_link(link, rev); });
   }
 }
@@ -139,6 +140,15 @@ void FaultInjector::repair_link(const Endpoint& fwd_ep, const Endpoint& rev_ep) 
   if (!fwd->is_up()) fwd->repair();
   if (!bwd->is_up()) bwd->repair();
   ++stats_.link_repairs;
+  // Stream the outage duration into the recovery-time estimators.
+  const auto dit = down_since_.find(key(fwd_ep));
+  if (dit != down_since_.end()) {
+    const double us = (sim_.now() - dit->second).us();
+    stats_.recovery_us.add(us);
+    stats_.recovery_p50.add(us);
+    stats_.recovery_p99.add(us);
+    down_since_.erase(dit);
+  }
   if (tracer_) {
     tracer_->record_link_event(sim_.now(), TraceEvent::kLinkUp, fwd_ep.node,
                                fwd_ep.port);
@@ -158,12 +168,14 @@ void FaultInjector::apply_reroutes() {
   DQOS_ASSERT(admission_ != nullptr);
   for (const auto& r : admission_->reroute_around_failures()) {
     const auto it = hosts_.find(r.src);
-    if (it == hosts_.end()) continue;  // source not simulated (unit tests)
-    if (r.rerouted) {
-      it->second->update_flow_route(r.flow, r.new_route, r.new_choice);
-    } else {
-      it->second->close_flow(r.flow);
+    if (it != hosts_.end()) {  // source may not be simulated (unit tests)
+      if (r.rerouted) {
+        it->second->update_flow_route(r.flow, r.new_route, r.new_choice);
+      } else {
+        it->second->close_flow(r.flow);
+      }
     }
+    if (on_displaced_) on_displaced_(r);
   }
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "topo/topology.hpp"
 #include "trace/tracer.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace dqos {
 
@@ -42,6 +44,12 @@ struct FaultStats {
   std::uint64_t credit_bytes_lost = 0;
   std::uint64_t ttd_corruptions = 0;
   std::uint64_t clock_drift_events = 0;
+  /// Outage-to-repair times (us) of transient link failures, streamed —
+  /// bench_fault_recovery reports recovery percentiles from these P²
+  /// estimators instead of storing per-event samples.
+  StreamingStats recovery_us;
+  P2Quantile recovery_p50{0.5};
+  P2Quantile recovery_p99{0.99};
 };
 
 class FaultInjector {
@@ -57,6 +65,11 @@ class FaultInjector {
   /// drop (no re-routing).
   void set_admission(AdmissionController* adm) { admission_ = adm; }
   void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+  /// Observer fired for every flow the fault path displaced — rerouted
+  /// (entry.rerouted) or shed. The backpressure layer (RunController) uses
+  /// shed notifications to queue deterministic re-admission retries.
+  using FlowDisplacedFn = std::function<void(const AdmissionController::Reroute&)>;
+  void set_flow_displaced(FlowDisplacedFn fn) { on_displaced_ = std::move(fn); }
 
   /// --- scripted faults ----------------------------------------------------
   /// Takes the physical link through (link) down at `when`; transient
@@ -106,6 +119,9 @@ class FaultInjector {
   std::unordered_map<std::uint64_t, Channel*> channels_;
   std::unordered_map<NodeId, Switch*> switches_;
   std::unordered_map<NodeId, Host*> hosts_;
+  /// Transient outages in progress: fail instant keyed by the forward link.
+  std::unordered_map<std::uint64_t, TimePoint> down_since_;
+  FlowDisplacedFn on_displaced_;
   /// Random-target pools, in deterministic (registration-independent) order.
   std::vector<Endpoint> fabric_links_;  ///< switch->switch directed links
   std::vector<Endpoint> all_links_;     ///< every registered directed link

@@ -195,9 +195,11 @@ void Host::close_flow(FlowId flow) {
   DQOS_EXPECTS(it != flows_.end());
   it->second.closed = true;
 
-  // Purge queued packets of the shed flow; they have nowhere to go.
-  const auto doomed = [&](const PacketPtr& p) {
-    if (p->hdr.flow != flow) return false;
+  // Purge queued packets of the shed flow; they have nowhere to go. Each
+  // purged packet is retired through the audited pool path, then the null
+  // slots are compacted out.
+  const auto doom = [&](PacketPtr& p) {
+    if (p == nullptr || p->hdr.flow != flow) return false;
     if (p->hdr.vc != kRegulatedVc) {
       auto& backlog = unreg_backlog_[static_cast<std::size_t>(p->hdr.tclass)];
       DQOS_ASSERT(backlog > 0);
@@ -205,19 +207,26 @@ void Host::close_flow(FlowId flow) {
     }
     ++shed_submissions_;
     if (tracer_) tracer_->record_drop(sim_.now(), flow, p->hdr.tclass, id_);
+    retire_packet(std::move(p));
     return true;
   };
   const auto purge_heap = [&](MinHeap& h) {
-    const auto mid = std::remove_if(h.begin(), h.end(),
-                                    [&](const QEntry& e) { return doomed(e.pkt); });
-    if (mid == h.end()) return;
-    h.erase(mid, h.end());
+    bool purged = false;
+    for (auto& e : h) purged = doom(e.pkt) || purged;
+    if (!purged) return;
+    h.erase(std::remove_if(h.begin(), h.end(),
+                           [](const QEntry& e) { return e.pkt == nullptr; }),
+            h.end());
     std::make_heap(h.begin(), h.end(), std::greater<>{});
   };
   purge_heap(eligible_q_);
   for (auto& q : ready_q_) purge_heap(q);
   for (auto& q : fifo_q_) {
-    q.erase(std::remove_if(q.begin(), q.end(), doomed), q.end());
+    bool purged = false;
+    for (auto& p : q) purged = doom(p) || purged;
+    if (purged) {
+      q.erase(std::remove(q.begin(), q.end(), nullptr), q.end());
+    }
   }
 }
 
@@ -315,7 +324,47 @@ void Host::pump() {
   }
 }
 
+void Host::expire_packet(PacketPtr p, TimePoint now) {
+  DQOS_ASSERT(p->hdr.vc == kRegulatedVc);
+  ++expired_packets_;
+  expired_bytes_ += p->size();
+  const FlowId flow = p->hdr.flow;
+  if (tracer_) tracer_->record_drop(now, flow, p->hdr.tclass, id_);
+  if (on_expired_) on_expired_(*p, now);
+  const auto it = flows_.find(flow);  // churn may have retired the flow
+  if (it != flows_.end()) {
+    FlowState& fs = it->second;
+    ++fs.expired_packets;
+    fs.expired_bytes += p->size();
+    retire_packet(std::move(p));
+    // Abort threshold: once a flow misses more than its share, stop
+    // spending link time on it at all. The 16-packet floor keeps one
+    // unlucky burst from killing a flow that has barely started.
+    const std::uint64_t decided = fs.sent_packets + fs.expired_packets;
+    if (!fs.closed && params_.expiry_abort_ratio > 0.0 && decided >= 16 &&
+        static_cast<double>(fs.expired_packets) >
+            params_.expiry_abort_ratio * static_cast<double>(decided)) {
+      ++flows_aborted_;
+      close_flow(flow);
+      if (on_flow_aborted_) on_flow_aborted_(flow);
+    }
+  } else {
+    retire_packet(std::move(p));
+  }
+}
+
 bool Host::inject_from_vc(VcId vc, TimePoint now) {
+  // Expiry at the transmission decision ("skip it, already late"): the
+  // ready queue is deadline-ordered, so every already-late packet sits at
+  // the front. Dropping them frees the link for packets that can still
+  // make it. Opt-in; EDF regulated VC only.
+  if (params_.expiry_drop && params_.edf_queues && vc == kRegulatedVc) {
+    const TimePoint local_now = clock_.local_now(now);
+    while (!ready_q_[vc].empty() &&
+           ready_q_[vc].front().pkt->local_deadline < local_now) {
+      expire_packet(pop_entry(ready_q_[vc]), now);
+    }
+  }
   const Packet* head = nullptr;
   if (params_.edf_queues) {
     if (!ready_q_[vc].empty()) head = ready_q_[vc].front().pkt.get();
@@ -336,6 +385,10 @@ bool Host::inject_from_vc(VcId vc, TimePoint now) {
     auto& backlog = unreg_backlog_[static_cast<std::size_t>(p->hdr.tclass)];
     DQOS_ASSERT(backlog > 0);
     --backlog;
+  }
+  if (params_.expiry_drop && vc == kRegulatedVc) {
+    const auto fit = flows_.find(p->hdr.flow);
+    if (fit != flows_.end()) ++fit->second.sent_packets;
   }
   p->t_injected = now;
   p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);

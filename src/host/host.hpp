@@ -52,6 +52,17 @@ struct HostParams {
   /// its own quota, so a backlogged class cannot crowd out its siblings'
   /// acceptance — the EDF deadline weights then govern service).
   std::size_t best_effort_queue_cap = 4096;
+  /// Deadline expiry at the injection point (overload degradation, opt-in):
+  /// a regulated packet whose deadline has already passed when it reaches
+  /// the head of the ready queue is dropped instead of transmitted — it
+  /// cannot arrive in time, so sending it only steals bandwidth from
+  /// packets that still can ("skip it, already late"). EDF mode only.
+  bool expiry_drop = false;
+  /// With expiry_drop: a flow whose expired fraction (expired packets over
+  /// packets reaching the injection decision) exceeds this ratio is aborted
+  /// outright — its queue purged and future submissions refused — freeing
+  /// its bandwidth for flows still meeting deadlines. 0 = never abort.
+  double expiry_abort_ratio = 0.0;
 };
 
 /// Per-delivered-packet observer. `now` is global time; `slack` is the
@@ -69,6 +80,10 @@ struct MessageDelivered {
   std::uint32_t message_id;  ///< source-assigned (acks for control retry)
 };
 using MessageDeliveredFn = std::function<void(const MessageDelivered&)>;
+/// A regulated packet expired unsent at the injection point (expiry_drop).
+using PacketExpiredFn = std::function<void(const Packet& pkt, TimePoint now)>;
+/// A flow was aborted because its expiry ratio crossed expiry_abort_ratio.
+using FlowAbortedFn = std::function<void(FlowId flow)>;
 
 class Host final : public PacketReceiver {
  public:
@@ -82,6 +97,10 @@ class Host final : public PacketReceiver {
   /// Optional packet-event tracing (null = off, zero cost).
   void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
   void set_message_callback(MessageDeliveredFn fn) { on_message_ = std::move(fn); }
+  void set_expired_callback(PacketExpiredFn fn) { on_expired_ = std::move(fn); }
+  void set_flow_aborted_callback(FlowAbortedFn fn) {
+    on_flow_aborted_ = std::move(fn);
+  }
 
   /// Registers an admitted flow originating at this host.
   void open_flow(const FlowSpec& spec);
@@ -162,6 +181,17 @@ class Host final : public PacketReceiver {
   /// Submissions refused because the flow was shed (close_flow), plus
   /// packets purged from the NIC queues at shedding time.
   [[nodiscard]] std::uint64_t shed_submissions() const { return shed_submissions_; }
+  /// Regulated packets dropped already-late at the injection point.
+  [[nodiscard]] std::uint64_t expired_packets() const { return expired_packets_; }
+  [[nodiscard]] std::uint64_t expired_bytes() const { return expired_bytes_; }
+  /// Flows aborted by the expiry-ratio threshold (expiry_abort_ratio).
+  [[nodiscard]] std::uint64_t flows_aborted() const { return flows_aborted_; }
+  /// Expired-packet count of one open flow (0 if unknown/retired) — the
+  /// video source consults this to drop late B-frames at the application.
+  [[nodiscard]] std::uint64_t flow_expired_packets(FlowId flow) const {
+    const auto it = flows_.find(flow);
+    return it == flows_.end() ? 0 : it->second.expired_packets;
+  }
 
  private:
   struct FlowState {
@@ -170,7 +200,11 @@ class Host final : public PacketReceiver {
     std::uint32_t next_seq = 0;
     std::uint32_t next_message = 1;
     std::unique_ptr<TokenBucket> policer;  ///< non-null iff spec.police
-    bool closed = false;                   ///< shed by fault re-routing
+    bool closed = false;                   ///< shed by fault re-routing/abort
+    // expiry accounting (expiry_drop mode; zero-cost otherwise)
+    std::uint64_t sent_packets = 0;     ///< reached injection and transmitted
+    std::uint64_t expired_packets = 0;  ///< reached injection already late
+    std::uint64_t expired_bytes = 0;
   };
   /// Min-heap entry for both NIC queues (key = eligible time or deadline).
   struct QEntry {
@@ -189,6 +223,10 @@ class Host final : public PacketReceiver {
 
   /// Moves newly eligible packets, then tries to start one injection.
   void pump();
+  /// Drops one already-late regulated packet (expiry_drop): accounts it,
+  /// notifies observers, retires it to the pool, and aborts the flow when
+  /// its expiry ratio crosses the configured threshold.
+  void expire_packet(PacketPtr p, TimePoint now);
   /// One arbitration decision: if `vc` has a transmittable head packet and
   /// credits, injects it and schedules the next pump. Returns whether the
   /// link was taken (the caller's VC scan stops there).
@@ -237,6 +275,8 @@ class Host final : public PacketReceiver {
   PacketTracer* tracer_ = nullptr;
   PacketDeliveredFn on_packet_;
   MessageDeliveredFn on_message_;
+  PacketExpiredFn on_expired_;
+  FlowAbortedFn on_flow_aborted_;
   std::uint64_t injected_ = 0;
   std::uint64_t bytes_injected_ = 0;
   std::uint64_t received_ = 0;
@@ -246,6 +286,9 @@ class Host final : public PacketReceiver {
   std::uint64_t retries_ = 0;
   std::uint64_t retries_abandoned_ = 0;
   std::uint64_t shed_submissions_ = 0;
+  std::uint64_t expired_packets_ = 0;
+  std::uint64_t expired_bytes_ = 0;
+  std::uint64_t flows_aborted_ = 0;
   /// Unacked control messages, keyed (flow << 32) | message_id.
   struct PendingRetry {
     std::uint64_t bytes;

@@ -37,12 +37,14 @@ PacketPtr PacketPool::make() {
   free_.pop_back();
   *p = Packet{};
   ++outstanding_;
+  ++allocated_total_;
   return PacketPtr(p, PacketRecycler{this});
 }
 
 void PacketPool::recycle(Packet* p) {
   DQOS_ASSERT(outstanding_ > 0);
   --outstanding_;
+  ++recycled_total_;
   free_.push_back(p);
 }
 

@@ -12,6 +12,7 @@
 /// front, making the simulation loop allocation-free on the packet path.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -53,14 +54,36 @@ class PacketPool {
   [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
   [[nodiscard]] std::size_t free_count() const { return free_.size(); }
 
+  /// Lifetime totals for conservation auditing (fault/auditor.hpp):
+  /// outstanding() must equal allocated_total() - recycled_total() at all
+  /// times, or a packet left the pool without going through the deleter.
+  [[nodiscard]] std::uint64_t allocated_total() const { return allocated_total_; }
+  [[nodiscard]] std::uint64_t recycled_total() const { return recycled_total_; }
+  /// Packets released through retire_packet() (accounted drop paths).
+  [[nodiscard]] std::uint64_t retired_total() const { return retired_total_; }
+
  private:
   friend struct PacketRecycler;
+  friend void retire_packet(PacketPtr p);
   void recycle(Packet* p);
   void grow();
 
   std::vector<std::unique_ptr<Packet[]>> chunks_;
   std::vector<Packet*> free_;
   std::size_t outstanding_ = 0;
+  std::uint64_t allocated_total_ = 0;
+  std::uint64_t recycled_total_ = 0;
+  std::uint64_t retired_total_ = 0;
 };
+
+/// Accounted release for drop paths (expiry, purge, shed): recycles `p`
+/// through its deleter while counting the retirement, so the auditor can
+/// prove no drop path leaks packets. Dropping a packet by plain `.reset()`
+/// in src/ is forbidden by the `unaudited-packet-free` lint rule.
+inline void retire_packet(PacketPtr p) {
+  if (!p) return;
+  if (PacketPool* pool = p.get_deleter().pool) ++pool->retired_total_;
+  p.reset();  // dqos-lint: allow(unaudited-packet-free) — this IS the audit point
+}
 
 }  // namespace dqos

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/contracts.hpp"
 
@@ -108,7 +109,8 @@ std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
     spec.deadline_bw = req.reserve_bw;
   }
 
-  flows_.emplace(spec.id, FlowRecord{req.src, req.dst, *best, want_bps});
+  flows_.emplace(spec.id,
+                 FlowRecord{req.src, req.dst, *best, want_bps, req.tclass});
   return spec;
 }
 
@@ -166,7 +168,8 @@ std::vector<AdmissionController::Reroute> AdmissionController::reroute_around_fa
         l.reserved_bytes_per_sec += rec.reserved_bytes_per_sec;
         ++l.flow_count;
       }
-      flows_.emplace(id, FlowRecord{rec.src, rec.dst, *best, rec.reserved_bytes_per_sec});
+      flows_.emplace(id, FlowRecord{rec.src, rec.dst, *best,
+                                    rec.reserved_bytes_per_sec, rec.tclass});
       r.rerouted = true;
       r.new_choice = *best;
       r.new_route = topo_.build_route(rec.src, rec.dst, *best);
@@ -177,6 +180,98 @@ std::vector<AdmissionController::Reroute> AdmissionController::reroute_around_fa
     out.push_back(r);
   }
   return out;
+}
+
+std::vector<AdmissionController::Reroute> AdmissionController::shed_to_highwater(
+    double highwater) {
+  std::vector<Reroute> out;
+  if (highwater <= 0.0 || flows_.empty()) return out;
+  const double mark_bps =
+      link_bw_.bytes_per_sec() * reservable_fraction_ * highwater;
+  // 1 B/s epsilon mirrors pick_route(): FP dust must not trigger shedding.
+  const auto over = [&](const LinkLoad& l) {
+    return l.reserved_bytes_per_sec > mark_bps + 1.0;
+  };
+  bool any_over = false;
+  for (const auto& [k, l] : load_) any_over = any_over || over(l);
+  if (!any_over) return out;
+
+  // Shedding order: lowest traffic class first (highest enum value), newest
+  // flow first within a class — the freshest low-priority admissions give
+  // way before anything long-lived or important. Only reserving flows can
+  // relieve a reserved-bandwidth overload.
+  std::vector<FlowId> order;
+  // dqos-lint: allow(unordered-iteration) — harvest, sorted below
+  for (const auto& [id, rec] : flows_) {
+    if (rec.reserved_bytes_per_sec > 0.0) order.push_back(id);
+  }
+  std::sort(order.begin(), order.end(), [&](FlowId a, FlowId b) {
+    const FlowRecord& ra = flows_.at(a);
+    const FlowRecord& rb = flows_.at(b);
+    if (ra.tclass != rb.tclass) return ra.tclass > rb.tclass;
+    return a > b;
+  });
+
+  for (const FlowId id : order) {
+    const FlowRecord& rec = flows_.at(id);
+    bool crosses_over = false;
+    for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
+      const auto it = load_.find(key(e));
+      if (it != load_.end() && over(it->second)) {
+        crosses_over = true;
+        break;
+      }
+    }
+    if (!crosses_over) continue;  // its links already drained under the mark
+    Reroute r;
+    r.flow = id;
+    r.src = rec.src;
+    r.rerouted = false;
+    release(id);
+    ++flows_shed_;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string AdmissionController::audit_ledger() const {
+  // Recompute the per-link ledger from first principles (the flow records)
+  // and diff it against the incrementally-maintained `load_`.
+  std::unordered_map<std::uint64_t, LinkLoad> want;
+  // dqos-lint: allow(unordered-iteration) — order-independent accumulation
+  for (const auto& [id, rec] : flows_) {
+    for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
+      LinkLoad& l = want[key(e)];
+      l.reserved_bytes_per_sec += rec.reserved_bytes_per_sec;
+      ++l.flow_count;
+    }
+  }
+  // Deterministic report order: smallest divergent link key wins.
+  std::vector<std::uint64_t> keys;
+  for (const auto& [k, l] : load_) keys.push_back(k);
+  for (const auto& [k, l] : want) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (const std::uint64_t k : keys) {
+    const auto hit = load_.find(k);
+    const auto wit = want.find(k);
+    const LinkLoad have = hit == load_.end() ? LinkLoad{} : hit->second;
+    const LinkLoad exp = wit == want.end() ? LinkLoad{} : wit->second;
+    const auto node = static_cast<NodeId>(k >> 8);
+    const auto port = static_cast<PortId>(k & 0xff);
+    if (have.flow_count != exp.flow_count) {
+      return "admission ledger: link (" + std::to_string(node) + "," +
+             std::to_string(port) + ") counts " + std::to_string(have.flow_count) +
+             " flows, records say " + std::to_string(exp.flow_count);
+    }
+    if (std::abs(have.reserved_bytes_per_sec - exp.reserved_bytes_per_sec) > 1e-6) {
+      return "admission ledger: link (" + std::to_string(node) + "," +
+             std::to_string(port) + ") reserves " +
+             std::to_string(have.reserved_bytes_per_sec) +
+             " B/s, records say " + std::to_string(exp.reserved_bytes_per_sec);
+    }
+  }
+  return "";
 }
 
 std::vector<FlowId> AdmissionController::admitted_ids() const {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -74,6 +75,15 @@ class AdmissionController {
   /// are erased from the ledger; the caller must stop their sources.
   std::vector<Reroute> reroute_around_failures();
 
+  /// Load shedding (overload backpressure): while any directed link's
+  /// reserved bandwidth exceeds `highwater` x its reservable budget, sheds
+  /// reserving flows crossing it — lowest traffic class first, newest flow
+  /// first within a class (deterministic) — until every link is back under
+  /// the mark. Returned entries have rerouted == false; the caller must
+  /// stop the sources, exactly as for fault sheds. No-op for
+  /// highwater <= 0 or >= 1 with nothing over the mark.
+  std::vector<Reroute> shed_to_highwater(double highwater);
+
   [[nodiscard]] std::uint64_t flows_rerouted() const { return flows_rerouted_; }
   [[nodiscard]] std::uint64_t flows_shed() const { return flows_shed_; }
 
@@ -97,6 +107,14 @@ class AdmissionController {
   /// storms (and fault-path reroutes) cannot leave drift behind.
   [[nodiscard]] double total_reserved_bytes_per_sec() const;
 
+  /// Conservation audit (fault/auditor.hpp): recomputes the per-link ledger
+  /// from the admitted-flow records and compares it with the incremental
+  /// `load_` bookkeeping — flow counts must match exactly, reserved
+  /// bandwidth within 1e-6 B/s of absolute FP dust per link (the same
+  /// tolerance release() sweeps). Returns "" when consistent, else a
+  /// description of the first divergent link.
+  [[nodiscard]] std::string audit_ledger() const;
+
  private:
   struct LinkLoad {
     double reserved_bytes_per_sec = 0.0;
@@ -106,6 +124,7 @@ class AdmissionController {
     NodeId src, dst;
     std::size_t choice;
     double reserved_bytes_per_sec;  // 0 if none
+    TrafficClass tclass = TrafficClass::kBestEffort;
   };
 
   [[nodiscard]] static std::uint64_t key(const Endpoint& e) {

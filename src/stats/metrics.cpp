@@ -40,12 +40,31 @@ void MetricsCollector::on_packet_delivered(const Packet& p, TimePoint now,
   pkt_latency_[c].add((now - p.t_created).us());
   bytes_delivered_[c] += p.size();
   slack_us_[c].add(slack.us());
-  if (slack < Duration::zero()) ++deadline_misses_[c];
+  if (slack < Duration::zero()) {
+    ++deadline_misses_[c];
+  } else {
+    goodput_bytes_[c] += p.size();
+  }
   if (PhaseStore* ph = phase_of(p.t_created)) {
     ph->pkt_latency[c].add((now - p.t_created).us());
     ph->bytes_delivered[c] += p.size();
     ph->slack_us[c].add(slack.us());
-    if (slack < Duration::zero()) ++ph->deadline_misses[c];
+    if (slack < Duration::zero()) {
+      ++ph->deadline_misses[c];
+    } else {
+      ph->goodput_bytes[c] += p.size();
+    }
+  }
+}
+
+void MetricsCollector::on_packet_expired(const Packet& p) {
+  if (!in_window(p.t_created)) return;
+  const auto c = static_cast<std::size_t>(p.hdr.tclass);
+  ++expired_packets_[c];
+  expired_bytes_[c] += p.size();
+  if (PhaseStore* ph = phase_of(p.t_created)) {
+    ++ph->expired_packets[c];
+    ph->expired_bytes[c] += p.size();
   }
 }
 
@@ -85,6 +104,7 @@ ClassReport MetricsCollector::report(TrafficClass tc) const {
   r.max_packet_latency_us = pkt_latency_[c].max();
   r.jitter_us = pkt_latency_[c].stddev();
   r.p99_packet_latency_us = pkt_latency_[c].p99();
+  r.p999_packet_latency_us = pkt_latency_[c].p999();
   r.avg_message_latency_us = msg_latency_[c].mean();
   r.max_message_latency_us = msg_latency_[c].max();
   r.p99_message_latency_us = msg_latency_[c].p99();
@@ -94,6 +114,14 @@ ClassReport MetricsCollector::report(TrafficClass tc) const {
       r.packets ? static_cast<double>(deadline_misses_[c]) /
                       static_cast<double>(r.packets)
                 : 0.0;
+  r.expired_packets = expired_packets_[c];
+  r.expired_bytes = expired_bytes_[c];
+  r.goodput_bytes_per_sec = static_cast<double>(goodput_bytes_[c]) / window_sec;
+  const std::uint64_t decided = r.packets + r.expired_packets;
+  r.deadline_miss_rate =
+      decided ? static_cast<double>(deadline_misses_[c] + r.expired_packets) /
+                    static_cast<double>(decided)
+              : 0.0;
   return r;
 }
 
@@ -116,6 +144,7 @@ ClassReport MetricsCollector::phase_report(std::size_t phase,
   r.max_packet_latency_us = ph.pkt_latency[c].max();
   r.jitter_us = ph.pkt_latency[c].stddev();
   r.p99_packet_latency_us = ph.pkt_latency[c].p99();
+  r.p999_packet_latency_us = ph.pkt_latency[c].p999();
   r.avg_message_latency_us = ph.msg_latency[c].mean();
   r.max_message_latency_us = ph.msg_latency[c].max();
   r.p99_message_latency_us = ph.msg_latency[c].p99();
@@ -126,6 +155,15 @@ ClassReport MetricsCollector::phase_report(std::size_t phase,
       r.packets ? static_cast<double>(ph.deadline_misses[c]) /
                       static_cast<double>(r.packets)
                 : 0.0;
+  r.expired_packets = ph.expired_packets[c];
+  r.expired_bytes = ph.expired_bytes[c];
+  r.goodput_bytes_per_sec =
+      static_cast<double>(ph.goodput_bytes[c]) / window_sec;
+  const std::uint64_t decided = r.packets + r.expired_packets;
+  r.deadline_miss_rate =
+      decided ? static_cast<double>(ph.deadline_misses[c] + r.expired_packets) /
+                    static_cast<double>(decided)
+              : 0.0;
   return r;
 }
 

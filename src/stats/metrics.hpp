@@ -37,6 +37,7 @@ struct ClassReport {
   double max_packet_latency_us = 0.0;
   double jitter_us = 0.0;  ///< stddev of packet latency
   double p99_packet_latency_us = 0.0;
+  double p999_packet_latency_us = 0.0;
   double avg_message_latency_us = 0.0;
   double max_message_latency_us = 0.0;
   double p99_message_latency_us = 0.0;
@@ -48,6 +49,16 @@ struct ClassReport {
   /// faults strike outside the measurement window too). Zero without fault
   /// injection: credit flow control never drops.
   std::uint64_t dropped_packets = 0;
+  // --- overload SLO view (EXPERIMENTS.md O1) ------------------------------
+  /// Packets dropped already-late at the source NIC (Host expiry_drop).
+  std::uint64_t expired_packets = 0;
+  std::uint64_t expired_bytes = 0;
+  /// Delivered bytes that arrived *before* their deadline (slack >= 0) over
+  /// the window: throughput that was actually worth delivering.
+  double goodput_bytes_per_sec = 0.0;
+  /// The SLO miss rate: packets that failed their deadline either way —
+  /// delivered late or expired unsent — over all deadline decisions.
+  double deadline_miss_rate = 0.0;
 };
 
 class MetricsCollector {
@@ -93,6 +104,10 @@ class MetricsCollector {
   void on_packet_dropped(TrafficClass tclass) {
     ++dropped_[static_cast<std::size_t>(tclass)];
   }
+  /// A source NIC dropped a packet already past its deadline (expiry_drop).
+  /// Unlike fabric drops the packet is at hand, so expiry is attributed to
+  /// the phase that created it.
+  void on_packet_expired(const Packet& p);
 
   [[nodiscard]] ClassReport report(TrafficClass c) const;
 
@@ -120,6 +135,9 @@ class MetricsCollector {
     std::array<std::uint64_t, kNumTrafficClasses> messages{};
     std::array<StreamingStats, kNumTrafficClasses> slack_us{};
     std::array<std::uint64_t, kNumTrafficClasses> deadline_misses{};
+    std::array<std::uint64_t, kNumTrafficClasses> expired_packets{};
+    std::array<std::uint64_t, kNumTrafficClasses> expired_bytes{};
+    std::array<std::uint64_t, kNumTrafficClasses> goodput_bytes{};
   };
 
   [[nodiscard]] bool in_window(TimePoint created) const {
@@ -145,6 +163,9 @@ class MetricsCollector {
   std::array<StreamingStats, kNumTrafficClasses> slack_us_{};
   std::array<std::uint64_t, kNumTrafficClasses> deadline_misses_{};
   std::array<std::uint64_t, kNumTrafficClasses> dropped_{};
+  std::array<std::uint64_t, kNumTrafficClasses> expired_packets_{};
+  std::array<std::uint64_t, kNumTrafficClasses> expired_bytes_{};
+  std::array<std::uint64_t, kNumTrafficClasses> goodput_bytes_{};
 };
 
 }  // namespace dqos

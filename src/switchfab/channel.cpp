@@ -52,6 +52,7 @@ void Channel::send(PacketPtr p) {
     // credits stay consumed — the credit-resync protocol (or a reroute)
     // makes the loss good later.
     ++dropped_;
+    retire_packet(std::move(p));
     return;
   }
   if (ttd_corrupt_armed_) {
@@ -65,8 +66,10 @@ void Channel::send(PacketPtr p) {
   bytes_sent_ += p->size();
   busy_time_ += ser;
   in_flight_bytes_[vc] += static_cast<std::int64_t>(p->size());
+  ++packets_in_flight_;
   sim_.schedule_after(ser + latency_, [this, p = std::move(p), vc]() mutable {
     in_flight_bytes_[vc] -= static_cast<std::int64_t>(p->size());
+    --packets_in_flight_;
     dst_->receive_packet(std::move(p), dst_port_);
   });
 }

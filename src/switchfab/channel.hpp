@@ -127,6 +127,31 @@ class Channel {
   [[nodiscard]] std::uint64_t resynced_bytes() const { return resynced_bytes_; }
   [[nodiscard]] std::uint64_t ttd_corruptions() const { return ttd_corruptions_; }
 
+  // --- auditor view (fault/auditor.hpp) -----------------------------------
+  /// Bytes serialized onto the wire and not yet delivered, per VC.
+  [[nodiscard]] std::int64_t in_flight_bytes(VcId vc) const {
+    return in_flight_bytes_[vc];
+  }
+  /// Credit bytes on the reverse wire, not yet visible to the sender.
+  [[nodiscard]] std::int64_t credits_in_flight(VcId vc) const {
+    return credits_in_flight_[vc];
+  }
+  /// Bytes queued in the downstream input buffer (0 when no probe is wired:
+  /// host downlinks consume instantly).
+  [[nodiscard]] std::uint64_t downstream_occupancy(VcId vc) const {
+    return occupancy_probe_ ? occupancy_probe_(vc) : 0;
+  }
+  /// Packets currently on the wire (sent, not yet arrived).
+  [[nodiscard]] std::uint64_t packets_in_flight() const {
+    return packets_in_flight_;
+  }
+  /// Test hook: silently adjusts the sender-side credit counter *without*
+  /// any accounting — a planted bug (not a modelled fault), used by auditor
+  /// positive tests to prove credit-conservation violations are caught.
+  void debug_corrupt_credits(VcId vc, std::int64_t delta) {
+    credits_[vc] += delta;
+  }
+
  private:
   void resync_check();
 
@@ -153,6 +178,7 @@ class Channel {
   std::vector<std::int64_t> in_flight_bytes_;      ///< packets on the wire
   std::vector<std::int64_t> credits_in_flight_;    ///< credits on reverse wire
   std::vector<TimePoint> last_credit_activity_;    ///< per VC
+  std::uint64_t packets_in_flight_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t credits_lost_ = 0;
   std::uint64_t resyncs_ = 0;

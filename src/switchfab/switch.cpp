@@ -128,6 +128,7 @@ void Switch::receive_packet(PacketPtr p, PortId in_port) {
     if (inputs_[in_port].channel != nullptr) {
       inputs_[in_port].channel->return_credits(vc, p->size());
     }
+    retire_packet(std::move(p));
     return;
   }
   in_buf(in_port, vc).enqueue(std::move(p), out);
@@ -149,19 +150,21 @@ std::size_t Switch::flush_output(PortId port) {
   for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
     PacketQueue& q = out_q(port, vc);
     while (q.candidate() != nullptr) {
-      const PacketPtr p = q.dequeue();
+      PacketPtr p = q.dequeue();
       drop(p);
+      retire_packet(std::move(p));
     }
   }
   for (std::size_t in = 0; in < inputs_.size(); ++in) {
     for (VcId vc = 0; vc < params_.num_vcs; ++vc) {
       InputBuffer& buf = in_buf(in, vc);
       while (buf.candidate(port) != nullptr) {
-        const PacketPtr p = buf.dequeue(port);
+        PacketPtr p = buf.dequeue(port);
         if (inputs_[in].channel != nullptr) {
           inputs_[in].channel->return_credits(vc, p->size());
         }
         drop(p);
+        retire_packet(std::move(p));
       }
       refresh_voq(in, vc, port);
     }
@@ -227,6 +230,7 @@ void Switch::try_fill(std::size_t out) {
     PacketPtr p = in_buf(win, vc).dequeue(out);
     DQOS_ASSERT(queued_packets_ > 0);
     --queued_packets_;  // in flight across the crossbar until xbar_arrive
+    ++xbar_in_transit_;
     refresh_voq(win, vc, out);
     if (!edf_arbiter_) rr_last_[out * params_.num_vcs + vc] = win;
 
@@ -250,6 +254,8 @@ void Switch::try_fill(std::size_t out) {
 void Switch::xbar_arrive(PacketPtr p, std::size_t out) {
   const VcId vc = p->hdr.vc;
   if (tracer_) tracer_->record(sim_.now(), TraceEvent::kXbarTransfer, *p, id_);
+  DQOS_ASSERT(xbar_in_transit_ > 0);
+  --xbar_in_transit_;
   out_q(out, vc).enqueue(std::move(p));
   ++queued_packets_;
   try_drain(out);

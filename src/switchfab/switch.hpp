@@ -153,6 +153,10 @@ class Switch final : public PacketReceiver {
   /// incrementally-maintained per-switch counter (probe sampling reads
   /// this every interval; it must not walk the queues).
   [[nodiscard]] std::size_t packets_queued() const { return queued_packets_; }
+  /// Packets mid-crossbar (dequeued from a VOQ, not yet landed in an
+  /// output buffer) — they live in scheduled transfer events and are not
+  /// counted by packets_queued(). The auditor's packet census needs them.
+  [[nodiscard]] std::size_t packets_in_transit() const { return xbar_in_transit_; }
 
  private:
   /// Sentinel in the candidate-deadline cache: VOQ empty.
@@ -240,6 +244,7 @@ class Switch final : public PacketReceiver {
   /// Round-robin grant pointer per (out, vc) (Traditional arch only).
   std::vector<std::size_t> rr_last_;
   std::size_t queued_packets_ = 0;
+  std::size_t xbar_in_transit_ = 0;
   SwitchCounters counters_;
   PacketTracer* tracer_ = nullptr;
   Callback<void(TrafficClass)> drop_cb_;

@@ -18,8 +18,9 @@ void TrafficSource::stop() {
 void TrafficSource::emit(FlowId flow, std::uint64_t bytes) {
   ++messages_;
   bytes_ += bytes;
+  last_enqueue_ = sim_.now();
   if (metrics_) metrics_->on_message_offered(tclass(), bytes, sim_.now());
-  host_.submit(flow, bytes);
+  if (!host_.submit(flow, bytes)) ++refused_;
 }
 
 }  // namespace dqos

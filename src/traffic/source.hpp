@@ -47,6 +47,14 @@ class TrafficSource {
   [[nodiscard]] virtual TrafficClass tclass() const = 0;
   [[nodiscard]] std::uint64_t messages_generated() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_generated() const { return bytes_; }
+  /// Submissions the NIC refused (backlog cap, policer, shed flow).
+  [[nodiscard]] std::uint64_t messages_refused() const { return refused_; }
+  /// When the last chunk was handed to the NIC (zero before the first):
+  /// the per-chunk enqueue timestamp degradation accounting keys off.
+  [[nodiscard]] TimePoint last_enqueue() const { return last_enqueue_; }
+  /// Application frames dropped at the source (late-B-frame policy); only
+  /// video overrides this.
+  [[nodiscard]] virtual std::uint64_t frames_dropped() const { return 0; }
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool stopped() const { return stopped_; }
 
@@ -70,6 +78,8 @@ class TrafficSource {
  private:
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t refused_ = 0;
+  TimePoint last_enqueue_ = TimePoint::zero();
 };
 
 }  // namespace dqos

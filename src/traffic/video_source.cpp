@@ -87,7 +87,19 @@ void VideoSource::start(TimePoint stop) {
 }
 
 void VideoSource::frame_tick() {
-  emit(flow_, draw_frame_size());
+  bool drop = false;
+  if (params_.drop_late_b_frames) {
+    // B slots are the only GoP positions scaled below the mean.
+    const bool b_frame = gop_scale_[gop_pos_] < 1.0;
+    const std::uint64_t expired = host_.flow_expired_packets(flow_);
+    if (b_frame && expired > last_seen_expired_) {
+      drop = true;
+      ++dropped_frames_;
+    }
+    last_seen_expired_ = expired;
+  }
+  const std::uint32_t bytes = draw_frame_size();
+  if (!drop) emit(flow_, bytes);
   const TimePoint next = sim_.now() + params_.frame_period;
   if (next < stop_) {
     pending_ = sim_.schedule_at(next, [this] {

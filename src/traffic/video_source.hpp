@@ -25,6 +25,13 @@ struct VideoParams {
   double size_cv = 0.35;  ///< within-type coefficient of variation
   /// Start phase is randomized within one period so hosts don't beat.
   bool randomize_phase = true;
+  /// Frame-aware degradation (overload, opt-in): when the NIC reports the
+  /// flow expired packets since the last frame, the next *B* frame is
+  /// dropped at the source instead of submitted — losing a B frame costs
+  /// only itself, while I/P frames carry the rest of the GoP. The frame
+  /// size is still drawn (RNG stream stays aligned with a non-dropping
+  /// run), it just is not handed to the NIC.
+  bool drop_late_b_frames = false;
 };
 
 class VideoSource final : public TrafficSource {
@@ -35,6 +42,10 @@ class VideoSource final : public TrafficSource {
   void start(TimePoint stop) override;
   [[nodiscard]] TrafficClass tclass() const override {
     return TrafficClass::kMultimedia;
+  }
+  /// B frames withheld by the drop_late_b_frames policy.
+  [[nodiscard]] std::uint64_t frames_dropped() const override {
+    return dropped_frames_;
   }
 
   /// Mean frame size implied by rate and period (before clamping).
@@ -55,6 +66,8 @@ class VideoSource final : public TrafficSource {
   FlowId flow_;
   VideoParams params_;
   std::size_t gop_pos_ = 0;
+  std::uint64_t dropped_frames_ = 0;
+  std::uint64_t last_seen_expired_ = 0;  ///< NIC expiry count at last frame
   /// Relative mean size per GoP slot (I/P/B pattern), normalized to 1.
   std::array<double, 12> gop_scale_{};
 };

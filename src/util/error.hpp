@@ -1,0 +1,22 @@
+/// \file error.hpp
+/// Common base for the library's structured runtime errors.
+///
+/// Every "this run cannot continue" condition — malformed configuration
+/// (ConfigError), scenario/lifecycle misuse (RunError), or a conservation
+/// invariant tripping at an audit epoch (AuditError) — derives from
+/// DqosError, so tools embedding the library can catch one type and still
+/// get the specific diagnostic (file:line for config, the audit dump for
+/// invariants) through what().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dqos {
+
+class DqosError : public std::runtime_error {
+ public:
+  explicit DqosError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace dqos

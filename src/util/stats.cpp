@@ -137,6 +137,7 @@ void SampleSet::reserve(std::size_t n) {
 void SampleSet::add(double x) {
   stats_.add(x);
   p99_est_.add(x);
+  p999_est_.add(x);
   if (samples_.size() < cap_) {
     samples_.push_back(x);
     sorted_ = false;
@@ -176,6 +177,11 @@ double SampleSet::p99() const {
   // tail without the reservoir's subsampling noise.
   if (stats_.count() <= cap_) return quantile(0.99);
   return p99_est_.value();
+}
+
+double SampleSet::p999() const {
+  if (stats_.count() <= cap_) return quantile(0.999);
+  return p999_est_.value();
 }
 
 double SampleSet::cdf_at(double x) const {

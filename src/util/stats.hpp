@@ -95,6 +95,10 @@ class SampleSet {
   /// estimator, which has no subsampling noise. Small runs are unaffected.
   [[nodiscard]] double p99() const;
 
+  /// 99.9th percentile, same exact-then-P² strategy — the deeper tail the
+  /// overload SLO metrics report (EXPERIMENTS.md O1).
+  [[nodiscard]] double p999() const;
+
   /// Fraction of samples <= x — one point of the empirical CDF.
   [[nodiscard]] double cdf_at(double x) const;
 
@@ -111,6 +115,7 @@ class SampleSet {
   mutable bool sorted_ = false;
   Rng rng_;
   P2Quantile p99_est_{0.99};
+  P2Quantile p999_est_{0.999};
 };
 
 /// Jain's fairness index over per-entity allocations x_i:

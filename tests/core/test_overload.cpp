@@ -1,0 +1,155 @@
+/// \file test_overload.cpp
+/// Graceful-degradation scenarios (EXPERIMENTS.md O1, DESIGN.md §10):
+/// every degradation counter is bit-deterministic across same-seed runs,
+/// a retry/backoff storm still hands back every reserved byte at
+/// teardown, and end-host expiry strictly lowers the admitted classes'
+/// deadline-miss rate past capacity. (The features-off == legacy
+/// bit-identity guard lives in test_determinism.cpp: all knobs default
+/// off and the golden hashes pin that path.)
+#include <gtest/gtest.h>
+
+#include "core/network_simulator.hpp"
+#include "core/run_controller.hpp"
+
+namespace dqos {
+namespace {
+
+using namespace dqos::literals;
+
+/// mesh16 past capacity with the whole degradation stack armed — a
+/// shrunk configs/mesh16_overload.cfg (shorter windows, same knobs).
+SimConfig overload_cfg() {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kMesh2D;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.mesh_concentration = 1;
+  cfg.arch = SwitchArch::kAdvanced2Vc;
+  cfg.load = 1.2;
+  cfg.warmup = 500_us;
+  cfg.measure = 4_ms;
+  cfg.drain = 2_ms;
+  cfg.seed = 1;
+  cfg.reservable_fraction = 0.4;
+  cfg.video.frame_period = 2_ms;
+  cfg.video_frame_budget = 2_ms;
+  cfg.expiry_drop = true;
+  cfg.expiry_abort_ratio = 0.3;
+  cfg.admit_retry_max = 5;
+  cfg.admit_retry_backoff = 50_us;
+  cfg.shed_highwater = 0.9;
+  cfg.fault.audit_epoch = 500_us;
+  return cfg;
+}
+
+/// O1's two phases: an arrival storm against a full reservation ledger,
+/// then partial relief.
+Scenario overload_scenario() {
+  Scenario scn;
+  scn.phases.resize(2);
+  scn.phases[0].load = 1.2;
+  scn.phases[0].flow_arrivals_per_sec = 8000.0;
+  scn.phases[0].flow_departures_per_sec = 400.0;
+  scn.phases[1].start = 2_ms;
+  scn.phases[1].load = 0.7;
+  scn.phases[1].flow_arrivals_per_sec = 500.0;
+  scn.phases[1].flow_departures_per_sec = 400.0;
+  return scn;
+}
+
+TEST(OverloadTest, DegradationCountersAreDeterministicAcrossSameSeedRuns) {
+  auto run_once = [] {
+    NetworkSimulator net(overload_cfg());
+    RunController controller(net, overload_scenario());
+    return controller.run();
+  };
+  const ScenarioReport a = run_once();
+  const ScenarioReport b = run_once();
+
+  // The run exercised the degradation stack, not just the happy path.
+  const SimReport::DegradationReport& d = a.total.degradation;
+  EXPECT_GT(d.expired_packets, 0u);
+  EXPECT_GT(d.expired_bytes, d.expired_packets);  // multi-byte packets
+  EXPECT_GT(d.admit_retries, 0u);
+  EXPECT_GT(d.audits_passed, 0u);
+
+  // Bit-identical across same-seed runs: every counter and every SLO
+  // metric, down to the doubles.
+  const SimReport::DegradationReport& e = b.total.degradation;
+  EXPECT_EQ(d.expired_packets, e.expired_packets);
+  EXPECT_EQ(d.expired_bytes, e.expired_bytes);
+  EXPECT_EQ(d.flows_aborted, e.flows_aborted);
+  EXPECT_EQ(d.frames_dropped, e.frames_dropped);
+  EXPECT_EQ(d.messages_refused, e.messages_refused);
+  EXPECT_EQ(d.admit_retries, e.admit_retries);
+  EXPECT_EQ(d.admit_retries_exhausted, e.admit_retries_exhausted);
+  EXPECT_EQ(d.flows_readmitted, e.flows_readmitted);
+  EXPECT_EQ(d.flows_shed_highwater, e.flows_shed_highwater);
+  EXPECT_EQ(d.audits_passed, e.audits_passed);
+  EXPECT_EQ(a.total.events_processed, b.total.events_processed);
+  EXPECT_EQ(a.total.packets_delivered, b.total.packets_delivered);
+  for (const TrafficClass c : all_traffic_classes()) {
+    EXPECT_EQ(a.total.of(c).expired_packets, b.total.of(c).expired_packets)
+        << to_string(c);
+    EXPECT_EQ(a.total.of(c).deadline_miss_rate, b.total.of(c).deadline_miss_rate)
+        << to_string(c);
+    EXPECT_EQ(a.total.of(c).goodput_bytes_per_sec,
+              b.total.of(c).goodput_bytes_per_sec)
+        << to_string(c);
+    EXPECT_EQ(a.total.of(c).p999_packet_latency_us,
+              b.total.of(c).p999_packet_latency_us)
+        << to_string(c);
+  }
+}
+
+TEST(OverloadTest, RetryStormHandsBackEveryReservedByte) {
+  NetworkSimulator net(overload_cfg());
+  RunController controller(net, overload_scenario());
+  const ScenarioReport rep = controller.run();
+
+  // The backpressure path ran hot: rejected arrivals retried, some were
+  // readmitted, and the auditor held at every epoch along the way.
+  const SimReport::DegradationReport& d = rep.total.degradation;
+  EXPECT_GT(d.admit_retries, 0u);
+  EXPECT_GE(d.admit_retries, d.flows_readmitted);
+  EXPECT_GT(d.audits_passed, 0u);
+
+  // §3.2 exact rollback survives the storm: retries, readmissions,
+  // high-water sheds and expiry aborts all balance to exactly zero
+  // reserved bytes after teardown — no epsilon.
+  EXPECT_EQ(rep.reserved_bps_after_teardown, 0.0);
+  EXPECT_EQ(net.admission().admitted_flows(), 0u);
+}
+
+TEST(OverloadTest, ExpiryStrictlyLowersMultimediaMissRatePastCapacity) {
+  // At 1.2x load without expiry, late packets clog NIC queues and push
+  // every successor later still. Dropping already-late packets at the
+  // head ("skip it, already late") must strictly improve the admitted
+  // multimedia class's SLO miss rate — the degradation is graceful, not
+  // just accounted. Single-phase static population: expiry needs no
+  // churn, which isolates the NIC-side effect.
+  SimConfig on = overload_cfg();
+  on.fault.audit_epoch = Duration::zero();  // isolate expiry
+  SimConfig off = on;
+  off.expiry_drop = false;
+  off.expiry_abort_ratio = 0.0;
+
+  NetworkSimulator net_on(on);
+  const SimReport rep_on = net_on.run();
+  NetworkSimulator net_off(off);
+  const SimReport rep_off = net_off.run();
+
+  EXPECT_GT(rep_on.degradation.expired_packets, 0u);
+  EXPECT_EQ(rep_off.degradation.expired_packets, 0u);
+  const ClassReport& mm_on = rep_on.of(TrafficClass::kMultimedia);
+  const ClassReport& mm_off = rep_off.of(TrafficClass::kMultimedia);
+  EXPECT_GT(mm_off.deadline_miss_rate, 0.0);
+  EXPECT_LT(mm_on.deadline_miss_rate, mm_off.deadline_miss_rate);
+  // Goodput (bytes that made their deadline) must not degrade either:
+  // expiry spends the freed bandwidth on packets that can still arrive
+  // in time.
+  EXPECT_GE(mm_on.goodput_bytes_per_sec, mm_off.goodput_bytes_per_sec);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -1,0 +1,8 @@
+/// Pretends to live at src/proto/pool_ok.cpp: the sanctioned audit point
+/// carries a suppression, and non-packet smart pointers are not flagged.
+void retire_like(PacketPtr p, BufferPtr scratch) {
+  // dqos-lint: allow(unaudited-packet-free) — this IS the audit point
+  p.reset();
+  scratch.reset();  // not a PacketPtr: out of scope for the rule
+  scratch = nullptr;
+}

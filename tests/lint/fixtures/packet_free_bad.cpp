@@ -1,0 +1,8 @@
+/// Pretends to live at src/host/drop_path.cpp: freeing a PacketPtr
+/// without the pool's retirement accounting hides the packet from the
+/// auditor's custody census.
+void drop_path(PacketPtr incoming) {
+  PacketPtr held = grab();
+  held.reset();
+  incoming = nullptr;
+}

@@ -200,6 +200,31 @@ TEST(LintRules, FloatTimeSuppressionLintsClean) {
   EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
 }
 
+// ------------------------------------------ rule: unaudited-packet-free
+
+TEST(LintRules, PacketFreeFixtureFlagsResetAndNullAssignment) {
+  const auto fs =
+      lint_source("src/host/drop_path.cpp", slurp("packet_free_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "unaudited-packet-free"), 2)
+      << testing::PrintToString(rules_of(fs));
+  std::set<int> lines;
+  for (const Finding& f : fs) lines.insert(f.line);
+  EXPECT_EQ(lines, (std::set<int>{6, 7}));
+}
+
+TEST(LintRules, PacketFreeSuppressionAndOtherPointersLintClean) {
+  const auto fs =
+      lint_source("src/proto/pool_ok.cpp", slurp("packet_free_allowed.cpp"));
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, PacketFreeOutsideSrcIsNotSimState) {
+  const auto fs =
+      lint_source("tests/some_test.cpp", slurp("packet_free_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "unaudited-packet-free"), 0)
+      << testing::PrintToString(rules_of(fs));
+}
+
 // --------------------------------------------------- tree walk + headers
 
 TEST(LintDriver, TreeWalkFindsViolationsAndHonorsFileSuppression) {

@@ -106,7 +106,12 @@ int main(int argc, char** argv) {
     } else {
       srep.total = net.run();
     }
-  } catch (const RunError& e) {
+  } catch (const AuditError& e) {
+    // An invariant audit failed mid-run: print the diagnosis and the full
+    // platform state dump the auditor captured at the failing epoch.
+    std::fprintf(stderr, "dqos_sim: %s\n%s", e.what(), e.dump().c_str());
+    return 2;
+  } catch (const DqosError& e) {  // RunError, ConfigError, ...
     std::fprintf(stderr, "dqos_sim: %s\n", e.what());
     return 2;
   }
@@ -208,6 +213,39 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "dqos_sim: DEADLOCK WATCHDOG FIRED\n%s",
                    f.watchdog_report.c_str());
     }
+  }
+
+  // Overload-degradation report: printed only when some degradation
+  // machinery was configured, so default runs keep their legacy output.
+  if (cfg.expiry_drop || cfg.admit_retry_max > 0 || cfg.shed_highwater > 0.0 ||
+      cfg.fault.audit_epoch > Duration::zero()) {
+    const auto& d = rep.degradation;
+    std::printf("\noverload: %llu packets expired (%llu B), %llu flows "
+                "aborted, %llu frames dropped, %llu submissions refused\n",
+                static_cast<unsigned long long>(d.expired_packets),
+                static_cast<unsigned long long>(d.expired_bytes),
+                static_cast<unsigned long long>(d.flows_aborted),
+                static_cast<unsigned long long>(d.frames_dropped),
+                static_cast<unsigned long long>(d.messages_refused));
+    std::printf("backpressure: %llu retries (%llu exhausted), %llu "
+                "readmitted, %llu flows shed at high water; %llu audits "
+                "passed\n",
+                static_cast<unsigned long long>(d.admit_retries),
+                static_cast<unsigned long long>(d.admit_retries_exhausted),
+                static_cast<unsigned long long>(d.flows_readmitted),
+                static_cast<unsigned long long>(d.flows_shed_highwater),
+                static_cast<unsigned long long>(d.audits_passed));
+    TableWriter slo({"class", "miss rate", "goodput [MB/s]", "p99.9 [us]",
+                     "expired"});
+    for (const TrafficClass c : all_traffic_classes()) {
+      const ClassReport& r = rep.of(c);
+      slo.row({std::string(to_string(c)),
+               TableWriter::num(r.deadline_miss_rate, 4),
+               TableWriter::num(r.goodput_bytes_per_sec / 1e6, 1),
+               TableWriter::num(r.p999_packet_latency_us, 1),
+               TableWriter::num(r.expired_packets)});
+    }
+    slo.print(stdout);
   }
 
   if (tracer) {

@@ -253,6 +253,46 @@ void check_float_time(const Sink& sink) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// unaudited-packet-free
+// ---------------------------------------------------------------------------
+
+/// Names of PacketPtr variables declared (or received as parameters) in
+/// the file. Freeing one without the pool's retirement accounting breaks
+/// the custody census the invariant auditor checks.
+std::set<std::string> collect_packet_ptrs(const TokenVec& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (is_ident(t, i, "PacketPtr") && t[i + 1].kind == Token::Kind::kIdent) {
+      names.insert(t[i + 1].text);
+    }
+  }
+  return names;
+}
+
+void check_packet_free(const Sink& sink) {
+  const TokenVec& t = sink.lx.tokens;
+  const std::set<std::string> ptrs = collect_packet_ptrs(t);
+  if (ptrs.empty()) return;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent || ptrs.count(t[i].text) == 0) {
+      continue;
+    }
+    const bool reset_call = is_punct(t, i + 1, ".") &&
+                            is_ident(t, i + 2, "reset") &&
+                            is_punct(t, i + 3, "(");
+    const bool null_assign =
+        is_punct(t, i + 1, "=") && is_ident(t, i + 2, "nullptr");
+    if (reset_call || null_assign) {
+      sink.add(t[i].line, "unaudited-packet-free",
+               "'" + t[i].text +
+                   "' is freed without retirement accounting — drop paths "
+                   "must call retire_packet() so the custody census "
+                   "(fault/auditor.hpp) stays exact");
+    }
+  }
+}
+
 }  // namespace
 
 FileScope classify(const std::string& rel_path) {
@@ -280,6 +320,7 @@ void run_rules(const std::string& rel_path, const LexedFile& lx,
     flagged.insert(companion_containers.begin(), companion_containers.end());
     check_unordered_iteration(sink, flagged);
     check_float_time(sink);
+    check_packet_free(sink);
   }
 }
 

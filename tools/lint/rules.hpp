@@ -12,6 +12,9 @@
 ///                          | de-virtualized hot path (src/sim, src/switchfab)
 ///   float-time-accum       | accumulating simulated time in floating point
 ///                          | (drift can reorder deadlines; time is int ps)
+///   unaudited-packet-free  | PacketPtr reset / nullptr-assignment in src/
+///                          | (drop paths must retire_packet() so the
+///                          | auditor's custody census stays exact)
 ///   header-standalone      | headers that do not compile on their own
 ///                          | (checked by the driver, not a token rule)
 ///

@@ -6,10 +6,16 @@
 /// at steady-state occupancy, plus the EDF head-compare arbiter.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+#include <vector>
+
 #include "proto/packet_pool.hpp"
+#include "sim/simulator.hpp"
 #include "switchfab/arbiter.hpp"
+#include "switchfab/channel.hpp"
 #include "switchfab/queue_discipline.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace dqos {
 namespace {
@@ -66,6 +72,69 @@ void BM_EdfArbiterPick(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EdfArbiterPick)->Arg(4)->Arg(16)->Arg(64);
+
+// PR 7 batch-grain ablations: isolated before/after numbers for the three
+// batched hot loops. Report into BENCH_history.jsonl via
+//   scripts/bench_report.py --gbench --bench build-bench/bench/bench_queue_ops
+//       --sections batch_drain,coalesced_credit,argmin_scan --history ...
+// (the gbench adapter maps items/s to events/s per section).
+
+void BM_CalendarBatchDrain(benchmark::State& state) {
+  // One drain batch per iteration: `batch` events land inside one due
+  // window and drain_due() fires them all in a single re-entry. Before
+  // PR 7 the same work was one pop-per-event through run_until.
+  const auto batch = static_cast<std::int64_t>(state.range(0));
+  Simulator sim;
+  Rng rng(9);
+  for (auto _ : state) {
+    const std::int64_t start = sim.now().ps();
+    for (std::int64_t i = 0; i < batch; ++i) {
+      sim.schedule_at(
+          TimePoint::from_ps(start + static_cast<std::int64_t>(
+                                         rng.uniform_int(1, 100'000))),
+          [] {});
+    }
+    sim.run_until(TimePoint::from_ps(start + 100'001));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_CalendarBatchDrain)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CoalescedCreditReturn(benchmark::State& state) {
+  // `group` same-instant per-packet returns on one (channel, vc) fold
+  // into a single flush event (plus one wire hop) — before PR 7 every
+  // return was its own calendar event.
+  const auto group = static_cast<std::uint32_t>(state.range(0));
+  Simulator sim;
+  Channel ch(sim, Bandwidth::from_gbps(8.0), Duration::nanoseconds(100),
+             /*num_vcs=*/2, /*credits_per_vc=*/1 << 20);
+  for (auto _ : state) {
+    for (std::uint32_t g = 0; g < group; ++g) {
+      ch.consume_credits(0, 256);
+      ch.return_credits(0, 256);
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          group);
+}
+BENCHMARK(BM_CoalescedCreditReturn)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ArgminScan(benchmark::State& state) {
+  // The arbiter's min-deadline row scan in isolation: simd::argmin_i64
+  // over a mostly-sentinel row, the exact shape try_fill sees.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<std::int64_t> row(n, std::numeric_limits<std::int64_t>::max());
+  for (std::size_t i = 0; i < n; i += 3) {
+    row[i] = static_cast<std::int64_t>(rng.uniform_int(0, 1 << 20));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::argmin_i64(row.data(), row.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArgminScan)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_PacketPoolChurn(benchmark::State& state) {
   PacketPool pool;

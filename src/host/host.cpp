@@ -56,16 +56,54 @@ void Host::open_flow(const FlowSpec& spec) {
 }
 
 void Host::push_entry(MinHeap& h, TimePoint key, PacketPtr p) {
-  h.push_back(QEntry{key, next_qseq_++, std::move(p)});
-  std::push_heap(h.begin(), h.end(), std::greater<>{});
+  QEntry e{key, next_qseq_++, std::move(p)};
+  std::size_t i = h.size();
+  h.emplace_back();
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!(h[parent] > e)) break;
+    h[i] = std::move(h[parent]);
+    i = parent;
+  }
+  h[i] = std::move(e);
 }
 
 PacketPtr Host::pop_entry(MinHeap& h) {
   DQOS_EXPECTS(!h.empty());
-  std::pop_heap(h.begin(), h.end(), std::greater<>{});
-  PacketPtr p = std::move(h.back().pkt);
-  h.pop_back();
+  PacketPtr p = std::move(h.front().pkt);
+  if (h.size() > 1) {
+    h.front() = std::move(h.back());
+    h.pop_back();
+    heap_sift_down(h, 0);
+  } else {
+    h.pop_back();
+  }
   return p;
+}
+
+void Host::heap_sift_down(MinHeap& h, std::size_t i) {
+  const std::size_t n = h.size();
+  QEntry e = std::move(h[i]);
+  for (;;) {
+    const std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t m = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (h[m] > h[c]) m = c;
+    }
+    if (!(e > h[m])) break;
+    h[i] = std::move(h[m]);
+    i = m;
+  }
+  h[i] = std::move(e);
+}
+
+void Host::heap_make(MinHeap& h) {
+  if (h.size() < 2) return;
+  for (std::size_t i = (h.size() - 2) / 4 + 1; i-- > 0;) {
+    heap_sift_down(h, i);
+  }
 }
 
 bool Host::submit(FlowId flow, std::uint64_t bytes) {
@@ -217,7 +255,7 @@ void Host::close_flow(FlowId flow) {
     h.erase(std::remove_if(h.begin(), h.end(),
                            [](const QEntry& e) { return e.pkt == nullptr; }),
             h.end());
-    std::make_heap(h.begin(), h.end(), std::greater<>{});
+    heap_make(h);
   };
   purge_heap(eligible_q_);
   for (auto& q : ready_q_) purge_heap(q);
@@ -428,7 +466,9 @@ void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
   p->t_delivered = sim_.now();
   if (tracer_) tracer_->record(p->t_delivered, TraceEvent::kDelivered, *p, id_);
 
-  // The host consumes instantly; buffer space frees immediately.
+  // The host consumes instantly; buffer space frees immediately. The
+  // channel coalesces same-instant returns per VC into one flush event
+  // (DESIGN.md §11) — per-packet calls here stay the simple model.
   DQOS_ASSERT(downlink_ != nullptr);
   downlink_->return_credits(p->hdr.vc, p->size());
 
@@ -440,13 +480,17 @@ void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
   const Duration slack = deadline_local - clock_.local_now(p->t_delivered);
 
   // Out-of-order delivery detection (must never fire: paper appendix).
-  const auto [it, first] = last_seq_seen_.try_emplace(p->hdr.flow, p->hdr.flow_seq);
-  if (!first) {
-    if (p->hdr.flow_seq <= it->second) {
-      ++ooo_;
-    } else {
-      it->second = p->hdr.flow_seq;
-    }
+  // Flow ids are dense small integers (a global counter), so a flat
+  // per-flow array replaces the hash lookup this path paid per packet;
+  // -1 marks a flow with no delivery yet.
+  if (p->hdr.flow >= last_seq_seen_.size()) {
+    last_seq_seen_.resize(p->hdr.flow + 1, -1);
+  }
+  std::int64_t& last_seq = last_seq_seen_[p->hdr.flow];
+  if (last_seq >= 0 && static_cast<std::int64_t>(p->hdr.flow_seq) <= last_seq) {
+    ++ooo_;
+  } else {
+    last_seq = p->hdr.flow_seq;
   }
 
   if (!watched_.empty()) {
@@ -461,6 +505,16 @@ void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
   if (on_packet_) on_packet_(*p, p->t_delivered, slack);
 
   // Message completion tracking (frame-level latency, Fig. 3).
+  // Single-part messages (any message <= one MTU) complete with this very
+  // packet: skip the progress map — and its node allocate/erase — entirely.
+  if (p->hdr.message_parts == 1) {
+    if (on_message_) {
+      on_message_(MessageDelivered{p->hdr.flow, p->hdr.tclass, p->t_created,
+                                   p->t_delivered, p->size(),
+                                   p->hdr.message_id});
+    }
+    return;
+  }
   const std::uint64_t mkey =
       (static_cast<std::uint64_t>(p->hdr.flow) << 32) | p->hdr.message_id;
   auto [mit, fresh] = rx_messages_.try_emplace(

@@ -75,6 +75,23 @@ class TaskSlab {
 
 }  // namespace detail
 
+/// Opt-in relocatability: `true` when move-constructing a `T` into fresh
+/// storage and then destroying the source is equivalent to memcpy'ing the
+/// object representation and *never* destroying the source. Trivially
+/// copyable types qualify automatically. Move-only closure structs whose
+/// captures are pointer-like (PacketPtr, raw pointers, scalars) specialize
+/// this to route their relocation through InlineTask's branch-free memcpy
+/// path instead of an indirect `relocate` call — each packet hop relocates
+/// its arrival closure twice (into the slot table at schedule, out of it at
+/// fire), so the indirect calls are measurable at datapath rates. The
+/// specializing type promises its moved-from state owns nothing that the
+/// skipped destructor call would have released (a null unique_ptr does not).
+template <typename T>
+struct is_trivially_relocatable : std::is_trivially_copyable<T> {};
+template <typename T>
+inline constexpr bool is_trivially_relocatable_v =
+    is_trivially_relocatable<T>::value;
+
 /// A move-only `void()` callable with a 48-byte small-buffer optimization
 /// and slab-allocated overflow. Drop-in replacement for
 /// `std::function<void()>` on the Simulator API (minus copyability).
@@ -188,8 +205,7 @@ class InlineTask {
     }
     static void destroy(InlineTask& t) noexcept { target(t).~D(); }
     static constexpr Ops kOps{&invoke, &relocate, &destroy,
-                              std::is_trivially_copyable_v<D> &&
-                                  std::is_trivially_destructible_v<D>,
+                              is_trivially_relocatable_v<D>,
                               std::is_trivially_destructible_v<D>};
   };
 

@@ -18,7 +18,9 @@ EventId Simulator::schedule_at(TimePoint t, InlineTask&& fn) {
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   s.live = true;
+  s.time_ps = t.ps();
   const std::uint64_t seq = next_seq_++;
+  s.seq = seq;
   push_entry(CalEntry{t, seq, slot});
   ++live_;
   return make_id(s.gen, slot);
@@ -33,9 +35,25 @@ void Simulator::cancel(EventId id) {
   // residue, so schedule/fire/cancel cycles cannot grow memory unboundedly.
   if (!s.live || s.gen != gen) return;
   s.live = false;
-  s.cancelled = true;
-  s.fn.reset();  // release captures now; the bucket entry dies lazily
+  s.fn.reset();  // release captures now
   --live_;
+  if (s.time_ps < bottom_end_ps_) {
+    // Already harvested into the bottom rung: every pending entry with
+    // time < bottom_end_ps_ lives in bottom_[bottom_idx_..), sorted by
+    // (time, seq). Binary-search the exact entry and blank its slot index
+    // in place — no linear scan, and the slot recycles immediately. The
+    // blank entry keeps its key so the rung stays sorted; the drain skips
+    // it without a slot-table load.
+    const CalEntry key{TimePoint::from_ps(s.time_ps), s.seq, slot};
+    const auto it = std::lower_bound(
+        bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_idx_),
+        bottom_.end(), key, Earlier{});
+    DQOS_ASSERT(it != bottom_.end() && it->seq == key.seq && it->slot == slot);
+    it->slot = kTombstoneSlot;
+    free_slot(slot);
+    return;
+  }
+  s.cancelled = true;  // the bucket entry dies lazily at harvest/rebuild
   ++tombstones_;
 }
 
@@ -46,7 +64,7 @@ void Simulator::push_entry(const CalEntry e) {
     // consumption index (e.time >= now_ >= last popped entry).
     const auto it = std::lower_bound(
         bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_idx_),
-        bottom_.end(), e, &earlier);
+        bottom_.end(), e, Earlier{});
     bottom_.insert(it, e);
   } else {
     buckets_[static_cast<std::size_t>(e.time.ps() >> width_shift_) &
@@ -62,72 +80,100 @@ void Simulator::push_entry(const CalEntry e) {
 bool Simulator::refill_bottom() {
   bottom_.clear();
   bottom_idx_ = 0;
-  if (entries_ == 0) return false;
-  const std::size_t nbuckets = bucket_mask_ + 1;
-  std::int64_t abs = bottom_end_ps_ >> width_shift_;
-  for (std::size_t step = 0; step < nbuckets; ++step, ++abs) {
+  // Harvests one bucket's current-year entries into bottom_, reclaiming
+  // lazily-cancelled ones on the way: tombstones die here in bulk, before
+  // the sort, so the drain never sees them.
+  const auto harvest = [this](std::int64_t abs) {
     std::vector<CalEntry>& vec =
         buckets_[static_cast<std::size_t>(abs) & bucket_mask_];
-    if (vec.empty()) continue;
-    // Harvest this bucket's current-year entries. A skipped (future-year)
-    // entry is at least a full ring revolution away, so it cannot beat
-    // anything harvested further ahead in this sweep.
     const std::int64_t limit = (abs + 1) << width_shift_;
-    for (std::size_t i = 0; i < vec.size();) {
-      if (vec[i].time.ps() < limit) {
+    if (tombstones_ == 0) {
+      // Tombstone-free calendar (the steady-state datapath): skip the
+      // per-entry slot-table load — a random-access cache miss per event —
+      // and just split the bucket into due and future-year entries.
+      for (std::size_t i = 0; i < vec.size();) {
+        if (vec[i].time.ps() >= limit) {
+          ++i;
+          continue;
+        }
         bottom_.push_back(vec[i]);
         vec[i] = vec.back();
         vec.pop_back();
-      } else {
+      }
+      return limit;
+    }
+    for (std::size_t i = 0; i < vec.size();) {
+      if (vec[i].time.ps() >= limit) {
         ++i;
+        continue;
       }
-    }
-    if (!bottom_.empty()) {
-      std::sort(bottom_.begin(), bottom_.end(), &earlier);
-      bottom_end_ps_ = limit;
-      return true;
-    }
-  }
-  // A full revolution found nothing due: the pending set is sparse and far
-  // ahead (a drained network waiting on ms-scale timers). Direct scan for
-  // the earliest entry, then harvest its bucket-year.
-  std::int64_t min_ps = 0;
-  bool have = false;
-  for (const std::vector<CalEntry>& vec : buckets_) {
-    for (const CalEntry& e : vec) {
-      if (!have || e.time.ps() < min_ps) {
-        min_ps = e.time.ps();
-        have = true;
-      }
-    }
-  }
-  DQOS_ASSERT(have);
-  abs = min_ps >> width_shift_;
-  const std::int64_t limit = (abs + 1) << width_shift_;
-  std::vector<CalEntry>& vec =
-      buckets_[static_cast<std::size_t>(abs) & bucket_mask_];
-  for (std::size_t i = 0; i < vec.size();) {
-    if (vec[i].time.ps() < limit) {
-      bottom_.push_back(vec[i]);
+      const CalEntry e = vec[i];
       vec[i] = vec.back();
       vec.pop_back();
-    } else {
-      ++i;
+      if (slots_[e.slot].cancelled) {
+        free_slot(e.slot);
+        --tombstones_;
+        --entries_;
+      } else {
+        bottom_.push_back(e);
+      }
     }
+    return limit;
+  };
+  while (entries_ != 0) {
+    const std::size_t nbuckets = bucket_mask_ + 1;
+    std::int64_t abs = bottom_end_ps_ >> width_shift_;
+    for (std::size_t step = 0; step < nbuckets; ++step, ++abs) {
+      if (buckets_[static_cast<std::size_t>(abs) & bucket_mask_].empty()) {
+        continue;
+      }
+      // Harvest this bucket's current-year entries. A skipped (future-year)
+      // entry is at least a full ring revolution away, so it cannot beat
+      // anything harvested further ahead in this sweep.
+      const std::int64_t limit = harvest(abs);
+      if (!bottom_.empty()) {
+        std::sort(bottom_.begin(), bottom_.end(), Earlier{});
+        bottom_end_ps_ = limit;
+        return true;
+      }
+      // The year held only tombstones (all just reclaimed): advance the
+      // window past it and keep sweeping.
+      bottom_end_ps_ = limit;
+      if (entries_ == 0) return false;
+    }
+    // A full revolution found nothing due: the pending set is sparse and
+    // far ahead (a drained network waiting on ms-scale timers). Direct scan
+    // for the earliest entry, then harvest its bucket-year.
+    std::int64_t min_ps = 0;
+    bool have = false;
+    for (const std::vector<CalEntry>& vec : buckets_) {
+      for (const CalEntry& e : vec) {
+        if (!have || e.time.ps() < min_ps) {
+          min_ps = e.time.ps();
+          have = true;
+        }
+      }
+    }
+    DQOS_ASSERT(have);
+    bottom_end_ps_ = harvest(min_ps >> width_shift_);
+    if (!bottom_.empty()) {
+      std::sort(bottom_.begin(), bottom_.end(), Earlier{});
+      return true;
+    }
+    // That year, too, was all tombstones; loop (entries_ re-checked above).
   }
-  DQOS_ASSERT(!bottom_.empty());
-  std::sort(bottom_.begin(), bottom_.end(), &earlier);
-  bottom_end_ps_ = limit;
-  return true;
+  return false;
 }
 
 unsigned Simulator::estimate_width_shift() {
   // The cursor bucket accumulates every event due inside its window, and
-  // each pop rescans it — so occupancy there is governed by the *fire*
+  // each harvest rescans it — so occupancy there is governed by the *fire*
   // rate, not by gaps in a pending-set snapshot (a snapshot mixes the
   // dense near-now working set with sparse far-out timers and lands on a
   // width orders of magnitude too wide). Width ≈ 4 mean inter-fire gaps
-  // keeps the rescan a handful of entries.
+  // keeps the rescan a handful of entries; wider years were measured
+  // slower — they push short serialization delays onto the sorted-rung
+  // insert path (DESIGN.md §11).
   if (pops_since_rebuild_ >= 64) {
     const std::int64_t advance = now_.ps() - last_rebuild_now_ps_;
     const std::int64_t target = advance * 4 / pops_since_rebuild_;
@@ -161,13 +207,28 @@ unsigned Simulator::estimate_width_shift() {
 
 void Simulator::rebuild() {
   scratch_.clear();
-  scratch_.insert(scratch_.end(),
-                  bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_idx_),
-                  bottom_.end());
+  for (std::size_t i = bottom_idx_; i < bottom_.size(); ++i) {
+    if (bottom_[i].slot == kTombstoneSlot) {
+      --entries_;  // cancelled in place; drop the blank entry
+    } else {
+      scratch_.push_back(bottom_[i]);
+    }
+  }
   bottom_.clear();
   bottom_idx_ = 0;
   for (std::vector<CalEntry>& vec : buckets_) {
-    scratch_.insert(scratch_.end(), vec.begin(), vec.end());
+    for (const CalEntry& e : vec) {
+      if (slots_[e.slot].cancelled) {
+        // Reclaim lazily-tombstoned bucket entries while we hold them all
+        // anyway — rebuild is the other bulk-reclamation point besides the
+        // harvest sweep.
+        free_slot(e.slot);
+        --tombstones_;
+        --entries_;
+      } else {
+        scratch_.push_back(e);
+      }
+    }
     vec.clear();
   }
   std::size_t m = kMinBuckets;
@@ -202,19 +263,19 @@ bool Simulator::pop_next(TimePoint limit, TimePoint& t, std::uint64_t& seq,
   while (true) {
     if (bottom_idx_ >= bottom_.size() && !refill_bottom()) return false;
     const CalEntry head = bottom_[bottom_idx_];
-    Slot& s = slots_[head.slot];
-    if (!s.cancelled && head.time > limit) return false;  // leave it queued
+    if (head.slot == kTombstoneSlot) {  // cancelled in place — skip
+      ++bottom_idx_;
+      --entries_;
+      continue;
+    }
+    if (head.time > limit) return false;  // leave it queued
     ++bottom_idx_;
     --entries_;
     if (++pops_since_rebuild_ >= kRebuildPeriod ||
         (buckets_.size() > kMinBuckets && entries_ < buckets_.size() / 8)) {
       rebuild();
     }
-    if (s.cancelled) {
-      free_slot(head.slot);
-      --tombstones_;
-      continue;
-    }
+    Slot& s = slots_[head.slot];
     DQOS_ASSERT(s.live);
     t = head.time;
     seq = head.seq;
@@ -238,33 +299,58 @@ bool Simulator::step() {
   return true;
 }
 
+// dqos-lint: hot
+bool Simulator::drain_due(TimePoint limit) {
+  if (bottom_idx_ >= bottom_.size() && !refill_bottom()) return false;
+  // When the whole harvested window is due, the per-event limit compare
+  // drops out of the loop: anything a closure splices into the rung
+  // mid-batch has time < bottom_end_ps_ <= limit and is due as well.
+  const bool whole_window_due = bottom_end_ps_ <= limit.ps();
+  // The loop re-reads bottom_ every iteration on purpose: a fired closure
+  // may schedule into the rung (relocating it) or trigger a count-driven
+  // rebuild (clearing it). The head is copied out and the closure moved to
+  // a local before invocation for the same reason.
+  while (bottom_idx_ < bottom_.size()) {
+    const CalEntry head = bottom_[bottom_idx_];
+    if (head.slot == kTombstoneSlot) {  // cancelled in place — bulk skip
+      ++bottom_idx_;
+      --entries_;
+      continue;
+    }
+    if (!whole_window_due && head.time > limit) return false;
+    ++bottom_idx_;
+    --entries_;
+    ++pops_since_rebuild_;
+    Slot& s = slots_[head.slot];
+    DQOS_ASSERT(s.live);
+    InlineTask fn = std::move(s.fn);
+    free_slot(head.slot);
+    --live_;
+    DQOS_ASSERT(head.time >= now_);
+    now_ = head.time;
+    ++fired_;
+    if (fire_hook_) fire_hook_(head.seq, head.time);
+    fn();
+  }
+  // Batch-boundary maintenance: the single-step path runs these checks per
+  // pop; batching amortizes them. Rebuild timing only affects bucket
+  // geometry, never the (time, seq) fire order.
+  if (pops_since_rebuild_ >= kRebuildPeriod ||
+      (buckets_.size() > kMinBuckets && entries_ < buckets_.size() / 8)) {
+    rebuild();
+  }
+  return entries_ != 0;
+}
+
 void Simulator::run_until(TimePoint t) {
   DQOS_EXPECTS(t >= now_);
-  TimePoint ft;
-  std::uint64_t seq = 0;
-  InlineTask fn;
-  if (fire_hook_) {  // instrumented runs (golden-determinism tests)
-    while (pop_next(t, ft, seq, fn)) {
-      DQOS_ASSERT(ft >= now_);
-      now_ = ft;
-      ++fired_;
-      fire_hook_(seq, ft);
-      fn();
-    }
-    now_ = t;
-    return;
-  }
-  while (pop_next(t, ft, seq, fn)) {
-    DQOS_ASSERT(ft >= now_);
-    now_ = ft;
-    ++fired_;
-    fn();
+  while (drain_due(t)) {
   }
   now_ = t;
 }
 
 void Simulator::run() {
-  while (step()) {
+  while (drain_due(TimePoint::max())) {
   }
 }
 

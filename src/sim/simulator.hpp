@@ -73,17 +73,31 @@ class Simulator {
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is
   /// a no-op (the generation tag in the handle goes stale when the slot is
-  /// reused). The closure is destroyed immediately; the bucket entry is
-  /// reclaimed when the sweep reaches it (or at the next ring rebuild), so
-  /// repeated cancellation in a long run cannot grow memory without bound.
+  /// reused). The closure is destroyed immediately. An entry still in a
+  /// bucket is reclaimed lazily — in bulk, when the harvest sweep or a ring
+  /// rebuild reaches it; an entry already harvested into the sorted bottom
+  /// rung is located by (time, seq) binary search and blanked in place (no
+  /// linear scan), recycling its slot immediately. Either way, repeated
+  /// cancellation in a long run cannot grow memory without bound.
   void cancel(EventId id);
 
   /// Fires the next event. Returns false when the calendar is empty.
   bool step();
 
   /// Runs events with time <= `t`, then advances the clock to exactly `t`
-  /// (even if the calendar empties earlier).
+  /// (even if the calendar empties earlier). Implemented as repeated
+  /// drain_due() batches.
   void run_until(TimePoint t);
+
+  /// Batch drain (DESIGN.md §11): fires every event due at or before
+  /// `limit` out of the current bottom-rung window in one pass, skipping
+  /// in-place tombstones in bulk and deferring the ring-maintenance checks
+  /// to the batch boundary. Exactly the (time, seq) order of repeated
+  /// step() calls — the rung is sorted, closures scheduled from inside the
+  /// batch splice into it at their sorted position, and rebuild timing
+  /// never affects fire order. Returns false when nothing at or before
+  /// `limit` remains; run()/run_until() are loops over this.
+  bool drain_due(TimePoint limit);
 
   /// Convenience: run_until(now + d).
   void run_for(Duration d) { run_until(now_ + d); }
@@ -115,6 +129,12 @@ class Simulator {
   /// pushed on the free list) exactly once — when its entry is extracted.
   struct Slot {
     InlineTask fn;
+    /// Copy of the entry's ordering key, written at schedule time: cancel()
+    /// uses `time_ps < bottom_end_ps_` to decide whether the entry already
+    /// sits in the (sorted) bottom rung and, if so, binary-searches it by
+    /// (time, seq) instead of scanning.
+    std::int64_t time_ps = 0;
+    std::uint64_t seq = 0;
     std::uint32_t gen = 1;
     bool live = false;       ///< scheduled, not fired, not cancelled
     bool cancelled = false;  ///< tombstoned, awaiting lazy bucket removal
@@ -127,6 +147,12 @@ class Simulator {
     std::uint64_t seq;
     std::uint32_t slot;
   };
+
+  /// Bottom-rung tombstone sentinel: cancel() of an already-harvested
+  /// entry blanks the entry's slot index in place (the (time, seq) key is
+  /// kept so the rung stays sorted); the drain skips such entries without
+  /// loading the slot table, and the slot itself recycles immediately.
+  static constexpr std::uint32_t kTombstoneSlot = 0xffffffffu;
 
   static constexpr std::size_t kMinBuckets = 256;      // power of two
   static constexpr std::size_t kMaxBuckets = 1u << 20;
@@ -147,12 +173,23 @@ class Simulator {
     if (a.time != b.time) return a.time < b.time;
     return a.seq < b.seq;
   }
+  /// Function-object form for the sort/lower_bound call sites: a stateless
+  /// functor inlines per comparison where a function pointer compiles to an
+  /// indirect call — measurable on the refill path, which sorts ~a handful
+  /// of entries a million times per second.
+  struct Earlier {
+    bool operator()(const CalEntry& a, const CalEntry& b) const {
+      return earlier(a, b);
+    }
+  };
 
   void push_entry(CalEntry e);
   /// Refills the sorted bottom rung with the next non-empty bucket-year's
   /// due entries: sweeps forward from the bucket containing bottom_end_,
   /// falling back to a direct scan when a full revolution finds nothing
-  /// due. Returns false only when the calendar is empty.
+  /// due. Lazily-cancelled bucket entries are reclaimed here, in bulk,
+  /// before the sort — tombstones are never sorted or drained. Returns
+  /// false only when the calendar is empty.
   bool refill_bottom();
   /// Gathers every entry, re-estimates the bucket width from the observed
   /// fire rate (mean sim-time advance per pop since the last rebuild),

@@ -17,6 +17,8 @@ Channel::Channel(Simulator& sim, Bandwidth bw, Duration latency, std::uint8_t nu
   in_flight_bytes_.assign(num_vcs, 0);
   credits_in_flight_.assign(num_vcs, 0);
   last_credit_activity_.assign(num_vcs, TimePoint::zero());
+  pending_credits_.assign(num_vcs, {});
+  credit_head_.assign(num_vcs, 0);
 }
 
 void Channel::connect_to(PacketReceiver* dst, PortId dst_port) {
@@ -35,12 +37,34 @@ void Channel::consume_credits(VcId vc, std::uint32_t bytes) {
 void Channel::return_credits(VcId vc, std::uint32_t bytes) {
   DQOS_EXPECTS(vc < credits_.size());
   credits_in_flight_[vc] += static_cast<std::int64_t>(bytes);
-  sim_.schedule_after(latency_, [this, vc, bytes] {
-    credits_in_flight_[vc] -= static_cast<std::int64_t>(bytes);
-    credits_[vc] += bytes;
-    last_credit_activity_[vc] = sim_.now();
-    if (on_credit_) on_credit_();
-  });
+  std::vector<CreditBatch>& q = pending_credits_[vc];
+  const std::int64_t deliver_ps = (sim_.now() + latency_).ps();
+  // Coalesce (DESIGN.md §11): a return landing at the same delivery
+  // instant as the newest pending batch folds into it — no second event.
+  // Delivery instants are non-decreasing (now + fixed latency), so the
+  // batch FIFO stays sorted and each flush consumes exactly the front.
+  if (q.size() > credit_head_[vc] && q.back().deliver_ps == deliver_ps) {
+    q.back().bytes += bytes;
+    return;
+  }
+  q.push_back(CreditBatch{deliver_ps, bytes});
+  sim_.schedule_after(latency_, [this, vc] { flush_credits(vc); });
+}
+
+// dqos-lint: hot
+void Channel::flush_credits(VcId vc) {
+  std::vector<CreditBatch>& q = pending_credits_[vc];
+  DQOS_ASSERT(credit_head_[vc] < q.size());
+  const CreditBatch b = q[credit_head_[vc]];
+  DQOS_ASSERT(b.deliver_ps == sim_.now().ps());
+  if (++credit_head_[vc] == q.size()) {
+    q.clear();  // capacity retained: allocation-free steady state
+    credit_head_[vc] = 0;
+  }
+  credits_in_flight_[vc] -= static_cast<std::int64_t>(b.bytes);
+  credits_[vc] += b.bytes;
+  last_credit_activity_[vc] = sim_.now();
+  if (on_credit_) on_credit_();
 }
 
 void Channel::send(PacketPtr p) {
@@ -67,11 +91,13 @@ void Channel::send(PacketPtr p) {
   busy_time_ += ser;
   in_flight_bytes_[vc] += static_cast<std::int64_t>(p->size());
   ++packets_in_flight_;
-  sim_.schedule_after(ser + latency_, [this, p = std::move(p), vc]() mutable {
-    in_flight_bytes_[vc] -= static_cast<std::int64_t>(p->size());
-    --packets_in_flight_;
-    dst_->receive_packet(std::move(p), dst_port_);
-  });
+  sim_.schedule_after(ser + latency_, ArrivalTask{this, std::move(p), vc});
+}
+
+void Channel::ArrivalTask::operator()() {
+  ch->in_flight_bytes_[vc] -= static_cast<std::int64_t>(p->size());
+  --ch->packets_in_flight_;
+  ch->dst_->receive_packet(std::move(p), ch->dst_port_);
 }
 
 void Channel::fail(bool permanent) {

@@ -67,6 +67,15 @@ class Channel {
 
   /// Called by the *receiver* when it frees `bytes` of VC buffer space.
   /// The credits become visible to the sender after the wire latency.
+  ///
+  /// Returns landing at the same delivery instant on the same VC are
+  /// **coalesced** (DESIGN.md §11): the bytes fold into the newest pending
+  /// batch and no second calendar event is scheduled — one flush per
+  /// (channel, vc, instant) instead of one per packet. Cumulative byte
+  /// counts, the credits_in_flight audit view, and the sender-visible
+  /// delivery times are identical to the per-packet model; in fault-free
+  /// runs same-instant returns never occur, so the event stream (and the
+  /// golden fire-order hash) is unchanged.
   void return_credits(VcId vc, std::uint32_t bytes);
 
   /// Time the link needs to serialize `bytes`.
@@ -152,7 +161,29 @@ class Channel {
     credits_[vc] += delta;
   }
 
+  /// The wire-arrival closure send() schedules, as a named capture struct:
+  /// a lambda holding a PacketPtr cannot opt into the trivially-relocatable
+  /// InlineTask path (lambdas cannot be named for the trait), and this is
+  /// the single hottest closure in the datapath — one per packet hop.
+  struct ArrivalTask {
+    Channel* ch;
+    PacketPtr p;
+    VcId vc;
+    void operator()();
+  };
+
  private:
+  /// One pending coalesced credit delivery: every return folded into it
+  /// shares the same delivery instant. Batches per VC form a FIFO (delivery
+  /// instants are non-decreasing: now + fixed latency), consumed from
+  /// `credit_head_` by flush_credits — one scheduled flush per batch.
+  struct CreditBatch {
+    std::int64_t deliver_ps;
+    std::uint32_t bytes;
+  };
+  /// Applies the front batch of `vc` (the flush event's body).
+  void flush_credits(VcId vc);
+
   void resync_check();
 
   Simulator& sim_;
@@ -163,6 +194,11 @@ class Channel {
   PacketReceiver* dst_ = nullptr;
   PortId dst_port_ = kInvalidPort;
   Callback<void()> on_credit_;
+  /// Per-VC pending credit batches + FIFO consume index. The vector is
+  /// cleared (capacity retained) whenever the last batch flushes, so the
+  /// steady state allocates nothing.
+  std::vector<std::vector<CreditBatch>> pending_credits_;
+  std::vector<std::size_t> credit_head_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   Duration busy_time_ = Duration::zero();
@@ -185,5 +221,10 @@ class Channel {
   std::uint64_t resynced_bytes_ = 0;
   std::uint64_t ttd_corruptions_ = 0;
 };
+
+/// PacketPtr relocates by memcpy (the moved-from unique_ptr is null and is
+/// dropped, not destroyed — see the trait contract in inline_task.hpp).
+template <>
+struct is_trivially_relocatable<Channel::ArrivalTask> : std::true_type {};
 
 }  // namespace dqos

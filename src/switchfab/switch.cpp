@@ -4,6 +4,7 @@
 
 #include "util/contracts.hpp"
 #include "util/log.hpp"
+#include "util/simd.hpp"
 
 namespace dqos {
 
@@ -173,6 +174,7 @@ std::size_t Switch::flush_output(PortId port) {
   return shed;
 }
 
+// dqos-lint: hot
 void Switch::try_fill(std::size_t out) {
   Output& o = outputs_[out];
   const TimePoint now = sim_.now();
@@ -196,16 +198,30 @@ void Switch::try_fill(std::size_t out) {
     const std::uint32_t* sz = voq_sz_.data() + voq_index(vc, out, 0);
     std::size_t win = kNoWinner;
     if (edf_arbiter_) {
-      // EDF: minimum deadline; ties go to the lowest input (strict < over
-      // an ascending scan).
-      std::int64_t best = kNoCandidate;
-      for (std::size_t in = 0; in < num_ports; ++in) {
-        if (dl[in] == kNoCandidate) continue;
-        if (inputs_[in].read_busy_until > now) continue;
-        if (sz[in] > space_left) continue;
-        if (dl[in] < best) {
-          best = dl[in];
-          win = in;
+      // EDF fast path: a pure horizontal argmin over the contiguous row —
+      // no per-element eligibility tests. The row-wide minimum *is* the
+      // arbitration winner whenever it is itself eligible: argmin breaks
+      // ties toward the lowest index, exactly the guarded scan's rule, and
+      // any eligible input the scan would prefer would have to carry a
+      // smaller deadline than the row minimum. A minimum of kNoCandidate
+      // means the whole row is empty. Only a blocked minimum (read port
+      // busy / does not fit) falls back to the guarded scan.
+      const std::size_t cand = simd::argmin_i64(dl, num_ports);
+      if (dl[cand] == kNoCandidate) continue;  // row empty: next VC
+      if (inputs_[cand].read_busy_until <= now && sz[cand] <= space_left) {
+        win = cand;
+      } else {
+        // Congested slow path: minimum deadline among *eligible* inputs;
+        // ties go to the lowest input (strict < over an ascending scan).
+        std::int64_t best = kNoCandidate;
+        for (std::size_t in = 0; in < num_ports; ++in) {
+          if (dl[in] == kNoCandidate) continue;
+          if (inputs_[in].read_busy_until > now) continue;
+          if (sz[in] > space_left) continue;
+          if (dl[in] < best) {
+            best = dl[in];
+            win = in;
+          }
         }
       }
     } else {
@@ -242,9 +258,7 @@ void Switch::try_fill(std::size_t out) {
     o.write_busy_until = i.read_busy_until = now + xfer;
     // The packet is in flight across the crossbar; it lands in the output
     // buffer after the transfer.
-    sim_.schedule_after(xfer, [this, p = std::move(p), out]() mutable {
-      xbar_arrive(std::move(p), out);
-    });
+    sim_.schedule_after(xfer, XbarTask{this, std::move(p), out});
     sim_.schedule_after(xfer, [this, out] { try_fill(out); });
     sim_.schedule_after(xfer, [this, in = win] { on_input_free(in); });
     return;

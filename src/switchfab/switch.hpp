@@ -226,6 +226,19 @@ class Switch final : public PacketReceiver {
   /// Crossbar transfer completion: the packet lands in the output buffer.
   void xbar_arrive(PacketPtr p, std::size_t out);
 
+ public:
+  /// try_fill's transfer-completion closure as a named capture struct so it
+  /// can opt into the trivially-relocatable InlineTask path (one per
+  /// crossbar grant; a PacketPtr lambda capture cannot be named for the
+  /// trait). Public only for the trait specialization below.
+  struct XbarTask {
+    Switch* sw;
+    PacketPtr p;
+    std::size_t out;
+    void operator()() { sw->xbar_arrive(std::move(p), out); }
+  };
+
+ private:
   Simulator& sim_;
   NodeId id_;
   SwitchParams params_;
@@ -252,5 +265,10 @@ class Switch final : public PacketReceiver {
   /// materializes an order).
   std::vector<VcId> vc_order_scratch_;
 };
+
+/// PacketPtr relocates by memcpy (the moved-from unique_ptr is null and is
+/// dropped, not destroyed — see the trait contract in inline_task.hpp).
+template <>
+struct is_trivially_relocatable<Switch::XbarTask> : std::true_type {};
 
 }  // namespace dqos

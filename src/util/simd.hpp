@@ -1,0 +1,211 @@
+/// \file simd.hpp
+/// Portable horizontal-argmin kernels for the datapath's SoA scans.
+///
+/// The switch arbiter's candidate cache (`voq_dl_`, DESIGN.md §8) stores
+/// per-VOQ deadlines as contiguous int64 rows precisely so one arbitration
+/// round is a linear scan. This header supplies that scan as a single
+/// utility, `dqos::simd::argmin_i64`, with three compile-time-selected
+/// implementations:
+///
+///   - SSE4.2 (x86): two 2-lane vectors (4-wide), `pcmpgtq` + blends;
+///   - NEON (aarch64): two 2-lane vectors (4-wide), `cmgt` + `bsl`;
+///   - portable fallback: a 4-accumulator unrolled scalar kernel that
+///     optimizing compilers reduce to branchless conditional moves.
+///
+/// All three return the index of the minimum element, breaking ties toward
+/// the **lowest index** — the same contract as the reference scalar loop
+/// (`argmin_i64_scalar`), which the exhaustive equivalence test
+/// (tests/util/test_simd.cpp) pins across every lane position, tie shape,
+/// sentinel placement, and non-multiple-of-width length.
+///
+/// Selection is per-translation-unit at compile time: the top-level CMake
+/// probe enables `-msse4.2` only when the build host can execute it, so a
+/// plain build stays baseline-portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+#if defined(__SSE4_2__)
+#include <smmintrin.h>
+#define DQOS_SIMD_SSE42 1
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define DQOS_SIMD_NEON 1
+#endif
+
+namespace dqos::simd {
+
+/// Reference implementation: the contract all kernels must match bit-for-
+/// bit (first index of the minimum value). `n` must be >= 1.
+[[nodiscard]] inline std::size_t argmin_i64_scalar(const std::int64_t* v,
+                                                   std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+namespace detail {
+
+/// Folds four (value, first-index-in-lane) accumulators — lane k covering
+/// indices ≡ k (mod 4) — into the global first-minimum index. Each lane
+/// holds the first index of its own minimum, so the fold only needs the
+/// value-then-lowest-index tie-break.
+[[nodiscard]] inline std::size_t fold4(std::int64_t m0, std::size_t i0,
+                                       std::int64_t m1, std::size_t i1,
+                                       std::int64_t m2, std::size_t i2,
+                                       std::int64_t m3, std::size_t i3) {
+  std::int64_t mb = m0;
+  std::size_t ib = i0;
+  if (m1 < mb || (m1 == mb && i1 < ib)) { mb = m1; ib = i1; }
+  if (m2 < mb || (m2 == mb && i2 < ib)) { mb = m2; ib = i2; }
+  if (m3 < mb || (m3 == mb && i3 < ib)) { mb = m3; ib = i3; }
+  return ib;
+}
+
+}  // namespace detail
+
+/// 4-accumulator unrolled kernel: four independent strided minima break
+/// the loop-carried compare dependency; compilers emit cmov/csel for the
+/// lane updates. Short rows take the scalar loop directly.
+// dqos-lint: hot
+[[nodiscard]] inline std::size_t argmin_i64_unrolled(const std::int64_t* v,
+                                                     std::size_t n) {
+  DQOS_EXPECTS(n >= 1);
+  if (n < 8) return argmin_i64_scalar(v, n);
+  std::int64_t m0 = v[0], m1 = v[1], m2 = v[2], m3 = v[3];
+  std::size_t i0 = 0, i1 = 1, i2 = 2, i3 = 3;
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    if (v[i + 0] < m0) { m0 = v[i + 0]; i0 = i + 0; }
+    if (v[i + 1] < m1) { m1 = v[i + 1]; i1 = i + 1; }
+    if (v[i + 2] < m2) { m2 = v[i + 2]; i2 = i + 2; }
+    if (v[i + 3] < m3) { m3 = v[i + 3]; i3 = i + 3; }
+  }
+  std::size_t best = detail::fold4(m0, i0, m1, i1, m2, i2, m3, i3);
+  for (; i < n; ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+#if defined(DQOS_SIMD_SSE42)
+
+/// SSE4.2 kernel: two 2-lane int64 vectors per iteration (4-wide). The
+/// strict `pcmpgtq(min, a)` mask replaces a lane only when the new value
+/// is strictly smaller, so each lane keeps the *first* index of its
+/// minimum — the fold then matches the scalar tie-break exactly.
+// dqos-lint: hot
+[[nodiscard]] inline std::size_t argmin_i64_sse42(const std::int64_t* v,
+                                                  std::size_t n) {
+  DQOS_EXPECTS(n >= 1);
+  if (n < 8) return argmin_i64_scalar(v, n);
+  __m128i minv0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 0));
+  __m128i minv1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 2));
+  __m128i mini0 = _mm_set_epi64x(1, 0);
+  __m128i mini1 = _mm_set_epi64x(3, 2);
+  __m128i cur0 = mini0;
+  __m128i cur1 = mini1;
+  const __m128i step = _mm_set1_epi64x(4);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    cur0 = _mm_add_epi64(cur0, step);
+    cur1 = _mm_add_epi64(cur1, step);
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i + 0));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i + 2));
+    const __m128i lt0 = _mm_cmpgt_epi64(minv0, a);  // a strictly smaller
+    const __m128i lt1 = _mm_cmpgt_epi64(minv1, b);
+    minv0 = _mm_blendv_epi8(minv0, a, lt0);
+    mini0 = _mm_blendv_epi8(mini0, cur0, lt0);
+    minv1 = _mm_blendv_epi8(minv1, b, lt1);
+    mini1 = _mm_blendv_epi8(mini1, cur1, lt1);
+  }
+  std::size_t best = detail::fold4(
+      _mm_cvtsi128_si64(minv0), static_cast<std::size_t>(_mm_cvtsi128_si64(mini0)),
+      _mm_extract_epi64(minv0, 1),
+      static_cast<std::size_t>(_mm_extract_epi64(mini0, 1)),
+      _mm_cvtsi128_si64(minv1), static_cast<std::size_t>(_mm_cvtsi128_si64(mini1)),
+      _mm_extract_epi64(minv1, 1),
+      static_cast<std::size_t>(_mm_extract_epi64(mini1, 1)));
+  for (; i < n; ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+#elif defined(DQOS_SIMD_NEON)
+
+/// NEON (aarch64) kernel: the mirror of the SSE4.2 one — `vcgtq_s64` for
+/// the strict compare, `vbslq` for the blends.
+// dqos-lint: hot
+[[nodiscard]] inline std::size_t argmin_i64_neon(const std::int64_t* v,
+                                                 std::size_t n) {
+  DQOS_EXPECTS(n >= 1);
+  if (n < 8) return argmin_i64_scalar(v, n);
+  int64x2_t minv0 = vld1q_s64(v + 0);
+  int64x2_t minv1 = vld1q_s64(v + 2);
+  const std::int64_t init0[2] = {0, 1};
+  const std::int64_t init1[2] = {2, 3};
+  int64x2_t mini0 = vld1q_s64(init0);
+  int64x2_t mini1 = vld1q_s64(init1);
+  int64x2_t cur0 = mini0;
+  int64x2_t cur1 = mini1;
+  const int64x2_t step = vdupq_n_s64(4);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    cur0 = vaddq_s64(cur0, step);
+    cur1 = vaddq_s64(cur1, step);
+    const int64x2_t a = vld1q_s64(v + i + 0);
+    const int64x2_t b = vld1q_s64(v + i + 2);
+    const uint64x2_t lt0 = vcgtq_s64(minv0, a);  // a strictly smaller
+    const uint64x2_t lt1 = vcgtq_s64(minv1, b);
+    minv0 = vbslq_s64(lt0, a, minv0);
+    mini0 = vbslq_s64(lt0, cur0, mini0);
+    minv1 = vbslq_s64(lt1, b, minv1);
+    mini1 = vbslq_s64(lt1, cur1, mini1);
+  }
+  std::size_t best = detail::fold4(
+      vgetq_lane_s64(minv0, 0), static_cast<std::size_t>(vgetq_lane_s64(mini0, 0)),
+      vgetq_lane_s64(minv0, 1), static_cast<std::size_t>(vgetq_lane_s64(mini0, 1)),
+      vgetq_lane_s64(minv1, 0), static_cast<std::size_t>(vgetq_lane_s64(mini1, 0)),
+      vgetq_lane_s64(minv1, 1), static_cast<std::size_t>(vgetq_lane_s64(mini1, 1)));
+  for (; i < n; ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+#endif
+
+/// Name of the implementation `argmin_i64` dispatches to in this
+/// translation unit (bench/diagnostic labelling).
+inline constexpr const char* kArgminImpl =
+#if defined(DQOS_SIMD_SSE42)
+    "sse4.2";
+#elif defined(DQOS_SIMD_NEON)
+    "neon";
+#else
+    "unrolled";
+#endif
+
+/// First index of the minimum of `v[0..n)`, `n` >= 1. Compile-time
+/// dispatch; every implementation is tie-break-identical to
+/// argmin_i64_scalar.
+[[nodiscard]] inline std::size_t argmin_i64(const std::int64_t* v,
+                                            std::size_t n) {
+#if defined(DQOS_SIMD_SSE42)
+  return argmin_i64_sse42(v, n);
+#elif defined(DQOS_SIMD_NEON)
+  return argmin_i64_neon(v, n);
+#else
+  return argmin_i64_unrolled(v, n);
+#endif
+}
+
+}  // namespace dqos::simd

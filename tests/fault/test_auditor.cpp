@@ -38,6 +38,22 @@ TEST(AuditorTest, CleanRunPassesEveryEpochAndTheFinalAudit) {
   EXPECT_GT(rep.packets_delivered, 0u);
 }
 
+TEST(AuditorTest, CoalescedCreditBatchesBalanceMidFlightEveryEpoch) {
+  // PR 7 folds same-batch credit returns into one wire event per
+  // (channel, vc). The credit-conservation law must hold at *every*
+  // audit epoch, including instants where a merged batch is still riding
+  // the wire — credits_in_flight carries the folded bytes until the
+  // flush lands, so the census sees identical cumulative totals whether
+  // returns travelled per-packet or coalesced.
+  SimConfig cfg = audited_cfg();
+  cfg.load = 0.8;                 // denser drain batches -> more folding
+  cfg.fault.audit_epoch = 50_us;  // audit mid-flight often
+  NetworkSimulator net(cfg);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.degradation.audits_passed, 30u);
+  EXPECT_GT(rep.packets_delivered, 0u);
+}
+
 TEST(AuditorTest, LeakedPacketFailsTheCustodyCensus) {
   NetworkSimulator net(audited_cfg());
   InvariantAuditor* aud = net.auditor();

@@ -225,6 +225,44 @@ TEST(LintRules, PacketFreeOutsideSrcIsNotSimState) {
       << testing::PrintToString(rules_of(fs));
 }
 
+// ------------------------------------------------- rule: hot-path-alloc
+
+TEST(LintLexer, HotMarkerRecordsItsLineWithWordBoundary) {
+  const LexedFile lx = lex(
+      "// dqos-lint: hot\n"
+      "void f() {}\n"
+      "// dqos-lint: hotel\n");
+  EXPECT_EQ(lx.hot_marks, (std::set<int>{1}));
+}
+
+TEST(LintRules, HotAllocFixtureFlagsNewMakeUniqueAndGrowth) {
+  const auto fs =
+      lint_source("src/sim/drain_bad.cpp", slurp("hot_alloc_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "hot-path-alloc"), 3)
+      << testing::PrintToString(rules_of(fs));
+  std::set<int> lines;
+  for (const Finding& f : fs) {
+    if (f.rule == "hot-path-alloc") lines.insert(f.line);
+  }
+  EXPECT_EQ(lines, (std::set<int>{10, 11, 12}));
+}
+
+TEST(LintRules, HotAllocSuppressionAndUnmarkedFunctionsLintClean) {
+  const auto fs =
+      lint_source("src/sim/drain_ok.cpp", slurp("hot_alloc_allowed.cpp"));
+  EXPECT_EQ(count_rule(fs, "hot-path-alloc"), 0)
+      << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, HotAllocIsMarkerDrivenSoItAppliesOutsideSrcToo) {
+  // Unlike the directory-scoped rules, `dqos-lint: hot` is a claim the
+  // author makes wherever the function lives (e.g. a header-only util).
+  const auto fs =
+      lint_source("tools/somewhere.cpp", slurp("hot_alloc_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "hot-path-alloc"), 3)
+      << testing::PrintToString(rules_of(fs));
+}
+
 // --------------------------------------------------- tree walk + headers
 
 TEST(LintDriver, TreeWalkFindsViolationsAndHonorsFileSuppression) {

@@ -309,6 +309,96 @@ TEST(Simulator, CancelDestroysClosureEagerly) {
   sim.run();
 }
 
+TEST(Simulator, DrainDueFiresExactlyTheDueBatch) {
+  // The public batch API (DESIGN.md §11): drain whole due batches until
+  // nothing at or before the limit remains, leaving later events pending.
+  Simulator sim;
+  std::vector<int> fired;
+  for (const int t : {1, 5, 9, 9, 12}) {
+    sim.schedule_at(TimePoint::from_ps(t * 1000), [&fired, t] { fired.push_back(t); });
+  }
+  while (sim.drain_due(TimePoint::from_ps(9000))) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 5, 9, 9}));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  EXPECT_EQ(sim.now().ps(), 9000);  // clock follows the last firing
+  sim.run();
+  EXPECT_EQ(fired.back(), 12);
+  EXPECT_EQ(sim.now().ps(), 12000);
+}
+
+TEST(Simulator, CancelStormMidBatchSkipsTombstonedRungEntries) {
+  // drain_due() fires a whole due batch per loop iteration; the trigger
+  // (lowest seq at the instant) cancels events *later in the same sorted
+  // rung*, which the eager cancel path tombstones in place. The drain
+  // must skip those sentinels without firing or reordering anything.
+  Simulator sim;
+  std::vector<EventId> victims;
+  int fired_victims = 0;
+  int fired_keepers = 0;
+  sim.schedule_after(Duration::nanoseconds(10), [&] {
+    for (const EventId id : victims) sim.cancel(id);
+  });
+  for (int i = 0; i < 64; ++i) {
+    victims.push_back(
+        sim.schedule_after(Duration::nanoseconds(10), [&] { ++fired_victims; }));
+    sim.schedule_after(Duration::nanoseconds(10), [&] { ++fired_keepers; });
+  }
+  sim.run();
+  EXPECT_EQ(fired_victims, 0);
+  EXPECT_EQ(fired_keepers, 64);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, TombstoneHeavyBatchDrainKeepsSurvivorOrder) {
+  // 90% of a 10k-event band is cancelled up front — a mix of in-rung
+  // sentinels and bucket tombstones. The batch drain must bulk-skip all
+  // of them, fire the survivors in exact (time, seq) order, and reclaim
+  // every tombstone by the end of the run.
+  Simulator sim;
+  std::vector<EventId> ids;
+  std::vector<int> order;
+  ids.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(sim.schedule_after(Duration::nanoseconds(1 + (i % 97)),
+                                     [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 10 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 1000u);
+  const auto t_of = [](int tag) { return 1 + (tag % 97); };
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const bool ordered =
+        t_of(order[k - 1]) < t_of(order[k]) ||
+        (t_of(order[k - 1]) == t_of(order[k]) && order[k - 1] < order[k]);
+    EXPECT_TRUE(ordered) << order[k - 1] << " fired before " << order[k];
+  }
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, ScheduleInsideDrainBatchHonorsTheLimit) {
+  // A callback firing mid-batch inserts a new event inside the same due
+  // window (must fire in this drain) and one past the limit (must stay
+  // pending) — the reentrancy case the batch loop's re-read guards.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(TimePoint::from_ps(1000), [&] {
+    fired.push_back(1);
+    sim.schedule_at(TimePoint::from_ps(1500), [&] { fired.push_back(15); });
+    sim.schedule_at(TimePoint::from_ps(9000), [&] { fired.push_back(90); });
+  });
+  sim.schedule_at(TimePoint::from_ps(2000), [&] { fired.push_back(2); });
+  sim.run_until(TimePoint::from_ps(3000));
+  EXPECT_EQ(fired, (std::vector<int>{1, 15, 2}));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired.back(), 90);
+}
+
 TEST(Simulator, InterleavedCancelRescheduleKeepsFifoOrder) {
   // Cancelling and rescheduling at one instant must not perturb the FIFO
   // order of the surviving same-time events (the determinism contract).

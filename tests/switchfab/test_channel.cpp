@@ -159,6 +159,77 @@ TEST_F(ChannelTest, ZeroCreditStallResumesOnReturn) {
   EXPECT_FALSE(ch_.has_credits(0, 2049));
 }
 
+TEST_F(ChannelTest, SameInstantCreditReturnsCoalesceIntoOneFlush) {
+  // PR 7 coalescing (DESIGN.md §11): returns folded within one instant on
+  // one (channel, vc) ride a single wire event — cumulative bytes exact,
+  // exactly one on_credit kick when the merged batch lands.
+  int kicks = 0;
+  ch_.set_on_credit({[](void* c) { ++*static_cast<int*>(c); }, &kicks});
+  ch_.consume_credits(0, 600);
+  ch_.return_credits(0, 100);
+  ch_.return_credits(0, 200);
+  ch_.return_credits(0, 300);
+  EXPECT_EQ(ch_.credits(0), 8192 - 600);  // nothing lands early
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192);
+  EXPECT_EQ(kicks, 1);
+}
+
+TEST_F(ChannelTest, DistinctInstantCreditReturnsKeepTheirOwnFlushes) {
+  // Returns at different instants must NOT merge: each lands exactly one
+  // wire latency after it was issued, with its own kick.
+  int kicks = 0;
+  ch_.set_on_credit({[](void* c) { ++*static_cast<int*>(c); }, &kicks});
+  ch_.consume_credits(0, 300);
+  ch_.return_credits(0, 100);  // t=0 -> lands at 100 ns
+  sim_.run_until(TimePoint::from_ps(50'000));
+  ch_.return_credits(0, 200);  // t=50 ns -> lands at 150 ns
+  sim_.run_until(TimePoint::from_ps(100'000));
+  EXPECT_EQ(ch_.credits(0), 8192 - 200);  // only the first batch landed
+  EXPECT_EQ(kicks, 1);
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192);
+  EXPECT_EQ(kicks, 2);
+}
+
+TEST_F(ChannelTest, CreditCoalescingIsPerVc) {
+  // Same instant, different VCs: separate batches, separate flushes, and
+  // per-VC byte totals stay exact.
+  ch_.consume_credits(0, 150);
+  ch_.consume_credits(1, 250);
+  ch_.return_credits(0, 100);
+  ch_.return_credits(1, 250);
+  ch_.return_credits(0, 50);
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192);
+  EXPECT_EQ(ch_.credits(1), 8192);
+}
+
+TEST_F(ChannelTest, CoalescedReturnsConserveBytesUnderChurn) {
+  // Conservation property across many mixed-instant groups: the sum of
+  // every per-packet return equals the sum delivered by the coalesced
+  // flushes, regardless of how the groups fold.
+  Rng rng(11);
+  std::int64_t outstanding = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int group = static_cast<int>(rng.uniform_int(1, 5));
+    for (int g = 0; g < group; ++g) {
+      const auto bytes = static_cast<std::uint32_t>(rng.uniform_int(1, 512));
+      if (ch_.has_credits(0, bytes)) {
+        ch_.consume_credits(0, bytes);
+        ch_.return_credits(0, bytes);  // same instant: folds into the group
+      }
+    }
+    // Advance a random sub-latency step so some groups share instants
+    // with later ones resolved and some batches are still mid-flight.
+    sim_.run_for(Duration::picoseconds(
+        static_cast<std::int64_t>(rng.uniform_int(1, 60'000))));
+  }
+  (void)outstanding;
+  sim_.run();
+  EXPECT_EQ(ch_.credits(0), 8192);
+}
+
 TEST_F(ChannelTest, SendWhileDownDropsAndCounts) {
   ch_.fail(/*permanent=*/false);
   EXPECT_FALSE(ch_.is_up());

@@ -1,0 +1,154 @@
+/// \file test_simd.cpp
+/// Exhaustive equivalence of the argmin kernels (util/simd.hpp) against
+/// the reference scalar loop. The datapath's correctness argument rests
+/// on argmin_i64 being *bit-identical* to argmin_i64_scalar — same index
+/// for every input, including ties (first index wins), sentinel-heavy
+/// rows, and lengths that are not a multiple of the 4-wide stride — so
+/// these tests sweep every lane position and tie shape rather than
+/// sampling.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace dqos::simd {
+namespace {
+
+// The switch arbiter scans rows of deadlines where empty VOQs hold this
+// sentinel (switchfab keeps int64 max for "no candidate").
+constexpr std::int64_t kSentinel = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kLoBound = std::numeric_limits<std::int64_t>::min();
+
+/// Checks every kernel the build compiled (dispatch target + the
+/// portable unrolled one, which must agree even when dispatch picks a
+/// vector path) against the scalar reference.
+void expect_all_impls_agree(const std::vector<std::int64_t>& v) {
+  const std::size_t want = argmin_i64_scalar(v.data(), v.size());
+  EXPECT_EQ(argmin_i64(v.data(), v.size()), want)
+      << "dispatch (" << kArgminImpl << ") diverged, n=" << v.size();
+  EXPECT_EQ(argmin_i64_unrolled(v.data(), v.size()), want)
+      << "unrolled diverged, n=" << v.size();
+#if defined(DQOS_SIMD_SSE42)
+  EXPECT_EQ(argmin_i64_sse42(v.data(), v.size()), want)
+      << "sse4.2 diverged, n=" << v.size();
+#elif defined(DQOS_SIMD_NEON)
+  EXPECT_EQ(argmin_i64_neon(v.data(), v.size()), want)
+      << "neon diverged, n=" << v.size();
+#endif
+}
+
+TEST(SimdArgmin, ImplNameMatchesCompiledDispatch) {
+  const std::string impl = kArgminImpl;
+#if defined(DQOS_SIMD_SSE42)
+  EXPECT_EQ(impl, "sse4.2");
+#elif defined(DQOS_SIMD_NEON)
+  EXPECT_EQ(impl, "neon");
+#else
+  EXPECT_EQ(impl, "unrolled");
+#endif
+}
+
+// Every (length, minimum position) pair across the scalar short-cut
+// (n < 8), the unrolled body, and tail lengths 8..40 that exercise all
+// residues mod 4.
+TEST(SimdArgmin, SingleMinimumAtEveryLanePosition) {
+  for (std::size_t n = 1; n <= 40; ++n) {
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      std::vector<std::int64_t> v(n, 1000);
+      v[pos] = -5;
+      SCOPED_TRACE("n=" + std::to_string(n) + " pos=" + std::to_string(pos));
+      expect_all_impls_agree(v);
+      EXPECT_EQ(argmin_i64(v.data(), n), pos);
+    }
+  }
+}
+
+// Two equal minima at every (i, j) pair: the first index must win, in
+// particular across lane boundaries (i and j in different strided
+// accumulators) and between body and tail.
+TEST(SimdArgmin, TiesBreakTowardTheLowestIndexForEveryPair) {
+  for (const std::size_t n : {2u, 7u, 8u, 9u, 11u, 12u, 13u, 16u, 19u, 23u}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        std::vector<std::int64_t> v(n, 77);
+        v[i] = -3;
+        v[j] = -3;
+        SCOPED_TRACE("n=" + std::to_string(n) + " i=" + std::to_string(i) +
+                     " j=" + std::to_string(j));
+        expect_all_impls_agree(v);
+        EXPECT_EQ(argmin_i64(v.data(), n), i);
+      }
+    }
+  }
+}
+
+TEST(SimdArgmin, AllEqualRowsReturnIndexZero) {
+  for (std::size_t n = 1; n <= 33; ++n) {
+    for (const std::int64_t fill : {std::int64_t{0}, kSentinel, kLoBound}) {
+      std::vector<std::int64_t> v(n, fill);
+      SCOPED_TRACE("n=" + std::to_string(n) + " fill=" + std::to_string(fill));
+      expect_all_impls_agree(v);
+      EXPECT_EQ(argmin_i64(v.data(), n), 0u);
+    }
+  }
+}
+
+// The arbiter's rows are mostly kSentinel with a few live deadlines; a
+// full-sentinel row must return *some* index holding the sentinel so the
+// caller's `dl[cand] == kNoCandidate` empty-row check works.
+TEST(SimdArgmin, SentinelRowsWithOneLiveDeadline) {
+  for (std::size_t n = 1; n <= 40; ++n) {
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      std::vector<std::int64_t> v(n, kSentinel);
+      v[pos] = 123456;
+      SCOPED_TRACE("n=" + std::to_string(n) + " pos=" + std::to_string(pos));
+      expect_all_impls_agree(v);
+      EXPECT_EQ(argmin_i64(v.data(), n), pos);
+      EXPECT_NE(v[argmin_i64(v.data(), n)], kSentinel);
+    }
+  }
+}
+
+// Extreme magnitudes: pcmpgtq/cmgt are full-width signed compares, so
+// INT64_MIN vs INT64_MAX neighbours must not wrap.
+TEST(SimdArgmin, ExtremeValuesDoNotOverflowTheCompare) {
+  for (const std::size_t n : {8u, 9u, 10u, 11u, 15u, 16u, 17u}) {
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      std::vector<std::int64_t> v(n, kSentinel);
+      for (std::size_t k = 0; k < n; k += 2) v[k] = kSentinel - 1;
+      v[pos] = kLoBound;
+      SCOPED_TRACE("n=" + std::to_string(n) + " pos=" + std::to_string(pos));
+      expect_all_impls_agree(v);
+      EXPECT_EQ(argmin_i64(v.data(), n), pos);
+    }
+  }
+}
+
+// A deterministic LCG sweep over many lengths: no structure, every
+// kernel must still agree with the reference on arbitrary data.
+TEST(SimdArgmin, PseudorandomSweepMatchesScalar) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  auto next = [&x]() {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::int64_t>(x >> 3);
+  };
+  for (std::size_t n = 1; n <= 130; ++n) {
+    for (int rep = 0; rep < 8; ++rep) {
+      std::vector<std::int64_t> v(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        v[k] = next();
+        if ((x & 7) == 0) v[k] = kSentinel;    // sprinkle sentinels
+        if ((x & 63) == 1) v[k] = v[k > 0 ? k - 1 : 0];  // and ties
+      }
+      SCOPED_TRACE("n=" + std::to_string(n) + " rep=" + std::to_string(rep));
+      expect_all_impls_agree(v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqos::simd

@@ -27,6 +27,13 @@ void scan_comment(const std::string& text, int line, LexedFile& out) {
       p += 11;
     } else if (text.compare(p, 6, "allow(") == 0) {
       p += 6;
+    } else if (text.compare(p, 3, "hot") == 0 &&
+               (p + 3 >= text.size() ||
+                std::isalnum(static_cast<unsigned char>(text[p + 3])) == 0)) {
+      // `dqos-lint: hot` — mark; the rule finds the next function body.
+      out.hot_marks.insert(line);
+      pos = text.find(tag, p + 3);
+      continue;
     } else {
       pos = text.find(tag, p);
       continue;

@@ -10,6 +10,9 @@
 ///   // dqos-lint: allow(rule-a, rule-b)   — suppresses those rules on
 ///                                           this line and the next
 ///   // dqos-lint: allow-file(rule-a)      — suppresses for the whole file
+///   // dqos-lint: hot                     — marks the function that starts
+///                                           on/after this line as hot-path
+///                                           (hot-path-alloc applies to it)
 ///
 /// Line numbers are 1-based and attached to every token so findings print
 /// as `file:line: [rule-id] message`.
@@ -35,6 +38,9 @@ struct LexedFile {
   std::map<int, std::set<std::string>> line_allows;
   /// rule ids allowed anywhere in the file.
   std::set<std::string> file_allows;
+  /// Lines carrying a `dqos-lint: hot` marker: the next function body at
+  /// or after each is subject to the hot-path-alloc rule.
+  std::set<int> hot_marks;
 
   /// True if `rule` is suppressed at `line` (by a same-line marker, a
   /// marker on the previous line, or a file-level marker).

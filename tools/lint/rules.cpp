@@ -293,6 +293,70 @@ void check_packet_free(const Sink& sink) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// hot-path-alloc
+// ---------------------------------------------------------------------------
+
+/// Enforces `// dqos-lint: hot` markers: the next function body at or after
+/// each marked line must contain no heap allocation and no growing
+/// container call. Only the *direct* body is scanned (callees make their
+/// own claim with their own marker), so annotate functions whose own
+/// statements are allocation-free.
+void check_hot_path_alloc(const Sink& sink) {
+  if (sink.lx.hot_marks.empty()) return;
+  static const std::array<const char*, 6> kAllocIdents = {
+      "make_unique", "make_shared", "malloc", "calloc", "realloc",
+      "aligned_alloc"};
+  static const std::array<const char*, 8> kGrowthCalls = {
+      "push_back", "emplace_back", "emplace", "insert",
+      "resize",    "reserve",      "assign",  "append"};
+  const TokenVec& t = sink.lx.tokens;
+  for (const int mark : sink.lx.hot_marks) {
+    // The marked function's body: the first `{` at or after the marker
+    // line, brace-matched to its close.
+    std::size_t open = t.size();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].line >= mark && is_punct(t, i, "{")) {
+        open = i;
+        break;
+      }
+    }
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+      if (t[i].kind == Token::Kind::kPunct) {
+        if (t[i].text == "{") ++depth;
+        else if (t[i].text == "}" && --depth == 0) break;
+        continue;
+      }
+      if (t[i].kind != Token::Kind::kIdent) continue;
+      if (t[i].text == "new") {
+        sink.add(t[i].line, "hot-path-alloc",
+                 "'new' inside a `dqos-lint: hot` function — the batch "
+                 "drain / scan / flush paths must not allocate "
+                 "(preallocate at construction; DESIGN.md §11)");
+        continue;
+      }
+      for (const char* id : kAllocIdents) {
+        if (t[i].text == id) {
+          sink.add(t[i].line, "hot-path-alloc",
+                   "'" + t[i].text + "' inside a `dqos-lint: hot` function "
+                                     "— hot paths must not allocate");
+        }
+      }
+      for (const char* call : kGrowthCalls) {
+        if (t[i].text != call || !is_punct(t, i + 1, "(")) continue;
+        if (i == 0 || (!is_punct(t, i - 1, ".") && !is_punct(t, i - 1, "->"))) {
+          continue;
+        }
+        sink.add(t[i].line, "hot-path-alloc",
+                 "'." + t[i].text + "()' inside a `dqos-lint: hot` function "
+                                    "— container growth can reallocate; "
+                                    "keep the steady state allocation-free");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 FileScope classify(const std::string& rel_path) {
@@ -313,6 +377,7 @@ void run_rules(const std::string& rel_path, const LexedFile& lx,
                std::vector<Finding>& out) {
   const FileScope scope = classify(rel_path);
   const Sink sink{rel_path, lx, out};
+  check_hot_path_alloc(sink);  // marker-driven: applies wherever marked
   if (!scope.rng_exempt) check_wallclock(sink);
   if (scope.hot_path) check_type_erasure(sink);
   if (scope.sim_state) {

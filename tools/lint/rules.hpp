@@ -15,6 +15,11 @@
 ///   unaudited-packet-free  | PacketPtr reset / nullptr-assignment in src/
 ///                          | (drop paths must retire_packet() so the
 ///                          | auditor's custody census stays exact)
+///   hot-path-alloc         | heap allocation (new/make_unique/malloc) or
+///                          | container growth (push_back/insert/resize/…)
+///                          | inside a function marked `// dqos-lint: hot`
+///                          | (the batch drain / argmin scan / credit flush
+///                          | paths must stay allocation-free)
 ///   header-standalone      | headers that do not compile on their own
 ///                          | (checked by the driver, not a token rule)
 ///

@@ -1,0 +1,220 @@
+/// \file bench_scaling.cpp
+/// Perf trajectory **P1** — sharded-engine scaling on one 64-switch run.
+///
+/// Where bench_datapath measures the serial datapath, this measures the
+/// conservative-parallel engine (DESIGN.md §12): one saturated 8x8 mesh
+/// (64 switches, 64 hosts) executed at shard counts 1, 2, 4 and 8, with
+/// worker-thread selection left on auto (`shard_threads = -1`: threads on
+/// a multi-core machine, inline window drains on a single core). Output is
+/// bit-identical at every shard count — only the wall clock moves.
+///
+/// Noise protocol (EXPERIMENTS.md P1): rather than timing each shard count
+/// once back to back, the full set is interleaved best-of-N — N rounds of
+/// {1, 2, 4, 8} in order, keeping each section's best events/s round — so a
+/// frequency ramp or a noisy neighbour hits every shard count, not just
+/// one. On a single-core host the expected speedup is ~1x (the inline
+/// engine adds only window-barrier overhead); report scaling numbers from
+/// such a host as overhead measurements, never as speedup.
+///
+/// For each section: events/sec, wall time, and allocs/event via the same
+/// instrumented global operator new as bench_datapath. JSON goes to
+/// --json=PATH for scripts/bench_report.py (with --sections) to fold into
+/// BENCH_scaling.json.
+///
+///   ./bench_scaling [--quick] [--json=PATH]
+// Wall-clock timing is this benchmark's whole purpose; the simulated
+// system under test never reads it. dqos-lint: allow-file(no-wallclock)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "core/experiment.hpp"
+
+// --- instrumented allocator hook (counts every heap allocation) ----------
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace dqos;
+using namespace dqos::literals;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 8};
+constexpr std::size_t kNumPoints = std::size(kShardCounts);
+
+struct Measurement {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                      : 0.0;
+  }
+};
+
+void print_measurement(const char* name, const Measurement& m, double speedup) {
+  std::printf(
+      "  %-10s %12llu events  %8.3f s  %12.0f events/s  %7.4f allocs/event"
+      "  %5.2fx vs shards_1\n",
+      name, static_cast<unsigned long long>(m.events), m.wall_s,
+      m.events_per_sec(), m.allocs_per_event(), speedup);
+}
+
+/// One saturated 8x8-mesh run (configs/mesh64.cfg platform) at `shards`
+/// event calendars. The alloc counter spans the whole run, so allocs/event
+/// is an upper bound on the steady-state cost — it also covers the
+/// per-window mailbox/fire-log growth the sharded engine retains across
+/// windows.
+Measurement run_mesh64(std::uint32_t shards, bool quick) {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kMesh2D;
+  cfg.mesh_width = 8;
+  cfg.mesh_height = 8;
+  cfg.mesh_concentration = 1;
+  cfg.arch = SwitchArch::kSimple2Vc;
+  cfg.load = 1.0;  // saturated: the engine, not the sources, is the limit
+  cfg.warmup = 1_ms;
+  cfg.measure = quick ? 1_ms : 5_ms;
+  cfg.drain = 1_ms;
+  cfg.seed = 1;
+  cfg.shards = shards;
+  cfg.shard_threads = -1;  // auto: workers on multi-core, inline on one core
+  NetworkSimulator net(cfg);
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  const SimReport rep = net.run();
+  const auto t1 = Clock::now();
+  Measurement m;
+  m.events = rep.events_processed;
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return m;
+}
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+void emit_json(std::FILE* f, const Measurement (&best)[kNumPoints],
+               bool quick) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_scaling\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    const Measurement& m = best[i];
+    std::fprintf(f,
+                 "  \"shards_%u\": {\n"
+                 "    \"events\": %llu,\n"
+                 "    \"wall_s\": %.6f,\n"
+                 "    \"events_per_sec\": %.1f,\n"
+                 "    \"allocs\": %llu,\n"
+                 "    \"allocs_per_event\": %.6f\n"
+                 "  }%s\n",
+                 kShardCounts[i], static_cast<unsigned long long>(m.events),
+                 m.wall_s, m.events_per_sec(),
+                 static_cast<unsigned long long>(m.allocs),
+                 m.allocs_per_event(), i + 1 < kNumPoints ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "--quick");
+  const std::string json_path = arg_value(argc, argv, "json", "");
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("=== P1: sharded-engine scaling, mesh64 at shards {1,2,4,8}%s ===\n",
+              quick ? " (quick)" : "");
+  std::printf("  hardware threads: %u%s\n", cores,
+              cores <= 1 ? "  (single core: expect ~1x; numbers below measure"
+                           " sharding overhead, not speedup)"
+                         : "");
+
+  // Interleaved best-of-N: every round times all shard counts in order, so
+  // machine-wide noise lands on the whole set rather than one point.
+  const int rounds = quick ? 1 : 3;
+  Measurement best[kNumPoints];
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < kNumPoints; ++i) {
+      const Measurement m = run_mesh64(kShardCounts[i], quick);
+      if (m.events_per_sec() > best[i].events_per_sec()) best[i] = m;
+    }
+  }
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof name, "shards_%u", kShardCounts[i]);
+    const double base = best[0].events_per_sec();
+    print_measurement(name, best[i],
+                      base > 0.0 ? best[i].events_per_sec() / base : 0.0);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_scaling: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    emit_json(f, best, quick);
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "bench_scaling: write to %s failed\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("json: %s\n", json_path.c_str());
+  }
+  return 0;
+}

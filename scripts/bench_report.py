@@ -170,6 +170,10 @@ def main() -> int:
     ap.add_argument("--gbench", action="store_true",
                     help="treat --bench as a google-benchmark binary; "
                          "history-only (requires --history)")
+    ap.add_argument("--speedup-base", default="",
+                    help="section to normalize speedups against (scaling "
+                         "benches: e.g. shards_1); records a per-section "
+                         "'speedup' in the --out document")
     ap.add_argument("--print-machine", action="store_true",
                     help="print this host's machine label (as used in history"
                          " entries) and exit")
@@ -214,6 +218,9 @@ def main() -> int:
         "quick": args.quick,
         "label": args.label,
     }
+    if args.speedup_base and args.speedup_base not in sections:
+        raise SystemExit(f"error: --speedup-base '{args.speedup_base}' is not "
+                         "among --sections")
     for name in sections:
         base, cur = baseline[name], current[name]
         doc[name] = {
@@ -225,14 +232,20 @@ def main() -> int:
             "allocs_per_event_delta": round(
                 cur["allocs_per_event"] - base["allocs_per_event"], 6),
         }
+        if args.speedup_base:
+            ref = current[args.speedup_base]["events_per_sec"]
+            doc[name]["speedup"] = (
+                round(cur["events_per_sec"] / ref, 3) if ref > 0 else None)
 
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")
     for name in sections:
         sec = doc[name]
+        speedup = (f", {sec['speedup']}x vs {args.speedup_base}"
+                   if "speedup" in sec else "")
         print(f"  {name:<18} {sec['current']['events_per_sec']:>12.1f} ev/s "
               f"({sec['events_per_sec_ratio']}x baseline), "
-              f"{sec['current']['allocs_per_event']:.4f} allocs/event")
+              f"{sec['current']['allocs_per_event']:.4f} allocs/event{speedup}")
 
     if args.history is not None:
         append_history(

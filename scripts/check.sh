@@ -8,7 +8,8 @@
 #   scripts/check.sh            # lint + asan + ubsan presets, perf smoke
 #   scripts/check.sh asan       # just one preset (skips the perf smoke)
 #   scripts/check.sh lint       # dqos_lint + clang-tidy + format check only
-#   scripts/check.sh tsan       # ThreadSanitizer: full suite + sweep smoke
+#   scripts/check.sh tsan       # ThreadSanitizer: full suite + sweep and
+#                               # sharded-engine smokes
 #
 # Perf-trend refresh workflow (after a PR that moves performance):
 #   cmake --preset bench && cmake --build --preset bench --target bench_datapath
@@ -71,6 +72,15 @@ if [[ " ${presets[*]} " == *" tsan "* ]]; then
       --hosts=4 --loads=0.2,0.3,0.4,0.5 --archs=simple,advanced \
       --warmup-ms=0.2 --measure-ms=1 --drain-ms=0.5 --no-video > /dev/null
   echo "tsan sweep smoke OK"
+
+  # Sharded-engine smoke under TSAN: four shard calendars with worker
+  # threads *forced* (shard_threads=1 overrides the single-core auto
+  # fallback), so the window barrier, mailbox handoff and pool lanes run
+  # genuinely concurrent even on a one-core host (DESIGN.md §12).
+  echo "=== [tsan] sharded-engine smoke (4 shards, forced worker threads) ==="
+  build-tsan/tools/dqos_sim --config=configs/mesh16.cfg --shards=4 \
+      --shard-threads=1 --measure-ms=2 > /dev/null
+  echo "tsan shard smoke OK"
 fi
 
 if [[ " ${presets[*]} " == *" asan "* ]]; then
@@ -106,7 +116,8 @@ fi
 if [[ $run_perf_smoke -eq 1 ]]; then
   echo "=== [bench] Release perf smoke ==="
   cmake --preset bench
-  cmake --build --preset bench --target bench_kernel bench_datapath dqos_sim_tool \
+  cmake --build --preset bench \
+      --target bench_kernel bench_datapath bench_scaling dqos_sim_tool \
       -j "$(nproc)"
 
   # The phased scenario path at Release optimization levels: same churn
@@ -177,6 +188,34 @@ else:
     print("  (run the refresh workflow in the script header to arm the gate)")
 PYGATE
   echo "bench gate OK: $gate_json"
+
+  # Scaling gate (core-count gated): on a multi-core machine, 2 shards
+  # with auto worker threads must stay within 10% of the serial engine on
+  # the quick scaling bench — the parallel machinery has to at least pay
+  # for itself before any PR can lean on it. A single-core host cannot
+  # show speedup (the inline engine adds real window-barrier overhead, see
+  # EXPERIMENTS.md P1), so there the ratio prints informationally only.
+  scaling_json=build-bench/bench_scaling_smoke.json
+  build-bench/bench/bench_scaling --quick --json="$scaling_json"
+  python3 - "$scaling_json" <<'PYSCALE'
+import json, os, sys
+doc = json.load(open(sys.argv[1]))
+cores = os.cpu_count() or 1
+s1 = doc["shards_1"]["events_per_sec"]
+s2 = doc["shards_2"]["events_per_sec"]
+ratio = s2 / s1 if s1 > 0 else 0.0
+if cores <= 1:
+    print(f"  scaling gate: 1 core: shards_2/shards_1 = {ratio:.2f}x "
+          "[info only — inline engine, overhead expected]")
+else:
+    verdict = "OK" if ratio >= 0.9 else "REGRESSION"
+    print(f"  scaling gate: {cores} cores: shards_2/shards_1 = {ratio:.2f}x "
+          f"[{verdict}]")
+    if verdict == "REGRESSION":
+        sys.exit("scaling gate: shards=2 is more than 10% slower than the "
+                 "serial engine on a multi-core machine")
+PYSCALE
+  echo "scaling gate OK: $scaling_json"
 fi
 
 echo "=== all checks passed ==="

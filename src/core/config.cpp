@@ -88,6 +88,18 @@ std::string SimConfig::check() const {
   if (shed_highwater < 0.0 || shed_highwater > 1.0) {
     return "shed-highwater must be in [0, 1] (0 = off)";
   }
+  if (shards == 0) return "shards must be at least 1";
+  if (shards > 1) {
+    if (link_latency <= Duration::zero()) {
+      return "shards > 1 requires a positive link-latency-ns (the lookahead)";
+    }
+    if ((fault.enabled || fault.any_faults()) && fault.control_retry) {
+      return "shards > 1 requires no-control-retry (zero-latency ack path)";
+    }
+  }
+  if (shard_threads < -1 || shard_threads > 1) {
+    return "shard-threads must be -1 (auto), 0 (inline) or 1 (threads)";
+  }
   return "";
 }
 

@@ -106,6 +106,18 @@ struct SimConfig {
 
   // --- run control ---
   std::uint64_t seed = 1;
+  /// Sharded conservative-parallel execution (DESIGN.md §12): partition the
+  /// fabric across this many event calendars and run them window-parallel
+  /// with the fixed wire latency as lookahead. 1 = the serial engine.
+  /// Output is bit-identical at any shard count; clamped to the number of
+  /// switches at build time. Requires link_latency > 0 and, when fault
+  /// machinery is armed, control retries off (the retry ack path is a
+  /// zero-latency cross-host touch the lookahead cannot cover).
+  std::uint32_t shards = 1;
+  /// Worker threading for shards > 1: 1 forces worker threads, 0 forces the
+  /// inline (single-thread) window drains, -1 picks threads only on a
+  /// multi-core machine. Purely a performance knob — output is identical.
+  std::int32_t shard_threads = -1;
   /// Periodic probe sampling of fabric occupancy and injection rate into
   /// TimeSeries (SimReport::queue_depth / injected_bytes). Zero = off.
   Duration probe_interval = Duration::zero();

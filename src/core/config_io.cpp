@@ -186,6 +186,15 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
         num_int(args, "link-latency-ns", cfg.link_latency.ps() / 1000));
   }
 
+  cfg.shards = u32("shards", cfg.shards);
+  if (args.has("shard-threads")) {
+    const std::int64_t st = num_int(args, "shard-threads", cfg.shard_threads);
+    if (st < -1 || st > 1) {
+      fail_key(args, "shard-threads", "must be -1 (auto), 0 (inline) or 1");
+    }
+    cfg.shard_threads = static_cast<std::int32_t>(st);
+  }
+
   cfg.warmup = Duration::from_seconds_double(
       num_double(args, "warmup-ms", cfg.warmup.ms()) / 1e3);
   cfg.measure = Duration::from_seconds_double(
@@ -286,7 +295,8 @@ constexpr std::array kKnownKeys = {
     "arch", "topology", "leaves", "hosts-per-leaf", "spines", "kary-k",
     "kary-n", "hosts", "mesh-width", "mesh-height", "mesh-concentration",
     "load", "seed", "vcs", "vc-weights", "buffer", "mtu", "link-gbps",
-    "heap-op-ns", "link-latency-ns", "warmup-ms", "measure-ms", "drain-ms",
+    "heap-op-ns", "link-latency-ns", "shards", "shard-threads", "warmup-ms",
+    "measure-ms", "drain-ms",
     "no-control", "no-video", "no-besteffort", "no-background", "video-trace",
     "video-rate-mbs", "frame-period-ms", "frame-budget-ms", "no-eligible",
     "eligible-lead-us",
@@ -388,6 +398,8 @@ std::string config_to_string(const SimConfig& cfg) {
   out << "mtu=" << cfg.mtu_bytes << "\n";
   out << "link-gbps=" << cfg.link_bw.gbps() << "\n";
   out << "link-latency-ns=" << cfg.link_latency.ps() / 1000 << "\n";
+  if (cfg.shards != 1) out << "shards=" << cfg.shards << "\n";
+  if (cfg.shard_threads != -1) out << "shard-threads=" << cfg.shard_threads << "\n";
   out << "warmup-ms=" << cfg.warmup.ms() << "\n";
   out << "measure-ms=" << cfg.measure.ms() << "\n";
   out << "drain-ms=" << cfg.drain.ms() << "\n";

@@ -1,6 +1,8 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "core/run_controller.hpp"
 #include "core/sweep_runner.hpp"
@@ -8,11 +10,25 @@
 
 namespace dqos {
 
+namespace {
+
+/// How many OS threads one replica of `cfg` occupies: a sharded simulator
+/// with worker threads is `shards` wide, everything else is 1.
+unsigned replica_width(const SimConfig& cfg) {
+  if (cfg.shards <= 1 || cfg.shard_threads == 0) return 1;
+  if (cfg.shard_threads == -1 && std::thread::hardware_concurrency() <= 1) {
+    return 1;  // auto mode picks the inline drain on a single-core box
+  }
+  return cfg.shards;
+}
+
+}  // namespace
+
 std::vector<SweepPoint> run_sweep(const SimConfig& base,
                                   std::span<const SwitchArch> archs,
                                   std::span<const double> loads,
                                   const std::function<void(SimConfig&)>& tweak,
-                                  const Scenario* scenario) {
+                                  const Scenario* scenario, unsigned threads) {
   // Build every point's config on this thread, in serial-loop order; the
   // tweak callback therefore never runs concurrently and per-point seeds
   // are fixed before any replica starts.
@@ -42,7 +58,9 @@ std::vector<SweepPoint> run_sweep(const SimConfig& base,
   // by index so the result order (and every downstream table/CSV byte)
   // matches the serial loop exactly.
   std::vector<SweepPoint> points(cfgs.size());
-  SweepRunner runner;
+  unsigned width = 1;
+  for (const SimConfig& cfg : cfgs) width = std::max(width, replica_width(cfg));
+  SweepRunner runner(threads, width);
   runner.run(cfgs.size(), [&](std::size_t i) {
     NetworkSimulator net(cfgs[i]);
     SimReport rep;

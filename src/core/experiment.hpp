@@ -26,12 +26,15 @@ struct SweepPoint {
 /// executing `scenario->scaled(point load)` — phase loads act as
 /// multipliers of the sweep point's load — and reports the whole-run
 /// totals; invalid scaled scenarios throw RunError before any replica
-/// starts.
+/// starts. `threads` bounds the replica pool (0 = SweepRunner's default:
+/// DQOS_SWEEP_THREADS, else hardware concurrency); when `base.shards`
+/// makes each replica itself multi-threaded, the pool is clamped so
+/// replicas x shards never silently oversubscribes the machine.
 std::vector<SweepPoint> run_sweep(
     const SimConfig& base, std::span<const SwitchArch> archs,
     std::span<const double> loads,
     const std::function<void(SimConfig&)>& tweak = nullptr,
-    const Scenario* scenario = nullptr);
+    const Scenario* scenario = nullptr, unsigned threads = 0);
 
 /// Metric accessor: one number out of a report (e.g. control avg latency).
 using MetricFn = std::function<double(const SimReport&)>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "core/run_controller.hpp"
 #include "topo/kary_ntree.hpp"
@@ -43,15 +44,27 @@ NetworkSimulator::NetworkSimulator(const SimConfig& cfg)
   // late packets, the video sources also withhold the next B frame.
   cfg_.video.drop_late_b_frames = cfg_.expiry_drop;
   build_topology();
+  build_shards();
   injector_ = std::make_unique<FaultInjector>(sim_, *topo_, cfg_.fault);
   injector_->set_admission(admission_.get());
   if (fault_active_ && cfg_.fault.watchdog_interval > Duration::zero()) {
     watchdog_ = std::make_unique<DeadlockWatchdog>(
         sim_, cfg_.fault.watchdog_interval, cfg_.fault.watchdog_rounds);
+    if (engine_) {
+      // The control calendar alone reads empty at end of run while data
+      // events still sit on shard calendars; the final-check probe must
+      // span every calendar or it false-fires under sharding.
+      watchdog_->set_pending_probe(
+          {[](void* c) {
+             return static_cast<ShardExecutor*>(c)->events_pending();
+           },
+           engine_.get()});
+    }
   }
   if (cfg_.fault.audit_epoch > Duration::zero()) {
     auditor_ = std::make_unique<InvariantAuditor>(sim_, pool_);
     auditor_->set_admission(admission_.get());
+    for (const auto& p : shard_pools_) auditor_->register_pool(p.get());
   }
   build_nodes();
   build_channels();
@@ -63,7 +76,82 @@ NetworkSimulator::NetworkSimulator(const SimConfig& cfg)
   }
 }
 
-NetworkSimulator::~NetworkSimulator() = default;
+NetworkSimulator::~NetworkSimulator() {
+  // The last window's barrier drained every lane; this catches frees parked
+  // by an aborted (exception) run so the pool dtor census still holds.
+  for (const auto& p : shard_pools_) p->drain_free_lanes();
+}
+
+void NetworkSimulator::build_shards() {
+  // More shards than switches would leave empty calendars; clamp instead of
+  // erroring so one sweep config can span topology sizes.
+  const std::uint32_t shards = std::min(
+      cfg_.shards, std::max<std::uint32_t>(topo_->num_switches(), 1));
+  if (shards <= 1) return;
+  part_ = partition_topology(*topo_, shards);
+  const bool threads =
+      cfg_.shard_threads == 1 ||
+      (cfg_.shard_threads == -1 && std::thread::hardware_concurrency() > 1);
+  // The conservative lookahead: every cross-shard interaction rides a
+  // channel, and every channel has the same fixed wire latency.
+  engine_ = std::make_unique<ShardExecutor>(sim_, shards,
+                                            cfg_.link_latency.ps(), threads);
+  engine_window_ = engine_->window_active_flag();
+  shard_pools_.reserve(shards);
+  shard_metrics_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shard_pools_.push_back(std::make_unique<PacketPool>());
+    shard_pools_.back()->enable_cross_free(shards,
+                                           static_cast<std::int32_t>(s));
+    shard_metrics_.push_back(std::make_unique<MetricsCollector>());
+    shard_metrics_.back()->set_relay(metrics_.get(), &engine_->log(s),
+                                     engine_window_);
+  }
+  engine_->set_effect_sink({[](void* ctx, const DeferredEffect& e) {
+                              auto* self = static_cast<NetworkSimulator*>(ctx);
+                              if (e.kind == DeferredEffect::Kind::kFlowAborted) {
+                                self->finish_flow_abort(
+                                    static_cast<FlowId>(e.id));
+                              } else {
+                                self->metrics_->apply(e);
+                              }
+                            },
+                            this});
+  engine_->set_barrier_hook(
+      {[](void* ctx) { static_cast<NetworkSimulator*>(ctx)->on_shard_barrier(); },
+       this});
+}
+
+Simulator& NetworkSimulator::sim_for(NodeId n) {
+  return engine_ ? engine_->shard_sim(part_.shard_of(n)) : sim_;
+}
+
+MetricsCollector* NetworkSimulator::metrics_for(NodeId n) {
+  return engine_ ? shard_metrics_[part_.shard_of(n)].get() : metrics_.get();
+}
+
+PacketPool& NetworkSimulator::pool_for(NodeId n) {
+  return engine_ ? *shard_pools_[part_.shard_of(n)] : pool_;
+}
+
+void NetworkSimulator::on_shard_barrier() {
+  for (std::uint32_t s = 0; s < engine_->num_shards(); ++s) {
+    std::vector<CrossArrivalNote>& notes = engine_->arrival_notes(s);
+    for (const CrossArrivalNote& note : notes) {
+      static_cast<Channel*>(note.ch)->apply_cross_arrival(note.vc, note.bytes);
+    }
+    notes.clear();
+  }
+  for (const auto& p : shard_pools_) p->drain_free_lanes();
+}
+
+void NetworkSimulator::run_calendar_until(TimePoint t) {
+  if (engine_) {
+    engine_->run_until(t);
+  } else {
+    sim_.run_until(t);
+  }
+}
 
 void NetworkSimulator::build_topology() {
   switch (cfg_.topology) {
@@ -106,12 +194,12 @@ void NetworkSimulator::build_nodes() {
   for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
     const NodeId id = topo_->switch_id(s);
     switches_.push_back(std::make_unique<Switch>(
-        sim_, id, topo_->num_ports(id), sw, LocalClock(draw_offset())));
+        sim_for(id), id, topo_->num_ports(id), sw, LocalClock(draw_offset())));
     switches_.back()->set_drop_callback(
         {[](void* ctx, TrafficClass tc) {
            static_cast<MetricsCollector*>(ctx)->on_packet_dropped(tc);
          },
-         metrics_.get()});
+         metrics_for(id)});
     injector_->register_switch(switches_.back().get());
     if (watchdog_) watchdog_->register_switch(switches_.back().get());
     if (auditor_) auditor_->register_switch(switches_.back().get());
@@ -125,36 +213,47 @@ void NetworkSimulator::build_nodes() {
   hp.expiry_drop = cfg_.expiry_drop;
   hp.expiry_abort_ratio = cfg_.expiry_abort_ratio;
   hosts_.reserve(topo_->num_hosts());
-  // Warm the packet pool to the expected steady-state working set (a few
+  // Warm the packet pool(s) to the expected steady-state working set (a few
   // packets in flight per host plus NIC backlog) so the measured phase never
-  // touches the general heap on the packet path.
-  pool_.preallocate(static_cast<std::size_t>(topo_->num_hosts()) * 64);
+  // touches the general heap on the packet path. Sharded runs allocate from
+  // per-shard pools, warmed by their own hosts' share.
+  if (engine_) {
+    for (NodeId h = 0; h < topo_->num_hosts(); ++h) {
+      pool_for(h).preallocate(pool_for(h).free_count() + 64);
+    }
+  } else {
+    pool_.preallocate(static_cast<std::size_t>(topo_->num_hosts()) * 64);
+  }
   const bool retry_on = fault_active_ && cfg_.fault.control_retry;
   for (NodeId h = 0; h < topo_->num_hosts(); ++h) {
-    hosts_.push_back(
-        std::make_unique<Host>(sim_, h, hp, LocalClock(draw_offset()), pool_));
+    hosts_.push_back(std::make_unique<Host>(sim_for(h), h, hp,
+                                            LocalClock(draw_offset()),
+                                            pool_for(h)));
     hosts_.back()->set_packet_callback(
-        [m = metrics_.get()](const Packet& p, TimePoint now, Duration slack) {
+        [m = metrics_for(h)](const Packet& p, TimePoint now, Duration slack) {
           m->on_packet_delivered(p, now, slack);
         });
     // Message completion doubles as the (zero-latency, control-plane) ack
-    // that disarms a pending control retry at the source.
-    hosts_.back()->set_message_callback([this, retry_on](const MessageDelivered& d) {
-      metrics_->on_message_delivered(d.tclass, d.created, d.bytes, d.completed);
-      if (retry_on && d.tclass == TrafficClass::kControl) {
-        const auto it = flow_src_.find(d.flow);
-        if (it != flow_src_.end()) {
-          hosts_[it->second]->on_message_acked(d.flow, d.message_id);
-        }
-      }
-    });
+    // that disarms a pending control retry at the source. (Retries are
+    // config-rejected under sharding: the ack is a cross-host touch no
+    // lookahead covers.)
+    hosts_.back()->set_message_callback(
+        [this, retry_on, m = metrics_for(h)](const MessageDelivered& d) {
+          m->on_message_delivered(d.tclass, d.created, d.bytes, d.completed);
+          if (retry_on && d.tclass == TrafficClass::kControl) {
+            const auto it = flow_src_.find(d.flow);
+            if (it != flow_src_.end()) {
+              hosts_[it->second]->on_message_acked(d.flow, d.message_id);
+            }
+          }
+        });
     if (retry_on) {
       hosts_.back()->enable_control_retry(
           Host::RetryParams{cfg_.fault.retry_timeout, cfg_.fault.max_retries});
     }
     if (cfg_.expiry_drop) {
       hosts_.back()->set_expired_callback(
-          [m = metrics_.get()](const Packet& p, TimePoint /*now*/) {
+          [m = metrics_for(h)](const Packet& p, TimePoint /*now*/) {
             m->on_packet_expired(p);
           });
       hosts_.back()->set_flow_aborted_callback(
@@ -173,9 +272,17 @@ void NetworkSimulator::build_channels() {
       const Endpoint peer = topo_->peer(n, p);
       if (!peer.valid()) continue;
       channels_.push_back(std::make_unique<Channel>(
-          sim_, cfg_.link_bw, cfg_.link_latency, cfg_.num_vcs,
+          sim_for(n), cfg_.link_bw, cfg_.link_latency, cfg_.num_vcs,
           cfg_.buffer_bytes_per_vc));
       Channel* ch = channels_.back().get();
+      if (engine_) {
+        const std::uint32_t s_src = part_.shard_of(n);
+        const std::uint32_t s_dst = part_.shard_of(peer.node);
+        if (s_src != s_dst) {
+          ch->set_cross_shard(engine_.get(), s_src, s_dst,
+                              &engine_->shard_sim(s_dst));
+        }
+      }
       injector_->register_channel(Endpoint{n, p}, ch);
       if (auditor_) auditor_->register_channel(Endpoint{n, p}, ch);
       channel_tier_.push_back(topo_->is_host(n)
@@ -273,8 +380,8 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
       ControlParams cp;
       cp.target_bytes_per_sec = phase_rate(p0, TrafficClass::kControl);
       sources_.push_back(std::make_unique<ControlSource>(
-          sim_, host, host_rng.split(1), metrics_.get(), std::move(flows_by_dst),
-          cp, active_pattern_));
+          sim_for(h), host, host_rng.split(1), metrics_for(h),
+          std::move(flows_by_dst), cp, active_pattern_));
     }
 
     // ---- Multimedia: admitted MPEG-4 streams with 10 ms frame budget ----
@@ -302,7 +409,7 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
         flow_src_.emplace(spec->id, h);
         if (video_trace_.empty()) {
           sources_.push_back(std::make_unique<VideoSource>(
-              sim_, host, pick.split(100 + v), metrics_.get(), spec->id,
+              sim_for(h), host, pick.split(100 + v), metrics_for(h), spec->id,
               cfg_.video));
         } else {
           TraceVideoParams tv;
@@ -310,7 +417,7 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
           tv.start_frame = static_cast<std::size_t>(
               pick.uniform_int(0, video_trace_.size() - 1));
           sources_.push_back(std::make_unique<TraceVideoSource>(
-              sim_, host, pick.split(100 + v), metrics_.get(), spec->id,
+              sim_for(h), host, pick.split(100 + v), metrics_for(h), spec->id,
               &video_trace_, tv));
         }
       }
@@ -363,8 +470,8 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
       sp.target_bytes_per_sec = phase_rate(p0, tc);
       sp.tclass = tc;
       sources_.push_back(std::make_unique<SelfSimilarSource>(
-          sim_, host, host_rng.split(salt), metrics_.get(), std::move(flows_by_dst),
-          sp, active_pattern_));
+          sim_for(h), host, host_rng.split(salt), metrics_for(h),
+          std::move(flows_by_dst), sp, active_pattern_));
     };
     add_unregulated(TrafficClass::kBestEffort, cfg_.best_effort_weight,
                     cfg_.enable_best_effort, 3);
@@ -456,7 +563,8 @@ SimReport NetworkSimulator::collect_report(TimePoint t0) {
     rep.packets_injected += h->packets_injected();
     rep.packets_delivered += h->packets_received();
   }
-  rep.events_processed = sim_.events_processed();
+  rep.events_processed =
+      engine_ ? engine_->events_processed() : sim_.events_processed();
   rep.flows_admitted = admission_->admitted_flows();
   rep.flows_rejected = admission_->rejected_flows();
   rep.metrics = metrics_;
@@ -545,15 +653,16 @@ std::optional<FlowId> NetworkSimulator::open_video_flow(NodeId src, Rng rng,
   flow_src_.emplace(spec->id, src);
   if (video_trace_.empty()) {
     sources_.push_back(std::make_unique<VideoSource>(
-        sim_, host, rng.split(1), metrics_.get(), spec->id, cfg_.video));
+        sim_for(src), host, rng.split(1), metrics_for(src), spec->id,
+        cfg_.video));
   } else {
     TraceVideoParams tv;
     tv.frame_period = cfg_.video.frame_period;
     tv.start_frame = static_cast<std::size_t>(
         rng.uniform_int(0, video_trace_.size() - 1));
     sources_.push_back(std::make_unique<TraceVideoSource>(
-        sim_, host, rng.split(1), metrics_.get(), spec->id, &video_trace_,
-        tv));
+        sim_for(src), host, rng.split(1), metrics_for(src), spec->id,
+        &video_trace_, tv));
   }
   churn_sources_.emplace(spec->id, sources_.back().get());
   sources_.back()->start(stop);
@@ -596,6 +705,25 @@ void NetworkSimulator::retire_shed_flow(FlowId id, NodeId src) {
 }
 
 void NetworkSimulator::on_flow_aborted(FlowId id) {
+  // Inside a parallel window only the aborting host's shard may be touched:
+  // silence its source now (local state) and defer the admission-side
+  // release — shared, serial-only state — to the barrier, sequenced by the
+  // abort's position in the merged fire order.
+  if (engine_ != nullptr && *engine_window_) {
+    const auto it = churn_sources_.find(id);
+    if (it != churn_sources_.end()) it->second->stop();
+    const auto src_it = flow_src_.find(id);
+    DQOS_ASSERT(src_it != flow_src_.end());
+    DeferredEffect e;
+    e.kind = DeferredEffect::Kind::kFlowAborted;
+    e.id = id;
+    engine_->log(part_.shard_of(src_it->second)).effects.push_back(e);
+    return;
+  }
+  finish_flow_abort(id);
+}
+
+void NetworkSimulator::finish_flow_abort(FlowId id) {
   // The host has already closed the flow and purged its queues; free its
   // reservation so the bandwidth helps flows still meeting deadlines.
   if (churn_sources_.count(id) > 0) {

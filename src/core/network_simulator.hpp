@@ -32,9 +32,11 @@
 #include "fault/watchdog.hpp"
 #include "host/host.hpp"
 #include "qos/admission.hpp"
+#include "sim/shard_executor.hpp"
 #include "stats/metrics.hpp"
 #include "stats/timeseries.hpp"
 #include "switchfab/switch.hpp"
+#include "topo/partition.hpp"
 #include "topo/topology.hpp"
 #include "traffic/patterns.hpp"
 #include "traffic/source.hpp"
@@ -176,8 +178,18 @@ class NetworkSimulator {
   /// counted as shed degradation).
   void retire_shed_flow(FlowId id, NodeId src);
 
+  /// Runs the event calendar(s) up to and including `t`: the sharded
+  /// engine when cfg.shards > 1, else the plain serial Simulator. The only
+  /// clock-advancing verb RunController uses — output is bit-identical
+  /// either way (DESIGN.md §12).
+  void run_calendar_until(TimePoint t);
+
   // --- component access for tests, examples and custom experiments ---
+  /// The control calendar: run orchestration (phases, churn, faults,
+  /// audits, probes) schedules here in every mode.
   [[nodiscard]] Simulator& sim() { return sim_; }
+  /// Null unless the run is sharded (cfg.shards > 1 after clamping).
+  [[nodiscard]] ShardExecutor* shard_engine() { return engine_.get(); }
   [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] AdmissionController& admission() { return *admission_; }
   [[nodiscard]] MetricsCollector& metrics() { return *metrics_; }
@@ -218,8 +230,27 @@ class NetworkSimulator {
 
  private:
   void build_topology();
+  /// Partitions the fabric and builds the sharded engine, per-shard pools
+  /// and metric relays (no-op when cfg.shards clamps to 1). Must run before
+  /// anything schedules an event: every calendar shares the engine-global
+  /// sequence counter from the first schedule on.
+  void build_shards();
   void build_nodes();
   void build_channels();
+
+  /// The calendar a node's components live on (its shard's, or sim_).
+  [[nodiscard]] Simulator& sim_for(NodeId n);
+  /// The collector a node's components report to (its shard's relay, or
+  /// the primary).
+  [[nodiscard]] MetricsCollector* metrics_for(NodeId n);
+  [[nodiscard]] PacketPool& pool_for(NodeId n);
+  /// Barrier reconciliation: applies parked cross-shard arrival notes to
+  /// sender-owned wire accounting and folds foreign pool frees back.
+  void on_shard_barrier();
+  /// The serial tail of a flow abort (ledger release, host retirement);
+  /// runs immediately in serial mode, at the barrier replay when the abort
+  /// fired inside a window.
+  void finish_flow_abort(FlowId id);
 
   /// Per-class offered bandwidth (bytes/s) under a phase's load and shares.
   [[nodiscard]] double phase_rate(const PhaseSpec& ph, TrafficClass c) const;
@@ -232,13 +263,23 @@ class NetworkSimulator {
 
   SimConfig cfg_;
   Rng rng_;
-  // Destruction order matters: the pool must outlive every queued packet —
-  // including packets captured in pending simulator events — so the pool is
-  // declared before (destroyed after) the simulator and all node objects.
+  // Destruction order matters: the pools must outlive every queued packet —
+  // including packets captured in pending simulator events (the control
+  // calendar's and the engine-owned shard calendars') — so the pools are
+  // declared before (destroyed after) the simulator, the engine and all
+  // node objects.
   PacketPool pool_;
-  Simulator sim_;
+  std::vector<std::unique_ptr<PacketPool>> shard_pools_;
+  Simulator sim_;  ///< the control calendar (the only one when serial)
+  /// Sharded engine (null when serial). Owns the shard calendars, so it is
+  /// declared after sim_ (its control reference) and before every component.
+  std::unique_ptr<ShardExecutor> engine_;
+  Partition part_;  ///< node -> shard map (empty when serial)
+  const bool* engine_window_ = nullptr;  ///< engine's window-active flag
   std::unique_ptr<Topology> topo_;
   std::shared_ptr<MetricsCollector> metrics_;
+  /// Per-shard relay collectors (defer-or-forward to metrics_).
+  std::vector<std::unique_ptr<MetricsCollector>> shard_metrics_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<DestinationPattern> pattern_;
   /// Patterns instantiated for phases whose params differ from the

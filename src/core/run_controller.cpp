@@ -85,7 +85,7 @@ ScenarioReport RunController::run() {
         });
   }
 
-  sim.run_until(horizon);
+  net_.run_calendar_until(horizon);
 
   ScenarioReport out;
   out.total = net_.collect_report(t0_);

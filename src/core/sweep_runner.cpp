@@ -1,6 +1,8 @@
 #include "core/sweep_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -21,7 +23,26 @@ unsigned SweepRunner::resolve_threads(unsigned requested) {
   return hw > 0 ? hw : 1;
 }
 
-SweepRunner::SweepRunner(unsigned threads) : threads_(resolve_threads(threads)) {}
+unsigned SweepRunner::clamp_for_width(unsigned threads,
+                                      unsigned threads_per_job) {
+  if (threads_per_job <= 1 || threads <= 1) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cores = hw > 0 ? hw : 1;
+  if (static_cast<std::uint64_t>(threads) * threads_per_job <= cores) {
+    return threads;
+  }
+  const unsigned clamped = std::max(1u, cores / threads_per_job);
+  if (clamped < threads) {
+    std::fprintf(stderr,
+                 "[sweep] clamping replica pool %u -> %u: %u-thread replicas "
+                 "would oversubscribe %u cores\n",
+                 threads, clamped, threads_per_job, cores);
+  }
+  return clamped;
+}
+
+SweepRunner::SweepRunner(unsigned threads, unsigned threads_per_job)
+    : threads_(clamp_for_width(resolve_threads(threads), threads_per_job)) {}
 
 void SweepRunner::run(std::size_t n, const std::function<void(std::size_t)>& job) {
   if (n == 0) return;

@@ -23,8 +23,12 @@ namespace dqos {
 class SweepRunner {
  public:
   /// threads == 0: use DQOS_SWEEP_THREADS if set (positive integer),
-  /// else std::thread::hardware_concurrency(), else 1.
-  explicit SweepRunner(unsigned threads = 0);
+  /// else std::thread::hardware_concurrency(), else 1. When each replica
+  /// is itself `threads_per_job` wide (a sharded NetworkSimulator running
+  /// worker threads), the pool is clamped so pool x width never exceeds
+  /// the core count — oversubscription warns on stderr instead of
+  /// silently thrashing the barrier-synchronized shard workers.
+  explicit SweepRunner(unsigned threads = 0, unsigned threads_per_job = 1);
 
   [[nodiscard]] unsigned threads() const { return threads_; }
 
@@ -42,6 +46,12 @@ class SweepRunner {
 
   /// What SweepRunner{0} would use — for harness banners.
   [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+
+  /// The oversubscription guard: largest pool size such that
+  /// pool x threads_per_job fits the machine (>= 1). Warns on stderr when
+  /// it shrinks `threads`.
+  [[nodiscard]] static unsigned clamp_for_width(unsigned threads,
+                                                unsigned threads_per_job);
 
  private:
   unsigned threads_;

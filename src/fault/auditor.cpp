@@ -20,7 +20,12 @@ std::string at(const char* file, int line, const std::string& msg) {
 }  // namespace
 
 InvariantAuditor::InvariantAuditor(Simulator& sim, const PacketPool& pool)
-    : sim_(sim), pool_(pool) {}
+    : sim_(sim), pools_{&pool} {}
+
+void InvariantAuditor::register_pool(const PacketPool* pool) {
+  DQOS_EXPECTS(pool != nullptr);
+  pools_.push_back(pool);
+}
 
 void InvariantAuditor::register_channel(const Endpoint& from, const Channel* ch) {
   DQOS_EXPECTS(ch != nullptr);
@@ -129,14 +134,20 @@ std::string InvariantAuditor::check_credits() const {
 
 std::string InvariantAuditor::check_packet_custody() const {
   // Pool self-consistency: the counters are incremented/decremented in
-  // lock-step, so a divergence means raw deleter bypass.
-  const std::uint64_t ledger = pool_.allocated_total() - pool_.recycled_total();
-  if (ledger != pool_.outstanding()) {
-    return at(__FILE__, __LINE__,
-              "packet custody: pool outstanding " +
-                  std::to_string(pool_.outstanding()) + " != allocated " +
-                  std::to_string(pool_.allocated_total()) + " - recycled " +
-                  std::to_string(pool_.recycled_total()));
+  // lock-step, so a divergence means raw deleter bypass. Checked per pool
+  // (sharded runs register one per shard), census against the sum.
+  std::uint64_t outstanding = 0;
+  for (const PacketPool* pool : pools_) {
+    const std::uint64_t ledger =
+        pool->allocated_total() - pool->recycled_total();
+    if (ledger != pool->outstanding()) {
+      return at(__FILE__, __LINE__,
+                "packet custody: pool outstanding " +
+                    std::to_string(pool->outstanding()) + " != allocated " +
+                    std::to_string(pool->allocated_total()) + " - recycled " +
+                    std::to_string(pool->recycled_total()));
+    }
+    outstanding += pool->outstanding();
   }
   // Census: every outstanding packet is in exactly one custody point.
   std::uint64_t census = 0;
@@ -145,9 +156,9 @@ std::string InvariantAuditor::check_packet_custody() const {
     census += s->packets_queued() + s->packets_in_transit();
   }
   for (const auto& [key, ch] : channels_) census += ch->packets_in_flight();
-  if (census != pool_.outstanding()) {
+  if (census != outstanding) {
     return at(__FILE__, __LINE__,
-              "packet custody: " + std::to_string(pool_.outstanding()) +
+              "packet custody: " + std::to_string(outstanding) +
                   " packets outstanding but custody census finds " +
                   std::to_string(census) +
                   " (host queues + switch buffers + crossbar + wires)");
@@ -165,10 +176,15 @@ std::string InvariantAuditor::check_admission() const {
 std::string InvariantAuditor::dump_state() const {
   std::ostringstream out;
   out << "audit state dump @" << sim_.now().us() << "us\n";
-  out << "pool: outstanding=" << pool_.outstanding()
-      << " allocated=" << pool_.allocated_total()
-      << " recycled=" << pool_.recycled_total()
-      << " retired=" << pool_.retired_total() << "\n";
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    const PacketPool& pool = *pools_[i];
+    out << "pool";
+    if (i > 0) out << "[" << i << "]";
+    out << ": outstanding=" << pool.outstanding()
+        << " allocated=" << pool.allocated_total()
+        << " recycled=" << pool.recycled_total()
+        << " retired=" << pool.retired_total() << "\n";
+  }
   for (const Host* h : hosts_) {
     out << "host " << h->id() << ": queued=" << h->queued_packets()
         << " injected=" << h->packets_injected()

@@ -62,6 +62,9 @@ class InvariantAuditor {
   InvariantAuditor(Simulator& sim, const PacketPool& pool);
 
   /// --- wiring (done once, before arm()) -----------------------------------
+  /// Registers an additional packet pool (sharded runs keep one per shard);
+  /// the custody census is checked against the sum over all pools.
+  void register_pool(const PacketPool* pool);
   /// Registers the channel carrying the directed link departing `from`.
   void register_channel(const Endpoint& from, const Channel* ch);
   void register_switch(const Switch* sw);
@@ -91,7 +94,7 @@ class InvariantAuditor {
   void sort_registries();
 
   Simulator& sim_;
-  const PacketPool& pool_;
+  std::vector<const PacketPool*> pools_;
   const AdmissionController* admission_ = nullptr;
   std::vector<std::pair<std::uint64_t, const Channel*>> channels_;  ///< keyed
   std::vector<const Switch*> switches_;

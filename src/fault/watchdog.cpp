@@ -78,7 +78,9 @@ void DeadlockWatchdog::tick(TimePoint horizon) {
 
 void DeadlockWatchdog::final_check() {
   if (fired_) return;
-  if (queued_packets() > 0 && sim_.events_pending() == 0) {
+  const std::size_t pending =
+      pending_probe_ ? pending_probe_() : sim_.events_pending();
+  if (queued_packets() > 0 && pending == 0) {
     fire("queued traffic with an empty event calendar");
   }
 }

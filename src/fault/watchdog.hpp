@@ -22,6 +22,7 @@
 #include "host/host.hpp"
 #include "sim/simulator.hpp"
 #include "switchfab/switch.hpp"
+#include "util/callback.hpp"
 
 namespace dqos {
 
@@ -43,6 +44,14 @@ class DeadlockWatchdog {
   /// Call after the simulator ran out of events (or hit its horizon).
   void final_check();
 
+  /// Overrides where final_check reads "events still pending". Under the
+  /// sharded engine (DESIGN.md §12) the watchdog's `sim_` is the control
+  /// calendar, which is legitimately empty at end of run while data events
+  /// still sit on shard calendars — the probe must span all of them.
+  void set_pending_probe(Callback<std::size_t()> probe) {
+    pending_probe_ = probe;
+  }
+
   [[nodiscard]] bool fired() const { return fired_; }
   /// Per-switch credit/occupancy diagnostics captured when it fired.
   [[nodiscard]] const std::string& report() const { return report_; }
@@ -58,6 +67,7 @@ class DeadlockWatchdog {
   Simulator& sim_;
   Duration interval_;
   std::uint32_t rounds_;
+  Callback<std::size_t()> pending_probe_;
   std::vector<Switch*> switches_;
   std::vector<Host*> hosts_;
 

@@ -4,6 +4,12 @@
 
 namespace dqos {
 
+namespace {
+/// Which shard's window drain this thread is currently executing; -1 for
+/// the serial/coordinator context (setup, instants, barriers, teardown).
+thread_local std::int32_t tls_current_shard = -1;
+}  // namespace
+
 void PacketRecycler::operator()(Packet* p) const {
   if (!p) return;
   if (pool) {
@@ -42,10 +48,57 @@ PacketPtr PacketPool::make() {
 }
 
 void PacketPool::recycle(Packet* p) {
+  if (cross_free_) {
+    const std::int32_t s = tls_current_shard;
+    if (s >= 0 && s != owner_shard_) {
+      lanes_[static_cast<std::size_t>(s)].push_back(LaneEntry{p, false});
+      return;
+    }
+  }
   DQOS_ASSERT(outstanding_ > 0);
   --outstanding_;
   ++recycled_total_;
   free_.push_back(p);
+}
+
+void PacketPool::retire(Packet* p) {
+  DQOS_ASSERT(p != nullptr);
+  if (cross_free_) {
+    const std::int32_t s = tls_current_shard;
+    if (s >= 0 && s != owner_shard_) {
+      lanes_[static_cast<std::size_t>(s)].push_back(LaneEntry{p, true});
+      return;
+    }
+  }
+  ++retired_total_;
+  recycle(p);
+}
+
+void PacketPool::enable_cross_free(std::uint32_t num_shards,
+                                   std::int32_t owner_shard) {
+  DQOS_EXPECTS(num_shards >= 2);
+  DQOS_EXPECTS(owner_shard >= 0 &&
+               owner_shard < static_cast<std::int32_t>(num_shards));
+  cross_free_ = true;
+  owner_shard_ = owner_shard;
+  lanes_.resize(num_shards);
+}
+
+void PacketPool::drain_free_lanes() {
+  for (std::vector<LaneEntry>& lane : lanes_) {
+    for (const LaneEntry& e : lane) {
+      if (e.retired) ++retired_total_;
+      DQOS_ASSERT(outstanding_ > 0);
+      --outstanding_;
+      ++recycled_total_;
+      free_.push_back(e.p);
+    }
+    lane.clear();
+  }
+}
+
+void PacketPool::set_current_shard(std::int32_t shard) {
+  tls_current_shard = shard;
 }
 
 }  // namespace dqos

@@ -62,11 +62,35 @@ class PacketPool {
   /// Packets released through retire_packet() (accounted drop paths).
   [[nodiscard]] std::uint64_t retired_total() const { return retired_total_; }
 
+  /// Accounted release (see retire_packet below). Public so the free
+  /// function can route through the pool's thread-aware path.
+  void retire(Packet* p);
+
+  // --- sharded execution (DESIGN.md §12) ---------------------------------
+  /// Arms cross-shard frees: a recycle arriving from a worker thread other
+  /// than the owner shard's is parked in that caller shard's side lane
+  /// (single-producer, touched by no one else mid-window) and folded back
+  /// — free list and counters alike — by the coordinator at the next
+  /// barrier via drain_free_lanes(). Frees from the owner shard or from
+  /// serial stretches (current shard -1) stay direct, so a serial run is
+  /// untouched.
+  void enable_cross_free(std::uint32_t num_shards, std::int32_t owner_shard);
+  /// Folds all parked foreign frees into the free list (coordinator only,
+  /// at a window barrier or after the run).
+  void drain_free_lanes();
+  /// Thread-local caller-shard id: set by the engine around each window
+  /// drain; -1 (the default) means the serial/coordinator context.
+  static void set_current_shard(std::int32_t shard);
+
  private:
   friend struct PacketRecycler;
-  friend void retire_packet(PacketPtr p);
   void recycle(Packet* p);
   void grow();
+
+  struct LaneEntry {
+    Packet* p;
+    bool retired;  ///< came through retire() — count it at the drain
+  };
 
   std::vector<std::unique_ptr<Packet[]>> chunks_;
   std::vector<Packet*> free_;
@@ -74,6 +98,9 @@ class PacketPool {
   std::uint64_t allocated_total_ = 0;
   std::uint64_t recycled_total_ = 0;
   std::uint64_t retired_total_ = 0;
+  std::int32_t owner_shard_ = -1;
+  bool cross_free_ = false;
+  std::vector<std::vector<LaneEntry>> lanes_;  ///< indexed by caller shard
 };
 
 /// Accounted release for drop paths (expiry, purge, shed): recycles `p`
@@ -82,7 +109,10 @@ class PacketPool {
 /// in src/ is forbidden by the `unaudited-packet-free` lint rule.
 inline void retire_packet(PacketPtr p) {
   if (!p) return;
-  if (PacketPool* pool = p.get_deleter().pool) ++pool->retired_total_;
+  if (PacketPool* pool = p.get_deleter().pool) {
+    pool->retire(p.release());
+    return;
+  }
   p.reset();  // dqos-lint: allow(unaudited-packet-free) — this IS the audit point
 }
 

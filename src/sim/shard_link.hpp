@@ -1,0 +1,132 @@
+/// \file shard_link.hpp
+/// Shared data types linking one shard's Simulator to the sharded
+/// conservative engine (shard_executor.hpp): the per-window log a shard
+/// records while draining, the cross-shard mailbox message, and the
+/// deferred side-effect record.
+///
+/// The parallel engine reproduces the serial engine's output bit-for-bit
+/// (DESIGN.md §12). The mechanism: during a time window every shard
+/// assigns *provisional* sequence numbers (kProvSeqBase | n) to the events
+/// it schedules, and logs — per fired event, in call order — every
+/// schedule it performed (its "kids"). At the window barrier a coordinator
+/// k-way-merges the shards' fire logs in global (time, key) order and
+/// replays the serial kernel's sequence assignment: walking fired events
+/// in exactly the order the serial kernel would have fired them, it hands
+/// each kid the next global sequence number, patching pending calendar
+/// entries (Simulator::rekey), later fire records, and mailbox messages.
+/// The result is that every event carries the exact sequence number the
+/// serial run would have given it, so the (time, seq) fire order — and the
+/// golden fire-order hash — are byte-identical at any shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/packet_pool.hpp"
+#include "util/time.hpp"
+
+namespace dqos {
+
+/// A cross-shard event in transit: posted by a sender-shard component
+/// (Channel) during a window, sequence-stamped by the coordinator during
+/// the barrier merge, then delivered (scheduled onto the destination
+/// shard's calendar) by `deliver`. The conservative lookahead contract:
+/// `at_ps` is at least one full lookahead after the instant the message
+/// was posted, so it can never land inside the window that produced it.
+struct CrossMsg {
+  std::int64_t at_ps = 0;
+  std::uint64_t seq = 0;       ///< final serial seq, stamped at the merge
+  std::uint32_t bytes = 0;     ///< payload size / credit bytes (foldable)
+  std::uint8_t vc = 0;
+  std::uint8_t kind = 0;       ///< producer-private discriminator
+  void* ctx = nullptr;         ///< producer object (e.g. the Channel)
+  PacketPtr p;                 ///< packet payload (null for credit returns)
+  /// Schedules the message body on the destination shard; set by the
+  /// producer at post time, invoked by the coordinator at the barrier.
+  void (*deliver)(CrossMsg&& m) = nullptr;
+};
+
+/// A side effect recorded during a window instead of being applied:
+/// order-sensitive writes against shared state (the MetricsCollector's
+/// reservoirs and streaming accumulators, admission-ledger releases). The
+/// coordinator replays effects in merged global fire order, so shared
+/// state sees exactly the serial call sequence.
+struct DeferredEffect {
+  enum class Kind : std::uint8_t {
+    kPacketDelivered,
+    kPacketExpired,
+    kPacketDropped,
+    kMessageDelivered,
+    kMessageOffered,
+    kFlowAborted,
+  };
+  Kind kind = Kind::kPacketDropped;
+  std::uint8_t tclass = 0;
+  std::uint32_t size = 0;
+  std::int64_t t_created_ps = 0;
+  std::int64_t t_now_ps = 0;
+  std::int64_t slack_ps = 0;
+  std::uint64_t id = 0;  ///< flow id / message bytes, kind-dependent
+};
+
+/// Everything one shard records during one window. Owned by the engine,
+/// wired into the shard's Simulator (set_window_log) for the duration of
+/// the window, reset at every barrier.
+struct ShardWindowLog {
+  /// Kid-reference encoding (one uint64 per schedule call, in call order):
+  /// either a provisional sequence number (bit 62 set, assigned by the
+  /// local calendar) or a mailbox reference (bit 63 set, destination shard
+  /// in bits 32..47, message index in the low 32 bits).
+  static constexpr std::uint64_t kMailboxBit = 1ULL << 63;
+  static std::uint64_t mailbox_ref(std::uint32_t dst_shard, std::size_t idx) {
+    return kMailboxBit | (static_cast<std::uint64_t>(dst_shard) << 32) |
+           static_cast<std::uint64_t>(idx);
+  }
+
+  /// One fired event: its fire key (provisional or final; patched to final
+  /// before the merge ever reads it) plus the half-open ranges of kids and
+  /// effects it produced.
+  struct FireRec {
+    std::int64_t time_ps;
+    std::uint64_t key;
+    std::uint32_t kid_begin, kid_end;
+    std::uint32_t fx_begin, fx_end;
+  };
+
+  std::vector<FireRec> fires;
+  std::vector<std::uint64_t> kids;
+  std::vector<DeferredEffect> effects;
+  /// Provisional index -> the event's handle (for rekeying still-pending
+  /// events) and, when it fired inside the same window, 1 + its index in
+  /// `fires` (for patching the fire record instead).
+  std::vector<std::uint64_t> prov_ids;
+  std::vector<std::uint32_t> prov_fired;
+  /// The shard's sequence source during a window: restarts at kProvSeqBase
+  /// each window, so provisional keys order after every final sequence
+  /// number and encode their own registry index (seq - kProvSeqBase).
+  std::uint64_t window_seq = 0;
+  /// Outboxes, one per destination shard (index = destination).
+  std::vector<std::vector<CrossMsg>> outboxes;
+
+  void reset(std::uint64_t prov_base) {
+    fires.clear();
+    kids.clear();
+    effects.clear();
+    prov_ids.clear();
+    prov_fired.clear();
+    window_seq = prov_base;
+    for (auto& box : outboxes) box.clear();
+  }
+};
+
+/// Receiver-shard note of a cross-shard packet arrival whose sender-owned
+/// wire accounting (Channel::in_flight_bytes_/packets_in_flight_) must be
+/// reconciled at the next barrier instead of being written from the
+/// receiving thread.
+struct CrossArrivalNote {
+  void* ch = nullptr;  ///< the Channel
+  std::uint8_t vc = 0;
+  std::uint32_t bytes = 0;
+};
+
+}  // namespace dqos

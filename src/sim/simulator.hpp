@@ -51,6 +51,8 @@ namespace dqos {
 /// never a valid handle (components use 0 as "no event armed").
 using EventId = std::uint64_t;
 
+struct ShardWindowLog;
+
 class Simulator {
  public:
   Simulator() = default;
@@ -122,6 +124,67 @@ class Simulator {
   /// Cancelled entries still awaiting lazy bucket removal (bounded by the
   /// pending-entry count; exposed for the reclamation regression test).
   [[nodiscard]] std::size_t cancelled_pending() const { return tombstones_; }
+
+  // --- Sharded-execution support (DESIGN.md §12) -------------------------
+  //
+  // The sharded conservative engine (shard_executor.hpp) runs one Simulator
+  // per shard and reconstructs the serial engine's global sequence numbers
+  // at window barriers. These hooks exist for that engine; a stand-alone
+  // Simulator never needs them and pays one predictable branch plus one
+  // pointer indirection on the schedule path for their existence.
+
+  /// Provisional sequence numbers assigned during a shard window start
+  /// here: above every final sequence a run can produce, so provisional
+  /// keys order after finals at the same instant and encode their own
+  /// registry index (seq - kProvSeqBase).
+  static constexpr std::uint64_t kProvSeqBase = 1ULL << 62;
+
+  /// Redirects sequence assignment to an external counter (the engine's
+  /// shared global counter during serially-executed stretches), or back to
+  /// the internal one (nullptr). A window log, when set, takes precedence.
+  void set_seq_source(std::uint64_t* src);
+
+  /// Enters (non-null) or leaves (null) window mode: sequence numbers come
+  /// from the log's provisional counter and every schedule call is recorded
+  /// as a kid of the currently-firing event. Only the sharded engine calls
+  /// this.
+  void set_window_log(ShardWindowLog* log);
+
+  /// Schedules with a caller-chosen sequence number (a cross-shard arrival
+  /// carrying its merge-assigned final seq). Bypasses kid logging.
+  EventId schedule_keyed(TimePoint t, std::uint64_t seq, InlineTask&& fn);
+
+  /// Replaces a pending event's sequence number in place (provisional ->
+  /// final, at the barrier merge). The handle, slot and closure are
+  /// untouched, so component-held EventIds stay valid. Returns false for a
+  /// stale handle (the event fired or was cancelled meanwhile) — a no-op,
+  /// matching the serial run where the sequence was consumed regardless.
+  /// Precondition (asserted): the new key preserves calendar order, which
+  /// the merge guarantees by assigning finals in fire order.
+  bool rekey(EventId id, std::uint64_t new_seq);
+
+  /// Peeks the earliest pending event's (time, seq) without extracting it.
+  /// Returns false when the calendar is empty. May harvest buckets into the
+  /// bottom rung (amortized; identical to what the next pop would do).
+  bool peek_next(std::int64_t& time_ps, std::uint64_t& seq);
+
+  /// Fires the next event only if it is due at or before `limit`. The
+  /// engine uses this to interleave several calendars at one instant in
+  /// global (time, seq) order.
+  bool step_due(TimePoint limit);
+
+  /// Window-mode batch drain: like drain_due, but records a FireRec (fire
+  /// key + kid/effect ranges) per event into `log` and does NOT invoke the
+  /// fire hook — the engine emits the hook stream at the barrier merge,
+  /// once keys are final. Requires set_window_log(&log) to be in effect.
+  bool drain_window(TimePoint limit, ShardWindowLog& log);
+
+  /// Advances the clock without firing anything (the engine aligns every
+  /// shard's clock to the run horizon once all calendars are past it).
+  void advance_to(TimePoint t) {
+    DQOS_EXPECTS(t >= now_);
+    now_ = t;
+  }
 
  private:
   /// One calendar entry's storage. The closure lives here; the bucket ring
@@ -207,6 +270,13 @@ class Simulator {
 
   TimePoint now_ = TimePoint::zero();
   std::uint64_t next_seq_ = 1;
+  /// Where schedule_at draws sequence numbers from: the internal counter,
+  /// an engine-shared global counter, or the window log's provisional
+  /// counter. Self-reference is safe — Simulator is neither copyable nor
+  /// movable.
+  std::uint64_t* seq_src_ = &next_seq_;
+  std::uint64_t* ext_seq_ = nullptr;
+  ShardWindowLog* wlog_ = nullptr;
   std::uint64_t fired_ = 0;
   std::size_t live_ = 0;
   std::size_t tombstones_ = 0;

@@ -35,42 +35,106 @@ void MetricsCollector::set_phase_starts(std::vector<TimePoint> starts) {
 
 void MetricsCollector::on_packet_delivered(const Packet& p, TimePoint now,
                                            Duration slack) {
-  if (!in_window(p.t_created)) return;
-  const auto c = static_cast<std::size_t>(p.hdr.tclass);
-  pkt_latency_[c].add((now - p.t_created).us());
-  bytes_delivered_[c] += p.size();
+  if (relay_primary_ != nullptr) {
+    if (*relay_window_) {
+      relay_log_->effects.push_back(DeferredEffect{
+          DeferredEffect::Kind::kPacketDelivered,
+          static_cast<std::uint8_t>(p.hdr.tclass),
+          static_cast<std::uint32_t>(p.size()), p.t_created.ps(), now.ps(),
+          slack.ps(), 0});
+    } else {
+      relay_primary_->on_packet_delivered(p, now, slack);
+    }
+    return;
+  }
+  record_packet_delivered(p.hdr.tclass, static_cast<std::uint32_t>(p.size()),
+                          p.t_created, now, slack);
+}
+
+void MetricsCollector::record_packet_delivered(TrafficClass tclass,
+                                               std::uint32_t size,
+                                               TimePoint created, TimePoint now,
+                                               Duration slack) {
+  if (!in_window(created)) return;
+  const auto c = static_cast<std::size_t>(tclass);
+  pkt_latency_[c].add((now - created).us());
+  bytes_delivered_[c] += size;
   slack_us_[c].add(slack.us());
   if (slack < Duration::zero()) {
     ++deadline_misses_[c];
   } else {
-    goodput_bytes_[c] += p.size();
+    goodput_bytes_[c] += size;
   }
-  if (PhaseStore* ph = phase_of(p.t_created)) {
-    ph->pkt_latency[c].add((now - p.t_created).us());
-    ph->bytes_delivered[c] += p.size();
+  if (PhaseStore* ph = phase_of(created)) {
+    ph->pkt_latency[c].add((now - created).us());
+    ph->bytes_delivered[c] += size;
     ph->slack_us[c].add(slack.us());
     if (slack < Duration::zero()) {
       ++ph->deadline_misses[c];
     } else {
-      ph->goodput_bytes[c] += p.size();
+      ph->goodput_bytes[c] += size;
     }
   }
 }
 
 void MetricsCollector::on_packet_expired(const Packet& p) {
-  if (!in_window(p.t_created)) return;
-  const auto c = static_cast<std::size_t>(p.hdr.tclass);
+  if (relay_primary_ != nullptr) {
+    if (*relay_window_) {
+      relay_log_->effects.push_back(DeferredEffect{
+          DeferredEffect::Kind::kPacketExpired,
+          static_cast<std::uint8_t>(p.hdr.tclass),
+          static_cast<std::uint32_t>(p.size()), p.t_created.ps(), 0, 0, 0});
+    } else {
+      relay_primary_->on_packet_expired(p);
+    }
+    return;
+  }
+  record_packet_expired(p.hdr.tclass, static_cast<std::uint32_t>(p.size()),
+                        p.t_created);
+}
+
+void MetricsCollector::record_packet_expired(TrafficClass tclass,
+                                             std::uint32_t size,
+                                             TimePoint created) {
+  if (!in_window(created)) return;
+  const auto c = static_cast<std::size_t>(tclass);
   ++expired_packets_[c];
-  expired_bytes_[c] += p.size();
-  if (PhaseStore* ph = phase_of(p.t_created)) {
+  expired_bytes_[c] += size;
+  if (PhaseStore* ph = phase_of(created)) {
     ++ph->expired_packets[c];
-    ph->expired_bytes[c] += p.size();
+    ph->expired_bytes[c] += size;
   }
 }
 
+void MetricsCollector::on_packet_dropped(TrafficClass tclass) {
+  if (relay_primary_ != nullptr) {
+    if (*relay_window_) {
+      relay_log_->effects.push_back(DeferredEffect{
+          DeferredEffect::Kind::kPacketDropped,
+          static_cast<std::uint8_t>(tclass), 0, 0, 0, 0, 0});
+    } else {
+      relay_primary_->on_packet_dropped(tclass);
+    }
+    return;
+  }
+  ++dropped_[static_cast<std::size_t>(tclass)];
+}
+
 void MetricsCollector::on_message_delivered(TrafficClass tclass, TimePoint created,
-                                            std::uint64_t /*bytes*/,
+                                            std::uint64_t bytes,
                                             TimePoint completed) {
+  if (relay_primary_ != nullptr) {
+    if (*relay_window_) {
+      relay_log_->effects.push_back(DeferredEffect{
+          DeferredEffect::Kind::kMessageDelivered,
+          static_cast<std::uint8_t>(tclass), 0, created.ps(), completed.ps(),
+          0, bytes});
+    } else {
+      relay_primary_->on_message_delivered(tclass, created, bytes, completed);
+    }
+    return;
+  }
+  static_cast<void>(bytes);
   if (!in_window(created)) return;
   const auto c = static_cast<std::size_t>(tclass);
   msg_latency_[c].add((completed - created).us());
@@ -83,10 +147,58 @@ void MetricsCollector::on_message_delivered(TrafficClass tclass, TimePoint creat
 
 void MetricsCollector::on_message_offered(TrafficClass tclass, std::uint64_t bytes,
                                           TimePoint now) {
+  if (relay_primary_ != nullptr) {
+    if (*relay_window_) {
+      relay_log_->effects.push_back(DeferredEffect{
+          DeferredEffect::Kind::kMessageOffered,
+          static_cast<std::uint8_t>(tclass), 0, 0, now.ps(), 0, bytes});
+    } else {
+      relay_primary_->on_message_offered(tclass, bytes, now);
+    }
+    return;
+  }
   if (!in_window(now)) return;
   bytes_offered_[static_cast<std::size_t>(tclass)] += bytes;
   if (PhaseStore* ph = phase_of(now)) {
     ph->bytes_offered[static_cast<std::size_t>(tclass)] += bytes;
+  }
+}
+
+void MetricsCollector::set_relay(MetricsCollector* primary, ShardWindowLog* log,
+                                 const bool* window_active) {
+  DQOS_EXPECTS(primary != nullptr && log != nullptr && window_active != nullptr);
+  DQOS_EXPECTS(primary != this);
+  relay_primary_ = primary;
+  relay_log_ = log;
+  relay_window_ = window_active;
+}
+
+void MetricsCollector::apply(const DeferredEffect& e) {
+  DQOS_ASSERT(relay_primary_ == nullptr);
+  const auto tclass = static_cast<TrafficClass>(e.tclass);
+  switch (e.kind) {
+    case DeferredEffect::Kind::kPacketDelivered:
+      record_packet_delivered(tclass, e.size, TimePoint::from_ps(e.t_created_ps),
+                              TimePoint::from_ps(e.t_now_ps),
+                              Duration::picoseconds(e.slack_ps));
+      break;
+    case DeferredEffect::Kind::kPacketExpired:
+      record_packet_expired(tclass, e.size, TimePoint::from_ps(e.t_created_ps));
+      break;
+    case DeferredEffect::Kind::kPacketDropped:
+      ++dropped_[static_cast<std::size_t>(tclass)];
+      break;
+    case DeferredEffect::Kind::kMessageDelivered:
+      on_message_delivered(tclass, TimePoint::from_ps(e.t_created_ps), e.id,
+                           TimePoint::from_ps(e.t_now_ps));
+      break;
+    case DeferredEffect::Kind::kMessageOffered:
+      on_message_offered(tclass, e.id, TimePoint::from_ps(e.t_now_ps));
+      break;
+    case DeferredEffect::Kind::kFlowAborted:
+      // Routed by the engine's effect sink to the network layer, never here.
+      DQOS_ASSERT(false);
+      break;
   }
 }
 

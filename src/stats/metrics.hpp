@@ -21,6 +21,7 @@
 
 #include "proto/packet.hpp"
 #include "proto/types.hpp"
+#include "sim/shard_link.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -101,13 +102,25 @@ class MetricsCollector {
   /// Offered load accounting (called at submission).
   void on_message_offered(TrafficClass tclass, std::uint64_t bytes, TimePoint now);
   /// A switch shed a packet (failed link). Counted over the whole run.
-  void on_packet_dropped(TrafficClass tclass) {
-    ++dropped_[static_cast<std::size_t>(tclass)];
-  }
+  void on_packet_dropped(TrafficClass tclass);
   /// A source NIC dropped a packet already past its deadline (expiry_drop).
   /// Unlike fabric drops the packet is at hand, so expiry is attributed to
   /// the phase that created it.
   void on_packet_expired(const Packet& p);
+
+  // --- sharded execution relay (DESIGN.md §12) ---------------------------
+  /// Turns this instance into a per-shard relay for `primary`: while
+  /// `*window_active` the hooks append DeferredEffect records to `log`
+  /// instead of touching any accumulator (the engine replays them on the
+  /// primary, in merged global fire order, at the window barrier); outside
+  /// windows they forward to the primary directly. The relay itself holds
+  /// no samples. Window filtering happens at replay/forward time on the
+  /// primary — every record carries its own timestamps, so the outcome is
+  /// bit-identical to the serial call sequence.
+  void set_relay(MetricsCollector* primary, ShardWindowLog* log,
+                 const bool* window_active);
+  /// Replays one deferred record on this (primary) collector.
+  void apply(const DeferredEffect& e);
 
   [[nodiscard]] ClassReport report(TrafficClass c) const;
 
@@ -152,8 +165,20 @@ class MetricsCollector {
     return &phases_[i];
   }
 
+  /// Shared accumulator bodies (primary-side): the public hooks and the
+  /// replay path both land here.
+  void record_packet_delivered(TrafficClass tclass, std::uint32_t size,
+                               TimePoint created, TimePoint now,
+                               Duration slack);
+  void record_packet_expired(TrafficClass tclass, std::uint32_t size,
+                             TimePoint created);
+
   TimePoint start_ = TimePoint::zero();
   TimePoint end_ = TimePoint::max();
+  // relay wiring (null for a normal collector)
+  MetricsCollector* relay_primary_ = nullptr;
+  ShardWindowLog* relay_log_ = nullptr;
+  const bool* relay_window_ = nullptr;
   std::vector<PhaseStore> phases_;  ///< empty unless set_phase_starts ran
   std::array<SampleSet, kNumTrafficClasses> pkt_latency_;   // microseconds
   std::array<SampleSet, kNumTrafficClasses> msg_latency_;   // microseconds

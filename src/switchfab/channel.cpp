@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/shard_executor.hpp"
 #include "util/contracts.hpp"
 
 namespace dqos {
@@ -36,6 +37,10 @@ void Channel::consume_credits(VcId vc, std::uint32_t bytes) {
 
 void Channel::return_credits(VcId vc, std::uint32_t bytes) {
   DQOS_EXPECTS(vc < credits_.size());
+  if (engine_ != nullptr && *win_) {
+    cross_return_credits(vc, bytes);
+    return;
+  }
   credits_in_flight_[vc] += static_cast<std::int64_t>(bytes);
   std::vector<CreditBatch>& q = pending_credits_[vc];
   const std::int64_t deliver_ps = (sim_.now() + latency_).ps();
@@ -91,13 +96,125 @@ void Channel::send(PacketPtr p) {
   busy_time_ += ser;
   in_flight_bytes_[vc] += static_cast<std::int64_t>(p->size());
   ++packets_in_flight_;
-  sim_.schedule_after(ser + latency_, ArrivalTask{this, std::move(p), vc});
+  if (engine_ == nullptr) {
+    sim_.schedule_after(ser + latency_, ArrivalTask{this, std::move(p), vc});
+    return;
+  }
+  const TimePoint at = sim_.now() + ser + latency_;
+  if (*win_) {
+    // dqos-lint: shard
+    // Window mode: the arrival crosses a shard boundary — post it to the
+    // mailbox and record the kid so the merge assigns it the serial
+    // sequence number the schedule call would have consumed.
+    ShardWindowLog& slog = engine_->log(src_shard_);
+    std::vector<CrossMsg>& box = slog.outboxes[dst_shard_];
+    slog.kids.push_back(ShardWindowLog::mailbox_ref(dst_shard_, box.size()));
+    CrossMsg m;
+    m.at_ps = at.ps();
+    m.vc = vc;
+    m.ctx = this;
+    m.p = std::move(p);
+    m.deliver = &Channel::deliver_arrival_msg;
+    box.push_back(std::move(m));
+    return;
+  }
+  // Serial stretch (setup or an instant): schedule directly on the
+  // receiver's calendar with an eagerly-assigned global sequence number.
+  dst_sim_->schedule_at(at, CrossArrivalTask{this, std::move(p), vc});
 }
 
 void Channel::ArrivalTask::operator()() {
   ch->in_flight_bytes_[vc] -= static_cast<std::int64_t>(p->size());
   --ch->packets_in_flight_;
   ch->dst_->receive_packet(std::move(p), ch->dst_port_);
+}
+
+void Channel::set_cross_shard(ShardExecutor* engine, std::uint32_t src_shard,
+                              std::uint32_t dst_shard, Simulator* dst_sim) {
+  DQOS_EXPECTS(engine != nullptr && dst_sim != nullptr);
+  DQOS_EXPECTS(src_shard != dst_shard);
+  engine_ = engine;
+  dst_sim_ = dst_sim;
+  win_ = engine->window_active_flag();
+  src_shard_ = src_shard;
+  dst_shard_ = dst_shard;
+  cross_fold_window_.assign(num_vcs(), ~std::uint64_t{0});
+  cross_fold_idx_.assign(num_vcs(), 0);
+}
+
+void Channel::apply_cross_arrival(VcId vc, std::uint32_t bytes) {
+  in_flight_bytes_[vc] -= static_cast<std::int64_t>(bytes);
+  --packets_in_flight_;
+}
+
+void Channel::CrossArrivalTask::operator()() {
+  const auto size = static_cast<std::uint32_t>(p->size());
+  if (*ch->win_) {
+    // dqos-lint: shard
+    // Running on the receiver's worker thread: the in-flight counters are
+    // sender-owned, so park the decrement for the barrier.
+    ch->engine_->arrival_notes(ch->dst_shard_)
+        .push_back(CrossArrivalNote{ch, vc, size});
+  } else {
+    ch->in_flight_bytes_[vc] -= static_cast<std::int64_t>(size);
+    --ch->packets_in_flight_;
+  }
+  ch->dst_->receive_packet(std::move(p), ch->dst_port_);
+}
+
+void Channel::CrossFlushTask::operator()() {
+  ch->credits_in_flight_[vc] -= static_cast<std::int64_t>(bytes);
+  ch->credits_[vc] += bytes;
+  ch->last_credit_activity_[vc] = ch->sim_.now();
+  if (ch->on_credit_) ch->on_credit_();
+}
+
+void Channel::deliver_arrival_msg(CrossMsg&& m) {
+  auto* ch = static_cast<Channel*>(m.ctx);
+  const VcId vc = m.vc;
+  ch->dst_sim_->schedule_keyed(TimePoint::from_ps(m.at_ps), m.seq,
+                               CrossArrivalTask{ch, std::move(m.p), vc});
+}
+
+void Channel::deliver_credit_msg(CrossMsg&& m) {
+  auto* ch = static_cast<Channel*>(m.ctx);
+  // The serial model debits credits_in_flight_ at return time; deferring
+  // the debit to the barrier is invisible because the counter is only read
+  // at serial instants (resync, audits), which all happen-after this.
+  ch->credits_in_flight_[m.vc] += static_cast<std::int64_t>(m.bytes);
+  ch->sim_.schedule_keyed(TimePoint::from_ps(m.at_ps), m.seq,
+                          CrossFlushTask{ch, m.vc, m.bytes});
+}
+
+void Channel::cross_return_credits(VcId vc, std::uint32_t bytes) {
+  // dqos-lint: shard
+  // Receiver-side replication of the serial coalescing decision: delivery
+  // instants for one VC are non-decreasing within a window (now + fixed
+  // latency), and same-instant events always share a window, so folding
+  // into the newest batch posted this window reproduces the serial
+  // "fold into q.back()" exactly — including consuming no sequence number.
+  ShardWindowLog& rlog = engine_->log(dst_shard_);
+  std::vector<CrossMsg>& box = rlog.outboxes[src_shard_];
+  const std::int64_t deliver_ps = (dst_sim_->now() + latency_).ps();
+  if (cross_fold_window_[vc] == engine_->window_id() &&
+      box[cross_fold_idx_[vc]].at_ps == deliver_ps) {
+    box[cross_fold_idx_[vc]].bytes += bytes;
+    return;
+  }
+  rlog.kids.push_back(ShardWindowLog::mailbox_ref(src_shard_, box.size()));
+  cross_fold_window_[vc] = engine_->window_id();
+  cross_fold_idx_[vc] = static_cast<std::uint32_t>(box.size());
+  CrossMsg m;
+  m.at_ps = deliver_ps;
+  m.bytes = bytes;
+  m.vc = vc;
+  m.ctx = this;
+  m.deliver = &Channel::deliver_credit_msg;
+  box.push_back(std::move(m));
+}
+
+Simulator& Channel::timer_sim() {
+  return engine_ != nullptr ? engine_->control() : sim_;
 }
 
 void Channel::fail(bool permanent) {
@@ -131,13 +248,13 @@ void Channel::enable_credit_resync(Duration silence_window, TimePoint horizon) {
   DQOS_EXPECTS(silence_window > Duration::zero());
   resync_window_ = silence_window;
   resync_horizon_ = horizon;
-  if (sim_.now() + silence_window <= horizon) {
-    sim_.schedule_after(silence_window, [this] { resync_check(); });
+  if (timer_sim().now() + silence_window <= horizon) {
+    timer_sim().schedule_after(silence_window, [this] { resync_check(); });
   }
 }
 
 void Channel::resync_check() {
-  const TimePoint now = sim_.now();
+  const TimePoint now = timer_sim().now();
   for (VcId vc = 0; up_ && vc < num_vcs(); ++vc) {
     // Quiet VC only: any credit activity within the window means the normal
     // protocol is alive and the counter is trusted.
@@ -156,7 +273,7 @@ void Channel::resync_check() {
     }
   }
   if (now + resync_window_ <= resync_horizon_) {
-    sim_.schedule_after(resync_window_, [this] { resync_check(); });
+    timer_sim().schedule_after(resync_window_, [this] { resync_check(); });
   }
 }
 

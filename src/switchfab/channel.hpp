@@ -31,11 +31,14 @@
 
 #include "proto/packet_pool.hpp"
 #include "proto/types.hpp"
+#include "sim/shard_link.hpp"
 #include "sim/simulator.hpp"
 #include "util/callback.hpp"
 #include "util/time.hpp"
 
 namespace dqos {
+
+class ShardExecutor;
 
 /// Anything that can accept packets from a channel (switches and hosts).
 class PacketReceiver {
@@ -172,7 +175,57 @@ class Channel {
     void operator()();
   };
 
+  // --- sharded execution (DESIGN.md §12) --------------------------------
+  /// Marks this channel as crossing a shard boundary: the send side lives
+  /// on shard `src_shard` (which owns `sim_`), the receive side on
+  /// `dst_shard` (which owns `dst_sim`). During parallel windows, packet
+  /// arrivals and credit returns travel through the engine's mailboxes and
+  /// sender-owned wire accounting is reconciled at barriers; outside
+  /// windows (serial instants, setup, teardown) the channel behaves
+  /// exactly serially except that arrivals land on the receiver's
+  /// calendar. A channel never marked stays byte-for-byte on the serial
+  /// code path.
+  void set_cross_shard(ShardExecutor* engine, std::uint32_t src_shard,
+                       std::uint32_t dst_shard, Simulator* dst_sim);
+  [[nodiscard]] bool cross_shard() const { return engine_ != nullptr; }
+
+  /// Barrier reconciliation: applies one deferred arrival's sender-side
+  /// accounting (in-flight bytes/packets), recorded by CrossArrivalTask
+  /// while the receiver shard was running concurrently.
+  void apply_cross_arrival(VcId vc, std::uint32_t bytes);
+
+  /// Cross-shard counterpart of ArrivalTask: fires on the *receiver's*
+  /// calendar; sender-owned accounting is deferred to the barrier when a
+  /// window is active, applied directly otherwise.
+  struct CrossArrivalTask {
+    Channel* ch;
+    PacketPtr p;
+    VcId vc;
+    void operator()();
+  };
+  /// Cross-shard credit flush: fires on the *sender's* calendar carrying
+  /// the (possibly coalesced) byte count, since the receiver-side batch
+  /// FIFO is not readable from the sender's shard.
+  struct CrossFlushTask {
+    Channel* ch;
+    VcId vc;
+    std::uint32_t bytes;
+    void operator()();
+  };
+
  private:
+  /// Mailbox delivery thunks (coordinator, at the barrier).
+  static void deliver_arrival_msg(CrossMsg&& m);
+  static void deliver_credit_msg(CrossMsg&& m);
+  /// Window-mode credit return: replicates the serial coalescing decision
+  /// on the receiver side (fold into the newest same-instant batch posted
+  /// this window, else post a new mailbox message + one flush event).
+  void cross_return_credits(VcId vc, std::uint32_t bytes);
+  /// The calendar that carries this channel's resync timer: the control
+  /// calendar for cross-shard channels (the check reads state owned by
+  /// both shards, so it must run at a serial instant), the channel's own
+  /// otherwise.
+  [[nodiscard]] Simulator& timer_sim();
   /// One pending coalesced credit delivery: every return folded into it
   /// shares the same delivery instant. Batches per VC form a FIFO (delivery
   /// instants are non-decreasing: now + fixed latency), consumed from
@@ -220,11 +273,25 @@ class Channel {
   std::uint64_t resyncs_ = 0;
   std::uint64_t resynced_bytes_ = 0;
   std::uint64_t ttd_corruptions_ = 0;
+
+  // sharded-execution wiring (null/empty when the channel is shard-local)
+  ShardExecutor* engine_ = nullptr;
+  Simulator* dst_sim_ = nullptr;
+  const bool* win_ = nullptr;  ///< engine's window-active flag
+  std::uint32_t src_shard_ = 0;
+  std::uint32_t dst_shard_ = 0;
+  /// Receiver-side coalescing tracker, per VC: the window id and outbox
+  /// index of the newest credit message posted this window. Stale entries
+  /// invalidate via the window id — no per-barrier clearing needed.
+  std::vector<std::uint64_t> cross_fold_window_;
+  std::vector<std::uint32_t> cross_fold_idx_;
 };
 
 /// PacketPtr relocates by memcpy (the moved-from unique_ptr is null and is
 /// dropped, not destroyed — see the trait contract in inline_task.hpp).
 template <>
 struct is_trivially_relocatable<Channel::ArrivalTask> : std::true_type {};
+template <>
+struct is_trivially_relocatable<Channel::CrossArrivalTask> : std::true_type {};
 
 }  // namespace dqos

@@ -1,0 +1,123 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+namespace {
+
+/// Unique switch-index neighbors of each switch, ascending. Parallel links
+/// collapse to one adjacency edge (the cut metric counts links, not edges,
+/// separately).
+std::vector<std::vector<std::uint32_t>> switch_adjacency(const Topology& topo) {
+  const std::uint32_t nsw = topo.num_switches();
+  std::vector<std::vector<std::uint32_t>> adj(nsw);
+  for (std::uint32_t si = 0; si < nsw; ++si) {
+    const NodeId n = topo.switch_id(si);
+    for (PortId p = 0; p < topo.num_ports(n); ++p) {
+      const Endpoint peer = topo.peer(n, p);
+      if (!peer.valid() || !topo.is_switch(peer.node)) continue;
+      adj[si].push_back(topo.switch_index(peer.node));
+    }
+    std::sort(adj[si].begin(), adj[si].end());
+    adj[si].erase(std::unique(adj[si].begin(), adj[si].end()), adj[si].end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+Partition partition_topology(const Topology& topo, std::uint32_t shards) {
+  DQOS_EXPECTS(shards >= 1);
+  DQOS_EXPECTS(shards <= topo.num_switches());
+  const std::uint32_t nsw = topo.num_switches();
+  constexpr std::uint32_t kUnassigned = 0xffffffffu;
+
+  Partition part;
+  part.num_shards = shards;
+  part.node_shard.assign(topo.num_nodes(), kUnassigned);
+  part.weight.assign(shards, 0);
+
+  // Weight of a switch = itself plus the hosts that will follow it.
+  std::vector<std::uint32_t> sw_weight(nsw, 1);
+  for (NodeId h = 0; h < topo.num_hosts(); ++h) {
+    const Endpoint at = topo.host_attach(h);
+    DQOS_EXPECTS(at.valid() && topo.is_switch(at.node));
+    ++sw_weight[topo.switch_index(at.node)];
+  }
+
+  const std::vector<std::vector<std::uint32_t>> adj = switch_adjacency(topo);
+  std::vector<std::uint32_t> sw_shard(nsw, kUnassigned);
+
+  // Seeds spread across the index space: builders lay switches out by
+  // level/position, so equidistant indices start the growths far apart.
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint32_t seed =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(s) * nsw) / shards);
+    DQOS_ASSERT(sw_shard[seed] == kUnassigned);
+    sw_shard[seed] = s;
+    part.weight[s] += sw_weight[seed];
+  }
+
+  std::uint32_t assigned = shards;
+  while (assigned < nsw) {
+    // Grow the lightest shard (lowest index on ties) by the unassigned
+    // switch with the most links into it (lowest index on ties).
+    std::uint32_t grow = 0;
+    for (std::uint32_t s = 1; s < shards; ++s) {
+      if (part.weight[s] < part.weight[grow]) grow = s;
+    }
+    std::uint32_t best = kUnassigned;
+    std::uint32_t best_links = 0;
+    for (std::uint32_t si = 0; si < nsw; ++si) {
+      if (sw_shard[si] != kUnassigned) continue;
+      std::uint32_t links = 0;
+      for (const std::uint32_t nb : adj[si]) {
+        if (sw_shard[nb] == grow) ++links;
+      }
+      if (links > 0 && (best == kUnassigned || links > best_links)) {
+        best = si;
+        best_links = links;
+      }
+    }
+    if (best == kUnassigned) {
+      // The shard's component is exhausted (or the graph is disconnected):
+      // take the lowest-index unassigned switch so progress is guaranteed.
+      for (std::uint32_t si = 0; si < nsw; ++si) {
+        if (sw_shard[si] == kUnassigned) {
+          best = si;
+          break;
+        }
+      }
+    }
+    DQOS_ASSERT(best != kUnassigned);
+    sw_shard[best] = grow;
+    part.weight[grow] += sw_weight[best];
+    ++assigned;
+  }
+
+  for (std::uint32_t si = 0; si < nsw; ++si) {
+    part.node_shard[topo.switch_id(si)] = sw_shard[si];
+  }
+  for (NodeId h = 0; h < topo.num_hosts(); ++h) {
+    part.node_shard[h] =
+        part.node_shard[topo.host_attach(h).node];
+  }
+
+  // Count cut switch-to-switch links once per unordered wire.
+  for (std::uint32_t si = 0; si < nsw; ++si) {
+    const NodeId n = topo.switch_id(si);
+    for (PortId p = 0; p < topo.num_ports(n); ++p) {
+      const Endpoint peer = topo.peer(n, p);
+      if (!peer.valid() || !topo.is_switch(peer.node)) continue;
+      if (peer.node > n || (peer.node == n && peer.port > p)) {
+        if (part.node_shard[n] != part.node_shard[peer.node]) ++part.cut_links;
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace dqos

@@ -1,0 +1,45 @@
+/// \file partition.hpp
+/// Deterministic graph partitioner for sharded parallel execution
+/// (DESIGN.md §12).
+///
+/// Splits a topology's node set into N shards along switch boundaries:
+/// switches are distributed by a seeded greedy BFS growth that balances
+/// shard weight while preferring neighbors with the most intra-shard
+/// links (a cheap edge-cut heuristic — the fewer cut links, the less
+/// cross-shard mailbox traffic the engine pays for). Hosts always land in
+/// the shard of the switch they attach to, so a host's injection link is
+/// never a cut edge and the host<->switch datapath stays shard-local.
+///
+/// The assignment is a pure function of (topology, shard count): no RNG,
+/// no pointer order, no iteration over unordered containers — the same
+/// inputs partition identically on every run and platform, which the
+/// bit-identical-output guarantee of the parallel engine relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace dqos {
+
+/// A computed shard assignment over a topology's nodes.
+struct Partition {
+  std::uint32_t num_shards = 1;
+  /// NodeId -> shard index (hosts and switches both).
+  std::vector<std::uint32_t> node_shard;
+  /// Switch-to-switch links whose endpoints landed in different shards
+  /// (each unordered link counted once).
+  std::uint32_t cut_links = 0;
+  /// Per-shard weight (switches + attached hosts), for balance inspection.
+  std::vector<std::uint32_t> weight;
+
+  [[nodiscard]] std::uint32_t shard_of(NodeId n) const {
+    return node_shard[n];
+  }
+};
+
+/// Partitions `topo` into `shards` shards (1 <= shards <= num_switches).
+Partition partition_topology(const Topology& topo, std::uint32_t shards);
+
+}  // namespace dqos

@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -134,6 +137,22 @@ TEST(SweepDeterminism, FourThreadSweepMatchesSerialBitForBit) {
   EXPECT_EQ(serial, parallel4)
       << "4-thread sweep diverged from the serial reference";
   EXPECT_EQ(parallel4, parallel4_again) << "4-thread sweep is not replayable";
+}
+
+TEST(SweepRunner, OversubscriptionGuardClampsPoolToCoreBudget) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cores = hw > 0 ? hw : 1;
+  // Width 1 (unsharded replicas): never clamped, whatever the pool size.
+  EXPECT_EQ(SweepRunner::clamp_for_width(8, 1), 8u);
+  EXPECT_EQ(SweepRunner::clamp_for_width(1, 1), 1u);
+  // A single wide replica is allowed (its own workers are the load).
+  EXPECT_EQ(SweepRunner::clamp_for_width(1, 64), 1u);
+  // A pool of wide replicas shrinks to fit: pool x width <= cores, >= 1.
+  const unsigned clamped = SweepRunner::clamp_for_width(cores, 4);
+  EXPECT_GE(clamped, 1u);
+  EXPECT_LE(static_cast<std::uint64_t>(clamped) * 4, std::max(cores, 4u));
+  // Way oversubscribed: always collapses to one replica at a time.
+  EXPECT_EQ(SweepRunner::clamp_for_width(64, 2 * cores + 1), 1u);
 }
 
 }  // namespace

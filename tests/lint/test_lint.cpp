@@ -263,6 +263,34 @@ TEST(LintRules, HotAllocIsMarkerDrivenSoItAppliesOutsideSrcToo) {
       << testing::PrintToString(rules_of(fs));
 }
 
+TEST(LintLexer, ShardMarkerRecordsItsLineWithWordBoundary) {
+  const LexedFile lx = lex(
+      "// dqos-lint: shard\n"
+      "void f() {}\n"
+      "// dqos-lint: sharded\n");
+  EXPECT_EQ(lx.shard_marks, (std::set<int>{1}));
+}
+
+TEST(LintRules, CrossShardFixtureFlagsDirectCalendarCalls) {
+  const auto fs =
+      lint_source("src/switchfab/window_bad.cpp", slurp("cross_shard_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "cross-shard-access"), 3)
+      << testing::PrintToString(rules_of(fs));
+  std::set<int> lines;
+  for (const Finding& f : fs) {
+    if (f.rule == "cross-shard-access") lines.insert(f.line);
+  }
+  // The serial-path call after the marked block closes must NOT fire.
+  EXPECT_EQ(lines, (std::set<int>{8, 9, 10}));
+}
+
+TEST(LintRules, CrossShardMailboxUsageAndSuppressionLintClean) {
+  const auto fs = lint_source("src/switchfab/window_ok.cpp",
+                              slurp("cross_shard_allowed.cpp"));
+  EXPECT_EQ(count_rule(fs, "cross-shard-access"), 0)
+      << testing::PrintToString(rules_of(fs));
+}
+
 // --------------------------------------------------- tree walk + headers
 
 TEST(LintDriver, TreeWalkFindsViolationsAndHonorsFileSuppression) {

@@ -1,0 +1,90 @@
+/// \file test_partition.cpp
+/// Contract tests for the deterministic shard partitioner (DESIGN.md §12).
+#include "topo/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "topo/kary_ntree.hpp"
+#include "topo/mesh2d.hpp"
+#include "topo/two_level_clos.hpp"
+
+namespace dqos {
+namespace {
+
+void check_invariants(const Topology& topo, std::uint32_t shards) {
+  const Partition part = partition_topology(topo, shards);
+  ASSERT_EQ(part.num_shards, shards);
+  ASSERT_EQ(part.node_shard.size(), topo.num_nodes());
+  ASSERT_EQ(part.weight.size(), shards);
+
+  // Every shard is non-empty and assignments are in range.
+  for (const std::uint32_t w : part.weight) EXPECT_GT(w, 0u);
+  for (const std::uint32_t s : part.node_shard) EXPECT_LT(s, shards);
+
+  // Hosts co-locate with their attach switch: injection and delivery links
+  // are never cut edges.
+  for (NodeId h = 0; h < topo.num_hosts(); ++h) {
+    EXPECT_EQ(part.shard_of(h), part.shard_of(topo.host_attach(h).node))
+        << "host " << h << " separated from its switch";
+  }
+
+  // cut_links counts exactly the switch-to-switch links that cross shards
+  // (each physical link once).
+  std::uint32_t cuts = 0;
+  for (std::uint32_t si = 0; si < topo.num_switches(); ++si) {
+    const NodeId n = topo.switch_id(si);
+    for (PortId p = 0; p < topo.num_ports(n); ++p) {
+      const Endpoint peer = topo.peer(n, p);
+      if (!peer.valid() || !topo.is_switch(peer.node) || peer.node < n) {
+        continue;
+      }
+      if (part.shard_of(n) != part.shard_of(peer.node)) ++cuts;
+    }
+  }
+  EXPECT_EQ(part.cut_links, cuts);
+}
+
+TEST(Partition, InvariantsAcrossTopologiesAndShardCounts) {
+  const std::unique_ptr<Topology> topos[] = {
+      make_mesh2d(4, 4, 1), make_mesh2d(8, 8, 2), make_kary_ntree(4, 2),
+      make_two_level_clos(16, 8, 8)};
+  for (const auto& topo : topos) {
+    for (const std::uint32_t shards : {2u, 3u, 4u}) {
+      if (shards > topo->num_switches()) continue;
+      check_invariants(*topo, shards);
+    }
+  }
+}
+
+TEST(Partition, SingleShardIsTrivial) {
+  const auto topo = make_mesh2d(4, 4, 1);
+  const Partition part = partition_topology(*topo, 1);
+  EXPECT_EQ(part.cut_links, 0u);
+  for (const std::uint32_t s : part.node_shard) EXPECT_EQ(s, 0u);
+}
+
+TEST(Partition, AssignmentIsAPureFunctionOfInputs) {
+  const auto topo_a = make_mesh2d(4, 4, 1);
+  const auto topo_b = make_mesh2d(4, 4, 1);
+  const Partition pa = partition_topology(*topo_a, 3);
+  const Partition pb = partition_topology(*topo_b, 3);
+  EXPECT_EQ(pa.node_shard, pb.node_shard);
+  EXPECT_EQ(pa.cut_links, pb.cut_links);
+}
+
+TEST(Partition, BalancesMesh16EvenlyAcrossFourShards) {
+  const auto topo = make_mesh2d(4, 4, 1);
+  const Partition part = partition_topology(*topo, 4);
+  const auto [lo, hi] =
+      std::minmax_element(part.weight.begin(), part.weight.end());
+  // 16 switches + 16 hosts over 4 shards: growth balance keeps the spread
+  // within a factor of two of perfect.
+  EXPECT_GE(*lo, 4u);
+  EXPECT_LE(*hi, 16u);
+}
+
+}  // namespace
+}  // namespace dqos

@@ -74,6 +74,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dqos_sweep: nothing to run (check --loads/--archs)\n");
     return 2;
   }
+  // Replica pool size; 0 defers to DQOS_SWEEP_THREADS / hardware
+  // concurrency. run_sweep clamps it when sharded replicas would
+  // oversubscribe the machine.
+  const auto threads =
+      static_cast<unsigned>(std::strtoul(args.get_or("threads", "0").c_str(),
+                                         nullptr, 10));
   const std::string prefix = args.get_or("csv-prefix", "");
   auto csv = [&](const char* name) {
     return prefix.empty() ? std::string{} : prefix + "_" + name + ".csv";
@@ -84,7 +90,8 @@ int main(int argc, char** argv) {
                scn ? " (phased scenario)" : "");
   std::vector<SweepPoint> points;
   try {
-    points = run_sweep(base, archs, loads, nullptr, scn ? &*scn : nullptr);
+    points = run_sweep(base, archs, loads, nullptr, scn ? &*scn : nullptr,
+                       threads);
   } catch (const RunError& e) {
     std::fprintf(stderr, "dqos_sweep: %s\n", e.what());
     return 2;

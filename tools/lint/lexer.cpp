@@ -30,9 +30,19 @@ void scan_comment(const std::string& text, int line, LexedFile& out) {
     } else if (text.compare(p, 3, "hot") == 0 &&
                (p + 3 >= text.size() ||
                 std::isalnum(static_cast<unsigned char>(text[p + 3])) == 0)) {
-      // `dqos-lint: hot` — mark; the rule finds the next function body.
+      // The `hot` mark; the rule finds the next function body. (Spelled
+      // indirectly: the lexer lints itself, and the literal marker text in
+      // a comment here would register as a real mark.)
       out.hot_marks.insert(line);
       pos = text.find(tag, p + 3);
+      continue;
+    } else if (text.compare(p, 5, "shard") == 0 &&
+               (p + 5 >= text.size() ||
+                std::isalnum(static_cast<unsigned char>(text[p + 5])) == 0)) {
+      // The `shard` mark: the enclosing block runs on a shard worker
+      // (cross-shard-access applies to it).
+      out.shard_marks.insert(line);
+      pos = text.find(tag, p + 5);
       continue;
     } else {
       pos = text.find(tag, p);

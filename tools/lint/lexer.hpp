@@ -13,6 +13,9 @@
 ///   // dqos-lint: hot                     — marks the function that starts
 ///                                           on/after this line as hot-path
 ///                                           (hot-path-alloc applies to it)
+///   // dqos-lint: shard                   — marks the enclosing block as
+///                                           shard-worker code
+///                                           (cross-shard-access applies)
 ///
 /// Line numbers are 1-based and attached to every token so findings print
 /// as `file:line: [rule-id] message`.
@@ -41,6 +44,9 @@ struct LexedFile {
   /// Lines carrying a `dqos-lint: hot` marker: the next function body at
   /// or after each is subject to the hot-path-alloc rule.
   std::set<int> hot_marks;
+  /// Lines carrying a `dqos-lint: shard` marker: the block enclosing each
+  /// (to its closing brace) is subject to the cross-shard-access rule.
+  std::set<int> shard_marks;
 
   /// True if `rule` is suppressed at `line` (by a same-line marker, a
   /// marker on the previous line, or a file-level marker).

@@ -20,6 +20,10 @@
 ///                          | inside a function marked `// dqos-lint: hot`
 ///                          | (the batch drain / argmin scan / credit flush
 ///                          | paths must stay allocation-free)
+///   cross-shard-access     | direct calendar calls (schedule_at / keyed /
+///                          | run_until) inside a `// dqos-lint: shard`
+///                          | block — shard-worker code crosses shards
+///                          | only through the engine's mailbox API
 ///   header-standalone      | headers that do not compile on their own
 ///                          | (checked by the driver, not a token rule)
 ///

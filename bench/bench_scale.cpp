@@ -1,0 +1,302 @@
+/// \file bench_scale.cpp
+/// Scale curve **SC1** — events/s and bytes/host on k-ary n-trees at
+/// {128, 512, 1024} hosts (DESIGN.md §13).
+///
+/// The paper stops at 128 endpoints; this measures what the hierarchical
+/// admission + dense-state refactor buys at datacenter sizes: each point
+/// runs a three-phase churn scenario (calm, arrival/departure burst, calm)
+/// on a pod-structured fat tree with hierarchical admission on and the
+/// bounded-fanout workload (`fanout=8`), so per-host state is O(fanout),
+/// not O(hosts). Topologies are the k-ary n-trees that hit each host
+/// count exactly: 2-ary 7-tree (128), 8-ary 3-tree (512), 4-ary 5-tree
+/// (1024).
+///
+/// bytes/host is *live heap* at end of run (allocated minus freed, sized
+/// via malloc_usable_size inside the instrumented global operator
+/// new/delete), divided by the host count — the steady-state footprint of
+/// hosts + switches + admission + calendars, excluding transient
+/// allocation churn. The committed acceptance gate (check.sh scale-smoke,
+/// EXPERIMENTS.md SC1): bytes/host at 1024 hosts <= 2x bytes/host at 128.
+/// The binary exits non-zero when the gate fails so CI cannot miss it.
+///
+/// JSON goes to --json=PATH; scripts/bench_report.py folds it into
+/// BENCH_scale.json with --sections hosts_128,hosts_512,hosts_1024.
+///
+///   ./bench_scale [--quick] [--json=PATH]
+// Wall-clock timing is this benchmark's whole purpose; the simulated
+// system under test never reads it. dqos-lint: allow-file(no-wallclock)
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <malloc.h>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "core/experiment.hpp"
+#include "core/run_controller.hpp"
+
+// --- instrumented allocator hook (counts allocations and live bytes) ------
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::int64_t> g_live_bytes{0};
+
+void track_alloc(void* p) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_live_bytes.fetch_add(
+      static_cast<std::int64_t>(malloc_usable_size(p)),
+      std::memory_order_relaxed);
+}
+void track_free(void* p) {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(
+      static_cast<std::int64_t>(malloc_usable_size(p)),
+      std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = std::malloc(n ? n : 1)) {
+    track_alloc(p);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    track_alloc(p);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept {
+  track_free(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+namespace {
+
+using namespace dqos;
+using namespace dqos::literals;
+using Clock = std::chrono::steady_clock;
+
+struct ScalePoint {
+  const char* section;
+  std::uint32_t hosts;
+  std::uint32_t kary_k;
+  std::uint32_t kary_n;
+};
+
+constexpr ScalePoint kPoints[] = {
+    {"hosts_128", 128, 2, 7},
+    {"hosts_512", 512, 8, 3},
+    {"hosts_1024", 1024, 4, 5},
+};
+constexpr std::size_t kNumPoints = std::size(kPoints);
+
+struct Measurement {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  double wall_s = 0.0;
+  std::uint64_t live_bytes = 0;  ///< live heap at end of run
+  std::uint32_t hosts = 0;
+  std::uint64_t flows_admitted = 0;
+  std::uint64_t flows_departed = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                      : 0.0;
+  }
+  [[nodiscard]] double bytes_per_host() const {
+    return hosts > 0 ? static_cast<double>(live_bytes) / hosts : 0.0;
+  }
+};
+
+/// One churn run at a scale point: calm -> arrival/departure burst ->
+/// calm, hierarchical admission + bounded fanout on throughout.
+Measurement run_point(const ScalePoint& pt, bool quick) {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kKaryNTree;
+  cfg.kary_k = pt.kary_k;
+  cfg.kary_n = pt.kary_n;
+  cfg.arch = SwitchArch::kSimple2Vc;
+  cfg.load = 0.2;  // memory curve, not saturation: keep runtimes sane
+  cfg.fanout = 8;
+  cfg.hier_admission = true;
+  cfg.shards = 4;
+  cfg.shard_threads = -1;
+  cfg.warmup = 200_us;
+  cfg.measure = quick ? 1_ms : 2_ms;
+  cfg.drain = 500_us;
+  cfg.seed = 1;
+
+  Scenario scn;
+  scn.phases.resize(3);
+  scn.phases[0].load = cfg.load;
+  scn.phases[1].start = quick ? 300_us : 500_us;
+  scn.phases[1].load = cfg.load;
+  scn.phases[1].flow_arrivals_per_sec = 40000.0;  // ~tens of churn flows
+  scn.phases[1].flow_departures_per_sec = 4000.0;
+  scn.phases[2].start = quick ? 700_us : 1500_us;
+  scn.phases[2].load = cfg.load;
+
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  Measurement m;
+  {
+    NetworkSimulator net(cfg);
+    RunController controller(net, scn);
+    const ScenarioReport rep = controller.run();
+    const auto t1 = Clock::now();
+    m.events = rep.total.events_processed;
+    m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+    m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    // Live heap with the whole simulation still constructed: topology,
+    // switches, hosts, flow tables, admission brokers, calendars.
+    const std::int64_t live = g_live_bytes.load(std::memory_order_relaxed);
+    m.live_bytes = live > 0 ? static_cast<std::uint64_t>(live) : 0;
+    m.hosts = cfg.num_hosts();
+    for (const PhaseReport& ph : rep.phases) {
+      m.flows_admitted += ph.churn_arrivals;
+      m.flows_departed += ph.churn_departures;
+    }
+  }
+  return m;
+}
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+void emit_json(std::FILE* f, const Measurement (&best)[kNumPoints],
+               bool quick, double ratio) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_scale\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"bytes_per_host_ratio_1024_vs_128\": %.3f,\n", ratio);
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    const Measurement& m = best[i];
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"hosts\": %u,\n"
+                 "    \"events\": %llu,\n"
+                 "    \"wall_s\": %.6f,\n"
+                 "    \"events_per_sec\": %.1f,\n"
+                 "    \"allocs\": %llu,\n"
+                 "    \"allocs_per_event\": %.6f,\n"
+                 "    \"live_bytes\": %llu,\n"
+                 "    \"bytes_per_host\": %.1f,\n"
+                 "    \"flows_admitted\": %llu,\n"
+                 "    \"flows_departed\": %llu\n"
+                 "  }%s\n",
+                 kPoints[i].section, m.hosts,
+                 static_cast<unsigned long long>(m.events), m.wall_s,
+                 m.events_per_sec(), static_cast<unsigned long long>(m.allocs),
+                 m.allocs_per_event(),
+                 static_cast<unsigned long long>(m.live_bytes),
+                 m.bytes_per_host(),
+                 static_cast<unsigned long long>(m.flows_admitted),
+                 static_cast<unsigned long long>(m.flows_departed),
+                 i + 1 < kNumPoints ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "--quick");
+  const std::string json_path = arg_value(argc, argv, "json", "");
+
+  std::printf("=== SC1: scale curve, k-ary n-tree churn at %u/%u/%u hosts%s ===\n",
+              kPoints[0].hosts, kPoints[1].hosts, kPoints[2].hosts,
+              quick ? " (quick)" : "");
+
+  // Interleaved best-of-N on events/s; bytes/host is taken from the same
+  // best round (live heap is deterministic across rounds to within
+  // allocator slack, so tying the two keeps one coherent record).
+  const int rounds = quick ? 1 : 2;
+  Measurement best[kNumPoints];
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < kNumPoints; ++i) {
+      const Measurement m = run_point(kPoints[i], quick);
+      if (m.events_per_sec() > best[i].events_per_sec()) best[i] = m;
+    }
+  }
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    const Measurement& m = best[i];
+    std::printf(
+        "  %-10s %4u-ary %u-tree %10llu events  %7.3f s  %11.0f events/s"
+        "  %9.0f bytes/host  %llu churn arrivals\n",
+        kPoints[i].section, kPoints[i].kary_k, kPoints[i].kary_n,
+        static_cast<unsigned long long>(m.events), m.wall_s,
+        m.events_per_sec(), m.bytes_per_host(),
+        static_cast<unsigned long long>(m.flows_admitted));
+  }
+
+  const double base = best[0].bytes_per_host();
+  const double ratio =
+      base > 0.0 ? best[kNumPoints - 1].bytes_per_host() / base : 0.0;
+  std::printf("  bytes/host 1024 vs 128: %.3fx (gate: <= 2.0x)\n", ratio);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_scale: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    emit_json(f, best, quick, ratio);
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "bench_scale: write to %s failed\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("json: %s\n", json_path.c_str());
+  }
+
+  if (ratio > 2.0) {
+    std::fprintf(stderr,
+                 "bench_scale: FAIL — bytes/host grew %.3fx from 128 to 1024"
+                 " hosts (acceptance gate: <= 2x)\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}

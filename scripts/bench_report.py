@@ -48,6 +48,11 @@ from pathlib import Path
 
 DEFAULT_SECTIONS = "kernel_storm,mesh16_saturated"
 MEASURE_KEYS = ("events", "wall_s", "events_per_sec", "allocs", "allocs_per_event")
+# Scale-curve benches (bench_scale) add memory-footprint keys per section;
+# carried through to the --out document when present so BENCH_scale.json
+# records the bytes/host curve next to events/s.
+OPTIONAL_KEYS = ("hosts", "live_bytes", "bytes_per_host",
+                 "flows_admitted", "flows_departed")
 
 
 def machine_label() -> str:
@@ -146,7 +151,8 @@ def section_measurements(doc: dict, source: str, sections: tuple) -> dict:
         missing = [k for k in MEASURE_KEYS if k not in sec]
         if missing:
             raise SystemExit(f"error: {source} section '{name}' lacks {missing}")
-        out[name] = {k: sec[k] for k in MEASURE_KEYS}
+        keep = MEASURE_KEYS + tuple(k for k in OPTIONAL_KEYS if k in sec)
+        out[name] = {k: sec[k] for k in keep}
     return out
 
 

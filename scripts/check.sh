@@ -195,6 +195,41 @@ PYGATE
   # for itself before any PR can lean on it. A single-core host cannot
   # show speedup (the inline engine adds real window-barrier overhead, see
   # EXPERIMENTS.md P1), so there the ratio prints informationally only.
+  # Scale smoke (DESIGN.md §13, EXPERIMENTS.md SC1): a 512-host 8-ary
+  # 3-tree churn scenario with hierarchical pod admission, bounded fanout,
+  # the sharded engine and the invariant auditor armed — gated on peak RSS
+  # (getrusage of the child; /usr/bin/time is not guaranteed present) and
+  # on the usual exact-zero teardown + auditor-ran checks. 192 MB is ~2x
+  # the measured footprint; the full 128/512/1024 bytes/host curve is
+  # bench_scale's job, this leg just keeps the 512-host config runnable
+  # and its memory from ratcheting.
+  echo "=== [bench] 512-host scale smoke (RSS-gated) ==="
+  scale_out=$(python3 - <<'PYRSS'
+import resource, subprocess, sys
+r = subprocess.run(["build-bench/tools/dqos_sim",
+                    "--scenario=configs/scale512_churn.cfg"],
+                   capture_output=True, text=True)
+sys.stdout.write(r.stdout)
+if r.returncode != 0:
+    sys.exit(f"scale smoke: dqos_sim exited {r.returncode}\n{r.stderr}")
+peak_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+cap_mb = 192.0
+print(f"scale smoke peak RSS: {peak_mb:.1f} MB (cap {cap_mb:.0f} MB)")
+if peak_mb > cap_mb:
+    sys.exit(f"scale smoke: peak RSS {peak_mb:.1f} MB exceeds {cap_mb:.0f} MB")
+PYRSS
+  )
+  echo "$scale_out" | grep -E "churn:|peak RSS"
+  if ! grep -q "reserved 0.0 B/s after" <<<"$scale_out"; then
+    echo "scale smoke: reserved bandwidth did not return to zero" >&2
+    exit 1
+  fi
+  if ! grep -qE "backpressure:.* [1-9][0-9]* audits passed" <<<"$scale_out"; then
+    echo "scale smoke: the invariant auditor never ran" >&2
+    exit 1
+  fi
+  echo "scale smoke OK (512 hosts, hierarchical admission)"
+
   scaling_json=build-bench/bench_scaling_smoke.json
   build-bench/bench/bench_scaling --quick --json="$scaling_json"
   python3 - "$scaling_json" <<'PYSCALE'

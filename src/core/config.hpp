@@ -74,6 +74,18 @@ struct SimConfig {
   double best_effort_weight = 2.0;
   double background_weight = 1.0;
   double reservable_fraction = 1.0;
+  /// Bounded fanout (datacenter-scale runs, DESIGN.md §13): each host opens
+  /// control/unregulated flows to at most this many pattern-drawn peers
+  /// instead of to all N-1 hosts. 0 = legacy all-to-all (the paper's
+  /// workload; the default keeps every golden byte-identical). Values
+  /// >= N-1 behave like 0.
+  std::uint32_t fanout = 0;
+  /// Hierarchical pod-level admission (DESIGN.md §13): split the ledger
+  /// into per-pod brokers plus a root broker on pod-structured topologies
+  /// (k-ary n-trees, n >= 2). Identical route decisions in both modes —
+  /// this moves state and the recovery sweep order, never a path. Ignored
+  /// (flat) on topologies without pods.
+  bool hier_admission = false;
 
   // --- clocks (§3.3) ---
   /// Each node gets a local-clock offset uniform in [0, max_clock_skew]

@@ -225,6 +225,8 @@ SimConfig config_from_args(const ArgParser& args, SimConfig cfg) {
   cfg.background_weight = num_double(args, "bg-weight", cfg.background_weight);
   cfg.reservable_fraction =
       num_double(args, "reservable-fraction", cfg.reservable_fraction);
+  cfg.fanout = u32("fanout", cfg.fanout);
+  cfg.hier_admission = flag(args, "hier-admission", cfg.hier_admission);
   cfg.max_clock_skew = Duration::from_seconds_double(
       num_double(args, "skew-us", cfg.max_clock_skew.us()) / 1e6);
 
@@ -300,7 +302,8 @@ constexpr std::array kKnownKeys = {
     "no-control", "no-video", "no-besteffort", "no-background", "video-trace",
     "video-rate-mbs", "frame-period-ms", "frame-budget-ms", "no-eligible",
     "eligible-lead-us",
-    "be-weight", "bg-weight", "reservable-fraction", "skew-us", "pattern",
+    "be-weight", "bg-weight", "reservable-fraction", "fanout",
+    "hier-admission", "skew-us", "pattern",
     "hotspot-fraction",
     "hotspot-node", "fault-inject", "fault-seed", "fault-link-down-per-sec",
     "fault-link-outage-ms", "fault-permanent-fraction",
@@ -422,6 +425,8 @@ std::string config_to_string(const SimConfig& cfg) {
   if (cfg.reservable_fraction != 1.0) {  // emission gated: legacy dump bytes
     out << "reservable-fraction=" << cfg.reservable_fraction << "\n";
   }
+  if (cfg.fanout != 0) out << "fanout=" << cfg.fanout << "\n";
+  if (cfg.hier_admission) out << "hier-admission=true\n";
   out << "skew-us=" << cfg.max_clock_skew.us() << "\n";
   out << "pattern=" << to_string(cfg.pattern.kind) << "\n";
   out << "hotspot-fraction=" << cfg.pattern.hotspot_fraction << "\n";

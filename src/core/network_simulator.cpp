@@ -170,8 +170,8 @@ void NetworkSimulator::build_topology() {
                           cfg_.mesh_concentration);
       break;
   }
-  admission_ = std::make_unique<AdmissionController>(*topo_, cfg_.link_bw,
-                                                     cfg_.reservable_fraction);
+  admission_ = std::make_unique<AdmissionController>(
+      *topo_, cfg_.link_bw, cfg_.reservable_fraction, cfg_.hier_admission);
   admission_->set_class_vc_map(class_vc_map(cfg_.num_vcs));
   pattern_ = make_pattern(cfg_.pattern, topo_->num_hosts());
 }
@@ -241,9 +241,8 @@ void NetworkSimulator::build_nodes() {
         [this, retry_on, m = metrics_for(h)](const MessageDelivered& d) {
           m->on_message_delivered(d.tclass, d.created, d.bytes, d.completed);
           if (retry_on && d.tclass == TrafficClass::kControl) {
-            const auto it = flow_src_.find(d.flow);
-            if (it != flow_src_.end()) {
-              hosts_[it->second]->on_message_acked(d.flow, d.message_id);
+            if (const NodeId* src = flow_src_.find(d.flow)) {
+              hosts_[*src]->on_message_acked(d.flow, d.message_id);
             }
           }
         });
@@ -314,6 +313,11 @@ double NetworkSimulator::phase_rate(const PhaseSpec& ph, TrafficClass c) const {
          cfg_.link_bw.bytes_per_sec();
 }
 
+std::uint32_t NetworkSimulator::bounded_fanout() const {
+  const std::uint32_t n = topo_->num_hosts();
+  return (cfg_.fanout > 0 && n >= 2 && cfg_.fanout < n - 1) ? cfg_.fanout : 0;
+}
+
 void NetworkSimulator::activate_pattern(const PatternParams& params) {
   if (same_pattern(params, active_pattern_params_)) return;
   extra_patterns_.push_back(make_pattern(params, topo_->num_hosts()));
@@ -357,15 +361,46 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
                   cfg_.video.frame_period.sec();
   }
   const std::uint32_t n = topo_->num_hosts();
+  const std::uint32_t fanout = bounded_fanout();
   for (NodeId h = 0; h < n; ++h) {
     Host& host = *hosts_[h];
     Rng host_rng = rng_.split(0xbeef0000ULL + h);
 
+    // Bounded fanout (datacenter scale): draw this host's peer set once —
+    // pattern-shaped, deterministic from the seed — and share it across
+    // the per-destination classes below. Their flow tables and admission
+    // records then grow O(fanout) per host instead of O(N). fanout == 0
+    // (the default, and every golden config) takes the all-peers path and
+    // draws nothing, so legacy runs stay byte-identical.
+    std::vector<NodeId> peers;
+    const DestinationPattern* host_pattern = active_pattern_;
+    if (fanout > 0) {
+      Rng peer_rng = host_rng.split(7);
+      std::vector<std::uint8_t> chosen(n, 0);
+      // Deterministic patterns (transpose, tornado) offer fewer distinct
+      // destinations than asked; the attempt cap makes that a smaller peer
+      // set rather than a spin.
+      for (std::uint32_t tries = 0;
+           peers.size() < fanout && tries < 16u * fanout + n; ++tries) {
+        const NodeId d = active_pattern_->pick(h, peer_rng);
+        if (d == h || chosen[d] != 0) continue;
+        chosen[d] = 1;
+        peers.push_back(d);
+      }
+      std::sort(peers.begin(), peers.end());
+      peer_patterns_.push_back(std::make_unique<SubsetPattern>(peers));
+      host_pattern = peer_patterns_.back().get();
+    } else {
+      peers.reserve(n - 1);
+      for (NodeId d = 0; d < n; ++d) {
+        if (d != h) peers.push_back(d);
+      }
+    }
+
     // ---- Control: latency-critical small messages to patterned peers ----
     if (cfg_.enable_control && peak_rate(TrafficClass::kControl) > 0.0) {
       std::vector<FlowId> flows_by_dst(n, kInvalidFlow);
-      for (NodeId d = 0; d < n; ++d) {
-        if (d == h) continue;
+      for (const NodeId d : peers) {
         FlowRequest req;
         req.src = h;
         req.dst = d;
@@ -374,14 +409,14 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
         const auto spec = admission_->admit(req);
         DQOS_ASSERT(spec.has_value());  // control reserves nothing
         host.open_flow(*spec);
-        flow_src_.emplace(spec->id, h);
+        flow_src_.insert(spec->id, h);
         flows_by_dst[d] = spec->id;
       }
       ControlParams cp;
       cp.target_bytes_per_sec = phase_rate(p0, TrafficClass::kControl);
       sources_.push_back(std::make_unique<ControlSource>(
           sim_for(h), host, host_rng.split(1), metrics_for(h),
-          std::move(flows_by_dst), cp, active_pattern_));
+          std::move(flows_by_dst), cp, host_pattern));
     }
 
     // ---- Multimedia: admitted MPEG-4 streams with 10 ms frame budget ----
@@ -406,7 +441,7 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
         const auto spec = admission_->admit(req);
         if (!spec) continue;  // network reservation exhausted
         host.open_flow(*spec);
-        flow_src_.emplace(spec->id, h);
+        flow_src_.insert(spec->id, h);
         if (video_trace_.empty()) {
           sources_.push_back(std::make_unique<VideoSource>(
               sim_for(h), host, pick.split(100 + v), metrics_for(h), spec->id,
@@ -447,8 +482,7 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
       if (!enabled || peak_rate(tc) <= 0.0) return;
       std::vector<FlowId> flows_by_dst(n, kInvalidFlow);
       FlowId aggregate = kInvalidFlow;
-      for (NodeId d = 0; d < n; ++d) {
-        if (d == h) continue;
+      for (const NodeId d : peers) {
         FlowRequest req;
         req.src = h;
         req.dst = d;
@@ -463,7 +497,7 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
         if (aggregate == kInvalidFlow) aggregate = spec->id;
         spec->aggregate = aggregate;
         host.open_flow(*spec);
-        flow_src_.emplace(spec->id, h);
+        flow_src_.insert(spec->id, h);
         flows_by_dst[d] = spec->id;
       }
       SelfSimilarParams sp;
@@ -471,7 +505,7 @@ void NetworkSimulator::prepare_workload(const Scenario& scn) {
       sp.tclass = tc;
       sources_.push_back(std::make_unique<SelfSimilarSource>(
           sim_for(h), host, host_rng.split(salt), metrics_for(h),
-          std::move(flows_by_dst), sp, active_pattern_));
+          std::move(flows_by_dst), sp, host_pattern));
     };
     add_unregulated(TrafficClass::kBestEffort, cfg_.best_effort_weight,
                     cfg_.enable_best_effort, 3);
@@ -627,7 +661,12 @@ void NetworkSimulator::apply_phase(const PhaseSpec& phase) {
     // Multimedia streams are fixed-rate; their population is churn-driven.
     // Stopped sources (departed churn flows) ignore the retarget.
     if (src->tclass() == TrafficClass::kMultimedia) continue;
-    src->retarget(phase_rate(phase, src->tclass()), active_pattern_);
+    // Bounded-fanout sources keep their per-host peer sets across phases —
+    // only flows that were opened can carry traffic, so handing them the
+    // phase's full-fabric pattern would pick destinations with no flow.
+    const DestinationPattern* pat =
+        bounded_fanout() > 0 ? nullptr : active_pattern_;
+    src->retarget(phase_rate(phase, src->tclass()), pat);
   }
 }
 
@@ -650,7 +689,7 @@ std::optional<FlowId> NetworkSimulator::open_video_flow(NodeId src, Rng rng,
   if (!spec) return std::nullopt;  // mid-run rejection: no headroom left
   Host& host = *hosts_[src];
   host.open_flow(*spec);
-  flow_src_.emplace(spec->id, src);
+  flow_src_.insert(spec->id, src);
   if (video_trace_.empty()) {
     sources_.push_back(std::make_unique<VideoSource>(
         sim_for(src), host, rng.split(1), metrics_for(src), spec->id,
@@ -664,38 +703,36 @@ std::optional<FlowId> NetworkSimulator::open_video_flow(NodeId src, Rng rng,
         sim_for(src), host, rng.split(1), metrics_for(src), spec->id,
         &video_trace_, tv));
   }
-  churn_sources_.emplace(spec->id, sources_.back().get());
+  churn_sources_.insert(spec->id, sources_.back().get());
   sources_.back()->start(stop);
   return spec->id;
 }
 
 void NetworkSimulator::close_video_flow(FlowId id) {
-  const auto it = churn_sources_.find(id);
-  DQOS_EXPECTS(it != churn_sources_.end());
   // Order matters: silence the source before retiring its host flow
   // (submitting to a retired flow is a contract violation), and release
   // the reservation only if the fault path hasn't already shed it.
-  it->second->stop();
-  churn_sources_.erase(it);
+  churn_sources_.at(id)->stop();
+  churn_sources_.erase(id);
   if (admission_->has_flow(id)) admission_->release(id);
-  const auto src_it = flow_src_.find(id);
-  DQOS_ASSERT(src_it != flow_src_.end());
-  hosts_[src_it->second]->retire_flow(id);
-  flow_src_.erase(src_it);
+  const NodeId src = flow_src_.at(id);
+  const NodeId dst = hosts_[src]->retire_flow(id);
+  flow_src_.erase(id);
+  // Receive-side reclamation: without it, churn ratchets the destination's
+  // per-flow rx tracking for the rest of the run. Safe here — churn events
+  // run serially (control calendar under the sharded engine), so touching
+  // the destination host cannot race a shard window.
+  hosts_[dst]->purge_rx_flow(id);
 }
 
 std::uint64_t NetworkSimulator::close_remaining_churn_flows() {
-  std::vector<FlowId> ids;
-  ids.reserve(churn_sources_.size());
-  // Key harvest only — sorted before any stateful use. dqos-lint: allow(unordered-iteration)
-  for (const auto& [id, src] : churn_sources_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  const std::vector<FlowId> ids = churn_sources_.ids_ascending();
   for (const FlowId id : ids) close_video_flow(id);
   return ids.size();
 }
 
 void NetworkSimulator::retire_shed_flow(FlowId id, NodeId src) {
-  if (churn_sources_.count(id) > 0) {
+  if (churn_sources_.contains(id)) {
     close_video_flow(id);  // reservation already gone: release is guarded
     return;
   }
@@ -710,14 +747,11 @@ void NetworkSimulator::on_flow_aborted(FlowId id) {
   // release — shared, serial-only state — to the barrier, sequenced by the
   // abort's position in the merged fire order.
   if (engine_ != nullptr && *engine_window_) {
-    const auto it = churn_sources_.find(id);
-    if (it != churn_sources_.end()) it->second->stop();
-    const auto src_it = flow_src_.find(id);
-    DQOS_ASSERT(src_it != flow_src_.end());
+    if (TrafficSource** src = churn_sources_.find(id)) (*src)->stop();
     DeferredEffect e;
     e.kind = DeferredEffect::Kind::kFlowAborted;
     e.id = id;
-    engine_->log(part_.shard_of(src_it->second)).effects.push_back(e);
+    engine_->log(part_.shard_of(flow_src_.at(id))).effects.push_back(e);
     return;
   }
   finish_flow_abort(id);
@@ -726,7 +760,7 @@ void NetworkSimulator::on_flow_aborted(FlowId id) {
 void NetworkSimulator::finish_flow_abort(FlowId id) {
   // The host has already closed the flow and purged its queues; free its
   // reservation so the bandwidth helps flows still meeting deadlines.
-  if (churn_sources_.count(id) > 0) {
+  if (churn_sources_.contains(id)) {
     close_video_flow(id);  // stops the source, releases, retires
     return;
   }

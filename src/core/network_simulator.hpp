@@ -40,6 +40,7 @@
 #include "topo/topology.hpp"
 #include "traffic/patterns.hpp"
 #include "traffic/source.hpp"
+#include "util/dense_flow_table.hpp"
 
 namespace dqos {
 
@@ -254,6 +255,9 @@ class NetworkSimulator {
 
   /// Per-class offered bandwidth (bytes/s) under a phase's load and shares.
   [[nodiscard]] double phase_rate(const PhaseSpec& ph, TrafficClass c) const;
+  /// The effective per-host peer bound: cfg.fanout when it actually binds
+  /// (0 < fanout < N-1), else 0 = legacy all-to-all.
+  [[nodiscard]] std::uint32_t bounded_fanout() const;
   /// Points active_pattern_ at (a pattern equal to) `params`, instantiating
   /// a new one only when it differs from the current pattern.
   void activate_pattern(const PatternParams& params);
@@ -296,10 +300,13 @@ class NetworkSimulator {
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<DeadlockWatchdog> watchdog_;
   std::unique_ptr<InvariantAuditor> auditor_;
-  std::unordered_map<FlowId, NodeId> flow_src_;  ///< ack routing (retries)
+  DenseFlowTable<NodeId> flow_src_;  ///< ack routing (retries)
   /// Churn-created flows still open, keyed to their sources (owned by
   /// sources_; pointers stay valid because sources_ only grows mid-run).
-  std::unordered_map<FlowId, TrafficSource*> churn_sources_;
+  DenseFlowTable<TrafficSource*> churn_sources_;
+  /// Per-host bounded peer sets (cfg.fanout > 0): one SubsetPattern per
+  /// host, shared by its control and unregulated sources.
+  std::vector<std::unique_ptr<DestinationPattern>> peer_patterns_;
   bool fault_active_ = false;
   bool workload_prepared_ = false;
   /// Per-stream video rate (bytes/s) shared by the static population and

@@ -173,7 +173,7 @@ void RunController::arm_departure(FlowId id, Rng& stream) {
   const double life = -std::log(stream.uniform_pos()) / mu;
   const TimePoint at = net_.sim().now() + Duration::from_seconds_double(life);
   if (at >= window_end_) return;
-  departure_events_[id] = net_.sim().schedule_at(at, [this, id] {
+  departure_events_.get_or_insert(id) = net_.sim().schedule_at(at, [this, id] {
     departure_events_.erase(id);
     ++departed_[active_phase_];
     net_.close_video_flow(id);
@@ -228,10 +228,9 @@ void RunController::shed_check() {
   if (highwater <= 0.0) return;
   for (const auto& r : net_.admission().shed_to_highwater(highwater)) {
     ++shed_flows_;
-    const auto it = departure_events_.find(r.flow);
-    if (it != departure_events_.end()) {
-      net_.sim().cancel(it->second);
-      departure_events_.erase(it);
+    if (const EventId* ev = departure_events_.find(r.flow)) {
+      net_.sim().cancel(*ev);
+      departure_events_.erase(r.flow);
     }
     net_.retire_shed_flow(r.flow, r.src);
     if (net_.config().admit_retry_max > 0) {
@@ -252,14 +251,11 @@ void RunController::teardown() {
   }
   for (const EventId id : transition_events_) sim.cancel(id);
   transition_events_.clear();
-  // Cancel in ascending FlowId order: the map is FlowId-keyed and
-  // unordered, and cancellation mutates kernel state — keep teardown
-  // replayable no matter what the hash layout did.
-  // dqos-lint: allow(unordered-iteration) — copy harvest, sorted below
-  std::vector<std::pair<FlowId, EventId>> departures(departure_events_.begin(),
-                                                     departure_events_.end());
-  std::sort(departures.begin(), departures.end());
-  for (const auto& [flow, ev] : departures) sim.cancel(ev);
+  // Cancel in ascending FlowId order: cancellation mutates kernel state —
+  // keep teardown replayable no matter what insertion order did.
+  for (const FlowId flow : departure_events_.ids_ascending()) {
+    sim.cancel(departure_events_.at(flow));
+  }
   departure_events_.clear();
   // dqos-lint: allow(unordered-iteration) — copy harvest, sorted below
   std::vector<std::pair<std::uint64_t, EventId>> retries(retry_events_.begin(),

@@ -35,6 +35,7 @@
 
 #include "core/network_simulator.hpp"
 #include "core/scenario.hpp"
+#include "util/dense_flow_table.hpp"
 
 namespace dqos {
 
@@ -122,7 +123,7 @@ class RunController {
   std::size_t active_phase_ = 0;
   EventId churn_event_ = 0;
   std::vector<EventId> transition_events_;
-  std::unordered_map<FlowId, EventId> departure_events_;
+  DenseFlowTable<EventId> departure_events_;
   std::uint64_t arrival_seq_ = 0;  ///< salts the per-arrival RNG split
   std::vector<std::uint64_t> arrivals_;
   std::vector<std::uint64_t> rejected_;

@@ -5,6 +5,21 @@
 #include "util/contracts.hpp"
 
 namespace dqos {
+namespace {
+
+/// unordered_map never releases its bucket array, so a churn or retry
+/// spike ratchets the host's memory for the rest of the run. Rebuild a
+/// map that has gone sparse (under 1/8 occupancy past a small floor);
+/// callers invoke this after erases on the rx/retry maps.
+template <typename Map>
+void shrink_if_sparse(Map& m) {
+  if (m.bucket_count() > 64 && m.size() * 8 < m.bucket_count()) {
+    Map rebuilt(m.begin(), m.end());
+    m.swap(rebuilt);
+  }
+}
+
+}  // namespace
 
 Host::Host(Simulator& sim, NodeId id, const HostParams& params, LocalClock clock,
            PacketPool& pool)
@@ -50,9 +65,8 @@ void Host::open_flow(const FlowSpec& spec) {
     state.policer = std::make_unique<TokenBucket>(
         spec.reserve_bw, std::max<std::uint64_t>(burst, 128 * 1024));
   }
-  const bool inserted = flows_.emplace(spec.id, std::move(state)).second;
-  DQOS_EXPECTS(inserted);
-  stampers_.try_emplace(skey, DeadlineStamper(spec));
+  flows_.insert(spec.id, std::move(state));  // aborts on duplicate open
+  if (!stampers_.contains(skey)) stampers_.insert(skey, DeadlineStamper(spec));
 }
 
 void Host::push_entry(MinHeap& h, TimePoint key, PacketPtr p) {
@@ -112,9 +126,10 @@ bool Host::submit(FlowId flow, std::uint64_t bytes) {
 
 bool Host::do_submit(FlowId flow, std::uint64_t bytes, std::uint32_t attempt) {
   DQOS_EXPECTS(bytes > 0);
-  const auto it = flows_.find(flow);
-  DQOS_EXPECTS(it != flows_.end());
-  FlowState& fs = it->second;
+  // Table references are held only across the fragment loop, which touches
+  // nothing but the NIC queues; the trailing pump() — which *can* retire
+  // flows via the abort callback — runs after the last use of either.
+  FlowState& fs = flows_.at(flow);
   const VcId vc = fs.spec.vc;
 
   // Shed flows (close_flow) accept nothing; the application-side source
@@ -208,10 +223,9 @@ bool Host::do_submit(FlowId flow, std::uint64_t bytes, std::uint32_t attempt) {
 
 void Host::update_flow_route(FlowId flow, const SourceRoute& route,
                              std::size_t choice) {
-  const auto it = flows_.find(flow);
-  DQOS_EXPECTS(it != flows_.end());
-  it->second.spec.route = route;
-  it->second.spec.route_choice = choice;
+  FlowState& fs = flows_.at(flow);
+  fs.spec.route = route;
+  fs.spec.route_choice = choice;
   // Queued packets still carry the dead path; re-stamp them so they survive.
   // (Heap order depends only on time keys, so in-place rewrite is safe.)
   const auto restamp = [&](Packet& p) {
@@ -229,9 +243,7 @@ void Host::update_flow_route(FlowId flow, const SourceRoute& route,
 }
 
 void Host::close_flow(FlowId flow) {
-  const auto it = flows_.find(flow);
-  DQOS_EXPECTS(it != flows_.end());
-  it->second.closed = true;
+  flows_.at(flow).closed = true;
 
   // Purge queued packets of the shed flow; they have nowhere to go. Each
   // purged packet is retired through the audited pool path, then the null
@@ -268,22 +280,35 @@ void Host::close_flow(FlowId flow) {
   }
 }
 
-void Host::retire_flow(FlowId flow) {
-  const auto it = flows_.find(flow);
-  DQOS_EXPECTS(it != flows_.end());
-  const FlowId skey = it->second.stamper_key;
-  flows_.erase(it);
+NodeId Host::retire_flow(FlowId flow) {
+  const FlowState& gone = flows_.at(flow);
+  const FlowId skey = gone.stamper_key;
+  const NodeId dst = gone.spec.dst;
+  flows_.erase(flow);
   // The stamper may be shared by an aggregate; drop it with its last user.
+  // Existence scan only — the result is order-independent.
   bool shared = false;
-  // Existence check only — the result is order-independent.
-  // dqos-lint: allow(unordered-iteration)
-  for (const auto& [id, fs] : flows_) {
-    if (fs.stamper_key == skey) {
-      shared = true;
-      break;
-    }
-  }
+  flows_.for_each([&](FlowId, const FlowState& fs) {
+    if (fs.stamper_key == skey) shared = true;
+  });
   if (!shared) stampers_.erase(skey);
+  return dst;
+}
+
+void Host::purge_rx_flow(FlowId flow) {
+  // Tombstone rather than erase: packets of the retired flow may still be
+  // draining from the fabric, and a plain erase would let the first
+  // straggler re-create full tracking (a permanent leak for a partial
+  // message whose remaining parts never arrive). The tombstone costs one
+  // 16-byte record and makes stragglers inert.
+  rx_seq_.get_or_insert(flow) = kRetiredSeq;
+  for (auto it = rx_messages_.begin(); it != rx_messages_.end();) {
+    // Key-match reaping: the surviving set is visit-order independent.
+    // dqos-lint: allow(unordered-iteration)
+    const bool ours = static_cast<FlowId>(it->first >> 32) == flow;
+    it = ours ? rx_messages_.erase(it) : std::next(it);
+  }
+  shrink_if_sparse(rx_messages_);
 }
 
 void Host::enable_control_retry(const RetryParams& params) {
@@ -308,6 +333,7 @@ void Host::retry_timeout(std::uint64_t key) {
   if (it == pending_retry_.end()) return;  // acked after the timer fired
   const PendingRetry pr = it->second;
   pending_retry_.erase(it);
+  shrink_if_sparse(pending_retry_);
   if (pr.attempt >= retry_->max_retries) {
     ++retries_abandoned_;
     return;
@@ -326,6 +352,7 @@ void Host::on_message_acked(FlowId flow, std::uint32_t message_id) {
   if (it == pending_retry_.end()) return;
   sim_.cancel(it->second.timer);
   pending_retry_.erase(it);
+  shrink_if_sparse(pending_retry_);
 }
 
 void Host::pump() {
@@ -369,9 +396,9 @@ void Host::expire_packet(PacketPtr p, TimePoint now) {
   const FlowId flow = p->hdr.flow;
   if (tracer_) tracer_->record_drop(now, flow, p->hdr.tclass, id_);
   if (on_expired_) on_expired_(*p, now);
-  const auto it = flows_.find(flow);  // churn may have retired the flow
-  if (it != flows_.end()) {
-    FlowState& fs = it->second;
+  FlowState* fsp = flows_.find(flow);  // churn may have retired the flow
+  if (fsp != nullptr) {
+    FlowState& fs = *fsp;
     ++fs.expired_packets;
     fs.expired_bytes += p->size();
     retire_packet(std::move(p));
@@ -425,8 +452,7 @@ bool Host::inject_from_vc(VcId vc, TimePoint now) {
     --backlog;
   }
   if (params_.expiry_drop && vc == kRegulatedVc) {
-    const auto fit = flows_.find(p->hdr.flow);
-    if (fit != flows_.end()) ++fit->second.sent_packets;
+    if (FlowState* fs = flows_.find(p->hdr.flow)) ++fs->sent_packets;
   }
   p->t_injected = now;
   p->hdr.ttd = clock_.encode_ttd(p->local_deadline, now);
@@ -480,25 +506,26 @@ void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
   const Duration slack = deadline_local - clock_.local_now(p->t_delivered);
 
   // Out-of-order delivery detection (must never fire: paper appendix).
-  // Flow ids are dense small integers (a global counter), so a flat
-  // per-flow array replaces the hash lookup this path paid per packet;
-  // -1 marks a flow with no delivery yet.
-  if (p->hdr.flow >= last_seq_seen_.size()) {
-    last_seq_seen_.resize(p->hdr.flow + 1, -1);
-  }
-  std::int64_t& last_seq = last_seq_seen_[p->hdr.flow];
-  if (last_seq >= 0 && static_cast<std::int64_t>(p->hdr.flow_seq) <= last_seq) {
+  // Dense per-flow record keyed by the flows *this host* receives; absent
+  // means nothing delivered yet, kRetiredSeq marks a purged (retired)
+  // flow whose stragglers must stay inert.
+  std::int64_t* last_seq = rx_seq_.find(p->hdr.flow);
+  const bool retired_flow = last_seq != nullptr && *last_seq == kRetiredSeq;
+  if (retired_flow) {
+    // no sequence tracking for stragglers of a purged flow
+  } else if (last_seq == nullptr) {
+    rx_seq_.insert(p->hdr.flow, p->hdr.flow_seq);
+  } else if (static_cast<std::int64_t>(p->hdr.flow_seq) <= *last_seq) {
     ++ooo_;
   } else {
-    last_seq = p->hdr.flow_seq;
+    *last_seq = p->hdr.flow_seq;
   }
 
   if (!watched_.empty()) {
-    const auto wit = watched_.find(p->hdr.flow);
-    if (wit != watched_.end()) {
-      ++wit->second.packets;
-      wit->second.bytes += p->size();
-      wit->second.latency_us.add((p->t_delivered - p->t_created).us());
+    if (FlowWatch* w = watched_.find(p->hdr.flow)) {
+      ++w->packets;
+      w->bytes += p->size();
+      w->latency_us.add((p->t_delivered - p->t_created).us());
     }
   }
 
@@ -515,6 +542,9 @@ void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
     }
     return;
   }
+  // Multi-part progress for a purged flow would re-enter the map with a
+  // part already missing and sit there forever; drop it instead.
+  if (retired_flow) return;
   const std::uint64_t mkey =
       (static_cast<std::uint64_t>(p->hdr.flow) << 32) | p->hdr.message_id;
   auto [mit, fresh] = rx_messages_.try_emplace(
@@ -528,6 +558,7 @@ void Host::receive_packet(PacketPtr p, PortId /*in_port*/) {
                                    p->hdr.message_id});
     }
     rx_messages_.erase(mit);
+    shrink_if_sparse(rx_messages_);
   }
 }
 

@@ -25,11 +25,13 @@
 
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "host/deadline.hpp"
+#include "util/dense_flow_table.hpp"
 #include "proto/packet_pool.hpp"
 #include "qos/flow.hpp"
 #include "qos/token_bucket.hpp"
@@ -123,7 +125,19 @@ class Host final : public PacketReceiver {
   /// the flow's deadline stamper is dropped with its last user. The caller
   /// must stop the flow's source first: submitting to a retired flow is a
   /// contract violation. Works on live and shed (close_flow) flows alike.
-  void retire_flow(FlowId flow);
+  /// Returns the flow's destination so the caller can reclaim the receive
+  /// side too (purge_rx_flow on that host).
+  NodeId retire_flow(FlowId flow);
+
+  /// Receive-side reclamation for a retired flow (call on the flow's
+  /// *destination* host, after retire_flow at the source): drops any
+  /// partial-message progress and tombstones the sequence record so
+  /// straggler packets still draining from the fabric cannot resurrect
+  /// per-flow tracking. One 16-byte tombstone per retired flow remains —
+  /// bounded by the flows this host ever received, not by the global flow
+  /// counter. Without this hook a churn workload ratchets rx memory for
+  /// the rest of the run.
+  void purge_rx_flow(FlowId flow);
 
   /// End-to-end retry for control-class messages: when enabled, a control
   /// submission that is not acknowledged (on_message_acked) within
@@ -145,11 +159,10 @@ class Host final : public PacketReceiver {
     std::uint64_t bytes = 0;
     StreamingStats latency_us;
   };
-  void watch_flow(FlowId flow) { watched_[flow]; }
-  /// nullptr if the flow is not watched here.
+  void watch_flow(FlowId flow) { watched_.get_or_insert(flow); }
+  /// nullptr if the flow is not watched here. Invalidated by watch_flow.
   [[nodiscard]] const FlowWatch* flow_watch(FlowId flow) const {
-    const auto it = watched_.find(flow);
-    return it == watched_.end() ? nullptr : &it->second;
+    return watched_.find(flow);
   }
 
   /// Application hands over a message (control message, video frame,
@@ -189,8 +202,8 @@ class Host final : public PacketReceiver {
   /// Expired-packet count of one open flow (0 if unknown/retired) — the
   /// video source consults this to drop late B-frames at the application.
   [[nodiscard]] std::uint64_t flow_expired_packets(FlowId flow) const {
-    const auto it = flows_.find(flow);
-    return it == flows_.end() ? 0 : it->second.expired_packets;
+    const FlowState* fs = flows_.find(flow);
+    return fs == nullptr ? 0 : fs->expired_packets;
   }
 
  private:
@@ -256,8 +269,11 @@ class Host final : public PacketReceiver {
   Channel* uplink_ = nullptr;
   Channel* downlink_ = nullptr;
 
-  std::unordered_map<FlowId, FlowState> flows_;
-  std::unordered_map<FlowId, DeadlineStamper> stampers_;  ///< keyed by stamper_key
+  /// Per-flow send state, dense (DESIGN.md §13): churn-heavy runs open and
+  /// retire thousands of flows, and node-per-entry hash maps both ratchet
+  /// memory and scatter the hot do_submit lookup across the heap.
+  DenseFlowTable<FlowState> flows_;
+  DenseFlowTable<DeadlineStamper> stampers_;  ///< keyed by stamper_key
   MinHeap eligible_q_;                 ///< regulated, waiting for eligibility
   std::vector<MinHeap> ready_q_;       ///< per VC, deadline-ordered (EDF mode)
   std::vector<std::deque<PacketPtr>> fifo_q_;  ///< per VC (FIFO mode)
@@ -273,17 +289,26 @@ class Host final : public PacketReceiver {
   std::uint64_t next_packet_id_;
 
   // receive-side state
-  /// Highest flow_seq delivered per flow, indexed by FlowId (dense global
-  /// counter); -1 = nothing delivered yet. Flat array: the out-of-order
-  /// check runs once per delivered packet.
-  std::vector<std::int64_t> last_seq_seen_;
+  /// rx_seq_ tombstone: the flow was retired and purged; stragglers still
+  /// deliver (and count) but never restart sequence/message tracking.
+  static constexpr std::int64_t kRetiredSeq =
+      std::numeric_limits<std::int64_t>::min();
+  /// Highest flow_seq delivered per flow this host has received (absent =
+  /// nothing delivered yet; kRetiredSeq tombstone = flow retired, tracking
+  /// purged). A dense table sized by *this host's* receive set — the flat
+  /// vector it replaces was indexed by the global flow counter, so every
+  /// host paid 8 bytes per flow anyone ever opened.
+  DenseFlowTable<std::int64_t> rx_seq_;
   struct MessageProgress {
     std::uint16_t parts_left;
     std::uint64_t bytes = 0;
     TimePoint created;
   };
+  /// In-progress multi-part messages, keyed (flow << 32) | message_id.
+  /// Completed messages erase themselves; purge_rx_flow reaps partials of
+  /// retired flows and shrinks the bucket array below its high-water mark.
   std::unordered_map<std::uint64_t, MessageProgress> rx_messages_;
-  std::unordered_map<FlowId, FlowWatch> watched_;
+  DenseFlowTable<FlowWatch> watched_;
 
   PacketTracer* tracer_ = nullptr;
   PacketDeliveredFn on_packet_;

@@ -9,10 +9,38 @@
 namespace dqos {
 
 AdmissionController::AdmissionController(const Topology& topo, Bandwidth link_bw,
-                                         double reservable_fraction)
+                                         double reservable_fraction,
+                                         bool hierarchical)
     : topo_(topo), link_bw_(link_bw), reservable_fraction_(reservable_fraction) {
   DQOS_EXPECTS(link_bw.valid());
   DQOS_EXPECTS(reservable_fraction > 0.0 && reservable_fraction <= 1.0);
+
+  const std::uint32_t slots = topo_.num_link_slots();
+  failed_.assign(slots, 0);
+  link_owner_.assign(slots, 0);
+  link_local_.assign(slots, 0);
+
+  num_pod_brokers_ = hierarchical ? topo_.num_pods() : 0;
+  brokers_.resize(num_pod_brokers_ + 1);
+  const std::uint32_t root = num_pod_brokers_;
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    std::uint32_t owner = root;
+    if (num_pod_brokers_ > 0) {
+      const std::uint32_t pod = topo_.link_pod(topo_.link_endpoint(slot));
+      if (pod != Topology::kNoPod) owner = pod;
+    }
+    link_owner_[slot] = owner;
+    link_local_[slot] = static_cast<std::uint32_t>(brokers_[owner].load.size());
+    brokers_[owner].load.emplace_back();
+  }
+}
+
+std::uint32_t AdmissionController::home_broker(NodeId src, NodeId dst) const {
+  if (num_pod_brokers_ == 0) return 0;
+  const std::uint32_t sp = topo_.pod_of(src);
+  return (sp != Topology::kNoPod && sp == topo_.pod_of(dst))
+             ? sp
+             : num_pod_brokers_;  // root
 }
 
 std::pair<double, std::uint32_t> AdmissionController::path_load(
@@ -24,17 +52,16 @@ std::pair<double, std::uint32_t> AdmissionController::path_load(
   double max_frac = 0.0;
   std::uint32_t max_flows = 0;
   for (std::size_t i = 1; i + 1 < links.size(); ++i) {
-    const auto it = load_.find(key(links[i]));
-    if (it == load_.end()) continue;
+    const LinkLoad& l = load_at(topo_.link_index(links[i]));
     max_frac = std::max(max_frac,
-                        it->second.reserved_bytes_per_sec / link_bw_.bytes_per_sec());
-    max_flows = std::max(max_flows, it->second.flow_count);
+                        l.reserved_bytes_per_sec / link_bw_.bytes_per_sec());
+    max_flows = std::max(max_flows, l.flow_count);
   }
   return {max_frac, max_flows};
 }
 
 std::optional<std::size_t> AdmissionController::pick_route(NodeId src, NodeId dst,
-                                                           double want_bps) const {
+                                                           double want_bps) {
   const double budget_bps = link_bw_.bytes_per_sec() * reservable_fraction_;
 
   // Evaluate every minimal path; keep the least loaded feasible one.
@@ -42,29 +69,60 @@ std::optional<std::size_t> AdmissionController::pick_route(NodeId src, NodeId ds
   std::optional<std::size_t> best;
   std::pair<double, std::uint32_t> best_load{0.0, 0};
   for (std::size_t c = 0; c < n_choices; ++c) {
-    const auto links = topo_.route_links(src, dst, c);
+    topo_.route_links_into(src, dst, c, scratch_links_);
     bool feasible = true;
-    for (const auto& e : links) {
-      if (failed_.count(key(e)) > 0) {
+    for (const Endpoint& e : scratch_links_) {
+      const std::uint32_t slot = topo_.link_index(e);
+      if (failed_[slot] != 0) {
         feasible = false;
         break;
       }
-      const auto it = load_.find(key(e));
-      const double reserved = it == load_.end() ? 0.0 : it->second.reserved_bytes_per_sec;
       // 1 B/s epsilon: accumulated FP dust must not reject an exact fit.
-      if (reserved + want_bps > budget_bps + 1.0) {
+      if (load_at(slot).reserved_bytes_per_sec + want_bps > budget_bps + 1.0) {
         feasible = false;
         break;
       }
     }
     if (!feasible) continue;
-    const auto pl = path_load(links);
+    const auto pl = path_load(scratch_links_);
     if (!best || pl < best_load) {
       best = c;
       best_load = pl;
     }
   }
   return best;
+}
+
+void AdmissionController::commit_flow(FlowId id, NodeId src, NodeId dst,
+                                      std::size_t choice, double want_bps,
+                                      TrafficClass tclass) {
+  topo_.route_links_into(src, dst, choice, scratch_links_);
+  for (const Endpoint& e : scratch_links_) {
+    LinkLoad& l = load_at(topo_.link_index(e));
+    l.reserved_bytes_per_sec += want_bps;
+    ++l.flow_count;
+  }
+  FlowRecord rec;
+  rec.src = src;
+  rec.dst = dst;
+  rec.choice = static_cast<std::uint32_t>(choice);
+  rec.reserved_bytes_per_sec = want_bps;
+  rec.tclass = tclass;
+  rec.broker = home_broker(src, dst);
+  Broker& b = brokers_[rec.broker];
+  rec.member_pos = static_cast<std::uint32_t>(b.members.size());
+  b.members.push_back(id);
+  flows_.insert(id, rec);
+}
+
+void AdmissionController::remove_member(FlowId id, std::uint32_t broker,
+                                        std::uint32_t pos) {
+  Broker& b = brokers_[broker];
+  DQOS_ASSERT(pos < b.members.size() && b.members[pos] == id);
+  const FlowId moved = b.members.back();
+  b.members[pos] = moved;
+  b.members.pop_back();
+  if (moved != id) flows_.at(moved).member_pos = pos;
 }
 
 std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
@@ -76,13 +134,6 @@ std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
   if (!best) {
     ++rejected_;
     return std::nullopt;
-  }
-
-  // Commit the reservation / path counts.
-  for (const auto& e : topo_.route_links(req.src, req.dst, *best)) {
-    LinkLoad& l = load_[key(e)];
-    l.reserved_bytes_per_sec += want_bps;
-    ++l.flow_count;
   }
 
   FlowSpec spec;
@@ -109,75 +160,82 @@ std::optional<FlowSpec> AdmissionController::admit(const FlowRequest& req) {
     spec.deadline_bw = req.reserve_bw;
   }
 
-  flows_.emplace(spec.id,
-                 FlowRecord{req.src, req.dst, *best, want_bps, req.tclass});
+  commit_flow(spec.id, req.src, req.dst, *best, want_bps, req.tclass);
   return spec;
 }
 
 void AdmissionController::release(FlowId id) {
-  const auto it = flows_.find(id);
-  DQOS_EXPECTS(it != flows_.end());
-  const FlowRecord& rec = it->second;
-  for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
-    LinkLoad& l = load_[key(e)];
+  const FlowRecord* found = flows_.find(id);
+  DQOS_EXPECTS(found != nullptr);
+  const FlowRecord rec = *found;  // copy: the table entry is erased below
+  topo_.route_links_into(rec.src, rec.dst, rec.choice, scratch_links_);
+  for (const Endpoint& e : scratch_links_) {
+    LinkLoad& l = load_at(topo_.link_index(e));
     l.reserved_bytes_per_sec -= rec.reserved_bytes_per_sec;
     DQOS_ASSERT(l.flow_count > 0);
     --l.flow_count;
     // Sweep FP dust in both directions so ledgers return to exactly zero.
     if (std::abs(l.reserved_bytes_per_sec) < 1e-6) l.reserved_bytes_per_sec = 0.0;
   }
-  flows_.erase(it);
+  remove_member(id, rec.broker, rec.member_pos);
+  flows_.erase(id);
 }
 
 void AdmissionController::mark_link_failed(const Endpoint& link) {
-  failed_.insert(key(link));
+  std::uint8_t& f = failed_[topo_.link_index(link)];
+  failed_count_ += f == 0 ? 1 : 0;
+  f = 1;
 }
 
 void AdmissionController::mark_link_repaired(const Endpoint& link) {
-  failed_.erase(key(link));
+  std::uint8_t& f = failed_[topo_.link_index(link)];
+  failed_count_ -= f != 0 ? 1 : 0;
+  f = 0;
 }
 
 std::vector<AdmissionController::Reroute> AdmissionController::reroute_around_failures() {
   std::vector<Reroute> out;
-  if (failed_.empty()) return out;
+  if (failed_count_ == 0) return out;
 
-  // Ascending FlowId order: unordered_map iteration order must not leak
-  // into which flow wins contended residual bandwidth.
+  // Pod-first recovery: each broker repairs its own flows before the root
+  // touches the inter-pod population (flat mode: one broker, one pass).
+  // Within a broker, ascending FlowId order — member-list order is
+  // insert-history dependent and must not leak into which flow wins
+  // contended residual bandwidth.
   std::vector<FlowId> affected;
-  // dqos-lint: allow(unordered-iteration) — harvest, sorted below
-  for (const auto& [id, rec] : flows_) {
-    for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
-      if (failed_.count(key(e)) > 0) {
-        affected.push_back(id);
-        break;
+  for (std::uint32_t b = 0; b < brokers_.size(); ++b) {
+    affected.clear();
+    for (const FlowId id : brokers_[b].members) {
+      const FlowRecord& rec = flows_.at(id);
+      topo_.route_links_into(rec.src, rec.dst, rec.choice, scratch_links_);
+      for (const Endpoint& e : scratch_links_) {
+        if (failed_[topo_.link_index(e)] != 0) {
+          affected.push_back(id);
+          break;
+        }
       }
     }
-  }
-  std::sort(affected.begin(), affected.end());
+    std::sort(affected.begin(), affected.end());
 
-  for (const FlowId id : affected) {
-    const FlowRecord rec = flows_.at(id);  // copy: release() erases it
-    release(id);
-    Reroute r;
-    r.flow = id;
-    r.src = rec.src;
-    const auto best = pick_route(rec.src, rec.dst, rec.reserved_bytes_per_sec);
-    if (best) {
-      for (const auto& e : topo_.route_links(rec.src, rec.dst, *best)) {
-        LinkLoad& l = load_[key(e)];
-        l.reserved_bytes_per_sec += rec.reserved_bytes_per_sec;
-        ++l.flow_count;
+    for (const FlowId id : affected) {
+      const FlowRecord rec = flows_.at(id);  // copy: release() erases it
+      release(id);
+      Reroute r;
+      r.flow = id;
+      r.src = rec.src;
+      const auto best = pick_route(rec.src, rec.dst, rec.reserved_bytes_per_sec);
+      if (best) {
+        commit_flow(id, rec.src, rec.dst, *best, rec.reserved_bytes_per_sec,
+                    rec.tclass);
+        r.rerouted = true;
+        r.new_choice = *best;
+        r.new_route = topo_.build_route(rec.src, rec.dst, *best);
+        ++flows_rerouted_;
+      } else {
+        ++flows_shed_;
       }
-      flows_.emplace(id, FlowRecord{rec.src, rec.dst, *best,
-                                    rec.reserved_bytes_per_sec, rec.tclass});
-      r.rerouted = true;
-      r.new_choice = *best;
-      r.new_route = topo_.build_route(rec.src, rec.dst, *best);
-      ++flows_rerouted_;
-    } else {
-      ++flows_shed_;
+      out.push_back(r);
     }
-    out.push_back(r);
   }
   return out;
 }
@@ -193,80 +251,108 @@ std::vector<AdmissionController::Reroute> AdmissionController::shed_to_highwater
     return l.reserved_bytes_per_sec > mark_bps + 1.0;
   };
   bool any_over = false;
-  for (const auto& [k, l] : load_) any_over = any_over || over(l);
+  for (const Broker& b : brokers_) {
+    for (const LinkLoad& l : b.load) any_over = any_over || over(l);
+  }
   if (!any_over) return out;
 
-  // Shedding order: lowest traffic class first (highest enum value), newest
-  // flow first within a class — the freshest low-priority admissions give
-  // way before anything long-lived or important. Only reserving flows can
-  // relieve a reserved-bandwidth overload.
+  // Shedding order: pod brokers first (ascending), then the root — a pod
+  // relieves its own links before inter-pod flows are touched. Within a
+  // broker: lowest traffic class first (highest enum value), newest flow
+  // first within a class — the freshest low-priority admissions give way
+  // before anything long-lived or important. Only reserving flows can
+  // relieve a reserved-bandwidth overload. Any examination order drains
+  // every link under the mark: loads only decrease, so a link still over
+  // at the end would have shed every flow crossing it — a contradiction.
   std::vector<FlowId> order;
-  // dqos-lint: allow(unordered-iteration) — harvest, sorted below
-  for (const auto& [id, rec] : flows_) {
-    if (rec.reserved_bytes_per_sec > 0.0) order.push_back(id);
-  }
-  std::sort(order.begin(), order.end(), [&](FlowId a, FlowId b) {
-    const FlowRecord& ra = flows_.at(a);
-    const FlowRecord& rb = flows_.at(b);
-    if (ra.tclass != rb.tclass) return ra.tclass > rb.tclass;
-    return a > b;
-  });
-
-  for (const FlowId id : order) {
-    const FlowRecord& rec = flows_.at(id);
-    bool crosses_over = false;
-    for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
-      const auto it = load_.find(key(e));
-      if (it != load_.end() && over(it->second)) {
-        crosses_over = true;
-        break;
-      }
+  for (std::uint32_t b = 0; b < brokers_.size(); ++b) {
+    order.clear();
+    for (const FlowId id : brokers_[b].members) {
+      if (flows_.at(id).reserved_bytes_per_sec > 0.0) order.push_back(id);
     }
-    if (!crosses_over) continue;  // its links already drained under the mark
-    Reroute r;
-    r.flow = id;
-    r.src = rec.src;
-    r.rerouted = false;
-    release(id);
-    ++flows_shed_;
-    out.push_back(r);
+    std::sort(order.begin(), order.end(), [&](FlowId a, FlowId c) {
+      const FlowRecord& ra = flows_.at(a);
+      const FlowRecord& rc = flows_.at(c);
+      if (ra.tclass != rc.tclass) return ra.tclass > rc.tclass;
+      return a > c;
+    });
+
+    for (const FlowId id : order) {
+      const FlowRecord& rec = flows_.at(id);
+      bool crosses_over = false;
+      topo_.route_links_into(rec.src, rec.dst, rec.choice, scratch_links_);
+      for (const Endpoint& e : scratch_links_) {
+        if (over(load_at(topo_.link_index(e)))) {
+          crosses_over = true;
+          break;
+        }
+      }
+      if (!crosses_over) continue;  // its links already drained under the mark
+      Reroute r;
+      r.flow = id;
+      r.src = rec.src;
+      r.rerouted = false;
+      release(id);
+      ++flows_shed_;
+      out.push_back(r);
+    }
   }
   return out;
 }
 
 std::string AdmissionController::audit_ledger() const {
   // Recompute the per-link ledger from first principles (the flow records)
-  // and diff it against the incrementally-maintained `load_`.
-  std::unordered_map<std::uint64_t, LinkLoad> want;
-  // dqos-lint: allow(unordered-iteration) — order-independent accumulation
-  for (const auto& [id, rec] : flows_) {
-    for (const auto& e : topo_.route_links(rec.src, rec.dst, rec.choice)) {
-      LinkLoad& l = want[key(e)];
+  // and diff it against the incrementally-maintained broker slices.
+  std::vector<LinkLoad> want(topo_.num_link_slots());
+  std::vector<Endpoint> links;
+  // Slot-order traversal of the flow table is insert-history dependent but
+  // the accumulation is order-independent (per-link sums compared with an
+  // FP-dust tolerance).
+  std::string membership_error;
+  flows_.for_each([&](FlowId id, const FlowRecord& rec) {
+    topo_.route_links_into(rec.src, rec.dst, rec.choice, links);
+    for (const Endpoint& e : links) {
+      LinkLoad& l = want[topo_.link_index(e)];
       l.reserved_bytes_per_sec += rec.reserved_bytes_per_sec;
       ++l.flow_count;
     }
+    if (membership_error.empty()) {
+      const std::uint32_t home = home_broker(rec.src, rec.dst);
+      const Broker& b = brokers_[rec.broker];
+      if (rec.broker != home) {
+        membership_error = "admission brokers: flow " + std::to_string(id) +
+                           " homed on broker " + std::to_string(rec.broker) +
+                           ", endpoints prescribe " + std::to_string(home);
+      } else if (rec.member_pos >= b.members.size() ||
+                 b.members[rec.member_pos] != id) {
+        membership_error = "admission brokers: flow " + std::to_string(id) +
+                           " member list slot mismatch on broker " +
+                           std::to_string(rec.broker);
+      }
+    }
+  });
+  if (!membership_error.empty()) return membership_error;
+  std::size_t member_total = 0;
+  for (const Broker& b : brokers_) member_total += b.members.size();
+  if (member_total != flows_.size()) {
+    return "admission brokers: member lists hold " +
+           std::to_string(member_total) + " flows, table has " +
+           std::to_string(flows_.size());
   }
-  // Deterministic report order: smallest divergent link key wins.
-  std::vector<std::uint64_t> keys;
-  for (const auto& [k, l] : load_) keys.push_back(k);
-  for (const auto& [k, l] : want) keys.push_back(k);
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  for (const std::uint64_t k : keys) {
-    const auto hit = load_.find(k);
-    const auto wit = want.find(k);
-    const LinkLoad have = hit == load_.end() ? LinkLoad{} : hit->second;
-    const LinkLoad exp = wit == want.end() ? LinkLoad{} : wit->second;
-    const auto node = static_cast<NodeId>(k >> 8);
-    const auto port = static_cast<PortId>(k & 0xff);
+
+  // Deterministic report order: smallest divergent link slot wins.
+  for (std::uint32_t slot = 0; slot < topo_.num_link_slots(); ++slot) {
+    const LinkLoad& have = load_at(slot);
+    const LinkLoad& exp = want[slot];
+    const Endpoint e = topo_.link_endpoint(slot);
     if (have.flow_count != exp.flow_count) {
-      return "admission ledger: link (" + std::to_string(node) + "," +
-             std::to_string(port) + ") counts " + std::to_string(have.flow_count) +
+      return "admission ledger: link (" + std::to_string(e.node) + "," +
+             std::to_string(e.port) + ") counts " + std::to_string(have.flow_count) +
              " flows, records say " + std::to_string(exp.flow_count);
     }
     if (std::abs(have.reserved_bytes_per_sec - exp.reserved_bytes_per_sec) > 1e-6) {
-      return "admission ledger: link (" + std::to_string(node) + "," +
-             std::to_string(port) + ") reserves " +
+      return "admission ledger: link (" + std::to_string(e.node) + "," +
+             std::to_string(e.port) + ") reserves " +
              std::to_string(have.reserved_bytes_per_sec) +
              " B/s, records say " + std::to_string(exp.reserved_bytes_per_sec);
     }
@@ -274,30 +360,21 @@ std::string AdmissionController::audit_ledger() const {
   return "";
 }
 
-std::vector<FlowId> AdmissionController::admitted_ids() const {
-  std::vector<FlowId> out;
-  out.reserve(flows_.size());
-  // dqos-lint: allow(unordered-iteration) — harvest, sorted below
-  for (const auto& [id, rec] : flows_) out.push_back(id);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
 double AdmissionController::total_reserved_bytes_per_sec() const {
   double sum = 0.0;
-  for (const auto& [k, l] : load_) sum += l.reserved_bytes_per_sec;
+  for (const Broker& b : brokers_) {
+    for (const LinkLoad& l : b.load) sum += l.reserved_bytes_per_sec;
+  }
   return sum;
 }
 
 double AdmissionController::reserved_fraction(const Endpoint& link) const {
-  const auto it = load_.find(key(link));
-  if (it == load_.end()) return 0.0;
-  return it->second.reserved_bytes_per_sec / link_bw_.bytes_per_sec();
+  return load_at(topo_.link_index(link)).reserved_bytes_per_sec /
+         link_bw_.bytes_per_sec();
 }
 
 std::uint32_t AdmissionController::flows_on_link(const Endpoint& link) const {
-  const auto it = load_.find(key(link));
-  return it == load_.end() ? 0 : it->second.flow_count;
+  return load_at(topo_.link_index(link)).flow_count;
 }
 
 }  // namespace dqos

@@ -1,5 +1,6 @@
 /// \file admission.hpp
-/// Centralized connection admission control and path assignment (§3).
+/// Centralized connection admission control and path assignment (§3),
+/// scaled out hierarchically for pod-structured fabrics (DESIGN.md §13).
 ///
 /// "Bandwidth reservation is performed at a centralized point and no record
 /// is kept in the switches. This makes the use of fixed routing mandatory
@@ -13,17 +14,33 @@
 /// Path choice: the minimal route minimizing the maximum reserved fraction
 /// along its links, tie-broken by assigned flow count, then lowest index
 /// (deterministic).
+///
+/// State model (the 1k+ host memory refactor):
+///   - per-link state (reservations, failure marks) lives in flat arrays
+///     indexed by the topology's dense link slots — no hashing, no per-node
+///     heap overhead;
+///   - per-flow records live in a DenseFlowTable;
+///   - on a pod-structured topology with `hierarchical = true`, the ledger
+///     splits into one **PodBroker** per pod plus a **root broker**: a pod
+///     broker owns exactly the intra-pod directed links and the flows whose
+///     endpoints share its pod, the root owns the inter-pod (core) links
+///     and the inter-pod flows. Intra-pod admission touches only its pod
+///     broker's state, and `reroute_around_failures` / `shed_to_highwater`
+///     recurse pod-first (pods ascending, then root). Path-choice
+///     arithmetic is identical in both modes — hierarchy changes where
+///     state lives and the recovery sweep order, never a route decision.
+/// Exact-rollback invariant (§3.2) holds in both modes: releasing every
+/// admitted flow returns every ledger entry to exactly 0.0.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "qos/flow.hpp"
 #include "topo/topology.hpp"
+#include "util/dense_flow_table.hpp"
 
 namespace dqos {
 
@@ -31,8 +48,15 @@ class AdmissionController {
  public:
   /// `reservable_fraction` caps how much of each link regulated flows may
   /// reserve (headroom left for control/best-effort; 1.0 = full link).
+  /// `hierarchical` opts into per-pod brokers; it requires a topology that
+  /// declares pods and silently stays flat otherwise (mesh/Clos builders).
   AdmissionController(const Topology& topo, Bandwidth link_bw,
-                      double reservable_fraction = 1.0);
+                      double reservable_fraction = 1.0,
+                      bool hierarchical = false);
+
+  /// True when the ledger is split into pod brokers + root.
+  [[nodiscard]] bool hierarchical() const { return num_pod_brokers_ > 0; }
+  [[nodiscard]] std::uint32_t num_pod_brokers() const { return num_pod_brokers_; }
 
   /// Sets the TrafficClass -> VC mapping applied to admitted flows.
   /// Defaults to the paper's: {Control,Multimedia} -> VC0, others -> VC1.
@@ -56,7 +80,7 @@ class AdmissionController {
   /// reroute, or repaired hardware readmitted to service).
   void mark_link_repaired(const Endpoint& link);
   [[nodiscard]] bool link_failed(const Endpoint& link) const {
-    return failed_.count(key(link)) > 0;
+    return failed_[topo_.link_index(link)] != 0;
   }
 
   /// One rerouted (or shed) flow, for the caller to apply to hosts.
@@ -71,17 +95,23 @@ class AdmissionController {
   /// Re-examines every admitted flow whose fixed path crosses a failed
   /// link: releases its reservation, then re-admits it over the least
   /// loaded surviving feasible path, or sheds it when none exists. Flows
-  /// are processed in ascending FlowId order (deterministic). Shed flows
-  /// are erased from the ledger; the caller must stop their sources.
+  /// are processed in ascending FlowId order (deterministic); under
+  /// hierarchical admission the sweep recurses pod-first — each pod broker
+  /// repairs its own flows (pods ascending, FlowIds ascending within),
+  /// then the root broker sweeps the inter-pod flows. Shed flows are
+  /// erased from the ledger; the caller must stop their sources.
   std::vector<Reroute> reroute_around_failures();
 
   /// Load shedding (overload backpressure): while any directed link's
   /// reserved bandwidth exceeds `highwater` x its reservable budget, sheds
   /// reserving flows crossing it — lowest traffic class first, newest flow
   /// first within a class (deterministic) — until every link is back under
-  /// the mark. Returned entries have rerouted == false; the caller must
-  /// stop the sources, exactly as for fault sheds. No-op for
-  /// highwater <= 0 or >= 1 with nothing over the mark.
+  /// the mark. Under hierarchical admission the sweep recurses pod-first
+  /// (each pod broker sheds its own members, then the root broker sheds
+  /// inter-pod flows for whatever is still over). Returned entries have
+  /// rerouted == false; the caller must stop the sources, exactly as for
+  /// fault sheds. No-op for highwater <= 0 or >= 1 with nothing over the
+  /// mark.
   std::vector<Reroute> shed_to_highwater(double highwater);
 
   [[nodiscard]] std::uint64_t flows_rerouted() const { return flows_rerouted_; }
@@ -97,10 +127,12 @@ class AdmissionController {
   [[nodiscard]] Bandwidth link_bandwidth() const { return link_bw_; }
 
   /// Whether `id` is currently admitted (released and shed flows are not).
-  [[nodiscard]] bool has_flow(FlowId id) const { return flows_.count(id) > 0; }
+  [[nodiscard]] bool has_flow(FlowId id) const { return flows_.contains(id); }
   /// Every admitted flow id, ascending — a deterministic iteration order
   /// for teardown sweeps and invariant tests.
-  [[nodiscard]] std::vector<FlowId> admitted_ids() const;
+  [[nodiscard]] std::vector<FlowId> admitted_ids() const {
+    return flows_.ids_ascending();
+  }
   /// Reserved bandwidth summed over every directed link in the ledger.
   /// The §3.2 accounting invariant: after every admitted flow is released
   /// this returns exactly 0.0 — release() sweeps FP dust so admit/release
@@ -109,10 +141,12 @@ class AdmissionController {
 
   /// Conservation audit (fault/auditor.hpp): recomputes the per-link ledger
   /// from the admitted-flow records and compares it with the incremental
-  /// `load_` bookkeeping — flow counts must match exactly, reserved
+  /// broker bookkeeping — flow counts must match exactly, reserved
   /// bandwidth within 1e-6 B/s of absolute FP dust per link (the same
-  /// tolerance release() sweeps). Returns "" when consistent, else a
-  /// description of the first divergent link.
+  /// tolerance release() sweeps). Under hierarchical admission it also
+  /// checks broker membership (every flow homed on the broker its endpoint
+  /// pods prescribe, member lists exact). Returns "" when consistent, else
+  /// a description of the first divergence.
   [[nodiscard]] std::string audit_ledger() const;
 
  private:
@@ -121,15 +155,36 @@ class AdmissionController {
     std::uint32_t flow_count = 0;
   };
   struct FlowRecord {
-    NodeId src, dst;
-    std::size_t choice;
-    double reserved_bytes_per_sec;  // 0 if none
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t choice = 0;
+    double reserved_bytes_per_sec = 0.0;
     TrafficClass tclass = TrafficClass::kBestEffort;
+    /// Owning broker: pod index, or the root broker (last index). Flat
+    /// controllers home everything on broker 0.
+    std::uint32_t broker = 0;
+    /// Position in the owning broker's member list (swap-remove O(1)).
+    std::uint32_t member_pos = 0;
+  };
+  /// One bandwidth broker: a slice of the per-link ledger plus the flows
+  /// homed on it. Pod brokers own their pod's intra-pod directed links;
+  /// the root broker owns inter-pod (core) links. Every directed link has
+  /// exactly one owner, so ledger arithmetic is never double-counted.
+  struct Broker {
+    std::vector<LinkLoad> load;   ///< indexed by link_local_[slot]
+    std::vector<FlowId> members;  ///< homed flows, swap-remove order
   };
 
-  [[nodiscard]] static std::uint64_t key(const Endpoint& e) {
-    return (static_cast<std::uint64_t>(e.node) << 8) | e.port;
+  [[nodiscard]] LinkLoad& load_at(std::uint32_t slot) {
+    return brokers_[link_owner_[slot]].load[link_local_[slot]];
   }
+  [[nodiscard]] const LinkLoad& load_at(std::uint32_t slot) const {
+    return brokers_[link_owner_[slot]].load[link_local_[slot]];
+  }
+  /// Broker a (src, dst) flow is homed on: the shared pod's broker when
+  /// both endpoints sit in one pod, else the root (flat: always 0).
+  [[nodiscard]] std::uint32_t home_broker(NodeId src, NodeId dst) const;
+
   /// Fitness of a candidate path = (max reserved fraction, max flow count).
   [[nodiscard]] std::pair<double, std::uint32_t> path_load(
       const std::vector<Endpoint>& links) const;
@@ -137,15 +192,33 @@ class AdmissionController {
   /// Best feasible route choice for (src, dst) given current load and
   /// failed links; `want_bps` is the bandwidth about to be reserved.
   [[nodiscard]] std::optional<std::size_t> pick_route(NodeId src, NodeId dst,
-                                                      double want_bps) const;
+                                                      double want_bps);
+
+  /// Commits `want_bps` + path counts along (src,dst,choice) and records
+  /// the flow (admit and reroute share it).
+  void commit_flow(FlowId id, NodeId src, NodeId dst, std::size_t choice,
+                   double want_bps, TrafficClass tclass);
+  void remove_member(FlowId id, std::uint32_t broker, std::uint32_t pos);
 
   const Topology& topo_;
   Bandwidth link_bw_;
   double reservable_fraction_;
   std::array<VcId, kNumTrafficClasses> class_vc_{0, 0, 1, 1};
-  std::unordered_map<std::uint64_t, LinkLoad> load_;
-  std::unordered_map<FlowId, FlowRecord> flows_;
-  std::unordered_set<std::uint64_t> failed_;
+
+  /// Directed-link slot -> owning broker and index into its load array.
+  std::vector<std::uint32_t> link_owner_;
+  std::vector<std::uint32_t> link_local_;
+  std::vector<std::uint8_t> failed_;  ///< by link slot
+  std::uint32_t failed_count_ = 0;
+  /// Pod brokers [0, num_pod_brokers_), then the root broker. Flat mode:
+  /// a single broker at index 0 (num_pod_brokers_ == 0).
+  std::vector<Broker> brokers_;
+  std::uint32_t num_pod_brokers_ = 0;
+  DenseFlowTable<FlowRecord> flows_;
+  /// Scratch route buffer: route expansion is on every admit/audit path,
+  /// one reused arena instead of a vector per candidate route.
+  std::vector<Endpoint> scratch_links_;
+
   FlowId next_id_ = 1;
   std::uint64_t rejected_ = 0;
   std::uint64_t flows_rerouted_ = 0;

@@ -38,6 +38,23 @@ KaryNTree::KaryNTree(std::uint32_t k, std::uint32_t n)
       }
     }
   }
+  // Pod structure (n >= 2): the k top-digit subtrees. Pod of host h is its
+  // most significant digit; a switch <l, w> with l <= n-2 serves exactly
+  // the hosts whose top digit equals w's top digit (digit n-2 of w), and a
+  // minimal route between same-pod hosts peaks at level <= n-2 — it never
+  // leaves the subtree. Level n-1 switches are the inter-pod core (kNoPod).
+  if (n_ >= 2) {
+    const std::uint32_t host_div = ipow(k_, n_ - 1);
+    const std::uint32_t sw_div = ipow(k_, n_ - 2);
+    std::vector<std::uint32_t> pods(num_nodes(), kNoPod);
+    for (NodeId h = 0; h < num_hosts(); ++h) pods[h] = h / host_div;
+    for (std::uint32_t l = 0; l + 1 < n_; ++l) {
+      for (std::uint32_t w = 0; w < switches_per_level_; ++w) {
+        pods[tree_switch(l, w)] = w / sw_div;
+      }
+    }
+    set_pods(k_, std::move(pods));
+  }
 }
 
 std::uint32_t KaryNTree::digit(std::uint32_t v, std::uint32_t i) const {

@@ -51,11 +51,59 @@ Partition partition_topology(const Topology& topo, std::uint32_t shards) {
   const std::vector<std::vector<std::uint32_t>> adj = switch_adjacency(topo);
   std::vector<std::uint32_t> sw_shard(nsw, kUnassigned);
 
-  // Seeds spread across the index space: builders lay switches out by
-  // level/position, so equidistant indices start the growths far apart.
+  // Seed selection. When the topology declares pods, shard growths start
+  // from pod roots round-robin — shard boundaries then tend to align with
+  // pod boundaries, so intra-pod traffic (and a PodBroker's whole link
+  // set, DESIGN.md §13) stays shard-local. Without pods, seeds spread
+  // across the index space: builders lay switches out by level/position,
+  // so equidistant indices start the growths far apart.
+  std::vector<std::uint32_t> seeds;
+  seeds.reserve(shards);
+  if (topo.num_pods() > 0) {
+    // Per-pod switch lists, ascending index (deterministic). Core switches
+    // (kNoPod) seed only as a fallback once every pod list is exhausted.
+    std::vector<std::vector<std::uint32_t>> pod_switches(topo.num_pods());
+    std::vector<std::uint32_t> core;
+    for (std::uint32_t si = 0; si < nsw; ++si) {
+      const std::uint32_t pod = topo.pod_of(topo.switch_id(si));
+      if (pod == Topology::kNoPod) {
+        core.push_back(si);
+      } else {
+        pod_switches[pod].push_back(si);
+      }
+    }
+    std::size_t core_next = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const std::uint32_t pod = s % topo.num_pods();
+      const std::uint32_t round = s / topo.num_pods();
+      if (round < pod_switches[pod].size()) {
+        // The round-th switch of the pod: round 0 starts every growth at a
+        // pod's first (leaf) switch; later rounds walk deeper into it.
+        seeds.push_back(pod_switches[pod][round]);
+      } else if (core_next < core.size()) {
+        seeds.push_back(core[core_next++]);
+      } else {
+        // More shards than distinct pod slots + core switches remain:
+        // fall back to the first still-unused switch index.
+        std::vector<bool> used(nsw, false);
+        for (const std::uint32_t t : seeds) used[t] = true;
+        for (std::uint32_t si = 0; si < nsw; ++si) {
+          if (!used[si]) {
+            seeds.push_back(si);
+            break;
+          }
+        }
+      }
+    }
+  } else {
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      seeds.push_back(static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(s) * nsw) / shards));
+    }
+  }
+  DQOS_ASSERT(seeds.size() == shards);
   for (std::uint32_t s = 0; s < shards; ++s) {
-    const std::uint32_t seed =
-        static_cast<std::uint32_t>((static_cast<std::uint64_t>(s) * nsw) / shards);
+    const std::uint32_t seed = seeds[s];
     DQOS_ASSERT(sw_shard[seed] == kUnassigned);
     sw_shard[seed] = s;
     part.weight[s] += sw_weight[seed];

@@ -9,6 +9,8 @@
 /// cross-shard mailbox traffic the engine pays for). Hosts always land in
 /// the shard of the switch they attach to, so a host's injection link is
 /// never a cut edge and the host<->switch datapath stays shard-local.
+/// Topologies that declare pods seed the growths from pod roots
+/// round-robin, aligning shard boundaries with pod boundaries.
 ///
 /// The assignment is a pure function of (topology, shard count): no RNG,
 /// no pointer order, no iteration over unordered containers — the same

@@ -1,5 +1,7 @@
 #include "topo/topology.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace dqos {
@@ -9,10 +11,7 @@ Topology::Topology(std::uint32_t hosts, std::uint32_t switches, std::size_t swit
   DQOS_EXPECTS(hosts >= 2);
   DQOS_EXPECTS(switches >= 1);
   DQOS_EXPECTS(switch_ports >= 2 && switch_ports <= 255);
-  adjacency_.resize(num_nodes());
-  for (NodeId n = 0; n < num_nodes(); ++n) {
-    adjacency_[n].resize(is_host(n) ? 1 : switch_ports_);
-  }
+  adjacency_.assign(num_link_slots(), Endpoint{});
 }
 
 std::uint32_t Topology::switch_index(NodeId n) const {
@@ -22,47 +21,83 @@ std::uint32_t Topology::switch_index(NodeId n) const {
 
 std::size_t Topology::num_ports(NodeId n) const {
   DQOS_EXPECTS(n < num_nodes());
-  return adjacency_[n].size();
+  return is_host(n) ? 1 : switch_ports_;
 }
 
 Endpoint Topology::peer(NodeId n, PortId port) const {
   DQOS_EXPECTS(n < num_nodes());
-  DQOS_EXPECTS(port < adjacency_[n].size());
-  return adjacency_[n][port];
+  DQOS_EXPECTS(port < num_ports(n));
+  return adjacency_[link_index(n, port)];
+}
+
+Endpoint Topology::link_endpoint(std::uint32_t slot) const {
+  DQOS_EXPECTS(slot < num_link_slots());
+  if (slot < num_hosts_) return Endpoint{slot, 0};
+  const std::uint32_t rel = slot - num_hosts_;
+  const auto ports = static_cast<std::uint32_t>(switch_ports_);
+  return Endpoint{num_hosts_ + rel / ports, static_cast<PortId>(rel % ports)};
 }
 
 void Topology::connect(NodeId a, PortId ap, NodeId b, PortId bp) {
   DQOS_EXPECTS(a < num_nodes() && b < num_nodes() && a != b);
-  DQOS_EXPECTS(ap < adjacency_[a].size() && bp < adjacency_[b].size());
-  DQOS_EXPECTS(!adjacency_[a][ap].valid() && !adjacency_[b][bp].valid());
-  adjacency_[a][ap] = Endpoint{b, bp};
-  adjacency_[b][bp] = Endpoint{a, ap};
+  DQOS_EXPECTS(ap < num_ports(a) && bp < num_ports(b));
+  DQOS_EXPECTS(!adjacency_[link_index(a, ap)].valid() &&
+               !adjacency_[link_index(b, bp)].valid());
+  adjacency_[link_index(a, ap)] = Endpoint{b, bp};
+  adjacency_[link_index(b, bp)] = Endpoint{a, ap};
+}
+
+void Topology::set_pods(std::uint32_t num_pods, std::vector<std::uint32_t> pods) {
+  DQOS_EXPECTS(num_pods_ == 0 && pods_.empty());
+  DQOS_EXPECTS(num_pods >= 1);
+  DQOS_EXPECTS(pods.size() == num_nodes());
+  for (const std::uint32_t p : pods) DQOS_EXPECTS(p < num_pods || p == kNoPod);
+  num_pods_ = num_pods;
+  pods_ = std::move(pods);
+}
+
+bool Topology::link_intra_pod(const Endpoint& e) const {
+  return link_pod(e) != kNoPod;
+}
+
+std::uint32_t Topology::link_pod(const Endpoint& e) const {
+  const std::uint32_t from = pod_of(e.node);
+  if (from == kNoPod) return kNoPod;
+  const Endpoint to = peer(e.node, e.port);
+  if (!to.valid() || pod_of(to.node) != from) return kNoPod;
+  return from;
 }
 
 std::vector<Endpoint> Topology::route_links(NodeId src, NodeId dst,
                                             std::size_t choice) const {
-  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
-  SourceRoute route = build_route(src, dst, choice);
   std::vector<Endpoint> links;
-  links.reserve(route.length() + 1);
-  links.push_back(Endpoint{src, 0});
+  route_links_into(src, dst, choice, links);
+  return links;
+}
+
+void Topology::route_links_into(NodeId src, NodeId dst, std::size_t choice,
+                                std::vector<Endpoint>& out) const {
+  DQOS_EXPECTS(is_host(src) && is_host(dst) && src != dst);
+  const SourceRoute route = build_route(src, dst, choice);
+  out.clear();
+  out.reserve(route.length() + 1);
+  out.push_back(Endpoint{src, 0});
   Endpoint at = host_attach(src);
   for (std::size_t h = 0; h < route.length(); ++h) {
     DQOS_ASSERT(is_switch(at.node));
-    const PortId out = route.hop(h);
-    links.push_back(Endpoint{at.node, out});
-    at = peer(at.node, out);
+    const PortId port = route.hop(h);
+    out.push_back(Endpoint{at.node, port});
+    at = peer(at.node, port);
     DQOS_ASSERT(at.valid());
   }
   DQOS_ASSERT(at.node == dst);
-  return links;
 }
 
 void Topology::validate() const {
   // Link symmetry.
   for (NodeId n = 0; n < num_nodes(); ++n) {
-    for (PortId p = 0; p < adjacency_[n].size(); ++p) {
-      const Endpoint e = adjacency_[n][p];
+    for (PortId p = 0; p < num_ports(n); ++p) {
+      const Endpoint e = peer(n, p);
       if (!e.valid()) continue;
       const Endpoint back = peer(e.node, e.port);
       DQOS_ASSERT(back.node == n && back.port == p);
@@ -73,14 +108,32 @@ void Topology::validate() const {
     DQOS_ASSERT(host_attach(h).valid());
     DQOS_ASSERT(is_switch(host_attach(h).node));
   }
-  // Every route of every pair terminates correctly (route_links asserts it).
-  for (NodeId s = 0; s < num_hosts_; ++s) {
-    for (NodeId d = 0; d < num_hosts_; ++d) {
+  // Pod sanity: every host belongs to a pod when pods are declared, and
+  // same-pod host pairs route without leaving the pod (spot-checked below
+  // through link_pod on the sampled routes).
+  if (num_pods_ > 0) {
+    for (NodeId h = 0; h < num_hosts_; ++h) DQOS_ASSERT(pod_of(h) != kNoPod);
+  }
+  // Every route of every (sampled) pair terminates correctly (route_links
+  // asserts it). Above the exhaustive cap, stride the pair space and the
+  // choice space deterministically: the full product is O(hosts^2*routes).
+  const std::uint32_t stride =
+      num_hosts_ <= kValidateExhaustiveHosts
+          ? 1
+          : (num_hosts_ + kValidateExhaustiveHosts - 1) / kValidateExhaustiveHosts;
+  std::vector<Endpoint> links;
+  for (NodeId s = 0; s < num_hosts_; s += stride) {
+    for (NodeId d = 0; d < num_hosts_; d += stride) {
       if (s == d) continue;
       const std::size_t routes = route_count(s, d);
       DQOS_ASSERT(routes >= 1);
-      for (std::size_t c = 0; c < routes; ++c) {
-        (void)route_links(s, d, c);
+      const std::size_t choice_step =
+          stride == 1 ? 1 : std::max<std::size_t>(1, routes / 8);
+      for (std::size_t c = 0; c < routes; c += choice_step) {
+        route_links_into(s, d, c, links);
+        if (num_pods_ > 0 && pod_of(s) != kNoPod && pod_of(s) == pod_of(d)) {
+          for (const Endpoint& e : links) DQOS_ASSERT(link_pod(e) == pod_of(s));
+        }
       }
     }
   }

@@ -12,7 +12,15 @@
 ///   - the node/port graph (hosts have one port; switches have many),
 ///   - `route_count(src,dst)`: how many distinct minimal paths exist,
 ///   - `build_route(src,dst,k)`: the k-th minimal path as a SourceRoute
-///     (one output port per traversed switch, PCI AS source-routing style).
+///     (one output port per traversed switch, PCI AS source-routing style),
+///   - a dense directed-link index (`link_index`): every (node, port)
+///     departure maps to a slot in [0, num_link_slots()), so per-link state
+///     (the admission ledger, failure marks) lives in flat arrays instead
+///     of hash maps — the datacenter-scale memory model of DESIGN.md §13,
+///   - pod structure, when the builder defines one (`num_pods`, `pod_of`,
+///     `link_intra_pod`): the unit of hierarchical admission. A pod is a
+///     sub-fabric whose internal minimal routes never leave it (a k-ary
+///     n-tree's top-digit subtree); switches above every pod report kNoPod.
 #pragma once
 
 #include <cstdint>
@@ -72,12 +80,51 @@ class Topology {
   /// topology validation. First entry is the host's injection link.
   [[nodiscard]] std::vector<Endpoint> route_links(NodeId src, NodeId dst,
                                                   std::size_t choice) const;
+  /// Allocation-free variant: fills `out` (cleared first) so hot admission
+  /// loops can reuse one scratch buffer across candidate routes.
+  void route_links_into(NodeId src, NodeId dst, std::size_t choice,
+                        std::vector<Endpoint>& out) const;
+
+  /// --- dense directed-link indexing ---------------------------------------
+  /// Every (node, port) departure occupies one slot: hosts first (one port
+  /// each), then switches at `switch_ports` slots apiece. Flat per-link
+  /// arrays indexed by this replace hashed ledgers at scale.
+  [[nodiscard]] std::uint32_t num_link_slots() const {
+    return num_hosts_ + num_switches_ * static_cast<std::uint32_t>(switch_ports_);
+  }
+  [[nodiscard]] std::uint32_t link_index(NodeId n, PortId port) const {
+    return port_base(n) + port;
+  }
+  [[nodiscard]] std::uint32_t link_index(const Endpoint& e) const {
+    return link_index(e.node, e.port);
+  }
+  /// Inverse of link_index: the (node, port) a slot stands for.
+  [[nodiscard]] Endpoint link_endpoint(std::uint32_t slot) const;
+
+  /// --- pod structure -------------------------------------------------------
+  static constexpr std::uint32_t kNoPod = 0xffffffffu;
+  /// 0 = the builder defines no pods (flat admission only).
+  [[nodiscard]] std::uint32_t num_pods() const { return num_pods_; }
+  /// Pod of a node; kNoPod for nodes above every pod (core switches) or
+  /// when the topology has no pods.
+  [[nodiscard]] std::uint32_t pod_of(NodeId n) const {
+    return pods_.empty() ? kNoPod : pods_[n];
+  }
+  /// A directed link is intra-pod when both of its endpoints sit in the
+  /// same pod — the links a PodBroker owns exclusively.
+  [[nodiscard]] bool link_intra_pod(const Endpoint& e) const;
+  /// The owning pod of a directed link (kNoPod for inter-pod/core links).
+  [[nodiscard]] std::uint32_t link_pod(const Endpoint& e) const;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Structural self-check (every link bidirectional and consistent; every
   /// route terminates at its destination). Aborts via contract on failure.
+  /// Above kValidateExhaustiveHosts hosts the route check covers a
+  /// deterministic sample of pairs and choices instead of all of them —
+  /// the full product is O(hosts^2 * routes) and unaffordable at 1k+.
   void validate() const;
+  static constexpr std::uint32_t kValidateExhaustiveHosts = 256;
 
  protected:
   Topology(std::uint32_t hosts, std::uint32_t switches, std::size_t switch_ports);
@@ -85,12 +132,30 @@ class Topology {
   /// Wires (a,ap) <-> (b,bp). Both sides must be free.
   void connect(NodeId a, PortId ap, NodeId b, PortId bp);
 
+  /// Declares the pod structure (builder call, at most once): `pods` maps
+  /// every NodeId to its pod in [0, num_pods) or kNoPod for core nodes.
+  /// The builder guarantees minimal routes between same-pod hosts stay
+  /// inside the pod — hierarchical admission relies on it.
+  void set_pods(std::uint32_t num_pods, std::vector<std::uint32_t> pods);
+
  private:
+  [[nodiscard]] std::uint32_t port_base(NodeId n) const {
+    // Closed form of the arena layout: hosts own slot [0, H); switch i
+    // owns [H + i*P, H + (i+1)*P).
+    return is_host(n) ? n
+                      : num_hosts_ + (n - num_hosts_) *
+                                         static_cast<std::uint32_t>(switch_ports_);
+  }
+
   std::uint32_t num_hosts_;
   std::uint32_t num_switches_;
   std::size_t switch_ports_;
-  /// adjacency_[node][port] = peer endpoint.
-  std::vector<std::vector<Endpoint>> adjacency_;
+  /// Arena-backed adjacency: adjacency_[link_index(n, p)] = peer endpoint.
+  /// One flat allocation instead of num_nodes() separate port vectors.
+  std::vector<Endpoint> adjacency_;
+  std::uint32_t num_pods_ = 0;
+  /// NodeId -> pod (empty when the builder defines no pods).
+  std::vector<std::uint32_t> pods_;
 };
 
 /// ---- Builders ----------------------------------------------------------

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "proto/types.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace dqos {
@@ -58,5 +59,25 @@ struct PatternParams {
 /// Builds a pattern over `num_hosts` endpoints.
 std::unique_ptr<DestinationPattern> make_pattern(const PatternParams& params,
                                                  std::uint32_t num_hosts);
+
+/// Uniform choice over a fixed peer list — the bounded-fanout workload
+/// (SimConfig::fanout): at datacenter scale a host talks to a bounded set
+/// of peers, not to all N-1, and per-destination flow state must not grow
+/// O(N) per host. One instance per source host; the peer list is drawn at
+/// workload-preparation time (pattern-shaped, deterministic from the seed).
+class SubsetPattern final : public DestinationPattern {
+ public:
+  explicit SubsetPattern(std::vector<NodeId> peers) : peers_(std::move(peers)) {
+    DQOS_EXPECTS(!peers_.empty());
+  }
+  [[nodiscard]] NodeId pick(NodeId /*src*/, Rng& rng) const override {
+    return peers_[rng.uniform_int(0, peers_.size() - 1)];
+  }
+  [[nodiscard]] PatternKind kind() const override { return PatternKind::kUniform; }
+  [[nodiscard]] const std::vector<NodeId>& peers() const { return peers_; }
+
+ private:
+  std::vector<NodeId> peers_;  ///< non-empty, never contains the source
+};
 
 }  // namespace dqos

@@ -1,0 +1,245 @@
+/// \file dense_flow_table.hpp
+/// Compact per-flow state storage for datacenter-scale runs (DESIGN.md §13).
+///
+/// `DenseFlowTable<T>` maps a 32-bit flow id to a T held in a *dense* slot
+/// array: values live contiguously (cache-friendly iteration, zero per-node
+/// heap overhead), and a private open-addressing index gives O(1)
+/// id -> slot translation. Compare `std::unordered_map<FlowId, T>`: one
+/// heap node (~48+ bytes of overhead) per entry, pointer-chasing lookups,
+/// and buckets that never shrink — the memory ratchet this table replaces.
+///
+/// Layout:
+///   ids_[s], values_[s]   — parallel dense arrays; slot s is whatever
+///                           position the entry currently occupies
+///   index_                — power-of-two open-addressing array of
+///                           (id, slot) pairs, Fibonacci-hashed, linear
+///                           probing with backward-shift deletion (no
+///                           tombstones, so probe chains never rot)
+///
+/// Erase swap-removes: the last slot moves into the hole and its index
+/// entry is patched. Consequently **references and slot positions are
+/// invalidated by any insert or erase** — callers copy what they need
+/// before mutating, exactly as they would around unordered_map::erase of
+/// the element they hold.
+///
+/// Determinism contract: slot order is insertion-history dependent and
+/// must never leak into simulation behaviour. Ordered traversal goes
+/// through `ids_ascending()` (harvest-then-sort, the project-wide idiom);
+/// `for_each` is provided for order-independent accumulation only.
+///
+/// Shrinking: the index halves itself when occupancy falls below 1/8 and
+/// the dense arrays release capacity when size falls below a quarter of
+/// it, so a churn spike does not ratchet RSS for the rest of a run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace dqos {
+
+template <typename T>
+class DenseFlowTable {
+ public:
+  using Id = std::uint32_t;
+
+  DenseFlowTable() = default;
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+
+  [[nodiscard]] bool contains(Id id) const { return probe(id) != kNotFound; }
+
+  /// Pointer to the value for `id`, nullptr if absent. Invalidated by any
+  /// insert or erase.
+  [[nodiscard]] T* find(Id id) {
+    const std::size_t p = probe(id);
+    return p == kNotFound ? nullptr : &values_[index_[p].slot];
+  }
+  [[nodiscard]] const T* find(Id id) const {
+    const std::size_t p = probe(id);
+    return p == kNotFound ? nullptr : &values_[index_[p].slot];
+  }
+
+  /// The value for `id`; the entry must exist.
+  [[nodiscard]] T& at(Id id) {
+    T* v = find(id);
+    DQOS_EXPECTS(v != nullptr);
+    return *v;
+  }
+  [[nodiscard]] const T& at(Id id) const {
+    const T* v = find(id);
+    DQOS_EXPECTS(v != nullptr);
+    return *v;
+  }
+
+  /// Inserts a new entry; `id` must not be present. Returns the stored
+  /// value (reference valid until the next insert/erase).
+  T& insert(Id id, T value) {
+    DQOS_EXPECTS(id != kInvalidId);
+    DQOS_EXPECTS(!contains(id));
+    grow_index_if_needed();
+    const auto slot = static_cast<std::uint32_t>(ids_.size());
+    ids_.push_back(id);
+    values_.push_back(std::move(value));
+    index_insert(id, slot);
+    return values_.back();
+  }
+
+  /// The value for `id`, default-constructing a new entry if absent.
+  T& get_or_insert(Id id) {
+    if (T* v = find(id)) return *v;
+    return insert(id, T{});
+  }
+
+  /// Removes `id` if present; returns whether an entry was erased.
+  bool erase(Id id) {
+    const std::size_t p = probe(id);
+    if (p == kNotFound) return false;
+    const std::uint32_t slot = index_[p].slot;
+    index_remove(p);
+    const std::uint32_t last = static_cast<std::uint32_t>(ids_.size()) - 1;
+    if (slot != last) {
+      ids_[slot] = ids_[last];
+      values_[slot] = std::move(values_[last]);
+      const std::size_t moved = probe(ids_[slot]);
+      DQOS_ASSERT(moved != kNotFound);
+      index_[moved].slot = slot;
+    }
+    ids_.pop_back();
+    values_.pop_back();
+    maybe_shrink();
+    return true;
+  }
+
+  void clear() {
+    ids_.clear();
+    ids_.shrink_to_fit();
+    values_.clear();
+    values_.shrink_to_fit();
+    index_.clear();
+    index_.shrink_to_fit();
+    mask_ = 0;
+  }
+
+  /// Every stored id in ascending order — the deterministic traversal.
+  [[nodiscard]] std::vector<Id> ids_ascending() const {
+    std::vector<Id> out(ids_.begin(), ids_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Unordered traversal over (id, value). Slot order depends on the
+  /// insert/erase history: use only for order-independent work
+  /// (accumulation, existence scans) — never to derive event order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t s = 0; s < ids_.size(); ++s) fn(ids_[s], values_[s]);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t s = 0; s < ids_.size(); ++s) fn(ids_[s], values_[s]);
+  }
+
+  /// Approximate heap footprint (dense arrays + index), for memory audits.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return ids_.capacity() * sizeof(Id) + values_.capacity() * sizeof(T) +
+           index_.capacity() * sizeof(IndexEntry);
+  }
+
+ private:
+  static constexpr Id kInvalidId = ~Id{0};
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::size_t kMinIndexCap = 16;
+
+  struct IndexEntry {
+    Id id = kInvalidId;
+    std::uint32_t slot = 0;
+  };
+
+  /// Fibonacci multiplicative hash: spreads the sequential ids the flow
+  /// registry hands out across the table.
+  [[nodiscard]] std::size_t home(Id id) const {
+    return static_cast<std::size_t>(
+               (static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+  }
+
+  /// Index position holding `id`, or kNotFound.
+  [[nodiscard]] std::size_t probe(Id id) const {
+    if (index_.empty()) return kNotFound;
+    std::size_t p = home(id);
+    while (index_[p].id != kInvalidId) {
+      if (index_[p].id == id) return p;
+      p = (p + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  void index_insert(Id id, std::uint32_t slot) {
+    std::size_t p = home(id);
+    while (index_[p].id != kInvalidId) p = (p + 1) & mask_;
+    index_[p] = IndexEntry{id, slot};
+  }
+
+  /// Backward-shift deletion: close the probe chain through `hole` so
+  /// lookups never need tombstones.
+  void index_remove(std::size_t hole) {
+    index_[hole].id = kInvalidId;
+    std::size_t p = (hole + 1) & mask_;
+    while (index_[p].id != kInvalidId) {
+      const std::size_t want = home(index_[p].id);
+      // Shift back iff the hole sits within [want, p] cyclically.
+      const bool reachable =
+          hole <= p ? (want <= hole || want > p) : (want <= hole && want > p);
+      if (reachable) {
+        index_[hole] = index_[p];
+        index_[p].id = kInvalidId;
+        hole = p;
+      }
+      p = (p + 1) & mask_;
+    }
+  }
+
+  void grow_index_if_needed() {
+    // Keep occupancy under ~70%.
+    if (index_.empty() || (ids_.size() + 1) * 10 > index_.size() * 7) {
+      rebuild_index(std::max<std::size_t>(kMinIndexCap, index_.size() * 2));
+    }
+  }
+
+  void maybe_shrink() {
+    // Index: halve when below 1/8 occupancy. Dense arrays: release
+    // capacity when under a quarter used. Both keep a small floor so
+    // steady small tables never thrash.
+    if (index_.size() > kMinIndexCap && ids_.size() * 8 < index_.size()) {
+      std::size_t cap = index_.size();
+      while (cap > kMinIndexCap && ids_.size() * 8 < cap) cap /= 2;
+      rebuild_index(cap);
+    }
+    if (ids_.capacity() > 64 && ids_.size() * 4 < ids_.capacity()) {
+      ids_.shrink_to_fit();
+      values_.shrink_to_fit();
+    }
+  }
+
+  void rebuild_index(std::size_t cap) {
+    DQOS_ASSERT((cap & (cap - 1)) == 0);
+    index_.assign(cap, IndexEntry{});
+    index_.shrink_to_fit();
+    mask_ = cap - 1;
+    for (std::size_t s = 0; s < ids_.size(); ++s) {
+      index_insert(ids_[s], static_cast<std::uint32_t>(s));
+    }
+  }
+
+  std::vector<Id> ids_;
+  std::vector<T> values_;
+  std::vector<IndexEntry> index_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dqos

@@ -177,6 +177,36 @@ TEST(ConfigRoundTrip, ToStringAndBack) {
   EXPECT_EQ(loaded.max_clock_skew, original.max_clock_skew);
 }
 
+TEST(ConfigRoundTrip, ScaleKeysSurviveAndStayOffLegacyDumps) {
+  // The DESIGN.md §13 scale knobs round-trip through dump/parse…
+  SimConfig original;
+  original.topology = TopologyKind::kKaryNTree;
+  original.kary_k = 4;
+  original.kary_n = 3;
+  original.fanout = 8;
+  original.hier_admission = true;
+  const std::string dumped = config_to_string(original);
+  EXPECT_NE(dumped.find("fanout=8"), std::string::npos);
+  EXPECT_NE(dumped.find("hier-admission=true"), std::string::npos);
+  const std::string path = testing::TempDir() + "/dqos_scale_roundtrip.cfg";
+  {
+    std::ofstream out(path);
+    out << dumped;
+  }
+  ArgParser args;
+  ASSERT_TRUE(args.load_file(path));
+  const SimConfig loaded = config_from_args(args);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.fanout, 8u);
+  EXPECT_TRUE(loaded.hier_admission);
+  // …and default (off) values are not emitted at all, so legacy config
+  // dumps — and the golden byte-identity that rides on them — are
+  // untouched by the new keys.
+  const std::string legacy = config_to_string(SimConfig{});
+  EXPECT_EQ(legacy.find("fanout"), std::string::npos);
+  EXPECT_EQ(legacy.find("hier-admission"), std::string::npos);
+}
+
 // --- negative paths: user input must raise ConfigError, never abort --------
 
 /// Runs config_from_args and returns the ConfigError message ("" = accepted).

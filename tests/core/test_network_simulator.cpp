@@ -190,6 +190,29 @@ TEST(NetworkSimulatorTest, KaryTreeTopologyWorks) {
   EXPECT_EQ(rep.out_of_order, 0u);
 }
 
+TEST(NetworkSimulatorTest, BoundedFanoutCapsPerDestinationFlowState) {
+  // fanout=4 on a 16-host tree: each host opens control/unregulated flows
+  // to at most 4 pattern-drawn peers instead of all 15, so the admitted
+  // static mix is O(hosts * fanout) — the datacenter-scale memory contract
+  // (DESIGN.md §13) — and the run still completes in order.
+  SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.5);
+  cfg.topology = TopologyKind::kKaryNTree;
+  cfg.kary_k = 4;
+  cfg.kary_n = 2;
+  cfg.enable_video = false;  // per-stream anyway; isolate per-dest classes
+  cfg.fanout = 4;
+  NetworkSimulator net(cfg);
+  net.prepare_workload();
+  const std::size_t admitted = net.admission().admitted_flows();
+  EXPECT_GT(admitted, 0u);
+  // 3 per-destination classes (control, BE, background) x 16 hosts x <= 4
+  // peers; all-to-all would open 16 x 15 x 3 = 720.
+  EXPECT_LE(admitted, 16u * 4u * 3u);
+  const SimReport rep = net.run();
+  EXPECT_GT(rep.packets_delivered, 100u);
+  EXPECT_EQ(rep.out_of_order, 0u);
+}
+
 TEST(NetworkSimulatorTest, Mesh2DTopologyWorks) {
   SimConfig cfg = tiny(SwitchArch::kAdvanced2Vc, 0.3);
   cfg.topology = TopologyKind::kMesh2D;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/network_simulator.hpp"
+#include "core/run_controller.hpp"
 #include "fault/fault_injector.hpp"
 #include "topo/partition.hpp"
 
@@ -307,6 +308,57 @@ TEST(ParallelEquality, Fig2SweepCsvBytesUnderSharding) {
   std::fclose(f);
   EXPECT_EQ(h.value(), kGoldenFig2CsvHash)
       << "sharded Fig2 CSV bytes diverged: hash = " << std::hex << h.value();
+}
+
+TEST(ParallelEquality, HierAdmissionFatTreeMatchesSerial) {
+  // Hierarchical admission on: the broker split moves ledger state, never
+  // a route decision, so serial-vs-sharded bit-equality must hold exactly
+  // as in flat mode (DESIGN.md §13 acceptance).
+  auto hier_cfg = [](std::uint32_t shards) {
+    SimConfig cfg = fat_tree_config(shards);
+    cfg.hier_admission = true;
+    return cfg;
+  };
+  const RunResult serial = run_config(hier_cfg(1));
+  EXPECT_GT(serial.rep.events_processed, 50'000u);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const RunResult par = run_config(hier_cfg(shards));
+    EXPECT_EQ(par.hash, serial.hash) << "shards=" << shards;
+    EXPECT_EQ(par.csv, serial.csv) << "shards=" << shards;
+  }
+}
+
+TEST(ParallelEquality, HierAdmissionChurnScenarioMatchesSerial) {
+  // Churn admits/releases whole video flows through the pod brokers while
+  // the fabric runs sharded — the broker recursion happens on the control
+  // calendar at window barriers, and the fire-order stream must still
+  // replay the serial run bit-for-bit.
+  Scenario scn;
+  scn.phases.resize(2);
+  scn.phases[0].load = 0.4;
+  scn.phases[1].start = 1_ms;
+  scn.phases[1].load = 0.7;
+  scn.phases[1].flow_arrivals_per_sec = 8000.0;
+  scn.phases[1].flow_departures_per_sec = 600.0;
+  auto run_scn = [&](std::uint32_t shards) {
+    SimConfig cfg = fat_tree_config(shards);
+    cfg.hier_admission = true;
+    NetworkSimulator net(cfg);
+    StreamHash h;
+    hook_hash(net, h);
+    RunController controller(net, scn);
+    const ScenarioReport rep = controller.run();
+    RunResult r;
+    r.rep = rep.total;
+    r.hash = h.value();
+    r.csv = csv_bytes(r.rep);
+    return r;
+  };
+  const RunResult serial = run_scn(1);
+  const RunResult par = run_scn(3);
+  EXPECT_EQ(par.hash, serial.hash);
+  EXPECT_EQ(par.csv, serial.csv);
+  EXPECT_EQ(par.rep.events_processed, serial.rep.events_processed);
 }
 
 TEST(ParallelEquality, ThreadedWindowsMatchInline) {

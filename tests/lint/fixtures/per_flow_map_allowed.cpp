@@ -1,0 +1,17 @@
+// Fixture: linted as src/core/flow_maps_ok.cpp — the sanctioned shapes:
+// DenseFlowTable for per-flow state, int-keyed maps for everything else,
+// and a suppressed FlowId map with a rationale (cold path, built once).
+// The test asserts zero findings.
+#include <cstdint>
+#include <unordered_map>
+
+using FlowId = std::uint32_t;
+template <class T>
+class DenseFlowTable {};
+
+struct TrackerOk {
+  DenseFlowTable<double> reserved_;
+  std::unordered_map<int, int> histogram_;
+  // dqos-lint: allow(per-flow-map) — startup-only config table, never hot
+  std::unordered_map<FlowId, double> boot_overrides_;
+};

@@ -1,0 +1,15 @@
+// Fixture: linted as src/core/flow_maps.cpp — per-flow state held in
+// hash containers keyed by FlowId. The scale refactor keeps such state
+// in DenseFlowTable (src/util/dense_flow_table.hpp); an int-keyed
+// histogram is not per-flow state and must not fire.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+using FlowId = std::uint32_t;
+
+struct Tracker {
+  std::unordered_map<FlowId, double> reserved_;  // line 12: FlowId-keyed map
+  std::unordered_set<FlowId> watched_;           // line 13: FlowId-keyed set
+  std::unordered_map<int, int> histogram_;       // int-keyed: fine
+};

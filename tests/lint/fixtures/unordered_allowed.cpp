@@ -8,7 +8,7 @@
 using FlowId = std::uint32_t;
 
 int walk_flows_allowed() {
-  std::unordered_map<FlowId, int> flows;
+  std::unordered_map<FlowId, int> flows;  // dqos-lint: allow(per-flow-map) — fixture: iteration-rule subject
   std::unordered_map<int, int> histogram;
   int sum = 0;
   // dqos-lint: allow(unordered-iteration) — commutative sum, order-free

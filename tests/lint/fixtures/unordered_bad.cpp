@@ -8,7 +8,7 @@ using FlowId = std::uint32_t;
 struct Flow {};
 
 int walk_flows() {
-  std::unordered_map<FlowId, int> flows;
+  std::unordered_map<FlowId, int> flows;  // dqos-lint: allow(per-flow-map) — this fixture exercises the iteration rule
   std::unordered_set<Flow*> live;
   int sum = 0;
   for (const auto& [id, v] : flows) sum += v;  // line 14: range-for

@@ -166,6 +166,34 @@ TEST(LintRules, UnorderedIterationOutsideSrcIsNotSimState) {
       << testing::PrintToString(rules_of(fs));
 }
 
+// ------------------------------------------------- rule: per-flow-map
+
+TEST(LintRules, PerFlowMapFixtureFlagsFlowKeyedMapAndSet) {
+  const auto fs =
+      lint_source("src/core/flow_maps.cpp", slurp("per_flow_map_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "per-flow-map"), 2)
+      << testing::PrintToString(rules_of(fs));
+  std::set<int> lines;
+  for (const Finding& f : fs) {
+    if (f.rule == "per-flow-map") lines.insert(f.line);
+  }
+  EXPECT_EQ(lines, (std::set<int>{12, 13}));
+}
+
+TEST(LintRules, PerFlowMapDenseTableIntKeysAndSuppressionLintClean) {
+  const auto fs = lint_source("src/core/flow_maps_ok.cpp",
+                              slurp("per_flow_map_allowed.cpp"));
+  EXPECT_TRUE(fs.empty()) << testing::PrintToString(rules_of(fs));
+}
+
+TEST(LintRules, PerFlowMapOutsideSrcIsNotSimState) {
+  // Tests and tools may key scratch maps however they like.
+  const auto fs =
+      lint_source("tools/flow_tool.cpp", slurp("per_flow_map_bad.cpp"));
+  EXPECT_EQ(count_rule(fs, "per-flow-map"), 0)
+      << testing::PrintToString(rules_of(fs));
+}
+
 // ------------------------------------------- rule: hot-path-type-erasure
 
 TEST(LintRules, TypeErasureFixtureFlagsIncludeFunctionAndSharedPtr) {

@@ -1,0 +1,227 @@
+/// \file test_admission_hier.cpp
+/// Hierarchical (pod-broker) admission contracts (DESIGN.md §13).
+///
+/// The hierarchy is a *state* refactor, not a policy change: a flat and a
+/// hierarchical controller fed the same request stream must make identical
+/// decisions (same routes, same rejections), and every invariant the flat
+/// controller is pinned to — exact rollback to `reserved == 0.0`, ledger
+/// audits, deterministic reroute/shed sweeps — must hold with the ledger
+/// split across pod brokers plus the root.
+#include "qos/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "topo/kary_ntree.hpp"
+#include "topo/two_level_clos.hpp"
+#include "util/rng.hpp"
+
+namespace dqos {
+namespace {
+
+FlowRequest video_request(NodeId src, NodeId dst, double mbytes_per_sec) {
+  FlowRequest req;
+  req.src = src;
+  req.dst = dst;
+  req.tclass = TrafficClass::kMultimedia;
+  req.policy = DeadlinePolicy::kFrameBudget;
+  req.reserve_bw = Bandwidth::from_bytes_per_sec(mbytes_per_sec * 1e6);
+  return req;
+}
+
+class HierAdmissionTest : public testing::Test {
+ protected:
+  // k=4 n=3: 64 hosts in 4 pods of 16 — big enough that intra-pod,
+  // cross-pod, and core-link cases all occur.
+  HierAdmissionTest()
+      : topo_(4, 3),
+        flat_(topo_, Bandwidth::from_gbps(8.0), 1.0, false),
+        hier_(topo_, Bandwidth::from_gbps(8.0), 1.0, true) {}
+
+  KaryNTree topo_;
+  AdmissionController flat_;
+  AdmissionController hier_;
+};
+
+TEST_F(HierAdmissionTest, PodTopologyGetsOneBrokerPerPodPlusRoot) {
+  EXPECT_TRUE(hier_.hierarchical());
+  EXPECT_EQ(hier_.num_pod_brokers(), 4u);
+  EXPECT_FALSE(flat_.hierarchical());
+  EXPECT_EQ(flat_.num_pod_brokers(), 0u);
+}
+
+TEST(HierAdmissionFlatFallback, PodlessTopologyStaysFlat) {
+  // The Clos builder declares no pods; asking for hierarchy must silently
+  // fall back to the flat single-broker ledger, not abort.
+  TwoLevelClos topo(4, 4, 4);
+  AdmissionController ctrl(topo, Bandwidth::from_gbps(8.0), 1.0, true);
+  EXPECT_FALSE(ctrl.hierarchical());
+  EXPECT_TRUE(ctrl.admit(video_request(0, 15, 100.0)).has_value());
+  EXPECT_EQ(ctrl.audit_ledger(), "");
+}
+
+TEST_F(HierAdmissionTest, FlatAndHierMakeIdenticalDecisions) {
+  // Same admit/release stream into both controllers: every decision —
+  // admitted or not, which route, which choice index — must match. The
+  // stream mixes intra-pod and cross-pod pairs and pushes deep enough
+  // into saturation that rejections occur on both sides.
+  Rng rng(20260809);
+  std::vector<FlowId> live;
+  std::uint64_t admitted = 0, rejected = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.chance(0.65)) {
+      const auto src = static_cast<NodeId>(rng.uniform_int(0, 63));
+      auto dst = static_cast<NodeId>(rng.uniform_int(0, 63));
+      if (dst == src) dst = (dst + 1) % 64;
+      const double mb = 20.0 + rng.uniform() * 120.0;
+      const auto a = flat_.admit(video_request(src, dst, mb));
+      const auto b = hier_.admit(video_request(src, dst, mb));
+      ASSERT_EQ(a.has_value(), b.has_value())
+          << "step " << step << ": flat and hier disagree on admission of "
+          << src << "->" << dst;
+      if (!a) {
+        ++rejected;
+        continue;
+      }
+      ++admitted;
+      EXPECT_EQ(a->id, b->id);
+      EXPECT_EQ(a->vc, b->vc);
+      ASSERT_EQ(a->route.length(), b->route.length());
+      for (std::size_t i = 0; i < a->route.length(); ++i) {
+        EXPECT_EQ(a->route.hop(i), b->route.hop(i)) << "hop " << i;
+      }
+      live.push_back(a->id);
+    } else {
+      const auto i = rng.uniform_int(0, live.size() - 1);
+      flat_.release(live[i]);
+      hier_.release(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_GT(admitted, 500u);
+  EXPECT_GT(rejected, 0u) << "stream never saturated: weak equivalence test";
+  EXPECT_EQ(flat_.admitted_flows(), hier_.admitted_flows());
+  // The summation *order* differs (one flat ledger vs per-broker partial
+  // sums), so the totals agree to FP dust, not bitwise — the bitwise
+  // contract is the rollback to exactly 0.0 below.
+  EXPECT_NEAR(flat_.total_reserved_bytes_per_sec(),
+              hier_.total_reserved_bytes_per_sec(),
+              1e-9 * flat_.total_reserved_bytes_per_sec());
+  EXPECT_EQ(hier_.audit_ledger(), "");
+  for (const FlowId f : flat_.admitted_ids()) flat_.release(f);
+  for (const FlowId f : hier_.admitted_ids()) hier_.release(f);
+  EXPECT_EQ(flat_.total_reserved_bytes_per_sec(), 0.0);
+  EXPECT_EQ(hier_.total_reserved_bytes_per_sec(), 0.0);
+}
+
+TEST_F(HierAdmissionTest, StormWithFaultsEndsAtExactlyZeroReserved) {
+  // The §3.2 exact-rollback invariant with the ledger split across pod
+  // brokers: an admit/release storm interleaved with failures on both
+  // intra-pod (leaf up-link) and core-facing links, reroutes, and shed
+  // sweeps must end at *exactly* 0.0 once everything is released.
+  Rng rng(424242);
+  for (int step = 0; step < 2000; ++step) {
+    const double r = rng.uniform();
+    if (r < 0.5) {
+      const auto src = static_cast<NodeId>(rng.uniform_int(0, 63));
+      auto dst = static_cast<NodeId>(rng.uniform_int(0, 63));
+      if (dst == src) dst = (dst + 1) % 64;
+      const double mb = 10.0 + rng.uniform() * 110.0;  // fractional: FP dust
+      (void)hier_.admit(video_request(src, dst, mb));
+    } else if (r < 0.75) {
+      const auto ids = hier_.admitted_ids();
+      if (!ids.empty()) {
+        hier_.release(ids[rng.uniform_int(0, ids.size() - 1)]);
+      }
+    } else if (r < 0.87) {
+      // Fail a random switch up-link (level 0 = intra-pod, level 1 =
+      // pod-to-core: exercises both broker ownership classes).
+      const auto level = static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+      const auto w = static_cast<std::uint32_t>(rng.uniform_int(0, 15));
+      const NodeId sw = topo_.tree_switch(level, w);
+      const auto up = static_cast<PortId>(rng.uniform_int(4, 7));
+      hier_.mark_link_failed(Endpoint{sw, up});
+      (void)hier_.reroute_around_failures();
+      hier_.mark_link_repaired(Endpoint{sw, up});
+    } else if (r < 0.95) {
+      (void)hier_.shed_to_highwater(0.97);
+    } else {
+      ASSERT_EQ(hier_.audit_ledger(), "") << "step " << step;
+    }
+  }
+  for (const FlowId f : hier_.admitted_ids()) hier_.release(f);
+  EXPECT_EQ(hier_.admitted_flows(), 0u);
+  // Exact, not approximate: split brokers must not change the accounting.
+  EXPECT_EQ(hier_.total_reserved_bytes_per_sec(), 0.0);
+  EXPECT_EQ(hier_.audit_ledger(), "");
+  EXPECT_TRUE(hier_.admit(video_request(0, 63, 900.0)).has_value());
+}
+
+TEST_F(HierAdmissionTest, RerouteSweepIsPodFirstAndDeterministic) {
+  // Pin a reproducible fault: admit reserving flows across pods, fail one
+  // leaf's up-link, and check the sweep (a) only touches flows crossing
+  // the dead link, (b) returns them in ascending FlowId order within each
+  // broker's slice, and (c) replays identically on a fresh controller.
+  auto run_once = [&](AdmissionController& c) {
+    std::vector<FlowId> crossing;
+    for (NodeId src = 0; src < 16; ++src) {
+      // Pod 0 -> pod 1: every route climbs through pod 0's up-links.
+      const auto spec = c.admit(video_request(src, src + 16, 60.0));
+      if (spec) crossing.push_back(spec->id);
+    }
+    for (NodeId src = 32; src < 40; ++src) {
+      // Pod 2 internal: must be untouched by a pod-0 failure.
+      EXPECT_TRUE(c.admit(video_request(src, src + 8, 60.0)).has_value());
+    }
+    c.mark_link_failed(Endpoint{topo_.tree_switch(0, 0), 4});
+    return c.reroute_around_failures();
+  };
+  AdmissionController a(topo_, Bandwidth::from_gbps(8.0), 1.0, true);
+  AdmissionController b(topo_, Bandwidth::from_gbps(8.0), 1.0, true);
+  const auto ra = run_once(a);
+  const auto rb = run_once(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].flow, rb[i].flow);
+    EXPECT_EQ(ra[i].rerouted, rb[i].rerouted);
+    EXPECT_EQ(ra[i].new_choice, rb[i].new_choice);
+  }
+  // Only pod-0 sources cross the failed up-link.
+  for (const auto& r : ra) EXPECT_LT(r.src, 16u);
+  EXPECT_EQ(a.audit_ledger(), "");
+}
+
+TEST_F(HierAdmissionTest, ShedToHighwaterRestoresMarkUnderHierarchy) {
+  // Oversubscribe one pod's internal links, then shed: the pod broker must
+  // bring its own links back under the mark without disturbing flows in
+  // other pods, and the ledger must stay audit-clean.
+  std::vector<FlowId> pod3;
+  for (NodeId round = 0; round < 6; ++round) {
+    for (NodeId src = 0; src < 16; ++src) {
+      const NodeId dst = (src + 1 + round) % 16;
+      if (dst == src) continue;
+      (void)hier_.admit(video_request(src, dst, 140.0));
+    }
+    const auto spec = hier_.admit(video_request(48 + round, 63, 30.0));
+    if (spec) pod3.push_back(spec->id);
+  }
+  const auto shed = hier_.shed_to_highwater(0.5);
+  EXPECT_GT(shed.size(), 0u);
+  for (const auto& s : shed) {
+    EXPECT_FALSE(s.rerouted);
+    EXPECT_LT(s.src, 16u) << "shed sweep reached beyond the overloaded pod";
+  }
+  for (const FlowId f : pod3) {
+    EXPECT_TRUE(hier_.has_flow(f)) << "lightly-loaded pod-3 flow " << f
+                                   << " was shed";
+  }
+  EXPECT_EQ(hier_.audit_ledger(), "");
+  for (const FlowId f : hier_.admitted_ids()) hier_.release(f);
+  EXPECT_EQ(hier_.total_reserved_bytes_per_sec(), 0.0);
+}
+
+}  // namespace
+}  // namespace dqos

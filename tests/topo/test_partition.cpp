@@ -75,6 +75,35 @@ TEST(Partition, AssignmentIsAPureFunctionOfInputs) {
   EXPECT_EQ(pa.cut_links, pb.cut_links);
 }
 
+TEST(Partition, PodSeededAssignmentIsDeterministicKary4N3) {
+  // The pod-aligned seeding path (growth seeds drawn from pod roots
+  // round-robin) must stay a pure function of (topology, shard count):
+  // the parallel engine's bit-identical guarantee rides on it. k=4 n=3
+  // is the smallest tree with a real pod layer above the leaf switches.
+  const auto topo_a = make_kary_ntree(4, 3);
+  const auto topo_b = make_kary_ntree(4, 3);
+  ASSERT_EQ(topo_a->num_pods(), 4u);
+  for (const std::uint32_t shards : {2u, 4u, 7u}) {
+    const Partition pa = partition_topology(*topo_a, shards);
+    const Partition pb = partition_topology(*topo_b, shards);
+    EXPECT_EQ(pa.node_shard, pb.node_shard) << "shards=" << shards;
+    EXPECT_EQ(pa.cut_links, pb.cut_links) << "shards=" << shards;
+    EXPECT_EQ(pa.weight, pb.weight) << "shards=" << shards;
+  }
+  // At shards == pods, pod-root seeding should keep every pod's leaf
+  // switches (and so every host) whole within one shard.
+  const Partition pp = partition_topology(*topo_a, 4);
+  for (NodeId h = 0; h < topo_a->num_hosts(); ++h) {
+    for (NodeId g = h + 1; g < topo_a->num_hosts(); ++g) {
+      if (topo_a->pod_of(h) == topo_a->pod_of(g)) {
+        EXPECT_EQ(pp.shard_of(h), pp.shard_of(g))
+            << "hosts " << h << " and " << g << " share a pod but not a shard";
+      }
+    }
+  }
+  check_invariants(*topo_a, 4);
+}
+
 TEST(Partition, BalancesMesh16EvenlyAcrossFourShards) {
   const auto topo = make_mesh2d(4, 4, 1);
   const Partition part = partition_topology(*topo, 4);

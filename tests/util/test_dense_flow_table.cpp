@@ -1,0 +1,142 @@
+/// \file test_dense_flow_table.cpp
+/// Contract tests for DenseFlowTable (DESIGN.md §13): O(1) id -> dense-slot
+/// lookup, swap-remove erase, deterministic ordered traversal, and the
+/// shrink behaviour that keeps churn spikes from ratcheting memory.
+#include "util/dense_flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dqos {
+namespace {
+
+TEST(DenseFlowTable, InsertFindErase) {
+  DenseFlowTable<int> t;
+  EXPECT_TRUE(t.empty());
+  t.insert(7, 70);
+  t.insert(3, 30);
+  t.insert(11, 110);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_FALSE(t.contains(8));
+  ASSERT_NE(t.find(3), nullptr);
+  EXPECT_EQ(*t.find(3), 30);
+  EXPECT_EQ(t.at(11), 110);
+  EXPECT_EQ(t.find(999), nullptr);
+
+  EXPECT_TRUE(t.erase(3));
+  EXPECT_FALSE(t.erase(3));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.find(3), nullptr);
+  EXPECT_EQ(t.at(7), 70);
+  EXPECT_EQ(t.at(11), 110);
+}
+
+TEST(DenseFlowTable, GetOrInsertDefaultConstructs) {
+  DenseFlowTable<int> t;
+  t.get_or_insert(5) = 42;
+  EXPECT_EQ(t.get_or_insert(5), 42);
+  EXPECT_EQ(t.get_or_insert(6), 0);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(DenseFlowTable, IdsAscendingIsSortedAndComplete) {
+  DenseFlowTable<int> t;
+  for (const std::uint32_t id : {90u, 2u, 55u, 17u, 4u}) {
+    t.insert(id, static_cast<int>(id));
+  }
+  t.erase(55);
+  const std::vector<std::uint32_t> ids = t.ids_ascending();
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{2, 4, 17, 90}));
+}
+
+TEST(DenseFlowTable, ForEachVisitsEveryEntryOnce) {
+  DenseFlowTable<int> t;
+  for (std::uint32_t id = 1; id <= 64; ++id) t.insert(id, 1);
+  t.erase(10);
+  t.erase(64);
+  int sum = 0;
+  std::uint64_t id_sum = 0;
+  t.for_each([&](std::uint32_t id, int v) {
+    sum += v;
+    id_sum += id;
+  });
+  EXPECT_EQ(sum, 62);
+  EXPECT_EQ(id_sum, 64u * 65u / 2 - 10 - 64);
+}
+
+TEST(DenseFlowTable, HoldsMoveOnlyValues) {
+  DenseFlowTable<std::unique_ptr<int>> t;
+  t.insert(1, std::make_unique<int>(10));
+  t.insert(2, std::make_unique<int>(20));
+  EXPECT_EQ(**t.find(1), 10);
+  t.erase(1);  // swap-remove moves slot of id 2
+  ASSERT_NE(t.find(2), nullptr);
+  EXPECT_EQ(**t.find(2), 20);
+}
+
+TEST(DenseFlowTable, RandomizedAgainstReferenceMap) {
+  DenseFlowTable<std::uint64_t> t;
+  std::map<std::uint32_t, std::uint64_t> ref;
+  Rng rng(1234);
+  for (int op = 0; op < 20000; ++op) {
+    const auto id = static_cast<std::uint32_t>(rng.uniform_int(1, 512));
+    if (rng.uniform() < 0.55) {
+      if (ref.count(id) == 0) {
+        t.insert(id, id * 3ull);
+        ref[id] = id * 3ull;
+      }
+    } else {
+      EXPECT_EQ(t.erase(id), ref.erase(id) > 0);
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+  for (const auto& [id, v] : ref) {
+    ASSERT_NE(t.find(id), nullptr);
+    EXPECT_EQ(*t.find(id), v);
+  }
+  const auto ids = t.ids_ascending();
+  ASSERT_EQ(ids.size(), ref.size());
+  std::size_t i = 0;
+  for (const auto& [id, v] : ref) EXPECT_EQ(ids[i++], id);
+}
+
+TEST(DenseFlowTable, ChurnSpikeReleasesMemory) {
+  DenseFlowTable<std::uint64_t> t;
+  for (std::uint32_t id = 1; id <= 100000; ++id) t.insert(id, id);
+  const std::size_t peak = t.memory_bytes();
+  for (std::uint32_t id = 1; id <= 99900; ++id) t.erase(id);
+  EXPECT_EQ(t.size(), 100u);
+  // The index halves down and the dense arrays release capacity: a churn
+  // spike must not ratchet the steady-state footprint.
+  EXPECT_LT(t.memory_bytes(), peak / 16);
+  for (std::uint32_t id = 99901; id <= 100000; ++id) {
+    ASSERT_NE(t.find(id), nullptr);
+    EXPECT_EQ(*t.find(id), id);
+  }
+}
+
+TEST(DenseFlowTable, ClearReleasesEverything) {
+  DenseFlowTable<int> t;
+  for (std::uint32_t id = 1; id <= 1000; ++id) t.insert(id, 1);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.memory_bytes(), 0u);
+  t.insert(5, 50);  // usable after clear
+  EXPECT_EQ(t.at(5), 50);
+}
+
+TEST(DenseFlowTableDeath, DuplicateInsertAndMissingAtAbort) {
+  DenseFlowTable<int> t;
+  t.insert(1, 10);
+  EXPECT_DEATH(t.insert(1, 11), "");
+  EXPECT_DEATH((void)t.at(2), "");
+}
+
+}  // namespace
+}  // namespace dqos

@@ -185,6 +185,48 @@ void check_unordered_iteration(const Sink& sink,
 }
 
 // ---------------------------------------------------------------------------
+// per-flow-map
+// ---------------------------------------------------------------------------
+
+/// Flags declarations of unordered_map/unordered_set keyed by FlowId in
+/// simulation-state code. Per-flow state lives in DenseFlowTable
+/// (src/util/dense_flow_table.hpp): dense parallel vectors + an
+/// open-addressing index, so it iterates deterministically, shrinks on
+/// erase, and costs ~16 bytes/flow instead of a node allocation — the
+/// scale refactor's bytes/host budget (DESIGN.md §13) depends on it.
+void check_per_flow_map(const Sink& sink) {
+  const TokenVec& t = sink.lx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool is_map = is_ident(t, i, "unordered_map");
+    const bool is_set = is_ident(t, i, "unordered_set");
+    if ((!is_map && !is_set) || !is_punct(t, i + 1, "<")) continue;
+    int depth = 1;
+    bool key_done = false;
+    bool flow_key = false;
+    for (std::size_t j = i + 2; j < t.size() && depth > 0; ++j) {
+      const Token& tok = t[j];
+      if (tok.kind == Token::Kind::kPunct && tok.text == "<") ++depth;
+      else if (tok.kind == Token::Kind::kPunct && tok.text == ">") --depth;
+      else if (tok.kind == Token::Kind::kPunct && tok.text == "," && depth == 1) {
+        key_done = true;
+      }
+      if (depth == 0) break;
+      if (!key_done && tok.kind == Token::Kind::kIdent && tok.text == "FlowId") {
+        flow_key = true;
+      }
+    }
+    if (flow_key) {
+      sink.add(t[i].line, "per-flow-map",
+               "'" + t[i].text + "<FlowId, ...>' — per-flow state belongs in "
+                                 "DenseFlowTable (util/dense_flow_table.hpp): "
+                                 "deterministic iteration, swap-remove erase, "
+                                 "and a dense footprint the 1k-host bytes/host "
+                                 "budget counts on");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // hot-path-type-erasure
 // ---------------------------------------------------------------------------
 
@@ -433,6 +475,7 @@ void run_rules(const std::string& rel_path, const LexedFile& lx,
     std::set<std::string> flagged = collect_nondeterministic(lx.tokens);
     flagged.insert(companion_containers.begin(), companion_containers.end());
     check_unordered_iteration(sink, flagged);
+    check_per_flow_map(sink);
     check_float_time(sink);
     check_packet_free(sink);
   }

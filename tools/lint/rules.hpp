@@ -8,6 +8,10 @@
 ///   unordered-iteration    | iterating unordered containers keyed by
 ///                          | pointers or FlowId in simulation-state code
 ///                          | (iteration order leaks into event order)
+///   per-flow-map           | unordered_map/unordered_set keyed by FlowId
+///                          | in src/ — per-flow state belongs in
+///                          | DenseFlowTable (util/dense_flow_table.hpp),
+///                          | which the 1k-host bytes/host budget counts on
 ///   hot-path-type-erasure  | std::function / shared_ptr re-entering the
 ///                          | de-virtualized hot path (src/sim, src/switchfab)
 ///   float-time-accum       | accumulating simulated time in floating point

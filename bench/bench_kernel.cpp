@@ -19,7 +19,8 @@
 ///
 ///   ./bench_kernel [--quick] [--json=PATH]
 // Wall-clock timing is this benchmark's whole purpose; the simulated
-// system under test never reads it. dqos-lint: allow-file(no-wallclock)
+// system under test never reads it.
+// dqos-lint: allow-file(no-wallclock)
 #include <atomic>
 #include <chrono>
 #include <cstdio>

@@ -24,7 +24,8 @@
 ///
 ///   ./bench_scale [--quick] [--json=PATH]
 // Wall-clock timing is this benchmark's whole purpose; the simulated
-// system under test never reads it. dqos-lint: allow-file(no-wallclock)
+// system under test never reads it.
+// dqos-lint: allow-file(no-wallclock)
 #include <atomic>
 #include <chrono>
 #include <cstdint>

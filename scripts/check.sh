@@ -41,14 +41,29 @@ export TSAN_OPTIONS="suppressions=$PWD/tsan.supp history_size=4 die_after_fork=0
 
 for preset in "${presets[@]}"; do
   if [[ $preset == lint ]]; then
-    # Static legs (DESIGN.md §9): dqos_lint gated on lint_baseline.txt
-    # (including the header-standalone check), clang-tidy when installed,
-    # and the formatting diff vs main. No sanitizer build needed — the
-    # default preset hosts the lint tooling.
-    echo "=== [lint] dqos_lint + clang-tidy baseline ==="
+    # Static legs (DESIGN.md §9, §15): dqos_lint runs the per-file rules
+    # AND the whole-program transitive rules (call-graph reachability) in
+    # one pass, gated on lint_baseline.txt, with --check-suppressions so a
+    # marker that no longer suppresses anything fails the leg too. The run
+    # also drops a SARIF artifact for CI annotation. clang-tidy runs when
+    # installed, then the formatting diff vs main. No sanitizer build
+    # needed — the default preset hosts the lint tooling.
+    echo "=== [lint] dqos_lint whole-program + clang-tidy baseline ==="
     cmake --preset default
     cmake --build --preset default --target dqos_lint -j "$(nproc)"
-    build/tools/dqos_lint --root=. --baseline=lint_baseline.txt --check-headers
+    lint_t0=$(date +%s.%N)
+    build/tools/dqos_lint --root=. --baseline=lint_baseline.txt \
+        --check-headers --check-suppressions \
+        --sarif=build/dqos_lint.sarif
+    lint_t1=$(date +%s.%N)
+    echo "dqos_lint whole-program pass: $(awk -v a="$lint_t0" -v b="$lint_t1" \
+        'BEGIN{printf "%.1fs", b-a}') (SARIF: build/dqos_lint.sarif)"
+    # Self-lint: the analyzer's own sources must hold to the same rules it
+    # enforces — a separate invocation scoped to tools/lint so a regression
+    # there is named explicitly rather than folded into the tree-wide pass.
+    echo "=== [lint] self-lint (tools/lint) ==="
+    build/tools/dqos_lint --root=. --check-suppressions \
+        tools/lint tools/dqos_lint.cpp
     cmake --build --preset default --target lint
     echo "=== [lint] format check ==="
     scripts/format_check.sh

@@ -257,7 +257,7 @@ void RunController::teardown() {
     sim.cancel(departure_events_.at(flow));
   }
   departure_events_.clear();
-  // dqos-lint: allow(unordered-iteration) — copy harvest, sorted below
+  // Copy-harvest then sort: cancellation order is insertion-independent.
   std::vector<std::pair<std::uint64_t, EventId>> retries(retry_events_.begin(),
                                                          retry_events_.end());
   std::sort(retries.begin(), retries.end());

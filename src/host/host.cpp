@@ -304,7 +304,6 @@ void Host::purge_rx_flow(FlowId flow) {
   rx_seq_.get_or_insert(flow) = kRetiredSeq;
   for (auto it = rx_messages_.begin(); it != rx_messages_.end();) {
     // Key-match reaping: the surviving set is visit-order independent.
-    // dqos-lint: allow(unordered-iteration)
     const bool ours = static_cast<FlowId>(it->first >> 32) == flow;
     it = ours ? rx_messages_.erase(it) : std::next(it);
   }

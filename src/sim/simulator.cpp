@@ -1,3 +1,8 @@
+// The calendar is the event store: slot, FIFO, and tier growth in this
+// file is amortized doubling over arrays the steady state never shrinks,
+// reviewed as a whole. Hot callers (drain_window, try_fill) still keep
+// their own bodies allocation-free.
+// dqos-lint: allow-file(hot-path-transitive)
 #include "sim/simulator.hpp"
 
 #include <algorithm>

@@ -107,6 +107,7 @@ class RingBuffer {
 
   /// Moves the live window to the front of a fresh power-of-two slab.
   void reallocate(std::size_t new_cap) {
+    // dqos-lint: allow(hot-path-transitive) — doubling slab swap, amortized
     auto fresh = std::make_unique<T[]>(new_cap);
     for (std::size_t i = 0; i < count_; ++i) {
       fresh[i] = std::move(slots_[(head_ + i) & mask_]);

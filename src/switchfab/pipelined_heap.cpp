@@ -27,6 +27,7 @@ PipelinedHeapModel::Timing PipelinedHeapModel::issue(TimePoint now) {
 PipelinedHeapModel::Timing PipelinedHeapModel::insert(std::int64_t key,
                                                       TimePoint now) {
   DQOS_EXPECTS(keys_.size() < capacity_);
+  // dqos-lint: allow(hot-path-transitive) — capacity reserved up front
   keys_.push_back(key);
   sift_up(keys_.size() - 1);
   return issue(now);

@@ -83,7 +83,9 @@ class DenseFlowTable {
     DQOS_EXPECTS(!contains(id));
     grow_index_if_needed();
     const auto slot = static_cast<std::uint32_t>(ids_.size());
+    // dqos-lint: allow(hot-path-transitive) — amortized dense growth
     ids_.push_back(id);
+    // dqos-lint: allow(hot-path-transitive) — amortized dense growth
     values_.push_back(std::move(value));
     index_insert(id, slot);
     return values_.back();
@@ -228,6 +230,7 @@ class DenseFlowTable {
 
   void rebuild_index(std::size_t cap) {
     DQOS_ASSERT((cap & (cap - 1)) == 0);
+    // dqos-lint: allow(hot-path-transitive) — occupancy-bounded rehash
     index_.assign(cap, IndexEntry{});
     index_.shrink_to_fit();
     mask_ = cap - 1;

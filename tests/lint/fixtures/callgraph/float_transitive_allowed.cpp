@@ -1,0 +1,25 @@
+// Pretends to live at src/fab/window_merge_ok.cpp. Integer accumulation
+// plus one reviewed float site under an allow marker — must lint clean.
+namespace fab {
+
+double jitter_of(int idx) { return idx * 0.25; }
+long span_ps_of(int idx) { return idx * 4; }
+
+struct Merger {
+  long merged_ps = 0;
+  double debug_time = 0;
+  void fold(int idx);
+  void merge_windows(int n);
+};
+
+void Merger::fold(int idx) {
+  merged_ps += span_ps_of(idx);
+  // dqos-lint: allow(float-time-transitive) — debug-only, not replayed
+  debug_time += jitter_of(idx);
+}
+
+void Merger::merge_windows(int n) {
+  for (int i = 0; i < n; ++i) fold(i);
+}
+
+}  // namespace fab

@@ -1,0 +1,22 @@
+// Pretends to live at src/fab/window_merge.cpp. The float accumulation
+// hides behind a call: the accumulator and callee live in different
+// functions, so only the transitive rule connects them.
+namespace fab {
+
+double span_time_of(int idx) { return idx * 0.25; }
+
+struct Merger {
+  double merged_time = 0;
+  void fold(int idx);
+  void merge_windows(int n);
+};
+
+void Merger::fold(int idx) {
+  merged_time += span_time_of(idx);
+}
+
+void Merger::merge_windows(int n) {
+  for (int i = 0; i < n; ++i) fold(i);
+}
+
+}  // namespace fab

@@ -1,0 +1,23 @@
+// Pretends to live at src/fab/hot_chain_ok.cpp. Same shape as
+// hot_transitive_bad.cpp, but every reachable growth site carries a
+// reviewed allow marker — must lint clean.
+#include <vector>
+
+namespace fab {
+
+struct Store {
+  std::vector<int> xs;
+  void remember(int v);
+};
+
+void Store::remember(int v) {
+  // dqos-lint: allow(hot-path-transitive) — amortized, reviewed
+  xs.push_back(v);
+}
+
+void drain(Store& s, int v) { s.remember(v); }
+
+// dqos-lint: hot
+void pump(Store& s, int v) { drain(s, v); }
+
+}  // namespace fab

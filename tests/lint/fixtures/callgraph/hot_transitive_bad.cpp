@@ -1,0 +1,51 @@
+// Pretends to live at src/fab/hot_chain.cpp. A hot root whose own body
+// is clean, but whose transitive callees allocate — only dqos_lint v2's
+// call-graph pass can see it. Exercises direct, indirect, recursive and
+// virtual-dispatch chains.
+#include <memory>
+#include <vector>
+
+namespace fab {
+
+struct Store {
+  std::vector<int> xs;
+  void remember(int v);
+  void spill(int v);
+};
+
+// Indirect chain target: hot -> drain -> Store::remember (growth).
+void Store::remember(int v) { xs.push_back(v); }
+
+// Recursive chain: spill calls itself before allocating.
+void Store::spill(int v) {
+  if (v > 0) spill(v - 1);
+  xs.push_back(v);
+}
+
+struct Sink {
+  virtual ~Sink() = default;
+  virtual void put(int v) = 0;
+};
+
+struct CleanSink : Sink {
+  int last = 0;
+  void put(int v) override { last = v; }
+};
+
+struct AllocSink : Sink {
+  std::vector<int> kept;
+  // Virtual-dispatch chain: the hot root calls `sink.put(v)` through the
+  // base; resolution over-approximates to every `put`, including this one.
+  void put(int v) override { kept.push_back(v); }
+};
+
+void drain(Store& s, int v) { s.remember(v); }
+
+// dqos-lint: hot
+void pump(Store& s, Sink& sink, int v) {
+  drain(s, v);
+  s.spill(v);
+  sink.put(v);
+}
+
+}  // namespace fab

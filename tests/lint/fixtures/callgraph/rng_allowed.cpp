@@ -1,0 +1,24 @@
+// Pretends to live at src/sim/rng_ok.cpp. One stream per function and a
+// reviewed two-stream site under an allow marker — must lint clean.
+namespace sim {
+
+struct Rng {
+  Rng split(unsigned long salt);
+  double uniform();
+};
+Rng Rng::split(unsigned long salt) { return (void)salt, Rng{}; }
+double Rng::uniform() { return 0.5; }
+
+struct Model {
+  Rng arrival_rng;
+  Rng service_rng;
+  double arrivals() { return arrival_rng.uniform(); }
+  double services() { return service_rng.uniform(); }
+  double audited_mix() {
+    const double a = arrival_rng.uniform();
+    // dqos-lint: allow(rng-stream-discipline) — replay-audited pairing
+    return a + service_rng.uniform();
+  }
+};
+
+}  // namespace sim

@@ -1,0 +1,26 @@
+// Pretends to live at src/sim/arrivals.cpp: splits the named stream
+// 0xbacc0ff5 that src/host owns (first site in sorted (file, line)
+// order), plus a function that draws from two distinct streams — one
+// draw too many.
+namespace sim {
+
+struct Rng {
+  Rng split(unsigned long salt);
+  double uniform();
+  unsigned long next();
+};
+Rng Rng::split(unsigned long salt) { return (void)salt, Rng{}; }
+double Rng::uniform() { return 0.5; }
+unsigned long Rng::next() { return 1; }
+
+struct Arrivals {
+  Rng arrival_rng;
+  Rng service_rng;
+  Rng seed(Rng root) { return root.split(0xbacc0ff5); }
+  double mix() {
+    const double a = arrival_rng.uniform();
+    return a + static_cast<double>(service_rng.next());
+  }
+};
+
+}  // namespace sim

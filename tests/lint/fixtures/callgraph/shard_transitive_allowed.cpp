@@ -1,0 +1,29 @@
+// Pretends to live at src/fab/shard_chain_ok.cpp. The reached calendar
+// call carries a reviewed allow marker (it is the mailbox drain itself),
+// so the region must lint clean.
+namespace fab {
+
+struct Calendar {
+  void schedule_at(long t);
+};
+void Calendar::schedule_at(long t) { (void)t; }
+
+struct Worker {
+  Calendar cal;
+  void drain_mailbox(long t);
+  void step(long t);
+};
+
+void Worker::drain_mailbox(long t) {
+  // dqos-lint: allow(shard-ownership) — the drain runs at the barrier
+  cal.schedule_at(t);
+}
+
+void Worker::step(long t) {
+  // dqos-lint: shard
+  {
+    drain_mailbox(t);
+  }
+}
+
+}  // namespace fab

@@ -14,9 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "lint/callgraph.hpp"
+#include "lint/indexer.hpp"
 #include "lint/lexer.hpp"
 #include "lint/lint.hpp"
 #include "lint/rules.hpp"
+#include "lint/sarif.hpp"
 
 namespace dqos::lintkit {
 namespace {
@@ -381,6 +384,448 @@ TEST(LintBaseline, MissingBaselineFileMeansZeroAllowance) {
   EXPECT_TRUE(base.empty());
   const std::vector<Finding> fs = {{"src/a.cpp", 1, "no-wallclock", "m"}};
   EXPECT_EQ(new_findings(fs, base).size(), 1u);
+}
+
+TEST(LintBaseline, WriteIsSortedAndDeduplicated) {
+  // Findings arrive unsorted with repeated (file, rule) pairs; the
+  // baseline must come out sorted with one merged count per pair.
+  const std::vector<Finding> fs = {
+      {"src/z.cpp", 9, "no-wallclock", "m"},
+      {"src/a.cpp", 3, "no-wallclock", "m"},
+      {"src/z.cpp", 2, "no-wallclock", "m"},
+      {"src/a.cpp", 1, "float-time-accum", "m"},
+  };
+  const std::string text = format_baseline(fs);
+  std::vector<std::string> lines;
+  std::istringstream ss(text);
+  for (std::string l; std::getline(ss, l);) {
+    if (!l.empty() && l[0] != '#') lines.push_back(l);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "src/a.cpp float-time-accum 1");
+  EXPECT_EQ(lines[1], "src/a.cpp no-wallclock 1");
+  EXPECT_EQ(lines[2], "src/z.cpp no-wallclock 2");
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+}
+
+TEST(LintBaseline, LoadMergesDuplicateLines) {
+  const std::string path = ::testing::TempDir() + "dqos_lint_dup_baseline.txt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "src/a.cpp no-wallclock 1\n"
+           "src/a.cpp no-wallclock 2\n";
+  }
+  const std::map<BaselineKey, int> base = load_baseline(path);
+  ASSERT_EQ(base.size(), 1u);
+  EXPECT_EQ(base.at({"src/a.cpp", "no-wallclock"}), 3);
+}
+
+// --------------------------------------------------- lexer edge cases
+
+TEST(LintLexer, DigitSeparatorsAreCanonicalizedAway) {
+  const LexedFile lx = lex("long n = 1'000'000; auto h = 0xdead'beef;\n");
+  std::vector<std::string> nums;
+  for (const Token& t : lx.tokens) {
+    if (t.kind == Token::Kind::kNumber) nums.push_back(t.text);
+  }
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_EQ(nums[0], "1000000");
+  EXPECT_EQ(nums[1], "0xdeadbeef");
+}
+
+TEST(LintLexer, DigitBeforeCharLiteralIsNotASeparator) {
+  // f(1,'a') — the quote opens a char literal, not a digit separator.
+  const LexedFile lx = lex("int x = f(1,'a');\n");
+  const auto one =
+      std::find_if(lx.tokens.begin(), lx.tokens.end(),
+                   [](const Token& t) { return t.text == "1"; });
+  ASSERT_NE(one, lx.tokens.end());
+  for (const Token& t : lx.tokens) EXPECT_NE(t.text, "a");
+}
+
+TEST(LintLexer, RawStringCustomDelimiterIsOpaque) {
+  const LexedFile lx = lex(
+      "auto s = R\"xy(rand() \")\" time())xy\"; int after = 1;\n");
+  for (const Token& t : lx.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "time");
+  }
+  const auto after =
+      std::find_if(lx.tokens.begin(), lx.tokens.end(),
+                   [](const Token& t) { return t.text == "after"; });
+  EXPECT_NE(after, lx.tokens.end());
+}
+
+TEST(LintLexer, InvalidRawStringDelimiterFallsBackToOrdinaryString) {
+  // A newline can never appear in a raw-string delimiter; the R\" must
+  // lex as an ordinary string instead of swallowing the file.
+  const LexedFile lx = lex("auto s = R\"bad\ndelim\"; int keep = 2;\n");
+  const auto keep =
+      std::find_if(lx.tokens.begin(), lx.tokens.end(),
+                   [](const Token& t) { return t.text == "keep"; });
+  ASSERT_NE(keep, lx.tokens.end());
+  EXPECT_EQ(keep->line, 2);
+}
+
+TEST(LintLexer, LineContinuationExtendsLineComment) {
+  // The backslash splices the next line into the comment: rand() there
+  // is commentary, not code.
+  const LexedFile lx = lex(
+      "int a; // trailing comment \\\n"
+      "rand(); int b;\n"
+      "int c;\n");
+  for (const Token& t : lx.tokens) EXPECT_NE(t.text, "rand");
+  const auto c = std::find_if(lx.tokens.begin(), lx.tokens.end(),
+                              [](const Token& t) { return t.text == "c"; });
+  ASSERT_NE(c, lx.tokens.end());
+  EXPECT_EQ(c->line, 3);
+}
+
+TEST(LintLexer, MarkerMustStartItsComment) {
+  // Prose mentioning a marker, and the indented `// dqos-lint:` examples
+  // in doc comments, must register nothing.
+  const LexedFile lx = lex(
+      "// Enforces `// dqos-lint: hot` markers on the next body.\n"
+      "///   // dqos-lint: allow(rule-a, rule-b)\n"
+      "int a;  // dqos-lint: allow(no-wallclock)\n"
+      "/// dqos-lint: hot\n"
+      "void f() {}\n");
+  EXPECT_TRUE(lx.hot_marks.count(4) == 1);
+  EXPECT_EQ(lx.hot_marks.size(), 1u);
+  EXPECT_TRUE(lx.allow_markers.size() == 1 &&
+              lx.allow_markers[0].line == 3 &&
+              lx.allow_markers[0].rule == "no-wallclock");
+}
+
+TEST(LintLexer, MatchReturnsMarkerIndexWithLineOverFilePriority) {
+  const LexedFile lx = lex(
+      "// dqos-lint: allow-file(no-wallclock)\n"
+      "// dqos-lint: allow(no-wallclock)\n"
+      "int a;\n"
+      "int b;\n");
+  ASSERT_EQ(lx.allow_markers.size(), 2u);
+  // Line 3 is covered by the line marker (index 1); line 4 only by the
+  // file-scope marker (index 0).
+  EXPECT_EQ(lx.match("no-wallclock", 3), 1);
+  EXPECT_EQ(lx.match("no-wallclock", 4), 0);
+  EXPECT_EQ(lx.match("unordered-iteration", 3), -1);
+}
+
+// ------------------------------------------------- indexer + call graph
+
+Index make_index(std::vector<SourceFile> files) {
+  Index idx;
+  for (SourceFile& f : files) {
+    index_unit(Unit{f.rel_path, lex(f.content)}, idx);
+  }
+  finalize_index(idx);
+  return idx;
+}
+
+const FunctionDef* def_named(const Index& idx, const std::string& qualified) {
+  for (const FunctionDef& d : idx.defs) {
+    if (d.qualified == qualified) return &d;
+  }
+  return nullptr;
+}
+
+TEST(LintIndexer, QualifiesDefsByScopeStackAndWrittenPrefix) {
+  const Index idx = make_index({{"src/a.cpp",
+                                 "namespace ns {\n"
+                                 "struct C { void in_class() {} };\n"
+                                 "void C::out_of_line() {}\n"
+                                 "void free_fn() {}\n"
+                                 "}  // namespace ns\n"}});
+  EXPECT_NE(def_named(idx, "ns::C::in_class"), nullptr);
+  EXPECT_NE(def_named(idx, "ns::C::out_of_line"), nullptr);
+  EXPECT_NE(def_named(idx, "ns::free_fn"), nullptr);
+}
+
+TEST(LintIndexer, HandlesCtorInitListAndFpReturnDetection) {
+  const Index idx = make_index({{"src/a.cpp",
+                                 "struct W {\n"
+                                 "  int n_;\n"
+                                 "  W(int n) : n_{n} { helper(); }\n"
+                                 "  double rate() const { return 0.5; }\n"
+                                 "  long count() const { return n_; }\n"
+                                 "};\n"}});
+  const FunctionDef* ctor = def_named(idx, "W::W");
+  ASSERT_NE(ctor, nullptr);
+  const FunctionDef* rate = def_named(idx, "W::rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_TRUE(rate->ret_fp);
+  const FunctionDef* count = def_named(idx, "W::count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_FALSE(count->ret_fp);
+}
+
+TEST(LintCallGraph, ResolvesQualifiedCallsBySuffixOnComponentBoundary) {
+  const Index idx = make_index({{"src/a.cpp",
+                                 "namespace ns {\n"
+                                 "struct Channel { void send() {} };\n"
+                                 "struct Kernel { void send() {} };\n"
+                                 "void go(Channel& c) { Channel::send(); }\n"
+                                 "}\n"}});
+  const CallGraph g = build_call_graph(idx);
+  const FunctionDef* go = def_named(idx, "ns::go");
+  ASSERT_NE(go, nullptr);
+  std::set<std::string> callees;
+  for (const Edge& e : g.adj[static_cast<std::size_t>(go->id)]) {
+    callees.insert(idx.defs[static_cast<std::size_t>(e.callee)].qualified);
+  }
+  // `Channel::send` must not match `Kernel::send` ("nel::send").
+  EXPECT_EQ(callees, (std::set<std::string>{"ns::Channel::send"}));
+}
+
+TEST(LintCallGraph, MemberCallOverApproximatesVirtualDispatch) {
+  const Index idx = make_index(
+      {{"src/a.cpp", slurp("callgraph/hot_transitive_bad.cpp")}});
+  const CallGraph g = build_call_graph(idx);
+  const FunctionDef* pump = def_named(idx, "fab::pump");
+  ASSERT_NE(pump, nullptr);
+  std::set<std::string> callees;
+  for (const Edge& e : g.adj[static_cast<std::size_t>(pump->id)]) {
+    callees.insert(idx.defs[static_cast<std::size_t>(e.callee)].qualified);
+  }
+  // sink.put(v) resolves to every override of put.
+  EXPECT_EQ(callees.count("fab::CleanSink::put"), 1u);
+  EXPECT_EQ(callees.count("fab::AllocSink::put"), 1u);
+}
+
+TEST(LintCallGraph, RecursionTerminatesAndChainEndsAtTarget) {
+  const Index idx = make_index({{"src/a.cpp",
+                                 "struct R {\n"
+                                 "  void ping(int n) { if (n) pong(n - 1); }\n"
+                                 "  void pong(int n) { ping(n); }\n"
+                                 "};\n"}});
+  const CallGraph g = build_call_graph(idx);
+  const FunctionDef* ping = def_named(idx, "R::ping");
+  const FunctionDef* pong = def_named(idx, "R::pong");
+  ASSERT_NE(ping, nullptr);
+  ASSERT_NE(pong, nullptr);
+  const Reach r = reach_from(idx, g, {ping->id});
+  EXPECT_TRUE(r.reached(pong->id));
+  const std::string chain = chain_string(idx, r, pong->id);
+  EXPECT_NE(chain.find("R::ping"), std::string::npos);
+  EXPECT_NE(chain.find(" -> R::pong"), std::string::npos);
+}
+
+TEST(LintCallGraph, DumpIsDeterministicAndAnnotated) {
+  const Index idx = make_index(
+      {{"src/a.cpp", slurp("callgraph/hot_transitive_bad.cpp")}});
+  const CallGraph g = build_call_graph(idx);
+  std::ostringstream a, b;
+  dump_callgraph(idx, g, a);
+  dump_callgraph(idx, g, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("definitions"), std::string::npos);
+  EXPECT_NE(a.str().find("(hot)"), std::string::npos);
+  EXPECT_NE(a.str().find("  -> "), std::string::npos);
+}
+
+// -------------------------------------------------- rule: hot-path-transitive
+
+TEST(LintTransitive, HotPathFlagsIndirectRecursiveAndVirtualChains) {
+  const TreeReport r = lint_sources(
+      {{"src/fab/hot_chain.cpp", slurp("callgraph/hot_transitive_bad.cpp")}});
+  const int n = count_rule(r.findings, "hot-path-transitive");
+  // remember (indirect), spill (recursive), AllocSink::put (virtual).
+  EXPECT_GE(n, 3) << testing::PrintToString(rules_of(r.findings));
+  bool chain_seen = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "hot-path-transitive") continue;
+    EXPECT_NE(f.message.find("fab::pump"), std::string::npos) << f.message;
+    if (f.message.find(" -> ") != std::string::npos) chain_seen = true;
+  }
+  EXPECT_TRUE(chain_seen);
+}
+
+TEST(LintTransitive, HotPathChainPrintsEveryHop) {
+  const TreeReport r = lint_sources(
+      {{"src/fab/hot_chain.cpp", slurp("callgraph/hot_transitive_bad.cpp")}});
+  bool found = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule == "hot-path-transitive" &&
+        f.message.find("fab::Store::remember") != std::string::npos) {
+      found = true;
+      // Root -> intermediate -> target, with file:line per hop.
+      EXPECT_NE(f.message.find("fab::pump"), std::string::npos) << f.message;
+      EXPECT_NE(f.message.find("fab::drain"), std::string::npos) << f.message;
+      EXPECT_NE(f.message.find("src/fab/hot_chain.cpp:"), std::string::npos)
+          << f.message;
+    }
+  }
+  EXPECT_TRUE(found) << testing::PrintToString(rules_of(r.findings));
+}
+
+TEST(LintTransitive, HotPathSuppressedNegativeLintsClean) {
+  const TreeReport r = lint_sources(
+      {{"src/fab/hot_chain_ok.cpp",
+        slurp("callgraph/hot_transitive_allowed.cpp")}});
+  EXPECT_EQ(count_rule(r.findings, "hot-path-transitive"), 0)
+      << testing::PrintToString(rules_of(r.findings));
+}
+
+TEST(LintTransitive, HotRootOwnBodyIsLeftToThePerFileRule) {
+  // The root's own allocation is hot-path-alloc (depth 0), never
+  // double-reported as hot-path-transitive.
+  const TreeReport r = lint_sources({{"src/fab/self.cpp",
+                                      "#include <vector>\n"
+                                      "std::vector<int> v;\n"
+                                      "// dqos-lint: hot\n"
+                                      "void f() { v.push_back(1); }\n"}});
+  EXPECT_EQ(count_rule(r.findings, "hot-path-transitive"), 0)
+      << testing::PrintToString(rules_of(r.findings));
+  EXPECT_EQ(count_rule(r.findings, "hot-path-alloc"), 1);
+}
+
+// ------------------------------------------------------ rule: shard-ownership
+
+TEST(LintTransitive, ShardRegionReachingCalendarIsFlaggedWithChain) {
+  const TreeReport r = lint_sources(
+      {{"src/fab/shard_chain.cpp",
+        slurp("callgraph/shard_transitive_bad.cpp")}});
+  ASSERT_GE(count_rule(r.findings, "shard-ownership"), 1)
+      << testing::PrintToString(rules_of(r.findings));
+  const auto it =
+      std::find_if(r.findings.begin(), r.findings.end(), [](const Finding& f) {
+        return f.rule == "shard-ownership";
+      });
+  EXPECT_NE(it->message.find("schedule_at"), std::string::npos);
+  EXPECT_NE(it->message.find("src/fab/shard_chain.cpp:"), std::string::npos);
+  EXPECT_NE(it->message.find("fab::Worker::relay"), std::string::npos)
+      << it->message;
+  EXPECT_NE(it->message.find("mailbox"), std::string::npos);
+}
+
+TEST(LintTransitive, ShardSuppressedNegativeLintsClean) {
+  const TreeReport r = lint_sources(
+      {{"src/fab/shard_chain_ok.cpp",
+        slurp("callgraph/shard_transitive_allowed.cpp")}});
+  EXPECT_EQ(count_rule(r.findings, "shard-ownership"), 0)
+      << testing::PrintToString(rules_of(r.findings));
+}
+
+// ------------------------------------------------ rule: rng-stream-discipline
+
+TEST(LintTransitive, NamedStreamSplitAcrossSubsystemsIsFlagged) {
+  const TreeReport r = lint_sources(
+      {{"src/sim/arrivals.cpp", slurp("callgraph/rng_sim_split.cpp")},
+       {"src/host/traffic.cpp", slurp("callgraph/rng_host_split.cpp")}});
+  std::vector<const Finding*> hits;
+  for (const Finding& f : r.findings) {
+    if (f.rule == "rng-stream-discipline" &&
+        f.message.find("0xbacc0ff5") != std::string::npos) {
+      hits.push_back(&f);
+    }
+  }
+  ASSERT_EQ(hits.size(), 1u) << testing::PrintToString(rules_of(r.findings));
+  // Ownership goes to the first site in sorted (file, line) order —
+  // src/host here — and the non-owning site is the one flagged.
+  EXPECT_EQ(hits[0]->file, "src/sim/arrivals.cpp");
+  EXPECT_NE(hits[0]->message.find("src/host"), std::string::npos);
+  // The small salt (7) never registers as a named stream.
+  for (const Finding& f : r.findings) {
+    EXPECT_EQ(f.message.find("split(7)"), std::string::npos);
+  }
+}
+
+TEST(LintTransitive, TwoStreamDrawInOneFunctionIsFlagged) {
+  const TreeReport r = lint_sources(
+      {{"src/sim/arrivals.cpp", slurp("callgraph/rng_sim_split.cpp")}});
+  bool found = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule == "rng-stream-discipline" &&
+        f.message.find("arrival_rng") != std::string::npos &&
+        f.message.find("service_rng") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << testing::PrintToString(rules_of(r.findings));
+}
+
+TEST(LintTransitive, RngDisciplineSuppressedNegativeLintsClean) {
+  const TreeReport r = lint_sources(
+      {{"src/sim/rng_ok.cpp", slurp("callgraph/rng_allowed.cpp")}});
+  EXPECT_EQ(count_rule(r.findings, "rng-stream-discipline"), 0)
+      << testing::PrintToString(rules_of(r.findings));
+}
+
+// ----------------------------------------------- rule: float-time-transitive
+
+TEST(LintTransitive, FloatAccumAcrossFunctionBoundaryIsFlagged) {
+  const TreeReport r = lint_sources(
+      {{"src/fab/window_merge.cpp",
+        slurp("callgraph/float_transitive_bad.cpp")}});
+  ASSERT_GE(count_rule(r.findings, "float-time-transitive"), 1)
+      << testing::PrintToString(rules_of(r.findings));
+  const auto it =
+      std::find_if(r.findings.begin(), r.findings.end(), [](const Finding& f) {
+        return f.rule == "float-time-transitive";
+      });
+  EXPECT_NE(it->message.find("span_time_of"), std::string::npos);
+  EXPECT_NE(it->message.find("fab::Merger::merge_windows"), std::string::npos)
+      << it->message;
+}
+
+TEST(LintTransitive, FloatTransitiveSuppressedNegativeLintsClean) {
+  const TreeReport r = lint_sources(
+      {{"src/fab/window_merge_ok.cpp",
+        slurp("callgraph/float_transitive_allowed.cpp")}});
+  EXPECT_EQ(count_rule(r.findings, "float-time-transitive"), 0)
+      << testing::PrintToString(rules_of(r.findings));
+}
+
+// ------------------------------------------------------ stale suppressions
+
+TEST(LintSuppressions, StaleMarkerIsReportedLiveMarkerIsNot) {
+  const TreeReport r = lint_sources(
+      {{"src/core/x.cpp",
+        "// dqos-lint: allow(no-wallclock)\n"
+        "int t = time(nullptr);\n"
+        "// dqos-lint: allow(unordered-iteration)\n"
+        "int unrelated;\n"}},
+      /*check_suppressions=*/true);
+  ASSERT_EQ(r.stale.size(), 1u) << testing::PrintToString(rules_of(r.stale));
+  EXPECT_EQ(r.stale[0].rule, "stale-suppression");
+  EXPECT_EQ(r.stale[0].line, 3);
+  EXPECT_NE(r.stale[0].message.find("unordered-iteration"), std::string::npos);
+  // The live marker suppressed its finding: nothing else is reported.
+  EXPECT_EQ(count_rule(r.findings, "no-wallclock"), 0);
+}
+
+TEST(LintSuppressions, StaleFileScopeMarkerIsReported) {
+  const TreeReport r = lint_sources(
+      {{"src/core/y.cpp",
+        "// dqos-lint: allow-file(float-time-accum)\n"
+        "int clean;\n"}},
+      /*check_suppressions=*/true);
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_NE(r.stale[0].message.find("allow-file(float-time-accum)"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------------- SARIF
+
+TEST(LintSarif, SerializesRulesResultsAndEscapes) {
+  const std::vector<Finding> fs = {
+      {"src/a.cpp", 3, "no-wallclock", "bad \"call\"\nhere"},
+      {"src/b.cpp", 7, "shard-ownership", "chain -> x"},
+  };
+  const std::string s = to_sarif(fs);
+  EXPECT_NE(s.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"dqos_lint\""), std::string::npos);
+  EXPECT_NE(s.find("{\"id\": \"no-wallclock\"}"), std::string::npos);
+  EXPECT_NE(s.find("{\"id\": \"shard-ownership\"}"), std::string::npos);
+  EXPECT_NE(s.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(s.find("bad \\\"call\\\"\\nhere"), std::string::npos);
+}
+
+TEST(LintSarif, EmptyFindingsStillProduceAValidRun) {
+  const std::string s = to_sarif({});
+  EXPECT_NE(s.find("\"results\": []"), std::string::npos);
+  EXPECT_NE(s.find("\"rules\": []"), std::string::npos);
 }
 
 }  // namespace

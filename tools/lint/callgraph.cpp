@@ -1,0 +1,174 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <ostream>
+#include <set>
+
+namespace dqos::lintkit {
+namespace {
+
+/// True when `qualified` ends with `suffix` on a component boundary:
+/// "dqos::Channel::send" matches "Channel::send" and "send", not
+/// "nel::send".
+bool suffix_matches(const std::string& qualified, const std::string& suffix) {
+  if (qualified.size() < suffix.size()) return false;
+  if (qualified.compare(qualified.size() - suffix.size(), suffix.size(),
+                        suffix) != 0) {
+    return false;
+  }
+  if (qualified.size() == suffix.size()) return true;
+  const std::size_t cut = qualified.size() - suffix.size();
+  return cut >= 2 && qualified.compare(cut - 2, 2, "::") == 0;
+}
+
+/// Caller's class prefix ("dqos::Channel") or empty for free functions.
+std::string class_prefix(const FunctionDef& d) {
+  const std::size_t cut = d.qualified.rfind("::");
+  return cut == std::string::npos ? std::string() : d.qualified.substr(0, cut);
+}
+
+}  // namespace
+
+std::vector<int> resolve_call(const Index& idx, int caller_def,
+                              const CallSite& call) {
+  std::string last = call.callee;
+  const std::size_t cut = last.rfind("::");
+  if (cut != std::string::npos) last = last.substr(cut + 2);
+
+  const auto it = idx.by_name.find(last);
+  if (it == idx.by_name.end()) return {};
+  const std::vector<int>& named = it->second;
+
+  std::vector<int> out;
+  if (call.callee != last) {
+    // Written qualifier: match the full chain as a suffix.
+    for (const int d : named) {
+      if (suffix_matches(idx.defs[static_cast<std::size_t>(d)].qualified,
+                         call.callee)) {
+        out.push_back(d);
+      }
+    }
+    return out;
+  }
+  // Unqualified / this-> calls bind to the caller's own class first.
+  const bool own_class_first =
+      caller_def >= 0 && (!call.member || call.receiver == "this");
+  if (own_class_first) {
+    const std::string prefix =
+        class_prefix(idx.defs[static_cast<std::size_t>(caller_def)]);
+    if (!prefix.empty()) {
+      const std::string qualified = prefix + "::" + last;
+      for (const int d : named) {
+        if (idx.defs[static_cast<std::size_t>(d)].qualified == qualified) {
+          out.push_back(d);
+        }
+      }
+      if (!out.empty()) return out;
+    }
+  }
+  return named;
+}
+
+CallGraph build_call_graph(const Index& idx) {
+  CallGraph g;
+  g.adj.resize(idx.defs.size());
+  for (std::size_t d = 0; d < idx.defs.size(); ++d) {
+    std::set<std::pair<int, int>> edges;  // (callee, line) dedup
+    for (const CallSite& c : idx.calls[d]) {
+      for (const int callee : resolve_call(idx, static_cast<int>(d), c)) {
+        edges.insert({callee, c.line});
+      }
+    }
+    for (const auto& [callee, line] : edges) {
+      g.adj[d].push_back(Edge{callee, line});
+    }
+  }
+  return g;
+}
+
+Reach reach_from(const Index& idx, const CallGraph& graph,
+                 const std::vector<int>& roots) {
+  Reach r;
+  r.parent.assign(idx.defs.size(), -1);
+  r.parent_line.assign(idx.defs.size(), 0);
+  r.depth.assign(idx.defs.size(), -1);
+  std::deque<int> queue;
+  for (const int root : roots) {
+    if (root < 0 || r.depth[static_cast<std::size_t>(root)] >= 0) continue;
+    r.depth[static_cast<std::size_t>(root)] = 0;
+    queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    const int d = queue.front();
+    queue.pop_front();
+    for (const Edge& e : graph.adj[static_cast<std::size_t>(d)]) {
+      if (r.depth[static_cast<std::size_t>(e.callee)] >= 0) continue;
+      r.depth[static_cast<std::size_t>(e.callee)] =
+          r.depth[static_cast<std::size_t>(d)] + 1;
+      r.parent[static_cast<std::size_t>(e.callee)] = d;
+      r.parent_line[static_cast<std::size_t>(e.callee)] = e.line;
+      queue.push_back(e.callee);
+    }
+  }
+  return r;
+}
+
+std::string chain_string(const Index& idx, const Reach& reach, int def) {
+  std::vector<int> chain;
+  for (int d = def; d >= 0; d = reach.parent[static_cast<std::size_t>(d)]) {
+    chain.push_back(d);
+    if (chain.size() > idx.defs.size()) break;  // defensive
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const FunctionDef& d = idx.defs[static_cast<std::size_t>(*it)];
+    if (!out.empty()) out += " -> ";
+    out += d.qualified + " (" + idx.unit_of(d).file + ":" +
+           std::to_string(d.line) + ")";
+  }
+  return out;
+}
+
+void dump_callgraph(const Index& idx, const CallGraph& graph,
+                    std::ostream& os) {
+  std::vector<int> order;
+  order.reserve(idx.defs.size());
+  for (std::size_t d = 0; d < idx.defs.size(); ++d) {
+    order.push_back(static_cast<int>(d));
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const FunctionDef& da = idx.defs[static_cast<std::size_t>(a)];
+    const FunctionDef& db = idx.defs[static_cast<std::size_t>(b)];
+    if (da.qualified != db.qualified) return da.qualified < db.qualified;
+    if (idx.unit_of(da).file != idx.unit_of(db).file) {
+      return idx.unit_of(da).file < idx.unit_of(db).file;
+    }
+    return da.line < db.line;
+  });
+  std::size_t edges = 0;
+  for (const auto& a : graph.adj) edges += a.size();
+  os << "# dqos_lint call graph: " << idx.defs.size() << " definitions, "
+     << edges << " resolved edges\n";
+  for (const int d : order) {
+    const FunctionDef& def = idx.defs[static_cast<std::size_t>(d)];
+    os << def.qualified << "  [" << idx.unit_of(def).file << ":" << def.line
+       << "]";
+    if (def.hot) os << "  (hot)";
+    if (def.ret_fp) os << "  (fp)";
+    os << "\n";
+    std::vector<std::pair<std::string, int>> lines;
+    for (const Edge& e : graph.adj[static_cast<std::size_t>(d)]) {
+      lines.emplace_back(
+          idx.defs[static_cast<std::size_t>(e.callee)].qualified, e.line);
+    }
+    std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second < b.second : a.first < b.first;
+    });
+    for (const auto& [callee, line] : lines) {
+      os << "  -> " << callee << "  @:" << line << "\n";
+    }
+  }
+}
+
+}  // namespace dqos::lintkit

@@ -1,0 +1,63 @@
+/// \file callgraph.hpp
+/// Call graph over the indexed tree, with the name-resolution heuristics
+/// the transitive rules depend on (DESIGN.md §15).
+///
+/// Resolution by qualified suffix:
+///   - `A::B::f(...)` matches every definition whose qualified name ends
+///     with the written chain on a component boundary.
+///   - unqualified `f(...)` and `this->f(...)` prefer the caller's own
+///     class (`Caller::f` when it exists), else every definition named f.
+///   - `obj.f(...)` / `p->f(...)` match every definition named `f`: the
+///     receiver's type is unknown, so dynamic dispatch is deliberately
+///     over-approximated (all overriders become edges) rather than missed.
+///
+/// Reachability keeps one parent edge per node so diagnostics can print
+/// the full call chain from a rule's root to the offending line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint/indexer.hpp"
+
+namespace dqos::lintkit {
+
+struct Edge {
+  int callee = -1;
+  int line = 0;  ///< call-site line in the caller's file
+};
+
+struct CallGraph {
+  std::vector<std::vector<Edge>> adj;  ///< per def id, sorted, deduplicated
+};
+
+/// Candidate definition ids for one call site (sorted, deduplicated).
+/// `caller_def` may be -1 (call from a region outside any definition).
+std::vector<int> resolve_call(const Index& idx, int caller_def,
+                              const CallSite& call);
+
+CallGraph build_call_graph(const Index& idx);
+
+/// Single-source-set BFS keeping parent pointers for chain printing.
+struct Reach {
+  std::vector<int> parent;       ///< def -> caller def, -1 for roots
+  std::vector<int> parent_line;  ///< call-site line inside the parent
+  std::vector<int> depth;        ///< -1 when unreached, 0 for roots
+  [[nodiscard]] bool reached(int def) const {
+    return depth[static_cast<std::size_t>(def)] >= 0;
+  }
+};
+Reach reach_from(const Index& idx, const CallGraph& graph,
+                 const std::vector<int>& roots);
+
+/// "root -> a (file:line) -> b (file:line)" for diagnostics; the chain is
+/// listed caller-first and ends at `def` itself.
+std::string chain_string(const Index& idx, const Reach& reach, int def);
+
+/// `--callgraph-dump`: every definition with its resolved out-edges, in
+/// deterministic (qualified, file, line) order.
+void dump_callgraph(const Index& idx, const CallGraph& graph,
+                    std::ostream& os);
+
+}  // namespace dqos::lintkit

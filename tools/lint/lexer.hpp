@@ -35,12 +35,23 @@ struct Token {
   int line;
 };
 
+/// One `allow(...)` / `allow-file(...)` marker occurrence, kept with its
+/// source position so `--check-suppressions` can report markers that no
+/// longer suppress anything.
+struct AllowMarker {
+  int line = 0;            ///< line the comment sits on
+  std::string rule;        ///< rule id, or "*"
+  bool file_scope = false;  ///< allow-file(...) vs allow(...)
+};
+
 struct LexedFile {
   std::vector<Token> tokens;
   /// line -> rule ids allowed on that line and the line after it.
   std::map<int, std::set<std::string>> line_allows;
   /// rule ids allowed anywhere in the file.
   std::set<std::string> file_allows;
+  /// Every marker occurrence in source order (one entry per rule id).
+  std::vector<AllowMarker> allow_markers;
   /// Lines carrying a `dqos-lint: hot` marker: the next function body at
   /// or after each is subject to the hot-path-alloc rule.
   std::set<int> hot_marks;
@@ -51,6 +62,12 @@ struct LexedFile {
   /// True if `rule` is suppressed at `line` (by a same-line marker, a
   /// marker on the previous line, or a file-level marker).
   [[nodiscard]] bool allowed(const std::string& rule, int line) const;
+
+  /// Index into `allow_markers` of the marker that suppresses `rule` at
+  /// `line` (line-scoped exact match first, then line-scoped `*`, then
+  /// file-scoped), or -1 when nothing suppresses it. Drives the stale-
+  /// suppression check: a marker never returned here suppressed nothing.
+  [[nodiscard]] int match(const std::string& rule, int line) const;
 };
 
 LexedFile lex(const std::string& src);

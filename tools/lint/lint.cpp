@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "lint/transitive.hpp"
+
 namespace dqos::lintkit {
 namespace fs = std::filesystem;
 
@@ -35,6 +37,84 @@ void sort_findings(std::vector<Finding>& v) {
   });
 }
 
+void drop_suppressed(std::vector<Finding>& v) {
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [](const Finding& f) { return f.suppressed; }),
+          v.end());
+}
+
+/// One analysis input: content plus the companion header's text (for
+/// member-container inheritance into the .cpp).
+struct InputFile {
+  std::string rel;
+  std::string content;
+  std::string companion;
+};
+
+/// The shared core behind lint_tree_full and lint_sources: lexes every
+/// input once, runs the per-file rules, builds the whole-program index +
+/// call graph over the same lexed tokens, runs the transitive rules, and
+/// splits out stale `allow(...)` markers.
+TreeReport analyze(const std::vector<InputFile>& files, bool transitive,
+                   bool check_suppressions) {
+  TreeReport report;
+  for (const InputFile& f : files) {
+    index_unit(Unit{f.rel, lex(f.content)}, report.index);
+  }
+  finalize_index(report.index);
+
+  std::vector<Finding> all;  // suppressed findings included, flagged
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::set<std::string> companions;
+    if (!files[i].companion.empty()) {
+      companions = nondeterministic_containers(lex(files[i].companion));
+    }
+    run_rules(files[i].rel, report.index.units[i].lx, companions, all);
+  }
+  report.graph = build_call_graph(report.index);
+  if (transitive) {
+    run_transitive_rules(report.index, report.graph, all);
+  }
+
+  if (check_suppressions) {
+    // A marker is live when at least one finding matched it; everything
+    // else is stale and should be deleted. header-standalone markers are
+    // exempt (that rule only runs with --check-headers).
+    std::map<std::string, std::size_t> unit_by_file;
+    for (std::size_t i = 0; i < report.index.units.size(); ++i) {
+      unit_by_file[report.index.units[i].file] = i;
+    }
+    std::vector<std::set<int>> used(report.index.units.size());
+    for (const Finding& f : all) {
+      if (!f.suppressed) continue;
+      const auto it = unit_by_file.find(f.file);
+      if (it == unit_by_file.end()) continue;
+      const int m =
+          report.index.units[it->second].lx.match(f.rule, f.line);
+      if (m >= 0) used[it->second].insert(m);
+    }
+    for (std::size_t u = 0; u < report.index.units.size(); ++u) {
+      const Unit& unit = report.index.units[u];
+      for (std::size_t m = 0; m < unit.lx.allow_markers.size(); ++m) {
+        const AllowMarker& marker = unit.lx.allow_markers[m];
+        if (marker.rule == "header-standalone") continue;
+        if (used[u].count(static_cast<int>(m)) != 0) continue;
+        report.stale.push_back(Finding{
+            unit.file, marker.line, "stale-suppression",
+            "`dqos-lint: " +
+                std::string(marker.file_scope ? "allow-file(" : "allow(") +
+                marker.rule + ")` suppresses nothing — remove the marker"});
+      }
+    }
+    sort_findings(report.stale);
+  }
+
+  drop_suppressed(all);
+  sort_findings(all);
+  report.findings = std::move(all);
+  return report;
+}
+
 }  // namespace
 
 std::vector<Finding> lint_source(const std::string& rel_path,
@@ -46,8 +126,28 @@ std::vector<Finding> lint_source(const std::string& rel_path,
   }
   std::vector<Finding> out;
   run_rules(rel_path, lex(content), companions, out);
+  drop_suppressed(out);
   sort_findings(out);
   return out;
+}
+
+TreeReport lint_sources(const std::vector<SourceFile>& files,
+                        bool check_suppressions) {
+  std::vector<InputFile> inputs;
+  inputs.reserve(files.size());
+  for (const SourceFile& f : files) {
+    InputFile in{f.rel_path, f.content, {}};
+    if (f.rel_path.size() > 4 &&
+        f.rel_path.compare(f.rel_path.size() - 4, 4, ".cpp") == 0) {
+      const std::string header =
+          f.rel_path.substr(0, f.rel_path.size() - 4) + ".hpp";
+      for (const SourceFile& h : files) {
+        if (h.rel_path == header) in.companion = h.content;
+      }
+    }
+    inputs.push_back(std::move(in));
+  }
+  return analyze(inputs, /*transitive=*/true, check_suppressions);
 }
 
 bool header_compiles(const std::string& abs_path, const Options& opt) {
@@ -61,7 +161,7 @@ bool header_compiles(const std::string& abs_path, const Options& opt) {
   return std::system(cmd.c_str()) == 0;
 }
 
-std::vector<Finding> lint_tree(const Options& opt) {
+TreeReport lint_tree_full(const Options& opt) {
   std::vector<std::string> roots = opt.paths;
   if (roots.empty()) roots = {"src", "tools", "bench"};
 
@@ -86,27 +186,38 @@ std::vector<Finding> lint_tree(const Options& opt) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> out;
+  std::vector<InputFile> inputs;
+  inputs.reserve(files.size());
   for (const fs::path& f : files) {
-    const std::string rel =
-        fs::relative(f, opt.root).generic_string();
-    std::string companion;
+    InputFile in{fs::relative(f, opt.root).generic_string(), slurp(f), {}};
     if (has_ext(f, ".cpp")) {
       fs::path header = f;
       header.replace_extension(".hpp");
-      if (fs::exists(header)) companion = slurp(header);
+      if (fs::exists(header)) in.companion = slurp(header);
     }
-    std::vector<Finding> fnd = lint_source(rel, slurp(f), companion);
-    out.insert(out.end(), fnd.begin(), fnd.end());
-    if (opt.check_headers && has_ext(f, ".hpp") &&
-        !header_compiles(fs::absolute(f).string(), opt)) {
-      out.push_back(Finding{rel, 1, "header-standalone",
-                            "header does not compile standalone (missing "
-                            "includes or forward declarations)"});
-    }
+    inputs.push_back(std::move(in));
   }
-  sort_findings(out);
-  return out;
+
+  TreeReport report =
+      analyze(inputs, opt.transitive, opt.check_suppressions);
+  if (opt.check_headers) {
+    for (const fs::path& f : files) {
+      if (!has_ext(f, ".hpp") || header_compiles(fs::absolute(f).string(), opt)) {
+        continue;
+      }
+      report.findings.push_back(
+          Finding{fs::relative(f, opt.root).generic_string(), 1,
+                  "header-standalone",
+                  "header does not compile standalone (missing "
+                  "includes or forward declarations)"});
+    }
+    sort_findings(report.findings);
+  }
+  return report;
+}
+
+std::vector<Finding> lint_tree(const Options& opt) {
+  return lint_tree_full(opt).findings;
 }
 
 std::map<BaselineKey, int> load_baseline(const std::string& path) {

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "lint/callgraph.hpp"
+#include "lint/indexer.hpp"
 #include "lint/rules.hpp"
 
 namespace dqos::lintkit {
@@ -29,18 +31,48 @@ struct Options {
   /// Include dirs for the header-standalone compile, relative to `root`;
   /// default src and tools.
   std::vector<std::string> include_dirs;
+  /// Run the whole-program rules (tools/lint/transitive.hpp) on top of
+  /// the per-file token rules.
+  bool transitive = true;
+  /// Report `allow(...)` markers that no longer suppress anything as
+  /// stale-suppression findings.
+  bool check_suppressions = false;
 };
 
 /// Lints one in-memory file as if it lived at `rel_path`;
 /// `companion_content` (optional) supplies the matching header's text so
-/// member-container declarations carry over to the .cpp.
+/// member-container declarations carry over to the .cpp. Per-file rules
+/// only; use lint_sources for the whole-program rules.
 std::vector<Finding> lint_source(const std::string& rel_path,
                                  const std::string& content,
                                  const std::string& companion_content = {});
 
+/// One in-memory source file for lint_sources.
+struct SourceFile {
+  std::string rel_path;
+  std::string content;
+};
+
 /// Walks the tree and runs every rule; findings are sorted by
 /// (file, line, rule) and deterministic across runs.
 std::vector<Finding> lint_tree(const Options& opt);
+
+/// Everything lint_tree computes, kept for the CLI: active findings, the
+/// stale-suppression findings (empty unless opt.check_suppressions), and
+/// the whole-program index + call graph (for --callgraph-dump).
+struct TreeReport {
+  std::vector<Finding> findings;
+  std::vector<Finding> stale;  ///< rule id "stale-suppression"
+  Index index;
+  CallGraph graph;
+};
+TreeReport lint_tree_full(const Options& opt);
+
+/// Lints a set of in-memory files as one mini-tree: per-file rules plus
+/// the whole-program (transitive) rules, with companion headers resolved
+/// inside the set. Exposed for the call-graph fixture tests.
+TreeReport lint_sources(const std::vector<SourceFile>& files,
+                        bool check_suppressions = false);
 
 /// Compiles one header standalone; returns true on success.
 bool header_compiles(const std::string& abs_path, const Options& opt);

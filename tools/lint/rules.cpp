@@ -34,8 +34,8 @@ struct Sink {
   const LexedFile& lx;
   std::vector<Finding>& out;
   void add(int line, const char* rule, std::string message) const {
-    if (lx.allowed(rule, line)) return;
-    out.push_back(Finding{file, line, rule, std::move(message)});
+    out.push_back(Finding{file, line, rule, std::move(message),
+                          lx.allowed(rule, line)});
   }
 };
 
@@ -44,19 +44,10 @@ struct Sink {
 // ---------------------------------------------------------------------------
 
 void check_wallclock(const Sink& sink) {
-  static const std::array<const char*, 5> kBannedHeaders = {
-      "chrono", "ctime", "time.h", "sys/time.h", "random"};
-  static const std::array<const char*, 14> kBannedIdents = {
-      "system_clock", "steady_clock", "high_resolution_clock", "random_device",
-      "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
-      "default_random_engine", "knuth_b", "gettimeofday", "clock_gettime",
-      "localtime", "gmtime"};
-  static const std::array<const char*, 4> kBannedCalls = {"time", "clock",
-                                                          "rand", "srand"};
   const TokenVec& t = sink.lx.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind == Token::Kind::kHeaderName) {
-      for (const char* h : kBannedHeaders) {
+      for (const char* h : tables::kWallclockHeaders) {
         if (t[i].text == h) {
           sink.add(t[i].line, "no-wallclock",
                    "#include <" + t[i].text +
@@ -67,7 +58,7 @@ void check_wallclock(const Sink& sink) {
       continue;
     }
     if (t[i].kind != Token::Kind::kIdent) continue;
-    for (const char* id : kBannedIdents) {
+    for (const char* id : tables::kWallclockIdents) {
       if (t[i].text == id) {
         sink.add(t[i].line, "no-wallclock",
                  "'" + t[i].text + "' — simulation code must draw time from "
@@ -75,34 +66,10 @@ void check_wallclock(const Sink& sink) {
                                    "util/rng");
       }
     }
-    for (const char* fn : kBannedCalls) {
-      if (t[i].text != fn || !is_punct(t, i + 1, "(")) continue;
-      // Member access (`x.time(...)`, `p->clock(...)`) is some other API;
-      // only free/std-qualified calls are the libc wall-clock ones.
-      if (i > 0 && (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"))) break;
-      if (i > 0 && is_punct(t, i - 1, "::")) {
-        // Qualified: flag `std::time(...)` and the global `::time(...)`,
-        // not `SomeType::time(...)`.
-        if (i >= 2 && t[i - 2].kind == Token::Kind::kIdent &&
-            t[i - 2].text != "std") {
-          break;
-        }
-      } else if (i > 0) {
-        // Unqualified: a call site follows an operator or `return`; a
-        // declaration (`Duration time(...)`) follows a type name, `&`, `*`
-        // or `>` and is not a wall-clock read.
-        static const std::array<const char*, 11> kCallPrev = {
-            "(", ",", "=", ";", "{", "}", "?", ":", "|", "&&", "!"};
-        const bool call_context =
-            is_ident(t, i - 1, "return") ||
-            std::any_of(kCallPrev.begin(), kCallPrev.end(),
-                        [&](const char* p) { return is_punct(t, i - 1, p); });
-        if (!call_context) break;
-      }
+    if (wallclock_call_site(t, i)) {
       sink.add(t[i].line, "no-wallclock",
                "'" + t[i].text + "()' reads the wall clock / libc RNG — use "
                                  "the simulator clock or util/rng");
-      break;
     }
   }
 }
@@ -231,8 +198,6 @@ void check_per_flow_map(const Sink& sink) {
 // ---------------------------------------------------------------------------
 
 void check_type_erasure(const Sink& sink) {
-  static const std::array<const char*, 3> kBanned = {"shared_ptr", "make_shared",
-                                                     "weak_ptr"};
   const TokenVec& t = sink.lx.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind == Token::Kind::kHeaderName && t[i].text == "functional") {
@@ -248,7 +213,7 @@ void check_type_erasure(const Sink& sink) {
                "std::function in a hot-path directory — PRs 2-3 "
                "de-virtualized this path; use Callback or InlineTask");
     }
-    for (const char* id : kBanned) {
+    for (const char* id : tables::kTypeErasureIdents) {
       if (t[i].text == id) {
         sink.add(t[i].line, "hot-path-type-erasure",
                  "'" + t[i].text + "' in a hot-path directory — ownership "
@@ -261,11 +226,6 @@ void check_type_erasure(const Sink& sink) {
 // ---------------------------------------------------------------------------
 // float-time-accum
 // ---------------------------------------------------------------------------
-
-bool time_like_name(const std::string& name) {
-  return contains_ci(name, "time") || contains_ci(name, "now") ||
-         contains_ci(name, "elapsed") || contains_ci(name, "deadline");
-}
 
 void check_float_time(const Sink& sink) {
   const TokenVec& t = sink.lx.tokens;
@@ -346,12 +306,6 @@ void check_packet_free(const Sink& sink) {
 /// statements are allocation-free.
 void check_hot_path_alloc(const Sink& sink) {
   if (sink.lx.hot_marks.empty()) return;
-  static const std::array<const char*, 6> kAllocIdents = {
-      "make_unique", "make_shared", "malloc", "calloc", "realloc",
-      "aligned_alloc"};
-  static const std::array<const char*, 8> kGrowthCalls = {
-      "push_back", "emplace_back", "emplace", "insert",
-      "resize",    "reserve",      "assign",  "append"};
   const TokenVec& t = sink.lx.tokens;
   for (const int mark : sink.lx.hot_marks) {
     // The marked function's body: the first `{` at or after the marker
@@ -378,14 +332,14 @@ void check_hot_path_alloc(const Sink& sink) {
                  "(preallocate at construction; DESIGN.md §11)");
         continue;
       }
-      for (const char* id : kAllocIdents) {
+      for (const char* id : tables::kAllocIdents) {
         if (t[i].text == id) {
           sink.add(t[i].line, "hot-path-alloc",
                    "'" + t[i].text + "' inside a `dqos-lint: hot` function "
                                      "— hot paths must not allocate");
         }
       }
-      for (const char* call : kGrowthCalls) {
+      for (const char* call : tables::kGrowthCalls) {
         if (t[i].text != call || !is_punct(t, i + 1, "(")) continue;
         if (i == 0 || (!is_punct(t, i - 1, ".") && !is_punct(t, i - 1, "->"))) {
           continue;
@@ -413,8 +367,6 @@ void check_hot_path_alloc(const Sink& sink) {
 /// owning worker's drain.
 void check_cross_shard_access(const Sink& sink) {
   if (sink.lx.shard_marks.empty()) return;
-  static const std::array<const char*, 4> kDirectCalendar = {
-      "schedule_at", "schedule_after", "schedule_keyed", "run_until"};
   const TokenVec& t = sink.lx.tokens;
   for (const int mark : sink.lx.shard_marks) {
     // The marked region: from the first token at/after the marker line to
@@ -434,7 +386,7 @@ void check_cross_shard_access(const Sink& sink) {
         continue;
       }
       if (t[i].kind != Token::Kind::kIdent) continue;
-      for (const char* call : kDirectCalendar) {
+      for (const char* call : tables::kDirectCalendarCalls) {
         if (t[i].text != call || !is_punct(t, i + 1, "(")) continue;
         sink.add(t[i].line, "cross-shard-access",
                  "'" + t[i].text + "()' inside a `dqos-lint: shard` region — "
@@ -448,6 +400,41 @@ void check_cross_shard_access(const Sink& sink) {
 }
 
 }  // namespace
+
+bool wallclock_call_site(const std::vector<Token>& t, std::size_t i) {
+  bool named = false;
+  for (const char* fn : tables::kWallclockCalls) {
+    if (t[i].kind == Token::Kind::kIdent && t[i].text == fn) named = true;
+  }
+  if (!named || !is_punct(t, i + 1, "(")) return false;
+  // Member access (`x.time(...)`, `p->clock(...)`) is some other API;
+  // only free/std-qualified calls are the libc wall-clock ones.
+  if (i > 0 && (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"))) {
+    return false;
+  }
+  if (i > 0 && is_punct(t, i - 1, "::")) {
+    // Qualified: flag `std::time(...)` and the global `::time(...)`, not
+    // `SomeType::time(...)`.
+    return !(i >= 2 && t[i - 2].kind == Token::Kind::kIdent &&
+             t[i - 2].text != "std");
+  }
+  if (i > 0) {
+    // Unqualified: a call site follows an operator or `return`; a
+    // declaration (`Duration time(...)`) follows a type name, `&`, `*`
+    // or `>` and is not a wall-clock read.
+    static const std::array<const char*, 11> kCallPrev = {
+        "(", ",", "=", ";", "{", "}", "?", ":", "|", "&&", "!"};
+    return is_ident(t, i - 1, "return") ||
+           std::any_of(kCallPrev.begin(), kCallPrev.end(),
+                       [&](const char* p) { return is_punct(t, i - 1, p); });
+  }
+  return true;
+}
+
+bool time_like_name(const std::string& name) {
+  return contains_ci(name, "time") || contains_ci(name, "now") ||
+         contains_ci(name, "elapsed") || contains_ci(name, "deadline");
+}
 
 FileScope classify(const std::string& rel_path) {
   FileScope s;

@@ -35,6 +35,7 @@
 /// lexer.hpp for the marker grammar.
 #pragma once
 
+#include <array>
 #include <set>
 #include <string>
 #include <vector>
@@ -48,7 +49,46 @@ struct Finding {
   int line = 0;
   std::string rule;
   std::string message;
+  /// Matched an `allow(...)` marker. Suppressed findings are filtered from
+  /// reports but kept internally so `--check-suppressions` can tell live
+  /// markers from stale ones.
+  bool suppressed = false;
 };
+
+/// Banned-token tables shared by the per-file rules and the transitive
+/// rules (tools/lint/transitive.cpp) — one source of truth, so the
+/// whole-program layer can never drift from the lexical one.
+namespace tables {
+inline constexpr std::array<const char*, 5> kWallclockHeaders = {
+    "chrono", "ctime", "time.h", "sys/time.h", "random"};
+inline constexpr std::array<const char*, 14> kWallclockIdents = {
+    "system_clock", "steady_clock", "high_resolution_clock", "random_device",
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "knuth_b", "gettimeofday", "clock_gettime",
+    "localtime", "gmtime"};
+inline constexpr std::array<const char*, 4> kWallclockCalls = {"time", "clock",
+                                                              "rand", "srand"};
+inline constexpr std::array<const char*, 6> kAllocIdents = {
+    "make_unique", "make_shared", "malloc", "calloc", "realloc",
+    "aligned_alloc"};
+inline constexpr std::array<const char*, 8> kGrowthCalls = {
+    "push_back", "emplace_back", "emplace", "insert",
+    "resize",    "reserve",      "assign",  "append"};
+inline constexpr std::array<const char*, 3> kTypeErasureIdents = {
+    "shared_ptr", "make_shared", "weak_ptr"};
+inline constexpr std::array<const char*, 4> kDirectCalendarCalls = {
+    "schedule_at", "schedule_after", "schedule_keyed", "run_until"};
+}  // namespace tables
+
+/// True when token `i` is a wall-clock/libc-RNG *call site*: one of
+/// tables::kWallclockCalls in call context (not a member access, a
+/// `SomeType::time(...)` qualified call, or a declaration).
+[[nodiscard]] bool wallclock_call_site(const std::vector<Token>& t,
+                                       std::size_t i);
+
+/// Name looks time-valued ("time", "now", "elapsed", "deadline",
+/// case-insensitive substring match).
+[[nodiscard]] bool time_like_name(const std::string& name);
 
 /// File-scope classification derived from the repo-relative path
 /// (forward-slash separated).

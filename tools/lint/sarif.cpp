@@ -1,0 +1,89 @@
+#include "lint/sarif.hpp"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace dqos::lintkit {
+namespace {
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+
+  std::ostringstream ss;
+  ss << "{\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"dqos_lint\",\n"
+        "          \"informationUri\": \"DESIGN.md\",\n"
+        "          \"rules\": [";
+  bool first = true;
+  for (const std::string& r : rules) {
+    ss << (first ? "" : ",") << "\n            {\"id\": \"" << esc(r) << "\"}";
+    first = false;
+  }
+  ss << (rules.empty() ? "" : "\n          ")
+     << "]\n"
+        "        }\n"
+        "      },\n"
+        "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    ss << (first ? "" : ",")
+       << "\n        {\n"
+          "          \"ruleId\": \"" << esc(f.rule) << "\",\n"
+          "          \"level\": \"error\",\n"
+          "          \"message\": {\"text\": \"" << esc(f.message) << "\"},\n"
+          "          \"locations\": [\n"
+          "            {\n"
+          "              \"physicalLocation\": {\n"
+          "                \"artifactLocation\": {\"uri\": \"" << esc(f.file)
+       << "\"},\n"
+          "                \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+       << "}\n"
+          "              }\n"
+          "            }\n"
+          "          ]\n"
+          "        }";
+    first = false;
+  }
+  ss << (findings.empty() ? "" : "\n      ")
+     << "]\n"
+        "    }\n"
+        "  ]\n"
+        "}\n";
+  return ss.str();
+}
+
+}  // namespace dqos::lintkit

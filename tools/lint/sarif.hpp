@@ -1,0 +1,18 @@
+/// \file sarif.hpp
+/// SARIF 2.1.0 serialization of lint findings, for CI annotation
+/// (GitHub code scanning and most CI viewers ingest this directly).
+/// Output is deterministic: results keep the driver's (file, line, rule)
+/// order and the rule table is sorted by id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace dqos::lintkit {
+
+/// Serializes `findings` as one SARIF 2.1.0 run of the "dqos_lint" tool.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace dqos::lintkit
